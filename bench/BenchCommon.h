@@ -1,0 +1,62 @@
+//===- bench/BenchCommon.h - Shared benchmark helpers ------------*- C++ -*-===//
+//
+// Part of the RelC data representation synthesis library.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Wall-clock timing and time-limit helpers shared by the figure/table
+/// reproduction benches.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef RELC_BENCH_BENCHCOMMON_H
+#define RELC_BENCH_BENCHCOMMON_H
+
+#include <chrono>
+#include <cstdio>
+#include <string>
+
+namespace relcbench {
+
+using Clock = std::chrono::steady_clock;
+
+inline double secondsSince(Clock::time_point Start) {
+  return std::chrono::duration<double>(Clock::now() - Start).count();
+}
+
+/// Runs \p Fn and returns elapsed seconds, or a negative value if \p Fn
+/// itself bailed out (Fn returns false to signal a timeout).
+template <typename FnT> double timeOrTimeout(FnT &&Fn) {
+  Clock::time_point Start = Clock::now();
+  if (!Fn())
+    return -1.0;
+  return secondsSince(Start);
+}
+
+/// A cooperative deadline: workloads call expired() periodically and
+/// unwind when it trips.
+class Deadline {
+public:
+  explicit Deadline(double LimitSeconds)
+      : Start(Clock::now()), Limit(LimitSeconds) {}
+
+  bool expired() const { return secondsSince(Start) > Limit; }
+  double elapsed() const { return secondsSince(Start); }
+
+private:
+  Clock::time_point Start;
+  double Limit;
+};
+
+inline std::string formatSeconds(double S) {
+  if (S < 0)
+    return "   --   ";
+  char Buf[32];
+  std::snprintf(Buf, sizeof(Buf), "%8.4f", S);
+  return Buf;
+}
+
+} // namespace relcbench
+
+#endif // RELC_BENCH_BENCHCOMMON_H

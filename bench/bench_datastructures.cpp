@@ -1,0 +1,163 @@
+//===- bench/bench_datastructures.cpp - Container substrate bench ------------===//
+//
+// Part of the RelC data representation synthesis library.
+//
+//===----------------------------------------------------------------------===//
+//
+// google-benchmark microbenches of the primitive container library
+// (Section 6's data structure substrate): insert, lookup, full scan and
+// unlink-by-node across the six ψ kinds. These are the constants behind
+// the cost model's mψ(n) and the reason intrusive containers make
+// shared-node removal cheap.
+//
+//===----------------------------------------------------------------------===//
+
+#include "ds/AvlMap.h"
+#include "ds/DListMap.h"
+#include "ds/HashMap.h"
+#include "ds/IntrusiveAvl.h"
+#include "ds/IntrusiveList.h"
+#include "ds/VectorMap.h"
+
+#include <benchmark/benchmark.h>
+
+#include <memory>
+#include <vector>
+
+using namespace relc;
+
+namespace {
+
+struct BenchNode {
+  int64_t Tag;
+  MapHook<BenchNode, int64_t> Hooks[2];
+};
+
+struct Traits {
+  using KeyT = int64_t;
+  using NodeT = BenchNode;
+  static bool equal(int64_t A, int64_t B) { return A == B; }
+  static bool less(int64_t A, int64_t B) { return A < B; }
+  static size_t hash(int64_t K) {
+    return std::hash<int64_t>()(K);
+  }
+  static MapHook<BenchNode, int64_t> &hook(BenchNode *N, unsigned S) {
+    return N->Hooks[S];
+  }
+};
+
+template <typename MapT> MapT makeMap() { return MapT(); }
+template <> IntrusiveList<Traits> makeMap() { return IntrusiveList<Traits>(0); }
+template <> IntrusiveAvl<Traits> makeMap() { return IntrusiveAvl<Traits>(0); }
+
+std::vector<std::unique_ptr<BenchNode>> &pool(size_t N) {
+  static std::vector<std::unique_ptr<BenchNode>> Pool;
+  while (Pool.size() < N) {
+    Pool.push_back(std::make_unique<BenchNode>());
+    Pool.back()->Tag = static_cast<int64_t>(Pool.size() - 1);
+  }
+  return Pool;
+}
+
+template <typename MapT> void BM_InsertErase(benchmark::State &State) {
+  const int64_t N = State.range(0);
+  auto &P = pool(static_cast<size_t>(N) + 1);
+  for (auto _ : State) {
+    State.PauseTiming();
+    MapT Map = makeMap<MapT>();
+    for (int64_t K = 0; K < N; ++K)
+      Map.insert(K, P[static_cast<size_t>(K)].get());
+    State.ResumeTiming();
+    Map.insert(N, P[static_cast<size_t>(N)].get());
+    Map.erase(N);
+  }
+}
+
+template <typename MapT> void BM_Lookup(benchmark::State &State) {
+  const int64_t N = State.range(0);
+  auto &P = pool(static_cast<size_t>(N));
+  MapT Map = makeMap<MapT>();
+  for (int64_t K = 0; K < N; ++K)
+    Map.insert(K, P[static_cast<size_t>(K)].get());
+  int64_t K = 0;
+  for (auto _ : State) {
+    benchmark::DoNotOptimize(Map.lookup(K % N));
+    ++K;
+  }
+}
+
+template <typename MapT> void BM_Scan(benchmark::State &State) {
+  const int64_t N = State.range(0);
+  auto &P = pool(static_cast<size_t>(N));
+  MapT Map = makeMap<MapT>();
+  for (int64_t K = 0; K < N; ++K)
+    Map.insert(K, P[static_cast<size_t>(K)].get());
+  for (auto _ : State) {
+    int64_t Sum = 0;
+    Map.forEach([&](int64_t Key, BenchNode *) {
+      Sum += Key;
+      return true;
+    });
+    benchmark::DoNotOptimize(Sum);
+  }
+  State.SetItemsProcessed(State.iterations() * N);
+}
+
+template <typename MapT> void BM_EraseByNode(benchmark::State &State) {
+  const int64_t N = State.range(0);
+  auto &P = pool(static_cast<size_t>(N));
+  MapT Map = makeMap<MapT>();
+  for (int64_t K = 0; K < N; ++K)
+    Map.insert(K, P[static_cast<size_t>(K)].get());
+  int64_t K = 0;
+  for (auto _ : State) {
+    BenchNode *Node = P[static_cast<size_t>(K % N)].get();
+    Map.eraseNode(Node);
+    State.PauseTiming();
+    Map.insert(K % N, Node);
+    State.ResumeTiming();
+    ++K;
+  }
+}
+
+void BM_VectorLookup(benchmark::State &State) {
+  const int64_t N = State.range(0);
+  auto &P = pool(static_cast<size_t>(N));
+  VectorMap<BenchNode> Map;
+  for (int64_t K = 0; K < N; ++K)
+    Map.insert(static_cast<size_t>(K), P[static_cast<size_t>(K)].get());
+  int64_t K = 0;
+  for (auto _ : State) {
+    benchmark::DoNotOptimize(Map.lookup(static_cast<size_t>(K % N)));
+    ++K;
+  }
+}
+
+} // namespace
+
+BENCHMARK(BM_Lookup<DListMap<Traits>>)->Arg(64)->Arg(1024);
+BENCHMARK(BM_Lookup<HashMap<Traits>>)->Arg(64)->Arg(1024)->Arg(65536);
+BENCHMARK(BM_Lookup<AvlMap<Traits>>)->Arg(64)->Arg(1024)->Arg(65536);
+BENCHMARK(BM_Lookup<IntrusiveList<Traits>>)->Arg(64)->Arg(1024);
+BENCHMARK(BM_Lookup<IntrusiveAvl<Traits>>)->Arg(64)->Arg(1024)->Arg(65536);
+BENCHMARK(BM_VectorLookup)->Arg(64)->Arg(1024)->Arg(65536);
+
+BENCHMARK(BM_InsertErase<HashMap<Traits>>)->Arg(1024)->Arg(65536);
+BENCHMARK(BM_InsertErase<AvlMap<Traits>>)->Arg(1024)->Arg(65536);
+BENCHMARK(BM_InsertErase<IntrusiveList<Traits>>)->Arg(1024);
+BENCHMARK(BM_InsertErase<IntrusiveAvl<Traits>>)->Arg(1024)->Arg(65536);
+
+BENCHMARK(BM_Scan<DListMap<Traits>>)->Arg(1024);
+BENCHMARK(BM_Scan<HashMap<Traits>>)->Arg(1024);
+BENCHMARK(BM_Scan<AvlMap<Traits>>)->Arg(1024);
+BENCHMARK(BM_Scan<IntrusiveList<Traits>>)->Arg(1024);
+BENCHMARK(BM_Scan<IntrusiveAvl<Traits>>)->Arg(1024);
+
+// The intrusive payoff: O(1)/O(log n) unlink given only the node,
+// versus the O(n) scans non-intrusive containers need.
+BENCHMARK(BM_EraseByNode<IntrusiveList<Traits>>)->Arg(1024)->Arg(16384);
+BENCHMARK(BM_EraseByNode<IntrusiveAvl<Traits>>)->Arg(1024)->Arg(16384);
+BENCHMARK(BM_EraseByNode<HashMap<Traits>>)->Arg(1024)->Arg(16384);
+BENCHMARK(BM_EraseByNode<DListMap<Traits>>)->Arg(1024);
+
+BENCHMARK_MAIN();

@@ -1,0 +1,116 @@
+//===- bench/bench_micro_cache.cpp - Cache microbenchmark --------------------===//
+//
+// Part of the RelC data representation synthesis library.
+//
+//===----------------------------------------------------------------------===//
+//
+// The cache microbenchmark of Section 6.1, "based on the real systems
+// discussed in the next section": hit/miss/evict cycles over the
+// thttpd-style mmap cache and the ZTopo-style tile cache, synthesized
+// vs hand-coded.
+//
+//===----------------------------------------------------------------------===//
+
+#include "baselines/ThttpdBaseline.h"
+#include "baselines/ZtopoBaseline.h"
+#include "systems/ThttpdRelational.h"
+#include "systems/ZtopoRelational.h"
+#include "workloads/MmapTrace.h"
+#include "workloads/TileTrace.h"
+
+#include <benchmark/benchmark.h>
+
+using namespace relc;
+
+namespace {
+
+const std::vector<MmapRequest> &mmapTrace() {
+  static const std::vector<MmapRequest> Trace = [] {
+    MmapTraceOptions Opts;
+    Opts.NumRequests = 1 << 15;
+    Opts.NumFiles = 2048;
+    return generateMmapTrace(Opts);
+  }();
+  return Trace;
+}
+
+const std::vector<TileRequest> &tileTrace() {
+  static const std::vector<TileRequest> Trace = [] {
+    TileTraceOptions Opts;
+    Opts.NumRequests = 1 << 15;
+    Opts.MapWidth = 128;
+    return generateTileTrace(Opts);
+  }();
+  return Trace;
+}
+
+template <typename CacheT> void BM_MmapCycle(benchmark::State &State) {
+  const auto &Trace = mmapTrace();
+  for (auto _ : State) {
+    CacheT Cache;
+    size_t I = 0;
+    for (const MmapRequest &Q : Trace) {
+      Cache.mapFile(Q.FileId, Q.Size, Q.Timestamp);
+      if (I >= 16)
+        Cache.unmapFile(Trace[I - 16].FileId, Q.Timestamp);
+      if (++I % 4096 == 0)
+        Cache.cleanup(Q.Timestamp, 30);
+    }
+    benchmark::DoNotOptimize(Cache.numMapped());
+  }
+  State.SetItemsProcessed(State.iterations() * Trace.size());
+}
+
+template <typename CacheT> void BM_MmapHit(benchmark::State &State) {
+  CacheT Cache;
+  for (int64_t F = 0; F < 512; ++F)
+    Cache.mapFile(F, 4096, 0);
+  int64_t F = 0;
+  for (auto _ : State) {
+    benchmark::DoNotOptimize(Cache.mapFile(F % 512, 4096, 1));
+    Cache.unmapFile(F % 512, 1);
+    ++F;
+  }
+}
+
+template <typename CacheT> void BM_TileChurn(benchmark::State &State) {
+  const auto &Trace = tileTrace();
+  constexpr int64_t Budget = 2 * 1024 * 1024;
+  for (auto _ : State) {
+    CacheT Cache;
+    for (const TileRequest &Q : Trace) {
+      TileState S;
+      if (!Cache.touchTile(Q.TileId, S))
+        Cache.addTile(Q.TileId, TileState::InMemory, Q.Size);
+      if (Cache.bytesIn(TileState::InMemory) > Budget)
+        Cache.evictToBudget(TileState::InMemory, Budget);
+    }
+    benchmark::DoNotOptimize(Cache.numTiles());
+  }
+  State.SetItemsProcessed(State.iterations() * Trace.size());
+}
+
+template <typename CacheT> void BM_TileTouch(benchmark::State &State) {
+  CacheT Cache;
+  for (int64_t T = 0; T < 1024; ++T)
+    Cache.addTile(T, TileState::InMemory, 1024);
+  int64_t T = 0;
+  for (auto _ : State) {
+    TileState S;
+    benchmark::DoNotOptimize(Cache.touchTile(T % 1024, S));
+    ++T;
+  }
+}
+
+} // namespace
+
+BENCHMARK(BM_MmapCycle<ThttpdRelational>);
+BENCHMARK(BM_MmapCycle<ThttpdBaseline>);
+BENCHMARK(BM_MmapHit<ThttpdRelational>);
+BENCHMARK(BM_MmapHit<ThttpdBaseline>);
+BENCHMARK(BM_TileChurn<ZtopoRelational>);
+BENCHMARK(BM_TileChurn<ZtopoBaseline>);
+BENCHMARK(BM_TileTouch<ZtopoRelational>);
+BENCHMARK(BM_TileTouch<ZtopoBaseline>);
+
+BENCHMARK_MAIN();

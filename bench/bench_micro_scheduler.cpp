@@ -1,0 +1,108 @@
+//===- bench/bench_micro_scheduler.cpp - Scheduler microbenchmark ------------===//
+//
+// Part of the RelC data representation synthesis library.
+//
+//===----------------------------------------------------------------------===//
+//
+// The process-scheduler microbenchmark of Section 6.1 as google-
+// benchmark suites: each core operation measured against the paper's
+// Fig. 2 decomposition, a flat single-btree decomposition, and the
+// hand-coded baseline — the per-operation view behind the "different
+// decompositions, very different characteristics" claim.
+//
+//===----------------------------------------------------------------------===//
+
+#include "baselines/SchedulerBaseline.h"
+#include "decomp/Builder.h"
+#include "systems/SchedulerRelational.h"
+
+#include <benchmark/benchmark.h>
+
+using namespace relc;
+
+namespace {
+
+Decomposition flatDecomposition() {
+  RelSpecRef Spec = SchedulerRelational::makeSpec();
+  DecompBuilder B(Spec);
+  NodeId W = B.addNode("w", "ns, pid", B.unit("state, cpu"));
+  B.addNode("x", "", B.map("ns, pid", DsKind::Btree, W));
+  return B.build();
+}
+
+template <typename SchedT> void populate(SchedT &S, int64_t N) {
+  for (int64_t P = 0; P < N; ++P)
+    S.addProcess(P % 16, P, P % 2 ? ProcState::Running : ProcState::Sleeping,
+                 P);
+}
+
+enum class Impl { Fig2, Flat, Baseline };
+
+template <Impl I> struct Make;
+template <> struct Make<Impl::Fig2> {
+  static SchedulerRelational make() { return SchedulerRelational(); }
+};
+template <> struct Make<Impl::Flat> {
+  static SchedulerRelational make() {
+    return SchedulerRelational(flatDecomposition());
+  }
+};
+template <> struct Make<Impl::Baseline> {
+  static SchedulerBaseline make() { return SchedulerBaseline(); }
+};
+
+template <Impl I> void BM_AddRemove(benchmark::State &State) {
+  auto S = Make<I>::make();
+  int64_t Pid = 1 << 20;
+  for (auto _ : State) {
+    S.addProcess(3, Pid, ProcState::Running, 0);
+    S.removeProcess(3, Pid);
+    ++Pid;
+  }
+}
+
+template <Impl I> void BM_CpuProbe(benchmark::State &State) {
+  auto S = Make<I>::make();
+  populate(S, State.range(0));
+  int64_t P = 0;
+  for (auto _ : State) {
+    benchmark::DoNotOptimize(S.cpuOf(P % 16, P % State.range(0)));
+    ++P;
+  }
+}
+
+template <Impl I> void BM_SetState(benchmark::State &State) {
+  auto S = Make<I>::make();
+  populate(S, State.range(0));
+  int64_t P = 0;
+  for (auto _ : State) {
+    S.setState(P % 16, P % State.range(0),
+               P % 2 ? ProcState::Running : ProcState::Sleeping);
+    ++P;
+  }
+}
+
+template <Impl I> void BM_EnumerateState(benchmark::State &State) {
+  auto S = Make<I>::make();
+  populate(S, State.range(0));
+  for (auto _ : State)
+    benchmark::DoNotOptimize(S.processesIn(ProcState::Running));
+  State.SetItemsProcessed(State.iterations() * State.range(0) / 2);
+}
+
+} // namespace
+
+BENCHMARK(BM_AddRemove<Impl::Fig2>);
+BENCHMARK(BM_AddRemove<Impl::Flat>);
+BENCHMARK(BM_AddRemove<Impl::Baseline>);
+BENCHMARK(BM_CpuProbe<Impl::Fig2>)->Arg(1024)->Arg(16384);
+BENCHMARK(BM_CpuProbe<Impl::Flat>)->Arg(1024)->Arg(16384);
+BENCHMARK(BM_CpuProbe<Impl::Baseline>)->Arg(1024)->Arg(16384);
+BENCHMARK(BM_SetState<Impl::Fig2>)->Arg(4096);
+BENCHMARK(BM_SetState<Impl::Flat>)->Arg(4096);
+BENCHMARK(BM_SetState<Impl::Baseline>)->Arg(4096);
+BENCHMARK(BM_EnumerateState<Impl::Fig2>)->Arg(4096);
+BENCHMARK(BM_EnumerateState<Impl::Flat>)->Arg(4096);
+BENCHMARK(BM_EnumerateState<Impl::Baseline>)->Arg(4096);
+
+BENCHMARK_MAIN();

@@ -1,0 +1,122 @@
+//===- bench/bench_table1_loc.cpp - Table 1 reproduction ---------------------===//
+//
+// Part of the RelC data representation synthesis library.
+//
+//===----------------------------------------------------------------------===//
+//
+// Table 1: non-comment lines of code for the existing-system
+// experiments. The paper compared each system's original hand-coded
+// module against the synthesized replacement (relational module +
+// decomposition mapping). Our stand-ins are the hand-coded baseline
+// modules in src/baselines (written in the original systems' style:
+// open-coded hash tables and intrusive lists for thttpd/ipcap, STL for
+// ztopo) versus the relational modules in src/systems plus their
+// decomposition specifications.
+//
+//===----------------------------------------------------------------------===//
+
+#include "decomp/Printer.h"
+#include "systems/IpcapRelational.h"
+#include "systems/SchedulerRelational.h"
+#include "systems/ThttpdRelational.h"
+#include "systems/ZtopoRelational.h"
+#include "workloads/LocCount.h"
+
+#include <cstdio>
+#include <fstream>
+#include <sstream>
+#include <string>
+#include <vector>
+
+using namespace relc;
+
+namespace {
+
+#ifndef RELC_SOURCE_DIR
+#error "RELC_SOURCE_DIR must be defined by the build"
+#endif
+
+size_t fileLoc(const std::string &RelPath) {
+  std::ifstream In(std::string(RELC_SOURCE_DIR) + "/" + RelPath);
+  if (!In) {
+    std::fprintf(stderr, "warning: missing %s\n", RelPath.c_str());
+    return 0;
+  }
+  std::stringstream Ss;
+  Ss << In.rdbuf();
+  return countLoc(Ss.str());
+}
+
+size_t filesLoc(std::initializer_list<const char *> Paths) {
+  size_t Total = 0;
+  for (const char *P : Paths)
+    Total += fileLoc(P);
+  return Total;
+}
+
+size_t decompositionLoc(const Decomposition &D) {
+  return countLoc(printDecomposition(D));
+}
+
+} // namespace
+
+int main() {
+  std::printf("# Table 1: non-comment lines of code, hand-coded module vs "
+              "synthesized module + decomposition\n");
+  std::printf("# (stand-ins: src/baselines = the original modules, "
+              "src/systems = the relational rewrites)\n\n");
+  std::printf("%-10s %16s %19s %15s\n", "system", "original module",
+              "synthesized module", "decomposition");
+
+  struct Entry {
+    const char *Name;
+    size_t Original;
+    size_t Synth;
+    size_t Decomp;
+  };
+  std::vector<Entry> Entries;
+
+  Entries.push_back(
+      {"thttpd",
+       filesLoc({"src/baselines/ThttpdBaseline.cpp",
+                 "src/baselines/ThttpdBaseline.h"}),
+       filesLoc({"src/systems/ThttpdRelational.cpp",
+                 "src/systems/ThttpdRelational.h"}),
+       decompositionLoc(ThttpdRelational::makeDefaultDecomposition(
+           ThttpdRelational::makeSpec()))});
+  Entries.push_back(
+      {"ipcap",
+       filesLoc({"src/baselines/IpcapBaseline.cpp",
+                 "src/baselines/IpcapBaseline.h"}),
+       filesLoc({"src/systems/IpcapRelational.cpp",
+                 "src/systems/IpcapRelational.h"}),
+       decompositionLoc(IpcapRelational::makeDefaultDecomposition(
+           IpcapRelational::makeSpec()))});
+  Entries.push_back(
+      {"ztopo",
+       filesLoc({"src/baselines/ZtopoBaseline.cpp",
+                 "src/baselines/ZtopoBaseline.h"}),
+       filesLoc({"src/systems/ZtopoRelational.cpp",
+                 "src/systems/ZtopoRelational.h"}),
+       decompositionLoc(ZtopoRelational::makeDefaultDecomposition(
+           ZtopoRelational::makeSpec()))});
+  Entries.push_back(
+      {"scheduler",
+       filesLoc({"src/baselines/SchedulerBaseline.cpp",
+                 "src/baselines/SchedulerBaseline.h"}),
+       filesLoc({"src/systems/SchedulerRelational.cpp",
+                 "src/systems/SchedulerRelational.h"}),
+       decompositionLoc(SchedulerRelational::makeDefaultDecomposition(
+           SchedulerRelational::makeSpec()))});
+
+  for (const Entry &E : Entries)
+    std::printf("%-10s %16zu %19zu %15zu\n", E.Name, E.Original, E.Synth,
+                E.Decomp);
+
+  std::printf("\n# shape check (paper): the synthesized module plus its "
+              "decomposition is comparable to or\n"
+              "# smaller than the hand-coded module, with the biggest "
+              "savings where the original\n"
+              "# open-codes its data structures (thttpd, ipcap).\n");
+  return 0;
+}

@@ -1,0 +1,70 @@
+//===- examples/ipcap_daemon.cpp - Network flow accounting -------------------===//
+//
+// Part of the RelC data representation synthesis library.
+//
+//===----------------------------------------------------------------------===//
+//
+// The IpCap scenario of Section 6.2: a network accounting daemon
+// counts bytes per (local, remote) flow, then periodically flushes the
+// accumulated statistics to a log. The flow table is a synthesized
+// relation flows(local, remote, in, out, packets); the decomposition —
+// btree(local) → hash(remote) → counters — is Fig. 13's best.
+//
+// Build & run:  ./build/examples/ipcap_daemon [num-packets]
+//
+//===----------------------------------------------------------------------===//
+
+#include "systems/IpcapRelational.h"
+#include "workloads/PacketTrace.h"
+
+#include <chrono>
+#include <cstdio>
+#include <cstdlib>
+
+using namespace relc;
+
+int main(int argc, char **argv) {
+  PacketTraceOptions Opts;
+  Opts.NumPackets = argc > 1 ? static_cast<size_t>(std::atoll(argv[1]))
+                             : 300000; // the paper's 3×10^5
+  std::vector<Packet> Trace = generatePacketTrace(Opts);
+  std::printf("replaying %zu packets (%u local hosts, %u remote hosts)\n",
+              Trace.size(), Opts.NumLocalHosts, Opts.NumRemoteHosts);
+
+  IpcapRelational Daemon;
+  size_t FlushedFlows = 0;
+  int64_t LoggedBytes = 0;
+
+  auto T0 = std::chrono::steady_clock::now();
+  size_t N = 0;
+  for (const Packet &P : Trace) {
+    Daemon.accountPacket(P.LocalHost, P.RemoteHost, P.Bytes, P.Outgoing);
+    // Every ~50k packets the daemon writes the accumulated flows out
+    // and starts over (the paper's periodic log pass).
+    if (++N % 50000 == 0) {
+      for (const FlowRecord &R : Daemon.flush()) {
+        ++FlushedFlows;
+        LoggedBytes += R.Stats.BytesIn + R.Stats.BytesOut;
+      }
+    }
+  }
+  for (const FlowRecord &R : Daemon.flush()) {
+    ++FlushedFlows;
+    LoggedBytes += R.Stats.BytesIn + R.Stats.BytesOut;
+  }
+  auto T1 = std::chrono::steady_clock::now();
+
+  std::printf("logged %zu flow records, %lld bytes total, in %.3fs\n",
+              FlushedFlows, static_cast<long long>(LoggedBytes),
+              std::chrono::duration<double>(T1 - T0).count());
+
+  // A point probe through the same relation.
+  Daemon.accountPacket(1, 2, 100, /*Outgoing=*/true);
+  Daemon.accountPacket(1, 2, 40, /*Outgoing=*/false);
+  if (const FlowStats *S = Daemon.flowOf(1, 2))
+    std::printf("flow (1, 2): in=%lld out=%lld packets=%lld\n",
+                static_cast<long long>(S->BytesIn),
+                static_cast<long long>(S->BytesOut),
+                static_cast<long long>(S->Packets));
+  return 0;
+}

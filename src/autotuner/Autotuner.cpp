@@ -1,0 +1,82 @@
+//===- autotuner/Autotuner.cpp - Benchmark-driven tuning ---------------------===//
+//
+// Part of the RelC data representation synthesis library.
+//
+//===----------------------------------------------------------------------===//
+
+#include "autotuner/Autotuner.h"
+
+#include <algorithm>
+#include <cassert>
+
+using namespace relc;
+
+namespace {
+
+/// Enumerates every assignment of palette kinds to edges (skipping
+/// kinds an edge cannot support) and keeps the cheapest.
+TunedDecomposition tuneStructure(const Decomposition &Structure,
+                                 const BenchmarkFn &Benchmark,
+                                 const AutotunerOptions &Opts) {
+  unsigned NumEdges = Structure.numEdges();
+  std::vector<std::vector<DsKind>> Choices(NumEdges);
+  for (unsigned E = 0; E != NumEdges; ++E) {
+    for (DsKind K : Opts.DsPalette)
+      if (edgeSupportsDs(Structure.edge(E), K))
+        Choices[E].push_back(K);
+    if (Choices[E].empty())
+      Choices[E].push_back(DsKind::HashTable);
+  }
+
+  TunedDecomposition Best{Structure, std::numeric_limits<double>::infinity(),
+                          true};
+  std::vector<DsKind> Assignment(NumEdges, DsKind::HashTable);
+
+  // Odometer over the per-edge choice lists.
+  std::vector<size_t> Idx(NumEdges, 0);
+  while (true) {
+    for (unsigned E = 0; E != NumEdges; ++E)
+      Assignment[E] = Choices[E][Idx[E]];
+    Decomposition Candidate = NumEdges == 0
+                                  ? Structure
+                                  : withDataStructures(Structure, Assignment);
+    double Cost = Benchmark(Candidate);
+    if (Cost < Best.Cost) {
+      Best.Cost = Cost;
+      Best.Decomp = std::move(Candidate);
+      Best.TimedOut = Cost > Opts.CostLimit;
+    }
+    // Advance the odometer.
+    unsigned E = 0;
+    for (; E != NumEdges; ++E) {
+      if (++Idx[E] < Choices[E].size())
+        break;
+      Idx[E] = 0;
+    }
+    if (E == NumEdges)
+      break;
+    if (NumEdges == 0)
+      break;
+  }
+  return Best;
+}
+
+} // namespace
+
+std::vector<TunedDecomposition> relc::autotune(const RelSpecRef &Spec,
+                                               BenchmarkFn Benchmark,
+                                               const AutotunerOptions &Opts) {
+  std::vector<Decomposition> Structures =
+      enumerateDecompositions(Spec, Opts.Enumerate);
+
+  std::vector<TunedDecomposition> Result;
+  Result.reserve(Structures.size());
+  for (const Decomposition &S : Structures)
+    Result.push_back(tuneStructure(S, Benchmark, Opts));
+
+  std::sort(Result.begin(), Result.end(),
+            [](const TunedDecomposition &A, const TunedDecomposition &B) {
+              return A.Cost < B.Cost;
+            });
+  return Result;
+}

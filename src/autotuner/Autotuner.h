@@ -1,0 +1,59 @@
+//===- autotuner/Autotuner.h - Benchmark-driven tuning ----------*- C++ -*-===//
+//
+// Part of the RelC data representation synthesis library.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The autotuner of Section 5: given a relational specification and a
+/// benchmark that maps a decomposition to a cost (elapsed time, memory,
+/// any metric), it exhaustively constructs all decompositions up to an
+/// edge bound, evaluates the benchmark on each, and returns them sorted
+/// by increasing cost. Structures isomorphic up to data structure
+/// choice are benchmarked across a caller-supplied palette of ψ and
+/// reported once with their best assignment (matching how Fig. 11
+/// aggregates).
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef RELC_AUTOTUNER_AUTOTUNER_H
+#define RELC_AUTOTUNER_AUTOTUNER_H
+
+#include "autotuner/Enumerator.h"
+
+#include <functional>
+#include <limits>
+#include <string>
+#include <vector>
+
+namespace relc {
+
+struct AutotunerOptions {
+  EnumeratorOptions Enumerate;
+  /// Data structures tried per edge (full cross product per structure).
+  /// With the default single-element palette each structure is run once.
+  std::vector<DsKind> DsPalette = {DsKind::HashTable};
+  /// Benchmarks whose cost exceeds this are recorded as timeouts
+  /// (Fig. 11 elides decompositions that exceeded its 8s limit).
+  double CostLimit = std::numeric_limits<double>::infinity();
+};
+
+struct TunedDecomposition {
+  Decomposition Decomp; ///< Best ds assignment for this structure.
+  double Cost;          ///< Benchmark cost of that assignment.
+  bool TimedOut;        ///< True if every assignment exceeded CostLimit.
+};
+
+/// The benchmark callback: run the workload against \p D and return its
+/// cost; return +inf to report failure/timeout.
+using BenchmarkFn = std::function<double(const Decomposition &D)>;
+
+/// Runs the autotuner. \returns one entry per decomposition structure,
+/// sorted by increasing cost (timeouts last).
+std::vector<TunedDecomposition> autotune(const RelSpecRef &Spec,
+                                         BenchmarkFn Benchmark,
+                                         const AutotunerOptions &Opts);
+
+} // namespace relc
+
+#endif // RELC_AUTOTUNER_AUTOTUNER_H

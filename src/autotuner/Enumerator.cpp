@@ -1,0 +1,406 @@
+//===- autotuner/Enumerator.cpp - Decomposition enumeration ------------------===//
+//
+// Part of the RelC data representation synthesis library.
+//
+//===----------------------------------------------------------------------===//
+
+#include "autotuner/Enumerator.h"
+
+#include "decomp/Adequacy.h"
+#include "decomp/Builder.h"
+
+#include <algorithm>
+#include <cassert>
+#include <map>
+#include <memory>
+#include <set>
+#include <unordered_map>
+
+using namespace relc;
+
+namespace {
+
+/// Lightweight mutable tree/DAG used during enumeration; converted to a
+/// Decomposition at the end. A node's primitive is the left-nested join
+/// of (optional unit) + maps.
+struct Proto {
+  ColumnSet Bound;
+  bool HasUnit = false;
+  ColumnSet UnitCols;
+  std::vector<std::pair<ColumnSet, std::shared_ptr<Proto>>> Maps;
+};
+
+using ProtoRef = std::shared_ptr<Proto>;
+
+unsigned countEdges(const ProtoRef &N,
+                    std::set<const Proto *> &Seen) {
+  if (!Seen.insert(N.get()).second)
+    return 0;
+  unsigned Count = 0;
+  for (const auto &[K, Child] : N->Maps)
+    Count += 1 + countEdges(Child, Seen);
+  return Count;
+}
+
+unsigned countEdges(const ProtoRef &N) {
+  std::set<const Proto *> Seen;
+  return countEdges(N, Seen);
+}
+
+/// Shape string ignoring bound sets (merge candidates must have equal
+/// shapes); pointer-shared subtrees render identically, which is what
+/// merging needs.
+std::string shapeOf(const Proto *N) {
+  std::string Out = "[";
+  if (N->HasUnit) {
+    Out += "u";
+    Out += std::to_string(N->UnitCols.mask());
+  }
+  for (const auto &[K, Child] : N->Maps) {
+    Out += "m";
+    Out += std::to_string(K.mask());
+    Out += shapeOf(Child.get());
+  }
+  Out += "]";
+  return Out;
+}
+
+/// Deep-copies a proto DAG preserving sharing.
+ProtoRef cloneProto(const ProtoRef &N,
+                    std::map<const Proto *, ProtoRef> &Copies) {
+  auto It = Copies.find(N.get());
+  if (It != Copies.end())
+    return It->second;
+  auto Copy = std::make_shared<Proto>();
+  Copy->Bound = N->Bound;
+  Copy->HasUnit = N->HasUnit;
+  Copy->UnitCols = N->UnitCols;
+  Copies.emplace(N.get(), Copy);
+  for (const auto &[K, Child] : N->Maps)
+    Copy->Maps.emplace_back(K, cloneProto(Child, Copies));
+  return Copy;
+}
+
+/// Recursively merges \p B into \p A (equal shapes assumed): bound
+/// sets union at every level. \returns the merged node (\p A mutated).
+ProtoRef mergeProto(const ProtoRef &A, const ProtoRef &B) {
+  assert(A->Maps.size() == B->Maps.size() && "merge of unequal shapes");
+  A->Bound = A->Bound.unionWith(B->Bound);
+  for (size_t I = 0; I != A->Maps.size(); ++I) {
+    if (A->Maps[I].second == B->Maps[I].second)
+      continue; // already shared below
+    A->Maps[I].second = mergeProto(A->Maps[I].second, B->Maps[I].second);
+  }
+  return A;
+}
+
+class Enumerator {
+public:
+  Enumerator(const RelSpecRef &Spec, const EnumeratorOptions &Opts)
+      : Spec(Spec), Opts(Opts), Fds(Spec->fds()) {}
+
+  std::vector<Decomposition> run() {
+    std::vector<Decomposition> Result;
+    std::set<std::string> Seen;
+
+    // Phase 1: tree-shaped decompositions.
+    std::vector<ProtoRef> Trees;
+    for (auto &[Root, Edges] :
+         genNode(ColumnSet(), Spec->columns(), Opts.MaxEdges))
+      Trees.push_back(Root);
+
+    // Phase 2: sharing variants, to fixpoint.
+    std::vector<ProtoRef> Work = Trees;
+    std::set<std::string> WorkSeen;
+    for (const ProtoRef &T : Work)
+      WorkSeen.insert(shapeAndBounds(T));
+    for (size_t I = 0; I != Work.size() && Work.size() < Opts.MaxResults;
+         ++I) {
+      if (!Opts.EnableSharing)
+        break;
+      for (ProtoRef &Variant : shareVariants(Work[I]))
+        if (WorkSeen.insert(shapeAndBounds(Variant)).second)
+          Work.push_back(Variant);
+    }
+
+    // Phase 3: convert, adequacy-filter, deduplicate canonically.
+    for (const ProtoRef &Root : Work) {
+      Decomposition D = toDecomposition(Root);
+      if (!checkAdequacy(D).Ok)
+        continue;
+      if (!Seen.insert(D.canonicalString(/*IncludeDs=*/false)).second)
+        continue;
+      Result.push_back(std::move(D));
+      if (Result.size() >= Opts.MaxResults)
+        break;
+    }
+    return Result;
+  }
+
+private:
+  /// All subsets of \p S (as masks), including ∅ and S itself.
+  static std::vector<ColumnSet> subsetsOf(ColumnSet S) {
+    std::vector<ColumnSet> Result;
+    uint64_t M = S.mask();
+    uint64_t Sub = 0;
+    while (true) {
+      Result.push_back(ColumnSet::fromMask(Sub));
+      if (Sub == M)
+        break;
+      Sub = (Sub - M) & M; // next subset trick
+    }
+    return Result;
+  }
+
+  /// Enumerates nodes with bound columns \p A representing exactly
+  /// \p R using at most \p Budget edges. Returns (node, edges-used).
+  std::vector<std::pair<ProtoRef, unsigned>>
+  genNode(ColumnSet A, ColumnSet R, unsigned Budget) {
+    auto Key = std::make_tuple(A.mask(), R.mask(), Budget);
+    auto It = Memo.find(Key);
+    if (It != Memo.end())
+      return It->second;
+
+    std::vector<std::pair<ProtoRef, unsigned>> Result;
+
+    // Unit node (AUNIT: A ≠ ∅ and A → R). R may be empty (pure set
+    // membership, e.g. a nodes(id) relation).
+    if (!A.empty() && Fds.implies(A, R)) {
+      auto N = std::make_shared<Proto>();
+      N->Bound = A;
+      N->HasUnit = true;
+      N->UnitCols = R;
+      Result.emplace_back(std::move(N), 0);
+    }
+
+    // Map-join nodes: a multiset of 1..MaxJoinWidth maps whose
+    // coverages union to R.
+    if (!R.empty() && Budget > 0) {
+      // Candidate single maps per coverage S ⊆ R, each paired with its
+      // edge count.
+      std::vector<std::tuple<ColumnSet, ColumnSet, ProtoRef, unsigned>>
+          Cands; // (coverage, key, child, edges)
+      for (ColumnSet S : subsetsOf(R)) {
+        if (S.empty())
+          continue;
+        for (ColumnSet K : subsetsOf(S)) {
+          if (K.empty())
+            continue;
+          for (auto &[Child, E] :
+               genNode(A.unionWith(K), S.minus(K), Budget - 1))
+            Cands.emplace_back(S, K, Child, 1 + E);
+        }
+      }
+      // Choose multisets (indices non-decreasing avoids permutations).
+      std::vector<unsigned> Chosen;
+      chooseMaps(Cands, 0, A, R, ColumnSet(), 0, Budget, Chosen, Result);
+    }
+
+    Memo.emplace(Key, Result);
+    return Result;
+  }
+
+  void chooseMaps(
+      const std::vector<std::tuple<ColumnSet, ColumnSet, ProtoRef, unsigned>>
+          &Cands,
+      size_t From, ColumnSet A, ColumnSet R, ColumnSet Covered,
+      unsigned EdgesUsed, unsigned Budget, std::vector<unsigned> &Chosen,
+      std::vector<std::pair<ProtoRef, unsigned>> &Result) {
+    if (!Chosen.empty() && Covered == R) {
+      // Materialize one node from the chosen maps. Children are cloned
+      // so later sharing surgery on one candidate cannot alias another.
+      auto N = std::make_shared<Proto>();
+      N->Bound = A;
+      for (unsigned I : Chosen) {
+        std::map<const Proto *, ProtoRef> Copies;
+        N->Maps.emplace_back(std::get<1>(Cands[I]),
+                             cloneProto(std::get<2>(Cands[I]), Copies));
+      }
+      Result.emplace_back(std::move(N), EdgesUsed);
+    }
+    if (Chosen.size() >= Opts.MaxJoinWidth)
+      return;
+    for (size_t I = From; I != Cands.size(); ++I) {
+      unsigned E = std::get<3>(Cands[I]);
+      if (EdgesUsed + E > Budget)
+        continue;
+      // Two literally identical maps in one join duplicate a data
+      // structure to no effect; skip.
+      bool Duplicate = false;
+      for (unsigned C : Chosen)
+        if (std::get<0>(Cands[C]) == std::get<0>(Cands[I]) &&
+            std::get<1>(Cands[C]) == std::get<1>(Cands[I]) &&
+            std::get<2>(Cands[C]) == std::get<2>(Cands[I])) {
+          Duplicate = true;
+          break;
+        }
+      if (Duplicate)
+        continue;
+      Chosen.push_back(static_cast<unsigned>(I));
+      chooseMaps(Cands, I + 1, A, R, Covered.unionWith(std::get<0>(Cands[I])),
+                 EdgesUsed + E, Budget, Chosen, Result);
+      Chosen.pop_back();
+    }
+  }
+
+  /// All one-step sharing variants of \p Root: for every pair of
+  /// distinct equal-shaped subtrees, a copy with the pair merged.
+  std::vector<ProtoRef> shareVariants(const ProtoRef &Root) {
+    std::vector<ProtoRef> Result;
+    // Collect distinct nodes in DFS order.
+    std::vector<const Proto *> Nodes;
+    collectNodes(Root.get(), Nodes);
+    for (size_t I = 0; I != Nodes.size(); ++I)
+      for (size_t J = I + 1; J != Nodes.size(); ++J) {
+        if (Nodes[I] == Nodes[J])
+          continue;
+        if (shapeOf(Nodes[I]) != shapeOf(Nodes[J]))
+          continue;
+        // Clone the whole DAG, then merge the copies of I and J.
+        std::map<const Proto *, ProtoRef> Copies;
+        ProtoRef NewRoot = cloneProto(Root, Copies);
+        ProtoRef CI = Copies[Nodes[I]];
+        ProtoRef CJ = Copies[Nodes[J]];
+        if (!CI || !CJ || CI == CJ)
+          continue;
+        ProtoRef Merged = mergeProto(CI, CJ);
+        redirect(NewRoot.get(), CJ.get(), Merged);
+        Result.push_back(NewRoot);
+      }
+    return Result;
+  }
+
+  static void collectNodes(const Proto *N, std::vector<const Proto *> &Out) {
+    if (std::find(Out.begin(), Out.end(), N) != Out.end())
+      return;
+    Out.push_back(N);
+    for (const auto &[K, Child] : N->Maps)
+      collectNodes(Child.get(), Out);
+  }
+
+  /// Rewrites every edge targeting \p OldChild to target \p NewChild.
+  static void redirect(Proto *N, const Proto *OldChild, ProtoRef NewChild) {
+    for (auto &[K, Child] : N->Maps) {
+      if (Child.get() == OldChild)
+        Child = NewChild;
+      redirect(Child.get(), OldChild, NewChild);
+    }
+  }
+
+  /// Identity string incl. bounds, for the worklist dedup.
+  static std::string shapeAndBounds(const ProtoRef &Root) {
+    std::map<const Proto *, unsigned> Ids;
+    std::string Out;
+    render(Root.get(), Ids, Out);
+    return Out;
+  }
+
+  static void render(const Proto *N, std::map<const Proto *, unsigned> &Ids,
+                     std::string &Out) {
+    auto It = Ids.find(N);
+    if (It != Ids.end()) {
+      Out += "^" + std::to_string(It->second);
+      return;
+    }
+    unsigned Id = static_cast<unsigned>(Ids.size());
+    Ids.emplace(N, Id);
+    Out += "(#" + std::to_string(Id) + "b" + std::to_string(N->Bound.mask());
+    if (N->HasUnit)
+      Out += "u" + std::to_string(N->UnitCols.mask());
+    for (const auto &[K, Child] : N->Maps) {
+      Out += "m" + std::to_string(K.mask());
+      render(Child.get(), Ids, Out);
+    }
+    Out += ")";
+  }
+
+  /// Converts a proto DAG to a Decomposition (children first, root
+  /// last, sharing preserved via pointer identity).
+  Decomposition toDecomposition(const ProtoRef &Root) {
+    DecompBuilder B(Spec);
+    std::map<const Proto *, NodeId> Ids;
+    NodeId RootId = emit(B, Root, Ids);
+    (void)RootId;
+    return B.build();
+  }
+
+  NodeId emit(DecompBuilder &B, const ProtoRef &N,
+              std::map<const Proto *, NodeId> &Ids) {
+    auto It = Ids.find(N.get());
+    if (It != Ids.end())
+      return It->second;
+    // Children first (let order).
+    std::vector<PrimExpr> Parts;
+    if (N->HasUnit)
+      Parts.push_back(B.unit(N->UnitCols));
+    for (const auto &[K, Child] : N->Maps) {
+      NodeId ChildId = emit(B, Child, Ids);
+      Parts.push_back(B.map(K, Opts.DefaultDs, ChildId));
+    }
+    assert(!Parts.empty() && "proto node with no primitive");
+    PrimExpr P = Parts[0];
+    for (size_t I = 1; I != Parts.size(); ++I)
+      P = B.join(P, Parts[I]);
+    NodeId Id = B.addNode("n" + std::to_string(Ids.size()), N->Bound,
+                          std::move(P));
+    Ids.emplace(N.get(), Id);
+    return Id;
+  }
+
+  RelSpecRef Spec;
+  EnumeratorOptions Opts;
+  const FuncDeps &Fds;
+  std::map<std::tuple<uint64_t, uint64_t, unsigned>,
+           std::vector<std::pair<ProtoRef, unsigned>>>
+      Memo;
+};
+
+} // namespace
+
+std::vector<Decomposition>
+relc::enumerateDecompositions(const RelSpecRef &Spec,
+                              const EnumeratorOptions &Opts) {
+  return Enumerator(Spec, Opts).run();
+}
+
+bool relc::edgeSupportsDs(const MapEdge &Edge, DsKind Kind) {
+  if (dsRequiresDenseIntKey(Kind))
+    return Edge.KeyCols.size() == 1;
+  return true;
+}
+
+Decomposition relc::withDataStructures(const Decomposition &D,
+                                       const std::vector<DsKind> &Kinds) {
+  assert(Kinds.size() == D.numEdges() &&
+         "one data structure kind per map edge");
+  DecompBuilder B(D.spec());
+
+  // Replay nodes in let order; node ids are preserved because builders
+  // assign ids densely in insertion order.
+  struct Replayer {
+    const Decomposition &D;
+    const std::vector<DsKind> &Kinds;
+    DecompBuilder &B;
+
+    PrimExpr replay(PrimId Id) {
+      const PrimNode &P = D.prim(Id);
+      switch (P.Kind) {
+      case PrimKind::Unit:
+        return B.unit(P.Cols);
+      case PrimKind::Map:
+        return B.map(P.Cols, Kinds[P.Edge], P.Target);
+      case PrimKind::Join:
+        return B.join(replay(P.Left), replay(P.Right));
+      }
+      assert(false && "unknown PrimKind");
+      return PrimExpr();
+    }
+  } R{D, Kinds, B};
+
+  for (NodeId Id = 0; Id != D.numNodes(); ++Id) {
+    [[maybe_unused]] NodeId NewId =
+        B.addNode(D.node(Id).Name, D.node(Id).Bound, R.replay(D.node(Id).Prim));
+    assert(NewId == Id && "replayed node ids must be stable");
+  }
+  return B.build();
+}

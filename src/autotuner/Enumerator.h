@@ -1,0 +1,66 @@
+//===- autotuner/Enumerator.h - Decomposition enumeration -------*- C++ -*-===//
+//
+// Part of the RelC data representation synthesis library.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Exhaustive enumeration of adequate decompositions up to a bound on
+/// the number of map edges (the autotuner's search space, Section 5).
+///
+/// The enumerator generates, for each node with bound columns A and
+/// residual columns R:
+///  - a unit holding all of R (when ∆ ⊢ A → R and A ≠ ∅);
+///  - joins of up to MaxJoinWidth map primitives whose coverages
+///    union to R, each map choosing a non-empty key set K and a
+///    recursively enumerated child for its remaining coverage;
+/// and then derives *sharing* variants by merging structurally
+/// identical subtrees reachable over different paths (bound sets are
+/// unioned, Fig. 12's decomposition 5 vs 9). Every candidate is
+/// adequacy-checked (Fig. 6) and deduplicated by canonical form, with
+/// structures isomorphic up to the choice of data structures counted
+/// once (as in Section 6.1).
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef RELC_AUTOTUNER_ENUMERATOR_H
+#define RELC_AUTOTUNER_ENUMERATOR_H
+
+#include "decomp/Decomposition.h"
+
+#include <vector>
+
+namespace relc {
+
+struct EnumeratorOptions {
+  /// Maximum number of map edges per decomposition.
+  unsigned MaxEdges = 4;
+  /// Maximum number of primitives joined at one node.
+  unsigned MaxJoinWidth = 3;
+  /// Also generate shared-subtree variants.
+  bool EnableSharing = true;
+  /// Data structure assigned to every edge of the returned structures
+  /// (re-assign with withDataStructures for concrete candidates).
+  DsKind DefaultDs = DsKind::HashTable;
+  /// Hard cap on the result count (safety valve for wide schemas).
+  size_t MaxResults = 100000;
+};
+
+/// All adequate decomposition structures for \p Spec within the bounds.
+std::vector<Decomposition>
+enumerateDecompositions(const RelSpecRef &Spec,
+                        const EnumeratorOptions &Opts = EnumeratorOptions());
+
+/// Rebuilds \p D with \p Kinds[e] as the data structure of edge e.
+/// Edges whose key is not a single integer-like column reject
+/// DsKind::Vector — the caller filters with edgeSupportsDs.
+Decomposition withDataStructures(const Decomposition &D,
+                                 const std::vector<DsKind> &Kinds);
+
+/// True if \p Kind is usable on \p Edge (vectors need single-column
+/// keys).
+bool edgeSupportsDs(const MapEdge &Edge, DsKind Kind);
+
+} // namespace relc
+
+#endif // RELC_AUTOTUNER_ENUMERATOR_H

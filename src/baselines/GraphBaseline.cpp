@@ -1,0 +1,72 @@
+//===- baselines/GraphBaseline.cpp - Hand-coded edge relation ----------------===//
+//
+// Part of the RelC data representation synthesis library.
+//
+//===----------------------------------------------------------------------===//
+
+#include "baselines/GraphBaseline.h"
+
+#include <algorithm>
+
+using namespace relc;
+
+bool GraphBaseline::addEdge(int64_t Src, int64_t Dst, int64_t Weight) {
+  auto &Out = Fwd[Src];
+  for (const auto &[N, W] : Out)
+    if (N == Dst)
+      return false;
+  Out.emplace_back(Dst, Weight);
+  Bwd[Dst].emplace_back(Src, Weight);
+  ++Count;
+  return true;
+}
+
+static bool eraseFrom(std::vector<std::pair<int64_t, int64_t>> &List,
+                      int64_t Node) {
+  for (auto &Entry : List) {
+    if (Entry.first != Node)
+      continue;
+    Entry = List.back();
+    List.pop_back();
+    return true;
+  }
+  return false;
+}
+
+bool GraphBaseline::removeEdge(int64_t Src, int64_t Dst) {
+  auto It = Fwd.find(Src);
+  if (It == Fwd.end() || !eraseFrom(It->second, Dst))
+    return false;
+  if (It->second.empty())
+    Fwd.erase(It);
+  auto Bt = Bwd.find(Dst);
+  if (Bt != Bwd.end()) {
+    eraseFrom(Bt->second, Src);
+    if (Bt->second.empty())
+      Bwd.erase(Bt);
+  }
+  --Count;
+  return true;
+}
+
+int64_t GraphBaseline::weightOf(int64_t Src, int64_t Dst) const {
+  auto It = Fwd.find(Src);
+  if (It == Fwd.end())
+    return -1;
+  for (const auto &[N, W] : It->second)
+    if (N == Dst)
+      return W;
+  return -1;
+}
+
+const std::vector<std::pair<int64_t, int64_t>> *
+GraphBaseline::successors(int64_t Src) const {
+  auto It = Fwd.find(Src);
+  return It == Fwd.end() ? nullptr : &It->second;
+}
+
+const std::vector<std::pair<int64_t, int64_t>> *
+GraphBaseline::predecessors(int64_t Dst) const {
+  auto It = Bwd.find(Dst);
+  return It == Bwd.end() ? nullptr : &It->second;
+}

@@ -1,0 +1,51 @@
+//===- baselines/GraphBaseline.h - Hand-coded edge relation -----*- C++ -*-===//
+//
+// Part of the RelC data representation synthesis library.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// A hand-coded directed weighted graph for the Section 6.1 benchmark:
+/// forward and backward adjacency hash maps, kept consistent manually.
+/// This is the comparison point for the autotuned edge relation.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef RELC_BASELINES_GRAPHBASELINE_H
+#define RELC_BASELINES_GRAPHBASELINE_H
+
+#include <cstddef>
+#include <cstdint>
+#include <unordered_map>
+#include <vector>
+
+namespace relc {
+
+class GraphBaseline {
+public:
+  /// Adds edge (src, dst, weight); returns false if it already exists.
+  bool addEdge(int64_t Src, int64_t Dst, int64_t Weight);
+
+  /// Removes the edge; returns false if absent.
+  bool removeEdge(int64_t Src, int64_t Dst);
+
+  /// \returns the weight or -1 if absent.
+  int64_t weightOf(int64_t Src, int64_t Dst) const;
+
+  const std::vector<std::pair<int64_t, int64_t>> *
+  successors(int64_t Src) const;
+  const std::vector<std::pair<int64_t, int64_t>> *
+  predecessors(int64_t Dst) const;
+
+  size_t numEdges() const { return Count; }
+
+private:
+  // node -> list of (neighbor, weight). Removal compacts by swap-pop.
+  std::unordered_map<int64_t, std::vector<std::pair<int64_t, int64_t>>> Fwd;
+  std::unordered_map<int64_t, std::vector<std::pair<int64_t, int64_t>>> Bwd;
+  size_t Count = 0;
+};
+
+} // namespace relc
+
+#endif // RELC_BASELINES_GRAPHBASELINE_H

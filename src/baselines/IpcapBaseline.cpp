@@ -1,0 +1,42 @@
+//===- baselines/IpcapBaseline.cpp - Hand-coded flow accounting --------------===//
+//
+// Part of the RelC data representation synthesis library.
+//
+//===----------------------------------------------------------------------===//
+
+#include "baselines/IpcapBaseline.h"
+
+using namespace relc;
+
+void IpcapBaseline::accountPacket(int64_t Local, int64_t Remote,
+                                  int64_t Bytes, bool Outgoing) {
+  auto &PerRemote = Flows[Local];
+  auto [It, Fresh] = PerRemote.try_emplace(Remote);
+  if (Fresh)
+    ++Count;
+  FlowStats &S = It->second;
+  if (Outgoing)
+    S.BytesOut += Bytes;
+  else
+    S.BytesIn += Bytes;
+  ++S.Packets;
+}
+
+const FlowStats *IpcapBaseline::flowOf(int64_t Local, int64_t Remote) const {
+  auto It = Flows.find(Local);
+  if (It == Flows.end())
+    return nullptr;
+  auto Ft = It->second.find(Remote);
+  return Ft == It->second.end() ? nullptr : &Ft->second;
+}
+
+std::vector<FlowRecord> IpcapBaseline::flush() {
+  std::vector<FlowRecord> Result;
+  Result.reserve(Count);
+  for (const auto &[Local, PerRemote] : Flows)
+    for (const auto &[Remote, Stats] : PerRemote)
+      Result.push_back({Local, Remote, Stats});
+  Flows.clear();
+  Count = 0;
+  return Result;
+}

@@ -1,0 +1,158 @@
+//===- baselines/SchedulerBaseline.cpp - Hand-coded scheduler ----------------===//
+//
+// Part of the RelC data representation synthesis library.
+//
+//===----------------------------------------------------------------------===//
+
+#include "baselines/SchedulerBaseline.h"
+
+#include "support/Hashing.h"
+
+#include <cassert>
+
+using namespace relc;
+
+struct SchedulerBaseline::Proc {
+  int64_t Ns;
+  int64_t Pid;
+  ProcState State;
+  int64_t Cpu;
+  Proc *HashNext; // hash chain
+  Proc *ListPrev; // state list links (intrusive)
+  Proc *ListNext;
+};
+
+SchedulerBaseline::SchedulerBaseline() : Buckets(64, nullptr) {}
+
+SchedulerBaseline::~SchedulerBaseline() {
+  for (Proc *Head : Buckets)
+    while (Head) {
+      Proc *Next = Head->HashNext;
+      delete Head;
+      Head = Next;
+    }
+}
+
+static size_t bucketHash(int64_t Ns, int64_t Pid) {
+  return hashMix64(static_cast<uint64_t>(Ns) * 0x9e3779b97f4a7c15ULL +
+                   static_cast<uint64_t>(Pid));
+}
+
+SchedulerBaseline::Proc *SchedulerBaseline::find(int64_t Ns,
+                                                 int64_t Pid) const {
+  size_t B = bucketHash(Ns, Pid) & (Buckets.size() - 1);
+  for (Proc *P = Buckets[B]; P; P = P->HashNext)
+    if (P->Ns == Ns && P->Pid == Pid)
+      return P;
+  return nullptr;
+}
+
+void SchedulerBaseline::rehashIfNeeded() {
+  if (Count <= Buckets.size())
+    return;
+  std::vector<Proc *> Old = std::move(Buckets);
+  Buckets.assign(Old.size() * 2, nullptr);
+  for (Proc *Head : Old)
+    while (Head) {
+      Proc *Next = Head->HashNext;
+      size_t B = bucketHash(Head->Ns, Head->Pid) & (Buckets.size() - 1);
+      Head->HashNext = Buckets[B];
+      Buckets[B] = Head;
+      Head = Next;
+    }
+}
+
+void SchedulerBaseline::listInsert(Proc *P) {
+  Proc *&Head = StateHead[static_cast<int>(P->State)];
+  P->ListPrev = nullptr;
+  P->ListNext = Head;
+  if (Head)
+    Head->ListPrev = P;
+  Head = P;
+}
+
+void SchedulerBaseline::listRemove(Proc *P) {
+  if (P->ListPrev)
+    P->ListPrev->ListNext = P->ListNext;
+  else {
+    assert(StateHead[static_cast<int>(P->State)] == P &&
+           "state list corrupted");
+    StateHead[static_cast<int>(P->State)] = P->ListNext;
+  }
+  if (P->ListNext)
+    P->ListNext->ListPrev = P->ListPrev;
+  P->ListPrev = P->ListNext = nullptr;
+}
+
+bool SchedulerBaseline::addProcess(int64_t Ns, int64_t Pid, ProcState State,
+                                   int64_t Cpu) {
+  if (find(Ns, Pid))
+    return false;
+  ++Count;
+  rehashIfNeeded();
+  Proc *P = new Proc{Ns, Pid, State, Cpu, nullptr, nullptr, nullptr};
+  size_t B = bucketHash(Ns, Pid) & (Buckets.size() - 1);
+  P->HashNext = Buckets[B];
+  Buckets[B] = P;
+  // The invariant the paper calls out: every process must also appear
+  // on exactly one state list. Forgetting this line is the classic bug.
+  listInsert(P);
+  return true;
+}
+
+bool SchedulerBaseline::removeProcess(int64_t Ns, int64_t Pid) {
+  size_t B = bucketHash(Ns, Pid) & (Buckets.size() - 1);
+  for (Proc **Link = &Buckets[B]; *Link; Link = &(*Link)->HashNext) {
+    Proc *P = *Link;
+    if (P->Ns != Ns || P->Pid != Pid)
+      continue;
+    *Link = P->HashNext;
+    listRemove(P); // ...and must leave its state list, too.
+    delete P;
+    --Count;
+    return true;
+  }
+  return false;
+}
+
+bool SchedulerBaseline::setState(int64_t Ns, int64_t Pid, ProcState State) {
+  Proc *P = find(Ns, Pid);
+  if (!P)
+    return false;
+  if (P->State == State)
+    return true;
+  listRemove(P);
+  P->State = State;
+  listInsert(P);
+  return true;
+}
+
+bool SchedulerBaseline::chargeCpu(int64_t Ns, int64_t Pid, int64_t Delta) {
+  Proc *P = find(Ns, Pid);
+  if (!P)
+    return false;
+  P->Cpu += Delta;
+  return true;
+}
+
+int64_t SchedulerBaseline::cpuOf(int64_t Ns, int64_t Pid) const {
+  Proc *P = find(Ns, Pid);
+  return P ? P->Cpu : -1;
+}
+
+std::vector<std::pair<int64_t, int64_t>>
+SchedulerBaseline::processesIn(ProcState State) const {
+  std::vector<std::pair<int64_t, int64_t>> Result;
+  for (Proc *P = StateHead[static_cast<int>(State)]; P; P = P->ListNext)
+    Result.emplace_back(P->Ns, P->Pid);
+  return Result;
+}
+
+std::vector<int64_t> SchedulerBaseline::pidsInNamespace(int64_t Ns) const {
+  std::vector<int64_t> Result;
+  for (Proc *Head : Buckets)
+    for (Proc *P = Head; P; P = P->HashNext)
+      if (P->Ns == Ns)
+        Result.push_back(P->Pid);
+  return Result;
+}

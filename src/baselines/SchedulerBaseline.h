@@ -1,0 +1,74 @@
+//===- baselines/SchedulerBaseline.h - Hand-coded scheduler -----*- C++ -*-===//
+//
+// Part of the RelC data representation synthesis library.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The hand-coded process scheduler data structure from the paper's
+/// introduction: processes live in a hash table indexed by (ns, pid)
+/// *and* on exactly one of two doubly-linked state lists (running /
+/// sleeping), with the links embedded in the process record — the
+/// overlapping-structure invariants the paper motivates are maintained
+/// manually here, by every operation. Compare SchedulerRelational,
+/// where RelC maintains them by construction.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef RELC_BASELINES_SCHEDULERBASELINE_H
+#define RELC_BASELINES_SCHEDULERBASELINE_H
+
+#include <cstddef>
+#include <cstdint>
+#include <vector>
+
+namespace relc {
+
+enum class ProcState : int64_t { Sleeping = 0, Running = 1 };
+
+class SchedulerBaseline {
+public:
+  SchedulerBaseline();
+  ~SchedulerBaseline();
+  SchedulerBaseline(const SchedulerBaseline &) = delete;
+  SchedulerBaseline &operator=(const SchedulerBaseline &) = delete;
+
+  /// Creates the process; returns false if (ns, pid) already exists.
+  bool addProcess(int64_t Ns, int64_t Pid, ProcState State, int64_t Cpu);
+
+  /// Removes the process; returns false if absent.
+  bool removeProcess(int64_t Ns, int64_t Pid);
+
+  /// Moves the process between state lists; returns false if absent.
+  bool setState(int64_t Ns, int64_t Pid, ProcState State);
+
+  /// Adds to the process's cpu counter; returns false if absent.
+  bool chargeCpu(int64_t Ns, int64_t Pid, int64_t Delta);
+
+  /// \returns the cpu counter, or -1 if absent.
+  int64_t cpuOf(int64_t Ns, int64_t Pid) const;
+
+  /// All (ns, pid) pairs in \p State, in list order.
+  std::vector<std::pair<int64_t, int64_t>> processesIn(ProcState State) const;
+
+  /// All pids in namespace \p Ns (scans the hash table).
+  std::vector<int64_t> pidsInNamespace(int64_t Ns) const;
+
+  size_t size() const { return Count; }
+
+private:
+  struct Proc;
+
+  void listInsert(Proc *P);
+  void listRemove(Proc *P);
+  Proc *find(int64_t Ns, int64_t Pid) const;
+  void rehashIfNeeded();
+
+  std::vector<Proc *> Buckets;
+  Proc *StateHead[2] = {nullptr, nullptr};
+  size_t Count = 0;
+};
+
+} // namespace relc
+
+#endif // RELC_BASELINES_SCHEDULERBASELINE_H

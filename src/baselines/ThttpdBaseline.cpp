@@ -1,0 +1,48 @@
+//===- baselines/ThttpdBaseline.cpp - Hand-coded mmap cache ------------------===//
+//
+// Part of the RelC data representation synthesis library.
+//
+//===----------------------------------------------------------------------===//
+
+#include "baselines/ThttpdBaseline.h"
+
+using namespace relc;
+
+int64_t ThttpdBaseline::mapFile(int64_t FileId, int64_t Size, int64_t Now) {
+  auto [It, Fresh] = Entries.try_emplace(FileId);
+  Entry &E = It->second;
+  if (Fresh) {
+    E.Addr = NextAddr;
+    NextAddr += Size;
+    E.Size = Size;
+    E.RefCount = 0;
+    TotalBytes += Size;
+  }
+  ++E.RefCount;
+  E.LastUse = Now;
+  return E.Addr;
+}
+
+void ThttpdBaseline::unmapFile(int64_t FileId, int64_t Now) {
+  auto It = Entries.find(FileId);
+  if (It == Entries.end())
+    return;
+  if (It->second.RefCount > 0)
+    --It->second.RefCount;
+  It->second.LastUse = Now;
+}
+
+size_t ThttpdBaseline::cleanup(int64_t Now, int64_t TtlSeconds) {
+  size_t Evicted = 0;
+  for (auto It = Entries.begin(); It != Entries.end();) {
+    const Entry &E = It->second;
+    if (E.RefCount == 0 && Now - E.LastUse > TtlSeconds) {
+      TotalBytes -= E.Size;
+      It = Entries.erase(It);
+      ++Evicted;
+    } else {
+      ++It;
+    }
+  }
+  return Evicted;
+}

@@ -1,0 +1,56 @@
+//===- baselines/ThttpdBaseline.h - Hand-coded mmap cache -------*- C++ -*-===//
+//
+// Part of the RelC data representation synthesis library.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Hand-coded equivalent of thttpd's mmc module (Section 6.2): a cache
+/// of mmap()ed files keyed by file id, with reference counts and a
+/// periodic cleanup pass that unmaps entries unreferenced and idle past
+/// a TTL. The real module's hash table + freelist bookkeeping is
+/// reproduced; the mmap() itself is simulated by a byte count.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef RELC_BASELINES_THTTPDBASELINE_H
+#define RELC_BASELINES_THTTPDBASELINE_H
+
+#include <cstddef>
+#include <cstdint>
+#include <unordered_map>
+
+namespace relc {
+
+class ThttpdBaseline {
+public:
+  /// Maps the file for a request (reusing a cached mapping when
+  /// possible) and returns its simulated address; bumps the refcount.
+  int64_t mapFile(int64_t FileId, int64_t Size, int64_t Now);
+
+  /// Releases one reference (the request finished).
+  void unmapFile(int64_t FileId, int64_t Now);
+
+  /// Unmaps entries with refcount 0 idle longer than \p TtlSeconds;
+  /// returns how many were evicted.
+  size_t cleanup(int64_t Now, int64_t TtlSeconds);
+
+  size_t numMapped() const { return Entries.size(); }
+  int64_t mappedBytes() const { return TotalBytes; }
+
+private:
+  struct Entry {
+    int64_t Addr;
+    int64_t Size;
+    int64_t RefCount;
+    int64_t LastUse;
+  };
+
+  std::unordered_map<int64_t, Entry> Entries;
+  int64_t TotalBytes = 0;
+  int64_t NextAddr = 0x10000;
+};
+
+} // namespace relc
+
+#endif // RELC_BASELINES_THTTPDBASELINE_H

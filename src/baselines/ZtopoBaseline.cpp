@@ -1,0 +1,92 @@
+//===- baselines/ZtopoBaseline.cpp - Hand-coded tile cache --------------------===//
+//
+// Part of the RelC data representation synthesis library.
+//
+//===----------------------------------------------------------------------===//
+
+#include "baselines/ZtopoBaseline.h"
+
+#include <cassert>
+
+using namespace relc;
+
+ZtopoBaseline::ZtopoBaseline() = default;
+
+ZtopoBaseline::~ZtopoBaseline() {
+  for (auto &[Id, T] : Index)
+    delete T;
+}
+
+void ZtopoBaseline::listPushFront(Tile *T) {
+  int S = static_cast<int>(T->State);
+  T->Prev = nullptr;
+  T->Next = Head[S];
+  if (Head[S])
+    Head[S]->Prev = T;
+  Head[S] = T;
+  if (!Tail[S])
+    Tail[S] = T;
+  StateBytes[S] += T->Size;
+}
+
+void ZtopoBaseline::listUnlink(Tile *T) {
+  int S = static_cast<int>(T->State);
+  if (T->Prev)
+    T->Prev->Next = T->Next;
+  else {
+    assert(Head[S] == T && "LRU list corrupted");
+    Head[S] = T->Next;
+  }
+  if (T->Next)
+    T->Next->Prev = T->Prev;
+  else
+    Tail[S] = T->Prev;
+  T->Prev = T->Next = nullptr;
+  StateBytes[S] -= T->Size;
+}
+
+bool ZtopoBaseline::touchTile(int64_t TileId, TileState &StateOut) {
+  auto It = Index.find(TileId);
+  if (It == Index.end())
+    return false;
+  Tile *T = It->second;
+  // Refresh LRU position.
+  listUnlink(T);
+  listPushFront(T);
+  StateOut = T->State;
+  return true;
+}
+
+void ZtopoBaseline::addTile(int64_t TileId, TileState State, int64_t Size) {
+  assert(!Index.count(TileId) && "tile already cached");
+  Tile *T = new Tile{TileId, State, Size, nullptr, nullptr};
+  Index.emplace(TileId, T);
+  listPushFront(T);
+}
+
+bool ZtopoBaseline::setState(int64_t TileId, TileState State) {
+  auto It = Index.find(TileId);
+  if (It == Index.end())
+    return false;
+  Tile *T = It->second;
+  if (T->State == State)
+    return true;
+  listUnlink(T);
+  T->State = State;
+  listPushFront(T);
+  return true;
+}
+
+std::vector<int64_t> ZtopoBaseline::evictToBudget(TileState State,
+                                                  int64_t Budget) {
+  int S = static_cast<int>(State);
+  std::vector<int64_t> Evicted;
+  while (StateBytes[S] > Budget && Tail[S]) {
+    Tile *T = Tail[S];
+    listUnlink(T);
+    Index.erase(T->Id);
+    Evicted.push_back(T->Id);
+    delete T;
+  }
+  return Evicted;
+}

@@ -1,0 +1,75 @@
+//===- baselines/ZtopoBaseline.h - Hand-coded tile cache --------*- C++ -*-===//
+//
+// Part of the RelC data representation synthesis library.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Hand-coded equivalent of ZTopo's tile cache (Section 6.2): a hash
+/// table over tile ids plus one intrusive LRU list *per tile state*
+/// (memory / disk / loading). The original kept "fairly subtle dynamic
+/// assertions" that the two representations of a tile's state agree —
+/// exactly the overlapping-structure invariant RelC discharges by
+/// construction in ZtopoRelational.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef RELC_BASELINES_ZTOPOBASELINE_H
+#define RELC_BASELINES_ZTOPOBASELINE_H
+
+#include <cstddef>
+#include <cstdint>
+#include <unordered_map>
+#include <vector>
+
+namespace relc {
+
+enum class TileState : int64_t { Loading = 0, InMemory = 1, OnDisk = 2 };
+
+class ZtopoBaseline {
+public:
+  ZtopoBaseline();
+  ~ZtopoBaseline();
+  ZtopoBaseline(const ZtopoBaseline &) = delete;
+  ZtopoBaseline &operator=(const ZtopoBaseline &) = delete;
+
+  /// Looks a tile up; if present, refreshes its LRU position and
+  /// returns its state. Returns false if unknown.
+  bool touchTile(int64_t TileId, TileState &StateOut);
+
+  /// Inserts a tile (must be absent) in \p State.
+  void addTile(int64_t TileId, TileState State, int64_t Size);
+
+  /// Moves a tile to \p State (e.g. Loading -> InMemory).
+  bool setState(int64_t TileId, TileState State);
+
+  /// Evicts least-recently-used tiles in \p State until the state's
+  /// total size is at most \p Budget; returns evicted tile ids.
+  std::vector<int64_t> evictToBudget(TileState State, int64_t Budget);
+
+  size_t numTiles() const { return Index.size(); }
+  int64_t bytesIn(TileState State) const {
+    return StateBytes[static_cast<int>(State)];
+  }
+
+private:
+  struct Tile {
+    int64_t Id;
+    TileState State;
+    int64_t Size;
+    Tile *Prev;
+    Tile *Next;
+  };
+
+  void listPushFront(Tile *T);
+  void listUnlink(Tile *T);
+
+  std::unordered_map<int64_t, Tile *> Index;
+  Tile *Head[3] = {nullptr, nullptr, nullptr};
+  Tile *Tail[3] = {nullptr, nullptr, nullptr};
+  int64_t StateBytes[3] = {0, 0, 0};
+};
+
+} // namespace relc
+
+#endif // RELC_BASELINES_ZTOPOBASELINE_H

@@ -1,0 +1,720 @@
+//===- codegen/CppEmitter.cpp - RELC C++ code generation ---------------------===//
+//
+// Part of the RelC data representation synthesis library.
+//
+//===----------------------------------------------------------------------===//
+//
+// The static mirror of the dynamic engine: node structs instead of
+// NodeInstance, concrete ds/ container members instead of EdgeMap
+// virtual dispatch, and query/removal code specialized from the
+// planner's chosen plans instead of the CPS interpreter in Exec.cpp.
+//
+//===----------------------------------------------------------------------===//
+
+#include "codegen/CppEmitter.h"
+
+#include "decomp/Adequacy.h"
+#include "query/Planner.h"
+#include "runtime/Cut.h"
+
+#include <cassert>
+#include <cctype>
+#include <functional>
+#include <map>
+#include <string>
+
+using namespace relc;
+
+namespace {
+
+/// Appends lines with block indentation.
+class CodeWriter {
+public:
+  void line(const std::string &Text = "") {
+    if (!Text.empty())
+      for (unsigned I = 0; I != Indent; ++I)
+        Out += "  ";
+    Out += Text;
+    Out += "\n";
+  }
+  void open(const std::string &Text) {
+    line(Text);
+    ++Indent;
+  }
+  void close(const std::string &Text = "}") {
+    assert(Indent > 0 && "unbalanced close");
+    --Indent;
+    line(Text);
+  }
+  /// close-and-reopen for "} else {" style continuations.
+  void chain(const std::string &Text) {
+    close(Text);
+    ++Indent;
+  }
+
+  std::string take() { return std::move(Out); }
+
+private:
+  std::string Out;
+  unsigned Indent = 0;
+};
+
+class Emitter {
+public:
+  Emitter(const Decomposition &D, const EmitterOptions &Opts)
+      : D(D), Opts(Opts), Cat(D.catalog()) {
+    for (NodeId Id = 0; Id != D.numNodes(); ++Id)
+      for (PrimId U : D.unitsOf(Id))
+        UnitOwner[U] = Id;
+  }
+
+  std::string run() {
+    prologue();
+    for (NodeId Id = 0; Id != D.numNodes(); ++Id)
+      emitNodeStruct(Id);
+    emitDestroys();
+    emitLifecycle();
+    emitInsert();
+    for (const QueryShape &Q : Opts.Queries)
+      emitQuery(Q);
+    for (ColumnSet Key : Opts.RemoveKeys)
+      emitRemove(Key);
+    for (ColumnSet Key : Opts.UpdateKeys)
+      emitUpdate(Key);
+    epilogue();
+    return W.take();
+  }
+
+private:
+  //===------------------------------------------------------------------===
+  // Naming helpers.
+  //===------------------------------------------------------------------===
+
+  std::string nodeType(NodeId Id) const { return "Node_" + D.node(Id).Name; }
+
+  std::string colList(ColumnSet Cols, const std::string &Prefix) const {
+    std::string Out;
+    for (ColumnId C : Cols) {
+      if (!Out.empty())
+        Out += ", ";
+      Out += Prefix + Cat.name(C);
+    }
+    return Out;
+  }
+
+  std::string colsSuffix(ColumnSet Cols) const {
+    std::string Out;
+    for (ColumnId C : Cols) {
+      if (!Out.empty())
+        Out += "_";
+      Out += Cat.name(C);
+    }
+    return Out;
+  }
+
+  std::string params(ColumnSet Cols, const std::string &Prefix) const {
+    std::string Out;
+    for (ColumnId C : Cols) {
+      if (!Out.empty())
+        Out += ", ";
+      Out += "int64_t " + Prefix + Cat.name(C);
+    }
+    return Out;
+  }
+
+  /// The C++ key type of edge \p E (vectors index by size_t directly).
+  std::string keyType(const MapEdge &E) const {
+    if (E.Ds == DsKind::Vector)
+      return "size_t";
+    if (E.KeyCols.size() == 1)
+      return "int64_t";
+    return "std::array<int64_t, " + std::to_string(E.KeyCols.size()) + ">";
+  }
+
+  /// A key expression for edge \p E from per-column expressions.
+  std::string keyExpr(const MapEdge &E,
+                      const std::map<ColumnId, std::string> &Env) const {
+    if (E.KeyCols.size() == 1) {
+      const std::string &V = Env.at(E.KeyCols.first());
+      return E.Ds == DsKind::Vector ? "toIndex(" + V + ")" : V;
+    }
+    std::string Out = keyType(E) + "{";
+    bool First = true;
+    for (ColumnId C : E.KeyCols) {
+      if (!First)
+        Out += ", ";
+      Out += Env.at(C);
+      First = false;
+    }
+    return Out + "}";
+  }
+
+  std::string edgeMember(EdgeId E) const { return "e" + std::to_string(E); }
+
+  std::string unitField(PrimId U, ColumnId C) const {
+    return "u" + std::to_string(U) + "_" + Cat.name(C);
+  }
+
+  std::string containerType(EdgeId Id) const {
+    const MapEdge &E = D.edge(Id);
+    std::string Traits = "TraitsE" + std::to_string(Id);
+    switch (E.Ds) {
+    case DsKind::DList:
+      return "relc::DListMap<" + Traits + ">";
+    case DsKind::HashTable:
+      return "relc::HashMap<" + Traits + ">";
+    case DsKind::Btree:
+      return "relc::AvlMap<" + Traits + ">";
+    case DsKind::Vector:
+      return "relc::VectorMap<" + nodeType(E.To) + ">";
+    case DsKind::IList:
+      return "relc::IntrusiveList<" + Traits + ">";
+    case DsKind::ITree:
+      return "relc::IntrusiveAvl<" + Traits + ">";
+    }
+    assert(false && "unknown DsKind");
+    return "";
+  }
+
+  static std::string upper(std::string S) {
+    for (char &C : S)
+      C = static_cast<char>(std::toupper(static_cast<unsigned char>(C)));
+    return S;
+  }
+
+  /// The incoming edge of \p Id with the cheapest point lookup (the
+  /// existence probe in the generated insert).
+  EdgeId cheapestIncomingEdge(NodeId Id) const {
+    auto Rank = [](DsKind K) {
+      switch (K) {
+      case DsKind::Vector:
+      case DsKind::HashTable:
+        return 0;
+      case DsKind::Btree:
+      case DsKind::ITree:
+        return 1;
+      case DsKind::DList:
+      case DsKind::IList:
+        return 2;
+      }
+      return 3;
+    };
+    EdgeId Best = D.incoming(Id).front();
+    for (EdgeId E : D.incoming(Id))
+      if (Rank(D.edge(E).Ds) < Rank(D.edge(Best).Ds))
+        Best = E;
+    return Best;
+  }
+
+  //===------------------------------------------------------------------===
+  // Skeleton.
+  //===------------------------------------------------------------------===
+
+  void prologue() {
+    W.line("// Generated by RELC for specification " + D.spec()->str());
+    W.line("// Decomposition: " + D.canonicalString(/*IncludeDs=*/true));
+    W.line("// Do not edit.");
+    W.line("#ifndef RELCGEN_" + upper(Opts.ClassName) + "_H");
+    W.line("#define RELCGEN_" + upper(Opts.ClassName) + "_H");
+    W.line();
+    W.line("#include \"ds/AvlMap.h\"");
+    W.line("#include \"ds/DListMap.h\"");
+    W.line("#include \"ds/HashMap.h\"");
+    W.line("#include \"ds/IntrusiveAvl.h\"");
+    W.line("#include \"ds/IntrusiveList.h\"");
+    W.line("#include \"ds/VectorMap.h\"");
+    W.line("#include \"support/Hashing.h\"");
+    W.line();
+    W.line("#include <array>");
+    W.line("#include <cassert>");
+    W.line("#include <cstddef>");
+    W.line("#include <cstdint>");
+    W.line("#include <vector>");
+    W.line();
+    W.open("namespace " + Opts.Namespace + " {");
+    W.line();
+    W.open("class " + Opts.ClassName + " {");
+    W.line("public:");
+    W.line("  " + Opts.ClassName + "(const " + Opts.ClassName +
+           " &) = delete;");
+    W.line("  " + Opts.ClassName + " &operator=(const " + Opts.ClassName +
+           " &) = delete;");
+    W.line("  size_t size() const { return Size; }");
+    W.line("  bool empty() const { return Size == 0; }");
+    W.line();
+    W.line("private:");
+    W.open("  static size_t toIndex(int64_t V) {");
+    W.line("assert(V >= 0 && \"vector-mapped keys must be non-negative\");");
+    W.line("return static_cast<size_t>(V);");
+    W.close("}");
+    W.line("  static size_t hashKey(int64_t K) {");
+    W.line("    return relc::hashMix64(static_cast<uint64_t>(K));");
+    W.line("  }");
+    W.line("  template <size_t N>");
+    W.open("  static size_t hashKey(const std::array<int64_t, N> &K) {");
+    W.line("size_t H = 0;");
+    W.line("for (int64_t V : K)");
+    W.line("  H = relc::hashCombine(H, "
+           "relc::hashMix64(static_cast<uint64_t>(V)));");
+    W.line("return H;");
+    W.close("}");
+  }
+
+  void epilogue() {
+    W.line();
+    W.line("  " + nodeType(D.root()) + " *Root;");
+    W.line("  size_t Size = 0;");
+    W.close("};");
+    W.line();
+    W.close("} // namespace " + Opts.Namespace);
+    W.line();
+    W.line("#endif");
+  }
+
+  void emitNodeStruct(NodeId Id) {
+    W.line();
+    // Traits for each outgoing edge; target node types are complete
+    // here because children precede parents in let order.
+    for (EdgeId E : D.outgoing(Id)) {
+      const MapEdge &Edge = D.edge(E);
+      if (Edge.Ds == DsKind::Vector)
+        continue;
+      W.open("  struct TraitsE" + std::to_string(E) + " {");
+      W.line("using KeyT = " + keyType(Edge) + ";");
+      W.line("using NodeT = " + nodeType(Edge.To) + ";");
+      W.line("static bool equal(const KeyT &A, const KeyT &B) "
+             "{ return A == B; }");
+      W.line("static bool less(const KeyT &A, const KeyT &B) "
+             "{ return A < B; }");
+      W.line("static size_t hash(const KeyT &K) { return hashKey(K); }");
+      if (dsSupportsEraseByNode(Edge.Ds))
+        W.line("static relc::MapHook<NodeT, KeyT> &hook(NodeT *N, unsigned) "
+               "{ return N->h" +
+               std::to_string(Edge.HookSlot) + "; }");
+      W.close("};");
+    }
+
+    W.open("  struct " + nodeType(Id) + " {");
+    // The bound valuation, as NodeInstance stores it: read by unit
+    // steps (the extended (QUNIT) rule) and kept for symmetry with the
+    // dynamic engine.
+    for (ColumnId C : D.node(Id).Bound)
+      W.line("int64_t b_" + Cat.name(C) + ";");
+    for (PrimId U : D.unitsOf(Id))
+      for (ColumnId C : D.prim(U).Cols)
+        W.line("int64_t " + unitField(U, C) + ";");
+    for (EdgeId E : D.incoming(Id)) {
+      const MapEdge &Edge = D.edge(E);
+      if (!dsSupportsEraseByNode(Edge.Ds))
+        continue;
+      W.line("relc::MapHook<" + nodeType(Id) + ", " + keyType(Edge) + "> h" +
+             std::to_string(Edge.HookSlot) + ";");
+    }
+    for (EdgeId E : D.outgoing(Id)) {
+      const MapEdge &Edge = D.edge(E);
+      std::string Init;
+      if (dsSupportsEraseByNode(Edge.Ds))
+        Init = "{" + std::to_string(Edge.HookSlot) + "}";
+      W.line(containerType(E) + " " + edgeMember(E) + Init + ";");
+    }
+    W.line("unsigned Ref = 0;");
+    W.close("};");
+  }
+
+  void emitDestroys() {
+    // In-class member bodies may call members defined later, so the
+    // destroy/release pairs can be emitted in any order.
+    for (NodeId Id = 0; Id != D.numNodes(); ++Id) {
+      W.line();
+      W.open("  void destroy(" + nodeType(Id) + " *N) {");
+      if (D.outgoing(Id).empty()) {
+        W.line("delete N;");
+        W.close("}");
+      } else {
+        // Collect children before the containers (whose destructors
+        // unlink intrusive hooks) die, then release them after N is
+        // gone — mirroring InstanceGraph::destroy.
+        for (EdgeId E : D.outgoing(Id)) {
+          const MapEdge &Edge = D.edge(E);
+          std::string CT = nodeType(Edge.To);
+          W.line("std::vector<" + CT + " *> c" + std::to_string(E) + ";");
+          W.open("N->" + edgeMember(E) + ".forEach([&](const auto &, " + CT +
+                 " *Child) {");
+          W.line("c" + std::to_string(E) + ".push_back(Child);");
+          W.line("return true;");
+          W.close("});");
+        }
+        W.line("delete N;");
+        for (EdgeId E : D.outgoing(Id)) {
+          W.line("for (auto *Child : c" + std::to_string(E) + ")");
+          W.line("  release(Child);");
+        }
+        W.close("}");
+      }
+      W.line("  void release(" + nodeType(Id) +
+             " *N) { if (--N->Ref == 0) destroy(N); }");
+    }
+  }
+
+  void emitLifecycle() {
+    W.line();
+    W.line("public:");
+    W.line("  " + Opts.ClassName + "() : Root(new " + nodeType(D.root()) +
+           "()) { Root->Ref = 1; }");
+    W.line("  ~" + Opts.ClassName + "() { release(Root); }");
+    W.open("  void clear() {");
+    W.line("release(Root);");
+    W.line("Root = new " + nodeType(D.root()) + "();");
+    W.line("Root->Ref = 1;");
+    W.line("Size = 0;");
+    W.close("}");
+  }
+
+  //===------------------------------------------------------------------===
+  // insert (Section 4.4, specialized).
+  //===------------------------------------------------------------------===
+
+  void emitInsert() {
+    ColumnSet All = D.spec()->columns();
+    W.line();
+    W.line("  /// insert r t; returns true if the relation changed.");
+    W.open("  bool insert(" + params(All, "v_") + ") {");
+    std::map<ColumnId, std::string> Env;
+    for (ColumnId C : All)
+      Env[C] = "v_" + Cat.name(C);
+
+    W.line("bool Changed = false;");
+    for (NodeId Id : D.topoOrder()) {
+      std::string Var = "n_" + D.node(Id).Name;
+      if (Id == D.root()) {
+        W.line(nodeType(Id) + " *" + Var + " = Root;");
+        continue;
+      }
+      // One probe on the cheapest incoming edge decides existence
+      // (well-formedness keeps all incoming containers in lockstep; a
+      // fresh parent's empty container gives the same verdict — see
+      // dinsert in runtime/Mutators.cpp).
+      EdgeId ProbeE = cheapestIncomingEdge(Id);
+      const MapEdge &Probe = D.edge(ProbeE);
+      W.line(nodeType(Id) + " *" + Var + " = n_" +
+             D.node(Probe.From).Name + "->" + edgeMember(ProbeE) +
+             ".lookup(" + keyExpr(Probe, Env) + ");");
+      W.open("if (!" + Var + ") {");
+      W.line(Var + " = new " + nodeType(Id) + "();");
+      for (ColumnId C : D.node(Id).Bound)
+        W.line(Var + "->b_" + Cat.name(C) + " = " + Env.at(C) + ";");
+      for (PrimId U : D.unitsOf(Id))
+        for (ColumnId C : D.prim(U).Cols)
+          W.line(Var + "->" + unitField(U, C) + " = " + Env.at(C) + ";");
+      for (EdgeId E : D.incoming(Id)) {
+        const MapEdge &Edge = D.edge(E);
+        std::string Parent = "n_" + D.node(Edge.From).Name;
+        W.line(Parent + "->" + edgeMember(E) + ".insert(" +
+               keyExpr(Edge, Env) + ", " + Var + ");");
+        W.line("++" + Var + "->Ref;");
+      }
+      W.line("Changed = true;");
+      if (!D.unitsOf(Id).empty()) {
+        W.chain("} else {");
+        // Lemma 4(a)'s precondition: an existing instance must already
+        // carry exactly these unit values.
+        for (PrimId U : D.unitsOf(Id))
+          for (ColumnId C : D.prim(U).Cols)
+            W.line("assert(" + Var + "->" + unitField(U, C) + " == " +
+                   Env.at(C) +
+                   " && \"insert violates the functional dependencies\");");
+        W.close("}");
+      } else {
+        W.close("}");
+      }
+    }
+    W.line("if (Changed) ++Size;");
+    W.line("return Changed;");
+    W.close("}");
+  }
+
+  //===------------------------------------------------------------------===
+  // Query emission: CPS over plan steps, the static twin of Exec.cpp.
+  //===------------------------------------------------------------------===
+
+  using Env = std::map<ColumnId, std::string>;
+  using Cont = std::function<void(const Env &)>;
+
+  void emitQuery(const QueryShape &Q) {
+    auto Plan = planQuery(D, Q.InputCols, Q.OutputCols, Opts.Params);
+    assert(Plan && "requested query shape is not plannable");
+    W.line();
+    W.line("  /// " + Q.Name + ": plan " + Plan->str());
+    std::string Params = params(Q.InputCols, "q_");
+    if (!Params.empty())
+      Params += ", ";
+    W.open("  template <typename FnT> void " + Q.Name + "(" + Params +
+           "FnT &&Emit) const {");
+    Env E;
+    for (ColumnId C : Q.InputCols)
+      E[C] = "q_" + Cat.name(C);
+    emitStep(*Plan, Plan->Root, "Root", E, [&](const Env &Final) {
+      std::string Args;
+      for (ColumnId C : Q.OutputCols) {
+        if (!Args.empty())
+          Args += ", ";
+        Args += Final.at(C);
+      }
+      W.line("Emit(" + Args + ");");
+    });
+    W.close("}");
+  }
+
+  void emitStep(const QueryPlan &Plan, PlanStepId Id,
+                const std::string &NodeVar, const Env &E, const Cont &K) {
+    const PlanStep &S = Plan.Steps[Id];
+    switch (S.Kind) {
+    case PlanKind::Unit: {
+      // Filter unit and bound columns already fixed by the binding;
+      // bind the rest (the extended (QUNIT) rule — bound fields serve
+      // columns not on the traversed path, e.g. `state` via Fig. 2's
+      // left path).
+      Env E2 = E;
+      std::string Guard;
+      auto handleColumn = [&](ColumnId C, const std::string &Field) {
+        auto It = E.find(C);
+        if (It != E.end()) {
+          if (!Guard.empty())
+            Guard += " && ";
+          Guard += Field + " == " + It->second;
+        } else if (!E2.count(C)) {
+          E2[C] = Field;
+        }
+      };
+      NodeId Owner = UnitOwner.at(S.Prim);
+      for (ColumnId C : D.node(Owner).Bound)
+        handleColumn(C, NodeVar + "->b_" + Cat.name(C));
+      for (ColumnId C : D.prim(S.Prim).Cols)
+        handleColumn(C, NodeVar + "->" + unitField(S.Prim, C));
+      if (Guard.empty()) {
+        K(E2);
+        return;
+      }
+      W.open("if (" + Guard + ") {");
+      K(E2);
+      W.close("}");
+      return;
+    }
+    case PlanKind::Lookup: {
+      EdgeId Eg = D.prim(S.Prim).Edge;
+      const MapEdge &Edge = D.edge(Eg);
+      std::string Var = "n" + std::to_string(Id);
+      W.line("auto *" + Var + " = " + NodeVar + "->" + edgeMember(Eg) +
+             ".lookup(" + keyExpr(Edge, E) + ");");
+      W.open("if (" + Var + ") {");
+      emitStep(Plan, S.Child0, Var, E, K);
+      W.close("}");
+      return;
+    }
+    case PlanKind::Scan: {
+      EdgeId Eg = D.prim(S.Prim).Edge;
+      const MapEdge &Edge = D.edge(Eg);
+      std::string KeyVar = "k" + std::to_string(Id);
+      std::string Var = "n" + std::to_string(Id);
+      W.open(NodeVar + "->" + edgeMember(Eg) + ".forEach([&](const auto &" +
+             KeyVar + ", " + nodeType(Edge.To) + " *" + Var + ") {");
+      // Subplans over empty units never touch the child node.
+      W.line("(void)" + Var + ";");
+      // Bind fresh key columns; filter ones the binding already fixes
+      // (this is what keeps joins and A ⊆ B queries faithful, Lemma 2).
+      Env E2 = E;
+      std::string Guard;
+      unsigned Index = 0;
+      for (ColumnId C : Edge.KeyCols) {
+        std::string Expr;
+        if (Edge.Ds == DsKind::Vector)
+          Expr = "static_cast<int64_t>(" + KeyVar + ")";
+        else if (Edge.KeyCols.size() == 1)
+          Expr = KeyVar;
+        else
+          Expr = KeyVar + "[" + std::to_string(Index) + "]";
+        auto It = E.find(C);
+        if (It != E.end()) {
+          if (!Guard.empty())
+            Guard += " && ";
+          Guard += Expr + " == " + It->second;
+        } else {
+          E2[C] = Expr;
+        }
+        ++Index;
+      }
+      if (!Guard.empty())
+        W.open("if (" + Guard + ") {");
+      emitStep(Plan, S.Child0, Var, E2, K);
+      if (!Guard.empty())
+        W.close("}");
+      W.line("return true;");
+      W.close("});");
+      return;
+    }
+    case PlanKind::Lr:
+      emitStep(Plan, S.Child0, NodeVar, E, K);
+      return;
+    case PlanKind::Join:
+      // Nested execution: the second query runs once per binding the
+      // first produces.
+      emitStep(Plan, S.Child0, NodeVar, E, [&](const Env &E1) {
+        emitStep(Plan, S.Child1, NodeVar, E1, K);
+      });
+      return;
+    }
+    assert(false && "unknown PlanKind");
+  }
+
+  //===------------------------------------------------------------------===
+  // remove_by_<key> / update_by_<key> (Section 4.5, specialized).
+  //===------------------------------------------------------------------===
+
+  void emitRemove(ColumnSet Key) {
+    ColumnSet All = D.spec()->columns();
+    assert(D.spec()->fds().isKey(Key, All) &&
+           "remove_by_* requires a key pattern");
+    auto Plan = planQuery(D, Key, All, Opts.Params);
+    assert(Plan && "no plan to resolve the full tuple for removal");
+    Cut C = computeCut(D, Key);
+
+    W.line();
+    W.line("  /// remove r s for key pattern {" + colsSuffix(Key) +
+           "}; returns true if a tuple was removed.");
+    W.open("  bool remove_by_" + colsSuffix(Key) + "(" + params(Key, "q_") +
+           ") {");
+
+    // 1. Resolve the full tuple (the pattern is a key: at most one).
+    W.line("bool Found = false;");
+    for (ColumnId Col : All.minus(Key))
+      W.line("int64_t c_" + Cat.name(Col) + " = 0;");
+    Env E;
+    for (ColumnId Col : Key)
+      E[Col] = "q_" + Cat.name(Col);
+    emitStep(*Plan, Plan->Root, "Root", E, [&](const Env &Final) {
+      W.line("Found = true;");
+      for (ColumnId Col : All.minus(Key))
+        W.line("c_" + Cat.name(Col) + " = " + Final.at(Col) + ";");
+    });
+    W.line("if (!Found) return false;");
+    // Columns resolved for navigation may go unused when every edge on
+    // the removal path is keyed by the pattern itself.
+    for (ColumnId Col : All.minus(Key))
+      W.line("(void)c_" + Cat.name(Col) + ";");
+
+    Env Full;
+    for (ColumnId Col : Key)
+      Full[Col] = "q_" + Cat.name(Col);
+    for (ColumnId Col : All.minus(Key))
+      Full[Col] = "c_" + Cat.name(Col);
+
+    // 2. Navigate the X instances along the tuple's path (Fig. 10).
+    for (NodeId Id : D.topoOrder()) {
+      if (C.inY(Id))
+        continue;
+      std::string Var = "x_" + D.node(Id).Name;
+      if (Id == D.root()) {
+        W.line(nodeType(Id) + " *" + Var + " = Root;");
+        continue;
+      }
+      W.line(nodeType(Id) + " *" + Var + " = nullptr;");
+      for (EdgeId Eg : D.incoming(Id)) {
+        const MapEdge &Edge = D.edge(Eg);
+        W.line("if (!" + Var + ") " + Var + " = x_" +
+               D.node(Edge.From).Name + "->" + edgeMember(Eg) + ".lookup(" +
+               keyExpr(Edge, Full) + ");");
+      }
+      W.line("assert(" + Var + " && \"X instance missing\");");
+    }
+
+    // 3. Break the crossing edges; the first break per Y node resolves
+    //    the child, later breaks reuse it (eraseNode when intrusive).
+    std::map<NodeId, bool> YResolved;
+    for (EdgeId Eg : C.CrossingEdges) {
+      const MapEdge &Edge = D.edge(Eg);
+      std::string Child = "y_" + D.node(Edge.To).Name;
+      std::string From = "x_" + D.node(Edge.From).Name;
+      if (!YResolved[Edge.To]) {
+        W.line(nodeType(Edge.To) + " *" + Child + " = " + From + "->" +
+               edgeMember(Eg) + ".erase(" + keyExpr(Edge, Full) + ");");
+        W.line("assert(" + Child + " && \"crossing entry missing\");");
+        YResolved[Edge.To] = true;
+      } else if (dsSupportsEraseByNode(Edge.Ds)) {
+        W.line(From + "->" + edgeMember(Eg) + ".eraseNode(" + Child + ");");
+      } else {
+        W.line(From + "->" + edgeMember(Eg) + ".erase(" +
+               keyExpr(Edge, Full) + ");");
+      }
+      W.line("release(" + Child + ");");
+    }
+
+    // 4. Clean up interior X nodes now devoid of children (children
+    //    first; the root always stays).
+    for (NodeId Id = 0; Id + 1 < D.numNodes(); ++Id) {
+      if (C.inY(Id) || D.outgoing(Id).empty())
+        continue;
+      std::string Var = "x_" + D.node(Id).Name;
+      std::string EmptyCheck;
+      for (EdgeId Eg : D.outgoing(Id)) {
+        if (!EmptyCheck.empty())
+          EmptyCheck += " || ";
+        EmptyCheck += Var + "->" + edgeMember(Eg) + ".empty()";
+      }
+      W.open("if (" + EmptyCheck + ") {");
+      for (EdgeId Eg : D.incoming(Id)) {
+        const MapEdge &Edge = D.edge(Eg);
+        std::string From = "x_" + D.node(Edge.From).Name;
+        if (dsSupportsEraseByNode(Edge.Ds))
+          W.line(From + "->" + edgeMember(Eg) + ".eraseNode(" + Var + ");");
+        else
+          W.line(From + "->" + edgeMember(Eg) + ".erase(" +
+                 keyExpr(Edge, Full) + ");");
+        W.line("release(" + Var + ");");
+      }
+      W.close("}");
+    }
+
+    W.line("--Size;");
+    W.line("return true;");
+    W.close("}");
+  }
+
+  void emitUpdate(ColumnSet Key) {
+    ColumnSet All = D.spec()->columns();
+    ColumnSet Rest = All.minus(Key);
+    W.line();
+    W.line("  /// update r s u for key pattern {" + colsSuffix(Key) +
+           "}, replacing every non-key column (remove + reinsert,");
+    W.line("  /// semantically equal per Section 4.5); returns true if a");
+    W.line("  /// tuple matched.");
+    std::string Params = params(Key, "q_");
+    if (!Rest.empty())
+      Params += ", " + params(Rest, "v_");
+    W.open("  bool update_by_" + colsSuffix(Key) + "(" + Params + ") {");
+    W.line("if (!remove_by_" + colsSuffix(Key) + "(" + colList(Key, "q_") +
+           ")) return false;");
+    std::string Args;
+    for (ColumnId C : All) {
+      if (!Args.empty())
+        Args += ", ";
+      Args += (Key.contains(C) ? "q_" : "v_") + Cat.name(C);
+    }
+    W.line("insert(" + Args + ");");
+    W.line("return true;");
+    W.close("}");
+  }
+
+  const Decomposition &D;
+  const EmitterOptions &Opts;
+  const Catalog &Cat;
+  CodeWriter W;
+  std::map<PrimId, NodeId> UnitOwner;
+};
+
+} // namespace
+
+std::string relc::emitCpp(const Decomposition &D, const EmitterOptions &Opts) {
+  assert(checkAdequacy(D).Ok &&
+         "emitting code for an inadequate decomposition");
+  return Emitter(D, Opts).run();
+}

@@ -1,0 +1,69 @@
+//===- codegen/CppEmitter.h - RELC C++ code generation ----------*- C++ -*-===//
+//
+// Part of the RelC data representation synthesis library.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The RELC compiler backend (Section 6): given a relational
+/// specification and a decomposition, emits a standalone C++ class that
+/// implements the relational interface with static types — node structs
+/// with embedded intrusive hooks, concrete container templates from
+/// ds/, and query/removal code specialized from the planner's chosen
+/// plans (no virtual dispatch, no run-time planning).
+///
+/// Scope of the generated code:
+///  - columns are int64_t (the paper's case studies are integer-keyed;
+///    interned strings fit through their ids);
+///  - `insert` and the requested query shapes are emitted for any
+///    adequate decomposition;
+///  - `remove_by_*` is emitted for *key* patterns (at most one matching
+///    tuple), which covers the paper's clients; bulk removal and
+///    in-place update remain the dynamic engine's job;
+///  - `update_by_*` composes remove + insert (semantically equal,
+///    Section 4.5; the dynamic engine implements the in-place form).
+///
+/// The emitted header depends only on the ds/ container headers and is
+/// compiled and replayed against the oracle in an integration test.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef RELC_CODEGEN_CPPEMITTER_H
+#define RELC_CODEGEN_CPPEMITTER_H
+
+#include "decomp/Decomposition.h"
+#include "query/CostModel.h"
+
+#include <string>
+#include <vector>
+
+namespace relc {
+
+/// One query method to synthesize: inputs bound by the pattern, outputs
+/// delivered to the callback.
+struct QueryShape {
+  std::string Name; ///< Method name, e.g. "query_by_src".
+  ColumnSet InputCols;
+  ColumnSet OutputCols;
+};
+
+struct EmitterOptions {
+  std::string ClassName = "relation";
+  std::string Namespace = "relcgen";
+  std::vector<QueryShape> Queries;
+  /// Key patterns to emit remove_by_<cols> for (each must functionally
+  /// determine all columns).
+  std::vector<ColumnSet> RemoveKeys;
+  /// Emit update_by_<cols>(keys..., values...) for these key patterns
+  /// (updates every non-key column).
+  std::vector<ColumnSet> UpdateKeys;
+  CostParams Params;
+};
+
+/// Emits the complete header text. Asserts that \p D is adequate and
+/// that every requested shape is plannable.
+std::string emitCpp(const Decomposition &D, const EmitterOptions &Opts);
+
+} // namespace relc
+
+#endif // RELC_CODEGEN_CPPEMITTER_H

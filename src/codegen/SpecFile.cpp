@@ -1,0 +1,228 @@
+//===- codegen/SpecFile.cpp - RELC input file front end -----------------------===//
+//
+// Part of the RelC data representation synthesis library.
+//
+//===----------------------------------------------------------------------===//
+
+#include "codegen/SpecFile.h"
+
+#include "decomp/Parser.h"
+
+#include <cctype>
+#include <vector>
+
+using namespace relc;
+
+namespace {
+
+std::string_view trim(std::string_view S) {
+  while (!S.empty() && std::isspace(static_cast<unsigned char>(S.front())))
+    S.remove_prefix(1);
+  while (!S.empty() && std::isspace(static_cast<unsigned char>(S.back())))
+    S.remove_suffix(1);
+  return S;
+}
+
+bool consumeWord(std::string_view &S, std::string_view Word) {
+  std::string_view T = trim(S);
+  if (T.substr(0, Word.size()) != Word)
+    return false;
+  // Must end at a word boundary.
+  if (T.size() > Word.size() &&
+      (std::isalnum(static_cast<unsigned char>(T[Word.size()])) ||
+       T[Word.size()] == '_'))
+    return false;
+  S = T.substr(Word.size());
+  return true;
+}
+
+/// Splits "a, b, c" into names; returns false on empty elements.
+bool splitNames(std::string_view Text, std::vector<std::string> &Out) {
+  size_t Start = 0;
+  std::string S(Text);
+  while (Start <= S.size()) {
+    size_t Comma = S.find(',', Start);
+    std::string Name(
+        trim(std::string_view(S).substr(Start, Comma - Start)));
+    if (Name.empty())
+      return false;
+    Out.push_back(std::move(Name));
+    if (Comma == std::string::npos)
+      break;
+    Start = Comma + 1;
+  }
+  return !Out.empty();
+}
+
+class SpecFileParser {
+public:
+  explicit SpecFileParser(std::string_view Text) : Text(Text) {}
+
+  SpecFileResult run() {
+    std::string DecompText;
+    unsigned LineNo = 0;
+
+    size_t Pos = 0;
+    while (Pos <= Text.size()) {
+      size_t Eol = Text.find('\n', Pos);
+      std::string_view Raw = Text.substr(
+          Pos, Eol == std::string_view::npos ? std::string_view::npos
+                                             : Eol - Pos);
+      Pos = Eol == std::string_view::npos ? Text.size() + 1 : Eol + 1;
+      ++LineNo;
+
+      std::string_view Line = trim(Raw);
+      if (Line.empty() || Line.front() == '#')
+        continue;
+
+      std::string_view Rest = Line;
+      if (consumeWord(Rest, "relation")) {
+        if (!parseRelation(trim(Rest)))
+          return fail(LineNo, "malformed relation declaration");
+      } else if (consumeWord(Rest, "fd")) {
+        Fds.emplace_back(trim(Rest));
+      } else if (consumeWord(Rest, "let")) {
+        DecompText += std::string(Line) + "\n";
+      } else if (consumeWord(Rest, "class")) {
+        Out.Options.ClassName = std::string(trim(Rest));
+        if (Out.Options.ClassName.empty())
+          return fail(LineNo, "empty class name");
+      } else if (consumeWord(Rest, "namespace")) {
+        Out.Options.Namespace = std::string(trim(Rest));
+        if (Out.Options.Namespace.empty())
+          return fail(LineNo, "empty namespace");
+      } else if (consumeWord(Rest, "query")) {
+        PendingQueries.emplace_back(LineNo, std::string(trim(Rest)));
+      } else if (consumeWord(Rest, "remove")) {
+        PendingRemoves.emplace_back(LineNo, std::string(trim(Rest)));
+      } else if (consumeWord(Rest, "update")) {
+        PendingUpdates.emplace_back(LineNo, std::string(trim(Rest)));
+      } else {
+        return fail(LineNo, "unknown directive: '" + std::string(Line) +
+                                "'");
+      }
+    }
+
+    if (Columns.empty())
+      return fail(0, "missing 'relation' declaration");
+
+    // Build the spec.
+    std::vector<std::pair<std::string, std::string>> FdPairs;
+    for (const std::string &Fd : Fds) {
+      size_t Arrow = Fd.find("->");
+      if (Arrow == std::string::npos)
+        return fail(0, "fd is missing '->': " + Fd);
+      FdPairs.emplace_back(std::string(trim(
+                               std::string_view(Fd).substr(0, Arrow))),
+                           std::string(trim(
+                               std::string_view(Fd).substr(Arrow + 2))));
+    }
+    Out.Spec = RelSpec::make(RelationName, Columns, FdPairs);
+
+    // Parse the decomposition in the Fig. 3 language.
+    if (DecompText.empty())
+      return fail(0, "missing 'let' bindings (no decomposition)");
+    ParseResult Parsed = parseDecomposition(Out.Spec, DecompText);
+    if (!Parsed.ok())
+      return fail(0, "decomposition: " + Parsed.Error);
+    Out.Decomp = std::move(Parsed.Decomp);
+
+    // Resolve the method set against the catalog.
+    const Catalog &Cat = Out.Spec->catalog();
+    for (const auto &[No, Q] : PendingQueries) {
+      // name (in, cols) -> (out, cols)
+      size_t Open = Q.find('(');
+      if (Open == std::string::npos)
+        return fail(No, "query needs '(inputs) -> (outputs)'");
+      std::string Name(trim(std::string_view(Q).substr(0, Open)));
+      size_t Close = Q.find(')', Open);
+      size_t Arrow = Q.find("->", Close);
+      size_t Open2 = Q.find('(', Arrow == std::string::npos ? Q.size()
+                                                            : Arrow);
+      size_t Close2 = Q.find(')', Open2);
+      if (Name.empty() || Close == std::string::npos ||
+          Arrow == std::string::npos || Open2 == std::string::npos ||
+          Close2 == std::string::npos)
+        return fail(No, "malformed query directive");
+      ColumnSet In, OutCols;
+      if (!parseCols(Cat, Q.substr(Open + 1, Close - Open - 1), In))
+        return fail(No, "unknown column in query inputs");
+      if (!parseCols(Cat, Q.substr(Open2 + 1, Close2 - Open2 - 1), OutCols))
+        return fail(No, "unknown column in query outputs");
+      if (OutCols.empty())
+        return fail(No, "query outputs are empty");
+      Out.Options.Queries.push_back({Name, In, OutCols});
+    }
+    for (const auto &[No, R] : PendingRemoves) {
+      ColumnSet Key;
+      if (!parseCols(Cat, R, Key) || Key.empty())
+        return fail(No, "malformed remove key");
+      if (!Out.Spec->fds().isKey(Key, Out.Spec->columns()))
+        return fail(No, "remove pattern {" + R + "} is not a key");
+      Out.Options.RemoveKeys.push_back(Key);
+    }
+    for (const auto &[No, U] : PendingUpdates) {
+      ColumnSet Key;
+      if (!parseCols(Cat, U, Key) || Key.empty())
+        return fail(No, "malformed update key");
+      if (!Out.Spec->fds().isKey(Key, Out.Spec->columns()))
+        return fail(No, "update pattern {" + U + "} is not a key");
+      Out.Options.UpdateKeys.push_back(Key);
+    }
+
+    return {std::move(Out), ""};
+  }
+
+private:
+  SpecFileResult fail(unsigned LineNo, const std::string &Msg) {
+    if (LineNo == 0)
+      return {std::nullopt, Msg};
+    return {std::nullopt, "line " + std::to_string(LineNo) + ": " + Msg};
+  }
+
+  bool parseRelation(std::string_view Decl) {
+    size_t Open = Decl.find('(');
+    size_t Close = Decl.rfind(')');
+    if (Open == std::string_view::npos || Close == std::string_view::npos ||
+        Close < Open)
+      return false;
+    RelationName = std::string(trim(Decl.substr(0, Open)));
+    if (RelationName.empty())
+      return false;
+    return splitNames(Decl.substr(Open + 1, Close - Open - 1), Columns);
+  }
+
+  static bool parseCols(const Catalog &Cat, std::string_view Text,
+                        ColumnSet &Out) {
+    std::vector<std::string> Names;
+    std::string_view T = trim(Text);
+    if (T.empty()) {
+      Out = ColumnSet();
+      return true;
+    }
+    if (!splitNames(T, Names))
+      return false;
+    for (const std::string &N : Names) {
+      std::optional<ColumnId> Id = Cat.find(N);
+      if (!Id)
+        return false;
+      Out.insert(*Id);
+    }
+    return true;
+  }
+
+  std::string_view Text;
+  std::string RelationName;
+  std::vector<std::string> Columns;
+  std::vector<std::string> Fds;
+  std::vector<std::pair<unsigned, std::string>> PendingQueries;
+  std::vector<std::pair<unsigned, std::string>> PendingRemoves;
+  std::vector<std::pair<unsigned, std::string>> PendingUpdates;
+  SpecFile Out;
+};
+
+} // namespace
+
+SpecFileResult relc::parseSpecFile(std::string_view Text) {
+  return SpecFileParser(Text).run();
+}

@@ -1,0 +1,63 @@
+//===- codegen/SpecFile.h - RELC input file front end ------------*- C++ -*-===//
+//
+// Part of the RelC data representation synthesis library.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The text format the `relc` command-line compiler consumes: one file
+/// declaring the relational specification, the decomposition (in the
+/// Fig. 3 let-language), and the method set to synthesize.
+///
+///   relation scheduler(ns, pid, state, cpu)
+///   fd ns, pid -> state, cpu
+///
+///   let w : {ns, pid, state} = unit {cpu}
+///   let y : {ns} = map({pid}, htable, w)
+///   let z : {state} = map({ns, pid}, ilist, w)
+///   let x : {} = join(map({ns}, htable, y), map({state}, vector, z))
+///
+///   class scheduler_relation
+///   namespace relcgen
+///   query query_by_state (state) -> (ns, pid)
+///   query query_cpu (ns, pid) -> (cpu)
+///   remove ns, pid
+///   update ns, pid
+///
+/// Lines starting with `#` are comments. Directives may appear in any
+/// order except that `relation`/`fd` must precede the `let` bindings.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef RELC_CODEGEN_SPECFILE_H
+#define RELC_CODEGEN_SPECFILE_H
+
+#include "codegen/CppEmitter.h"
+#include "decomp/Decomposition.h"
+
+#include <optional>
+#include <string>
+#include <string_view>
+
+namespace relc {
+
+/// A fully parsed `relc` input: everything emitCpp needs.
+struct SpecFile {
+  RelSpecRef Spec;
+  std::optional<Decomposition> Decomp;
+  EmitterOptions Options;
+};
+
+struct SpecFileResult {
+  std::optional<SpecFile> File;
+  std::string Error;
+
+  bool ok() const { return File.has_value(); }
+};
+
+/// Parses the text of one relc input file.
+SpecFileResult parseSpecFile(std::string_view Text);
+
+} // namespace relc
+
+#endif // RELC_CODEGEN_SPECFILE_H

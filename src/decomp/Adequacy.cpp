@@ -1,0 +1,129 @@
+//===- decomp/Adequacy.cpp - Adequacy judgment ------------------------------===//
+//
+// Part of the RelC data representation synthesis library.
+//
+//===----------------------------------------------------------------------===//
+
+#include "decomp/Adequacy.h"
+
+#include <cassert>
+
+using namespace relc;
+
+namespace {
+
+/// Walks one node's primitive expression, implementing the premises of
+/// (AUNIT), (AMAP) and (AJOIN). \p A is the node's bound column set
+/// (the context of Fig. 6); \p Out receives the columns the primitive
+/// represents.
+class AdequacyChecker {
+public:
+  explicit AdequacyChecker(const Decomposition &D)
+      : D(D), Fds(D.spec()->fds()), Cat(D.catalog()) {}
+
+  AdequacyResult run() {
+    const DecompNode &Root = D.node(D.root());
+    // (AVAR): the judgment starts with the empty context, so the root
+    // variable must be typed ∅ . C.
+    if (!Root.Bound.empty())
+      return AdequacyResult::failure(
+          "(AVAR) root node '" + Root.Name + "' binds columns " +
+          Cat.setToString(Root.Bound) + "; the root must bind none");
+
+    // (ALET): check each binding's primitive under its declared context.
+    for (NodeId Id = 0; Id != D.numNodes(); ++Id) {
+      const DecompNode &N = D.node(Id);
+      ColumnSet Represented;
+      AdequacyResult R = checkPrim(N.Prim, N.Bound, N.Name, Represented);
+      if (!R.Ok)
+        return R;
+      assert(Represented == N.Defines &&
+             "builder-computed Defines disagrees with adequacy walk");
+    }
+
+    // Top level: the decomposition must represent all relation columns.
+    ColumnSet All = D.spec()->columns();
+    if (Root.Defines != All)
+      return AdequacyResult::failure(
+          "decomposition represents " + Cat.setToString(Root.Defines) +
+          " but the relation has columns " + Cat.setToString(All));
+    return AdequacyResult::success();
+  }
+
+private:
+  AdequacyResult checkPrim(PrimId Id, ColumnSet A, const std::string &Where,
+                           ColumnSet &Out) {
+    const PrimNode &P = D.prim(Id);
+    switch (P.Kind) {
+    case PrimKind::Unit: {
+      // (AUNIT): A ≠ ∅ and ∆ ⊢ A → C. A unit at the root would make the
+      // empty relation unrepresentable.
+      if (A.empty())
+        return AdequacyResult::failure(
+            "(AUNIT) unit " + Cat.setToString(P.Cols) + " in node '" +
+            Where + "' occurs with no bound columns; the empty relation "
+            "would be unrepresentable");
+      if (!Fds.implies(A, P.Cols))
+        return AdequacyResult::failure(
+            "(AUNIT) in node '" + Where + "': bound columns " +
+            Cat.setToString(A) + " do not determine unit columns " +
+            Cat.setToString(P.Cols));
+      Out = P.Cols;
+      return AdequacyResult::success();
+    }
+    case PrimKind::Map: {
+      // (AMAP): for target v:Av.Dv with context B=A and keys C=P.Cols,
+      // require ∆ ⊢ B∪C → Av and Av ⊇ B∪C. Together these guarantee
+      // that every path sharing v reaches the same sub-relation.
+      const DecompNode &Target = D.node(P.Target);
+      ColumnSet Reached = A.unionWith(P.Cols);
+      if (!Fds.implies(Reached, Target.Bound))
+        return AdequacyResult::failure(
+            "(AMAP) in node '" + Where + "': path columns " +
+            Cat.setToString(Reached) + " do not determine target '" +
+            Target.Name + "' bound columns " +
+            Cat.setToString(Target.Bound));
+      if (!Reached.subsetOf(Target.Bound))
+        return AdequacyResult::failure(
+            "(AMAP) in node '" + Where + "': target '" + Target.Name +
+            "' bound columns " + Cat.setToString(Target.Bound) +
+            " must include the path columns " + Cat.setToString(Reached));
+      Out = P.Cols.unionWith(Target.Defines);
+      return AdequacyResult::success();
+    }
+    case PrimKind::Join: {
+      ColumnSet B, C;
+      AdequacyResult L = checkPrim(P.Left, A, Where, B);
+      if (!L.Ok)
+        return L;
+      AdequacyResult R = checkPrim(P.Right, A, Where, C);
+      if (!R.Ok)
+        return R;
+      // (AJOIN): ∆ ⊢ A ∪ (B∩C) → B⊖C, so the two sides can be matched
+      // without missing or spurious tuples.
+      ColumnSet Shared = A.unionWith(B.intersect(C));
+      ColumnSet Diff = B.symmetricDifference(C);
+      if (!Fds.implies(Shared, Diff))
+        return AdequacyResult::failure(
+            "(AJOIN) in node '" + Where + "': shared columns " +
+            Cat.setToString(Shared) + " do not determine " +
+            Cat.setToString(Diff) + "; the join could have dangling "
+            "tuples");
+      Out = B.unionWith(C);
+      return AdequacyResult::success();
+    }
+    }
+    assert(false && "unknown PrimKind");
+    return AdequacyResult::failure("unknown primitive kind");
+  }
+
+  const Decomposition &D;
+  const FuncDeps &Fds;
+  const Catalog &Cat;
+};
+
+} // namespace
+
+AdequacyResult relc::checkAdequacy(const Decomposition &D) {
+  return AdequacyChecker(D).run();
+}

@@ -1,0 +1,51 @@
+//===- decomp/Adequacy.h - Adequacy judgment --------------------*- C++ -*-===//
+//
+// Part of the RelC data representation synthesis library.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The adequacy judgment Σ;A ⊢∆ d̂;B of Section 3.4 (Fig. 6): a
+/// decomposition d̂ is adequate for relations with columns C satisfying
+/// FDs ∆ iff ·;∅ ⊢∆ d̂;C. Adequate decompositions can represent *every*
+/// relation over C satisfying ∆ (Lemma 1), and adequacy is a
+/// precondition of every soundness result in the paper, so the runtime
+/// refuses to instantiate inadequate decompositions.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef RELC_DECOMP_ADEQUACY_H
+#define RELC_DECOMP_ADEQUACY_H
+
+#include "decomp/Decomposition.h"
+
+#include <string>
+
+namespace relc {
+
+/// Outcome of the adequacy check; on failure, Error pinpoints the rule
+/// that was violated.
+struct AdequacyResult {
+  bool Ok = false;
+  std::string Error;
+
+  static AdequacyResult success() { return {true, ""}; }
+  static AdequacyResult failure(std::string Msg) {
+    return {false, std::move(Msg)};
+  }
+};
+
+/// Decides ·;∅ ⊢∆ d̂;C for \p D against its specification's columns and
+/// FDs, checking every rule of Fig. 6:
+///  - (AVAR):  the root binds no columns and the decomposition
+///             represents exactly the relation's columns;
+///  - (AUNIT): units only occur below at least one bound column and
+///             their contents are determined by the bound columns;
+///  - (AMAP):  for every map edge into v:A.D with context B and keys C:
+///             ∆ ⊢ B∪C → A and A ⊇ B∪C (the sharing conditions);
+///  - (AJOIN): ∆ ⊢ A∪(B∩C) → B⊖C for every join.
+AdequacyResult checkAdequacy(const Decomposition &D);
+
+} // namespace relc
+
+#endif // RELC_DECOMP_ADEQUACY_H

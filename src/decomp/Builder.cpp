@@ -1,0 +1,159 @@
+//===- decomp/Builder.cpp - Programmatic decomposition construction --------===//
+//
+// Part of the RelC data representation synthesis library.
+//
+//===----------------------------------------------------------------------===//
+
+#include "decomp/Builder.h"
+
+#include <cassert>
+
+using namespace relc;
+
+DecompBuilder::DecompBuilder(RelSpecRef Spec) : Spec(std::move(Spec)) {
+  assert(this->Spec && "builder needs a relational specification");
+}
+
+PrimExpr DecompBuilder::unit(ColumnSet Cols) const {
+  auto N = std::make_shared<PrimExpr::Node>();
+  N->Kind = PrimKind::Unit;
+  N->Cols = Cols;
+  return PrimExpr(std::move(N));
+}
+
+PrimExpr DecompBuilder::unit(std::string_view Cols) const {
+  return unit(Spec->catalog().parseSet(Cols));
+}
+
+PrimExpr DecompBuilder::map(ColumnSet Keys, DsKind Ds, NodeId Target) const {
+  assert(!Keys.empty() && "map primitives need at least one key column");
+  assert(Target < NextNode && "map target must be a previously added node");
+  auto N = std::make_shared<PrimExpr::Node>();
+  N->Kind = PrimKind::Map;
+  N->Cols = Keys;
+  N->Ds = Ds;
+  N->Target = Target;
+  return PrimExpr(std::move(N));
+}
+
+PrimExpr DecompBuilder::map(std::string_view Keys, DsKind Ds,
+                            NodeId Target) const {
+  return map(Spec->catalog().parseSet(Keys), Ds, Target);
+}
+
+PrimExpr DecompBuilder::join(PrimExpr L, PrimExpr R) const {
+  assert(L.valid() && R.valid() && "join of invalid primitives");
+  auto N = std::make_shared<PrimExpr::Node>();
+  N->Kind = PrimKind::Join;
+  N->Left = L.Impl;
+  N->Right = R.Impl;
+  return PrimExpr(std::move(N));
+}
+
+NodeId DecompBuilder::addNode(std::string Name, ColumnSet Bound, PrimExpr P) {
+  assert(P.valid() && "node needs a primitive");
+  DecompNode N;
+  N.Name = std::move(Name);
+  N.Bound = Bound;
+  N.Prim = InvalidIndex;
+  Pending.emplace_back(std::move(N), std::move(P));
+  return NextNode++;
+}
+
+NodeId DecompBuilder::addNode(std::string Name, std::string_view BoundCols,
+                              PrimExpr P) {
+  return addNode(std::move(Name), Spec->catalog().parseSet(BoundCols),
+                 std::move(P));
+}
+
+PrimId DecompBuilder::flattenPrim(
+    Decomposition &D, const std::shared_ptr<const PrimExpr::Node> &E,
+    NodeId From) {
+  PrimNode P;
+  P.Kind = E->Kind;
+  switch (E->Kind) {
+  case PrimKind::Unit:
+    P.Cols = E->Cols;
+    break;
+  case PrimKind::Map: {
+    P.Cols = E->Cols;
+    P.Ds = E->Ds;
+    P.Target = E->Target;
+    P.Edge = static_cast<EdgeId>(D.Edges.size());
+    MapEdge Edge;
+    Edge.From = From;
+    Edge.To = E->Target;
+    Edge.KeyCols = E->Cols;
+    Edge.Ds = E->Ds;
+    Edge.Prim = InvalidIndex; // patched below once P is in the pool
+    Edge.OrdinalInFrom = static_cast<unsigned>(D.Outgoing[From].size());
+    if (dsSupportsEraseByNode(E->Ds))
+      Edge.HookSlot = D.Nodes[E->Target].HookSlots++;
+    else
+      Edge.HookSlot = InvalidIndex;
+    D.Edges.push_back(Edge);
+    D.Outgoing[From].push_back(P.Edge);
+    D.Incoming[E->Target].push_back(P.Edge);
+    break;
+  }
+  case PrimKind::Join: {
+    // Flatten children first so edge ordinals follow tree order.
+    P.Left = flattenPrim(D, E->Left, From);
+    P.Right = flattenPrim(D, E->Right, From);
+    break;
+  }
+  }
+  PrimId Id = static_cast<PrimId>(D.Prims.size());
+  D.Prims.push_back(P);
+  if (P.Kind == PrimKind::Map)
+    D.Edges[P.Edge].Prim = Id;
+  if (P.Kind == PrimKind::Unit)
+    D.Units[From].push_back(Id);
+  return Id;
+}
+
+ColumnSet DecompBuilder::definesOf(const Decomposition &D, PrimId Id) const {
+  const PrimNode &P = D.prim(Id);
+  switch (P.Kind) {
+  case PrimKind::Unit:
+    return P.Cols;
+  case PrimKind::Map:
+    return P.Cols.unionWith(D.node(P.Target).Defines);
+  case PrimKind::Join:
+    return definesOf(D, P.Left).unionWith(definesOf(D, P.Right));
+  }
+  assert(false && "unknown PrimKind");
+  return ColumnSet();
+}
+
+Decomposition DecompBuilder::build() {
+  assert(!Pending.empty() && "decomposition needs at least one node");
+  Decomposition D;
+  D.Spec = Spec;
+  unsigned N = static_cast<unsigned>(Pending.size());
+  D.Outgoing.resize(N);
+  D.Incoming.resize(N);
+  D.Units.resize(N);
+  D.Nodes.reserve(N);
+
+  for (NodeId Id = 0; Id != N; ++Id) {
+    // Names must be unique.
+    for (NodeId Prev = 0; Prev != Id; ++Prev) {
+      assert(D.Nodes[Prev].Name != Pending[Id].first.Name &&
+             "duplicate node name in decomposition");
+      (void)Prev;
+    }
+    D.Nodes.push_back(Pending[Id].first);
+    DecompNode &Node = D.Nodes.back();
+    Node.Prim = flattenPrim(D, Pending[Id].second.Impl, Id);
+    Node.Defines = definesOf(D, Node.Prim);
+  }
+
+  // Connectivity: every non-root node must be referenced.
+  for (NodeId Id = 0; Id + 1 < N; ++Id) {
+    assert(!D.Incoming[Id].empty() &&
+           "unreferenced decomposition node (disconnected graph)");
+    (void)Id;
+  }
+  return D;
+}

@@ -1,0 +1,97 @@
+//===- decomp/Builder.h - Programmatic decomposition construction -*- C++ -*-===//
+//
+// Part of the RelC data representation synthesis library.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Fluent construction of decompositions. The scheduler decomposition
+/// of Fig. 2(a) is written:
+///
+///   DecompBuilder B(Spec);
+///   NodeId W = B.addNode("w", "ns, pid, state", B.unit("cpu"));
+///   NodeId Y = B.addNode("y", "ns", B.map("pid", DsKind::HashTable, W));
+///   NodeId Z = B.addNode("z", "state", B.map("ns, pid", DsKind::DList, W));
+///   B.addNode("x", "", B.join(B.map("ns", DsKind::HashTable, Y),
+///                             B.map("state", DsKind::Vector, Z)));
+///   Decomposition D = B.build();
+///
+/// The last node added is the root. build() performs structural
+/// validation only; semantic validity is the Adequacy judgment.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef RELC_DECOMP_BUILDER_H
+#define RELC_DECOMP_BUILDER_H
+
+#include "decomp/Decomposition.h"
+
+#include <memory>
+
+namespace relc {
+
+/// A value-type primitive expression under construction.
+class PrimExpr {
+public:
+  PrimExpr() = default;
+  bool valid() const { return Impl != nullptr; }
+
+private:
+  friend class DecompBuilder;
+
+  struct Node {
+    PrimKind Kind;
+    ColumnSet Cols;
+    DsKind Ds = DsKind::HashTable;
+    NodeId Target = InvalidIndex;
+    std::shared_ptr<const Node> Left, Right;
+  };
+
+  explicit PrimExpr(std::shared_ptr<const Node> Impl)
+      : Impl(std::move(Impl)) {}
+
+  std::shared_ptr<const Node> Impl;
+};
+
+/// Builds a Decomposition node by node, in let order.
+class DecompBuilder {
+public:
+  explicit DecompBuilder(RelSpecRef Spec);
+
+  /// A unit primitive with columns \p Cols (may be empty).
+  PrimExpr unit(ColumnSet Cols) const;
+  PrimExpr unit(std::string_view Cols) const;
+
+  /// A map primitive keyed by \p Keys (non-empty) targeting \p Target,
+  /// which must already have been added.
+  PrimExpr map(ColumnSet Keys, DsKind Ds, NodeId Target) const;
+  PrimExpr map(std::string_view Keys, DsKind Ds, NodeId Target) const;
+
+  /// A join of two primitives.
+  PrimExpr join(PrimExpr L, PrimExpr R) const;
+
+  /// Adds "let Name : Bound = P". \returns the new node's id.
+  NodeId addNode(std::string Name, ColumnSet Bound, PrimExpr P);
+  NodeId addNode(std::string Name, std::string_view BoundCols, PrimExpr P);
+
+  unsigned numNodes() const { return NextNode; }
+
+  /// Finalizes the decomposition: flattens primitives, derives Defines,
+  /// edges, ordinals, hook slots and adjacency. Asserts on structural
+  /// errors (unused nodes, empty map keys, forward references).
+  Decomposition build();
+
+private:
+  PrimId flattenPrim(Decomposition &D,
+                     const std::shared_ptr<const PrimExpr::Node> &E,
+                     NodeId From);
+  ColumnSet definesOf(const Decomposition &D, PrimId P) const;
+
+  RelSpecRef Spec;
+  std::vector<std::pair<DecompNode, PrimExpr>> Pending;
+  unsigned NextNode = 0;
+};
+
+} // namespace relc
+
+#endif // RELC_DECOMP_BUILDER_H

@@ -1,0 +1,295 @@
+//===- decomp/Parser.cpp - Decomposition text format ------------------------===//
+//
+// Part of the RelC data representation synthesis library.
+//
+//===----------------------------------------------------------------------===//
+
+#include "decomp/Parser.h"
+
+#include "decomp/Builder.h"
+
+#include <cctype>
+#include <map>
+
+using namespace relc;
+
+namespace {
+
+enum class TokKind { Ident, LBrace, RBrace, LParen, RParen, Comma, Colon,
+                     Equals, End };
+
+struct Token {
+  TokKind Kind;
+  std::string Text;
+  unsigned Line;
+};
+
+class Lexer {
+public:
+  Lexer(std::string_view Text) : Text(Text) {}
+
+  Token next() {
+    skipTrivia();
+    if (Pos >= Text.size())
+      return {TokKind::End, "", Line};
+    char C = Text[Pos];
+    switch (C) {
+    case '{':
+      ++Pos;
+      return {TokKind::LBrace, "{", Line};
+    case '}':
+      ++Pos;
+      return {TokKind::RBrace, "}", Line};
+    case '(':
+      ++Pos;
+      return {TokKind::LParen, "(", Line};
+    case ')':
+      ++Pos;
+      return {TokKind::RParen, ")", Line};
+    case ',':
+      ++Pos;
+      return {TokKind::Comma, ",", Line};
+    case ':':
+      ++Pos;
+      return {TokKind::Colon, ":", Line};
+    case '=':
+      ++Pos;
+      return {TokKind::Equals, "=", Line};
+    default:
+      break;
+    }
+    if (std::isalnum(static_cast<unsigned char>(C)) || C == '_') {
+      size_t Start = Pos;
+      while (Pos < Text.size() &&
+             (std::isalnum(static_cast<unsigned char>(Text[Pos])) ||
+              Text[Pos] == '_'))
+        ++Pos;
+      return {TokKind::Ident, std::string(Text.substr(Start, Pos - Start)),
+              Line};
+    }
+    // Unknown character: emit it as a bogus ident so the parser reports
+    // a sensible error.
+    ++Pos;
+    return {TokKind::Ident, std::string(1, C), Line};
+  }
+
+private:
+  void skipTrivia() {
+    while (Pos < Text.size()) {
+      char C = Text[Pos];
+      if (C == '\n') {
+        ++Line;
+        ++Pos;
+      } else if (std::isspace(static_cast<unsigned char>(C))) {
+        ++Pos;
+      } else if (C == '#') {
+        while (Pos < Text.size() && Text[Pos] != '\n')
+          ++Pos;
+      } else {
+        break;
+      }
+    }
+  }
+
+  std::string_view Text;
+  size_t Pos = 0;
+  unsigned Line = 1;
+};
+
+class Parser {
+public:
+  Parser(const RelSpecRef &Spec, std::string_view Text)
+      : Spec(Spec), Builder(Spec), Lex(Text) {
+    advance();
+  }
+
+  ParseResult run() {
+    while (Tok.Kind != TokKind::End && Error.empty()) {
+      if (!expectIdent("let"))
+        break;
+      parseBinding();
+    }
+    if (!Error.empty())
+      return {std::nullopt, Error};
+    if (Builder.numNodes() == 0)
+      return {std::nullopt, "no bindings found"};
+    // The builder asserts on disconnected graphs; report malformed user
+    // input as a parse error instead.
+    for (unsigned Id = 0; Id + 1 < Builder.numNodes(); ++Id)
+      if (Id >= Referenced.size() || !Referenced[Id])
+        return {std::nullopt, "node defined but never referenced (only the "
+                              "last binding may be the root)"};
+    return {Builder.build(), ""};
+  }
+
+private:
+  void advance() { Tok = Lex.next(); }
+
+  void fail(const std::string &Msg) {
+    if (Error.empty())
+      Error = "line " + std::to_string(Tok.Line) + ": " + Msg;
+  }
+
+  bool expect(TokKind K, const char *What) {
+    if (Tok.Kind != K) {
+      fail(std::string("expected ") + What + ", got '" + Tok.Text + "'");
+      return false;
+    }
+    advance();
+    return true;
+  }
+
+  bool expectIdent(std::string_view Word) {
+    if (Tok.Kind != TokKind::Ident || Tok.Text != Word) {
+      fail("expected '" + std::string(Word) + "', got '" + Tok.Text + "'");
+      return false;
+    }
+    advance();
+    return true;
+  }
+
+  /// colset := "{" [ident ("," ident)*] "}"
+  bool parseColumnSet(ColumnSet &Out) {
+    if (!expect(TokKind::LBrace, "'{'"))
+      return false;
+    Out = ColumnSet();
+    if (Tok.Kind == TokKind::RBrace) {
+      advance();
+      return true;
+    }
+    while (true) {
+      if (Tok.Kind != TokKind::Ident) {
+        fail("expected column name, got '" + Tok.Text + "'");
+        return false;
+      }
+      std::optional<ColumnId> Id = Spec->catalog().find(Tok.Text);
+      if (!Id) {
+        fail("unknown column '" + Tok.Text + "'");
+        return false;
+      }
+      Out.insert(*Id);
+      advance();
+      if (Tok.Kind == TokKind::Comma) {
+        advance();
+        continue;
+      }
+      return expect(TokKind::RBrace, "'}'");
+    }
+  }
+
+  /// prim := "unit" colset
+  ///       | "map" "(" colset "," dskind "," nodename ")"
+  ///       | "join" "(" prim "," prim ")"
+  PrimExpr parsePrim() {
+    if (Tok.Kind != TokKind::Ident) {
+      fail("expected primitive, got '" + Tok.Text + "'");
+      return PrimExpr();
+    }
+    std::string Head = Tok.Text;
+    advance();
+    if (Head == "unit") {
+      ColumnSet Cols;
+      if (!parseColumnSet(Cols))
+        return PrimExpr();
+      return Builder.unit(Cols);
+    }
+    if (Head == "map") {
+      if (!expect(TokKind::LParen, "'('"))
+        return PrimExpr();
+      ColumnSet Keys;
+      if (!parseColumnSet(Keys))
+        return PrimExpr();
+      if (Keys.empty()) {
+        fail("map key set must be non-empty");
+        return PrimExpr();
+      }
+      if (!expect(TokKind::Comma, "','"))
+        return PrimExpr();
+      if (Tok.Kind != TokKind::Ident) {
+        fail("expected data structure name, got '" + Tok.Text + "'");
+        return PrimExpr();
+      }
+      std::optional<DsKind> Ds = parseDsKind(Tok.Text);
+      if (!Ds) {
+        fail("unknown data structure '" + Tok.Text + "'");
+        return PrimExpr();
+      }
+      advance();
+      if (!expect(TokKind::Comma, "','"))
+        return PrimExpr();
+      if (Tok.Kind != TokKind::Ident) {
+        fail("expected node name, got '" + Tok.Text + "'");
+        return PrimExpr();
+      }
+      auto It = NodesByName.find(Tok.Text);
+      if (It == NodesByName.end()) {
+        fail("reference to undefined node '" + Tok.Text + "'");
+        return PrimExpr();
+      }
+      advance();
+      if (!expect(TokKind::RParen, "')'"))
+        return PrimExpr();
+      if (Referenced.size() <= It->second)
+        Referenced.resize(It->second + 1, false);
+      Referenced[It->second] = true;
+      return Builder.map(Keys, *Ds, It->second);
+    }
+    if (Head == "join") {
+      if (!expect(TokKind::LParen, "'('"))
+        return PrimExpr();
+      PrimExpr L = parsePrim();
+      if (!L.valid())
+        return PrimExpr();
+      if (!expect(TokKind::Comma, "','"))
+        return PrimExpr();
+      PrimExpr R = parsePrim();
+      if (!R.valid())
+        return PrimExpr();
+      if (!expect(TokKind::RParen, "')'"))
+        return PrimExpr();
+      return Builder.join(L, R);
+    }
+    fail("expected 'unit', 'map' or 'join', got '" + Head + "'");
+    return PrimExpr();
+  }
+
+  /// binding := "let" name ":" colset "=" prim   ("let" consumed by run)
+  void parseBinding() {
+    if (Tok.Kind != TokKind::Ident) {
+      fail("expected node name, got '" + Tok.Text + "'");
+      return;
+    }
+    std::string Name = Tok.Text;
+    if (NodesByName.count(Name)) {
+      fail("duplicate node name '" + Name + "'");
+      return;
+    }
+    advance();
+    if (!expect(TokKind::Colon, "':'"))
+      return;
+    ColumnSet Bound;
+    if (!parseColumnSet(Bound))
+      return;
+    if (!expect(TokKind::Equals, "'='"))
+      return;
+    PrimExpr P = parsePrim();
+    if (!P.valid())
+      return;
+    NodesByName[Name] = Builder.addNode(Name, Bound, std::move(P));
+  }
+
+  RelSpecRef Spec;
+  DecompBuilder Builder;
+  Lexer Lex;
+  Token Tok;
+  std::string Error;
+  std::map<std::string, NodeId> NodesByName;
+  std::vector<bool> Referenced;
+};
+
+} // namespace
+
+ParseResult relc::parseDecomposition(const RelSpecRef &Spec,
+                                     std::string_view Text) {
+  return Parser(Spec, Text).run();
+}

@@ -1,0 +1,46 @@
+//===- decomp/Parser.h - Decomposition text format --------------*- C++ -*-===//
+//
+// Part of the RelC data representation synthesis library.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Parses the textual let-notation for decompositions (the same format
+/// printDecomposition emits):
+///
+///   # the scheduler decomposition of Fig. 2(a)
+///   let w : {ns, pid, state} = unit {cpu}
+///   let y : {ns} = map({pid}, htable, w)
+///   let z : {state} = map({ns, pid}, dlist, w)
+///   let x : {} = join(map({ns}, htable, y), map({state}, vector, z))
+///
+/// The last binding is the root. '#' starts a line comment.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef RELC_DECOMP_PARSER_H
+#define RELC_DECOMP_PARSER_H
+
+#include "decomp/Decomposition.h"
+
+#include <optional>
+#include <string>
+
+namespace relc {
+
+/// Result of a parse: either a decomposition or an error message with a
+/// line number.
+struct ParseResult {
+  std::optional<Decomposition> Decomp;
+  std::string Error;
+
+  bool ok() const { return Decomp.has_value(); }
+};
+
+/// Parses \p Text against \p Spec. Never asserts on malformed input;
+/// errors are reported in the result.
+ParseResult parseDecomposition(const RelSpecRef &Spec, std::string_view Text);
+
+} // namespace relc
+
+#endif // RELC_DECOMP_PARSER_H

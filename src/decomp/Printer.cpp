@@ -1,0 +1,68 @@
+//===- decomp/Printer.cpp - Decomposition rendering ------------------------===//
+//
+// Part of the RelC data representation synthesis library.
+//
+//===----------------------------------------------------------------------===//
+
+#include "decomp/Printer.h"
+
+#include <cassert>
+
+using namespace relc;
+
+namespace {
+std::string renderPrim(const Decomposition &D, PrimId Id) {
+  const Catalog &Cat = D.catalog();
+  const PrimNode &P = D.prim(Id);
+  switch (P.Kind) {
+  case PrimKind::Unit:
+    return "unit " + Cat.setToString(P.Cols);
+  case PrimKind::Map:
+    return "map(" + Cat.setToString(P.Cols) + ", " + dsKindName(P.Ds) +
+           ", " + D.node(P.Target).Name + ")";
+  case PrimKind::Join:
+    return "join(" + renderPrim(D, P.Left) + ", " + renderPrim(D, P.Right) +
+           ")";
+  }
+  assert(false && "unknown PrimKind");
+  return "";
+}
+} // namespace
+
+std::string relc::printDecomposition(const Decomposition &D) {
+  const Catalog &Cat = D.catalog();
+  std::string Out;
+  for (NodeId Id = 0; Id != D.numNodes(); ++Id) {
+    const DecompNode &N = D.node(Id);
+    Out += "let " + N.Name + " : " + Cat.setToString(N.Bound) + " = " +
+           renderPrim(D, N.Prim) + "\n";
+  }
+  return Out;
+}
+
+std::string relc::printDecompositionDot(const Decomposition &D) {
+  const Catalog &Cat = D.catalog();
+  std::string Out = "digraph decomposition {\n  rankdir=TB;\n";
+  for (NodeId Id = 0; Id != D.numNodes(); ++Id) {
+    const DecompNode &N = D.node(Id);
+    std::string Label = N.Name;
+    if (!D.unitsOf(Id).empty()) {
+      Label += "\\n";
+      for (PrimId U : D.unitsOf(Id))
+        Label += Cat.setToString(D.prim(U).Cols);
+    }
+    Out += "  n" + std::to_string(Id) + " [label=\"" + Label + "\"];\n";
+  }
+  for (const MapEdge &E : D.edges()) {
+    const char *Style = "solid";
+    if (E.Ds == DsKind::DList || E.Ds == DsKind::IList)
+      Style = "dashed";
+    else if (E.Ds == DsKind::Vector)
+      Style = "dotted";
+    Out += "  n" + std::to_string(E.From) + " -> n" + std::to_string(E.To) +
+           " [label=\"" + Cat.setToString(E.KeyCols) + " (" +
+           dsKindName(E.Ds) + ")\", style=" + Style + "];\n";
+  }
+  Out += "}\n";
+  return Out;
+}

@@ -1,0 +1,35 @@
+//===- decomp/Printer.h - Decomposition rendering ---------------*- C++ -*-===//
+//
+// Part of the RelC data representation synthesis library.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Renders decompositions in the textual let-notation accepted by the
+/// parser (round-trippable) and as Graphviz dot for figures like the
+/// paper's Fig. 2(a) and Fig. 12.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef RELC_DECOMP_PRINTER_H
+#define RELC_DECOMP_PRINTER_H
+
+#include "decomp/Decomposition.h"
+
+#include <string>
+
+namespace relc {
+
+/// Renders the let-notation, one binding per line:
+///   let w : {ns, pid, state} = unit {cpu}
+///   let y : {ns} = map({pid}, htable, w)
+///   ...
+std::string printDecomposition(const Decomposition &D);
+
+/// Renders a Graphviz digraph. Solid edges are trees/hashes, dashed are
+/// lists, dotted are vectors (matching the paper's figure conventions).
+std::string printDecompositionDot(const Decomposition &D);
+
+} // namespace relc
+
+#endif // RELC_DECOMP_PRINTER_H

@@ -1,0 +1,212 @@
+//===- ds/AvlCore.h - Generic AVL tree algorithm ----------------*- C++ -*-===//
+//
+// Part of the RelC data representation synthesis library.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The AVL balancing algorithm shared by the non-intrusive AvlMap and
+/// the intrusive IntrusiveAvl containers. The cell layout is abstracted
+/// behind an Ops policy so the same (notoriously fiddly) rebalancing
+/// logic is written and tested exactly once:
+///
+///   struct Ops {
+///     static CellT *&left(CellT *);
+///     static CellT *&right(CellT *);
+///     static int32_t &height(CellT *);
+///     static const KeyT &key(const CellT *);
+///     static bool less(const KeyT &, const KeyT &);
+///   };
+///
+/// All entry points are static and take the root pointer explicitly, so
+/// callers own the storage (important for intrusive trees, where the
+/// container is just a root pointer plus a hook slot).
+///
+/// Erase relinks cells rather than swapping payloads, which is required
+/// for the intrusive instantiation (the cell *is* the client's node).
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef RELC_DS_AVLCORE_H
+#define RELC_DS_AVLCORE_H
+
+#include <cassert>
+#include <cstdint>
+#include <utility>
+
+namespace relc {
+
+template <typename CellT, typename KeyT, typename Ops> struct AvlCore {
+  static CellT *find(CellT *Root, const KeyT &K) {
+    CellT *C = Root;
+    while (C) {
+      if (Ops::less(K, Ops::key(C)))
+        C = Ops::left(C);
+      else if (Ops::less(Ops::key(C), K))
+        C = Ops::right(C);
+      else
+        return C;
+    }
+    return nullptr;
+  }
+
+  /// Links \p Cell (whose key must not already be present) into the tree.
+  static void insert(CellT *&Root, CellT *Cell) {
+    Ops::left(Cell) = nullptr;
+    Ops::right(Cell) = nullptr;
+    Ops::height(Cell) = 1;
+    Root = insertRec(Root, Cell);
+  }
+
+  /// Unlinks and returns the cell with key \p K, or nullptr.
+  static CellT *erase(CellT *&Root, const KeyT &K) {
+    CellT *Removed = nullptr;
+    Root = eraseRec(Root, K, Removed);
+    return Removed;
+  }
+
+  /// Calls \p Fn(cell) in key order; \p Fn returns false to stop early.
+  /// \returns false if iteration was stopped.
+  template <typename FnT> static bool forEach(CellT *Root, FnT &&Fn) {
+    return forEachRec(Root, Fn);
+  }
+
+  /// Verifies AVL invariants (ordering + balance); for tests.
+  static bool checkInvariants(CellT *Root) { return checkRec(Root).Ok; }
+
+private:
+  static int32_t heightOf(CellT *C) { return C ? Ops::height(C) : 0; }
+
+  static void updateHeight(CellT *C) {
+    int32_t Hl = heightOf(Ops::left(C));
+    int32_t Hr = heightOf(Ops::right(C));
+    Ops::height(C) = 1 + (Hl > Hr ? Hl : Hr);
+  }
+
+  static int32_t balanceOf(CellT *C) {
+    return heightOf(Ops::left(C)) - heightOf(Ops::right(C));
+  }
+
+  static CellT *rotateRight(CellT *Y) {
+    CellT *X = Ops::left(Y);
+    Ops::left(Y) = Ops::right(X);
+    Ops::right(X) = Y;
+    updateHeight(Y);
+    updateHeight(X);
+    return X;
+  }
+
+  static CellT *rotateLeft(CellT *X) {
+    CellT *Y = Ops::right(X);
+    Ops::right(X) = Ops::left(Y);
+    Ops::left(Y) = X;
+    updateHeight(X);
+    updateHeight(Y);
+    return Y;
+  }
+
+  static CellT *rebalance(CellT *C) {
+    updateHeight(C);
+    int32_t B = balanceOf(C);
+    if (B > 1) {
+      if (balanceOf(Ops::left(C)) < 0)
+        Ops::left(C) = rotateLeft(Ops::left(C));
+      return rotateRight(C);
+    }
+    if (B < -1) {
+      if (balanceOf(Ops::right(C)) > 0)
+        Ops::right(C) = rotateRight(Ops::right(C));
+      return rotateLeft(C);
+    }
+    return C;
+  }
+
+  static CellT *insertRec(CellT *C, CellT *Cell) {
+    if (!C)
+      return Cell;
+    if (Ops::less(Ops::key(Cell), Ops::key(C)))
+      Ops::left(C) = insertRec(Ops::left(C), Cell);
+    else {
+      assert(Ops::less(Ops::key(C), Ops::key(Cell)) &&
+             "duplicate key inserted into AVL tree");
+      Ops::right(C) = insertRec(Ops::right(C), Cell);
+    }
+    return rebalance(C);
+  }
+
+  /// Unlinks the minimum cell of the subtree rooted at \p C into \p Min
+  /// and returns the new subtree root.
+  static CellT *detachMin(CellT *C, CellT *&Min) {
+    if (!Ops::left(C)) {
+      Min = C;
+      return Ops::right(C);
+    }
+    Ops::left(C) = detachMin(Ops::left(C), Min);
+    return rebalance(C);
+  }
+
+  static CellT *eraseRec(CellT *C, const KeyT &K, CellT *&Removed) {
+    if (!C)
+      return nullptr;
+    if (Ops::less(K, Ops::key(C))) {
+      Ops::left(C) = eraseRec(Ops::left(C), K, Removed);
+      return rebalance(C);
+    }
+    if (Ops::less(Ops::key(C), K)) {
+      Ops::right(C) = eraseRec(Ops::right(C), K, Removed);
+      return rebalance(C);
+    }
+    Removed = C;
+    CellT *L = Ops::left(C);
+    CellT *R = Ops::right(C);
+    if (!L)
+      return R;
+    if (!R)
+      return L;
+    // Two children: splice the successor cell into C's position.
+    CellT *Min = nullptr;
+    R = detachMin(R, Min);
+    Ops::left(Min) = L;
+    Ops::right(Min) = R;
+    return rebalance(Min);
+  }
+
+  template <typename FnT> static bool forEachRec(CellT *C, FnT &&Fn) {
+    if (!C)
+      return true;
+    if (!forEachRec(Ops::left(C), Fn))
+      return false;
+    if (!Fn(C))
+      return false;
+    return forEachRec(Ops::right(C), Fn);
+  }
+
+  struct CheckResult {
+    bool Ok;
+    int32_t Height;
+  };
+
+  static CheckResult checkRec(CellT *C) {
+    if (!C)
+      return {true, 0};
+    CheckResult L = checkRec(Ops::left(C));
+    CheckResult R = checkRec(Ops::right(C));
+    if (!L.Ok || !R.Ok)
+      return {false, 0};
+    if (Ops::left(C) && !Ops::less(Ops::key(Ops::left(C)), Ops::key(C)))
+      return {false, 0};
+    if (Ops::right(C) && !Ops::less(Ops::key(C), Ops::key(Ops::right(C))))
+      return {false, 0};
+    int32_t H = 1 + (L.Height > R.Height ? L.Height : R.Height);
+    if (H != Ops::height(C))
+      return {false, 0};
+    int32_t B = L.Height - R.Height;
+    if (B < -1 || B > 1)
+      return {false, 0};
+    return {true, H};
+  }
+};
+
+} // namespace relc
+
+#endif // RELC_DS_AVLCORE_H

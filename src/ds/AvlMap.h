@@ -1,0 +1,123 @@
+//===- ds/AvlMap.h - Ordered tree map ---------------------------*- C++ -*-===//
+//
+// Part of the RelC data representation synthesis library.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The paper's `btree` primitive (the std::map role of Section 6): an
+/// ordered map implemented as a non-intrusive AVL tree over heap cells.
+/// O(log n) lookup/insert/erase; scans are in key order.
+///
+/// Traits must supply `less`.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef RELC_DS_AVLMAP_H
+#define RELC_DS_AVLMAP_H
+
+#include "ds/AvlCore.h"
+
+#include <cassert>
+#include <cstddef>
+
+namespace relc {
+
+template <typename Traits> class AvlMap {
+public:
+  using KeyT = typename Traits::KeyT;
+  using NodeT = typename Traits::NodeT;
+
+  AvlMap() = default;
+  AvlMap(const AvlMap &) = delete;
+  AvlMap &operator=(const AvlMap &) = delete;
+
+  ~AvlMap() { destroyRec(Root); }
+
+  size_t size() const { return Size; }
+  bool empty() const { return Size == 0; }
+
+  NodeT *lookup(const KeyT &K) const {
+    Cell *C = Core::find(Root, K);
+    return C ? C->Child : nullptr;
+  }
+
+  void insert(const KeyT &K, NodeT *Child) {
+    Cell *C = new Cell;
+    C->Key = K;
+    C->Child = Child;
+    Core::insert(Root, C);
+    ++Size;
+  }
+
+  NodeT *erase(const KeyT &K) {
+    Cell *C = Core::erase(Root, K);
+    if (!C)
+      return nullptr;
+    NodeT *Child = C->Child;
+    delete C;
+    --Size;
+    return Child;
+  }
+
+  /// O(n) fallback (scan for the entry, then key-erase).
+  bool eraseNode(NodeT *Child) {
+    const Cell *Found = nullptr;
+    Core::forEach(Root, [&](Cell *C) {
+      if (C->Child == Child) {
+        Found = C;
+        return false;
+      }
+      return true;
+    });
+    if (!Found)
+      return false;
+    KeyT K = Found->Key;
+    return erase(K) != nullptr;
+  }
+
+  template <typename FnT> bool forEach(FnT &&Fn) const {
+    return Core::forEach(Root, [&](Cell *C) {
+      return Fn(static_cast<const KeyT &>(C->Key), C->Child);
+    });
+  }
+
+  /// For tests.
+  bool checkInvariants() const { return Core::checkInvariants(Root); }
+
+private:
+  struct Cell {
+    KeyT Key{};
+    NodeT *Child = nullptr;
+    Cell *Left = nullptr;
+    Cell *Right = nullptr;
+    int32_t Height = 0;
+  };
+
+  struct CellOps {
+    static Cell *&left(Cell *C) { return C->Left; }
+    static Cell *&right(Cell *C) { return C->Right; }
+    static int32_t &height(Cell *C) { return C->Height; }
+    static const KeyT &key(const Cell *C) { return C->Key; }
+    static bool less(const KeyT &A, const KeyT &B) {
+      return Traits::less(A, B);
+    }
+  };
+
+  using Core = AvlCore<Cell, KeyT, CellOps>;
+
+  static void destroyRec(Cell *C) {
+    if (!C)
+      return;
+    destroyRec(C->Left);
+    destroyRec(C->Right);
+    delete C;
+  }
+
+  Cell *Root = nullptr;
+  size_t Size = 0;
+};
+
+} // namespace relc
+
+#endif // RELC_DS_AVLMAP_H

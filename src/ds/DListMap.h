@@ -1,0 +1,132 @@
+//===- ds/DListMap.h - Doubly-linked list map -------------------*- C++ -*-===//
+//
+// Part of the RelC data representation synthesis library.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The paper's `dlist` primitive: an unordered doubly-linked list of
+/// key/value pairs (the std::list wrapper of Section 6). O(n) lookup,
+/// O(1) insertion; scans follow insertion order.
+///
+/// The Traits policy supplies key comparison:
+///   struct Traits {
+///     using KeyT = ...; using NodeT = ...;
+///     static bool equal(const KeyT &, const KeyT &);
+///   };
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef RELC_DS_DLISTMAP_H
+#define RELC_DS_DLISTMAP_H
+
+#include "support/Checks.h"
+
+#include <cassert>
+#include <cstddef>
+#include <utility>
+
+namespace relc {
+
+template <typename Traits> class DListMap {
+public:
+  using KeyT = typename Traits::KeyT;
+  using NodeT = typename Traits::NodeT;
+
+  DListMap() = default;
+  DListMap(const DListMap &) = delete;
+  DListMap &operator=(const DListMap &) = delete;
+
+  ~DListMap() {
+    Cell *C = Head;
+    while (C) {
+      Cell *Next = C->Next;
+      delete C;
+      C = Next;
+    }
+  }
+
+  size_t size() const { return Size; }
+  bool empty() const { return Size == 0; }
+
+  NodeT *lookup(const KeyT &K) const {
+    Cell *C = findCell(K);
+    return C ? C->Child : nullptr;
+  }
+
+  void insert(const KeyT &K, NodeT *Child) {
+    RELC_EXPENSIVE_ASSERT(!findCell(K) && "duplicate key in DListMap");
+    Cell *C = new Cell{K, Child, nullptr, Head};
+    if (Head)
+      Head->Prev = C;
+    Head = C;
+    if (!Tail)
+      Tail = C;
+    ++Size;
+  }
+
+  NodeT *erase(const KeyT &K) {
+    Cell *C = findCell(K);
+    if (!C)
+      return nullptr;
+    NodeT *Child = C->Child;
+    unlink(C);
+    delete C;
+    --Size;
+    return Child;
+  }
+
+  /// Erases the entry pointing at \p Child. O(n): non-intrusive lists
+  /// must search; intrusive lists do this in O(1).
+  bool eraseNode(NodeT *Child) {
+    for (Cell *C = Head; C; C = C->Next)
+      if (C->Child == Child) {
+        unlink(C);
+        delete C;
+        --Size;
+        return true;
+      }
+    return false;
+  }
+
+  template <typename FnT> bool forEach(FnT &&Fn) const {
+    for (Cell *C = Head; C; C = C->Next)
+      if (!Fn(static_cast<const KeyT &>(C->Key), C->Child))
+        return false;
+    return true;
+  }
+
+private:
+  struct Cell {
+    KeyT Key;
+    NodeT *Child;
+    Cell *Prev;
+    Cell *Next;
+  };
+
+  Cell *findCell(const KeyT &K) const {
+    for (Cell *C = Head; C; C = C->Next)
+      if (Traits::equal(C->Key, K))
+        return C;
+    return nullptr;
+  }
+
+  void unlink(Cell *C) {
+    if (C->Prev)
+      C->Prev->Next = C->Next;
+    else
+      Head = C->Next;
+    if (C->Next)
+      C->Next->Prev = C->Prev;
+    else
+      Tail = C->Prev;
+  }
+
+  Cell *Head = nullptr;
+  Cell *Tail = nullptr;
+  size_t Size = 0;
+};
+
+} // namespace relc
+
+#endif // RELC_DS_DLISTMAP_H

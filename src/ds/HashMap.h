@@ -1,0 +1,136 @@
+//===- ds/HashMap.h - Chained hash table map --------------------*- C++ -*-===//
+//
+// Part of the RelC data representation synthesis library.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The paper's `htable` primitive (the boost::unordered_map wrapper of
+/// Section 6): a separately-chained hash table with doubling growth.
+/// Expected O(1) lookup/insert/erase.
+///
+/// Traits must supply:
+///   static bool equal(const KeyT &, const KeyT &);
+///   static size_t hash(const KeyT &);
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef RELC_DS_HASHMAP_H
+#define RELC_DS_HASHMAP_H
+
+#include "support/Checks.h"
+
+#include <cassert>
+#include <cstddef>
+#include <vector>
+
+namespace relc {
+
+template <typename Traits> class HashMap {
+public:
+  using KeyT = typename Traits::KeyT;
+  using NodeT = typename Traits::NodeT;
+
+  HashMap() : Buckets(InitialBuckets, nullptr) {}
+  HashMap(const HashMap &) = delete;
+  HashMap &operator=(const HashMap &) = delete;
+
+  ~HashMap() {
+    for (Cell *Head : Buckets)
+      while (Head) {
+        Cell *Next = Head->Next;
+        delete Head;
+        Head = Next;
+      }
+  }
+
+  size_t size() const { return Size; }
+  bool empty() const { return Size == 0; }
+
+  NodeT *lookup(const KeyT &K) const {
+    for (Cell *C = Buckets[bucketOf(K)]; C; C = C->Next)
+      if (Traits::equal(C->Key, K))
+        return C->Child;
+    return nullptr;
+  }
+
+  void insert(const KeyT &K, NodeT *Child) {
+    RELC_EXPENSIVE_ASSERT(!lookup(K) && "duplicate key in HashMap");
+    if (Size + 1 > Buckets.size())
+      rehash(Buckets.size() * 2);
+    size_t B = bucketOf(K);
+    Buckets[B] = new Cell{K, Child, Buckets[B]};
+    ++Size;
+  }
+
+  NodeT *erase(const KeyT &K) {
+    Cell **Link = &Buckets[bucketOf(K)];
+    while (*Link) {
+      Cell *C = *Link;
+      if (Traits::equal(C->Key, K)) {
+        NodeT *Child = C->Child;
+        *Link = C->Next;
+        delete C;
+        --Size;
+        return Child;
+      }
+      Link = &C->Next;
+    }
+    return nullptr;
+  }
+
+  /// O(n) fallback; hash tables are not intrusive.
+  bool eraseNode(NodeT *Child) {
+    for (Cell *&Head : Buckets)
+      for (Cell **Link = &Head; *Link; Link = &(*Link)->Next)
+        if ((*Link)->Child == Child) {
+          Cell *C = *Link;
+          *Link = C->Next;
+          delete C;
+          --Size;
+          return true;
+        }
+    return false;
+  }
+
+  template <typename FnT> bool forEach(FnT &&Fn) const {
+    for (Cell *Head : Buckets)
+      for (Cell *C = Head; C; C = C->Next)
+        if (!Fn(static_cast<const KeyT &>(C->Key), C->Child))
+          return false;
+    return true;
+  }
+
+private:
+  static constexpr size_t InitialBuckets = 8;
+
+  struct Cell {
+    KeyT Key;
+    NodeT *Child;
+    Cell *Next;
+  };
+
+  size_t bucketOf(const KeyT &K) const {
+    return Traits::hash(K) & (Buckets.size() - 1);
+  }
+
+  void rehash(size_t NewCount) {
+    std::vector<Cell *> Old = std::move(Buckets);
+    Buckets.assign(NewCount, nullptr);
+    for (Cell *Head : Old)
+      while (Head) {
+        Cell *Next = Head->Next;
+        size_t B = bucketOf(Head->Key);
+        Head->Next = Buckets[B];
+        Buckets[B] = Head;
+        Head = Next;
+      }
+  }
+
+  std::vector<Cell *> Buckets;
+  size_t Size = 0;
+};
+
+} // namespace relc
+
+#endif // RELC_DS_HASHMAP_H

@@ -1,0 +1,184 @@
+//===- ds/IntrusiveAvl.h - Intrusive ordered tree map -----------*- C++ -*-===//
+//
+// Part of the RelC data representation synthesis library.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The paper's intrusive ordered map (the boost::intrusive::set wrapper
+/// of Section 6): the child nodes themselves are the AVL cells, so
+/// membership costs no allocation and an entry can be removed given the
+/// child alone (O(log n), via the key cached in its hook). Shares the
+/// balancing algorithm in AvlCore with the non-intrusive AvlMap.
+///
+/// AvlCore requires stateless accessors but the hook slot is chosen at
+/// run time, so each possible slot gets its own Ops instantiation and
+/// operations dispatch once on the slot.
+///
+/// Traits must supply `hook`, `less` and `equal`.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef RELC_DS_INTRUSIVEAVL_H
+#define RELC_DS_INTRUSIVEAVL_H
+
+#include "ds/AvlCore.h"
+#include "ds/MapHook.h"
+
+#include <cassert>
+#include <cstddef>
+
+namespace relc {
+
+template <typename Traits> class IntrusiveAvl {
+public:
+  using KeyT = typename Traits::KeyT;
+  using NodeT = typename Traits::NodeT;
+  using Hook = MapHook<NodeT, KeyT>;
+
+  /// Nodes support at most this many intrusive hook slots.
+  static constexpr unsigned MaxSlots = 8;
+
+  /// \p Slot selects which of the child's hooks this tree uses.
+  explicit IntrusiveAvl(unsigned Slot) : Slot(Slot) {
+    assert(Slot < MaxSlots && "hook slot beyond supported maximum");
+  }
+  IntrusiveAvl(const IntrusiveAvl &) = delete;
+  IntrusiveAvl &operator=(const IntrusiveAvl &) = delete;
+
+  ~IntrusiveAvl() { unlinkRec(Root); }
+
+  size_t size() const { return Size; }
+  bool empty() const { return Size == 0; }
+
+  NodeT *lookup(const KeyT &K) const {
+    NodeT *N = Root;
+    while (N) {
+      const Hook &H = hookOf(N);
+      if (Traits::less(K, H.Key))
+        N = H.A;
+      else if (Traits::less(H.Key, K))
+        N = H.B;
+      else
+        return N;
+    }
+    return nullptr;
+  }
+
+  void insert(const KeyT &K, NodeT *Child) {
+    Hook &H = hookOf(Child);
+    assert(!H.Linked && "node already linked through this hook slot");
+    H.Key = K;
+    H.Linked = true;
+    dispatch([&]<unsigned S>() { CoreFor<S>::insert(Root, Child); });
+    ++Size;
+  }
+
+  NodeT *erase(const KeyT &K) {
+    NodeT *Removed = nullptr;
+    dispatch([&]<unsigned S>() { Removed = CoreFor<S>::erase(Root, K); });
+    if (!Removed)
+      return nullptr;
+    hookOf(Removed) = Hook();
+    --Size;
+    return Removed;
+  }
+
+  /// O(log n): re-finds the entry through the key cached in its hook.
+  bool eraseNode(NodeT *Child) {
+    Hook &H = hookOf(Child);
+    if (!H.Linked)
+      return false;
+    KeyT K = H.Key;
+    [[maybe_unused]] NodeT *Removed = erase(K);
+    assert(Removed == Child && "hook key resolved to a different node");
+    return true;
+  }
+
+  template <typename FnT> bool forEach(FnT &&Fn) const {
+    bool Result = true;
+    dispatch([&]<unsigned S>() {
+      Result = CoreFor<S>::forEach(Root, [&](NodeT *N) {
+        return Fn(static_cast<const KeyT &>(hookOf(N).Key), N);
+      });
+    });
+    return Result;
+  }
+
+  /// For tests.
+  bool checkInvariants() const {
+    bool Result = true;
+    dispatch([&]<unsigned S>() { Result = CoreFor<S>::checkInvariants(Root); });
+    return Result;
+  }
+
+private:
+  /// Ops bound to a compile-time slot.
+  template <unsigned S> struct SlotOps {
+    static NodeT *&left(NodeT *N) { return Traits::hook(N, S).A; }
+    static NodeT *&right(NodeT *N) { return Traits::hook(N, S).B; }
+    static int32_t &height(NodeT *N) { return Traits::hook(N, S).Aux; }
+    static const KeyT &key(const NodeT *N) {
+      return Traits::hook(const_cast<NodeT *>(N), S).Key;
+    }
+    static bool less(const KeyT &A, const KeyT &B) {
+      return Traits::less(A, B);
+    }
+  };
+
+  template <unsigned S> using CoreFor = AvlCore<NodeT, KeyT, SlotOps<S>>;
+
+  template <typename FnT> void dispatch(FnT &&Fn) const {
+    switch (Slot) {
+    case 0:
+      Fn.template operator()<0>();
+      return;
+    case 1:
+      Fn.template operator()<1>();
+      return;
+    case 2:
+      Fn.template operator()<2>();
+      return;
+    case 3:
+      Fn.template operator()<3>();
+      return;
+    case 4:
+      Fn.template operator()<4>();
+      return;
+    case 5:
+      Fn.template operator()<5>();
+      return;
+    case 6:
+      Fn.template operator()<6>();
+      return;
+    case 7:
+      Fn.template operator()<7>();
+      return;
+    }
+    assert(false && "hook slot beyond supported maximum");
+  }
+
+  Hook &hookOf(NodeT *N) const { return Traits::hook(N, Slot); }
+
+  void unlinkRec(NodeT *N) {
+    if (!N)
+      return;
+    Hook &H = hookOf(N);
+    NodeT *L = H.A;
+    NodeT *R = H.B;
+    H = Hook();
+    unlinkRec(L);
+    unlinkRec(R);
+  }
+
+  // Root is mutated through dispatch() from logically-const operations
+  // (AvlCore::erase takes the root by reference even when it only
+  // reads); keep it mutable so const entry points stay const.
+  mutable NodeT *Root = nullptr;
+  size_t Size = 0;
+  unsigned Slot;
+};
+
+} // namespace relc
+
+#endif // RELC_DS_INTRUSIVEAVL_H

@@ -1,0 +1,128 @@
+//===- ds/IntrusiveList.h - Intrusive doubly-linked list map ----*- C++ -*-===//
+//
+// Part of the RelC data representation synthesis library.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The paper's intrusive `dlist` (the boost::intrusive::list wrapper of
+/// Section 6): link fields live inside the child node, so membership
+/// costs no allocation and an entry can be unlinked in O(1) given only
+/// the child pointer. This is what makes removal through a *shared*
+/// node cheap (Section 6.1: "because the lists are intrusive the
+/// compiler can find node w using either path and remove it from both
+/// paths without requiring any additional lookups").
+///
+/// Traits must supply:
+///   static MapHook<NodeT, KeyT> &hook(NodeT *, unsigned Slot);
+///   static bool equal(const KeyT &, const KeyT &);
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef RELC_DS_INTRUSIVELIST_H
+#define RELC_DS_INTRUSIVELIST_H
+
+#include "ds/MapHook.h"
+#include "support/Checks.h"
+
+#include <cassert>
+#include <cstddef>
+
+namespace relc {
+
+template <typename Traits> class IntrusiveList {
+public:
+  using KeyT = typename Traits::KeyT;
+  using NodeT = typename Traits::NodeT;
+  using Hook = MapHook<NodeT, KeyT>;
+
+  /// \p Slot selects which of the child's hooks this list uses; distinct
+  /// incoming intrusive edges of one node use distinct slots.
+  explicit IntrusiveList(unsigned Slot) : Slot(Slot) {}
+  IntrusiveList(const IntrusiveList &) = delete;
+  IntrusiveList &operator=(const IntrusiveList &) = delete;
+
+  ~IntrusiveList() {
+    // Unlink everything so hooks do not dangle into a dead list.
+    NodeT *N = Head;
+    while (N) {
+      Hook &H = hookOf(N);
+      NodeT *Next = H.B;
+      H = Hook();
+      N = Next;
+    }
+  }
+
+  size_t size() const { return Size; }
+  bool empty() const { return Size == 0; }
+
+  NodeT *lookup(const KeyT &K) const {
+    for (NodeT *N = Head; N; N = hookOf(N).B)
+      if (Traits::equal(hookOf(N).Key, K))
+        return N;
+    return nullptr;
+  }
+
+  void insert(const KeyT &K, NodeT *Child) {
+    Hook &H = hookOf(Child);
+    assert(!H.Linked && "node already linked through this hook slot");
+    RELC_EXPENSIVE_ASSERT(!lookup(K) && "duplicate key in IntrusiveList");
+    H.Key = K;
+    H.Linked = true;
+    H.A = nullptr;
+    H.B = Head;
+    if (Head)
+      hookOf(Head).A = Child;
+    Head = Child;
+    ++Size;
+  }
+
+  NodeT *erase(const KeyT &K) {
+    NodeT *N = lookup(K);
+    if (!N)
+      return nullptr;
+    eraseNode(N);
+    return N;
+  }
+
+  /// O(1): unlink via the child's embedded hook.
+  bool eraseNode(NodeT *Child) {
+    Hook &H = hookOf(Child);
+    if (!H.Linked)
+      return false;
+    if (H.A)
+      hookOf(H.A).B = H.B;
+    else {
+      assert(Head == Child && "unlinked node claims to be linked");
+      Head = H.B;
+    }
+    if (H.B)
+      hookOf(H.B).A = H.A;
+    H = Hook();
+    --Size;
+    return true;
+  }
+
+  template <typename FnT> bool forEach(FnT &&Fn) const {
+    NodeT *N = Head;
+    while (N) {
+      // Read the next link before calling Fn in case Fn unlinks N.
+      NodeT *Next = hookOf(N).B;
+      if (!Fn(static_cast<const KeyT &>(hookOf(N).Key), N))
+        return false;
+      N = Next;
+    }
+    return true;
+  }
+
+private:
+  Hook &hookOf(NodeT *N) const { return Traits::hook(N, Slot); }
+
+  NodeT *Head = nullptr;
+  size_t Size = 0;
+  unsigned Slot;
+};
+
+} // namespace relc
+
+#endif // RELC_DS_INTRUSIVELIST_H

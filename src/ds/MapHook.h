@@ -1,0 +1,36 @@
+//===- ds/MapHook.h - Intrusive container hooks ----------------*- C++ -*-===//
+//
+// Part of the RelC data representation synthesis library.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Hook storage for intrusive containers. A node shared by several
+/// intrusive map edges (the whole point of decomposition sharing, cf.
+/// Fig. 2 and Fig. 12) embeds one MapHook per incoming intrusive edge;
+/// containers address their hook through the Traits::hook accessor.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef RELC_DS_MAPHOOK_H
+#define RELC_DS_MAPHOOK_H
+
+#include <cstdint>
+
+namespace relc {
+
+/// One intrusive link record. IntrusiveList uses A/B as prev/next;
+/// IntrusiveAvl uses A/B as left/right and Aux as subtree height. The
+/// key is cached in the hook so that intrusive containers can compare
+/// and re-find entries without consulting the owner.
+template <typename NodeT, typename KeyT> struct MapHook {
+  NodeT *A = nullptr;
+  NodeT *B = nullptr;
+  int32_t Aux = 0;
+  bool Linked = false;
+  KeyT Key{};
+};
+
+} // namespace relc
+
+#endif // RELC_DS_MAPHOOK_H

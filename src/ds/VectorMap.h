@@ -1,0 +1,91 @@
+//===- ds/VectorMap.h - Dense array map -------------------------*- C++ -*-===//
+//
+// Part of the RelC data representation synthesis library.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The paper's `vector` primitive: an array mapping small non-negative
+/// integer keys to children (used e.g. for the two-valued `state` column
+/// of the scheduler, Fig. 2). O(1) lookup; scans are in key order and
+/// skip holes. Keys are raw indices; callers translate their key type
+/// to/from size_t (the instance layer does this for tuples, generated
+/// code for typed integer columns).
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef RELC_DS_VECTORMAP_H
+#define RELC_DS_VECTORMAP_H
+
+#include <cassert>
+#include <cstddef>
+#include <vector>
+
+namespace relc {
+
+template <typename NodeT> class VectorMap {
+public:
+  using KeyT = size_t;
+
+  /// Refuse to grow beyond this many slots; a decomposition mapping a
+  /// high-cardinality column through a vector is a (legal) bad choice,
+  /// but an absurd index is almost certainly a bug.
+  static constexpr size_t MaxSlots = size_t(1) << 26;
+
+  VectorMap() = default;
+  VectorMap(const VectorMap &) = delete;
+  VectorMap &operator=(const VectorMap &) = delete;
+
+  size_t size() const { return Size; }
+  bool empty() const { return Size == 0; }
+
+  NodeT *lookup(size_t I) const {
+    return I < Slots.size() ? Slots[I] : nullptr;
+  }
+
+  void insert(size_t I, NodeT *Child) {
+    assert(I < MaxSlots && "vector map key out of supported range");
+    if (I >= Slots.size())
+      Slots.resize(I + 1, nullptr);
+    assert(!Slots[I] && "duplicate key in VectorMap");
+    Slots[I] = Child;
+    ++Size;
+  }
+
+  NodeT *erase(size_t I) {
+    if (I >= Slots.size() || !Slots[I])
+      return nullptr;
+    NodeT *Child = Slots[I];
+    Slots[I] = nullptr;
+    --Size;
+    return Child;
+  }
+
+  bool eraseNode(NodeT *Child) {
+    for (size_t I = 0; I != Slots.size(); ++I)
+      if (Slots[I] == Child) {
+        Slots[I] = nullptr;
+        --Size;
+        return true;
+      }
+    return false;
+  }
+
+  template <typename FnT> bool forEach(FnT &&Fn) const {
+    for (size_t I = 0; I != Slots.size(); ++I) {
+      if (!Slots[I])
+        continue;
+      if (!Fn(I, Slots[I]))
+        return false;
+    }
+    return true;
+  }
+
+private:
+  std::vector<NodeT *> Slots;
+  size_t Size = 0;
+};
+
+} // namespace relc
+
+#endif // RELC_DS_VECTORMAP_H

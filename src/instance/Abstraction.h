@@ -1,0 +1,33 @@
+//===- instance/Abstraction.h - The abstraction function α ------*- C++ -*-===//
+//
+// Part of the RelC data representation synthesis library.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The abstraction function α of Section 3.2: maps a decomposition
+/// instance to the relation it represents. This is the semantic anchor
+/// for every soundness statement (Lemmas 2-4, Theorem 5); tests compare
+/// α-images of synthesized representations against the Relation oracle.
+/// Exponential in principle, fine on test-sized instances.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef RELC_INSTANCE_ABSTRACTION_H
+#define RELC_INSTANCE_ABSTRACTION_H
+
+#include "instance/InstanceGraph.h"
+#include "rel/Relation.h"
+
+namespace relc {
+
+/// α(d, ·): the relation represented by the whole instance graph.
+Relation abstractInstance(const InstanceGraph &G);
+
+/// α of a single node instance: the relation (with the node's Defines
+/// columns) represented by the subgraph rooted at \p N.
+Relation abstractNode(const NodeInstance *N);
+
+} // namespace relc
+
+#endif // RELC_INSTANCE_ABSTRACTION_H

@@ -1,0 +1,139 @@
+//===- instance/EdgeMap.cpp - Type-erased edge containers -------------------===//
+//
+// Part of the RelC data representation synthesis library.
+//
+//===----------------------------------------------------------------------===//
+
+#include "instance/EdgeMap.h"
+
+#include "ds/AvlMap.h"
+#include "ds/DListMap.h"
+#include "ds/HashMap.h"
+#include "ds/IntrusiveAvl.h"
+#include "ds/IntrusiveList.h"
+#include "ds/VectorMap.h"
+#include "instance/NodeInstance.h"
+
+using namespace relc;
+
+namespace {
+
+/// Traits binding the ds/ container templates to the dynamic engine's
+/// tuple keys and NodeInstance children.
+struct InterpTraits {
+  using KeyT = Tuple;
+  using NodeT = NodeInstance;
+
+  static bool less(const Tuple &A, const Tuple &B) { return A < B; }
+  static bool equal(const Tuple &A, const Tuple &B) { return A == B; }
+  static size_t hash(const Tuple &K) { return K.hash(); }
+  static MapHook<NodeInstance, Tuple> &hook(NodeInstance *N, unsigned Slot) {
+    return N->hook(Slot);
+  }
+};
+
+/// Adapter gluing a concrete container to the EdgeMap interface.
+template <typename ContainerT> class EdgeMapImpl final : public EdgeMap {
+public:
+  template <typename... ArgTs>
+  explicit EdgeMapImpl(DsKind Kind, ArgTs &&...Args)
+      : EdgeMap(Kind), Container(std::forward<ArgTs>(Args)...) {}
+
+  size_t size() const override { return Container.size(); }
+
+  NodeInstance *lookup(const Tuple &Key) const override {
+    return Container.lookup(Key);
+  }
+
+  void insert(const Tuple &Key, NodeInstance *Child) override {
+    Container.insert(Key, Child);
+  }
+
+  NodeInstance *erase(const Tuple &Key) override {
+    return Container.erase(Key);
+  }
+
+  bool eraseNode(NodeInstance *Child) override {
+    return Container.eraseNode(Child);
+  }
+
+  bool forEach(
+      function_ref<bool(const Tuple &, NodeInstance *)> Fn) const override {
+    return Container.forEach(
+        [&](const Tuple &K, NodeInstance *N) { return Fn(K, N); });
+  }
+
+private:
+  ContainerT Container;
+};
+
+/// Vector maps store raw indices; this adapter converts the edge's
+/// single-column integer keys to/from indices.
+class VectorEdgeMap final : public EdgeMap {
+public:
+  explicit VectorEdgeMap(ColumnId KeyCol)
+      : EdgeMap(DsKind::Vector), KeyCol(KeyCol) {}
+
+  size_t size() const override { return Container.size(); }
+
+  NodeInstance *lookup(const Tuple &Key) const override {
+    return Container.lookup(toIndex(Key));
+  }
+
+  void insert(const Tuple &Key, NodeInstance *Child) override {
+    Container.insert(toIndex(Key), Child);
+  }
+
+  NodeInstance *erase(const Tuple &Key) override {
+    return Container.erase(toIndex(Key));
+  }
+
+  bool eraseNode(NodeInstance *Child) override {
+    return Container.eraseNode(Child);
+  }
+
+  bool forEach(
+      function_ref<bool(const Tuple &, NodeInstance *)> Fn) const override {
+    return Container.forEach([&](size_t I, NodeInstance *N) {
+      Tuple Key;
+      Key.set(KeyCol, Value::ofInt(static_cast<int64_t>(I)));
+      return Fn(Key, N);
+    });
+  }
+
+private:
+  size_t toIndex(const Tuple &Key) const {
+    const Value &V = Key.get(KeyCol);
+    assert(V.isInt() && "vector-map keys must be integers");
+    assert(V.asInt() >= 0 && "vector-map keys must be non-negative");
+    return static_cast<size_t>(V.asInt());
+  }
+
+  VectorMap<NodeInstance> Container;
+  ColumnId KeyCol;
+};
+
+} // namespace
+
+std::unique_ptr<EdgeMap> EdgeMap::create(const MapEdge &Edge) {
+  switch (Edge.Ds) {
+  case DsKind::DList:
+    return std::make_unique<EdgeMapImpl<DListMap<InterpTraits>>>(Edge.Ds);
+  case DsKind::HashTable:
+    return std::make_unique<EdgeMapImpl<HashMap<InterpTraits>>>(Edge.Ds);
+  case DsKind::Btree:
+    return std::make_unique<EdgeMapImpl<AvlMap<InterpTraits>>>(Edge.Ds);
+  case DsKind::Vector:
+    assert(Edge.KeyCols.size() == 1 &&
+           "vector maps require a single key column");
+    return std::make_unique<VectorEdgeMap>(Edge.KeyCols.first());
+  case DsKind::IList:
+    return std::make_unique<EdgeMapImpl<IntrusiveList<InterpTraits>>>(
+        Edge.Ds, Edge.HookSlot);
+  case DsKind::ITree:
+    return std::make_unique<EdgeMapImpl<IntrusiveAvl<InterpTraits>>>(
+        Edge.Ds, Edge.HookSlot);
+  }
+  assert(false && "unknown DsKind");
+  return nullptr;
+}

@@ -1,0 +1,73 @@
+//===- instance/EdgeMap.h - Type-erased edge containers ---------*- C++ -*-===//
+//
+// Part of the RelC data representation synthesis library.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The dynamic engine's view of one map-edge container. Decompositions
+/// choose ψ per edge at run time, so the six ds/ container templates are
+/// instantiated with tuple keys and NodeInstance children and wrapped
+/// behind this small virtual interface. (RELC-generated C++ code uses
+/// the templates directly, with no virtual dispatch.)
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef RELC_INSTANCE_EDGEMAP_H
+#define RELC_INSTANCE_EDGEMAP_H
+
+#include "decomp/Decomposition.h"
+#include "rel/Tuple.h"
+#include "support/FunctionRef.h"
+
+#include <memory>
+
+namespace relc {
+
+class NodeInstance;
+
+/// Abstract key→child associative container backing one map edge.
+/// Keys are tuples over the edge's key columns.
+class EdgeMap {
+public:
+  virtual ~EdgeMap() = default;
+
+  DsKind kind() const { return Kind; }
+
+  virtual size_t size() const = 0;
+  bool empty() const { return size() == 0; }
+
+  /// \returns the child for \p Key, or nullptr.
+  virtual NodeInstance *lookup(const Tuple &Key) const = 0;
+
+  /// Inserts a fresh entry; \p Key must not be present.
+  virtual void insert(const Tuple &Key, NodeInstance *Child) = 0;
+
+  /// Erases by key. \returns the unlinked child, or nullptr.
+  virtual NodeInstance *erase(const Tuple &Key) = 0;
+
+  /// Erases the entry pointing at \p Child. O(1)/O(log n) for intrusive
+  /// kinds, a scan otherwise. \returns false if not present.
+  virtual bool eraseNode(NodeInstance *Child) = 0;
+
+  /// Iterates entries; \p Fn returns false to stop early.
+  /// \returns false if stopped. \p Fn must not mutate the container:
+  /// tree-backed maps rebalance on erase, which invalidates the
+  /// traversal. (The mutators therefore collect matches before erasing.)
+  virtual bool
+  forEach(function_ref<bool(const Tuple &, NodeInstance *)> Fn) const = 0;
+
+  /// Instantiates the container for \p Edge (ψ and, for intrusive
+  /// kinds, the hook slot in the target node).
+  static std::unique_ptr<EdgeMap> create(const MapEdge &Edge);
+
+protected:
+  explicit EdgeMap(DsKind Kind) : Kind(Kind) {}
+
+private:
+  DsKind Kind;
+};
+
+} // namespace relc
+
+#endif // RELC_INSTANCE_EDGEMAP_H

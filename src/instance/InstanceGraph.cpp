@@ -1,0 +1,57 @@
+//===- instance/InstanceGraph.cpp - Owning instance graph -------------------===//
+//
+// Part of the RelC data representation synthesis library.
+//
+//===----------------------------------------------------------------------===//
+
+#include "instance/InstanceGraph.h"
+
+#include <vector>
+
+using namespace relc;
+
+InstanceGraph::InstanceGraph(std::shared_ptr<const Decomposition> D)
+    : D(std::move(D)) {
+  assert(this->D && "instance graph needs a decomposition");
+  Root = create(this->D->root(), Tuple());
+  Root->retain(); // The graph itself holds the root reference.
+}
+
+InstanceGraph::~InstanceGraph() {
+  if (Root && Root->releaseRef() == 0)
+    destroy(Root);
+}
+
+NodeInstance *InstanceGraph::create(NodeId Node, Tuple Bound) {
+  ++Live;
+  return new NodeInstance(*D, Node, std::move(Bound));
+}
+
+void InstanceGraph::release(NodeInstance *N) {
+  if (N->releaseRef() == 0)
+    destroy(N);
+}
+
+void InstanceGraph::destroy(NodeInstance *N) {
+  assert(N->refCount() == 0 && "destroying a referenced instance");
+  // Collect children before the containers die, then release them after
+  // N is gone (container destructors unlink intrusive hooks, which must
+  // happen while the children are still alive).
+  std::vector<NodeInstance *> Children;
+  for (unsigned I = 0; I != N->numEdgeMaps(); ++I)
+    N->edgeMap(I).forEach([&](const Tuple &, NodeInstance *Child) {
+      Children.push_back(Child);
+      return true;
+    });
+  delete N;
+  --Live;
+  for (NodeInstance *Child : Children)
+    release(Child);
+}
+
+void InstanceGraph::clear() {
+  if (Root->releaseRef() == 0)
+    destroy(Root);
+  Root = create(D->root(), Tuple());
+  Root->retain();
+}

@@ -1,0 +1,66 @@
+//===- instance/InstanceGraph.h - Owning instance graph ---------*- C++ -*-===//
+//
+// Part of the RelC data representation synthesis library.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Owns a decomposition instance: the root NodeInstance plus reference-
+/// counted interior instances. Destruction of an instance cascades to
+/// children whose counts reach zero, mirroring the paper's "instances
+/// of nodes in Y become unreachable ... and can be deallocated"
+/// (Section 4.5).
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef RELC_INSTANCE_INSTANCEGRAPH_H
+#define RELC_INSTANCE_INSTANCEGRAPH_H
+
+#include "instance/NodeInstance.h"
+
+#include <memory>
+
+namespace relc {
+
+class InstanceGraph {
+public:
+  /// Creates dempty d̂: a sole root instance with no map entries
+  /// (Section 4.4).
+  explicit InstanceGraph(std::shared_ptr<const Decomposition> D);
+
+  ~InstanceGraph();
+
+  InstanceGraph(const InstanceGraph &) = delete;
+  InstanceGraph &operator=(const InstanceGraph &) = delete;
+
+  const Decomposition &decomp() const { return *D; }
+  const std::shared_ptr<const Decomposition> &decompRef() const { return D; }
+
+  NodeInstance *root() const { return Root; }
+
+  /// Allocates an instance of \p Node with refcount 0; the caller links
+  /// it into parent containers and retains it per link.
+  NodeInstance *create(NodeId Node, Tuple Bound);
+
+  /// Drops one reference; destroys the instance (recursively releasing
+  /// its children) when the count reaches zero.
+  void release(NodeInstance *N);
+
+  /// Resets to the empty instance.
+  void clear();
+
+  /// Number of live NodeInstances, including the root (leak checking
+  /// and memory accounting in tests/benches).
+  size_t liveInstances() const { return Live; }
+
+private:
+  void destroy(NodeInstance *N);
+
+  std::shared_ptr<const Decomposition> D;
+  NodeInstance *Root = nullptr;
+  size_t Live = 0;
+};
+
+} // namespace relc
+
+#endif // RELC_INSTANCE_INSTANCEGRAPH_H

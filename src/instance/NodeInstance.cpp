@@ -1,0 +1,54 @@
+//===- instance/NodeInstance.cpp - Decomposition instance nodes -------------===//
+//
+// Part of the RelC data representation synthesis library.
+//
+//===----------------------------------------------------------------------===//
+
+#include "instance/NodeInstance.h"
+
+using namespace relc;
+
+NodeInstance::NodeInstance(const Decomposition &D, NodeId Id, Tuple Bound)
+    : D(&D), Id(Id), Bound(std::move(Bound)) {
+  const DecompNode &Node = D.node(Id);
+  assert(this->Bound.columns() == Node.Bound &&
+         "bound valuation must cover exactly the node's bound columns");
+
+  for (PrimId U : D.unitsOf(Id))
+    Units.emplace_back(U, Tuple());
+
+  for (EdgeId E : D.outgoing(Id))
+    Edges.push_back(EdgeMap::create(D.edge(E)));
+
+  if (Node.HookSlots > 0)
+    Hooks = std::make_unique<Hook[]>(Node.HookSlots);
+}
+
+const Tuple &NodeInstance::unitValues(PrimId U) const {
+  for (const auto &[Prim, Values] : Units)
+    if (Prim == U)
+      return Values;
+  assert(false && "primitive is not a unit of this node");
+  static const Tuple Empty = Tuple();
+  return Empty;
+}
+
+void NodeInstance::setUnitValues(PrimId U, Tuple Values) {
+  assert(Values.columns() == D->prim(U).Cols &&
+         "unit values must cover exactly the unit's columns");
+  for (auto &[Prim, Existing] : Units)
+    if (Prim == U) {
+      Existing = std::move(Values);
+      return;
+    }
+  assert(false && "primitive is not a unit of this node");
+}
+
+bool NodeInstance::representsEmpty() const {
+  if (Edges.empty())
+    return false;
+  for (const auto &Map : Edges)
+    if (Map->empty())
+      return true;
+  return false;
+}

@@ -1,0 +1,94 @@
+//===- instance/NodeInstance.h - Decomposition instance nodes ---*- C++ -*-===//
+//
+// Part of the RelC data representation synthesis library.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Run-time instances of decomposition nodes (Section 3.1, Fig. 4):
+/// one NodeInstance exists per decomposition node v and valuation of its
+/// bound columns B. An instance owns one container per outgoing map
+/// edge, stores the tuples of its unit primitives, embeds one intrusive
+/// hook per incoming intrusive edge, and carries a reference count equal
+/// to the number of container entries pointing at it — this is how
+/// decomposition sharing (the same w reachable from y and z in Fig. 2)
+/// is realized physically.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef RELC_INSTANCE_NODEINSTANCE_H
+#define RELC_INSTANCE_NODEINSTANCE_H
+
+#include "ds/MapHook.h"
+#include "instance/EdgeMap.h"
+#include "rel/Tuple.h"
+#include "support/SmallVector.h"
+
+#include <memory>
+
+namespace relc {
+
+class NodeInstance {
+public:
+  using Hook = MapHook<NodeInstance, Tuple>;
+
+  /// Creates an instance of node \p Id with bound valuation \p Bound,
+  /// allocating its edge containers and hooks. Unit values start unset.
+  NodeInstance(const Decomposition &D, NodeId Id, Tuple Bound);
+
+  NodeId id() const { return Id; }
+  const DecompNode &node() const { return D->node(Id); }
+  const Decomposition &decomp() const { return *D; }
+
+  const Tuple &bound() const { return Bound; }
+  /// dupdate rewrites bound valuations in place (Section 4.5).
+  void setBound(Tuple NewBound) { Bound = std::move(NewBound); }
+
+  /// The stored tuple of unit primitive \p U (a PrimId of this node).
+  const Tuple &unitValues(PrimId U) const;
+  void setUnitValues(PrimId U, Tuple Values);
+
+  /// The container of the outgoing edge with the given per-node ordinal.
+  EdgeMap &edgeMap(unsigned Ordinal) {
+    assert(Ordinal < Edges.size() && "edge ordinal out of range");
+    return *Edges[Ordinal];
+  }
+  const EdgeMap &edgeMap(unsigned Ordinal) const {
+    assert(Ordinal < Edges.size() && "edge ordinal out of range");
+    return *Edges[Ordinal];
+  }
+  unsigned numEdgeMaps() const { return static_cast<unsigned>(Edges.size()); }
+
+  /// Intrusive hook storage; \p Slot < node().HookSlots.
+  Hook &hook(unsigned Slot) {
+    assert(Slot < node().HookSlots && "hook slot out of range");
+    return Hooks[Slot];
+  }
+
+  unsigned refCount() const { return RefCount; }
+  void retain() { ++RefCount; }
+  /// \returns the new count; the caller destroys the instance at zero.
+  unsigned releaseRef() {
+    assert(RefCount > 0 && "release of unreferenced instance");
+    return --RefCount;
+  }
+
+  /// True if this instance represents the empty relation: it has map
+  /// edges and at least one of its containers is empty (a join is empty
+  /// when either side is; well-formedness keeps parallel maps
+  /// consistent, see Section 4.5 "devoid of children").
+  bool representsEmpty() const;
+
+private:
+  const Decomposition *D;
+  NodeId Id;
+  Tuple Bound;
+  SmallVector<std::pair<PrimId, Tuple>, 1> Units;
+  SmallVector<std::unique_ptr<EdgeMap>, 2> Edges;
+  std::unique_ptr<Hook[]> Hooks;
+  unsigned RefCount = 0;
+};
+
+} // namespace relc
+
+#endif // RELC_INSTANCE_NODEINSTANCE_H

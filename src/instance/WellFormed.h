@@ -1,0 +1,47 @@
+//===- instance/WellFormed.h - Well-formedness of instances -----*- C++ -*-===//
+//
+// Part of the RelC data representation synthesis library.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The well-formedness judgment Γ,d |= Γ̂,d̂ of Section 3.3 (Fig. 5),
+/// checked dynamically over a live instance graph, plus the physical
+/// invariants the dynamic engine adds on top of the paper's rules
+/// (canonical sharing and accurate reference counts). Tests run this
+/// after every mutation to validate Lemmas 3-4 / Theorem 5.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef RELC_INSTANCE_WELLFORMED_H
+#define RELC_INSTANCE_WELLFORMED_H
+
+#include "instance/InstanceGraph.h"
+
+#include <string>
+
+namespace relc {
+
+struct WfResult {
+  bool Ok = false;
+  std::string Error;
+
+  static WfResult success() { return {true, ""}; }
+  static WfResult failure(std::string Msg) { return {false, std::move(Msg)}; }
+};
+
+/// Checks, over the whole reachable instance graph:
+///  - (WFUNIT): unit tuples cover exactly their declared columns;
+///  - (WFMAP):  entry keys cover exactly the edge's key columns, match
+///              every tuple of the child's α-image, and the child's
+///              bound valuation extends parent-bound ∪ key;
+///  - (WFJOIN): both sides of each join agree on their α projections
+///              (no dangling tuples);
+///  - sharing is canonical: at most one instance per (node, bound
+///    valuation);
+///  - reference counts equal the number of incoming container entries.
+WfResult checkWellFormed(const InstanceGraph &G);
+
+} // namespace relc
+
+#endif // RELC_INSTANCE_WELLFORMED_H

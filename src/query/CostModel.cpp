@@ -1,0 +1,45 @@
+//===- query/CostModel.cpp - Query cost estimation --------------------------===//
+//
+// Part of the RelC data representation synthesis library.
+//
+//===----------------------------------------------------------------------===//
+
+#include "query/CostModel.h"
+
+#include <cassert>
+
+using namespace relc;
+
+namespace {
+double costStep(const Decomposition &D, const QueryPlan &P, PlanStepId Id,
+                const CostParams &Params) {
+  const PlanStep &S = P.Steps[Id];
+  switch (S.Kind) {
+  case PlanKind::Unit:
+    return 1.0;
+  case PlanKind::Scan: {
+    const PrimNode &Prim = D.prim(S.Prim);
+    double C = Params.fanout(Prim.Edge);
+    return C * costStep(D, P, S.Child0, Params);
+  }
+  case PlanKind::Lookup: {
+    const PrimNode &Prim = D.prim(S.Prim);
+    double C = Params.fanout(Prim.Edge);
+    return dsLookupCost(Prim.Ds, C) * costStep(D, P, S.Child0, Params);
+  }
+  case PlanKind::Lr:
+    return costStep(D, P, S.Child0, Params);
+  case PlanKind::Join:
+    return costStep(D, P, S.Child0, Params) +
+           costStep(D, P, S.Child1, Params);
+  }
+  assert(false && "unknown PlanKind");
+  return 0.0;
+}
+} // namespace
+
+double relc::estimatePlanCost(const Decomposition &D, const QueryPlan &P,
+                              const CostParams &Params) {
+  assert(P.valid() && "cost of an invalid plan");
+  return costStep(D, P, P.Root, Params);
+}

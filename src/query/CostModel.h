@@ -1,0 +1,51 @@
+//===- query/CostModel.h - Query cost estimation ----------------*- C++ -*-===//
+//
+// Part of the RelC data representation synthesis library.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The heuristic cost estimator E of Section 4.3. Every edge carries an
+/// expected fanout c(v1,v2) — the number of entries per parent instance
+/// — supplied by the user, by profiling, or defaulted. Each data
+/// structure contributes mψ(n) lookup cost (ds/DsKind.h).
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef RELC_QUERY_COSTMODEL_H
+#define RELC_QUERY_COSTMODEL_H
+
+#include "query/Plan.h"
+
+#include <unordered_map>
+
+namespace relc {
+
+/// Per-decomposition cost parameters: expected fanout per map edge.
+class CostParams {
+public:
+  CostParams() = default;
+  explicit CostParams(double DefaultFanout) : DefaultFanout(DefaultFanout) {}
+
+  double fanout(EdgeId E) const {
+    auto It = Fanout.find(E);
+    return It == Fanout.end() ? DefaultFanout : It->second;
+  }
+
+  void setFanout(EdgeId E, double C) { Fanout[E] = C; }
+  void setDefaultFanout(double C) { DefaultFanout = C; }
+  double defaultFanout() const { return DefaultFanout; }
+
+private:
+  double DefaultFanout = 8.0;
+  std::unordered_map<EdgeId, double> Fanout;
+};
+
+/// E(q): expected memory accesses of one execution of \p P over \p D
+/// (Section 4.3; joins are costed optimistically as E(q1) + E(q2)).
+double estimatePlanCost(const Decomposition &D, const QueryPlan &P,
+                        const CostParams &Params);
+
+} // namespace relc
+
+#endif // RELC_QUERY_COSTMODEL_H

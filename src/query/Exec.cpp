@@ -1,0 +1,96 @@
+//===- query/Exec.cpp - Query plan execution ---------------------------------===//
+//
+// Part of the RelC data representation synthesis library.
+//
+//===----------------------------------------------------------------------===//
+
+#include "query/Exec.h"
+
+#include <cassert>
+
+using namespace relc;
+
+namespace {
+
+/// Recursive interpreter in continuation-passing style: each step
+/// delivers result bindings to a continuation, so a join simply chains
+/// its second query as the continuation of its first — nested
+/// iteration, no intermediate storage.
+///
+/// The binding tuple accumulates the input pattern plus every column
+/// bound along the plan; scans and units filter against it (this is
+/// what makes plans with A ⊆ B faithful to `query r s C`, cf. Lemma 2).
+class Executor {
+public:
+  Executor(const QueryPlan &Plan, const Decomposition &D)
+      : Plan(Plan), D(D) {}
+
+  using Sink = function_ref<bool(const Tuple &)>;
+
+  /// \returns false if the consumer stopped the execution.
+  bool run(PlanStepId Id, const NodeInstance *Inst, const Tuple &Binding,
+           Sink Cont) const {
+    const PlanStep &S = Plan.Steps[Id];
+    switch (S.Kind) {
+    case PlanKind::Unit: {
+      // (QUNIT), extended: the instance's bound valuation joins the
+      // binding alongside the unit fields (see Validity.cpp). Both are
+      // filtered against the pattern/binding first.
+      const Tuple &Bound = Inst->bound();
+      if (!Bound.matches(Binding))
+        return true;
+      const Tuple &U = Inst->unitValues(S.Prim);
+      if (!U.matches(Binding))
+        return true;
+      return Cont(Binding.merge(Bound).merge(U));
+    }
+    case PlanKind::Scan: {
+      const MapEdge &Edge = D.edge(D.prim(S.Prim).Edge);
+      const EdgeMap &Map = Inst->edgeMap(Edge.OrdinalInFrom);
+      const NodeInstance *Parent = Inst;
+      (void)Parent;
+      return Map.forEach([&](const Tuple &Key, NodeInstance *Child) {
+        if (!Key.matches(Binding))
+          return true;
+        return run(S.Child0, Child, Binding.merge(Key), Cont);
+      });
+    }
+    case PlanKind::Lookup: {
+      const MapEdge &Edge = D.edge(D.prim(S.Prim).Edge);
+      const EdgeMap &Map = Inst->edgeMap(Edge.OrdinalInFrom);
+      // (QLOOKUP) validity guarantees the key columns are bound.
+      Tuple Key = Binding.project(Edge.KeyCols);
+      NodeInstance *Child = Map.lookup(Key);
+      if (!Child)
+        return true;
+      return run(S.Child0, Child, Binding, Cont);
+    }
+    case PlanKind::Lr:
+      return run(S.Child0, Inst, Binding, Cont);
+    case PlanKind::Join:
+      // Nested execution: the second query runs once per tuple the
+      // first produces, with the enriched binding.
+      return run(S.Child0, Inst, Binding, [&](const Tuple &B1) {
+        return run(S.Child1, Inst, B1, Cont);
+      });
+    }
+    assert(false && "unknown PlanKind");
+    return true;
+  }
+
+private:
+  const QueryPlan &Plan;
+  const Decomposition &D;
+};
+
+} // namespace
+
+void relc::execPlan(const QueryPlan &Plan, const InstanceGraph &G,
+                    const Tuple &Pattern,
+                    function_ref<bool(const Tuple &)> Emit) {
+  assert(Plan.valid() && "executing an invalid plan");
+  assert(Pattern.columns() == Plan.InputCols &&
+         "pattern columns must match the plan's input columns");
+  Executor E(Plan, G.decomp());
+  E.run(Plan.Root, G.root(), Pattern, Emit);
+}

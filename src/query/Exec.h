@@ -1,0 +1,38 @@
+//===- query/Exec.h - Query plan execution ----------------------*- C++ -*-===//
+//
+// Part of the RelC data representation synthesis library.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// dqexec (Section 4.1): evaluates a query plan over a decomposition
+/// instance, producing the tuples represented by the instance that
+/// match the input pattern. Execution is constant-space — no
+/// intermediate collections; results stream through a callback, with
+/// nested joins realized as nested iteration. (The RELC code generator
+/// emits a specialized version of this interpreter per plan.)
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef RELC_QUERY_EXEC_H
+#define RELC_QUERY_EXEC_H
+
+#include "instance/InstanceGraph.h"
+#include "query/Plan.h"
+#include "support/FunctionRef.h"
+
+namespace relc {
+
+/// Evaluates \p Plan over \p G with input pattern \p Pattern (whose
+/// columns must equal Plan.InputCols). \p Emit is called once per
+/// result with a tuple binding Plan.OutputCols ∪ Plan.InputCols;
+/// returning false stops execution early.
+///
+/// Results are not deduplicated (constant-space execution cannot be —
+/// Section 4.1); callers project and deduplicate as needed.
+void execPlan(const QueryPlan &Plan, const InstanceGraph &G,
+              const Tuple &Pattern, function_ref<bool(const Tuple &)> Emit);
+
+} // namespace relc
+
+#endif // RELC_QUERY_EXEC_H

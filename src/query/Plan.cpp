@@ -1,0 +1,53 @@
+//===- query/Plan.cpp - Query plans -----------------------------------------===//
+//
+// Part of the RelC data representation synthesis library.
+//
+//===----------------------------------------------------------------------===//
+
+#include "query/Plan.h"
+
+#include <cassert>
+
+using namespace relc;
+
+namespace {
+void renderStep(const QueryPlan &P, PlanStepId Id, std::string &Out) {
+  const PlanStep &S = P.Steps[Id];
+  switch (S.Kind) {
+  case PlanKind::Unit:
+    Out += "qunit";
+    return;
+  case PlanKind::Scan:
+    Out += "qscan(";
+    renderStep(P, S.Child0, Out);
+    Out += ")";
+    return;
+  case PlanKind::Lookup:
+    Out += "qlookup(";
+    renderStep(P, S.Child0, Out);
+    Out += ")";
+    return;
+  case PlanKind::Lr:
+    Out += "qlr(";
+    renderStep(P, S.Child0, Out);
+    Out += S.Left ? ", left)" : ", right)";
+    return;
+  case PlanKind::Join:
+    Out += "qjoin(";
+    renderStep(P, S.Child0, Out);
+    Out += ", ";
+    renderStep(P, S.Child1, Out);
+    Out += S.Left ? ", left)" : ", right)";
+    return;
+  }
+  assert(false && "unknown PlanKind");
+}
+} // namespace
+
+std::string QueryPlan::str() const {
+  if (!valid())
+    return "<no plan>";
+  std::string Out;
+  renderStep(*this, Root, Out);
+  return Out;
+}

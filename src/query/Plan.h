@@ -1,0 +1,64 @@
+//===- query/Plan.h - Query plans -------------------------------*- C++ -*-===//
+//
+// Part of the RelC data representation synthesis library.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Query plans per Section 4.1 (Fig. 7): a tree of operators
+/// superimposed on a decomposition, prescribing which nodes and edges
+/// to visit and how (scan vs lookup, join order, or one side only).
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef RELC_QUERY_PLAN_H
+#define RELC_QUERY_PLAN_H
+
+#include "decomp/Decomposition.h"
+
+#include <string>
+#include <vector>
+
+namespace relc {
+
+enum class PlanKind {
+  Unit,   ///< qunit — emit the unit tuple if it matches.
+  Scan,   ///< qscan(q) — iterate a map's entries.
+  Lookup, ///< qlookup(q) — single-key probe of a map.
+  Lr,     ///< qlr(q, side) — query one side of a join, ignore the other.
+  Join,   ///< qjoin(q1, q2, side) — nested execution across both sides.
+};
+
+using PlanStepId = unsigned;
+
+/// One operator of a plan tree. Prim ties the step to the primitive it
+/// traverses: the unit for Unit, the map for Scan/Lookup, the join for
+/// Lr/Join.
+struct PlanStep {
+  PlanKind Kind;
+  PrimId Prim = InvalidIndex;
+  PlanStepId Child0 = InvalidIndex; ///< Scan/Lookup/Lr subplan; Join q1.
+  PlanStepId Child1 = InvalidIndex; ///< Join q2.
+  bool Left = true; ///< Lr: which side; Join: which side runs first.
+};
+
+/// A complete plan for one (input columns, output columns) query shape
+/// against one decomposition. Steps are stored in a pool; Root is the
+/// index of the top step.
+struct QueryPlan {
+  std::vector<PlanStep> Steps;
+  PlanStepId Root = InvalidIndex;
+  ColumnSet InputCols;  ///< A — columns bound in the input pattern.
+  ColumnSet OutputCols; ///< B — columns bound in emitted tuples.
+  double EstimatedCost = 0.0;
+
+  bool valid() const { return Root != InvalidIndex; }
+
+  /// Renders the paper's notation, e.g.
+  /// "qjoin(qlookup(qscan(qunit)), qlookup(qlookup(qunit)), left)".
+  std::string str() const;
+};
+
+} // namespace relc
+
+#endif // RELC_QUERY_PLAN_H

@@ -1,0 +1,221 @@
+//===- query/Planner.cpp - Cost-based query planner --------------------------===//
+//
+// Part of the RelC data representation synthesis library.
+//
+//===----------------------------------------------------------------------===//
+
+#include "query/Planner.h"
+
+#include "query/Validity.h"
+
+#include <algorithm>
+#include <cassert>
+#include <map>
+#include <memory>
+
+using namespace relc;
+
+namespace {
+
+/// Candidate plan tree node (shared so Pareto fronts can reuse
+/// subplans without copying).
+struct CandNode {
+  PlanKind Kind;
+  PrimId Prim;
+  std::shared_ptr<const CandNode> C0, C1;
+  bool Left = true;
+};
+
+using CandRef = std::shared_ptr<const CandNode>;
+
+/// A candidate with its judgment output B and estimated cost.
+struct Candidate {
+  ColumnSet B;
+  double Cost;
+  CandRef Tree;
+};
+
+class Planner {
+public:
+  Planner(const Decomposition &D, const CostParams &Params)
+      : D(D), Params(Params), Fds(D.spec()->fds()) {
+    for (NodeId Id = 0; Id != D.numNodes(); ++Id)
+      for (PrimId U : D.unitsOf(Id))
+        UnitOwner[U] = Id;
+  }
+
+  /// Pareto front of valid plans for \p Prim under input columns \p A.
+  const std::vector<Candidate> &plansFor(PrimId Prim, ColumnSet A) {
+    auto Key = std::make_pair(Prim, A.mask());
+    auto It = Memo.find(Key);
+    if (It != Memo.end())
+      return It->second;
+    // Insert a placeholder first: the decomposition is a DAG (no prim
+    // recursion through itself), so re-entrancy cannot happen, but the
+    // reference into the map must stay stable while we compute.
+    std::vector<Candidate> Result = computePlans(Prim, A);
+    return Memo.emplace(Key, std::move(Result)).first->second;
+  }
+
+  QueryPlan flatten(const Candidate &C, ColumnSet A) const {
+    QueryPlan P;
+    P.InputCols = A;
+    P.OutputCols = C.B;
+    P.EstimatedCost = C.Cost;
+    P.Root = flattenNode(P, C.Tree.get());
+    return P;
+  }
+
+private:
+  static PlanStepId flattenNode(QueryPlan &P, const CandNode *N) {
+    PlanStep S;
+    S.Kind = N->Kind;
+    S.Prim = N->Prim;
+    S.Left = N->Left;
+    if (N->C0)
+      S.Child0 = flattenNode(P, N->C0.get());
+    if (N->C1)
+      S.Child1 = flattenNode(P, N->C1.get());
+    P.Steps.push_back(S);
+    return static_cast<PlanStepId>(P.Steps.size() - 1);
+  }
+
+  /// Keeps only the cheapest candidate per output column set.
+  static void addCandidate(std::vector<Candidate> &Front, Candidate C) {
+    for (Candidate &Existing : Front) {
+      if (Existing.B == C.B) {
+        if (C.Cost < Existing.Cost)
+          Existing = std::move(C);
+        return;
+      }
+    }
+    Front.push_back(std::move(C));
+  }
+
+  std::vector<Candidate> computePlans(PrimId Prim, ColumnSet A) {
+    std::vector<Candidate> Front;
+    const PrimNode &P = D.prim(Prim);
+    switch (P.Kind) {
+    case PrimKind::Unit: {
+      // (QUNIT), extended with the owning instance's bound valuation —
+      // see the matching rule in Validity.cpp.
+      auto N = std::make_shared<CandNode>();
+      N->Kind = PlanKind::Unit;
+      N->Prim = Prim;
+      addCandidate(Front,
+                   {P.Cols.unionWith(D.node(UnitOwner.at(Prim)).Bound), 1.0,
+                    std::move(N)});
+      break;
+    }
+    case PrimKind::Map: {
+      PrimId TargetPrim = D.node(P.Target).Prim;
+      double C = Params.fanout(P.Edge);
+      // (QLOOKUP) if the key is fully bound.
+      if (P.Cols.subsetOf(A)) {
+        for (const Candidate &Sub : plansFor(TargetPrim, A)) {
+          auto N = std::make_shared<CandNode>();
+          N->Kind = PlanKind::Lookup;
+          N->Prim = Prim;
+          N->C0 = Sub.Tree;
+          addCandidate(Front, {Sub.B.unionWith(P.Cols),
+                               dsLookupCost(P.Ds, C) * Sub.Cost,
+                               std::move(N)});
+        }
+      }
+      // (QSCAN) always applies.
+      for (const Candidate &Sub : plansFor(TargetPrim, A.unionWith(P.Cols))) {
+        auto N = std::make_shared<CandNode>();
+        N->Kind = PlanKind::Scan;
+        N->Prim = Prim;
+        N->C0 = Sub.Tree;
+        addCandidate(Front,
+                     {Sub.B.unionWith(P.Cols), C * Sub.Cost, std::move(N)});
+      }
+      break;
+    }
+    case PrimKind::Join: {
+      for (bool LeftFirst : {true, false}) {
+        PrimId First = LeftFirst ? P.Left : P.Right;
+        PrimId Second = LeftFirst ? P.Right : P.Left;
+        // (QLR).
+        for (const Candidate &Sub : plansFor(First, A)) {
+          auto N = std::make_shared<CandNode>();
+          N->Kind = PlanKind::Lr;
+          N->Prim = Prim;
+          N->C0 = Sub.Tree;
+          N->Left = LeftFirst;
+          addCandidate(Front, {Sub.B, Sub.Cost, std::move(N)});
+        }
+        // (QJOIN) with its two FD premises.
+        for (const Candidate &S1 : plansFor(First, A)) {
+          for (const Candidate &S2 : plansFor(Second, A.unionWith(S1.B))) {
+            if (!Fds.implies(A.unionWith(S1.B), S2.B))
+              continue;
+            if (!Fds.implies(A.unionWith(S2.B), S1.B))
+              continue;
+            auto N = std::make_shared<CandNode>();
+            N->Kind = PlanKind::Join;
+            N->Prim = Prim;
+            N->C0 = S1.Tree;
+            N->C1 = S2.Tree;
+            N->Left = LeftFirst;
+            addCandidate(Front, {S1.B.unionWith(S2.B), S1.Cost + S2.Cost,
+                                 std::move(N)});
+          }
+        }
+      }
+      break;
+    }
+    }
+    return Front;
+  }
+
+  const Decomposition &D;
+  const CostParams &Params;
+  const FuncDeps &Fds;
+  std::map<std::pair<PrimId, uint64_t>, std::vector<Candidate>> Memo;
+  std::map<PrimId, NodeId> UnitOwner;
+};
+
+} // namespace
+
+std::optional<QueryPlan> relc::planQuery(const Decomposition &D,
+                                         ColumnSet InputCols,
+                                         ColumnSet OutputCols,
+                                         const CostParams &Params) {
+  Planner P(D, Params);
+  const std::vector<Candidate> &Front =
+      P.plansFor(D.node(D.root()).Prim, InputCols);
+  const Candidate *Best = nullptr;
+  for (const Candidate &C : Front) {
+    // Execution filters pattern columns against scanned keys and units,
+    // so every input column must be bound somewhere along the plan.
+    if (!InputCols.subsetOf(C.B))
+      continue;
+    // The requested output must be available from the plan or pattern.
+    if (!OutputCols.subsetOf(C.B.unionWith(InputCols)))
+      continue;
+    if (!Best || C.Cost < Best->Cost)
+      Best = &C;
+  }
+  if (!Best)
+    return std::nullopt;
+  QueryPlan Plan = P.flatten(*Best, InputCols);
+  assert(checkPlanValidity(D, Plan).ok() &&
+         "planner produced an invalid plan");
+  return Plan;
+}
+
+std::vector<QueryPlan> relc::enumeratePlans(const Decomposition &D,
+                                            ColumnSet InputCols,
+                                            const CostParams &Params) {
+  Planner P(D, Params);
+  std::vector<QueryPlan> Result;
+  for (const Candidate &C : P.plansFor(D.node(D.root()).Prim, InputCols))
+    Result.push_back(P.flatten(C, InputCols));
+  std::sort(Result.begin(), Result.end(),
+            [](const QueryPlan &A, const QueryPlan &B) {
+              return A.EstimatedCost < B.EstimatedCost;
+            });
+  return Result;
+}

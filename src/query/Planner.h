@@ -1,0 +1,45 @@
+//===- query/Planner.h - Cost-based query planner ---------------*- C++ -*-===//
+//
+// Part of the RelC data representation synthesis library.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The query planner of Section 4.3: enumerates the valid plans (Fig. 8)
+/// for a query shape against a decomposition and returns the one with
+/// the lowest estimated cost E. Enumeration is dynamic-programming
+/// style: per (primitive, input-column-set) it keeps a Pareto front of
+/// candidates — the cheapest plan for each achievable output column set.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef RELC_QUERY_PLANNER_H
+#define RELC_QUERY_PLANNER_H
+
+#include "query/CostModel.h"
+#include "query/Plan.h"
+
+#include <optional>
+#include <vector>
+
+namespace relc {
+
+/// Finds the cheapest valid plan answering `query r s C` where the
+/// pattern s binds \p InputCols and \p OutputCols are requested.
+/// Requires A ⊆ B (execution can filter on every pattern column) and
+/// C ⊆ A ∪ B (requested columns are available); returns std::nullopt if
+/// no plan satisfies them.
+std::optional<QueryPlan> planQuery(const Decomposition &D,
+                                   ColumnSet InputCols, ColumnSet OutputCols,
+                                   const CostParams &Params);
+
+/// All Pareto-optimal valid plans for an input column set, regardless
+/// of output (for tests and the cost-model ablation bench). Sorted by
+/// increasing estimated cost.
+std::vector<QueryPlan> enumeratePlans(const Decomposition &D,
+                                      ColumnSet InputCols,
+                                      const CostParams &Params);
+
+} // namespace relc
+
+#endif // RELC_QUERY_PLANNER_H

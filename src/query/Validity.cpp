@@ -1,0 +1,123 @@
+//===- query/Validity.cpp - Query plan validity ------------------------------===//
+//
+// Part of the RelC data representation synthesis library.
+//
+//===----------------------------------------------------------------------===//
+
+#include "query/Validity.h"
+
+#include <cassert>
+#include <map>
+
+using namespace relc;
+
+namespace {
+
+class ValidityChecker {
+public:
+  ValidityChecker(const Decomposition &D, const QueryPlan &P)
+      : D(D), P(P), Fds(D.spec()->fds()) {
+    for (NodeId Id = 0; Id != D.numNodes(); ++Id)
+      for (PrimId U : D.unitsOf(Id))
+        UnitOwner[U] = Id;
+  }
+
+  ValidityResult run() {
+    if (!P.valid())
+      return {std::nullopt, "plan has no root"};
+    return checkStep(P.Root, D.node(D.root()).Prim, P.InputCols);
+  }
+
+private:
+  ValidityResult fail(const std::string &Msg) { return {std::nullopt, Msg}; }
+
+  /// Γ̂, prim, A ⊢ step, B.
+  ValidityResult checkStep(PlanStepId Id, PrimId Prim, ColumnSet A) {
+    const PlanStep &S = P.Steps[Id];
+    const PrimNode &Pr = D.prim(Prim);
+    if (S.Prim != Prim)
+      return fail("plan step is not aligned with the decomposition "
+                  "primitive it traverses");
+    switch (S.Kind) {
+    case PlanKind::Unit: {
+      // (QUNIT), extended: querying a unit binds its fields *and* the
+      // owning instance's bound valuation. The paper's instances carry
+      // that valuation in their variable subscripts (w_{ns:1,...},
+      // Fig. 4); our NodeInstances store it, and the executor reads
+      // and filters on it, so plans may count those columns as bound.
+      // This is how a key probe answers, e.g., `state` through the
+      // left path of Fig. 2 without touching the state lists.
+      if (Pr.Kind != PrimKind::Unit)
+        return fail("qunit applied to a non-unit primitive");
+      return {Pr.Cols.unionWith(D.node(UnitOwner.at(Prim)).Bound), ""};
+    }
+    case PlanKind::Scan: {
+      // (QSCAN): keys are bound both as sub-query input and as output.
+      if (Pr.Kind != PrimKind::Map)
+        return fail("qscan applied to a non-map primitive");
+      ValidityResult Sub =
+          checkStep(S.Child0, D.node(Pr.Target).Prim, A.unionWith(Pr.Cols));
+      if (!Sub.ok())
+        return Sub;
+      return {Sub.OutputCols->unionWith(Pr.Cols), ""};
+    }
+    case PlanKind::Lookup: {
+      // (QLOOKUP): all key columns must already be bound.
+      if (Pr.Kind != PrimKind::Map)
+        return fail("qlookup applied to a non-map primitive");
+      if (!Pr.Cols.subsetOf(A))
+        return fail("qlookup key columns " +
+                    D.catalog().setToString(Pr.Cols) +
+                    " are not all bound in the input " +
+                    D.catalog().setToString(A));
+      ValidityResult Sub = checkStep(S.Child0, D.node(Pr.Target).Prim, A);
+      if (!Sub.ok())
+        return Sub;
+      return {Sub.OutputCols->unionWith(Pr.Cols), ""};
+    }
+    case PlanKind::Lr: {
+      // (QLR): arbitrary query on one side, the other side ignored.
+      if (Pr.Kind != PrimKind::Join)
+        return fail("qlr applied to a non-join primitive");
+      return checkStep(S.Child0, S.Left ? Pr.Left : Pr.Right, A);
+    }
+    case PlanKind::Join: {
+      // (QJOIN): the first query feeds the second; both FD premises
+      // ensure results match without ambiguity.
+      if (Pr.Kind != PrimKind::Join)
+        return fail("qjoin applied to a non-join primitive");
+      PrimId First = S.Left ? Pr.Left : Pr.Right;
+      PrimId Second = S.Left ? Pr.Right : Pr.Left;
+      ValidityResult R1 = checkStep(S.Child0, First, A);
+      if (!R1.ok())
+        return R1;
+      ColumnSet B1 = *R1.OutputCols;
+      ValidityResult R2 = checkStep(S.Child1, Second, A.unionWith(B1));
+      if (!R2.ok())
+        return R2;
+      ColumnSet B2 = *R2.OutputCols;
+      if (!Fds.implies(A.unionWith(B1), B2))
+        return fail("(QJOIN) first side output does not determine second "
+                    "side output");
+      if (!Fds.implies(A.unionWith(B2), B1))
+        return fail("(QJOIN) second side output does not determine first "
+                    "side output");
+      return {B1.unionWith(B2), ""};
+    }
+    }
+    assert(false && "unknown PlanKind");
+    return fail("unknown plan kind");
+  }
+
+  const Decomposition &D;
+  const QueryPlan &P;
+  const FuncDeps &Fds;
+  std::map<PrimId, NodeId> UnitOwner;
+};
+
+} // namespace
+
+ValidityResult relc::checkPlanValidity(const Decomposition &D,
+                                       const QueryPlan &P) {
+  return ValidityChecker(D, P).run();
+}

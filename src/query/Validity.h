@@ -1,0 +1,50 @@
+//===- query/Validity.h - Query plan validity -------------------*- C++ -*-===//
+//
+// Part of the RelC data representation synthesis library.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The validity judgment Γ̂,d̂,A ⊢∆ q,B of Section 4.2 (Fig. 8): a
+/// sufficient condition for a plan to answer its query correctly
+/// (Lemma 2). Validity checks that lookups have their key columns
+/// bound, that join sides bind enough columns to match results
+/// unambiguously (the FD premises of (QJOIN)), and computes the output
+/// columns B.
+///
+/// On top of Fig. 8, answering `query r s C` with plan q additionally
+/// requires A ⊆ B (every pattern column is either probed by a lookup or
+/// checked against a scanned key/unit during execution — otherwise the
+/// execution could not filter on it) and C ⊆ A ∪ B (the requested
+/// output is available). checkPlanValidity enforces the judgment;
+/// callers enforce the two containments for their A and C.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef RELC_QUERY_VALIDITY_H
+#define RELC_QUERY_VALIDITY_H
+
+#include "query/Plan.h"
+
+#include <optional>
+#include <string>
+
+namespace relc {
+
+struct ValidityResult {
+  /// B — the columns the plan binds in emitted tuples; empty optional
+  /// if the plan is invalid.
+  std::optional<ColumnSet> OutputCols;
+  std::string Error;
+
+  bool ok() const { return OutputCols.has_value(); }
+};
+
+/// Re-derives Fig. 8 for \p P with input columns \p P.InputCols against
+/// \p D. The planner only emits valid plans; this is the independent
+/// checker used by tests and by assertions on externally supplied plans.
+ValidityResult checkPlanValidity(const Decomposition &D, const QueryPlan &P);
+
+} // namespace relc
+
+#endif // RELC_QUERY_VALIDITY_H

@@ -1,0 +1,79 @@
+//===- rel/Catalog.cpp - Column name catalog ------------------------------===//
+//
+// Part of the RelC data representation synthesis library.
+//
+//===----------------------------------------------------------------------===//
+
+#include "rel/Catalog.h"
+
+#include <cassert>
+
+using namespace relc;
+
+ColumnId Catalog::add(std::string Name) {
+  assert(Names.size() < 64 && "catalogs are limited to 64 columns");
+  assert(ByName.find(Name) == ByName.end() && "duplicate column name");
+  ColumnId Id = static_cast<ColumnId>(Names.size());
+  ByName.emplace(Name, Id);
+  Names.push_back(std::move(Name));
+  return Id;
+}
+
+std::optional<ColumnId> Catalog::find(std::string_view Name) const {
+  auto It = ByName.find(std::string(Name));
+  if (It == ByName.end())
+    return std::nullopt;
+  return It->second;
+}
+
+ColumnId Catalog::get(std::string_view Name) const {
+  std::optional<ColumnId> Id = find(Name);
+  assert(Id && "unknown column name");
+  return *Id;
+}
+
+const std::string &Catalog::name(ColumnId Id) const {
+  assert(Id < Names.size() && "column id out of range");
+  return Names[Id];
+}
+
+ColumnSet
+Catalog::makeSet(std::initializer_list<std::string_view> ColNames) const {
+  ColumnSet Result;
+  for (std::string_view Name : ColNames)
+    Result.insert(get(Name));
+  return Result;
+}
+
+ColumnSet Catalog::parseSet(std::string_view Text) const {
+  ColumnSet Result;
+  size_t Pos = 0;
+  while (Pos < Text.size()) {
+    size_t Comma = Text.find(',', Pos);
+    std::string_view Piece = Text.substr(
+        Pos, Comma == std::string_view::npos ? std::string_view::npos
+                                             : Comma - Pos);
+    // Trim surrounding whitespace.
+    size_t First = Piece.find_first_not_of(" \t");
+    size_t Last = Piece.find_last_not_of(" \t");
+    if (First != std::string_view::npos)
+      Result.insert(get(Piece.substr(First, Last - First + 1)));
+    if (Comma == std::string_view::npos)
+      break;
+    Pos = Comma + 1;
+  }
+  return Result;
+}
+
+std::string Catalog::setToString(ColumnSet Set) const {
+  std::string Result = "{";
+  bool NeedComma = false;
+  for (ColumnId Id : Set) {
+    if (NeedComma)
+      Result += ", ";
+    Result += name(Id);
+    NeedComma = true;
+  }
+  Result += "}";
+  return Result;
+}

@@ -1,0 +1,65 @@
+//===- rel/Catalog.h - Column name catalog ----------------------*- C++ -*-===//
+//
+// Part of the RelC data representation synthesis library.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The Catalog interns column names for one relational specification,
+/// mapping each name to a dense ColumnId usable in ColumnSet masks.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef RELC_REL_CATALOG_H
+#define RELC_REL_CATALOG_H
+
+#include "rel/ColumnSet.h"
+
+#include <optional>
+#include <string>
+#include <string_view>
+#include <unordered_map>
+#include <vector>
+
+namespace relc {
+
+/// Maps column names to dense ids for one relation. Columns are added
+/// once, up-front; lookups after that are read-only.
+class Catalog {
+public:
+  /// Registers a new column; asserts on duplicates and on exceeding the
+  /// 64-column limit.
+  ColumnId add(std::string Name);
+
+  /// \returns the id for \p Name, or std::nullopt if unknown.
+  std::optional<ColumnId> find(std::string_view Name) const;
+
+  /// \returns the id for \p Name; asserts that it exists.
+  ColumnId get(std::string_view Name) const;
+
+  const std::string &name(ColumnId Id) const;
+
+  unsigned size() const { return static_cast<unsigned>(Names.size()); }
+
+  /// The set of all registered columns.
+  ColumnSet allColumns() const { return ColumnSet::allOf(size()); }
+
+  /// Builds a set from names, e.g. parseSet({"ns", "pid"}).
+  ColumnSet makeSet(std::initializer_list<std::string_view> ColNames) const;
+
+  /// Parses a comma-separated list of column names ("ns, pid"); an empty
+  /// or all-whitespace string yields the empty set. Asserts on unknown
+  /// names.
+  ColumnSet parseSet(std::string_view Text) const;
+
+  /// Renders a set as "{a, b, c}" using this catalog's names.
+  std::string setToString(ColumnSet Set) const;
+
+private:
+  std::vector<std::string> Names;
+  std::unordered_map<std::string, ColumnId> ByName;
+};
+
+} // namespace relc
+
+#endif // RELC_REL_CATALOG_H

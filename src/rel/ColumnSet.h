@@ -1,0 +1,135 @@
+//===- rel/ColumnSet.h - Sets of column ids ---------------------*- C++ -*-===//
+//
+// Part of the RelC data representation synthesis library.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Columns are interned per Catalog as small integers; a ColumnSet is a
+/// 64-bit mask over them. Every judgment in the paper (functional
+/// dependencies, adequacy, query validity, cuts) is a computation over
+/// column sets, so these need to be cheap.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef RELC_REL_COLUMNSET_H
+#define RELC_REL_COLUMNSET_H
+
+#include <bit>
+#include <cassert>
+#include <cstdint>
+#include <functional>
+#include <initializer_list>
+
+namespace relc {
+
+/// Identifies a column within one Catalog. Dense, starting at 0.
+using ColumnId = unsigned;
+
+/// An immutable-friendly set of ColumnIds backed by a 64-bit mask.
+/// Relations are limited to 64 columns, far above anything realistic.
+class ColumnSet {
+public:
+  ColumnSet() = default;
+
+  ColumnSet(std::initializer_list<ColumnId> Ids) {
+    for (ColumnId Id : Ids)
+      insert(Id);
+  }
+
+  static ColumnSet single(ColumnId Id) { return ColumnSet({Id}); }
+
+  /// The set {0, 1, ..., Arity-1}.
+  static ColumnSet allOf(unsigned Arity) {
+    assert(Arity <= 64 && "catalogs are limited to 64 columns");
+    ColumnSet Result;
+    Result.Mask = Arity == 64 ? ~uint64_t(0) : ((uint64_t(1) << Arity) - 1);
+    return Result;
+  }
+
+  static ColumnSet fromMask(uint64_t Mask) {
+    ColumnSet Result;
+    Result.Mask = Mask;
+    return Result;
+  }
+
+  uint64_t mask() const { return Mask; }
+  bool empty() const { return Mask == 0; }
+  unsigned size() const { return std::popcount(Mask); }
+
+  bool contains(ColumnId Id) const {
+    assert(Id < 64 && "column id out of range");
+    return (Mask >> Id) & 1;
+  }
+
+  void insert(ColumnId Id) {
+    assert(Id < 64 && "column id out of range");
+    Mask |= uint64_t(1) << Id;
+  }
+
+  void erase(ColumnId Id) {
+    assert(Id < 64 && "column id out of range");
+    Mask &= ~(uint64_t(1) << Id);
+  }
+
+  bool subsetOf(ColumnSet Other) const { return (Mask & ~Other.Mask) == 0; }
+  bool intersects(ColumnSet Other) const { return (Mask & Other.Mask) != 0; }
+
+  ColumnSet unionWith(ColumnSet Other) const {
+    return fromMask(Mask | Other.Mask);
+  }
+  ColumnSet intersect(ColumnSet Other) const {
+    return fromMask(Mask & Other.Mask);
+  }
+  ColumnSet minus(ColumnSet Other) const {
+    return fromMask(Mask & ~Other.Mask);
+  }
+  /// Symmetric difference, written ⊖ in the paper's (AJOIN) rule.
+  ColumnSet symmetricDifference(ColumnSet Other) const {
+    return fromMask(Mask ^ Other.Mask);
+  }
+
+  /// The smallest ColumnId in the set; the set must be non-empty.
+  ColumnId first() const {
+    assert(!empty() && "first() on empty ColumnSet");
+    return static_cast<ColumnId>(std::countr_zero(Mask));
+  }
+
+  bool operator==(ColumnSet Other) const { return Mask == Other.Mask; }
+  bool operator!=(ColumnSet Other) const { return Mask != Other.Mask; }
+  bool operator<(ColumnSet Other) const { return Mask < Other.Mask; }
+
+  /// Iterates ColumnIds in increasing order.
+  class iterator {
+  public:
+    explicit iterator(uint64_t Mask) : Rest(Mask) {}
+    ColumnId operator*() const {
+      return static_cast<ColumnId>(std::countr_zero(Rest));
+    }
+    iterator &operator++() {
+      Rest &= Rest - 1;
+      return *this;
+    }
+    bool operator!=(const iterator &Other) const { return Rest != Other.Rest; }
+    bool operator==(const iterator &Other) const { return Rest == Other.Rest; }
+
+  private:
+    uint64_t Rest;
+  };
+
+  iterator begin() const { return iterator(Mask); }
+  iterator end() const { return iterator(0); }
+
+private:
+  uint64_t Mask = 0;
+};
+
+} // namespace relc
+
+template <> struct std::hash<relc::ColumnSet> {
+  size_t operator()(relc::ColumnSet S) const {
+    return std::hash<uint64_t>()(S.mask());
+  }
+};
+
+#endif // RELC_REL_COLUMNSET_H

@@ -1,0 +1,38 @@
+//===- rel/FunctionalDeps.cpp - Functional dependency engine ---------------===//
+//
+// Part of the RelC data representation synthesis library.
+//
+//===----------------------------------------------------------------------===//
+
+#include "rel/FunctionalDeps.h"
+
+using namespace relc;
+
+ColumnSet FuncDeps::closure(ColumnSet Start) const {
+  ColumnSet Result = Start;
+  bool Changed = true;
+  while (Changed) {
+    Changed = false;
+    for (const FuncDep &Dep : Deps) {
+      if (!Dep.Lhs.subsetOf(Result) || Dep.Rhs.subsetOf(Result))
+        continue;
+      Result = Result.unionWith(Dep.Rhs);
+      Changed = true;
+    }
+  }
+  return Result;
+}
+
+std::string FuncDeps::str(const Catalog &Cat) const {
+  std::string Result;
+  bool NeedSep = false;
+  for (const FuncDep &Dep : Deps) {
+    if (NeedSep)
+      Result += "; ";
+    Result += Cat.setToString(Dep.Lhs);
+    Result += " -> ";
+    Result += Cat.setToString(Dep.Rhs);
+    NeedSep = true;
+  }
+  return Result;
+}

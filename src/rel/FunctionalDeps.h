@@ -1,0 +1,70 @@
+//===- rel/FunctionalDeps.h - Functional dependency engine ------*- C++ -*-===//
+//
+// Part of the RelC data representation synthesis library.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Functional dependencies ∆ and the entailment judgment ∆ ⊢fd C1 → C2
+/// (Section 2). Entailment is decided with the standard attribute-set
+/// closure algorithm (sound and complete w.r.t. Armstrong's axioms).
+/// Adequacy (Fig. 6), query validity (Fig. 8) and cut computation
+/// (Section 4.5) all reduce to this judgment.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef RELC_REL_FUNCTIONALDEPS_H
+#define RELC_REL_FUNCTIONALDEPS_H
+
+#include "rel/Catalog.h"
+#include "rel/ColumnSet.h"
+
+#include <string>
+#include <vector>
+
+namespace relc {
+
+/// One functional dependency Lhs → Rhs.
+struct FuncDep {
+  ColumnSet Lhs;
+  ColumnSet Rhs;
+
+  bool operator==(const FuncDep &Other) const {
+    return Lhs == Other.Lhs && Rhs == Other.Rhs;
+  }
+};
+
+/// A set ∆ of functional dependencies with closure-based entailment.
+class FuncDeps {
+public:
+  FuncDeps() = default;
+
+  void add(FuncDep Dep) { Deps.push_back(Dep); }
+  void add(ColumnSet Lhs, ColumnSet Rhs) { Deps.push_back({Lhs, Rhs}); }
+
+  const std::vector<FuncDep> &deps() const { return Deps; }
+  bool empty() const { return Deps.empty(); }
+
+  /// The attribute closure of \p Start under ∆: the largest C with
+  /// ∆ ⊢fd Start → C.
+  ColumnSet closure(ColumnSet Start) const;
+
+  /// Decides ∆ ⊢fd Lhs → Rhs.
+  bool implies(ColumnSet Lhs, ColumnSet Rhs) const {
+    return Rhs.subsetOf(closure(Lhs));
+  }
+
+  /// True if \p Key determines all of \p AllColumns (i.e. is a key).
+  bool isKey(ColumnSet Key, ColumnSet AllColumns) const {
+    return implies(Key, AllColumns);
+  }
+
+  std::string str(const Catalog &Cat) const;
+
+private:
+  std::vector<FuncDep> Deps;
+};
+
+} // namespace relc
+
+#endif // RELC_REL_FUNCTIONALDEPS_H

@@ -1,0 +1,36 @@
+//===- rel/RelSpec.cpp - Relational specifications -------------------------===//
+//
+// Part of the RelC data representation synthesis library.
+//
+//===----------------------------------------------------------------------===//
+
+#include "rel/RelSpec.h"
+
+using namespace relc;
+
+RelSpecRef
+RelSpec::make(std::string Name, std::vector<std::string> Columns,
+              std::vector<std::pair<std::string, std::string>> Fds) {
+  auto Spec = std::shared_ptr<RelSpec>(new RelSpec());
+  Spec->SpecName = std::move(Name);
+  for (std::string &Col : Columns)
+    Spec->Cat.add(std::move(Col));
+  for (const auto &[Lhs, Rhs] : Fds)
+    Spec->Deps.add(Spec->Cat.parseSet(Lhs), Spec->Cat.parseSet(Rhs));
+  return Spec;
+}
+
+std::string RelSpec::str() const {
+  std::string Result = SpecName + "(";
+  for (unsigned I = 0; I != Cat.size(); ++I) {
+    if (I)
+      Result += ", ";
+    Result += Cat.name(I);
+  }
+  Result += ")";
+  if (!Deps.empty()) {
+    Result += " with ";
+    Result += Deps.str(Cat);
+  }
+  return Result;
+}

@@ -1,0 +1,64 @@
+//===- rel/RelSpec.h - Relational specifications ----------------*- C++ -*-===//
+//
+// Part of the RelC data representation synthesis library.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// A relational specification per Section 2: a set of column names C and
+/// functional dependencies ∆. This is the contract between a data
+/// structure client and the synthesized representation.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef RELC_REL_RELSPEC_H
+#define RELC_REL_RELSPEC_H
+
+#include "rel/Catalog.h"
+#include "rel/FunctionalDeps.h"
+
+#include <memory>
+#include <string>
+#include <vector>
+
+namespace relc {
+
+class RelSpec;
+
+/// Shared immutable handle; decompositions, instances and plans all keep
+/// one so that column ids stay meaningful.
+using RelSpecRef = std::shared_ptr<const RelSpec>;
+
+/// An immutable relational specification 〈C, ∆〉.
+class RelSpec {
+public:
+  /// Builds a spec from column names and FDs written as name lists, e.g.
+  ///   RelSpec::make("scheduler", {"ns", "pid", "state", "cpu"},
+  ///                 {{"ns, pid", "state, cpu"}});
+  static RelSpecRef
+  make(std::string Name, std::vector<std::string> Columns,
+       std::vector<std::pair<std::string, std::string>> Fds = {});
+
+  const std::string &name() const { return SpecName; }
+  const Catalog &catalog() const { return Cat; }
+  const FuncDeps &fds() const { return Deps; }
+
+  /// All columns of the relation.
+  ColumnSet columns() const { return Cat.allColumns(); }
+
+  unsigned arity() const { return Cat.size(); }
+
+  /// Renders "name(c1, c2, ...; fd1; fd2)" for diagnostics.
+  std::string str() const;
+
+private:
+  RelSpec() = default;
+
+  std::string SpecName;
+  Catalog Cat;
+  FuncDeps Deps;
+};
+
+} // namespace relc
+
+#endif // RELC_REL_RELSPEC_H

@@ -1,0 +1,30 @@
+//===- runtime/Cut.cpp - Decomposition cuts ----------------------------------===//
+//
+// Part of the RelC data representation synthesis library.
+//
+//===----------------------------------------------------------------------===//
+
+#include "runtime/Cut.h"
+
+#include <cassert>
+
+using namespace relc;
+
+Cut relc::computeCut(const Decomposition &D, ColumnSet PatternCols) {
+  Cut Result;
+  Result.PatternCols = PatternCols;
+  Result.InY.resize(D.numNodes());
+  const FuncDeps &Fds = D.spec()->fds();
+  for (NodeId Id = 0; Id != D.numNodes(); ++Id)
+    Result.InY[Id] = Fds.implies(D.node(Id).Bound, PatternCols);
+  for (EdgeId E = 0; E != D.numEdges(); ++E) {
+    const MapEdge &Edge = D.edge(E);
+    // Adequacy: a child binds at least its parent's columns, so the FD
+    // B_child → C follows from B_parent → C; edges never cross Y → X.
+    assert(!(Result.InY[Edge.From] && !Result.InY[Edge.To]) &&
+           "cut violated: edge from Y into X");
+    if (Result.crossing(Edge))
+      Result.CrossingEdges.push_back(E);
+  }
+  return Result;
+}

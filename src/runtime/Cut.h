@@ -1,0 +1,43 @@
+//===- runtime/Cut.h - Decomposition cuts -----------------------*- C++ -*-===//
+//
+// Part of the RelC data representation synthesis library.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Cuts per Section 4.5 (Fig. 10): for a pattern binding columns C, the
+/// nodes of a decomposition partition into X (instances may represent
+/// tuples *not* matching the pattern: ∆ ⊬ B → C) and Y (instances are
+/// specific to one valuation of C: ∆ ⊢ B → C). Removal breaks exactly
+/// the edges crossing from X into Y; update detaches and reattaches
+/// across them. Adequacy guarantees no edge points from Y back into X,
+/// and that the cut exists and is unique.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef RELC_RUNTIME_CUT_H
+#define RELC_RUNTIME_CUT_H
+
+#include "decomp/Decomposition.h"
+
+#include <vector>
+
+namespace relc {
+
+/// The cut (X, Y) of a decomposition for one pattern column set.
+struct Cut {
+  ColumnSet PatternCols;
+  std::vector<bool> InY; ///< Indexed by NodeId.
+  std::vector<EdgeId> CrossingEdges; ///< Edges with From ∈ X, To ∈ Y.
+
+  bool inY(NodeId Id) const { return InY[Id]; }
+  bool crossing(const MapEdge &E) const { return !InY[E.From] && InY[E.To]; }
+};
+
+/// Computes the cut for \p PatternCols: Y = { v | ∆ ⊢ B_v → C }.
+/// Asserts the no-Y-to-X-edge property that adequacy guarantees.
+Cut computeCut(const Decomposition &D, ColumnSet PatternCols);
+
+} // namespace relc
+
+#endif // RELC_RUNTIME_CUT_H

@@ -1,0 +1,54 @@
+//===- runtime/Mutators.h - dinsert / dremove / dupdate ---------*- C++ -*-===//
+//
+// Part of the RelC data representation synthesis library.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The mutation operations of Sections 4.4-4.5, implemented over live
+/// instance graphs:
+///
+///  - dinsert: walks nodes in topological order, finding or creating
+///    the instance for the tuple's projection at each node and linking
+///    it through every incoming edge (Fig. 9).
+///  - dremove: queries the full matching tuples, then per tuple breaks
+///    the edges crossing the pattern's cut; unreachable instances are
+///    reference-counted away, and interior nodes left "devoid of
+///    children" are cleaned up.
+///  - dupdate: the paper's restricted in-place update (the pattern is a
+///    key and the changes are disjoint from it): detaches the below-cut
+///    subgraph, rewrites bound valuations/unit values, repositions
+///    entries whose keys changed, and reattaches — reusing every node.
+///
+/// Preconditions mirror Lemma 4: the tuple/pattern shapes are asserted,
+/// and FD preservation is the caller's obligation (violations trip
+/// asserts in debug builds).
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef RELC_RUNTIME_MUTATORS_H
+#define RELC_RUNTIME_MUTATORS_H
+
+#include "instance/InstanceGraph.h"
+#include "runtime/PlanCache.h"
+
+namespace relc {
+
+/// Inserts full tuple \p T (columns must equal the relation's).
+/// \returns true if the relation changed (false: duplicate).
+bool dinsert(InstanceGraph &G, const Tuple &T);
+
+/// Removes all tuples extending \p Pattern. \returns how many were
+/// removed.
+size_t dremove(InstanceGraph &G, const Tuple &Pattern, PlanCache &Plans);
+
+/// Applies \p Changes to the tuple matching \p Pattern. Requires
+/// dom(Pattern) to be a key and dom(Changes) ∩ dom(Pattern) = ∅
+/// (Section 4.5's restriction guaranteeing no node merging). \returns
+/// the number of tuples updated (0 or 1, since the pattern is a key).
+size_t dupdate(InstanceGraph &G, const Tuple &Pattern, const Tuple &Changes,
+               PlanCache &Plans);
+
+} // namespace relc
+
+#endif // RELC_RUNTIME_MUTATORS_H

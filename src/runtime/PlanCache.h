@@ -1,0 +1,72 @@
+//===- runtime/PlanCache.h - Compile-once plan cache ------------*- C++ -*-===//
+//
+// Part of the RelC data representation synthesis library.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// In RELC proper, query planning happens at compile time and each
+/// relational operation is emitted as specialized code (Section 4.1).
+/// The dynamic engine gets the same economics by planning once per
+/// (input columns, output columns) shape and caching the plan; steady-
+/// state operations never re-plan.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef RELC_RUNTIME_PLANCACHE_H
+#define RELC_RUNTIME_PLANCACHE_H
+
+#include "query/CostModel.h"
+#include "query/Planner.h"
+#include "runtime/Cut.h"
+
+#include <map>
+#include <memory>
+
+namespace relc {
+
+class PlanCache {
+public:
+  PlanCache(std::shared_ptr<const Decomposition> D, CostParams Params)
+      : D(std::move(D)), Params(std::move(Params)) {}
+
+  const CostParams &costParams() const { return Params; }
+
+  /// The cheapest valid plan for the query shape, or nullptr if none
+  /// exists (cached either way).
+  const QueryPlan *plan(ColumnSet InputCols, ColumnSet OutputCols) {
+    auto Key = std::make_pair(InputCols.mask(), OutputCols.mask());
+    auto It = Plans.find(Key);
+    if (It == Plans.end()) {
+      std::optional<QueryPlan> P = planQuery(*D, InputCols, OutputCols, Params);
+      It = Plans.emplace(Key, std::move(P)).first;
+    }
+    return It->second ? &*It->second : nullptr;
+  }
+
+  /// The cut for a pattern column set (cached).
+  const Cut &cut(ColumnSet PatternCols) {
+    auto It = Cuts.find(PatternCols.mask());
+    if (It == Cuts.end())
+      It = Cuts.emplace(PatternCols.mask(), computeCut(*D, PatternCols)).first;
+    return It->second;
+  }
+
+  /// Replaces the cost parameters and drops every cached plan so the
+  /// next query of each shape replans under the new fanouts. Cuts are
+  /// cost-independent and stay.
+  void reoptimize(CostParams NewParams) {
+    Params = std::move(NewParams);
+    Plans.clear();
+  }
+
+private:
+  std::shared_ptr<const Decomposition> D;
+  CostParams Params;
+  std::map<std::pair<uint64_t, uint64_t>, std::optional<QueryPlan>> Plans;
+  std::map<uint64_t, Cut> Cuts;
+};
+
+} // namespace relc
+
+#endif // RELC_RUNTIME_PLANCACHE_H

@@ -1,0 +1,115 @@
+//===- runtime/SynthesizedRelation.cpp - Public relation facade --------------===//
+//
+// Part of the RelC data representation synthesis library.
+//
+//===----------------------------------------------------------------------===//
+
+#include "runtime/SynthesizedRelation.h"
+
+#include "instance/Abstraction.h"
+#include "query/Exec.h"
+
+#include <unordered_set>
+
+using namespace relc;
+
+SynthesizedRelation::SynthesizedRelation(Decomposition D, CostParams Params)
+    : D(std::make_shared<Decomposition>(std::move(D))),
+      Plans(this->D, std::move(Params)), Graph(this->D) {
+  [[maybe_unused]] AdequacyResult A = checkAdequacy(*this->D);
+  assert(A.Ok && "decomposition is not adequate for its specification");
+}
+
+bool SynthesizedRelation::insert(const Tuple &T) {
+  bool Changed = dinsert(Graph, T);
+  if (Changed)
+    ++Size;
+  return Changed;
+}
+
+size_t SynthesizedRelation::remove(const Tuple &Pattern) {
+  size_t Removed = dremove(Graph, Pattern, Plans);
+  assert(Removed <= Size && "removed more tuples than were present");
+  Size -= Removed;
+  return Removed;
+}
+
+size_t SynthesizedRelation::update(const Tuple &Pattern,
+                                   const Tuple &Changes) {
+  return dupdate(Graph, Pattern, Changes, Plans);
+}
+
+std::vector<Tuple> SynthesizedRelation::query(const Tuple &Pattern,
+                                              ColumnSet OutputCols) const {
+  std::vector<Tuple> Result;
+  std::unordered_set<Tuple> Seen;
+  scan(Pattern, OutputCols, [&](const Tuple &T) {
+    Tuple Projected = T.project(OutputCols);
+    if (Seen.insert(Projected).second)
+      Result.push_back(std::move(Projected));
+    return true;
+  });
+  return Result;
+}
+
+void SynthesizedRelation::scan(const Tuple &Pattern, ColumnSet OutputCols,
+                               function_ref<bool(const Tuple &)> Fn) const {
+  const QueryPlan *Plan = Plans.plan(Pattern.columns(), OutputCols);
+  assert(Plan && "no valid plan for this query shape");
+  execPlan(*Plan, Graph, Pattern, Fn);
+}
+
+bool SynthesizedRelation::contains(const Tuple &Pattern) const {
+  bool Found = false;
+  scan(Pattern, ColumnSet(), [&](const Tuple &) {
+    Found = true;
+    return false;
+  });
+  return Found;
+}
+
+void SynthesizedRelation::clear() {
+  Graph.clear();
+  Size = 0;
+}
+
+const QueryPlan *SynthesizedRelation::planFor(ColumnSet InputCols,
+                                              ColumnSet OutputCols) const {
+  return Plans.plan(InputCols, OutputCols);
+}
+
+Relation SynthesizedRelation::abstractionOf() const {
+  return abstractInstance(Graph);
+}
+
+CostParams SynthesizedRelation::profileCostParams() const {
+  // Average container size per edge = total entries / live parent
+  // instances, measured by one walk over the instance graph.
+  struct Totals {
+    double Entries = 0;
+    double Parents = 0;
+  };
+  std::vector<Totals> PerEdge(D->numEdges());
+  std::vector<const NodeInstance *> Work = {Graph.root()};
+  std::unordered_set<const NodeInstance *> Seen = {Graph.root()};
+  while (!Work.empty()) {
+    const NodeInstance *N = Work.back();
+    Work.pop_back();
+    for (EdgeId E : D->outgoing(N->id())) {
+      const MapEdge &Edge = D->edge(E);
+      const EdgeMap &Map = N->edgeMap(Edge.OrdinalInFrom);
+      PerEdge[E].Entries += static_cast<double>(Map.size());
+      PerEdge[E].Parents += 1;
+      Map.forEach([&](const Tuple &, NodeInstance *Child) {
+        if (Seen.insert(Child).second)
+          Work.push_back(Child);
+        return true;
+      });
+    }
+  }
+  CostParams Params = Plans.costParams();
+  for (EdgeId E = 0; E != D->numEdges(); ++E)
+    if (PerEdge[E].Parents > 0)
+      Params.setFanout(E, PerEdge[E].Entries / PerEdge[E].Parents);
+  return Params;
+}

@@ -1,0 +1,123 @@
+//===- runtime/SynthesizedRelation.h - Public relation facade ---*- C++ -*-===//
+//
+// Part of the RelC data representation synthesis library.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The synthesized data representation a client programs against: the
+/// five relational operations of Section 2 (empty/insert/remove/update/
+/// query) executed over a decomposition instance, with query planning
+/// cached per operation shape. This is the dynamic-engine counterpart
+/// of the C++ class RELC emits (the code generator in codegen/ produces
+/// the static version).
+///
+/// Correctness contract (Theorem 5): provided each operation satisfies
+/// the FD preconditions of Lemma 4, the represented relation equals the
+/// one the relational specification prescribes. Tests assert this via
+/// the α function after every operation.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef RELC_RUNTIME_SYNTHESIZEDRELATION_H
+#define RELC_RUNTIME_SYNTHESIZEDRELATION_H
+
+#include "decomp/Adequacy.h"
+#include "instance/WellFormed.h"
+#include "rel/Relation.h"
+#include "runtime/Mutators.h"
+
+#include <memory>
+#include <vector>
+
+namespace relc {
+
+class SynthesizedRelation {
+public:
+  /// Takes ownership of \p D, which must be adequate for its spec —
+  /// inadequate decompositions cannot represent all FD-respecting
+  /// relations (Lemma 1) and are refused (assert). Use checkAdequacy
+  /// beforehand for a recoverable check.
+  explicit SynthesizedRelation(Decomposition D,
+                               CostParams Params = CostParams());
+
+  const Decomposition &decomp() const { return *D; }
+  const RelSpecRef &spec() const { return D->spec(); }
+  const Catalog &catalog() const { return D->spec()->catalog(); }
+
+  //===--------------------------------------------------------------------===
+  // The relational interface (Section 2).
+  //===--------------------------------------------------------------------===
+
+  /// insert r t. \p T must bind every column. \returns true if the
+  /// relation changed (false: duplicate). Precondition: r ∪ {t} |= ∆.
+  bool insert(const Tuple &T);
+
+  /// remove r s. \returns the number of tuples removed.
+  size_t remove(const Tuple &Pattern);
+
+  /// update r s u. \p Pattern must be a key; \p Changes disjoint from
+  /// it (Section 4.5's restriction). \returns tuples updated (0 or 1).
+  /// Precondition: the updated relation satisfies ∆.
+  size_t update(const Tuple &Pattern, const Tuple &Changes);
+
+  /// query r s C: the projection onto \p OutputCols of tuples extending
+  /// \p Pattern, deduplicated (matches the relational semantics).
+  std::vector<Tuple> query(const Tuple &Pattern, ColumnSet OutputCols) const;
+
+  /// Streaming query: calls \p Fn per matching tuple with a binding of
+  /// at least OutputCols ∪ pattern columns; \p Fn returns false to stop.
+  /// Constant space, no deduplication (Section 4.1's iterator
+  /// semantics).
+  void scan(const Tuple &Pattern, ColumnSet OutputCols,
+            function_ref<bool(const Tuple &)> Fn) const;
+
+  /// True if some tuple extends \p Pattern.
+  bool contains(const Tuple &Pattern) const;
+
+  size_t size() const { return Size; }
+  bool empty() const { return Size == 0; }
+  void clear();
+
+  //===--------------------------------------------------------------------===
+  // Introspection (tests, benches, the autotuner).
+  //===--------------------------------------------------------------------===
+
+  /// The cached plan for a query shape (nullptr if no valid plan).
+  const QueryPlan *planFor(ColumnSet InputCols, ColumnSet OutputCols) const;
+
+  /// α(d): the relation currently represented (test-sized relations).
+  Relation toRelation() const { return abstractionOf(); }
+
+  /// Dynamic Fig. 5 check; cheap enough for test-sized relations only.
+  WfResult checkWellFormed() const { return relc::checkWellFormed(Graph); }
+
+  /// Live NodeInstances (memory accounting / leak checks).
+  size_t liveInstances() const { return Graph.liveInstances(); }
+
+  /// Measures per-edge fanout on the live instance and returns cost
+  /// parameters seeded with it (profiling mode of Section 4.3).
+  CostParams profileCostParams() const;
+
+  /// Profiling-guided replanning: re-measures the live fanouts and
+  /// clears the plan cache, so subsequent queries replan against the
+  /// relation's actual shape (Section 4.3 suggests counts "recorded as
+  /// part of a profiling run" — this is the online version). Call after
+  /// the relation reaches a representative size.
+  void reoptimize() { Plans.reoptimize(profileCostParams()); }
+
+  /// As above with caller-supplied parameters.
+  void reoptimize(CostParams Params) { Plans.reoptimize(std::move(Params)); }
+
+private:
+  Relation abstractionOf() const;
+
+  std::shared_ptr<const Decomposition> D;
+  mutable PlanCache Plans;
+  InstanceGraph Graph;
+  size_t Size = 0;
+};
+
+} // namespace relc
+
+#endif // RELC_RUNTIME_SYNTHESIZEDRELATION_H

@@ -1,0 +1,28 @@
+//===- support/Checks.h - Expensive invariant checks -------------*- C++ -*-===//
+//
+// Part of the RelC data representation synthesis library.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// RELC_EXPENSIVE_ASSERT: assertions whose *evaluation* changes the
+/// complexity class of the operation they guard (duplicate-key scans in
+/// O(n) containers, membership probes before inserts the caller already
+/// proved fresh). They stay off unless RELC_ENABLE_EXPENSIVE_CHECKS is
+/// defined — cheap assertions use plain assert and are always on in
+/// this project's builds (see the top-level CMakeLists).
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef RELC_SUPPORT_CHECKS_H
+#define RELC_SUPPORT_CHECKS_H
+
+#include <cassert>
+
+#ifdef RELC_ENABLE_EXPENSIVE_CHECKS
+#define RELC_EXPENSIVE_ASSERT(...) assert(__VA_ARGS__)
+#else
+#define RELC_EXPENSIVE_ASSERT(...) ((void)0)
+#endif
+
+#endif // RELC_SUPPORT_CHECKS_H

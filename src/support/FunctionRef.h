@@ -1,0 +1,56 @@
+//===- support/FunctionRef.h - Non-owning callable reference ----*- C++ -*-===//
+//
+// Part of the RelC data representation synthesis library.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// A lightweight non-owning reference to a callable, in the spirit of
+/// llvm::function_ref. Used for scan callbacks on the hot query path
+/// where std::function's allocation and indirection would be wasteful.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef RELC_SUPPORT_FUNCTIONREF_H
+#define RELC_SUPPORT_FUNCTIONREF_H
+
+#include <cstdint>
+#include <type_traits>
+#include <utility>
+
+namespace relc {
+
+template <typename FnT> class function_ref;
+
+/// Non-owning reference to a callable with signature Ret(Params...).
+/// The referenced callable must outlive the function_ref.
+template <typename Ret, typename... Params> class function_ref<Ret(Params...)> {
+public:
+  function_ref() = default;
+
+  template <typename CallableT,
+            typename = std::enable_if_t<!std::is_same_v<
+                std::remove_cvref_t<CallableT>, function_ref>>>
+  function_ref(CallableT &&Callable)
+      : Callback(&callFn<std::remove_reference_t<CallableT>>),
+        Callable(reinterpret_cast<intptr_t>(&Callable)) {}
+
+  Ret operator()(Params... Args) const {
+    return Callback(Callable, std::forward<Params>(Args)...);
+  }
+
+  explicit operator bool() const { return Callback != nullptr; }
+
+private:
+  template <typename CallableT>
+  static Ret callFn(intptr_t Fn, Params... Args) {
+    return (*reinterpret_cast<CallableT *>(Fn))(std::forward<Params>(Args)...);
+  }
+
+  Ret (*Callback)(intptr_t, Params...) = nullptr;
+  intptr_t Callable = 0;
+};
+
+} // namespace relc
+
+#endif // RELC_SUPPORT_FUNCTIONREF_H

@@ -1,0 +1,46 @@
+//===- support/Hashing.h - Hash combination utilities -----------*- C++ -*-===//
+//
+// Part of the RelC data representation synthesis library.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Small hash-combination helpers used by tuples, values and container
+/// keys throughout RelC.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef RELC_SUPPORT_HASHING_H
+#define RELC_SUPPORT_HASHING_H
+
+#include <cstddef>
+#include <cstdint>
+#include <functional>
+
+namespace relc {
+
+/// Mixes \p Value into \p Seed (boost::hash_combine-style, 64-bit variant).
+inline size_t hashCombine(size_t Seed, size_t Value) {
+  // Constant from the splitmix64 finalizer; spreads entropy across bits.
+  Seed ^= Value + 0x9e3779b97f4a7c15ULL + (Seed << 12) + (Seed >> 4);
+  return Seed;
+}
+
+/// Hashes \p V with std::hash and mixes it into \p Seed.
+template <typename T> size_t hashCombineValue(size_t Seed, const T &V) {
+  return hashCombine(Seed, std::hash<T>()(V));
+}
+
+/// Finalizer that forces avalanche on a raw 64-bit value.
+inline uint64_t hashMix64(uint64_t X) {
+  X ^= X >> 33;
+  X *= 0xff51afd7ed558ccdULL;
+  X ^= X >> 33;
+  X *= 0xc4ceb9fe1a85ec53ULL;
+  X ^= X >> 33;
+  return X;
+}
+
+} // namespace relc
+
+#endif // RELC_SUPPORT_HASHING_H

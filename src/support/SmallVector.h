@@ -1,0 +1,237 @@
+//===- support/SmallVector.h - Vector with inline storage -------*- C++ -*-===//
+//
+// Part of the RelC data representation synthesis library.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// A simplified SmallVector in the spirit of llvm::SmallVector: a vector
+/// optimized for the case when the array is small, keeping the first N
+/// elements in inline storage and only heap-allocating beyond that.
+/// Tuples and container keys in RelC hold a handful of values, so this
+/// avoids an allocation on nearly every tuple operation.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef RELC_SUPPORT_SMALLVECTOR_H
+#define RELC_SUPPORT_SMALLVECTOR_H
+
+#include <algorithm>
+#include <cassert>
+#include <cstddef>
+#include <cstdint>
+#include <initializer_list>
+#include <memory>
+#include <new>
+#include <type_traits>
+#include <utility>
+
+namespace relc {
+
+/// A vector with inline storage for the first \p N elements.
+///
+/// Supports the subset of the std::vector interface RelC needs. Elements
+/// must be movable. Iterators are invalidated by any mutation that grows
+/// the vector past its capacity.
+template <typename T, unsigned N = 4> class SmallVector {
+public:
+  using value_type = T;
+  using iterator = T *;
+  using const_iterator = const T *;
+
+  SmallVector() = default;
+
+  SmallVector(std::initializer_list<T> Init) {
+    reserve(Init.size());
+    for (const T &V : Init)
+      push_back(V);
+  }
+
+  SmallVector(const SmallVector &Other) { append(Other.begin(), Other.end()); }
+
+  SmallVector(SmallVector &&Other) noexcept { moveFrom(std::move(Other)); }
+
+  SmallVector &operator=(const SmallVector &Other) {
+    if (this == &Other)
+      return *this;
+    clear();
+    append(Other.begin(), Other.end());
+    return *this;
+  }
+
+  SmallVector &operator=(SmallVector &&Other) noexcept {
+    if (this == &Other)
+      return *this;
+    destroyAll();
+    freeHeap();
+    Begin = inlineData();
+    Size = 0;
+    Capacity = N;
+    moveFrom(std::move(Other));
+    return *this;
+  }
+
+  ~SmallVector() {
+    destroyAll();
+    freeHeap();
+  }
+
+  iterator begin() { return Begin; }
+  iterator end() { return Begin + Size; }
+  const_iterator begin() const { return Begin; }
+  const_iterator end() const { return Begin + Size; }
+
+  size_t size() const { return Size; }
+  bool empty() const { return Size == 0; }
+  size_t capacity() const { return Capacity; }
+
+  T &operator[](size_t I) {
+    assert(I < Size && "SmallVector index out of range");
+    return Begin[I];
+  }
+  const T &operator[](size_t I) const {
+    assert(I < Size && "SmallVector index out of range");
+    return Begin[I];
+  }
+
+  T &front() { return (*this)[0]; }
+  const T &front() const { return (*this)[0]; }
+  T &back() { return (*this)[Size - 1]; }
+  const T &back() const { return (*this)[Size - 1]; }
+
+  void push_back(const T &V) {
+    grow(Size + 1);
+    new (Begin + Size) T(V);
+    ++Size;
+  }
+
+  void push_back(T &&V) {
+    grow(Size + 1);
+    new (Begin + Size) T(std::move(V));
+    ++Size;
+  }
+
+  template <typename... ArgTs> T &emplace_back(ArgTs &&...Args) {
+    grow(Size + 1);
+    new (Begin + Size) T(std::forward<ArgTs>(Args)...);
+    ++Size;
+    return back();
+  }
+
+  void pop_back() {
+    assert(Size > 0 && "pop_back on empty SmallVector");
+    --Size;
+    Begin[Size].~T();
+  }
+
+  void clear() {
+    destroyAll();
+    Size = 0;
+  }
+
+  void reserve(size_t NewCap) { grow(NewCap); }
+
+  void resize(size_t NewSize) {
+    if (NewSize < Size) {
+      while (Size > NewSize)
+        pop_back();
+      return;
+    }
+    grow(NewSize);
+    while (Size < NewSize)
+      emplace_back();
+  }
+
+  /// Inserts \p V before position \p Pos, shifting later elements right.
+  iterator insert(iterator Pos, T V) {
+    size_t Idx = Pos - Begin;
+    assert(Idx <= Size && "insert position out of range");
+    grow(Size + 1);
+    new (Begin + Size) T(std::move(V));
+    ++Size;
+    std::rotate(Begin + Idx, Begin + Size - 1, Begin + Size);
+    return Begin + Idx;
+  }
+
+  /// Erases the element at \p Pos, shifting later elements left.
+  iterator erase(iterator Pos) {
+    size_t Idx = Pos - Begin;
+    assert(Idx < Size && "erase position out of range");
+    std::move(Begin + Idx + 1, Begin + Size, Begin + Idx);
+    pop_back();
+    return Begin + Idx;
+  }
+
+  template <typename ItT> void append(ItT First, ItT Last) {
+    for (; First != Last; ++First)
+      push_back(*First);
+  }
+
+  bool operator==(const SmallVector &Other) const {
+    return Size == Other.Size && std::equal(begin(), end(), Other.begin());
+  }
+  bool operator!=(const SmallVector &Other) const { return !(*this == Other); }
+
+  bool operator<(const SmallVector &Other) const {
+    return std::lexicographical_compare(begin(), end(), Other.begin(),
+                                        Other.end());
+  }
+
+private:
+  T *inlineData() { return reinterpret_cast<T *>(InlineStorage); }
+
+  bool isInline() const {
+    return Begin == reinterpret_cast<const T *>(InlineStorage);
+  }
+
+  void destroyAll() {
+    for (size_t I = 0; I != Size; ++I)
+      Begin[I].~T();
+  }
+
+  void freeHeap() {
+    if (!isInline())
+      ::operator delete(Begin);
+  }
+
+  void grow(size_t MinCap) {
+    if (MinCap <= Capacity)
+      return;
+    size_t NewCap = std::max(MinCap, Capacity * 2);
+    T *NewData = static_cast<T *>(::operator new(NewCap * sizeof(T)));
+    for (size_t I = 0; I != Size; ++I) {
+      new (NewData + I) T(std::move(Begin[I]));
+      Begin[I].~T();
+    }
+    freeHeap();
+    Begin = NewData;
+    Capacity = NewCap;
+  }
+
+  void moveFrom(SmallVector &&Other) {
+    if (Other.isInline()) {
+      for (size_t I = 0; I != Other.Size; ++I)
+        new (Begin + I) T(std::move(Other.Begin[I]));
+      Size = Other.Size;
+      Other.destroyAll();
+      Other.Size = 0;
+      return;
+    }
+    // Steal the heap allocation.
+    Begin = Other.Begin;
+    Size = Other.Size;
+    Capacity = Other.Capacity;
+    Other.Begin = Other.inlineData();
+    Other.Size = 0;
+    Other.Capacity = N;
+  }
+
+  alignas(T) unsigned char InlineStorage[sizeof(T) * N];
+  T *Begin = inlineData();
+  size_t Size = 0;
+  size_t Capacity = N;
+};
+
+} // namespace relc
+
+#endif // RELC_SUPPORT_SMALLVECTOR_H

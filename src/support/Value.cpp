@@ -1,0 +1,83 @@
+//===- support/Value.cpp - Untyped relational values ----------------------===//
+//
+// Part of the RelC data representation synthesis library.
+//
+//===----------------------------------------------------------------------===//
+
+#include "support/Value.h"
+
+#include <cassert>
+#include <deque>
+#include <mutex>
+#include <unordered_map>
+
+using namespace relc;
+
+namespace {
+/// Process-wide string intern pool. Strings are never evicted; ids are
+/// stable for the lifetime of the process.
+class StringPool {
+public:
+  static StringPool &instance() {
+    static StringPool Pool;
+    return Pool;
+  }
+
+  int64_t intern(std::string_view S) {
+    std::lock_guard<std::mutex> Lock(Mu);
+    auto It = Index.find(std::string(S));
+    if (It != Index.end())
+      return It->second;
+    Strings.emplace_back(S);
+    int64_t Id = static_cast<int64_t>(Strings.size()) - 1;
+    Index.emplace(Strings.back(), Id);
+    return Id;
+  }
+
+  std::string_view text(int64_t Id) const {
+    std::lock_guard<std::mutex> Lock(Mu);
+    assert(Id >= 0 && static_cast<size_t>(Id) < Strings.size() &&
+           "invalid interned string id");
+    return Strings[static_cast<size_t>(Id)];
+  }
+
+private:
+  // deque: stable addresses so Index keys (string copies) stay valid.
+  std::deque<std::string> Strings;
+  std::unordered_map<std::string, int64_t> Index;
+  mutable std::mutex Mu;
+};
+} // namespace
+
+Value Value::ofString(std::string_view S) {
+  Value Result;
+  Result.K = Kind::Str;
+  Result.Payload = StringPool::instance().intern(S);
+  return Result;
+}
+
+int64_t Value::asInt() const {
+  assert(isInt() && "Value is not an integer");
+  return Payload;
+}
+
+std::string_view Value::asStr() const {
+  assert(isStr() && "Value is not a string");
+  return StringPool::instance().text(Payload);
+}
+
+bool Value::operator<(const Value &Other) const {
+  if (K != Other.K)
+    return K < Other.K;
+  if (K == Kind::Int)
+    return Payload < Other.Payload;
+  if (Payload == Other.Payload)
+    return false;
+  return asStr() < Other.asStr();
+}
+
+std::string Value::str() const {
+  if (isInt())
+    return std::to_string(Payload);
+  return "\"" + std::string(asStr()) + "\"";
+}

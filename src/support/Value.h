@@ -1,0 +1,81 @@
+//===- support/Value.h - Untyped relational values --------------*- C++ -*-===//
+//
+// Part of the RelC data representation synthesis library.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Values of the relational universe V (Section 2 of the paper). A Value
+/// is a tagged 64-bit cell holding either an integer or an interned
+/// string. Interning keeps comparison and hashing O(1)-ish while still
+/// supporting string-valued columns (tile URLs, host names, ...).
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef RELC_SUPPORT_VALUE_H
+#define RELC_SUPPORT_VALUE_H
+
+#include "support/Hashing.h"
+
+#include <cstdint>
+#include <string>
+#include <string_view>
+
+namespace relc {
+
+/// A single value drawn from the relational universe: an integer or an
+/// interned string. Default-constructed Values are the integer 0.
+class Value {
+public:
+  enum class Kind : uint8_t { Int, Str };
+
+  Value() : K(Kind::Int), Payload(0) {}
+
+  /// Creates an integer value.
+  static Value ofInt(int64_t V) {
+    Value Result;
+    Result.K = Kind::Int;
+    Result.Payload = V;
+    return Result;
+  }
+
+  /// Creates a string value, interning \p S in the global pool.
+  static Value ofString(std::string_view S);
+
+  Kind kind() const { return K; }
+  bool isInt() const { return K == Kind::Int; }
+  bool isStr() const { return K == Kind::Str; }
+
+  int64_t asInt() const;
+  std::string_view asStr() const;
+
+  bool operator==(const Value &Other) const {
+    return K == Other.K && Payload == Other.Payload;
+  }
+  bool operator!=(const Value &Other) const { return !(*this == Other); }
+
+  /// Total order: all integers before all strings; integers by value,
+  /// strings lexicographically by content (so ordered containers iterate
+  /// in a human-meaningful order).
+  bool operator<(const Value &Other) const;
+
+  size_t hash() const {
+    return hashMix64((static_cast<uint64_t>(K) << 62) ^
+                     static_cast<uint64_t>(Payload));
+  }
+
+  /// Renders the value for diagnostics ("42" or "\"foo\"").
+  std::string str() const;
+
+private:
+  Kind K;
+  int64_t Payload; // Int: the value. Str: index into the intern pool.
+};
+
+} // namespace relc
+
+template <> struct std::hash<relc::Value> {
+  size_t operator()(const relc::Value &V) const { return V.hash(); }
+};
+
+#endif // RELC_SUPPORT_VALUE_H

@@ -1,0 +1,70 @@
+//===- systems/GraphRelational.h - Synthesized edge relation ----*- C++ -*-===//
+//
+// Part of the RelC data representation synthesis library.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The graph benchmark's edge relation (Section 6.1): columns
+/// {src, dst, weight} with FD src,dst → weight, plus the single-column
+/// nodes relation used as the DFS visited set. The decomposition is a
+/// constructor parameter — this is the client the autotuner runs for
+/// Fig. 11, and Fig. 12's decompositions 1/5/9 are provided as named
+/// constructors.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef RELC_SYSTEMS_GRAPHRELATIONAL_H
+#define RELC_SYSTEMS_GRAPHRELATIONAL_H
+
+#include <cstddef>
+#include "runtime/SynthesizedRelation.h"
+
+#include <vector>
+
+namespace relc {
+
+class GraphRelational {
+public:
+  /// edges(src, dst, weight) with src,dst → weight.
+  static RelSpecRef makeSpec();
+
+  /// Fig. 12 decomposition 1: src → (dst → unit{weight}); fast forward
+  /// traversal, quadratic backward.
+  static Decomposition makeForwardOnly(const RelSpecRef &Spec);
+  /// Fig. 12 decomposition 5: forward and backward indexes sharing the
+  /// weight node (intrusive containers).
+  static Decomposition makeSharedBidirectional(const RelSpecRef &Spec);
+  /// Fig. 12 decomposition 9: forward and backward indexes with
+  /// duplicated weight leaves (no sharing).
+  static Decomposition makeUnsharedBidirectional(const RelSpecRef &Spec);
+
+  explicit GraphRelational(Decomposition D);
+
+  bool addEdge(int64_t Src, int64_t Dst, int64_t Weight);
+  bool removeEdge(int64_t Src, int64_t Dst);
+  int64_t weightOf(int64_t Src, int64_t Dst) const;
+
+  /// Calls \p Fn(dst, weight) per outgoing edge of \p Src.
+  void forEachSuccessor(int64_t Src,
+                        function_ref<bool(int64_t, int64_t)> Fn) const;
+  /// Calls \p Fn(src, weight) per incoming edge of \p Dst.
+  void forEachPredecessor(int64_t Dst,
+                          function_ref<bool(int64_t, int64_t)> Fn) const;
+
+  /// Depth-first search from \p Start following edges forward
+  /// (Backward=false) or backward; returns number of nodes visited.
+  /// This is the client loop printed in Section 6.1.
+  size_t depthFirstSearch(int64_t Start, bool Backward) const;
+
+  size_t numEdges() const { return Rel.size(); }
+  const SynthesizedRelation &relation() const { return Rel; }
+
+private:
+  SynthesizedRelation Rel;
+  ColumnId ColSrc, ColDst, ColWeight;
+};
+
+} // namespace relc
+
+#endif // RELC_SYSTEMS_GRAPHRELATIONAL_H

@@ -1,0 +1,107 @@
+//===- systems/IpcapRelational.cpp - Synthesized flow accounting -------------===//
+//
+// Part of the RelC data representation synthesis library.
+//
+//===----------------------------------------------------------------------===//
+
+#include "systems/IpcapRelational.h"
+
+#include "decomp/Builder.h"
+
+using namespace relc;
+
+RelSpecRef IpcapRelational::makeSpec() {
+  return RelSpec::make(
+      "flows", {"local", "remote", "bytes_in", "bytes_out", "packets"},
+      {{"local, remote", "bytes_in, bytes_out, packets"}});
+}
+
+Decomposition
+IpcapRelational::makeDefaultDecomposition(const RelSpecRef &Spec) {
+  DecompBuilder B(Spec);
+  NodeId W = B.addNode("w", "local, remote",
+                       B.unit("bytes_in, bytes_out, packets"));
+  NodeId Y = B.addNode("y", "local", B.map("remote", DsKind::HashTable, W));
+  B.addNode("x", "", B.map("local", DsKind::Btree, Y));
+  return B.build();
+}
+
+Decomposition
+IpcapRelational::makeTransposedDecomposition(const RelSpecRef &Spec) {
+  DecompBuilder B(Spec);
+  NodeId W = B.addNode("w", "local, remote",
+                       B.unit("bytes_in, bytes_out, packets"));
+  NodeId Y = B.addNode("y", "remote", B.map("local", DsKind::HashTable, W));
+  B.addNode("x", "", B.map("remote", DsKind::Btree, Y));
+  return B.build();
+}
+
+IpcapRelational::IpcapRelational()
+    : IpcapRelational(makeDefaultDecomposition(makeSpec())) {}
+
+IpcapRelational::IpcapRelational(Decomposition D) : Rel(std::move(D)) {
+  const Catalog &Cat = Rel.catalog();
+  ColLocal = Cat.get("local");
+  ColRemote = Cat.get("remote");
+  ColIn = Cat.get("bytes_in");
+  ColOut = Cat.get("bytes_out");
+  ColPackets = Cat.get("packets");
+}
+
+void IpcapRelational::accountPacket(int64_t Local, int64_t Remote,
+                                    int64_t Bytes, bool Outgoing) {
+  Tuple Pattern;
+  Pattern.set(ColLocal, Value::ofInt(Local));
+  Pattern.set(ColRemote, Value::ofInt(Remote));
+
+  const FlowStats *Existing = flowOf(Local, Remote);
+  if (!Existing) {
+    Tuple T = Pattern;
+    T.set(ColIn, Value::ofInt(Outgoing ? 0 : Bytes));
+    T.set(ColOut, Value::ofInt(Outgoing ? Bytes : 0));
+    T.set(ColPackets, Value::ofInt(1));
+    Rel.insert(T);
+    return;
+  }
+  Tuple Changes;
+  Changes.set(ColIn, Value::ofInt(Existing->BytesIn + (Outgoing ? 0 : Bytes)));
+  Changes.set(ColOut,
+              Value::ofInt(Existing->BytesOut + (Outgoing ? Bytes : 0)));
+  Changes.set(ColPackets, Value::ofInt(Existing->Packets + 1));
+  Rel.update(Pattern, Changes);
+}
+
+const FlowStats *IpcapRelational::flowOf(int64_t Local,
+                                         int64_t Remote) const {
+  Tuple Pattern;
+  Pattern.set(ColLocal, Value::ofInt(Local));
+  Pattern.set(ColRemote, Value::ofInt(Remote));
+  bool Found = false;
+  Rel.scan(Pattern, ColumnSet({ColIn, ColOut, ColPackets}),
+           [&](const Tuple &T) {
+             LastStats.BytesIn = T.get(ColIn).asInt();
+             LastStats.BytesOut = T.get(ColOut).asInt();
+             LastStats.Packets = T.get(ColPackets).asInt();
+             Found = true;
+             return false;
+           });
+  return Found ? &LastStats : nullptr;
+}
+
+std::vector<FlowRecord> IpcapRelational::flush() {
+  std::vector<FlowRecord> Result;
+  Result.reserve(Rel.size());
+  Tuple Everything;
+  Rel.scan(Everything, Rel.spec()->columns(), [&](const Tuple &T) {
+    FlowRecord R;
+    R.LocalHost = T.get(ColLocal).asInt();
+    R.RemoteHost = T.get(ColRemote).asInt();
+    R.Stats.BytesIn = T.get(ColIn).asInt();
+    R.Stats.BytesOut = T.get(ColOut).asInt();
+    R.Stats.Packets = T.get(ColPackets).asInt();
+    Result.push_back(R);
+    return true;
+  });
+  Rel.clear();
+  return Result;
+}

@@ -1,0 +1,53 @@
+//===- systems/IpcapRelational.h - Synthesized flow accounting --*- C++ -*-===//
+//
+// Part of the RelC data representation synthesis library.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// IpCap's packet statistics as a relation (Section 6.2):
+/// 〈local, remote, bytes_in, bytes_out, packets〉 with
+/// local,remote → bytes_in,bytes_out,packets. The default decomposition
+/// is the autotuner's winner from Fig. 13 — an ordered map of local
+/// hosts over hash tables of remote hosts; the constructor accepts any
+/// adequate alternative (that is what bench_fig13_ipcap sweeps).
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef RELC_SYSTEMS_IPCAPRELATIONAL_H
+#define RELC_SYSTEMS_IPCAPRELATIONAL_H
+
+#include <cstddef>
+#include "baselines/IpcapBaseline.h" // for FlowRecord/FlowStats
+#include "runtime/SynthesizedRelation.h"
+
+namespace relc {
+
+class IpcapRelational {
+public:
+  static RelSpecRef makeSpec();
+  /// Fig. 13's best: btree(local) -> htable(remote) -> counters.
+  static Decomposition makeDefaultDecomposition(const RelSpecRef &Spec);
+  /// Fig. 13's rank-18 transposed variant (remote outer, local inner).
+  static Decomposition makeTransposedDecomposition(const RelSpecRef &Spec);
+
+  IpcapRelational();
+  explicit IpcapRelational(Decomposition D);
+
+  void accountPacket(int64_t Local, int64_t Remote, int64_t Bytes,
+                     bool Outgoing);
+  const FlowStats *flowOf(int64_t Local, int64_t Remote) const;
+  std::vector<FlowRecord> flush();
+  size_t numFlows() const { return Rel.size(); }
+
+  const SynthesizedRelation &relation() const { return Rel; }
+
+private:
+  SynthesizedRelation Rel;
+  ColumnId ColLocal, ColRemote, ColIn, ColOut, ColPackets;
+  mutable FlowStats LastStats; // backing storage for flowOf
+};
+
+} // namespace relc
+
+#endif // RELC_SYSTEMS_IPCAPRELATIONAL_H

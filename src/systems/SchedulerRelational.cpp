@@ -1,0 +1,125 @@
+//===- systems/SchedulerRelational.cpp - Synthesized scheduler ---------------===//
+//
+// Part of the RelC data representation synthesis library.
+//
+//===----------------------------------------------------------------------===//
+
+#include "systems/SchedulerRelational.h"
+
+#include "decomp/Builder.h"
+
+using namespace relc;
+
+RelSpecRef SchedulerRelational::makeSpec() {
+  return RelSpec::make("scheduler", {"ns", "pid", "state", "cpu"},
+                       {{"ns, pid", "state, cpu"}});
+}
+
+Decomposition
+SchedulerRelational::makeDefaultDecomposition(const RelSpecRef &Spec) {
+  // Fig. 2(a): x -ns(htable)-> y -pid(htable)-> w{cpu}
+  //            x -state(vector)-> z -ns,pid(ilist)-> w   (w shared)
+  DecompBuilder B(Spec);
+  NodeId W = B.addNode("w", "ns, pid, state", B.unit("cpu"));
+  NodeId Y = B.addNode("y", "ns", B.map("pid", DsKind::HashTable, W));
+  NodeId Z = B.addNode("z", "state", B.map("ns, pid", DsKind::IList, W));
+  B.addNode("x", "",
+            B.join(B.map("ns", DsKind::HashTable, Y),
+                   B.map("state", DsKind::Vector, Z)));
+  return B.build();
+}
+
+SchedulerRelational::SchedulerRelational()
+    : SchedulerRelational(makeDefaultDecomposition(makeSpec())) {}
+
+SchedulerRelational::SchedulerRelational(Decomposition D)
+    : Rel(std::move(D)) {
+  const Catalog &Cat = Rel.catalog();
+  ColNs = Cat.get("ns");
+  ColPid = Cat.get("pid");
+  ColState = Cat.get("state");
+  ColCpu = Cat.get("cpu");
+}
+
+std::optional<Tuple> SchedulerRelational::lookup(int64_t Ns,
+                                                 int64_t Pid) const {
+  Tuple Pattern;
+  Pattern.set(ColNs, Value::ofInt(Ns));
+  Pattern.set(ColPid, Value::ofInt(Pid));
+  std::vector<Tuple> Rows =
+      Rel.query(Pattern, ColumnSet({ColState, ColCpu}));
+  if (Rows.empty())
+    return std::nullopt;
+  return Rows.front();
+}
+
+bool SchedulerRelational::addProcess(int64_t Ns, int64_t Pid,
+                                     ProcState State, int64_t Cpu) {
+  if (lookup(Ns, Pid))
+    return false;
+  Tuple T;
+  T.set(ColNs, Value::ofInt(Ns));
+  T.set(ColPid, Value::ofInt(Pid));
+  T.set(ColState, Value::ofInt(static_cast<int64_t>(State)));
+  T.set(ColCpu, Value::ofInt(Cpu));
+  return Rel.insert(T);
+}
+
+bool SchedulerRelational::removeProcess(int64_t Ns, int64_t Pid) {
+  Tuple Pattern;
+  Pattern.set(ColNs, Value::ofInt(Ns));
+  Pattern.set(ColPid, Value::ofInt(Pid));
+  return Rel.remove(Pattern) > 0;
+}
+
+bool SchedulerRelational::setState(int64_t Ns, int64_t Pid,
+                                   ProcState State) {
+  Tuple Pattern;
+  Pattern.set(ColNs, Value::ofInt(Ns));
+  Pattern.set(ColPid, Value::ofInt(Pid));
+  Tuple Changes;
+  Changes.set(ColState, Value::ofInt(static_cast<int64_t>(State)));
+  return Rel.update(Pattern, Changes) > 0;
+}
+
+bool SchedulerRelational::chargeCpu(int64_t Ns, int64_t Pid, int64_t Delta) {
+  std::optional<Tuple> Row = lookup(Ns, Pid);
+  if (!Row)
+    return false;
+  Tuple Pattern;
+  Pattern.set(ColNs, Value::ofInt(Ns));
+  Pattern.set(ColPid, Value::ofInt(Pid));
+  Tuple Changes;
+  Changes.set(ColCpu,
+              Value::ofInt(Row->get(ColCpu).asInt() + Delta));
+  return Rel.update(Pattern, Changes) > 0;
+}
+
+int64_t SchedulerRelational::cpuOf(int64_t Ns, int64_t Pid) const {
+  std::optional<Tuple> Row = lookup(Ns, Pid);
+  return Row ? Row->get(ColCpu).asInt() : -1;
+}
+
+std::vector<std::pair<int64_t, int64_t>>
+SchedulerRelational::processesIn(ProcState State) const {
+  Tuple Pattern;
+  Pattern.set(ColState, Value::ofInt(static_cast<int64_t>(State)));
+  std::vector<std::pair<int64_t, int64_t>> Result;
+  Rel.scan(Pattern, ColumnSet({ColNs, ColPid}), [&](const Tuple &T) {
+    Result.emplace_back(T.get(ColNs).asInt(), T.get(ColPid).asInt());
+    return true;
+  });
+  return Result;
+}
+
+std::vector<int64_t>
+SchedulerRelational::pidsInNamespace(int64_t Ns) const {
+  Tuple Pattern;
+  Pattern.set(ColNs, Value::ofInt(Ns));
+  std::vector<int64_t> Result;
+  Rel.scan(Pattern, ColumnSet({ColPid}), [&](const Tuple &T) {
+    Result.push_back(T.get(ColPid).asInt());
+    return true;
+  });
+  return Result;
+}

@@ -1,0 +1,109 @@
+//===- systems/ThttpdRelational.cpp - Synthesized mmap cache -----------------===//
+//
+// Part of the RelC data representation synthesis library.
+//
+//===----------------------------------------------------------------------===//
+
+#include "systems/ThttpdRelational.h"
+
+#include "decomp/Builder.h"
+
+using namespace relc;
+
+RelSpecRef ThttpdRelational::makeSpec() {
+  return RelSpec::make(
+      "mmc", {"file", "addr", "size", "refcount", "last_use"},
+      {{"file", "addr, size, refcount, last_use"}});
+}
+
+Decomposition
+ThttpdRelational::makeDefaultDecomposition(const RelSpecRef &Spec) {
+  DecompBuilder B(Spec);
+  NodeId W = B.addNode("w", "file",
+                       B.unit("addr, size, refcount, last_use"));
+  B.addNode("x", "", B.map("file", DsKind::HashTable, W));
+  return B.build();
+}
+
+ThttpdRelational::ThttpdRelational()
+    : ThttpdRelational(makeDefaultDecomposition(makeSpec())) {}
+
+ThttpdRelational::ThttpdRelational(Decomposition D) : Rel(std::move(D)) {
+  const Catalog &Cat = Rel.catalog();
+  ColFile = Cat.get("file");
+  ColAddr = Cat.get("addr");
+  ColSize = Cat.get("size");
+  ColRef = Cat.get("refcount");
+  ColLastUse = Cat.get("last_use");
+}
+
+int64_t ThttpdRelational::mapFile(int64_t FileId, int64_t Size,
+                                  int64_t Now) {
+  Tuple Pattern;
+  Pattern.set(ColFile, Value::ofInt(FileId));
+
+  int64_t Addr = -1;
+  int64_t Ref = 0;
+  bool Found = false;
+  Rel.scan(Pattern, ColumnSet({ColAddr, ColRef}), [&](const Tuple &T) {
+    Addr = T.get(ColAddr).asInt();
+    Ref = T.get(ColRef).asInt();
+    Found = true;
+    return false;
+  });
+
+  if (!Found) {
+    Addr = NextAddr;
+    NextAddr += Size;
+    Tuple T = Pattern;
+    T.set(ColAddr, Value::ofInt(Addr));
+    T.set(ColSize, Value::ofInt(Size));
+    T.set(ColRef, Value::ofInt(1));
+    T.set(ColLastUse, Value::ofInt(Now));
+    Rel.insert(T);
+    TotalBytes += Size;
+    return Addr;
+  }
+  Tuple Changes;
+  Changes.set(ColRef, Value::ofInt(Ref + 1));
+  Changes.set(ColLastUse, Value::ofInt(Now));
+  Rel.update(Pattern, Changes);
+  return Addr;
+}
+
+void ThttpdRelational::unmapFile(int64_t FileId, int64_t Now) {
+  Tuple Pattern;
+  Pattern.set(ColFile, Value::ofInt(FileId));
+  int64_t Ref = -1;
+  Rel.scan(Pattern, ColumnSet({ColRef}), [&](const Tuple &T) {
+    Ref = T.get(ColRef).asInt();
+    return false;
+  });
+  if (Ref < 0)
+    return;
+  Tuple Changes;
+  Changes.set(ColRef, Value::ofInt(Ref > 0 ? Ref - 1 : 0));
+  Changes.set(ColLastUse, Value::ofInt(Now));
+  Rel.update(Pattern, Changes);
+}
+
+size_t ThttpdRelational::cleanup(int64_t Now, int64_t TtlSeconds) {
+  // Scan for stale mappings, then remove them by key.
+  std::vector<std::pair<int64_t, int64_t>> Stale; // (file, size)
+  Tuple Everything;
+  Rel.scan(Everything, ColumnSet({ColFile, ColSize, ColRef, ColLastUse}),
+           [&](const Tuple &T) {
+             if (T.get(ColRef).asInt() == 0 &&
+                 Now - T.get(ColLastUse).asInt() > TtlSeconds)
+               Stale.emplace_back(T.get(ColFile).asInt(),
+                                  T.get(ColSize).asInt());
+             return true;
+           });
+  for (auto [File, Size] : Stale) {
+    Tuple Pattern;
+    Pattern.set(ColFile, Value::ofInt(File));
+    Rel.remove(Pattern);
+    TotalBytes -= Size;
+  }
+  return Stale.size();
+}

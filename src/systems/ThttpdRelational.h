@@ -1,0 +1,50 @@
+//===- systems/ThttpdRelational.h - Synthesized mmap cache ------*- C++ -*-===//
+//
+// Part of the RelC data representation synthesis library.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// thttpd's mmc cache as a relation (Section 6.2):
+/// 〈file, addr, size, refcount, last_use〉 with file → the rest.
+/// Lookup by file id is the hot path; the cleanup pass scans
+/// everything (the paper's module walks the mappings removing stale
+/// ones).
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef RELC_SYSTEMS_THTTPDRELATIONAL_H
+#define RELC_SYSTEMS_THTTPDRELATIONAL_H
+
+#include <cstddef>
+#include "runtime/SynthesizedRelation.h"
+
+namespace relc {
+
+class ThttpdRelational {
+public:
+  static RelSpecRef makeSpec();
+  static Decomposition makeDefaultDecomposition(const RelSpecRef &Spec);
+
+  ThttpdRelational();
+  explicit ThttpdRelational(Decomposition D);
+
+  int64_t mapFile(int64_t FileId, int64_t Size, int64_t Now);
+  void unmapFile(int64_t FileId, int64_t Now);
+  size_t cleanup(int64_t Now, int64_t TtlSeconds);
+
+  size_t numMapped() const { return Rel.size(); }
+  int64_t mappedBytes() const { return TotalBytes; }
+
+  const SynthesizedRelation &relation() const { return Rel; }
+
+private:
+  SynthesizedRelation Rel;
+  ColumnId ColFile, ColAddr, ColSize, ColRef, ColLastUse;
+  int64_t TotalBytes = 0;
+  int64_t NextAddr = 0x10000;
+};
+
+} // namespace relc
+
+#endif // RELC_SYSTEMS_THTTPDRELATIONAL_H

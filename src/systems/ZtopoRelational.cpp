@@ -1,0 +1,125 @@
+//===- systems/ZtopoRelational.cpp - Synthesized tile cache ------------------===//
+//
+// Part of the RelC data representation synthesis library.
+//
+//===----------------------------------------------------------------------===//
+
+#include "systems/ZtopoRelational.h"
+
+#include "decomp/Builder.h"
+
+#include <limits>
+
+using namespace relc;
+
+RelSpecRef ZtopoRelational::makeSpec() {
+  return RelSpec::make("tiles", {"tile", "state", "size", "stamp"},
+                       {{"tile", "state, size, stamp"}});
+}
+
+Decomposition
+ZtopoRelational::makeDefaultDecomposition(const RelSpecRef &Spec) {
+  // Hash over tiles joined with per-state intrusive lists over shared
+  // per-tile nodes — the original's hash-table-plus-state-lists layout.
+  DecompBuilder B(Spec);
+  NodeId W = B.addNode("w", "tile, state", B.unit("size, stamp"));
+  NodeId Y = B.addNode("y", "tile", B.map("state", DsKind::DList, W));
+  NodeId Z = B.addNode("z", "state", B.map("tile", DsKind::IList, W));
+  B.addNode("x", "",
+            B.join(B.map("tile", DsKind::HashTable, Y),
+                   B.map("state", DsKind::Vector, Z)));
+  return B.build();
+}
+
+ZtopoRelational::ZtopoRelational()
+    : ZtopoRelational(makeDefaultDecomposition(makeSpec())) {}
+
+ZtopoRelational::ZtopoRelational(Decomposition D) : Rel(std::move(D)) {
+  const Catalog &Cat = Rel.catalog();
+  ColTile = Cat.get("tile");
+  ColState = Cat.get("state");
+  ColSize = Cat.get("size");
+  ColStamp = Cat.get("stamp");
+}
+
+bool ZtopoRelational::touchTile(int64_t TileId, TileState &StateOut) {
+  Tuple Pattern;
+  Pattern.set(ColTile, Value::ofInt(TileId));
+  bool Found = false;
+  Rel.scan(Pattern, ColumnSet({ColState}), [&](const Tuple &T) {
+    StateOut = static_cast<TileState>(T.get(ColState).asInt());
+    Found = true;
+    return false;
+  });
+  if (!Found)
+    return false;
+  Tuple Changes;
+  Changes.set(ColStamp, Value::ofInt(++Clock));
+  Rel.update(Pattern, Changes);
+  return true;
+}
+
+void ZtopoRelational::addTile(int64_t TileId, TileState State,
+                              int64_t Size) {
+  Tuple T;
+  T.set(ColTile, Value::ofInt(TileId));
+  T.set(ColState, Value::ofInt(static_cast<int64_t>(State)));
+  T.set(ColSize, Value::ofInt(Size));
+  T.set(ColStamp, Value::ofInt(++Clock));
+  if (Rel.insert(T))
+    StateBytes[static_cast<int>(State)] += Size;
+}
+
+bool ZtopoRelational::setState(int64_t TileId, TileState State) {
+  Tuple Pattern;
+  Pattern.set(ColTile, Value::ofInt(TileId));
+  TileState Old;
+  int64_t Size = -1;
+  Rel.scan(Pattern, ColumnSet({ColState, ColSize}), [&](const Tuple &T) {
+    Old = static_cast<TileState>(T.get(ColState).asInt());
+    Size = T.get(ColSize).asInt();
+    return false;
+  });
+  if (Size < 0)
+    return false;
+  if (Old == State)
+    return true;
+  Tuple Changes;
+  Changes.set(ColState, Value::ofInt(static_cast<int64_t>(State)));
+  Rel.update(Pattern, Changes);
+  StateBytes[static_cast<int>(Old)] -= Size;
+  StateBytes[static_cast<int>(State)] += Size;
+  return true;
+}
+
+std::vector<int64_t> ZtopoRelational::evictToBudget(TileState State,
+                                                    int64_t Budget) {
+  std::vector<int64_t> Evicted;
+  int S = static_cast<int>(State);
+  while (StateBytes[S] > Budget) {
+    // Scan this state's list for the least-recently-stamped tile.
+    Tuple Pattern;
+    Pattern.set(ColState, Value::ofInt(static_cast<int64_t>(State)));
+    int64_t BestTile = -1;
+    int64_t BestStamp = std::numeric_limits<int64_t>::max();
+    int64_t BestSize = 0;
+    Rel.scan(Pattern, ColumnSet({ColTile, ColSize, ColStamp}),
+             [&](const Tuple &T) {
+               int64_t Stamp = T.get(ColStamp).asInt();
+               if (Stamp < BestStamp) {
+                 BestStamp = Stamp;
+                 BestTile = T.get(ColTile).asInt();
+                 BestSize = T.get(ColSize).asInt();
+               }
+               return true;
+             });
+    if (BestTile < 0)
+      break;
+    Tuple Key;
+    Key.set(ColTile, Value::ofInt(BestTile));
+    Rel.remove(Key);
+    StateBytes[S] -= BestSize;
+    Evicted.push_back(BestTile);
+  }
+  return Evicted;
+}

@@ -1,0 +1,67 @@
+//===- workloads/LocCount.cpp - Non-comment line counting --------------------===//
+//
+// Part of the RelC data representation synthesis library.
+//
+//===----------------------------------------------------------------------===//
+
+#include "workloads/LocCount.h"
+
+#include <fstream>
+#include <sstream>
+
+using namespace relc;
+
+size_t relc::countLoc(std::string_view Source) {
+  size_t Count = 0;
+  bool InBlockComment = false;
+  size_t Pos = 0;
+  while (Pos < Source.size()) {
+    size_t Eol = Source.find('\n', Pos);
+    std::string_view Line = Source.substr(
+        Pos, Eol == std::string_view::npos ? std::string_view::npos
+                                           : Eol - Pos);
+    bool HasCode = false;
+    for (size_t I = 0; I < Line.size(); ++I) {
+      char C = Line[I];
+      if (InBlockComment) {
+        if (C == '*' && I + 1 < Line.size() && Line[I + 1] == '/') {
+          InBlockComment = false;
+          ++I;
+        }
+        continue;
+      }
+      if (C == '/' && I + 1 < Line.size() && Line[I + 1] == '/')
+        break; // rest of the line is a comment
+      if (C == '/' && I + 1 < Line.size() && Line[I + 1] == '*') {
+        InBlockComment = true;
+        ++I;
+        continue;
+      }
+      if (C != ' ' && C != '\t' && C != '\r')
+        HasCode = true;
+    }
+    if (HasCode)
+      ++Count;
+    if (Eol == std::string_view::npos)
+      break;
+    Pos = Eol + 1;
+  }
+  return Count;
+}
+
+size_t relc::countLocFiles(const std::vector<std::string> &Paths,
+                           std::vector<std::string> *Missing) {
+  size_t Total = 0;
+  for (const std::string &Path : Paths) {
+    std::ifstream In(Path);
+    if (!In) {
+      if (Missing)
+        Missing->push_back(Path);
+      continue;
+    }
+    std::ostringstream Buf;
+    Buf << In.rdbuf();
+    Total += countLoc(Buf.str());
+  }
+  return Total;
+}

@@ -1,0 +1,35 @@
+//===- workloads/LocCount.h - Non-comment line counting ---------*- C++ -*-===//
+//
+// Part of the RelC data representation synthesis library.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The metric of Table 1: non-comment, non-blank lines of code.
+/// Handles // and /* */ comments (sufficient for the C++ modules the
+/// table compares).
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef RELC_WORKLOADS_LOCCOUNT_H
+#define RELC_WORKLOADS_LOCCOUNT_H
+
+#include <cstddef>
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace relc {
+
+/// Counts non-comment, non-blank lines in \p Source.
+size_t countLoc(std::string_view Source);
+
+/// Counts non-comment, non-blank lines summed over \p Paths; files
+/// that cannot be read count as zero (reported via \p Missing if
+/// non-null).
+size_t countLocFiles(const std::vector<std::string> &Paths,
+                     std::vector<std::string> *Missing = nullptr);
+
+} // namespace relc
+
+#endif // RELC_WORKLOADS_LOCCOUNT_H

@@ -1,0 +1,33 @@
+//===- workloads/MmapTrace.cpp - thttpd request traces ------------------------===//
+//
+// Part of the RelC data representation synthesis library.
+//
+//===----------------------------------------------------------------------===//
+
+#include "workloads/MmapTrace.h"
+
+#include "workloads/Rng.h"
+
+#include <cmath>
+
+using namespace relc;
+
+std::vector<MmapRequest> relc::generateMmapTrace(const MmapTraceOptions &Opts) {
+  Rng R(Opts.Seed);
+  std::vector<MmapRequest> Trace;
+  Trace.reserve(Opts.NumRequests);
+  for (size_t I = 0; I != Opts.NumRequests; ++I) {
+    // Inverse-power sampling approximates a Zipf popularity curve well
+    // enough for cache behaviour: u^k concentrates mass near file 0.
+    double U = R.unit();
+    double Skewed = std::pow(U, 1.0 / (1.0 - Opts.ZipfSkew));
+    auto FileId = static_cast<int64_t>(Skewed * Opts.NumFiles);
+    if (FileId >= Opts.NumFiles)
+      FileId = Opts.NumFiles - 1;
+    // Stable per-file size derived from the id.
+    int64_t Size = 512 + (FileId * 2654435761u) % (256 * 1024);
+    auto Timestamp = static_cast<int64_t>(I / Opts.RequestsPerSecond);
+    Trace.push_back({FileId, Size, Timestamp});
+  }
+  return Trace;
+}

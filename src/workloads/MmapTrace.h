@@ -1,0 +1,46 @@
+//===- workloads/MmapTrace.h - thttpd request traces ------------*- C++ -*-===//
+//
+// Part of the RelC data representation synthesis library.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Synthetic HTTP request traces for the thttpd experiment (Section
+/// 6.2). thttpd's mmc module caches mmap()ed files keyed by (dev, ino,
+/// size, mtime); per request it looks the mapping up or creates it, and
+/// a periodic cleanup pass evicts mappings idle beyond a threshold.
+/// Web traffic is heavily skewed, so file popularity follows a
+/// Zipf-like law; live HTTP and real mmap() calls are replaced by the
+/// request stream (the cache's data structure operations are what the
+/// experiment measures).
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef RELC_WORKLOADS_MMAPTRACE_H
+#define RELC_WORKLOADS_MMAPTRACE_H
+
+#include <cstddef>
+#include <cstdint>
+#include <vector>
+
+namespace relc {
+
+struct MmapRequest {
+  int64_t FileId;
+  int64_t Size;
+  int64_t Timestamp; ///< Seconds; drives TTL-based cleanup.
+};
+
+struct MmapTraceOptions {
+  size_t NumRequests = 200000;
+  unsigned NumFiles = 10000;
+  double ZipfSkew = 0.9;
+  unsigned RequestsPerSecond = 500;
+  uint64_t Seed = 0x7774;
+};
+
+std::vector<MmapRequest> generateMmapTrace(const MmapTraceOptions &Opts);
+
+} // namespace relc
+
+#endif // RELC_WORKLOADS_MMAPTRACE_H

@@ -1,0 +1,26 @@
+//===- workloads/PacketTrace.cpp - IpCap packet traces -----------------------===//
+//
+// Part of the RelC data representation synthesis library.
+//
+//===----------------------------------------------------------------------===//
+
+#include "workloads/PacketTrace.h"
+
+#include "workloads/Rng.h"
+
+using namespace relc;
+
+std::vector<Packet> relc::generatePacketTrace(const PacketTraceOptions &Opts) {
+  Rng R(Opts.Seed);
+  std::vector<Packet> Trace;
+  Trace.reserve(Opts.NumPackets);
+  for (size_t I = 0; I != Opts.NumPackets; ++I) {
+    Packet P;
+    P.LocalHost = static_cast<int64_t>(R.below(Opts.NumLocalHosts));
+    P.RemoteHost = static_cast<int64_t>(R.below(Opts.NumRemoteHosts));
+    P.Bytes = R.range(40, 1500); // Ethernet-ish frame sizes.
+    P.Outgoing = R.chance(0.5);
+    Trace.push_back(P);
+  }
+  return Trace;
+}

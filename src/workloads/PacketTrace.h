@@ -1,0 +1,46 @@
+//===- workloads/PacketTrace.h - IpCap packet traces ------------*- C++ -*-===//
+//
+// Part of the RelC data representation synthesis library.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Synthetic network packet traces for the IpCap experiment (Section
+/// 6.2, Fig. 13). IpCap counts bytes per (local host, remote host)
+/// flow: per packet it looks the flow up and increments counters, and
+/// periodically it iterates all flows, logs them and drops them. The
+/// paper replayed 3×10^5 random packets; we generate the same shape:
+/// uniformly random flows over a small local-host set and a larger
+/// remote-host set. Live capture is replaced by a seeded generator —
+/// I/O was never the measured quantity.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef RELC_WORKLOADS_PACKETTRACE_H
+#define RELC_WORKLOADS_PACKETTRACE_H
+
+#include <cstdint>
+#include <cstddef>
+#include <vector>
+
+namespace relc {
+
+struct Packet {
+  int64_t LocalHost;
+  int64_t RemoteHost;
+  int64_t Bytes;
+  bool Outgoing;
+};
+
+struct PacketTraceOptions {
+  size_t NumPackets = 300000; ///< The paper's 3×10^5.
+  unsigned NumLocalHosts = 64;
+  unsigned NumRemoteHosts = 4096;
+  uint64_t Seed = 0xcafe;
+};
+
+std::vector<Packet> generatePacketTrace(const PacketTraceOptions &Opts);
+
+} // namespace relc
+
+#endif // RELC_WORKLOADS_PACKETTRACE_H

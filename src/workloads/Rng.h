@@ -1,0 +1,55 @@
+//===- workloads/Rng.h - Deterministic random numbers -----------*- C++ -*-===//
+//
+// Part of the RelC data representation synthesis library.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// A small deterministic PRNG (splitmix64 core) so every workload and
+/// property test is reproducible from its seed, independent of the
+/// standard library's distribution implementations.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef RELC_WORKLOADS_RNG_H
+#define RELC_WORKLOADS_RNG_H
+
+#include <cstddef>
+#include <cstdint>
+
+namespace relc {
+
+class Rng {
+public:
+  explicit Rng(uint64_t Seed) : State(Seed) {}
+
+  /// Next raw 64-bit value (splitmix64).
+  uint64_t next() {
+    State += 0x9e3779b97f4a7c15ULL;
+    uint64_t Z = State;
+    Z = (Z ^ (Z >> 30)) * 0xbf58476d1ce4e5b9ULL;
+    Z = (Z ^ (Z >> 27)) * 0x94d049bb133111ebULL;
+    return Z ^ (Z >> 31);
+  }
+
+  /// Uniform in [0, Bound); Bound must be positive.
+  uint64_t below(uint64_t Bound) { return next() % Bound; }
+
+  /// Uniform in [Lo, Hi] inclusive.
+  int64_t range(int64_t Lo, int64_t Hi) {
+    return Lo + static_cast<int64_t>(below(static_cast<uint64_t>(Hi - Lo + 1)));
+  }
+
+  /// Uniform in [0, 1).
+  double unit() { return static_cast<double>(next() >> 11) * 0x1.0p-53; }
+
+  /// True with probability \p P.
+  bool chance(double P) { return unit() < P; }
+
+private:
+  uint64_t State;
+};
+
+} // namespace relc
+
+#endif // RELC_WORKLOADS_RNG_H

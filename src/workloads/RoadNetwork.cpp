@@ -1,0 +1,40 @@
+//===- workloads/RoadNetwork.cpp - Synthetic road networks -------------------===//
+//
+// Part of the RelC data representation synthesis library.
+//
+//===----------------------------------------------------------------------===//
+
+#include "workloads/RoadNetwork.h"
+
+#include "workloads/Rng.h"
+
+using namespace relc;
+
+std::vector<RoadEdge>
+relc::generateRoadNetwork(const RoadNetworkOptions &Opts) {
+  Rng R(Opts.Seed);
+  std::vector<RoadEdge> Edges;
+  auto NodeAt = [&](unsigned X, unsigned Y) {
+    return static_cast<int64_t>(Y) * Opts.Width + X;
+  };
+  auto AddRoad = [&](int64_t A, int64_t B) {
+    int64_t W = R.range(1, Opts.MaxWeight);
+    // Two directed edges with the same weight: a two-way road.
+    Edges.push_back({A, B, W});
+    Edges.push_back({B, A, W});
+  };
+
+  for (unsigned Y = 0; Y != Opts.Height; ++Y)
+    for (unsigned X = 0; X != Opts.Width; ++X) {
+      if (X + 1 != Opts.Width && !R.chance(Opts.MissingRoadFraction))
+        AddRoad(NodeAt(X, Y), NodeAt(X + 1, Y));
+      if (Y + 1 != Opts.Height && !R.chance(Opts.MissingRoadFraction))
+        AddRoad(NodeAt(X, Y), NodeAt(X, Y + 1));
+      // One-way diagonal shortcut (highway ramps, cut-throughs).
+      if (X + 1 != Opts.Width && Y + 1 != Opts.Height &&
+          R.chance(Opts.DiagonalFraction))
+        Edges.push_back(
+            {NodeAt(X, Y), NodeAt(X + 1, Y + 1), R.range(1, Opts.MaxWeight)});
+    }
+  return Edges;
+}

@@ -1,0 +1,55 @@
+//===- workloads/RoadNetwork.h - Synthetic road networks --------*- C++ -*-===//
+//
+// Part of the RelC data representation synthesis library.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Deterministic synthetic road networks for the graph benchmark of
+/// Section 6.1. The paper used the road network of the northwestern
+/// USA (1,207,945 nodes / 2,840,208 edges ≈ 2.35 directed edges per
+/// node); we substitute a seeded generator with the same shape — a
+/// near-planar 2-D grid with occasional diagonal shortcuts, randomized
+/// weights and bounded out-degree — whose size scales to the benchmark
+/// budget. See DESIGN.md §4 for the substitution rationale.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef RELC_WORKLOADS_ROADNETWORK_H
+#define RELC_WORKLOADS_ROADNETWORK_H
+
+#include <cstddef>
+#include <cstdint>
+#include <vector>
+
+namespace relc {
+
+struct RoadEdge {
+  int64_t Src;
+  int64_t Dst;
+  int64_t Weight;
+};
+
+struct RoadNetworkOptions {
+  unsigned Width = 64;   ///< Grid columns.
+  unsigned Height = 64;  ///< Grid rows.
+  uint64_t Seed = 0x5eed;
+  /// Probability that a grid road is missing (rivers, mountains...).
+  double MissingRoadFraction = 0.08;
+  /// Probability of a diagonal shortcut at a grid point.
+  double DiagonalFraction = 0.05;
+  int64_t MaxWeight = 100;
+};
+
+/// Generates the directed edge list (grid roads exist in both
+/// directions; shortcuts are one-way). Node ids are y*Width + x.
+std::vector<RoadEdge> generateRoadNetwork(const RoadNetworkOptions &Opts);
+
+/// Number of node ids in the network (Width * Height).
+inline uint64_t roadNetworkNodeCount(const RoadNetworkOptions &Opts) {
+  return static_cast<uint64_t>(Opts.Width) * Opts.Height;
+}
+
+} // namespace relc
+
+#endif // RELC_WORKLOADS_ROADNETWORK_H

@@ -1,0 +1,52 @@
+//===- workloads/TileTrace.cpp - ZTopo tile access traces --------------------===//
+//
+// Part of the RelC data representation synthesis library.
+//
+//===----------------------------------------------------------------------===//
+
+#include "workloads/TileTrace.h"
+
+#include "workloads/Rng.h"
+
+#include <algorithm>
+
+using namespace relc;
+
+std::vector<TileRequest> relc::generateTileTrace(const TileTraceOptions &Opts) {
+  Rng R(Opts.Seed);
+  std::vector<TileRequest> Trace;
+  Trace.reserve(Opts.NumRequests);
+
+  unsigned Level = 12;
+  int64_t X = Opts.MapWidth / 2;
+  int64_t Y = Opts.MapWidth / 2;
+  auto Clamp = [&](int64_t V) {
+    return std::max<int64_t>(
+        0, std::min<int64_t>(V, static_cast<int64_t>(Opts.MapWidth) - 1));
+  };
+
+  while (Trace.size() < Opts.NumRequests) {
+    // Request every tile in the viewport (viewers fetch whole rows).
+    for (unsigned Dy = 0; Dy != Opts.ViewHeight; ++Dy)
+      for (unsigned Dx = 0; Dx != Opts.ViewWidth; ++Dx) {
+        int64_t Tx = Clamp(X + Dx);
+        int64_t Ty = Clamp(Y + Dy);
+        int64_t Size = R.range(8 * 1024, 64 * 1024);
+        Trace.push_back({tileId(Level, static_cast<unsigned>(Tx),
+                                static_cast<unsigned>(Ty)),
+                         Size});
+        if (Trace.size() == Opts.NumRequests)
+          return Trace;
+      }
+    if (R.chance(Opts.PanProbability)) {
+      // Pan by a tile or two in a random direction.
+      X = Clamp(X + R.range(-2, 2));
+      Y = Clamp(Y + R.range(-2, 2));
+    } else {
+      // Jump (double-click on the overview map).
+      X = Clamp(static_cast<int64_t>(R.below(Opts.MapWidth)));
+      Y = Clamp(static_cast<int64_t>(R.below(Opts.MapWidth)));
+    }
+  }
+  return Trace;
+}

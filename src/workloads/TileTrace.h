@@ -1,0 +1,51 @@
+//===- workloads/TileTrace.h - ZTopo tile access traces ---------*- C++ -*-===//
+//
+// Part of the RelC data representation synthesis library.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Synthetic map-viewer traces for the ZTopo experiment (Section 6.2).
+/// ZTopo's tile cache tracks, per tile, a state (in memory / on disk /
+/// loading over the network) plus bookkeeping, with per-state eviction
+/// lists. A user session is a random walk of the viewport over a tiled
+/// map with occasional zooms, which yields the characteristic
+/// lookup-heavy, locality-rich access pattern; HTTP fetches are
+/// replaced by the generated request stream.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef RELC_WORKLOADS_TILETRACE_H
+#define RELC_WORKLOADS_TILETRACE_H
+
+#include <cstdint>
+#include <cstddef>
+#include <vector>
+
+namespace relc {
+
+struct TileRequest {
+  int64_t TileId; ///< Encodes (level, x, y).
+  int64_t Size;   ///< Tile byte size.
+};
+
+struct TileTraceOptions {
+  size_t NumRequests = 200000;
+  unsigned MapWidth = 512;  ///< Tiles per axis at the deepest level.
+  unsigned ViewWidth = 6;   ///< Viewport size in tiles.
+  unsigned ViewHeight = 4;
+  double PanProbability = 0.9; ///< vs. jumping to a random spot.
+  uint64_t Seed = 0x2109;
+};
+
+/// Encodes a tile coordinate as a single id.
+inline int64_t tileId(unsigned Level, unsigned X, unsigned Y) {
+  return (static_cast<int64_t>(Level) << 40) |
+         (static_cast<int64_t>(X) << 20) | Y;
+}
+
+std::vector<TileRequest> generateTileTrace(const TileTraceOptions &Opts);
+
+} // namespace relc
+
+#endif // RELC_WORKLOADS_TILETRACE_H

@@ -1,0 +1,209 @@
+//===- tests/autotuner/EnumeratorTest.cpp - Enumeration tests ----*- C++ -*-===//
+//
+// Part of the RelC data representation synthesis library.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Tests the exhaustive decomposition enumerator behind the autotuner
+/// (Section 5): every result is adequate, unique, within the edge
+/// bound, and known shapes (Fig. 2, Fig. 12's 1/5/9) are found.
+///
+//===----------------------------------------------------------------------===//
+
+#include "autotuner/Enumerator.h"
+
+#include "decomp/Adequacy.h"
+#include "decomp/Builder.h"
+
+#include <gtest/gtest.h>
+
+#include <set>
+
+using namespace relc;
+
+namespace {
+
+RelSpecRef edgesSpec() {
+  return RelSpec::make("edges", {"src", "dst", "weight"},
+                       {{"src, dst", "weight"}});
+}
+
+RelSpecRef schedulerSpec() {
+  return RelSpec::make("scheduler", {"ns", "pid", "state", "cpu"},
+                       {{"ns, pid", "state, cpu"}});
+}
+
+TEST(EnumeratorTest, AllResultsAdequate) {
+  auto Decomps = enumerateDecompositions(edgesSpec());
+  ASSERT_FALSE(Decomps.empty());
+  for (const Decomposition &D : Decomps) {
+    AdequacyResult R = checkAdequacy(D);
+    EXPECT_TRUE(R.Ok) << D.canonicalString() << ": " << R.Error;
+  }
+}
+
+TEST(EnumeratorTest, AllResultsWithinEdgeBound) {
+  EnumeratorOptions Opts;
+  Opts.MaxEdges = 3;
+  auto Decomps = enumerateDecompositions(edgesSpec(), Opts);
+  for (const Decomposition &D : Decomps)
+    EXPECT_LE(D.numEdges(), 3u);
+}
+
+TEST(EnumeratorTest, NoDuplicateStructures) {
+  auto Decomps = enumerateDecompositions(edgesSpec());
+  std::set<std::string> Seen;
+  for (const Decomposition &D : Decomps)
+    EXPECT_TRUE(Seen.insert(D.canonicalString(false)).second)
+        << D.canonicalString(false);
+}
+
+TEST(EnumeratorTest, MoreEdgesMoreDecompositions) {
+  EnumeratorOptions Small;
+  Small.MaxEdges = 2;
+  EnumeratorOptions Large;
+  Large.MaxEdges = 4;
+  auto Few = enumerateDecompositions(edgesSpec(), Small);
+  auto Many = enumerateDecompositions(edgesSpec(), Large);
+  EXPECT_LT(Few.size(), Many.size());
+  EXPECT_FALSE(Few.empty());
+}
+
+TEST(EnumeratorTest, FindsForwardChain) {
+  // Fig. 12 decomposition 1: x —src→ y —dst→ unit(weight).
+  RelSpecRef Spec = edgesSpec();
+  DecompBuilder B(Spec);
+  NodeId W = B.addNode("w", "src, dst", B.unit("weight"));
+  NodeId Y = B.addNode("y", "src", B.map("dst", DsKind::HashTable, W));
+  B.addNode("x", "", B.map("src", DsKind::HashTable, Y));
+  std::string Want = B.build().canonicalString(false);
+
+  bool Found = false;
+  for (const Decomposition &D : enumerateDecompositions(Spec))
+    if (D.canonicalString(false) == Want)
+      Found = true;
+  EXPECT_TRUE(Found);
+}
+
+TEST(EnumeratorTest, FindsSharedBidirectional) {
+  // Fig. 12 decomposition 5: both directions sharing one weight node.
+  RelSpecRef Spec = edgesSpec();
+  DecompBuilder B(Spec);
+  NodeId W = B.addNode("w", "src, dst", B.unit("weight"));
+  NodeId Y = B.addNode("y", "src", B.map("dst", DsKind::HashTable, W));
+  NodeId Z = B.addNode("z", "dst", B.map("src", DsKind::HashTable, W));
+  B.addNode("x", "", B.join(B.map("src", DsKind::HashTable, Y),
+                            B.map("dst", DsKind::HashTable, Z)));
+  std::string Want = B.build().canonicalString(false);
+
+  bool Found = false;
+  for (const Decomposition &D : enumerateDecompositions(Spec))
+    if (D.canonicalString(false) == Want)
+      Found = true;
+  EXPECT_TRUE(Found);
+}
+
+TEST(EnumeratorTest, FindsUnsharedBidirectional) {
+  // Fig. 12 decomposition 9: two separate weight leaves.
+  RelSpecRef Spec = edgesSpec();
+  DecompBuilder B(Spec);
+  NodeId L = B.addNode("l", "src, dst", B.unit("weight"));
+  NodeId R = B.addNode("r", "src, dst", B.unit("weight"));
+  NodeId Y = B.addNode("y", "src", B.map("dst", DsKind::HashTable, L));
+  NodeId Z = B.addNode("z", "dst", B.map("src", DsKind::HashTable, R));
+  B.addNode("x", "", B.join(B.map("src", DsKind::HashTable, Y),
+                            B.map("dst", DsKind::HashTable, Z)));
+  std::string Want = B.build().canonicalString(false);
+
+  bool Found = false;
+  for (const Decomposition &D : enumerateDecompositions(Spec))
+    if (D.canonicalString(false) == Want)
+      Found = true;
+  EXPECT_TRUE(Found);
+}
+
+TEST(EnumeratorTest, SharingCanBeDisabled) {
+  EnumeratorOptions NoShare;
+  NoShare.EnableSharing = false;
+  auto Without = enumerateDecompositions(edgesSpec(), NoShare);
+  auto With = enumerateDecompositions(edgesSpec());
+  EXPECT_LT(Without.size(), With.size());
+  // No node with ≥2 incoming edges may appear without sharing.
+  for (const Decomposition &D : Without)
+    for (NodeId Id = 0; Id != D.numNodes(); ++Id)
+      EXPECT_LE(D.incoming(Id).size(), 1u);
+}
+
+TEST(EnumeratorTest, SchedulerEnumerationFindsFig2) {
+  RelSpecRef Spec = schedulerSpec();
+  DecompBuilder B(Spec);
+  NodeId W = B.addNode("w", "ns, pid, state", B.unit("cpu"));
+  NodeId Y = B.addNode("y", "ns", B.map("pid", DsKind::HashTable, W));
+  NodeId Z = B.addNode("z", "state", B.map("ns, pid", DsKind::HashTable, W));
+  B.addNode("x", "", B.join(B.map("ns", DsKind::HashTable, Y),
+                            B.map("state", DsKind::HashTable, Z)));
+  std::string Want = B.build().canonicalString(false);
+
+  bool Found = false;
+  for (const Decomposition &D : enumerateDecompositions(Spec))
+    if (D.canonicalString(false) == Want)
+      Found = true;
+  EXPECT_TRUE(Found);
+}
+
+TEST(EnumeratorTest, MaxResultsCapRespected) {
+  EnumeratorOptions Opts;
+  Opts.MaxResults = 10;
+  auto Decomps = enumerateDecompositions(schedulerSpec(), Opts);
+  EXPECT_LE(Decomps.size(), 10u);
+}
+
+TEST(EnumeratorTest, WithDataStructuresReassignsEdges) {
+  RelSpecRef Spec = edgesSpec();
+  DecompBuilder B(Spec);
+  NodeId W = B.addNode("w", "src, dst", B.unit("weight"));
+  NodeId Y = B.addNode("y", "src", B.map("dst", DsKind::HashTable, W));
+  B.addNode("x", "", B.map("src", DsKind::HashTable, Y));
+  Decomposition D = B.build();
+
+  Decomposition D2 = withDataStructures(D, {DsKind::Btree, DsKind::DList});
+  ASSERT_EQ(D2.numEdges(), 2u);
+  EXPECT_EQ(D2.edge(0).Ds, DsKind::Btree);
+  EXPECT_EQ(D2.edge(1).Ds, DsKind::DList);
+  // Shape untouched.
+  EXPECT_EQ(D.canonicalString(false), D2.canonicalString(false));
+}
+
+TEST(EnumeratorTest, EdgeSupportsDsVectorNeedsSingleIntColumn) {
+  RelSpecRef Spec = edgesSpec();
+  DecompBuilder B(Spec);
+  NodeId W = B.addNode("w", "src, dst", B.unit("weight"));
+  NodeId Y = B.addNode("y", "src", B.map("dst", DsKind::HashTable, W));
+  B.addNode("x", "", B.map("src", DsKind::HashTable, Y));
+  Decomposition D = B.build();
+
+  // Single-column key: vector OK.
+  EXPECT_TRUE(edgeSupportsDs(D.edge(0), DsKind::Vector));
+  EXPECT_TRUE(edgeSupportsDs(D.edge(0), DsKind::HashTable));
+
+  DecompBuilder B2(Spec);
+  NodeId W2 = B2.addNode("w", "src, dst", B2.unit("weight"));
+  B2.addNode("x", "", B2.map("src, dst", DsKind::HashTable, W2));
+  Decomposition D2 = B2.build();
+  EXPECT_FALSE(edgeSupportsDs(D2.edge(0), DsKind::Vector));
+  EXPECT_TRUE(edgeSupportsDs(D2.edge(0), DsKind::Btree));
+}
+
+TEST(EnumeratorTest, SingleColumnSpec) {
+  // nodes(id): the only shapes are chains of maps over id.
+  RelSpecRef Spec = RelSpec::make("nodes", {"id"});
+  auto Decomps = enumerateDecompositions(Spec);
+  ASSERT_FALSE(Decomps.empty());
+  for (const Decomposition &D : Decomps) {
+    AdequacyResult R = checkAdequacy(D);
+    EXPECT_TRUE(R.Ok) << R.Error;
+  }
+}
+
+} // namespace

@@ -1,0 +1,139 @@
+//===- tests/codegen/SpecFileTest.cpp - relc input file tests ----*- C++ -*-===//
+//
+// Part of the RelC data representation synthesis library.
+//
+//===----------------------------------------------------------------------===//
+
+#include "codegen/SpecFile.h"
+
+#include "decomp/Adequacy.h"
+
+#include <gtest/gtest.h>
+
+using namespace relc;
+
+namespace {
+
+constexpr const char *SchedulerFile = R"(
+# The paper's scheduler.
+relation scheduler(ns, pid, state, cpu)
+fd ns, pid -> state, cpu
+
+let w : {ns, pid, state} = unit {cpu}
+let y : {ns} = map({pid}, htable, w)
+let z : {state} = map({ns, pid}, ilist, w)
+let x : {} = join(map({ns}, htable, y), map({state}, vector, z))
+
+class scheduler_relation
+namespace mygen
+query query_by_state (state) -> (ns, pid)
+query query_cpu (ns, pid) -> (cpu)
+remove ns, pid
+update ns, pid
+)";
+
+TEST(SpecFileTest, ParsesSchedulerFile) {
+  SpecFileResult R = parseSpecFile(SchedulerFile);
+  ASSERT_TRUE(R.ok()) << R.Error;
+  const SpecFile &F = *R.File;
+
+  EXPECT_EQ(F.Spec->name(), "scheduler");
+  EXPECT_EQ(F.Spec->arity(), 4u);
+  EXPECT_TRUE(F.Spec->fds().isKey(F.Spec->catalog().parseSet("ns, pid"),
+                                  F.Spec->columns()));
+
+  ASSERT_TRUE(F.Decomp.has_value());
+  EXPECT_EQ(F.Decomp->numNodes(), 4u);
+  EXPECT_TRUE(checkAdequacy(*F.Decomp).Ok);
+
+  EXPECT_EQ(F.Options.ClassName, "scheduler_relation");
+  EXPECT_EQ(F.Options.Namespace, "mygen");
+  ASSERT_EQ(F.Options.Queries.size(), 2u);
+  EXPECT_EQ(F.Options.Queries[0].Name, "query_by_state");
+  EXPECT_EQ(F.Options.Queries[0].InputCols,
+            F.Spec->catalog().parseSet("state"));
+  EXPECT_EQ(F.Options.Queries[1].OutputCols,
+            F.Spec->catalog().parseSet("cpu"));
+  ASSERT_EQ(F.Options.RemoveKeys.size(), 1u);
+  ASSERT_EQ(F.Options.UpdateKeys.size(), 1u);
+}
+
+TEST(SpecFileTest, ParsedFileFeedsEmitter) {
+  SpecFileResult R = parseSpecFile(SchedulerFile);
+  ASSERT_TRUE(R.ok()) << R.Error;
+  std::string Code = emitCpp(*R.File->Decomp, R.File->Options);
+  EXPECT_NE(Code.find("namespace mygen"), std::string::npos);
+  EXPECT_NE(Code.find("class scheduler_relation"), std::string::npos);
+  EXPECT_NE(Code.find("query_by_state"), std::string::npos);
+}
+
+TEST(SpecFileTest, QueryWithEmptyInputs) {
+  std::string Text = std::string(SchedulerFile) +
+                     "query query_all () -> (ns, pid, state, cpu)\n";
+  SpecFileResult R = parseSpecFile(Text);
+  ASSERT_TRUE(R.ok()) << R.Error;
+  EXPECT_EQ(R.File->Options.Queries.back().InputCols, ColumnSet());
+  EXPECT_EQ(R.File->Options.Queries.back().OutputCols,
+            R.File->Spec->columns());
+}
+
+TEST(SpecFileTest, ErrorMissingRelation) {
+  SpecFileResult R = parseSpecFile("let x : {} = unit {}\n");
+  ASSERT_FALSE(R.ok());
+  EXPECT_NE(R.Error.find("relation"), std::string::npos);
+}
+
+TEST(SpecFileTest, ErrorMissingDecomposition) {
+  SpecFileResult R = parseSpecFile("relation r(a, b)\nfd a -> b\n");
+  ASSERT_FALSE(R.ok());
+  EXPECT_NE(R.Error.find("let"), std::string::npos);
+}
+
+TEST(SpecFileTest, ErrorUnknownDirective) {
+  SpecFileResult R = parseSpecFile("relation r(a)\nfrobnicate a\n");
+  ASSERT_FALSE(R.ok());
+  EXPECT_NE(R.Error.find("line 2"), std::string::npos);
+  EXPECT_NE(R.Error.find("frobnicate"), std::string::npos);
+}
+
+TEST(SpecFileTest, ErrorBadFd) {
+  SpecFileResult R = parseSpecFile("relation r(a, b)\n"
+                                   "fd a b\n"
+                                   "let l : {a} = unit {b}\n"
+                                   "let x : {} = map({a}, htable, l)\n");
+  ASSERT_FALSE(R.ok());
+  EXPECT_NE(R.Error.find("->"), std::string::npos);
+}
+
+TEST(SpecFileTest, ErrorUnknownColumnInQuery) {
+  std::string Text =
+      std::string(SchedulerFile) + "query q (bogus) -> (cpu)\n";
+  SpecFileResult R = parseSpecFile(Text);
+  ASSERT_FALSE(R.ok());
+  EXPECT_NE(R.Error.find("unknown column"), std::string::npos);
+}
+
+TEST(SpecFileTest, ErrorNonKeyRemove) {
+  std::string Text = std::string(SchedulerFile) + "remove ns\n";
+  SpecFileResult R = parseSpecFile(Text);
+  ASSERT_FALSE(R.ok());
+  EXPECT_NE(R.Error.find("not a key"), std::string::npos);
+}
+
+TEST(SpecFileTest, ErrorDecompositionParseErrorsSurface) {
+  SpecFileResult R = parseSpecFile("relation r(a, b)\n"
+                                   "fd a -> b\n"
+                                   "let l : {a} = unit {zzz}\n"
+                                   "let x : {} = map({a}, htable, l)\n");
+  ASSERT_FALSE(R.ok());
+  EXPECT_NE(R.Error.find("decomposition"), std::string::npos);
+}
+
+TEST(SpecFileTest, DirectiveWordBoundary) {
+  // "classic" must not parse as the "class" directive.
+  SpecFileResult R = parseSpecFile("relation r(a)\nclassic foo\n");
+  ASSERT_FALSE(R.ok());
+  EXPECT_NE(R.Error.find("classic"), std::string::npos);
+}
+
+} // namespace

@@ -1,0 +1,198 @@
+//===- tests/decomp/BuilderTest.cpp - DecompBuilder tests --------*- C++ -*-===//
+//
+// Part of the RelC data representation synthesis library.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Tests programmatic construction of decompositions, anchored on the
+/// paper's Fig. 2(a) scheduler decomposition (Equation 2).
+///
+//===----------------------------------------------------------------------===//
+
+#include "decomp/Builder.h"
+
+#include <gtest/gtest.h>
+
+using namespace relc;
+
+namespace {
+
+RelSpecRef schedulerSpec() {
+  return RelSpec::make("scheduler", {"ns", "pid", "state", "cpu"},
+                       {{"ns, pid", "state, cpu"}});
+}
+
+/// Equation (2): the shared scheduler decomposition of Fig. 2(a).
+Decomposition buildFig2(const RelSpecRef &Spec) {
+  DecompBuilder B(Spec);
+  NodeId W = B.addNode("w", "ns, pid, state", B.unit("cpu"));
+  NodeId Y = B.addNode("y", "ns", B.map("pid", DsKind::HashTable, W));
+  NodeId Z = B.addNode("z", "state", B.map("ns, pid", DsKind::DList, W));
+  B.addNode("x", "", B.join(B.map("ns", DsKind::HashTable, Y),
+                            B.map("state", DsKind::Vector, Z)));
+  return B.build();
+}
+
+TEST(BuilderTest, Fig2NodeStructure) {
+  RelSpecRef Spec = schedulerSpec();
+  Decomposition D = buildFig2(Spec);
+  const Catalog &Cat = Spec->catalog();
+
+  ASSERT_EQ(D.numNodes(), 4u);
+  EXPECT_EQ(D.root(), 3u); // last binding is the root
+  EXPECT_EQ(D.node(D.root()).Name, "x");
+  EXPECT_TRUE(D.node(D.root()).Bound.empty());
+
+  NodeId W = D.nodeByName("w");
+  EXPECT_EQ(D.node(W).Bound, Cat.parseSet("ns, pid, state"));
+  // w's subgraph defines only cpu.
+  EXPECT_EQ(D.node(W).Defines, Cat.parseSet("cpu"));
+  // The root's subgraph defines every column.
+  EXPECT_EQ(D.node(D.root()).Defines, Cat.allColumns());
+}
+
+TEST(BuilderTest, Fig2Edges) {
+  RelSpecRef Spec = schedulerSpec();
+  Decomposition D = buildFig2(Spec);
+  const Catalog &Cat = Spec->catalog();
+
+  ASSERT_EQ(D.numEdges(), 4u);
+  NodeId W = D.nodeByName("w");
+  NodeId Y = D.nodeByName("y");
+  NodeId Z = D.nodeByName("z");
+  NodeId X = D.nodeByName("x");
+
+  // Two edges leave the root (the join), one each from y and z.
+  EXPECT_EQ(D.outgoing(X).size(), 2u);
+  EXPECT_EQ(D.outgoing(Y).size(), 1u);
+  EXPECT_EQ(D.outgoing(Z).size(), 1u);
+  EXPECT_TRUE(D.outgoing(W).empty());
+
+  // w is shared: two incoming edges.
+  EXPECT_EQ(D.incoming(W).size(), 2u);
+
+  const MapEdge &YtoW = D.edge(D.outgoing(Y)[0]);
+  EXPECT_EQ(YtoW.From, Y);
+  EXPECT_EQ(YtoW.To, W);
+  EXPECT_EQ(YtoW.KeyCols, Cat.parseSet("pid"));
+  EXPECT_EQ(YtoW.Ds, DsKind::HashTable);
+
+  const MapEdge &ZtoW = D.edge(D.outgoing(Z)[0]);
+  EXPECT_EQ(ZtoW.KeyCols, Cat.parseSet("ns, pid"));
+  EXPECT_EQ(ZtoW.Ds, DsKind::DList);
+}
+
+TEST(BuilderTest, HookSlotsOnlyForIntrusiveEdges) {
+  RelSpecRef Spec = schedulerSpec();
+  {
+    Decomposition D = buildFig2(Spec);
+    // dlist/htable/vector are non-intrusive: no hooks anywhere.
+    for (NodeId Id = 0; Id != D.numNodes(); ++Id)
+      EXPECT_EQ(D.node(Id).HookSlots, 0u);
+  }
+  {
+    DecompBuilder B(Spec);
+    NodeId W = B.addNode("w", "ns, pid, state", B.unit("cpu"));
+    NodeId Y = B.addNode("y", "ns", B.map("pid", DsKind::IList, W));
+    NodeId Z = B.addNode("z", "state", B.map("ns, pid", DsKind::ITree, W));
+    B.addNode("x", "", B.join(B.map("ns", DsKind::HashTable, Y),
+                              B.map("state", DsKind::Vector, Z)));
+    Decomposition D = B.build();
+    NodeId WId = D.nodeByName("w");
+    EXPECT_EQ(D.node(WId).HookSlots, 2u);
+    // Each intrusive edge gets a distinct slot.
+    const MapEdge &E0 = D.edge(D.incoming(WId)[0]);
+    const MapEdge &E1 = D.edge(D.incoming(WId)[1]);
+    EXPECT_NE(E0.HookSlot, E1.HookSlot);
+    EXPECT_LT(E0.HookSlot, 2u);
+    EXPECT_LT(E1.HookSlot, 2u);
+  }
+}
+
+TEST(BuilderTest, TopoOrderParentsFirst) {
+  Decomposition D = buildFig2(schedulerSpec());
+  std::vector<NodeId> Order = D.topoOrder();
+  ASSERT_EQ(Order.size(), 4u);
+  EXPECT_EQ(Order.front(), D.root());
+  // Every edge's From must appear before its To.
+  std::vector<unsigned> Pos(D.numNodes());
+  for (unsigned I = 0; I != Order.size(); ++I)
+    Pos[Order[I]] = I;
+  for (const MapEdge &E : D.edges())
+    EXPECT_LT(Pos[E.From], Pos[E.To]);
+}
+
+TEST(BuilderTest, SingleNodeChain) {
+  RelSpecRef Spec = RelSpec::make("kv", {"k", "v"}, {{"k", "v"}});
+  DecompBuilder B(Spec);
+  NodeId V = B.addNode("v", "k", B.unit("v"));
+  B.addNode("root", "", B.map("k", DsKind::Btree, V));
+  Decomposition D = B.build();
+  EXPECT_EQ(D.numNodes(), 2u);
+  EXPECT_EQ(D.numEdges(), 1u);
+  EXPECT_EQ(D.edge(0).Ds, DsKind::Btree);
+}
+
+TEST(BuilderTest, UnitMayBeEmptyForSetMembership) {
+  // A set of single-column tuples: the leaf holds no residual columns.
+  RelSpecRef Spec = RelSpec::make("nodes", {"id"});
+  DecompBuilder B(Spec);
+  NodeId L = B.addNode("leaf", "id", B.unit(ColumnSet()));
+  B.addNode("root", "", B.map("id", DsKind::HashTable, L));
+  Decomposition D = B.build();
+  EXPECT_EQ(D.numNodes(), 2u);
+  EXPECT_EQ(D.node(D.root()).Defines, Spec->catalog().allColumns());
+}
+
+TEST(BuilderTest, NestedJoins) {
+  RelSpecRef Spec = RelSpec::make("r", {"a", "b", "c", "d"},
+                                  {{"a", "b, c, d"}});
+  DecompBuilder B(Spec);
+  NodeId Nb = B.addNode("nb", "a", B.unit("b"));
+  NodeId Nc = B.addNode("nc", "a", B.unit("c"));
+  NodeId Nd = B.addNode("nd", "a", B.unit("d"));
+  B.addNode("root", "",
+            B.join(B.map("a", DsKind::HashTable, Nb),
+                   B.join(B.map("a", DsKind::HashTable, Nc),
+                          B.map("a", DsKind::HashTable, Nd))));
+  Decomposition D = B.build();
+  EXPECT_EQ(D.numEdges(), 3u);
+  EXPECT_EQ(D.outgoing(D.root()).size(), 3u);
+}
+
+TEST(BuilderTest, CanonicalStringIgnoresNames) {
+  RelSpecRef Spec = schedulerSpec();
+  DecompBuilder B1(Spec);
+  NodeId W1 = B1.addNode("w", "ns, pid", B1.unit("state, cpu"));
+  B1.addNode("x", "", B1.map("ns, pid", DsKind::HashTable, W1));
+
+  DecompBuilder B2(Spec);
+  NodeId W2 = B2.addNode("other", "ns, pid", B2.unit("state, cpu"));
+  B2.addNode("top", "", B2.map("ns, pid", DsKind::HashTable, W2));
+
+  EXPECT_EQ(B1.build().canonicalString(), B2.build().canonicalString());
+}
+
+TEST(BuilderTest, CanonicalStringDistinguishesDs) {
+  RelSpecRef Spec = schedulerSpec();
+  auto Build = [&](DsKind K) {
+    DecompBuilder B(Spec);
+    NodeId W = B.addNode("w", "ns, pid", B.unit("state, cpu"));
+    B.addNode("x", "", B.map("ns, pid", K, W));
+    return B.build();
+  };
+  Decomposition DHash = Build(DsKind::HashTable);
+  Decomposition DTree = Build(DsKind::Btree);
+  EXPECT_NE(DHash.canonicalString(true), DTree.canonicalString(true));
+  EXPECT_EQ(DHash.canonicalString(false), DTree.canonicalString(false));
+}
+
+TEST(BuilderDeathTest, NodeByNameUnknownAsserts) {
+  // Unknown names are programmer errors: the contract is an assert, not
+  // a sentinel return.
+  Decomposition D = buildFig2(schedulerSpec());
+  EXPECT_DEATH((void)D.nodeByName("nope"), "unknown decomposition node");
+}
+
+} // namespace

@@ -1,0 +1,151 @@
+//===- tests/decomp/ParserTest.cpp - Decomposition parser tests --*- C++ -*-===//
+//
+// Part of the RelC data representation synthesis library.
+//
+//===----------------------------------------------------------------------===//
+
+#include "decomp/Parser.h"
+
+#include "decomp/Printer.h"
+
+#include <gtest/gtest.h>
+
+using namespace relc;
+
+namespace {
+
+RelSpecRef schedulerSpec() {
+  return RelSpec::make("scheduler", {"ns", "pid", "state", "cpu"},
+                       {{"ns, pid", "state, cpu"}});
+}
+
+constexpr const char *Fig2Text = R"(
+let w : {ns, pid, state} = unit {cpu}
+let y : {ns} = map({pid}, htable, w)
+let z : {state} = map({ns, pid}, dlist, w)
+let x : {} = join(map({ns}, htable, y), map({state}, vector, z))
+)";
+
+TEST(ParserTest, ParsesFig2) {
+  RelSpecRef Spec = schedulerSpec();
+  ParseResult R = parseDecomposition(Spec, Fig2Text);
+  ASSERT_TRUE(R.ok()) << R.Error;
+  const Decomposition &D = *R.Decomp;
+  EXPECT_EQ(D.numNodes(), 4u);
+  EXPECT_EQ(D.numEdges(), 4u);
+  EXPECT_EQ(D.node(D.root()).Name, "x");
+  NodeId W = D.nodeByName("w");
+  EXPECT_EQ(D.incoming(W).size(), 2u);
+  EXPECT_EQ(D.edge(D.outgoing(D.nodeByName("z"))[0]).Ds, DsKind::DList);
+}
+
+TEST(ParserTest, RoundTripsThroughPrinter) {
+  RelSpecRef Spec = schedulerSpec();
+  ParseResult R1 = parseDecomposition(Spec, Fig2Text);
+  ASSERT_TRUE(R1.ok()) << R1.Error;
+  std::string Printed = printDecomposition(*R1.Decomp);
+  ParseResult R2 = parseDecomposition(Spec, Printed);
+  ASSERT_TRUE(R2.ok()) << R2.Error << "\nprinted:\n" << Printed;
+  EXPECT_EQ(R1.Decomp->canonicalString(), R2.Decomp->canonicalString());
+}
+
+TEST(ParserTest, SingleBinding) {
+  RelSpecRef Spec = RelSpec::make("r", {"a"});
+  ParseResult R = parseDecomposition(Spec, "let root : {} = map({a}, htable, "
+                                           "leaf)");
+  // 'leaf' is undefined — must fail, not crash.
+  EXPECT_FALSE(R.ok());
+}
+
+TEST(ParserTest, AllDataStructureNames) {
+  RelSpecRef Spec = RelSpec::make("kv", {"k", "v"}, {{"k", "v"}});
+  for (const char *Ds : {"dlist", "htable", "btree", "vector", "ilist",
+                         "itree"}) {
+    std::string Text = "let leaf : {k} = unit {v}\n"
+                       "let root : {} = map({k}, " +
+                       std::string(Ds) + ", leaf)\n";
+    ParseResult R = parseDecomposition(Spec, Text);
+    EXPECT_TRUE(R.ok()) << Ds << ": " << R.Error;
+  }
+}
+
+TEST(ParserTest, ErrorUnknownColumn) {
+  RelSpecRef Spec = RelSpec::make("r", {"a"});
+  ParseResult R =
+      parseDecomposition(Spec, "let leaf : {bogus} = unit {}\n"
+                               "let root : {} = map({a}, htable, leaf)");
+  EXPECT_FALSE(R.ok());
+  EXPECT_NE(R.Error.find("bogus"), std::string::npos);
+}
+
+TEST(ParserTest, ErrorUnknownDataStructure) {
+  RelSpecRef Spec = RelSpec::make("kv", {"k", "v"}, {{"k", "v"}});
+  ParseResult R =
+      parseDecomposition(Spec, "let leaf : {k} = unit {v}\n"
+                               "let root : {} = map({k}, skiplist, leaf)");
+  EXPECT_FALSE(R.ok());
+  EXPECT_NE(R.Error.find("skiplist"), std::string::npos);
+}
+
+TEST(ParserTest, ErrorDuplicateNodeName) {
+  RelSpecRef Spec = RelSpec::make("kv", {"k", "v"}, {{"k", "v"}});
+  ParseResult R =
+      parseDecomposition(Spec, "let a : {k} = unit {v}\n"
+                               "let a : {} = map({k}, htable, a)");
+  EXPECT_FALSE(R.ok());
+  EXPECT_NE(R.Error.find("duplicate"), std::string::npos);
+}
+
+TEST(ParserTest, ErrorForwardReference) {
+  RelSpecRef Spec = RelSpec::make("kv", {"k", "v"}, {{"k", "v"}});
+  // Let-bound nodes may only reference earlier bindings.
+  ParseResult R =
+      parseDecomposition(Spec, "let root : {} = map({k}, htable, leaf)\n"
+                               "let leaf : {k} = unit {v}");
+  EXPECT_FALSE(R.ok());
+}
+
+TEST(ParserTest, ErrorUnreferencedNode) {
+  RelSpecRef Spec = RelSpec::make("kv", {"k", "v"}, {{"k", "v"}});
+  ParseResult R =
+      parseDecomposition(Spec, "let orphan : {k} = unit {v}\n"
+                               "let leaf : {k} = unit {v}\n"
+                               "let root : {} = map({k}, htable, leaf)");
+  EXPECT_FALSE(R.ok());
+  EXPECT_NE(R.Error.find("referenced"), std::string::npos);
+}
+
+TEST(ParserTest, ErrorEmptyInput) {
+  RelSpecRef Spec = RelSpec::make("r", {"a"});
+  EXPECT_FALSE(parseDecomposition(Spec, "").ok());
+  EXPECT_FALSE(parseDecomposition(Spec, "   \n  ").ok());
+}
+
+TEST(ParserTest, ErrorGarbage) {
+  RelSpecRef Spec = RelSpec::make("r", {"a"});
+  EXPECT_FALSE(parseDecomposition(Spec, "lett x : {} = unit {}").ok());
+  EXPECT_FALSE(parseDecomposition(Spec, "let x {} = unit {}").ok());
+  EXPECT_FALSE(parseDecomposition(Spec, "let x : {} = frob({a})").ok());
+}
+
+TEST(ParserTest, ErrorMentionsLineNumber) {
+  RelSpecRef Spec = RelSpec::make("kv", {"k", "v"}, {{"k", "v"}});
+  ParseResult R =
+      parseDecomposition(Spec, "let leaf : {k} = unit {v}\n"
+                               "let root : {} = map({k}, htable,)");
+  ASSERT_FALSE(R.ok());
+  EXPECT_NE(R.Error.find("line 2"), std::string::npos) << R.Error;
+}
+
+TEST(ParserTest, CommentsAndWhitespaceTolerated) {
+  RelSpecRef Spec = RelSpec::make("kv", {"k", "v"}, {{"k", "v"}});
+  ParseResult R = parseDecomposition(Spec,
+                                     "# leaf holds the value\n"
+                                     "let leaf : {k} = unit {v}\n"
+                                     "\n"
+                                     "  # the root indexes by key\n"
+                                     "let root : {} = map({k}, htable, leaf)");
+  EXPECT_TRUE(R.ok()) << R.Error;
+}
+
+} // namespace

@@ -1,0 +1,75 @@
+//===- tests/decomp/PrinterTest.cpp - Printer/dot tests ----------*- C++ -*-===//
+//
+// Part of the RelC data representation synthesis library.
+//
+//===----------------------------------------------------------------------===//
+
+#include "decomp/Printer.h"
+
+#include "decomp/Builder.h"
+
+#include <gtest/gtest.h>
+
+using namespace relc;
+
+namespace {
+
+Decomposition fig2() {
+  RelSpecRef Spec = RelSpec::make("scheduler", {"ns", "pid", "state", "cpu"},
+                                  {{"ns, pid", "state, cpu"}});
+  DecompBuilder B(Spec);
+  NodeId W = B.addNode("w", "ns, pid, state", B.unit("cpu"));
+  NodeId Y = B.addNode("y", "ns", B.map("pid", DsKind::HashTable, W));
+  NodeId Z = B.addNode("z", "state", B.map("ns, pid", DsKind::DList, W));
+  B.addNode("x", "", B.join(B.map("ns", DsKind::HashTable, Y),
+                            B.map("state", DsKind::Vector, Z)));
+  return B.build();
+}
+
+TEST(PrinterTest, LetNotation) {
+  std::string Out = printDecomposition(fig2());
+  // One "let" per node, in binding order.
+  EXPECT_NE(Out.find("let w : {ns, pid, state} = unit {cpu}"),
+            std::string::npos)
+      << Out;
+  EXPECT_NE(Out.find("let y : {ns} = map({pid}, htable, w)"),
+            std::string::npos)
+      << Out;
+  EXPECT_NE(Out.find("join("), std::string::npos);
+  // w is defined before y/z which are defined before x.
+  EXPECT_LT(Out.find("let w"), Out.find("let y"));
+  EXPECT_LT(Out.find("let y"), Out.find("let z"));
+  EXPECT_LT(Out.find("let z"), Out.find("let x"));
+}
+
+TEST(PrinterTest, EmptyBoundSetPrintsAsBraces) {
+  std::string Out = printDecomposition(fig2());
+  EXPECT_NE(Out.find("let x : {} ="), std::string::npos) << Out;
+}
+
+TEST(PrinterTest, DotHasAllNodesAndEdges) {
+  Decomposition D = fig2();
+  std::string Dot = printDecompositionDot(D);
+  EXPECT_NE(Dot.find("digraph"), std::string::npos);
+  // Four nodes n0..n3.
+  for (int I = 0; I < 4; ++I)
+    EXPECT_NE(Dot.find("n" + std::to_string(I) + " [label="),
+              std::string::npos)
+        << Dot;
+  // Four edges ("->" occurrences).
+  size_t Count = 0;
+  for (size_t Pos = Dot.find("->"); Pos != std::string::npos;
+       Pos = Dot.find("->", Pos + 1))
+    ++Count;
+  EXPECT_EQ(Count, 4u);
+  EXPECT_NE(Dot.find('}'), std::string::npos);
+}
+
+TEST(PrinterTest, DotMentionsDataStructures) {
+  std::string Dot = printDecompositionDot(fig2());
+  EXPECT_NE(Dot.find("htable"), std::string::npos);
+  EXPECT_NE(Dot.find("dlist"), std::string::npos);
+  EXPECT_NE(Dot.find("vector"), std::string::npos);
+}
+
+} // namespace

@@ -1,0 +1,106 @@
+//===- tests/decomp/RoundTripTest.cpp - Print/parse round trips --*- C++ -*-===//
+//
+// Part of the RelC data representation synthesis library.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Property: for every enumerated adequate decomposition of several
+/// specs, printing in the Fig. 3 let-language and re-parsing yields a
+/// structurally identical decomposition (canonicalString fixpoint), and
+/// canonicalString itself is invariant under data-structure reassignment
+/// when asked to ignore ψ.
+///
+//===----------------------------------------------------------------------===//
+
+#include "autotuner/Enumerator.h"
+#include "decomp/Parser.h"
+#include "decomp/Printer.h"
+
+#include <gtest/gtest.h>
+
+using namespace relc;
+
+namespace {
+
+struct SpecParam {
+  const char *Name;
+  RelSpecRef Spec;
+};
+
+std::vector<SpecParam> specs() {
+  return {
+      {"edges", RelSpec::make("edges", {"src", "dst", "weight"},
+                              {{"src, dst", "weight"}})},
+      {"scheduler", RelSpec::make("scheduler", {"ns", "pid", "state", "cpu"},
+                                  {{"ns, pid", "state, cpu"}})},
+      {"flows",
+       RelSpec::make("flows", {"local", "remote", "bytes"},
+                     {{"local, remote", "bytes"}})},
+      {"set", RelSpec::make("nodes", {"id"}, {})},
+  };
+}
+
+class RoundTripTest : public ::testing::TestWithParam<size_t> {};
+
+TEST_P(RoundTripTest, PrintParseIsIdentityOnCanonicalForm) {
+  SpecParam S = specs()[GetParam()];
+  EnumeratorOptions Opts;
+  Opts.MaxEdges = 3;
+  Opts.MaxResults = 80;
+  unsigned Count = 0;
+  for (const Decomposition &D : enumerateDecompositions(S.Spec, Opts)) {
+    std::string Printed = printDecomposition(D);
+    ParseResult Reparsed = parseDecomposition(S.Spec, Printed);
+    ASSERT_TRUE(Reparsed.ok())
+        << S.Name << ": " << Reparsed.Error << "\n" << Printed;
+    EXPECT_EQ(D.canonicalString(true), Reparsed.Decomp->canonicalString(true))
+        << Printed;
+    ++Count;
+  }
+  EXPECT_GT(Count, 0u);
+}
+
+TEST_P(RoundTripTest, CanonicalShapeInvariantUnderDsReassignment) {
+  SpecParam S = specs()[GetParam()];
+  EnumeratorOptions Opts;
+  Opts.MaxEdges = 3;
+  Opts.MaxResults = 40;
+  for (const Decomposition &D : enumerateDecompositions(S.Spec, Opts)) {
+    std::vector<DsKind> Kinds;
+    for (EdgeId E = 0; E != D.numEdges(); ++E)
+      Kinds.push_back(edgeSupportsDs(D.edge(E), DsKind::Btree)
+                          ? DsKind::Btree
+                          : DsKind::HashTable);
+    Decomposition D2 = withDataStructures(D, Kinds);
+    EXPECT_EQ(D.canonicalString(false), D2.canonicalString(false));
+    if (D.numEdges() > 0 && Kinds[0] != D.edge(0).Ds)
+      EXPECT_NE(D.canonicalString(true), D2.canonicalString(true));
+  }
+}
+
+TEST_P(RoundTripTest, DotRendersEveryNodeAndEdge) {
+  SpecParam S = specs()[GetParam()];
+  EnumeratorOptions Opts;
+  Opts.MaxEdges = 2;
+  Opts.MaxResults = 16;
+  for (const Decomposition &D : enumerateDecompositions(S.Spec, Opts)) {
+    std::string Dot = printDecompositionDot(D);
+    size_t Arrows = 0;
+    for (size_t Pos = Dot.find("->"); Pos != std::string::npos;
+         Pos = Dot.find("->", Pos + 1))
+      ++Arrows;
+    EXPECT_EQ(Arrows, D.numEdges());
+    for (NodeId Id = 0; Id != D.numNodes(); ++Id)
+      EXPECT_NE(Dot.find("n" + std::to_string(Id) + " [label="),
+                std::string::npos);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(AllSpecs, RoundTripTest,
+                         ::testing::Range<size_t>(0, 4),
+                         [](const auto &Info) {
+                           return specs()[Info.param].Name;
+                         });
+
+} // namespace

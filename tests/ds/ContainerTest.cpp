@@ -1,0 +1,281 @@
+//===- tests/ds/ContainerTest.cpp - Non-intrusive container tests -*- C++ -*-===//
+//
+// Part of the RelC data representation synthesis library.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Typed and parameterized tests for the non-intrusive container
+/// substrate (DListMap, HashMap, AvlMap, VectorMap): the associative-map
+/// concept every map edge relies on, plus randomized cross-checks
+/// against std::map.
+///
+//===----------------------------------------------------------------------===//
+
+#include "ds/AvlMap.h"
+#include "ds/DListMap.h"
+#include "ds/HashMap.h"
+#include "ds/VectorMap.h"
+
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <map>
+#include <random>
+#include <set>
+#include <vector>
+
+using namespace relc;
+
+namespace {
+
+/// The payload nodes the containers point at.
+struct TestNode {
+  int64_t Tag;
+};
+
+struct IntTraits {
+  using KeyT = int64_t;
+  using NodeT = TestNode;
+  static bool equal(int64_t A, int64_t B) { return A == B; }
+  static bool less(int64_t A, int64_t B) { return A < B; }
+  static size_t hash(int64_t K) { return std::hash<int64_t>()(K); }
+};
+
+/// Uniform fixture over the three keyed containers.
+template <typename MapT> class KeyedContainerTest : public ::testing::Test {
+protected:
+  MapT Map;
+  std::vector<std::unique_ptr<TestNode>> Pool;
+
+  TestNode *node(int64_t Tag) {
+    Pool.push_back(std::make_unique<TestNode>(TestNode{Tag}));
+    return Pool.back().get();
+  }
+};
+
+using KeyedMaps =
+    ::testing::Types<DListMap<IntTraits>, HashMap<IntTraits>, AvlMap<IntTraits>>;
+TYPED_TEST_SUITE(KeyedContainerTest, KeyedMaps);
+
+TYPED_TEST(KeyedContainerTest, StartsEmpty) {
+  EXPECT_TRUE(this->Map.empty());
+  EXPECT_EQ(this->Map.size(), 0u);
+  EXPECT_EQ(this->Map.lookup(1), nullptr);
+}
+
+TYPED_TEST(KeyedContainerTest, InsertThenLookup) {
+  TestNode *N = this->node(10);
+  this->Map.insert(1, N);
+  EXPECT_EQ(this->Map.size(), 1u);
+  EXPECT_EQ(this->Map.lookup(1), N);
+  EXPECT_EQ(this->Map.lookup(2), nullptr);
+}
+
+TYPED_TEST(KeyedContainerTest, EraseReturnsChild) {
+  TestNode *N = this->node(10);
+  this->Map.insert(7, N);
+  EXPECT_EQ(this->Map.erase(7), N);
+  EXPECT_TRUE(this->Map.empty());
+  EXPECT_EQ(this->Map.lookup(7), nullptr);
+  EXPECT_EQ(this->Map.erase(7), nullptr);
+}
+
+TYPED_TEST(KeyedContainerTest, EraseNodeScansForChild) {
+  TestNode *A = this->node(1);
+  TestNode *B = this->node(2);
+  this->Map.insert(1, A);
+  this->Map.insert(2, B);
+  EXPECT_TRUE(this->Map.eraseNode(A));
+  EXPECT_EQ(this->Map.size(), 1u);
+  EXPECT_EQ(this->Map.lookup(1), nullptr);
+  EXPECT_EQ(this->Map.lookup(2), B);
+  EXPECT_FALSE(this->Map.eraseNode(A));
+}
+
+TYPED_TEST(KeyedContainerTest, ForEachVisitsAll) {
+  std::set<int64_t> Expect;
+  for (int64_t K = 0; K < 20; ++K) {
+    this->Map.insert(K, this->node(K));
+    Expect.insert(K);
+  }
+  std::set<int64_t> Seen;
+  bool Finished = this->Map.forEach([&](int64_t K, TestNode *N) {
+    EXPECT_EQ(N->Tag, K);
+    Seen.insert(K);
+    return true;
+  });
+  EXPECT_TRUE(Finished);
+  EXPECT_EQ(Seen, Expect);
+}
+
+TYPED_TEST(KeyedContainerTest, ForEachEarlyStop) {
+  for (int64_t K = 0; K < 10; ++K)
+    this->Map.insert(K, this->node(K));
+  int Count = 0;
+  bool Finished = this->Map.forEach([&](int64_t, TestNode *) {
+    return ++Count < 3;
+  });
+  EXPECT_FALSE(Finished);
+  EXPECT_EQ(Count, 3);
+}
+
+TYPED_TEST(KeyedContainerTest, ManyKeysStressAgainstStdMap) {
+  std::mt19937_64 Rng(42);
+  std::map<int64_t, TestNode *> Ref;
+  for (int Op = 0; Op < 4000; ++Op) {
+    int64_t K = static_cast<int64_t>(Rng() % 500);
+    if (Rng() % 3 != 0) {
+      if (!Ref.count(K)) {
+        TestNode *N = this->node(K);
+        this->Map.insert(K, N);
+        Ref[K] = N;
+      }
+    } else if (Ref.count(K)) {
+      EXPECT_EQ(this->Map.erase(K), Ref[K]);
+      Ref.erase(K);
+    } else {
+      EXPECT_EQ(this->Map.erase(K), nullptr);
+    }
+    ASSERT_EQ(this->Map.size(), Ref.size());
+  }
+  for (const auto &[K, N] : Ref)
+    EXPECT_EQ(this->Map.lookup(K), N);
+}
+
+TYPED_TEST(KeyedContainerTest, NegativeAndExtremeKeys) {
+  TestNode *A = this->node(1);
+  TestNode *B = this->node(2);
+  TestNode *C = this->node(3);
+  this->Map.insert(-5, A);
+  this->Map.insert(INT64_MAX, B);
+  this->Map.insert(INT64_MIN, C);
+  EXPECT_EQ(this->Map.lookup(-5), A);
+  EXPECT_EQ(this->Map.lookup(INT64_MAX), B);
+  EXPECT_EQ(this->Map.lookup(INT64_MIN), C);
+}
+
+//===----------------------------------------------------------------------===
+// AvlMap-specific: ordering and balance.
+//===----------------------------------------------------------------------===
+
+TEST(AvlMapTest, OrderedIteration) {
+  AvlMap<IntTraits> Map;
+  std::vector<std::unique_ptr<TestNode>> Pool;
+  std::vector<int64_t> Keys = {5, 3, 8, 1, 4, 7, 9, 2, 6, 0};
+  for (int64_t K : Keys) {
+    Pool.push_back(std::make_unique<TestNode>(TestNode{K}));
+    Map.insert(K, Pool.back().get());
+  }
+  std::vector<int64_t> Seen;
+  Map.forEach([&](int64_t K, TestNode *) {
+    Seen.push_back(K);
+    return true;
+  });
+  std::vector<int64_t> Sorted = {0, 1, 2, 3, 4, 5, 6, 7, 8, 9};
+  EXPECT_EQ(Seen, Sorted);
+  EXPECT_TRUE(Map.checkInvariants());
+}
+
+TEST(AvlMapTest, InvariantsUnderAscendingInsert) {
+  // Ascending insertion is the classic rotation stress for AVL trees.
+  AvlMap<IntTraits> Map;
+  std::vector<std::unique_ptr<TestNode>> Pool;
+  for (int64_t K = 0; K < 1000; ++K) {
+    Pool.push_back(std::make_unique<TestNode>(TestNode{K}));
+    Map.insert(K, Pool.back().get());
+    if (K % 97 == 0)
+      ASSERT_TRUE(Map.checkInvariants()) << "after inserting " << K;
+  }
+  EXPECT_TRUE(Map.checkInvariants());
+  EXPECT_EQ(Map.size(), 1000u);
+  for (int64_t K = 0; K < 1000; K += 3)
+    EXPECT_NE(Map.lookup(K), nullptr);
+}
+
+TEST(AvlMapTest, InvariantsUnderRandomChurn) {
+  AvlMap<IntTraits> Map;
+  std::vector<std::unique_ptr<TestNode>> Pool;
+  std::mt19937_64 Rng(7);
+  std::set<int64_t> Live;
+  for (int Op = 0; Op < 3000; ++Op) {
+    int64_t K = static_cast<int64_t>(Rng() % 300);
+    if (Live.count(K)) {
+      Map.erase(K);
+      Live.erase(K);
+    } else {
+      Pool.push_back(std::make_unique<TestNode>(TestNode{K}));
+      Map.insert(K, Pool.back().get());
+      Live.insert(K);
+    }
+    if (Op % 251 == 0)
+      ASSERT_TRUE(Map.checkInvariants()) << "op " << Op;
+  }
+  EXPECT_TRUE(Map.checkInvariants());
+  EXPECT_EQ(Map.size(), Live.size());
+}
+
+//===----------------------------------------------------------------------===
+// VectorMap-specific: dense size_t keys.
+//===----------------------------------------------------------------------===
+
+TEST(VectorMapTest, Basics) {
+  VectorMap<TestNode> Map;
+  TestNode A{1}, B{2};
+  EXPECT_TRUE(Map.empty());
+  Map.insert(0, &A);
+  Map.insert(10, &B);
+  EXPECT_EQ(Map.size(), 2u);
+  EXPECT_EQ(Map.lookup(0), &A);
+  EXPECT_EQ(Map.lookup(10), &B);
+  EXPECT_EQ(Map.lookup(5), nullptr);
+  EXPECT_EQ(Map.lookup(99), nullptr); // beyond the backing array
+}
+
+TEST(VectorMapTest, EraseLeavesHole) {
+  VectorMap<TestNode> Map;
+  TestNode A{1}, B{2};
+  Map.insert(3, &A);
+  Map.insert(4, &B);
+  EXPECT_EQ(Map.erase(3), &A);
+  EXPECT_EQ(Map.size(), 1u);
+  EXPECT_EQ(Map.lookup(3), nullptr);
+  EXPECT_EQ(Map.lookup(4), &B);
+  EXPECT_EQ(Map.erase(3), nullptr);
+  EXPECT_EQ(Map.erase(1000), nullptr);
+}
+
+TEST(VectorMapTest, EraseNode) {
+  VectorMap<TestNode> Map;
+  TestNode A{1};
+  Map.insert(2, &A);
+  EXPECT_TRUE(Map.eraseNode(&A));
+  EXPECT_FALSE(Map.eraseNode(&A));
+  EXPECT_TRUE(Map.empty());
+}
+
+TEST(VectorMapTest, ForEachSkipsHoles) {
+  VectorMap<TestNode> Map;
+  TestNode A{0}, B{5}, C{9};
+  Map.insert(0, &A);
+  Map.insert(5, &B);
+  Map.insert(9, &C);
+  Map.erase(5);
+  std::vector<size_t> Keys;
+  Map.forEach([&](size_t K, TestNode *) {
+    Keys.push_back(K);
+    return true;
+  });
+  EXPECT_EQ(Keys, (std::vector<size_t>{0, 9}));
+}
+
+TEST(VectorMapTest, SparseGrowth) {
+  VectorMap<TestNode> Map;
+  TestNode A{1};
+  Map.insert(100000, &A);
+  EXPECT_EQ(Map.size(), 1u);
+  EXPECT_EQ(Map.lookup(100000), &A);
+  EXPECT_EQ(Map.lookup(99999), nullptr);
+}
+
+} // namespace

@@ -1,0 +1,88 @@
+//===- tests/ds/DsKindTest.cpp - DsKind trait tests --------------*- C++ -*-===//
+//
+// Part of the RelC data representation synthesis library.
+//
+//===----------------------------------------------------------------------===//
+
+#include "ds/DsKind.h"
+
+#include <gtest/gtest.h>
+
+using namespace relc;
+
+namespace {
+
+TEST(DsKindTest, NamesRoundTripThroughParse) {
+  for (DsKind K : AllDsKinds) {
+    auto Parsed = parseDsKind(dsKindName(K));
+    ASSERT_TRUE(Parsed.has_value()) << dsKindName(K);
+    EXPECT_EQ(*Parsed, K);
+  }
+}
+
+TEST(DsKindTest, ParseRejectsUnknown) {
+  EXPECT_FALSE(parseDsKind("btree2").has_value());
+  EXPECT_FALSE(parseDsKind("").has_value());
+  EXPECT_FALSE(parseDsKind("HashTable").has_value()); // names are exact
+}
+
+TEST(DsKindTest, PaperNamesExist) {
+  // Fig. 3 names dlist, htable, vector as the example structures.
+  EXPECT_TRUE(parseDsKind("dlist").has_value());
+  EXPECT_TRUE(parseDsKind("htable").has_value());
+  EXPECT_TRUE(parseDsKind("vector").has_value());
+}
+
+TEST(DsKindTest, LookupCostShapes) {
+  // mψ(n): lists are linear, trees logarithmic, hashes/vectors constant
+  // (Section 4.3's examples: m_btree(n)=log2 n, m_dlist(n)=n).
+  double N = 1024;
+  EXPECT_DOUBLE_EQ(dsLookupCost(DsKind::DList, N), N);
+  EXPECT_DOUBLE_EQ(dsLookupCost(DsKind::IList, N), N);
+  // Trees cost 1 + log2 n (the +1 keeps tiny trees costlier than a
+  // direct vector/hash probe).
+  EXPECT_NEAR(dsLookupCost(DsKind::Btree, N), 11.0, 1e-9);
+  EXPECT_NEAR(dsLookupCost(DsKind::ITree, N), 11.0, 1e-9);
+  EXPECT_LE(dsLookupCost(DsKind::HashTable, N), 4.0);
+  EXPECT_LE(dsLookupCost(DsKind::Vector, N), 2.0);
+}
+
+TEST(DsKindTest, LookupCostMonotoneInN) {
+  for (DsKind K : AllDsKinds)
+    EXPECT_LE(dsLookupCost(K, 10), dsLookupCost(K, 10000)) << dsKindName(K);
+}
+
+TEST(DsKindTest, LookupCostDefinedAtZero) {
+  // The cost model evaluates mψ at tiny fanouts; must stay finite and
+  // positive.
+  for (DsKind K : AllDsKinds) {
+    double C = dsLookupCost(K, 0);
+    EXPECT_GT(C, 0.0) << dsKindName(K);
+    EXPECT_TRUE(std::isfinite(C)) << dsKindName(K);
+  }
+}
+
+TEST(DsKindTest, IntrusiveKindsSupportEraseByNode) {
+  EXPECT_TRUE(dsSupportsEraseByNode(DsKind::IList));
+  EXPECT_TRUE(dsSupportsEraseByNode(DsKind::ITree));
+  EXPECT_FALSE(dsSupportsEraseByNode(DsKind::HashTable));
+  EXPECT_FALSE(dsSupportsEraseByNode(DsKind::DList));
+  EXPECT_FALSE(dsSupportsEraseByNode(DsKind::Vector));
+  EXPECT_FALSE(dsSupportsEraseByNode(DsKind::Btree));
+}
+
+TEST(DsKindTest, VectorRequiresDenseIntKey) {
+  EXPECT_TRUE(dsRequiresDenseIntKey(DsKind::Vector));
+  EXPECT_FALSE(dsRequiresDenseIntKey(DsKind::HashTable));
+}
+
+TEST(DsKindTest, OrderedScanKinds) {
+  EXPECT_TRUE(dsOrderedScan(DsKind::Btree));
+  EXPECT_TRUE(dsOrderedScan(DsKind::ITree));
+  EXPECT_TRUE(dsOrderedScan(DsKind::Vector));
+  EXPECT_FALSE(dsOrderedScan(DsKind::HashTable));
+  EXPECT_FALSE(dsOrderedScan(DsKind::DList));
+  EXPECT_FALSE(dsOrderedScan(DsKind::IList));
+}
+
+} // namespace

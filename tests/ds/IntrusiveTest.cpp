@@ -1,0 +1,269 @@
+//===- tests/ds/IntrusiveTest.cpp - Intrusive container tests ----*- C++ -*-===//
+//
+// Part of the RelC data representation synthesis library.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Tests IntrusiveList and IntrusiveAvl: hooks embedded in nodes, O(1)
+/// / O(log n) unlink-by-node, and — critically for decomposition
+/// sharing (Fig. 12) — one node linked into several containers through
+/// distinct hook slots at once.
+///
+//===----------------------------------------------------------------------===//
+
+#include "ds/IntrusiveAvl.h"
+#include "ds/IntrusiveList.h"
+
+#include <gtest/gtest.h>
+
+#include <memory>
+#include <random>
+#include <set>
+#include <vector>
+
+using namespace relc;
+
+namespace {
+
+constexpr unsigned NumSlots = 3;
+
+struct HookedNode {
+  int64_t Tag;
+  MapHook<HookedNode, int64_t> Hooks[NumSlots];
+};
+
+struct HookTraits {
+  using KeyT = int64_t;
+  using NodeT = HookedNode;
+  static MapHook<HookedNode, int64_t> &hook(HookedNode *N, unsigned Slot) {
+    return N->Hooks[Slot];
+  }
+  static bool equal(int64_t A, int64_t B) { return A == B; }
+  static bool less(int64_t A, int64_t B) { return A < B; }
+};
+
+template <typename MapT> class IntrusiveContainerTest : public ::testing::Test {
+protected:
+  IntrusiveContainerTest() : Map(0) {}
+
+  // Pool is declared before Map so the container (whose destructor
+  // walks its nodes' hooks) is destroyed while the nodes are alive.
+  std::vector<std::unique_ptr<HookedNode>> Pool;
+  MapT Map;
+
+  HookedNode *node(int64_t Tag) {
+    Pool.push_back(std::make_unique<HookedNode>());
+    Pool.back()->Tag = Tag;
+    return Pool.back().get();
+  }
+};
+
+using IntrusiveMaps =
+    ::testing::Types<IntrusiveList<HookTraits>, IntrusiveAvl<HookTraits>>;
+TYPED_TEST_SUITE(IntrusiveContainerTest, IntrusiveMaps);
+
+TYPED_TEST(IntrusiveContainerTest, StartsEmpty) {
+  EXPECT_TRUE(this->Map.empty());
+  EXPECT_EQ(this->Map.lookup(0), nullptr);
+}
+
+TYPED_TEST(IntrusiveContainerTest, InsertLookupErase) {
+  HookedNode *N = this->node(5);
+  this->Map.insert(5, N);
+  EXPECT_EQ(this->Map.size(), 1u);
+  EXPECT_EQ(this->Map.lookup(5), N);
+  EXPECT_TRUE(N->Hooks[0].Linked);
+  EXPECT_EQ(this->Map.erase(5), N);
+  EXPECT_FALSE(N->Hooks[0].Linked);
+  EXPECT_TRUE(this->Map.empty());
+}
+
+TYPED_TEST(IntrusiveContainerTest, EraseNodeWithoutKey) {
+  HookedNode *A = this->node(1);
+  HookedNode *B = this->node(2);
+  HookedNode *C = this->node(3);
+  this->Map.insert(1, A);
+  this->Map.insert(2, B);
+  this->Map.insert(3, C);
+  // The intrusive selling point: unlink given only the node pointer.
+  EXPECT_TRUE(this->Map.eraseNode(B));
+  EXPECT_EQ(this->Map.size(), 2u);
+  EXPECT_EQ(this->Map.lookup(2), nullptr);
+  EXPECT_EQ(this->Map.lookup(1), A);
+  EXPECT_EQ(this->Map.lookup(3), C);
+  EXPECT_FALSE(this->Map.eraseNode(B));
+}
+
+TYPED_TEST(IntrusiveContainerTest, ForEachVisitsAll) {
+  std::set<int64_t> Expect;
+  for (int64_t K = 0; K < 15; ++K) {
+    this->Map.insert(K, this->node(K));
+    Expect.insert(K);
+  }
+  std::set<int64_t> Seen;
+  EXPECT_TRUE(this->Map.forEach([&](int64_t K, HookedNode *N) {
+    EXPECT_EQ(N->Tag, K);
+    Seen.insert(K);
+    return true;
+  }));
+  EXPECT_EQ(Seen, Expect);
+}
+
+TEST(IntrusiveListTest, ForEachMayUnlinkCurrentEntry) {
+  // IntrusiveList reads the successor before invoking the callback, so
+  // unlinking the entry just handed out is safe. (Tree-shaped maps do
+  // not support mutation during iteration — rebalancing invalidates the
+  // traversal — which is why the mutators collect matches before
+  // erasing.)
+  IntrusiveList<HookTraits> List(0);
+  std::vector<std::unique_ptr<HookedNode>> Pool;
+  for (int64_t K = 0; K < 10; ++K) {
+    Pool.push_back(std::make_unique<HookedNode>());
+    Pool.back()->Tag = K;
+    List.insert(K, Pool.back().get());
+  }
+  List.forEach([&](int64_t, HookedNode *N) {
+    List.eraseNode(N);
+    return true;
+  });
+  EXPECT_TRUE(List.empty());
+}
+
+TYPED_TEST(IntrusiveContainerTest, HookClearedAfterErase) {
+  HookedNode *N = this->node(1);
+  this->Map.insert(1, N);
+  this->Map.eraseNode(N);
+  EXPECT_FALSE(N->Hooks[0].Linked);
+  EXPECT_EQ(N->Hooks[0].A, nullptr);
+  EXPECT_EQ(N->Hooks[0].B, nullptr);
+  // Reinsertable after unlink.
+  this->Map.insert(1, N);
+  EXPECT_EQ(this->Map.lookup(1), N);
+}
+
+TYPED_TEST(IntrusiveContainerTest, RandomChurn) {
+  std::mt19937_64 Rng(11);
+  std::set<int64_t> Live;
+  std::vector<HookedNode *> ByKey(200, nullptr);
+  for (int Op = 0; Op < 3000; ++Op) {
+    int64_t K = static_cast<int64_t>(Rng() % 200);
+    if (Live.count(K)) {
+      EXPECT_EQ(this->Map.erase(K), ByKey[K]);
+      Live.erase(K);
+    } else {
+      HookedNode *N = this->node(K);
+      ByKey[K] = N;
+      this->Map.insert(K, N);
+      Live.insert(K);
+    }
+    ASSERT_EQ(this->Map.size(), Live.size());
+  }
+  for (int64_t K : Live)
+    EXPECT_EQ(this->Map.lookup(K), ByKey[K]);
+}
+
+//===----------------------------------------------------------------------===
+// Sharing: one node in several containers through distinct hook slots.
+//===----------------------------------------------------------------------===
+
+TEST(IntrusiveSharingTest, NodeInListAndTreeSimultaneously) {
+  // A node shared by two map edges (Fig. 2's node w): a list indexes it
+  // by one key, a tree by another, each through its own hook slot.
+  IntrusiveList<HookTraits> List(0);
+  IntrusiveAvl<HookTraits> Tree(1);
+  HookedNode N;
+  N.Tag = 42;
+  List.insert(7, &N);
+  Tree.insert(99, &N);
+  EXPECT_EQ(List.lookup(7), &N);
+  EXPECT_EQ(Tree.lookup(99), &N);
+
+  // Removing from one container leaves the other untouched.
+  EXPECT_TRUE(List.eraseNode(&N));
+  EXPECT_EQ(List.lookup(7), nullptr);
+  EXPECT_EQ(Tree.lookup(99), &N);
+  EXPECT_TRUE(Tree.eraseNode(&N));
+}
+
+TEST(IntrusiveSharingTest, ThreeListsThreeSlots) {
+  // Pool first: nodes must outlive the containers whose destructors
+  // walk their hooks.
+  std::vector<std::unique_ptr<HookedNode>> Pool;
+  IntrusiveList<HookTraits> L0(0), L1(1), L2(2);
+  for (int64_t K = 0; K < 10; ++K) {
+    Pool.push_back(std::make_unique<HookedNode>());
+    Pool.back()->Tag = K;
+    L0.insert(K, Pool.back().get());
+    L1.insert(K * 10, Pool.back().get());
+    L2.insert(K * 100, Pool.back().get());
+  }
+  EXPECT_EQ(L0.size(), 10u);
+  EXPECT_EQ(L1.size(), 10u);
+  EXPECT_EQ(L2.size(), 10u);
+  // Unlink everything from L1 by node; L0/L2 keep all entries.
+  for (auto &N : Pool)
+    EXPECT_TRUE(L1.eraseNode(N.get()));
+  EXPECT_TRUE(L1.empty());
+  EXPECT_EQ(L0.size(), 10u);
+  EXPECT_EQ(L2.size(), 10u);
+}
+
+TEST(IntrusiveSharingTest, HooksCacheDistinctKeys) {
+  // The same node is keyed differently per container; each hook caches
+  // its own key (this is what lets dremove reposition shared nodes).
+  IntrusiveList<HookTraits> L0(0), L1(1);
+  HookedNode N;
+  N.Tag = 0;
+  L0.insert(5, &N);
+  L1.insert(50, &N);
+  EXPECT_EQ(N.Hooks[0].Key, 5);
+  EXPECT_EQ(N.Hooks[1].Key, 50);
+}
+
+TEST(IntrusiveAvlTest, OrderedIterationAndInvariants) {
+  // Pool first: nodes must outlive the tree (its destructor clears
+  // their hooks).
+  std::vector<std::unique_ptr<HookedNode>> Pool;
+  IntrusiveAvl<HookTraits> Tree(0);
+  std::mt19937_64 Rng(3);
+  std::set<int64_t> Keys;
+  while (Keys.size() < 500) {
+    int64_t K = static_cast<int64_t>(Rng() % 10000);
+    if (!Keys.insert(K).second)
+      continue;
+    Pool.push_back(std::make_unique<HookedNode>());
+    Pool.back()->Tag = K;
+    Tree.insert(K, Pool.back().get());
+  }
+  EXPECT_TRUE(Tree.checkInvariants());
+  std::vector<int64_t> Seen;
+  Tree.forEach([&](int64_t K, HookedNode *) {
+    Seen.push_back(K);
+    return true;
+  });
+  EXPECT_TRUE(std::is_sorted(Seen.begin(), Seen.end()));
+  EXPECT_EQ(Seen.size(), 500u);
+
+  // Erase half by node, re-check balance.
+  size_t I = 0;
+  for (auto &N : Pool)
+    if (I++ % 2 == 0)
+      EXPECT_TRUE(Tree.eraseNode(N.get()));
+  EXPECT_TRUE(Tree.checkInvariants());
+  EXPECT_EQ(Tree.size(), 250u);
+}
+
+TEST(IntrusiveListTest, DestructorUnlinksSurvivors) {
+  // Hooks must not dangle into a destroyed list.
+  HookedNode N;
+  N.Tag = 1;
+  {
+    IntrusiveList<HookTraits> List(0);
+    List.insert(1, &N);
+    EXPECT_TRUE(N.Hooks[0].Linked);
+  }
+  EXPECT_FALSE(N.Hooks[0].Linked);
+}
+
+} // namespace

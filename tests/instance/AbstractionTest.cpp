@@ -1,0 +1,148 @@
+//===- tests/instance/AbstractionTest.cpp - α function tests -----*- C++ -*-===//
+//
+// Part of the RelC data representation synthesis library.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Tests the abstraction function α (Section 3.2): the relation a live
+/// instance graph represents, validated against the oracle across
+/// decomposition shapes (map chains, joins, shared nodes).
+///
+//===----------------------------------------------------------------------===//
+
+#include "instance/Abstraction.h"
+
+#include "decomp/Builder.h"
+#include "runtime/Mutators.h"
+
+#include <gtest/gtest.h>
+
+using namespace relc;
+
+namespace {
+
+RelSpecRef schedulerSpec() {
+  return RelSpec::make("scheduler", {"ns", "pid", "state", "cpu"},
+                       {{"ns, pid", "state, cpu"}});
+}
+
+std::shared_ptr<const Decomposition> fig2(const RelSpecRef &Spec) {
+  DecompBuilder B(Spec);
+  NodeId W = B.addNode("w", "ns, pid, state", B.unit("cpu"));
+  NodeId Y = B.addNode("y", "ns", B.map("pid", DsKind::HashTable, W));
+  NodeId Z = B.addNode("z", "state", B.map("ns, pid", DsKind::DList, W));
+  B.addNode("x", "", B.join(B.map("ns", DsKind::HashTable, Y),
+                            B.map("state", DsKind::Vector, Z)));
+  return std::make_shared<Decomposition>(B.build());
+}
+
+Tuple proc(const Catalog &Cat, int64_t Ns, int64_t Pid, int64_t State,
+           int64_t Cpu) {
+  return TupleBuilder(Cat)
+      .set("ns", Ns)
+      .set("pid", Pid)
+      .set("state", State)
+      .set("cpu", Cpu)
+      .build();
+}
+
+TEST(AbstractionTest, EmptyGraphIsEmptyRelation) {
+  // Lemma 3: α(dempty d̂) = ∅.
+  RelSpecRef Spec = schedulerSpec();
+  InstanceGraph G(fig2(Spec));
+  Relation R = abstractInstance(G);
+  EXPECT_TRUE(R.empty());
+}
+
+TEST(AbstractionTest, PaperExampleRoundTrips) {
+  // α of Fig. 2(b) is exactly relation rs (Equation 1).
+  RelSpecRef Spec = schedulerSpec();
+  const Catalog &Cat = Spec->catalog();
+  InstanceGraph G(fig2(Spec));
+
+  Relation Expected;
+  for (const Tuple &T :
+       {proc(Cat, 1, 1, 0, 7), proc(Cat, 1, 2, 1, 4), proc(Cat, 2, 1, 0, 5)}) {
+    dinsert(G, T);
+    Expected.insert(T);
+  }
+  EXPECT_EQ(abstractInstance(G), Expected);
+}
+
+TEST(AbstractionTest, JoinRecombinesWithoutSpuriousTuples) {
+  // Two processes sharing a state but differing in ns/pid: the join at
+  // the root must not manufacture cross-product tuples.
+  RelSpecRef Spec = schedulerSpec();
+  const Catalog &Cat = Spec->catalog();
+  InstanceGraph G(fig2(Spec));
+  Relation Expected;
+  for (const Tuple &T : {proc(Cat, 1, 1, 0, 7), proc(Cat, 2, 9, 0, 5)}) {
+    dinsert(G, T);
+    Expected.insert(T);
+  }
+  Relation Got = abstractInstance(G);
+  EXPECT_EQ(Got, Expected);
+  EXPECT_EQ(Got.size(), 2u);
+}
+
+TEST(AbstractionTest, SingleChainDecomposition) {
+  RelSpecRef Spec = RelSpec::make("edges", {"src", "dst", "weight"},
+                                  {{"src, dst", "weight"}});
+  const Catalog &Cat = Spec->catalog();
+  DecompBuilder B(Spec);
+  NodeId W = B.addNode("w", "src, dst", B.unit("weight"));
+  NodeId Y = B.addNode("y", "src", B.map("dst", DsKind::Btree, W));
+  B.addNode("x", "", B.map("src", DsKind::HashTable, Y));
+  InstanceGraph G(std::make_shared<Decomposition>(B.build()));
+
+  Relation Expected;
+  for (int64_t S = 0; S < 4; ++S)
+    for (int64_t D = 0; D < 3; ++D) {
+      Tuple T = TupleBuilder(Cat)
+                    .set("src", S)
+                    .set("dst", D)
+                    .set("weight", S * 10 + D)
+                    .build();
+      dinsert(G, T);
+      Expected.insert(T);
+    }
+  EXPECT_EQ(abstractInstance(G), Expected);
+}
+
+TEST(AbstractionTest, AbstractNodeGivesSubRelation) {
+  // α at an interior node yields the residual relation for that
+  // instance (the {pid → cpu} sub-relation of one namespace).
+  RelSpecRef Spec = schedulerSpec();
+  const Catalog &Cat = Spec->catalog();
+  InstanceGraph G(fig2(Spec));
+  dinsert(G, proc(Cat, 1, 1, 0, 7));
+  dinsert(G, proc(Cat, 1, 2, 1, 4));
+  dinsert(G, proc(Cat, 2, 1, 0, 5));
+
+  NodeInstance *Y1 =
+      G.root()->edgeMap(0).lookup(TupleBuilder(Cat).set("ns", 1).build());
+  ASSERT_NE(Y1, nullptr);
+  Relation Sub = abstractNode(Y1);
+  // y_(ns:1) represents {(pid:1, cpu:7), (pid:2, cpu:4)}.
+  EXPECT_EQ(Sub.size(), 2u);
+  EXPECT_EQ(Sub.columns(), Cat.parseSet("pid, cpu"));
+}
+
+TEST(AbstractionTest, EmptySetMembershipRelation) {
+  RelSpecRef Spec = RelSpec::make("nodes", {"id"});
+  const Catalog &Cat = Spec->catalog();
+  DecompBuilder B(Spec);
+  NodeId L = B.addNode("leaf", "id", B.unit(ColumnSet()));
+  B.addNode("root", "", B.map("id", DsKind::HashTable, L));
+  InstanceGraph G(std::make_shared<Decomposition>(B.build()));
+  Relation Expected;
+  for (int64_t I = 0; I < 5; ++I) {
+    Tuple T = TupleBuilder(Cat).set("id", I).build();
+    dinsert(G, T);
+    Expected.insert(T);
+  }
+  EXPECT_EQ(abstractInstance(G), Expected);
+}
+
+} // namespace

@@ -1,0 +1,140 @@
+//===- tests/instance/EdgeMapTest.cpp - Type-erased EdgeMap tests -*- C++ -*-===//
+//
+// Part of the RelC data representation synthesis library.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Parameterized tests of EdgeMap::create across every ψ: the uniform
+/// associative-container contract the dynamic engine relies on,
+/// independent of which template backs the edge.
+///
+//===----------------------------------------------------------------------===//
+
+#include "instance/EdgeMap.h"
+
+#include "decomp/Builder.h"
+#include "instance/InstanceGraph.h"
+#include "instance/NodeInstance.h"
+
+#include <gtest/gtest.h>
+
+#include <set>
+
+using namespace relc;
+
+namespace {
+
+/// Builds a kv decomposition whose single edge uses the given ψ, and
+/// returns everything needed to exercise that edge's container.
+class EdgeMapTest : public ::testing::TestWithParam<DsKind> {
+protected:
+  void SetUp() override {
+    Spec = RelSpec::make("kv", {"k", "v"}, {{"k", "v"}});
+    DecompBuilder B(Spec);
+    NodeId L = B.addNode("leaf", "k", B.unit("v"));
+    B.addNode("root", "", B.map("k", GetParam(), L));
+    D = std::make_shared<Decomposition>(B.build());
+    G = std::make_unique<InstanceGraph>(D);
+    Map = EdgeMap::create(D->edge(0));
+  }
+
+  void TearDown() override {
+    // Unlink everything so intrusive hooks don't dangle, then release
+    // the nodes through the graph.
+    std::vector<NodeInstance *> Children;
+    Map->forEach([&](const Tuple &, NodeInstance *N) {
+      Children.push_back(N);
+      return true;
+    });
+    for (NodeInstance *N : Children) {
+      Map->eraseNode(N);
+      N->releaseRef();
+      G->release(N);
+    }
+    Map.reset();
+  }
+
+  Tuple key(int64_t K) {
+    return TupleBuilder(Spec->catalog()).set("k", K).build();
+  }
+
+  /// Creates a leaf instance owned by the test (retained once for the
+  /// map entry we are about to create).
+  NodeInstance *leaf(int64_t K) {
+    NodeInstance *N = G->create(0, key(K));
+    N->retain(); // the map's reference
+    N->retain(); // the test's handle (released in TearDown)
+    return N;
+  }
+
+  RelSpecRef Spec;
+  std::shared_ptr<const Decomposition> D;
+  std::unique_ptr<InstanceGraph> G;
+  std::unique_ptr<EdgeMap> Map;
+};
+
+TEST_P(EdgeMapTest, KindMatchesEdge) {
+  EXPECT_EQ(Map->kind(), GetParam());
+  EXPECT_TRUE(Map->empty());
+  EXPECT_EQ(Map->size(), 0u);
+}
+
+TEST_P(EdgeMapTest, InsertLookupEraseByKey) {
+  NodeInstance *A = leaf(1);
+  NodeInstance *B = leaf(2);
+  Map->insert(key(1), A);
+  Map->insert(key(2), B);
+  EXPECT_EQ(Map->size(), 2u);
+  EXPECT_EQ(Map->lookup(key(1)), A);
+  EXPECT_EQ(Map->lookup(key(2)), B);
+  EXPECT_EQ(Map->lookup(key(3)), nullptr);
+
+  EXPECT_EQ(Map->erase(key(1)), A);
+  A->releaseRef(); // balance the map's dropped reference
+  EXPECT_EQ(Map->lookup(key(1)), nullptr);
+  EXPECT_EQ(Map->erase(key(1)), nullptr);
+  EXPECT_EQ(Map->size(), 1u);
+}
+
+TEST_P(EdgeMapTest, EraseNode) {
+  NodeInstance *A = leaf(5);
+  Map->insert(key(5), A);
+  EXPECT_TRUE(Map->eraseNode(A));
+  A->releaseRef();
+  EXPECT_FALSE(Map->eraseNode(A));
+  EXPECT_TRUE(Map->empty());
+}
+
+TEST_P(EdgeMapTest, ForEachVisitsEveryEntry) {
+  std::set<int64_t> Want;
+  for (int64_t K = 0; K < 12; ++K) {
+    Map->insert(key(K), leaf(K));
+    Want.insert(K);
+  }
+  std::set<int64_t> Seen;
+  EXPECT_TRUE(Map->forEach([&](const Tuple &K, NodeInstance *N) {
+    EXPECT_NE(N, nullptr);
+    Seen.insert(K.get(Spec->catalog().get("k")).asInt());
+    return true;
+  }));
+  EXPECT_EQ(Seen, Want);
+}
+
+TEST_P(EdgeMapTest, ForEachEarlyStop) {
+  for (int64_t K = 0; K < 8; ++K)
+    Map->insert(key(K), leaf(K));
+  int Count = 0;
+  EXPECT_FALSE(Map->forEach([&](const Tuple &, NodeInstance *) {
+    return ++Count < 3;
+  }));
+  EXPECT_EQ(Count, 3);
+}
+
+INSTANTIATE_TEST_SUITE_P(AllKinds, EdgeMapTest,
+                         ::testing::ValuesIn(AllDsKinds),
+                         [](const auto &Info) {
+                           return std::string(dsKindName(Info.param));
+                         });
+
+} // namespace

@@ -1,0 +1,152 @@
+//===- tests/property/LemmaTest.cpp - Lemma 1 & 2, randomized ----*- C++ -*-===//
+//
+// Part of the RelC data representation synthesis library.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Randomized checks of the paper's lemmas:
+///  - Lemma 1 (adequacy soundness): every adequate decomposition can
+///    represent every FD-respecting relation — built by inserting the
+///    relation tuple by tuple, then α-compared and wf-checked.
+///  - Lemma 2 (query soundness): every *valid* plan (not just the
+///    cheapest) returns exactly π_B {t ∈ r | t ⊇ s}.
+///  - Lemma 3 (initialization): dempty represents ∅.
+///
+//===----------------------------------------------------------------------===//
+
+#include "autotuner/Enumerator.h"
+#include "query/Exec.h"
+#include "runtime/Mutators.h"
+#include "query/Planner.h"
+#include "query/Validity.h"
+#include "runtime/SynthesizedRelation.h"
+#include "workloads/Rng.h"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <set>
+
+using namespace relc;
+
+namespace {
+
+/// A random relation over \p Spec's columns satisfying its FDs, built
+/// by rejection sampling.
+Relation randomRelation(const RelSpecRef &Spec, Rng &R, size_t Target,
+                        int64_t ValueRange) {
+  Relation Rel;
+  unsigned Attempts = 0;
+  while (Rel.size() < Target && Attempts++ < Target * 20) {
+    Tuple T;
+    for (ColumnId C : Spec->columns())
+      T.set(C, Value::ofInt(R.range(0, ValueRange)));
+    if (Rel.insertPreservesFds(T, Spec->fds()))
+      Rel.insert(T);
+  }
+  return Rel;
+}
+
+TEST(Lemma1Test, AdequateDecompositionsRepresentEveryRelation) {
+  for (const auto &[Name, Spec] :
+       {std::pair<const char *, RelSpecRef>{
+            "edges", RelSpec::make("edges", {"src", "dst", "weight"},
+                                   {{"src, dst", "weight"}})},
+        {"scheduler", RelSpec::make("scheduler", {"ns", "pid", "state", "cpu"},
+                                    {{"ns, pid", "state, cpu"}})}}) {
+    EnumeratorOptions Opts;
+    Opts.MaxEdges = 3;
+    Opts.MaxResults = 48;
+    Rng R(99);
+    std::vector<Decomposition> Decomps = enumerateDecompositions(Spec, Opts);
+    ASSERT_FALSE(Decomps.empty()) << Name;
+    for (unsigned Trial = 0; Trial != 3; ++Trial) {
+      Relation Rel = randomRelation(Spec, R, 12, 5);
+      for (const Decomposition &D : Decomps) {
+        SynthesizedRelation S{Decomposition(D)};
+        for (const Tuple &T : Rel.tuples())
+          S.insert(T);
+        EXPECT_EQ(S.toRelation(), Rel)
+            << Name << " " << D.canonicalString();
+        WfResult Wf = S.checkWellFormed();
+        ASSERT_TRUE(Wf.Ok) << Wf.Error;
+      }
+    }
+  }
+}
+
+TEST(Lemma2Test, EveryParetoPlanMatchesOracle) {
+  // Lemma 2: π_B(dqexec q d s) = π_B{t ∈ r | t ⊇ s} for every
+  // Pareto-optimal valid plan q (not just the cheapest one the facade
+  // caches), every input-column subset, and hit + miss patterns.
+  RelSpecRef Spec = RelSpec::make("scheduler", {"ns", "pid", "state", "cpu"},
+                                  {{"ns, pid", "state, cpu"}});
+  EnumeratorOptions Opts;
+  Opts.MaxEdges = 4;
+  Opts.MaxResults = 8;
+  Rng R(4242);
+  for (const Decomposition &D : enumerateDecompositions(Spec, Opts)) {
+    auto DRef = std::make_shared<Decomposition>(D);
+    InstanceGraph G(DRef);
+    Relation Rel = randomRelation(Spec, R, 15, 4);
+    for (const Tuple &T : Rel.tuples())
+      dinsert(G, T);
+
+    for (uint64_t In = 0; In != 16; ++In) {
+      ColumnSet InCols = ColumnSet::fromMask(In);
+      std::vector<QueryPlan> Plans = enumeratePlans(D, InCols, CostParams());
+      std::vector<Tuple> Patterns;
+      if (!Rel.empty())
+        Patterns.push_back(Rel.tuples()[R.below(Rel.size())].project(InCols));
+      Tuple Miss;
+      for (ColumnId C : InCols)
+        Miss.set(C, Value::ofInt(1000));
+      Patterns.push_back(Miss);
+
+      for (const QueryPlan &P : Plans) {
+        ValidityResult V = checkPlanValidity(D, P);
+        ASSERT_TRUE(V.ok()) << P.str() << ": " << V.Error;
+        ColumnSet OutCols = *V.OutputCols;
+        // Lemma 2's implicit side condition (see Validity.h): execution
+        // can only filter on pattern columns the plan actually binds —
+        // A ⊆ B. Plans that skip pattern columns answer a *different*
+        // query; the planner's callers enforce this containment.
+        if (!InCols.subsetOf(OutCols))
+          continue;
+        for (const Tuple &Pattern : Patterns) {
+          // π_B(dqexec q d s) must equal π_B{t ∈ r | t ⊇ s}.
+          std::set<Tuple> Got;
+          execPlan(P, G, Pattern, [&](const Tuple &T) {
+            Got.insert(T.projectIfPresent(OutCols));
+            return true;
+          });
+          std::set<Tuple> Want;
+          for (const Tuple &T : Rel.tuples())
+            if (T.extends(Pattern))
+              Want.insert(T.projectIfPresent(OutCols));
+          EXPECT_EQ(Got, Want)
+              << "plan " << P.str() << " pattern "
+              << Pattern.str(Spec->catalog()) << " on "
+              << D.canonicalString();
+        }
+      }
+    }
+  }
+}
+
+TEST(Lemma3Test, EmptyInstanceRepresentsEmptyRelation) {
+  RelSpecRef Spec = RelSpec::make("edges", {"src", "dst", "weight"},
+                                  {{"src, dst", "weight"}});
+  EnumeratorOptions Opts;
+  Opts.MaxEdges = 3;
+  Opts.MaxResults = 64;
+  for (const Decomposition &D : enumerateDecompositions(Spec, Opts)) {
+    SynthesizedRelation S{Decomposition(D)};
+    EXPECT_TRUE(S.toRelation().empty());
+    WfResult Wf = S.checkWellFormed();
+    EXPECT_TRUE(Wf.Ok) << Wf.Error;
+  }
+}
+
+} // namespace

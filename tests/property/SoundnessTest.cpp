@@ -1,0 +1,240 @@
+//===- tests/property/SoundnessTest.cpp - Theorem 5, dynamically -*- C++ -*-===//
+//
+// Part of the RelC data representation synthesis library.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The central correctness property (Theorem 5): for every enumerated
+/// adequate decomposition of several specs, a random FD-respecting
+/// sequence of insert/remove/update/query operations driven through
+/// both the synthesized representation and the specification oracle
+/// yields identical relations (via α) and identical query answers, with
+/// the instance graph well-formed throughout.
+///
+//===----------------------------------------------------------------------===//
+
+#include "autotuner/Enumerator.h"
+#include "decomp/Builder.h"
+#include "runtime/SynthesizedRelation.h"
+#include "workloads/Rng.h"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+
+using namespace relc;
+
+namespace {
+
+/// One random FD-respecting mutation/query mix, oracle vs synthesized.
+void runScenario(const Decomposition &D, uint64_t Seed, unsigned NumOps,
+                 int64_t ValueRange) {
+  const RelSpecRef &Spec = D.spec();
+  const Catalog &Cat = Spec->catalog();
+  ColumnSet All = Spec->columns();
+  SynthesizedRelation Synth{Decomposition(D)};
+  Relation Oracle;
+  Rng R(Seed);
+
+  auto randomFullTuple = [&] {
+    Tuple T;
+    for (ColumnId C : All)
+      T.set(C, Value::ofInt(R.range(0, ValueRange)));
+    return T;
+  };
+  auto randomPattern = [&](bool AllowEmpty) {
+    Tuple T;
+    for (ColumnId C : All)
+      if (R.chance(0.4))
+        T.set(C, Value::ofInt(R.range(0, ValueRange)));
+    if (!AllowEmpty && T.empty() && !Oracle.empty()) {
+      // Bind one column from a live tuple so patterns often hit.
+      Tuple Live = Oracle.tuples()[R.below(Oracle.size())];
+      ColumnId C = All.first();
+      T.set(C, Live.get(C));
+    }
+    return T;
+  };
+
+  for (unsigned Op = 0; Op != NumOps; ++Op) {
+    switch (R.below(8)) {
+    case 0:
+    case 1:
+    case 2: { // insert
+      Tuple T = randomFullTuple();
+      if (!Oracle.insertPreservesFds(T, Spec->fds()))
+        break;
+      bool Changed = !Oracle.contains(T);
+      Oracle.insert(T);
+      EXPECT_EQ(Synth.insert(T), Changed);
+      break;
+    }
+    case 3: { // remove by random pattern
+      Tuple Pat = randomPattern(/*AllowEmpty=*/false);
+      EXPECT_EQ(Synth.remove(Pat), Oracle.remove(Pat));
+      break;
+    }
+    case 4: { // keyed update of a live tuple
+      if (Oracle.empty())
+        break;
+      Tuple Live = Oracle.tuples()[R.below(Oracle.size())];
+      // Use the first declared FD's lhs as the key if it is one;
+      // otherwise update by full tuple minus one column.
+      ColumnSet Key;
+      for (const FuncDep &Fd : Spec->fds().deps())
+        if (Spec->fds().isKey(Fd.Lhs, All)) {
+          Key = Fd.Lhs;
+          break;
+        }
+      if (Key.empty())
+        Key = All; // no proper key: degenerate update by full tuple
+      Tuple Pat = Live.project(Key);
+      Tuple Changes;
+      for (ColumnId C : All.minus(Key))
+        if (R.chance(0.6))
+          Changes.set(C, Value::ofInt(R.range(0, ValueRange)));
+      if (Changes.empty())
+        break;
+      // Lemma 4(c)'s precondition: the updated relation must still
+      // satisfy ∆ (a non-key FD like d → e can be violated by an
+      // unlucky change); skip updates outside the contract.
+      Relation Post = Oracle;
+      Post.update(Pat, Changes);
+      if (!Post.satisfies(Spec->fds()) || Post.size() != Oracle.size())
+        break;
+      size_t N = Oracle.update(Pat, Changes);
+      EXPECT_EQ(Synth.update(Pat, Changes), N);
+      break;
+    }
+    case 5: { // query by pattern, random projection
+      Tuple Pat = randomPattern(/*AllowEmpty=*/true);
+      ColumnSet Out;
+      for (ColumnId C : All)
+        if (R.chance(0.5))
+          Out.insert(C);
+      if (Out.empty())
+        Out = All;
+      auto Got = Synth.query(Pat, Out);
+      auto Want = Oracle.query(Pat, Out);
+      std::sort(Got.begin(), Got.end());
+      std::sort(Want.begin(), Want.end());
+      EXPECT_EQ(Got, Want) << "query mismatch, pattern " << Pat.str(Cat);
+      break;
+    }
+    case 6: { // contains
+      Tuple Pat = randomPattern(true);
+      EXPECT_EQ(Synth.contains(Pat),
+                !Oracle.query(Pat, All).empty());
+      break;
+    }
+    case 7: { // full α + well-formedness audit (amortized)
+      if (Op % 16 != 0)
+        break;
+      EXPECT_EQ(Synth.toRelation(), Oracle);
+      WfResult Wf = Synth.checkWellFormed();
+      ASSERT_TRUE(Wf.Ok) << Wf.Error;
+      break;
+    }
+    }
+    ASSERT_EQ(Synth.size(), Oracle.size());
+  }
+  // Final audit.
+  EXPECT_EQ(Synth.toRelation(), Oracle);
+  WfResult Wf = Synth.checkWellFormed();
+  EXPECT_TRUE(Wf.Ok) << Wf.Error;
+}
+
+struct SpecCase {
+  const char *Name;
+  RelSpecRef Spec;
+  unsigned MaxEdges;
+};
+
+std::vector<SpecCase> specCases() {
+  return {
+      {"edges",
+       RelSpec::make("edges", {"src", "dst", "weight"},
+                     {{"src, dst", "weight"}}),
+       3},
+      {"scheduler",
+       RelSpec::make("scheduler", {"ns", "pid", "state", "cpu"},
+                     {{"ns, pid", "state, cpu"}}),
+       3},
+      {"kv", RelSpec::make("kv", {"k", "v"}, {{"k", "v"}}), 2},
+      {"set", RelSpec::make("nodes", {"id"}, {}), 2},
+  };
+}
+
+class SoundnessTest : public ::testing::TestWithParam<size_t> {};
+
+TEST_P(SoundnessTest, OracleParityAcrossAllDecompositions) {
+  SpecCase C = specCases()[GetParam()];
+  EnumeratorOptions Opts;
+  Opts.MaxEdges = C.MaxEdges;
+  Opts.MaxResults = 64; // keep runtime bounded; shapes beyond are akin
+  std::vector<Decomposition> Decomps =
+      enumerateDecompositions(C.Spec, Opts);
+  ASSERT_FALSE(Decomps.empty());
+  unsigned Index = 0;
+  for (const Decomposition &D : Decomps) {
+    SCOPED_TRACE(std::string(C.Name) + " decomposition #" +
+                 std::to_string(Index) + ": " + D.canonicalString());
+    runScenario(D, /*Seed=*/1000 + Index, /*NumOps=*/120,
+                /*ValueRange=*/6);
+    ++Index;
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(AllSpecs, SoundnessTest,
+                         ::testing::Range<size_t>(0, 4),
+                         [](const auto &Info) {
+                           return specCases()[Info.param].Name;
+                         });
+
+TEST(SoundnessDsTest, ParityAcrossDataStructures) {
+  // One fixed shape (Fig. 2 for the scheduler), every container kind on
+  // every edge in rotation.
+  RelSpecRef Spec = RelSpec::make("scheduler", {"ns", "pid", "state", "cpu"},
+                                  {{"ns, pid", "state, cpu"}});
+  EnumeratorOptions Opts;
+  Opts.MaxEdges = 4;
+  Opts.MaxResults = 8;
+  std::vector<Decomposition> Shapes = enumerateDecompositions(Spec, Opts);
+  ASSERT_FALSE(Shapes.empty());
+  for (const Decomposition &Shape : Shapes) {
+    for (DsKind K : AllDsKinds) {
+      std::vector<DsKind> Kinds;
+      bool Usable = true;
+      for (EdgeId E = 0; E != Shape.numEdges(); ++E) {
+        Kinds.push_back(edgeSupportsDs(Shape.edge(E), K) ? K
+                                                         : DsKind::HashTable);
+        Usable = true;
+      }
+      if (!Usable)
+        continue;
+      Decomposition D = withDataStructures(Shape, Kinds);
+      SCOPED_TRACE(std::string(dsKindName(K)) + " on " + D.canonicalString());
+      runScenario(D, /*Seed=*/77 + static_cast<uint64_t>(K), /*NumOps=*/90,
+                  /*ValueRange=*/5);
+    }
+  }
+}
+
+TEST(SoundnessStressTest, LongRunDeepChain) {
+  // A deeper relation exercising multi-level cuts and updates.
+  RelSpecRef Spec = RelSpec::make(
+      "r", {"a", "b", "c", "d", "e"},
+      {{"a, b, c", "d, e"}, {"d", "e"}});
+  DecompBuilder B(Spec);
+  NodeId N3 = B.addNode("n3", "a, b, c, d", B.unit("e"));
+  NodeId N2 = B.addNode("n2", "a, b, c", B.join(B.unit("d"),
+                                                B.map("d", DsKind::Btree, N3)));
+  NodeId N1 = B.addNode("n1", "a, b", B.map("c", DsKind::HashTable, N2));
+  NodeId N0 = B.addNode("n0", "a", B.map("b", DsKind::Btree, N1));
+  B.addNode("x", "", B.map("a", DsKind::HashTable, N0));
+  Decomposition D = B.build();
+  runScenario(D, /*Seed=*/5, /*NumOps=*/400, /*ValueRange=*/4);
+}
+
+} // namespace

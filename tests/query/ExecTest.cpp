@@ -1,0 +1,200 @@
+//===- tests/query/ExecTest.cpp - dqexec tests -------------------*- C++ -*-===//
+//
+// Part of the RelC data representation synthesis library.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Tests plan execution (dqexec, Section 4.1) over live instance
+/// graphs: results match the relational specification (Lemma 2 on
+/// concrete cases; the property suite randomizes this), early
+/// termination, and join filtering.
+///
+//===----------------------------------------------------------------------===//
+
+#include "query/Exec.h"
+
+#include "decomp/Builder.h"
+#include "query/Planner.h"
+#include "runtime/Mutators.h"
+
+#include <gtest/gtest.h>
+
+#include <set>
+
+using namespace relc;
+
+namespace {
+
+class ExecTest : public ::testing::Test {
+protected:
+  void SetUp() override {
+    Spec = RelSpec::make("scheduler", {"ns", "pid", "state", "cpu"},
+                         {{"ns, pid", "state, cpu"}});
+    DecompBuilder B(Spec);
+    NodeId W = B.addNode("w", "ns, pid, state", B.unit("cpu"));
+    NodeId Y = B.addNode("y", "ns", B.map("pid", DsKind::HashTable, W));
+    NodeId Z = B.addNode("z", "state", B.map("ns, pid", DsKind::DList, W));
+    B.addNode("x", "", B.join(B.map("ns", DsKind::HashTable, Y),
+                              B.map("state", DsKind::Vector, Z)));
+    D = std::make_shared<Decomposition>(B.build());
+    G = std::make_unique<InstanceGraph>(D);
+
+    // Relation rs of Equation (1) plus a few more rows.
+    insert(1, 1, 0, 7);
+    insert(1, 2, 1, 4);
+    insert(2, 1, 0, 5);
+    insert(7, 42, 1, 0);
+    insert(7, 43, 1, 3);
+  }
+
+  void insert(int64_t Ns, int64_t Pid, int64_t State, int64_t Cpu) {
+    dinsert(*G, TupleBuilder(Spec->catalog())
+                    .set("ns", Ns)
+                    .set("pid", Pid)
+                    .set("state", State)
+                    .set("cpu", Cpu)
+                    .build());
+  }
+
+  /// Runs the best plan for (pattern, out) and collects projections.
+  std::multiset<std::string> run(const Tuple &Pattern, ColumnSet Out) {
+    auto P = planQuery(*D, Pattern.columns(), Out, CostParams());
+    EXPECT_TRUE(P.has_value());
+    std::multiset<std::string> Rows;
+    execPlan(*P, *G, Pattern, [&](const Tuple &T) {
+      Rows.insert(T.project(Out.intersect(T.columns()))
+                      .merge(Pattern)
+                      .project(Out.unionWith(Pattern.columns()))
+                      .valuesStr());
+      return true;
+    });
+    return Rows;
+  }
+
+  RelSpecRef Spec;
+  std::shared_ptr<const Decomposition> D;
+  std::unique_ptr<InstanceGraph> G;
+};
+
+TEST_F(ExecTest, KeyProbeFindsSingleTuple) {
+  const Catalog &Cat = Spec->catalog();
+  Tuple Pat = TupleBuilder(Cat).set("ns", 2).set("pid", 1).build();
+  auto P = planQuery(*D, Pat.columns(), Cat.parseSet("state, cpu"),
+                     CostParams());
+  ASSERT_TRUE(P.has_value());
+  int Count = 0;
+  execPlan(*P, *G, Pat, [&](const Tuple &T) {
+    EXPECT_EQ(T.get(Cat.get("cpu")).asInt(), 5);
+    EXPECT_EQ(T.get(Cat.get("state")).asInt(), 0);
+    ++Count;
+    return true;
+  });
+  EXPECT_EQ(Count, 1);
+}
+
+TEST_F(ExecTest, KeyProbeMissingTupleEmitsNothing) {
+  const Catalog &Cat = Spec->catalog();
+  Tuple Pat = TupleBuilder(Cat).set("ns", 2).set("pid", 99).build();
+  auto P = planQuery(*D, Pat.columns(), Cat.parseSet("cpu"), CostParams());
+  ASSERT_TRUE(P.has_value());
+  int Count = 0;
+  execPlan(*P, *G, Pat, [&](const Tuple &) {
+    ++Count;
+    return true;
+  });
+  EXPECT_EQ(Count, 0);
+}
+
+TEST_F(ExecTest, StateQueryEnumeratesRunning) {
+  const Catalog &Cat = Spec->catalog();
+  // Running (state=1): (1,2), (7,42), (7,43).
+  Tuple Pat = TupleBuilder(Cat).set("state", 1).build();
+  auto Rows = run(Pat, Cat.parseSet("ns, pid"));
+  EXPECT_EQ(Rows.size(), 3u);
+}
+
+TEST_F(ExecTest, MotivatingQueryNsAndState) {
+  const Catalog &Cat = Spec->catalog();
+  // Section 4.1: running processes in namespace 7 → pids {42, 43}.
+  Tuple Pat = TupleBuilder(Cat).set("ns", 7).set("state", 1).build();
+  auto P = planQuery(*D, Pat.columns(), Cat.parseSet("pid"), CostParams());
+  ASSERT_TRUE(P.has_value());
+  std::set<int64_t> Pids;
+  execPlan(*P, *G, Pat, [&](const Tuple &T) {
+    Pids.insert(T.get(Cat.get("pid")).asInt());
+    return true;
+  });
+  EXPECT_EQ(Pids, (std::set<int64_t>{42, 43}));
+}
+
+TEST_F(ExecTest, JoinFiltersNonMatchingSide) {
+  const Catalog &Cat = Spec->catalog();
+  // Sleeping in namespace 7: none (both ns-7 processes run).
+  Tuple Pat = TupleBuilder(Cat).set("ns", 7).set("state", 0).build();
+  auto P = planQuery(*D, Pat.columns(), Cat.parseSet("pid"), CostParams());
+  ASSERT_TRUE(P.has_value());
+  int Count = 0;
+  execPlan(*P, *G, Pat, [&](const Tuple &) {
+    ++Count;
+    return true;
+  });
+  EXPECT_EQ(Count, 0);
+}
+
+TEST_F(ExecTest, EmptyPatternFullEnumeration) {
+  const Catalog &Cat = Spec->catalog();
+  auto Rows = run(Tuple(), Cat.allColumns());
+  EXPECT_EQ(Rows.size(), 5u);
+}
+
+TEST_F(ExecTest, EarlyStopHaltsIteration) {
+  const Catalog &Cat = Spec->catalog();
+  auto P = planQuery(*D, ColumnSet(), Cat.allColumns(), CostParams());
+  ASSERT_TRUE(P.has_value());
+  int Count = 0;
+  execPlan(*P, *G, Tuple(), [&](const Tuple &) {
+    ++Count;
+    return Count < 2;
+  });
+  EXPECT_EQ(Count, 2);
+}
+
+TEST_F(ExecTest, EmitSeesPatternAndOutputColumns) {
+  const Catalog &Cat = Spec->catalog();
+  Tuple Pat = TupleBuilder(Cat).set("state", 0).build();
+  auto P = planQuery(*D, Pat.columns(), Cat.parseSet("ns, pid"),
+                     CostParams());
+  ASSERT_TRUE(P.has_value());
+  execPlan(*P, *G, Pat, [&](const Tuple &T) {
+    EXPECT_TRUE(T.has(Cat.get("ns")));
+    EXPECT_TRUE(T.has(Cat.get("pid")));
+    return true;
+  });
+}
+
+TEST_F(ExecTest, ScanOverEmptyRelation) {
+  InstanceGraph Fresh(D);
+  const Catalog &Cat = Spec->catalog();
+  auto P = planQuery(*D, ColumnSet(), Cat.allColumns(), CostParams());
+  ASSERT_TRUE(P.has_value());
+  int Count = 0;
+  execPlan(*P, Fresh, Tuple(), [&](const Tuple &) {
+    ++Count;
+    return true;
+  });
+  EXPECT_EQ(Count, 0);
+}
+
+TEST_F(ExecTest, ResultsReflectRemovals) {
+  const Catalog &Cat = Spec->catalog();
+  PlanCache Plans(D, CostParams());
+  dremove(*G, TupleBuilder(Cat).set("ns", 7).build(), Plans);
+  auto Rows = run(Tuple(), Cat.allColumns());
+  EXPECT_EQ(Rows.size(), 3u);
+  Tuple Pat = TupleBuilder(Cat).set("state", 1).build();
+  auto Running = run(Pat, Cat.parseSet("ns, pid"));
+  EXPECT_EQ(Running.size(), 1u);
+}
+
+} // namespace

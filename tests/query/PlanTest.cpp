@@ -1,0 +1,102 @@
+//===- tests/query/PlanTest.cpp - Query plan structure tests -----*- C++ -*-===//
+//
+// Part of the RelC data representation synthesis library.
+//
+//===----------------------------------------------------------------------===//
+
+#include "query/Plan.h"
+
+#include "decomp/Builder.h"
+#include "query/Planner.h"
+
+#include <gtest/gtest.h>
+
+using namespace relc;
+
+namespace {
+
+RelSpecRef schedulerSpec() {
+  return RelSpec::make("scheduler", {"ns", "pid", "state", "cpu"},
+                       {{"ns, pid", "state, cpu"}});
+}
+
+Decomposition fig2(const RelSpecRef &Spec) {
+  DecompBuilder B(Spec);
+  NodeId W = B.addNode("w", "ns, pid, state", B.unit("cpu"));
+  NodeId Y = B.addNode("y", "ns", B.map("pid", DsKind::HashTable, W));
+  NodeId Z = B.addNode("z", "state", B.map("ns, pid", DsKind::DList, W));
+  B.addNode("x", "", B.join(B.map("ns", DsKind::HashTable, Y),
+                            B.map("state", DsKind::Vector, Z)));
+  return B.build();
+}
+
+TEST(PlanTest, InvalidPlanRenders) {
+  QueryPlan P;
+  EXPECT_FALSE(P.valid());
+  EXPECT_EQ(P.str(), "<no plan>");
+}
+
+TEST(PlanTest, PaperQcpuNotation) {
+  // The paper's q_cpu = qlr(qlookup(qlookup(qunit)), left) arises when
+  // planning `query r 〈ns, pid〉 {cpu}` on Fig. 2 — the left path
+  // through y is two hash lookups; the planner must prefer it.
+  RelSpecRef Spec = schedulerSpec();
+  Decomposition D = fig2(Spec);
+  const Catalog &Cat = Spec->catalog();
+  auto P = planQuery(D, Cat.parseSet("ns, pid"), Cat.parseSet("cpu"),
+                     CostParams());
+  ASSERT_TRUE(P.has_value());
+  EXPECT_EQ(P->str(), "qlr(qlookup(qlookup(qunit)), left)");
+}
+
+TEST(PlanTest, StrNestingMatchesTree) {
+  // query 〈state〉 {ns, pid}: iterate one state's processes — the
+  // right side of the join, lookup then scan.
+  RelSpecRef Spec = schedulerSpec();
+  Decomposition D = fig2(Spec);
+  const Catalog &Cat = Spec->catalog();
+  auto P = planQuery(D, Cat.parseSet("state"), Cat.parseSet("ns, pid"),
+                     CostParams());
+  ASSERT_TRUE(P.has_value());
+  EXPECT_EQ(P->str(), "qlr(qlookup(qscan(qunit)), right)");
+}
+
+TEST(PlanTest, PlanRecordsShapeColumns) {
+  RelSpecRef Spec = schedulerSpec();
+  Decomposition D = fig2(Spec);
+  const Catalog &Cat = Spec->catalog();
+  ColumnSet In = Cat.parseSet("ns, pid");
+  auto P = planQuery(D, In, Cat.parseSet("cpu"), CostParams());
+  ASSERT_TRUE(P.has_value());
+  EXPECT_EQ(P->InputCols, In);
+  // The plan's outputs must cover the requested columns.
+  EXPECT_TRUE(Cat.parseSet("cpu").subsetOf(P->OutputCols.unionWith(In)));
+  EXPECT_GT(P->EstimatedCost, 0.0);
+}
+
+TEST(PlanTest, StepsFormATree) {
+  RelSpecRef Spec = schedulerSpec();
+  Decomposition D = fig2(Spec);
+  const Catalog &Cat = Spec->catalog();
+  auto P = planQuery(D, Cat.parseSet("ns, state"), Cat.parseSet("pid"),
+                     CostParams());
+  ASSERT_TRUE(P.has_value());
+  ASSERT_LT(P->Root, P->Steps.size());
+  // Every child index points inside the pool; each step is referenced
+  // at most once (tree, not DAG).
+  std::vector<unsigned> Refs(P->Steps.size(), 0);
+  for (const PlanStep &S : P->Steps) {
+    if (S.Child0 != InvalidIndex) {
+      ASSERT_LT(S.Child0, P->Steps.size());
+      ++Refs[S.Child0];
+    }
+    if (S.Child1 != InvalidIndex) {
+      ASSERT_LT(S.Child1, P->Steps.size());
+      ++Refs[S.Child1];
+    }
+  }
+  for (unsigned I = 0; I != Refs.size(); ++I)
+    EXPECT_LE(Refs[I], I == P->Root ? 0u : 1u);
+}
+
+} // namespace

@@ -1,0 +1,208 @@
+//===- tests/query/PlannerTest.cpp - Query planner tests ---------*- C++ -*-===//
+//
+// Part of the RelC data representation synthesis library.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Tests the cost-based planner of Section 4.3: every emitted plan is
+/// valid (checked against the independent Fig. 8 checker), the cheapest
+/// plan wins, and unplannable shapes return nothing.
+///
+//===----------------------------------------------------------------------===//
+
+#include "query/Planner.h"
+
+#include "decomp/Builder.h"
+#include "query/Validity.h"
+
+#include <gtest/gtest.h>
+
+using namespace relc;
+
+namespace {
+
+RelSpecRef schedulerSpec() {
+  return RelSpec::make("scheduler", {"ns", "pid", "state", "cpu"},
+                       {{"ns, pid", "state, cpu"}});
+}
+
+Decomposition fig2(const RelSpecRef &Spec) {
+  DecompBuilder B(Spec);
+  NodeId W = B.addNode("w", "ns, pid, state", B.unit("cpu"));
+  NodeId Y = B.addNode("y", "ns", B.map("pid", DsKind::HashTable, W));
+  NodeId Z = B.addNode("z", "state", B.map("ns, pid", DsKind::DList, W));
+  B.addNode("x", "", B.join(B.map("ns", DsKind::HashTable, Y),
+                            B.map("state", DsKind::Vector, Z)));
+  return B.build();
+}
+
+/// All (input, output) shapes a scheduler client uses.
+const std::pair<const char *, const char *> SchedulerShapes[] = {
+    {"ns, pid", "cpu"},          {"ns, pid", "state, cpu"},
+    {"state", "ns, pid"},        {"ns", "pid"},
+    {"ns, state", "pid"},        {"", "ns, pid, state, cpu"},
+    {"ns, pid, state, cpu", ""}, {"pid", "ns"},
+};
+
+TEST(PlannerTest, AllSchedulerShapesPlannableAndValid) {
+  RelSpecRef Spec = schedulerSpec();
+  Decomposition D = fig2(Spec);
+  const Catalog &Cat = Spec->catalog();
+  for (const auto &[In, Out] : SchedulerShapes) {
+    auto P = planQuery(D, Cat.parseSet(In), Cat.parseSet(Out), CostParams());
+    ASSERT_TRUE(P.has_value()) << "shape (" << In << ") -> (" << Out << ")";
+    ValidityResult R = checkPlanValidity(D, *P);
+    ASSERT_TRUE(R.ok()) << P->str() << ": " << R.Error;
+    // The outputs plus inputs must cover the requested columns.
+    EXPECT_TRUE(Cat.parseSet(Out).subsetOf(
+        R.OutputCols->unionWith(Cat.parseSet(In))))
+        << P->str();
+  }
+}
+
+TEST(PlannerTest, KeyProbeUsesLookupsNotScans) {
+  RelSpecRef Spec = schedulerSpec();
+  Decomposition D = fig2(Spec);
+  const Catalog &Cat = Spec->catalog();
+  auto P = planQuery(D, Cat.parseSet("ns, pid"), Cat.parseSet("cpu"),
+                     CostParams());
+  ASSERT_TRUE(P.has_value());
+  EXPECT_EQ(P->str().find("qscan"), std::string::npos) << P->str();
+}
+
+TEST(PlannerTest, FullEnumerationUsesOneSideOnly) {
+  // Enumerating everything should traverse one side of the join (qlr),
+  // not pay for both sides (qjoin). With the extended (QUNIT) rule
+  // either side binds all four columns (w's bound valuation includes
+  // state), so the planner is free to pick whichever is cheaper —
+  // but it must not emit a qjoin.
+  RelSpecRef Spec = schedulerSpec();
+  Decomposition D = fig2(Spec);
+  const Catalog &Cat = Spec->catalog();
+  auto P = planQuery(D, ColumnSet(), Cat.allColumns(), CostParams());
+  ASSERT_TRUE(P.has_value());
+  EXPECT_NE(P->str().find("qlr"), std::string::npos) << P->str();
+  EXPECT_EQ(P->str().find("qjoin"), std::string::npos) << P->str();
+}
+
+TEST(PlannerTest, UnreachableOutputColumnsUnplannable) {
+  // A decomposition that does not represent `state` cannot answer
+  // queries asking for it. (Such a decomposition is inadequate for the
+  // scheduler spec, but the planner is independent of adequacy.)
+  RelSpecRef Spec = schedulerSpec();
+  const Catalog &Cat = Spec->catalog();
+  DecompBuilder B(Spec);
+  NodeId W = B.addNode("w", "ns, pid", B.unit("cpu"));
+  B.addNode("x", "", B.map("ns, pid", DsKind::HashTable, W));
+  Decomposition D = B.build();
+  auto P = planQuery(D, Cat.parseSet("ns, pid"), Cat.parseSet("state"),
+                     CostParams());
+  EXPECT_FALSE(P.has_value());
+}
+
+TEST(PlannerTest, InputColumnsNotInDecompositionUnplannable) {
+  // The pattern binds `state` but no path checks it: execution could
+  // not filter on it, so planning must fail (the A ⊆ B side condition).
+  RelSpecRef Spec = schedulerSpec();
+  const Catalog &Cat = Spec->catalog();
+  DecompBuilder B(Spec);
+  NodeId W = B.addNode("w", "ns, pid", B.unit("cpu"));
+  B.addNode("x", "", B.map("ns, pid", DsKind::HashTable, W));
+  Decomposition D = B.build();
+  auto P = planQuery(D, Cat.parseSet("state"), Cat.parseSet("ns"),
+                     CostParams());
+  EXPECT_FALSE(P.has_value());
+}
+
+TEST(PlannerTest, CheapestPlanWinsAcrossSides) {
+  // query 〈ns〉{pid}: via the left side it is lookup+scan over ~fanout
+  // pids; via the right it is scan states × scan ns,pid pairs. Left
+  // must win under uniform fanout.
+  RelSpecRef Spec = schedulerSpec();
+  Decomposition D = fig2(Spec);
+  const Catalog &Cat = Spec->catalog();
+  auto P = planQuery(D, Cat.parseSet("ns"), Cat.parseSet("pid"),
+                     CostParams(64.0));
+  ASSERT_TRUE(P.has_value());
+  EXPECT_EQ(P->str(), "qlr(qlookup(qscan(qunit)), left)");
+}
+
+TEST(PlannerTest, EnumeratePlansSortedAndValid) {
+  RelSpecRef Spec = schedulerSpec();
+  Decomposition D = fig2(Spec);
+  const Catalog &Cat = Spec->catalog();
+  CostParams Params;
+  std::vector<QueryPlan> Plans =
+      enumeratePlans(D, Cat.parseSet("ns, state"), Params);
+  ASSERT_FALSE(Plans.empty());
+  for (size_t I = 0; I != Plans.size(); ++I) {
+    ValidityResult R = checkPlanValidity(D, Plans[I]);
+    EXPECT_TRUE(R.ok()) << Plans[I].str() << ": " << R.Error;
+    EXPECT_DOUBLE_EQ(Plans[I].EstimatedCost,
+                     estimatePlanCost(D, Plans[I], Params));
+    if (I > 0)
+      EXPECT_GE(Plans[I].EstimatedCost, Plans[I - 1].EstimatedCost);
+  }
+}
+
+TEST(PlannerTest, LrDominatesJoinWhenOneSideBindsEverything) {
+  // In Fig. 2 the state side alone binds every column, so for input
+  // {ns, state} the paper's join plan q1 is valid but never Pareto-
+  // optimal: qlr(right) = q2 reaches the same outputs for E(q2) ≤
+  // E(qjoin(·, q2', ·)). The enumerated front must therefore be all-qlr.
+  RelSpecRef Spec = schedulerSpec();
+  Decomposition D = fig2(Spec);
+  const Catalog &Cat = Spec->catalog();
+  std::vector<QueryPlan> Plans =
+      enumeratePlans(D, Cat.parseSet("ns, state"), CostParams());
+  ASSERT_FALSE(Plans.empty());
+  for (const QueryPlan &P : Plans)
+    EXPECT_NE(P.str().find("qlr"), std::string::npos) << P.str();
+}
+
+TEST(PlannerTest, JoinRequiredWhenNeitherSideSuffices) {
+  // r(a, b, c) with a → b,c decomposed as join(a ↦ unit b, a ↦ unit c):
+  // answering `query 〈a〉 {b, c}` needs columns from *both* sides, so
+  // the planner must produce a qjoin.
+  RelSpecRef Spec = RelSpec::make("r", {"a", "b", "c"}, {{"a", "b, c"}});
+  const Catalog &Cat = Spec->catalog();
+  DecompBuilder B(Spec);
+  NodeId Nb = B.addNode("nb", "a", B.unit("b"));
+  NodeId Nc = B.addNode("nc", "a", B.unit("c"));
+  B.addNode("x", "", B.join(B.map("a", DsKind::HashTable, Nb),
+                            B.map("a", DsKind::HashTable, Nc)));
+  Decomposition D = B.build();
+
+  auto P = planQuery(D, Cat.parseSet("a"), Cat.parseSet("b, c"),
+                     CostParams());
+  ASSERT_TRUE(P.has_value());
+  EXPECT_NE(P->str().find("qjoin"), std::string::npos) << P->str();
+  ValidityResult R = checkPlanValidity(D, *P);
+  ASSERT_TRUE(R.ok()) << R.Error;
+  EXPECT_TRUE(Cat.parseSet("b, c").subsetOf(*R.OutputCols));
+}
+
+TEST(PlannerTest, DeepChainPlans) {
+  RelSpecRef Spec =
+      RelSpec::make("r", {"a", "b", "c", "d"}, {{"a, b, c", "d"}});
+  const Catalog &Cat = Spec->catalog();
+  DecompBuilder B(Spec);
+  NodeId N2 = B.addNode("n2", "a, b, c", B.unit("d"));
+  NodeId N1 = B.addNode("n1", "a, b", B.map("c", DsKind::Btree, N2));
+  NodeId N0 = B.addNode("n0", "a", B.map("b", DsKind::Btree, N1));
+  B.addNode("x", "", B.map("a", DsKind::Btree, N0));
+  Decomposition D = B.build();
+
+  auto Full = planQuery(D, Cat.parseSet("a, b, c"), Cat.parseSet("d"),
+                        CostParams());
+  ASSERT_TRUE(Full.has_value());
+  EXPECT_EQ(Full->str(), "qlookup(qlookup(qlookup(qunit)))");
+
+  auto Mid = planQuery(D, Cat.parseSet("a"), Cat.parseSet("b, c, d"),
+                       CostParams());
+  ASSERT_TRUE(Mid.has_value());
+  EXPECT_EQ(Mid->str(), "qlookup(qscan(qscan(qunit)))");
+}
+
+} // namespace

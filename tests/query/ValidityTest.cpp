@@ -1,0 +1,259 @@
+//===- tests/query/ValidityTest.cpp - Fig. 8 validity tests ------*- C++ -*-===//
+//
+// Part of the RelC data representation synthesis library.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Tests the validity judgment Γ̂,d̂,A ⊢∆ q,B (Fig. 8) on hand-built
+/// plans: the paper's valid examples (q_cpu, q1, q2 of Section 4.1) and
+/// ill-formed plans each rule must reject.
+///
+//===----------------------------------------------------------------------===//
+
+#include "query/Validity.h"
+
+#include "decomp/Builder.h"
+
+#include <gtest/gtest.h>
+
+using namespace relc;
+
+namespace {
+
+RelSpecRef schedulerSpec() {
+  return RelSpec::make("scheduler", {"ns", "pid", "state", "cpu"},
+                       {{"ns, pid", "state, cpu"}});
+}
+
+/// Fixture exposing Fig. 2's prim ids for hand-assembled plans.
+class ValidityTest : public ::testing::Test {
+protected:
+  void SetUp() override {
+    Spec = schedulerSpec();
+    DecompBuilder B(Spec);
+    NodeId W = B.addNode("w", "ns, pid, state", B.unit("cpu"));
+    NodeId Y = B.addNode("y", "ns", B.map("pid", DsKind::HashTable, W));
+    NodeId Z = B.addNode("z", "state", B.map("ns, pid", DsKind::DList, W));
+    B.addNode("x", "", B.join(B.map("ns", DsKind::HashTable, Y),
+                              B.map("state", DsKind::Vector, Z)));
+    D.emplace(B.build());
+
+    // Resolve prim ids: x's prim is the join; its children are the two
+    // map prims; y/z each have a map prim; w has the unit.
+    const PrimNode &RootPrim = D->prim(D->node(D->root()).Prim);
+    ASSERT_EQ(RootPrim.Kind, PrimKind::Join);
+    JoinPrim = D->node(D->root()).Prim;
+    MapNs = RootPrim.Left;
+    MapState = RootPrim.Right;
+    MapPid = D->node(D->nodeByName("y")).Prim;
+    MapNsPid = D->node(D->nodeByName("z")).Prim;
+    UnitCpu = D->node(D->nodeByName("w")).Prim;
+  }
+
+  /// Appends a step, returning its id.
+  static PlanStepId step(QueryPlan &P, PlanKind K, PrimId Prim,
+                         PlanStepId C0 = InvalidIndex,
+                         PlanStepId C1 = InvalidIndex, bool Left = true) {
+    P.Steps.push_back({K, Prim, C0, C1, Left});
+    return static_cast<PlanStepId>(P.Steps.size() - 1);
+  }
+
+  QueryPlan makePlan(ColumnSet InputCols) {
+    QueryPlan P;
+    P.InputCols = InputCols;
+    return P;
+  }
+
+  RelSpecRef Spec;
+  std::optional<Decomposition> D;
+  PrimId JoinPrim, MapNs, MapState, MapPid, MapNsPid, UnitCpu;
+};
+
+TEST_F(ValidityTest, PaperQcpuIsValid) {
+  // q_cpu = qlr(qlookup(qlookup(qunit)), left) with A = {ns, pid}.
+  const Catalog &Cat = Spec->catalog();
+  QueryPlan P = makePlan(Cat.parseSet("ns, pid"));
+  PlanStepId U = step(P, PlanKind::Unit, UnitCpu);
+  PlanStepId L2 = step(P, PlanKind::Lookup, MapPid, U);
+  PlanStepId L1 = step(P, PlanKind::Lookup, MapNs, L2);
+  P.Root = step(P, PlanKind::Lr, JoinPrim, L1, InvalidIndex, /*Left=*/true);
+
+  ValidityResult R = checkPlanValidity(*D, P);
+  ASSERT_TRUE(R.ok()) << R.Error;
+  // B = both lookup keys, the unit's columns, and — per the extended
+  // (QUNIT) rule — w's bound valuation, which adds `state`.
+  EXPECT_EQ(*R.OutputCols, Cat.parseSet("ns, pid, state, cpu"));
+}
+
+TEST_F(ValidityTest, PaperQ1JoinIsValid) {
+  // q1 = qjoin(qlookup(qscan(qunit)), qlookup(qlookup(qunit)), left)
+  // with A = {ns, state} (Section 4.1's motivating query).
+  const Catalog &Cat = Spec->catalog();
+  QueryPlan P = makePlan(Cat.parseSet("ns, state"));
+  PlanStepId U1 = step(P, PlanKind::Unit, UnitCpu);
+  PlanStepId Scan = step(P, PlanKind::Scan, MapPid, U1);
+  PlanStepId Left = step(P, PlanKind::Lookup, MapNs, Scan);
+  PlanStepId U2 = step(P, PlanKind::Unit, UnitCpu);
+  PlanStepId Lk2 = step(P, PlanKind::Lookup, MapNsPid, U2);
+  PlanStepId Right = step(P, PlanKind::Lookup, MapState, Lk2);
+  P.Root = step(P, PlanKind::Join, JoinPrim, Left, Right, /*Left=*/true);
+
+  ValidityResult R = checkPlanValidity(*D, P);
+  ASSERT_TRUE(R.ok()) << R.Error;
+  EXPECT_TRUE(Cat.parseSet("pid").subsetOf(*R.OutputCols));
+}
+
+TEST_F(ValidityTest, PaperQ2LrIsValid) {
+  // q2 = qlr(qlookup(qscan(qunit)), right): iterate the state side.
+  const Catalog &Cat = Spec->catalog();
+  QueryPlan P = makePlan(Cat.parseSet("ns, state"));
+  PlanStepId U = step(P, PlanKind::Unit, UnitCpu);
+  PlanStepId Scan = step(P, PlanKind::Scan, MapNsPid, U);
+  PlanStepId Lk = step(P, PlanKind::Lookup, MapState, Scan);
+  P.Root = step(P, PlanKind::Lr, JoinPrim, Lk, InvalidIndex, /*Left=*/false);
+
+  ValidityResult R = checkPlanValidity(*D, P);
+  ASSERT_TRUE(R.ok()) << R.Error;
+  EXPECT_TRUE(Cat.parseSet("ns, pid").subsetOf(*R.OutputCols));
+}
+
+TEST_F(ValidityTest, QLookupWithoutBoundKeysRejected) {
+  // (QLOOKUP) requires C ⊆ A: looking up ns with nothing bound.
+  QueryPlan P = makePlan(ColumnSet());
+  PlanStepId U = step(P, PlanKind::Unit, UnitCpu);
+  PlanStepId L2 = step(P, PlanKind::Lookup, MapPid, U);
+  PlanStepId L1 = step(P, PlanKind::Lookup, MapNs, L2);
+  P.Root = step(P, PlanKind::Lr, JoinPrim, L1, InvalidIndex, true);
+
+  ValidityResult R = checkPlanValidity(*D, P);
+  EXPECT_FALSE(R.ok());
+  EXPECT_FALSE(R.Error.empty());
+}
+
+TEST_F(ValidityTest, InnerLookupKeysMayComeFromOuterScan) {
+  // (QSCAN) binds the scanned keys for the subquery: scanning ns then
+  // looking up pid needs pid ∈ A.
+  const Catalog &Cat = Spec->catalog();
+  QueryPlan P = makePlan(Cat.parseSet("pid"));
+  PlanStepId U = step(P, PlanKind::Unit, UnitCpu);
+  PlanStepId Lk = step(P, PlanKind::Lookup, MapPid, U);
+  PlanStepId Scan = step(P, PlanKind::Scan, MapNs, Lk);
+  P.Root = step(P, PlanKind::Lr, JoinPrim, Scan, InvalidIndex, true);
+
+  ValidityResult R = checkPlanValidity(*D, P);
+  ASSERT_TRUE(R.ok()) << R.Error;
+  EXPECT_TRUE(Cat.parseSet("ns, pid, cpu").subsetOf(*R.OutputCols));
+}
+
+TEST_F(ValidityTest, JoinWithUnderdeterminedSidesRejected)
+{
+  // (QJOIN) demands ∆ ⊢ A∪B1 → B2 and A∪B2 → B1 so results match
+  // unambiguously. With A = ∅, scanning ns on the left (B1 = {ns}) and
+  // state on the right (B2 = {state, ns, pid}) fails both premises.
+  QueryPlan P = makePlan(ColumnSet());
+  // Left: qscan over ns map, then nothing deeper — scan y's pid map too
+  // to reach the unit.
+  PlanStepId U1 = step(P, PlanKind::Unit, UnitCpu);
+  PlanStepId ScanPid = step(P, PlanKind::Scan, MapPid, U1);
+  PlanStepId Left = step(P, PlanKind::Scan, MapNs, ScanPid);
+  PlanStepId U2 = step(P, PlanKind::Unit, UnitCpu);
+  PlanStepId ScanNsPid = step(P, PlanKind::Scan, MapNsPid, U2);
+  PlanStepId Right = step(P, PlanKind::Scan, MapState, ScanNsPid);
+  P.Root = step(P, PlanKind::Join, JoinPrim, Left, Right, true);
+
+  // Here B1 = {ns, pid, cpu} ⊇ a key, so A∪B1 → B2 holds; but
+  // A∪B2 → B1 also holds... choose sides that genuinely fail: left
+  // binds only ns (no descent possible — qscan must recurse, so instead
+  // validate the reverse direction via a right-first join where B2 is
+  // just {state}).
+  ValidityResult R1 = checkPlanValidity(*D, P);
+  EXPECT_TRUE(R1.ok()) << R1.Error; // this one is actually valid
+
+  // Right side binds only {state}+{ns,pid} = key again; to build a
+  // genuinely ambiguous join we need a spec without the FD.
+  RelSpecRef Spec2 =
+      RelSpec::make("r", {"a", "b", "c"}, {{"a", "b"}, {"a", "c"}});
+  const Catalog &Cat2 = Spec2->catalog();
+  DecompBuilder B2(Spec2);
+  NodeId Nb = B2.addNode("nb", "a", B2.unit("b"));
+  NodeId Nc = B2.addNode("nc", "a", B2.unit("c"));
+  B2.addNode("x", "", B2.join(B2.map("a", DsKind::HashTable, Nb),
+                              B2.map("a", DsKind::HashTable, Nc)));
+  Decomposition D2 = B2.build();
+  PrimId Join2 = D2.node(D2.root()).Prim;
+  PrimId MapB = D2.prim(Join2).Left;
+  PrimId MapC = D2.prim(Join2).Right;
+  PrimId UnitB = D2.node(D2.nodeByName("nb")).Prim;
+  PrimId UnitC = D2.node(D2.nodeByName("nc")).Prim;
+
+  // Scan both sides with nothing bound: B1 = {a, b}, B2 = {a, c}; the
+  // FDs a→b, a→c give A∪B1 → B2 (a determines c) — valid. Now break
+  // it: use a spec where b does not determine a.
+  QueryPlan P2;
+  P2.InputCols = ColumnSet();
+  PlanStepId Ub = step(P2, PlanKind::Unit, UnitB);
+  PlanStepId Sb = step(P2, PlanKind::Scan, MapB, Ub);
+  PlanStepId Uc = step(P2, PlanKind::Unit, UnitC);
+  PlanStepId Sc = step(P2, PlanKind::Scan, MapC, Uc);
+  P2.Root = step(P2, PlanKind::Join, Join2, Sb, Sc, true);
+  ValidityResult R2 = checkPlanValidity(D2, P2);
+  EXPECT_TRUE(R2.ok()) << R2.Error; // a → b,c: both premises hold
+  (void)Cat2;
+
+  // Finally the genuinely invalid case: no FDs at all. Note such a
+  // decomposition is also inadequate, but validity is checked
+  // independently of adequacy.
+  RelSpecRef Spec3 = RelSpec::make("r", {"a", "b"}, {});
+  DecompBuilder B3(Spec3);
+  NodeId Na3 = B3.addNode("na", "a", B3.unit(ColumnSet()));
+  NodeId Nb3 = B3.addNode("nb", "b", B3.unit(ColumnSet()));
+  B3.addNode("x", "", B3.join(B3.map("a", DsKind::HashTable, Na3),
+                              B3.map("b", DsKind::HashTable, Nb3)));
+  Decomposition D3 = B3.build();
+  PrimId Join3 = D3.node(D3.root()).Prim;
+  PrimId MapA3 = D3.prim(Join3).Left;
+  PrimId MapB3 = D3.prim(Join3).Right;
+  PrimId UnitA3 = D3.node(D3.nodeByName("na")).Prim;
+  PrimId UnitB3 = D3.node(D3.nodeByName("nb")).Prim;
+
+  QueryPlan P3;
+  P3.InputCols = ColumnSet();
+  PlanStepId Ua3 = step(P3, PlanKind::Unit, UnitA3);
+  PlanStepId Sa3 = step(P3, PlanKind::Scan, MapA3, Ua3);
+  PlanStepId Ub3 = step(P3, PlanKind::Unit, UnitB3);
+  PlanStepId Sb3 = step(P3, PlanKind::Scan, MapB3, Ub3);
+  P3.Root = step(P3, PlanKind::Join, Join3, Sa3, Sb3, true);
+  ValidityResult R3 = checkPlanValidity(D3, P3);
+  EXPECT_FALSE(R3.ok());
+}
+
+TEST_F(ValidityTest, LrBindsSharedNodeBoundColumns) {
+  // qlr ignores the state side of the join entirely, yet the output
+  // still binds `state`: the shared unit node w carries it in its
+  // bound valuation (the extended (QUNIT) rule), so the left path
+  // answers state queries without touching the state lists.
+  const Catalog &Cat = Spec->catalog();
+  QueryPlan P = makePlan(Cat.parseSet("ns, pid"));
+  PlanStepId U = step(P, PlanKind::Unit, UnitCpu);
+  PlanStepId L2 = step(P, PlanKind::Lookup, MapPid, U);
+  PlanStepId L1 = step(P, PlanKind::Lookup, MapNs, L2);
+  P.Root = step(P, PlanKind::Lr, JoinPrim, L1, InvalidIndex, true);
+  ValidityResult R = checkPlanValidity(*D, P);
+  ASSERT_TRUE(R.ok()) << R.Error;
+  EXPECT_TRUE(R.OutputCols->contains(Cat.get("state")));
+}
+
+TEST_F(ValidityTest, MismatchedPrimRejected) {
+  // A lookup step pointing at the unit prim is structurally ill-formed.
+  const Catalog &Cat = Spec->catalog();
+  QueryPlan P = makePlan(Cat.parseSet("ns, pid"));
+  PlanStepId U = step(P, PlanKind::Unit, UnitCpu);
+  PlanStepId L = step(P, PlanKind::Lookup, UnitCpu, U);
+  PlanStepId L1 = step(P, PlanKind::Lookup, MapNs, L);
+  P.Root = step(P, PlanKind::Lr, JoinPrim, L1, InvalidIndex, true);
+  ValidityResult R = checkPlanValidity(*D, P);
+  EXPECT_FALSE(R.ok());
+}
+
+} // namespace

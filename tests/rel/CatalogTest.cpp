@@ -1,0 +1,102 @@
+//===- tests/rel/CatalogTest.cpp - Catalog tests -----------------*- C++ -*-===//
+//
+// Part of the RelC data representation synthesis library.
+//
+//===----------------------------------------------------------------------===//
+
+#include "rel/Catalog.h"
+
+#include <gtest/gtest.h>
+
+using namespace relc;
+
+namespace {
+
+TEST(CatalogTest, AddAssignsDenseIds) {
+  Catalog Cat;
+  EXPECT_EQ(Cat.add("ns"), 0u);
+  EXPECT_EQ(Cat.add("pid"), 1u);
+  EXPECT_EQ(Cat.add("state"), 2u);
+  EXPECT_EQ(Cat.size(), 3u);
+}
+
+TEST(CatalogTest, FindKnownAndUnknown) {
+  Catalog Cat;
+  Cat.add("src");
+  Cat.add("dst");
+  ASSERT_TRUE(Cat.find("dst").has_value());
+  EXPECT_EQ(*Cat.find("dst"), 1u);
+  EXPECT_FALSE(Cat.find("weight").has_value());
+}
+
+TEST(CatalogTest, GetRoundTripsWithName) {
+  Catalog Cat;
+  Cat.add("a");
+  Cat.add("b");
+  EXPECT_EQ(Cat.name(Cat.get("a")), "a");
+  EXPECT_EQ(Cat.name(Cat.get("b")), "b");
+}
+
+TEST(CatalogTest, AllColumns) {
+  Catalog Cat;
+  Cat.add("x");
+  Cat.add("y");
+  ColumnSet All = Cat.allColumns();
+  EXPECT_EQ(All.size(), 2u);
+  EXPECT_TRUE(All.contains(0));
+  EXPECT_TRUE(All.contains(1));
+  EXPECT_FALSE(All.contains(2));
+}
+
+TEST(CatalogTest, MakeSet) {
+  Catalog Cat;
+  Cat.add("ns");
+  Cat.add("pid");
+  Cat.add("cpu");
+  ColumnSet S = Cat.makeSet({"ns", "cpu"});
+  EXPECT_TRUE(S.contains(Cat.get("ns")));
+  EXPECT_FALSE(S.contains(Cat.get("pid")));
+  EXPECT_TRUE(S.contains(Cat.get("cpu")));
+}
+
+TEST(CatalogTest, ParseSetBasic) {
+  Catalog Cat;
+  Cat.add("ns");
+  Cat.add("pid");
+  ColumnSet S = Cat.parseSet("ns, pid");
+  EXPECT_EQ(S, Cat.allColumns());
+}
+
+TEST(CatalogTest, ParseSetWhitespaceTolerant) {
+  Catalog Cat;
+  Cat.add("a");
+  Cat.add("b");
+  EXPECT_EQ(Cat.parseSet("  a ,b  "), Cat.makeSet({"a", "b"}));
+  EXPECT_EQ(Cat.parseSet("a"), ColumnSet::single(0));
+}
+
+TEST(CatalogTest, ParseSetEmpty) {
+  Catalog Cat;
+  Cat.add("a");
+  EXPECT_TRUE(Cat.parseSet("").empty());
+  EXPECT_TRUE(Cat.parseSet("   ").empty());
+}
+
+TEST(CatalogTest, SetToString) {
+  Catalog Cat;
+  Cat.add("ns");
+  Cat.add("pid");
+  EXPECT_EQ(Cat.setToString(Cat.parseSet("ns, pid")), "{ns, pid}");
+  EXPECT_EQ(Cat.setToString(ColumnSet()), "{}");
+}
+
+TEST(CatalogTest, SixtyFourColumns) {
+  Catalog Cat;
+  for (int I = 0; I < 64; ++I)
+    Cat.add("c" + std::to_string(I));
+  EXPECT_EQ(Cat.size(), 64u);
+  EXPECT_EQ(Cat.allColumns().size(), 64u);
+  EXPECT_EQ(Cat.get("c63"), 63u);
+}
+
+} // namespace

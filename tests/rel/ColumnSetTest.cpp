@@ -1,0 +1,112 @@
+//===- tests/rel/ColumnSetTest.cpp - ColumnSet tests -------------*- C++ -*-===//
+//
+// Part of the RelC data representation synthesis library.
+//
+//===----------------------------------------------------------------------===//
+
+#include "rel/ColumnSet.h"
+
+#include <gtest/gtest.h>
+
+#include <vector>
+
+using namespace relc;
+
+namespace {
+
+TEST(ColumnSetTest, EmptyByDefault) {
+  ColumnSet S;
+  EXPECT_TRUE(S.empty());
+  EXPECT_EQ(S.size(), 0u);
+  EXPECT_EQ(S.mask(), 0u);
+}
+
+TEST(ColumnSetTest, InsertEraseContains) {
+  ColumnSet S;
+  S.insert(3);
+  S.insert(7);
+  EXPECT_TRUE(S.contains(3));
+  EXPECT_TRUE(S.contains(7));
+  EXPECT_FALSE(S.contains(4));
+  EXPECT_EQ(S.size(), 2u);
+  S.erase(3);
+  EXPECT_FALSE(S.contains(3));
+  EXPECT_EQ(S.size(), 1u);
+  S.erase(3); // erasing an absent id is a no-op
+  EXPECT_EQ(S.size(), 1u);
+}
+
+TEST(ColumnSetTest, InitializerListAndSingle) {
+  ColumnSet S = {1, 4, 9};
+  EXPECT_EQ(S.size(), 3u);
+  EXPECT_EQ(ColumnSet::single(4), ColumnSet({4}));
+}
+
+TEST(ColumnSetTest, AllOf) {
+  EXPECT_TRUE(ColumnSet::allOf(0).empty());
+  EXPECT_EQ(ColumnSet::allOf(3).mask(), 0b111u);
+  EXPECT_EQ(ColumnSet::allOf(64).size(), 64u);
+}
+
+TEST(ColumnSetTest, SetAlgebra) {
+  ColumnSet A = {0, 1, 2};
+  ColumnSet B = {2, 3};
+  EXPECT_EQ(A.unionWith(B), ColumnSet({0, 1, 2, 3}));
+  EXPECT_EQ(A.intersect(B), ColumnSet({2}));
+  EXPECT_EQ(A.minus(B), ColumnSet({0, 1}));
+  EXPECT_EQ(A.symmetricDifference(B), ColumnSet({0, 1, 3}));
+}
+
+TEST(ColumnSetTest, SubsetAndIntersects) {
+  ColumnSet A = {1, 2};
+  ColumnSet B = {1, 2, 3};
+  EXPECT_TRUE(A.subsetOf(B));
+  EXPECT_FALSE(B.subsetOf(A));
+  EXPECT_TRUE(A.subsetOf(A));
+  EXPECT_TRUE(ColumnSet().subsetOf(A));
+  EXPECT_TRUE(A.intersects(B));
+  EXPECT_FALSE(A.intersects(ColumnSet({0, 5})));
+  EXPECT_FALSE(A.intersects(ColumnSet()));
+}
+
+TEST(ColumnSetTest, FirstIsSmallest) {
+  ColumnSet S = {9, 2, 40};
+  EXPECT_EQ(S.first(), 2u);
+}
+
+TEST(ColumnSetTest, IterationAscending) {
+  ColumnSet S = {5, 0, 63, 17};
+  std::vector<ColumnId> Got;
+  for (ColumnId Id : S)
+    Got.push_back(Id);
+  EXPECT_EQ(Got, (std::vector<ColumnId>{0, 5, 17, 63}));
+}
+
+TEST(ColumnSetTest, IterationOfEmptySet) {
+  ColumnSet S;
+  for (ColumnId Id : S) {
+    (void)Id;
+    FAIL() << "empty set should not iterate";
+  }
+}
+
+TEST(ColumnSetTest, ComparisonOperators) {
+  ColumnSet A = {1};
+  ColumnSet B = {1};
+  ColumnSet C = {2};
+  EXPECT_EQ(A, B);
+  EXPECT_NE(A, C);
+  EXPECT_LT(A, C); // mask 0b10 < 0b100
+}
+
+TEST(ColumnSetTest, FromMaskRoundTrip) {
+  uint64_t M = 0xdeadbeefULL;
+  EXPECT_EQ(ColumnSet::fromMask(M).mask(), M);
+}
+
+TEST(ColumnSetTest, HashIsMaskBased) {
+  std::hash<ColumnSet> H;
+  EXPECT_EQ(H(ColumnSet({1, 2})), H(ColumnSet::fromMask(0b110)));
+}
+
+} // namespace

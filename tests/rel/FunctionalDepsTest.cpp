@@ -1,0 +1,143 @@
+//===- tests/rel/FunctionalDepsTest.cpp - FD engine tests --------*- C++ -*-===//
+//
+// Part of the RelC data representation synthesis library.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Tests the entailment judgment ∆ ⊢fd C1 → C2 (Section 2) via the
+/// attribute-closure algorithm, including Armstrong's axioms as derived
+/// properties.
+///
+//===----------------------------------------------------------------------===//
+
+#include "rel/FunctionalDeps.h"
+
+#include <gtest/gtest.h>
+
+using namespace relc;
+
+namespace {
+
+// Columns a=0, b=1, c=2, d=3, e=4.
+constexpr ColumnId A = 0, B = 1, C = 2, D = 3, E = 4;
+
+TEST(FuncDepsTest, EmptyDeltaClosureIsReflexive) {
+  FuncDeps Fd;
+  ColumnSet S = {A, C};
+  EXPECT_EQ(Fd.closure(S), S);
+}
+
+TEST(FuncDepsTest, DirectDependency) {
+  FuncDeps Fd;
+  Fd.add({ColumnSet({A}), ColumnSet({B})});
+  EXPECT_TRUE(Fd.implies({A}, {B}));
+  EXPECT_FALSE(Fd.implies({B}, {A}));
+}
+
+TEST(FuncDepsTest, Reflexivity) {
+  // Armstrong: X ⊇ Y implies X → Y, even with no declared deps.
+  FuncDeps Fd;
+  EXPECT_TRUE(Fd.implies({A, B}, {A}));
+  EXPECT_TRUE(Fd.implies({A}, {A}));
+  EXPECT_TRUE(Fd.implies({A}, ColumnSet()));
+}
+
+TEST(FuncDepsTest, Augmentation) {
+  // A → B entails A,C → B,C.
+  FuncDeps Fd;
+  Fd.add(ColumnSet({A}), ColumnSet({B}));
+  EXPECT_TRUE(Fd.implies({A, C}, {B, C}));
+}
+
+TEST(FuncDepsTest, Transitivity) {
+  FuncDeps Fd;
+  Fd.add(ColumnSet({A}), ColumnSet({B}));
+  Fd.add(ColumnSet({B}), ColumnSet({C}));
+  EXPECT_TRUE(Fd.implies({A}, {C}));
+  EXPECT_FALSE(Fd.implies({C}, {A}));
+}
+
+TEST(FuncDepsTest, ChainClosure) {
+  FuncDeps Fd;
+  Fd.add(ColumnSet({A}), ColumnSet({B}));
+  Fd.add(ColumnSet({B}), ColumnSet({C}));
+  Fd.add(ColumnSet({C}), ColumnSet({D}));
+  Fd.add(ColumnSet({D}), ColumnSet({E}));
+  EXPECT_EQ(Fd.closure({A}), ColumnSet({A, B, C, D, E}));
+  EXPECT_EQ(Fd.closure({C}), ColumnSet({C, D, E}));
+}
+
+TEST(FuncDepsTest, CompositeLhsNeedsAllColumns) {
+  FuncDeps Fd;
+  Fd.add(ColumnSet({A, B}), ColumnSet({C}));
+  EXPECT_TRUE(Fd.implies({A, B}, {C}));
+  EXPECT_FALSE(Fd.implies({A}, {C}));
+  EXPECT_FALSE(Fd.implies({B}, {C}));
+}
+
+TEST(FuncDepsTest, PseudoTransitivity) {
+  // A → B and B,C → D entail A,C → D.
+  FuncDeps Fd;
+  Fd.add(ColumnSet({A}), ColumnSet({B}));
+  Fd.add(ColumnSet({B, C}), ColumnSet({D}));
+  EXPECT_TRUE(Fd.implies({A, C}, {D}));
+  EXPECT_FALSE(Fd.implies({A}, {D}));
+}
+
+TEST(FuncDepsTest, UnionRule) {
+  // A → B and A → C entail A → B,C.
+  FuncDeps Fd;
+  Fd.add(ColumnSet({A}), ColumnSet({B}));
+  Fd.add(ColumnSet({A}), ColumnSet({C}));
+  EXPECT_TRUE(Fd.implies({A}, {B, C}));
+}
+
+TEST(FuncDepsTest, SchedulerSpec) {
+  // ns,pid → state,cpu: the paper's scheduler FD (ns=A, pid=B,
+  // state=C, cpu=D).
+  FuncDeps Fd;
+  Fd.add(ColumnSet({A, B}), ColumnSet({C, D}));
+  EXPECT_TRUE(Fd.isKey({A, B}, ColumnSet({A, B, C, D})));
+  EXPECT_FALSE(Fd.isKey({A}, ColumnSet({A, B, C, D})));
+  EXPECT_FALSE(Fd.isKey({C, D}, ColumnSet({A, B, C, D})));
+}
+
+TEST(FuncDepsTest, CyclicDepsTerminate) {
+  FuncDeps Fd;
+  Fd.add(ColumnSet({A}), ColumnSet({B}));
+  Fd.add(ColumnSet({B}), ColumnSet({A}));
+  EXPECT_EQ(Fd.closure({A}), ColumnSet({A, B}));
+  EXPECT_EQ(Fd.closure({B}), ColumnSet({A, B}));
+}
+
+TEST(FuncDepsTest, EmptyLhsDependency) {
+  // ∅ → A means A is constant; every set then determines A.
+  FuncDeps Fd;
+  Fd.add(ColumnSet(), ColumnSet({A}));
+  EXPECT_TRUE(Fd.implies(ColumnSet(), {A}));
+  EXPECT_TRUE(Fd.implies({B}, {A}));
+  EXPECT_EQ(Fd.closure(ColumnSet()), ColumnSet({A}));
+}
+
+TEST(FuncDepsTest, IsKeyEquivalentToImpliesAll) {
+  FuncDeps Fd;
+  Fd.add(ColumnSet({A}), ColumnSet({B, C}));
+  ColumnSet All = {A, B, C};
+  EXPECT_TRUE(Fd.isKey({A}, All));
+  EXPECT_TRUE(Fd.isKey({A, B}, All));
+  EXPECT_FALSE(Fd.isKey({B, C}, All));
+}
+
+TEST(FuncDepsTest, StrRendersArrows) {
+  Catalog Cat;
+  Cat.add("x");
+  Cat.add("y");
+  FuncDeps Fd;
+  Fd.add(Cat.makeSet({"x"}), Cat.makeSet({"y"}));
+  std::string S = Fd.str(Cat);
+  EXPECT_NE(S.find('x'), std::string::npos);
+  EXPECT_NE(S.find('y'), std::string::npos);
+}
+
+} // namespace

@@ -1,0 +1,58 @@
+//===- tests/rel/RelSpecTest.cpp - RelSpec tests -----------------*- C++ -*-===//
+//
+// Part of the RelC data representation synthesis library.
+//
+//===----------------------------------------------------------------------===//
+
+#include "rel/RelSpec.h"
+
+#include <gtest/gtest.h>
+
+using namespace relc;
+
+namespace {
+
+TEST(RelSpecTest, MakeSchedulerSpec) {
+  RelSpecRef Spec = RelSpec::make("scheduler", {"ns", "pid", "state", "cpu"},
+                                  {{"ns, pid", "state, cpu"}});
+  ASSERT_TRUE(Spec);
+  EXPECT_EQ(Spec->name(), "scheduler");
+  EXPECT_EQ(Spec->arity(), 4u);
+  EXPECT_EQ(Spec->columns().size(), 4u);
+  EXPECT_EQ(Spec->catalog().get("cpu"), 3u);
+}
+
+TEST(RelSpecTest, FdsAreParsed) {
+  RelSpecRef Spec = RelSpec::make("edges", {"src", "dst", "weight"},
+                                  {{"src, dst", "weight"}});
+  const Catalog &Cat = Spec->catalog();
+  EXPECT_TRUE(
+      Spec->fds().implies(Cat.parseSet("src, dst"), Cat.parseSet("weight")));
+  EXPECT_FALSE(
+      Spec->fds().implies(Cat.parseSet("src"), Cat.parseSet("weight")));
+}
+
+TEST(RelSpecTest, NoFds) {
+  RelSpecRef Spec = RelSpec::make("nodes", {"id"});
+  EXPECT_TRUE(Spec->fds().empty());
+  EXPECT_EQ(Spec->arity(), 1u);
+}
+
+TEST(RelSpecTest, MultipleFds) {
+  RelSpecRef Spec =
+      RelSpec::make("r", {"a", "b", "c"}, {{"a", "b"}, {"b", "c"}});
+  const Catalog &Cat = Spec->catalog();
+  // Transitivity through the closure.
+  EXPECT_TRUE(Spec->fds().implies(Cat.parseSet("a"), Cat.parseSet("c")));
+}
+
+TEST(RelSpecTest, StrMentionsNameAndColumns) {
+  RelSpecRef Spec =
+      RelSpec::make("edges", {"src", "dst", "weight"}, {{"src, dst", "weight"}});
+  std::string S = Spec->str();
+  EXPECT_NE(S.find("edges"), std::string::npos);
+  EXPECT_NE(S.find("src"), std::string::npos);
+  EXPECT_NE(S.find("weight"), std::string::npos);
+}
+
+} // namespace

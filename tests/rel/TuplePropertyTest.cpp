@@ -1,0 +1,153 @@
+//===- tests/rel/TuplePropertyTest.cpp - Tuple algebra laws ------*- C++ -*-===//
+//
+// Part of the RelC data representation synthesis library.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Property-style sweeps over random tuples: the algebraic laws of
+/// Section 2's tuple operations (merge/project/extends/matches) that
+/// the engine's soundness proofs quietly rely on.
+///
+//===----------------------------------------------------------------------===//
+
+#include "rel/Tuple.h"
+
+#include "workloads/Rng.h"
+
+#include <gtest/gtest.h>
+
+using namespace relc;
+
+namespace {
+
+constexpr unsigned NumColumns = 8;
+
+Tuple randomTuple(Rng &R, double BindProbability, int64_t ValueRange) {
+  Tuple T;
+  for (ColumnId C = 0; C != NumColumns; ++C)
+    if (R.chance(BindProbability))
+      T.set(C, Value::ofInt(R.range(0, ValueRange)));
+  return T;
+}
+
+ColumnSet randomCols(Rng &R) {
+  ColumnSet S;
+  for (ColumnId C = 0; C != NumColumns; ++C)
+    if (R.chance(0.5))
+      S.insert(C);
+  return S;
+}
+
+class TuplePropertyTest : public ::testing::TestWithParam<uint64_t> {};
+
+TEST_P(TuplePropertyTest, MergeIsAssociative) {
+  Rng R(GetParam());
+  for (int Trial = 0; Trial != 200; ++Trial) {
+    Tuple A = randomTuple(R, 0.5, 4);
+    Tuple B = randomTuple(R, 0.5, 4);
+    Tuple C = randomTuple(R, 0.5, 4);
+    EXPECT_EQ(A.merge(B).merge(C), A.merge(B.merge(C)));
+  }
+}
+
+TEST_P(TuplePropertyTest, MergeRightBiasAndIdentity) {
+  Rng R(GetParam() + 1);
+  for (int Trial = 0; Trial != 200; ++Trial) {
+    Tuple A = randomTuple(R, 0.5, 4);
+    Tuple B = randomTuple(R, 0.5, 4);
+    Tuple M = A.merge(B);
+    // Every column of B wins; every A-only column survives.
+    for (ColumnId C : B.columns())
+      EXPECT_EQ(M.get(C), B.get(C));
+    for (ColumnId C : A.columns().minus(B.columns()))
+      EXPECT_EQ(M.get(C), A.get(C));
+    EXPECT_EQ(M.columns(), A.columns().unionWith(B.columns()));
+    // Identity.
+    EXPECT_EQ(A.merge(Tuple()), A);
+    EXPECT_EQ(Tuple().merge(A), A);
+    // Idempotence.
+    EXPECT_EQ(A.merge(A), A);
+  }
+}
+
+TEST_P(TuplePropertyTest, ProjectComposesViaIntersection) {
+  Rng R(GetParam() + 2);
+  for (int Trial = 0; Trial != 200; ++Trial) {
+    Tuple T = randomTuple(R, 0.7, 4);
+    ColumnSet C1 = randomCols(R);
+    ColumnSet C2 = randomCols(R);
+    EXPECT_EQ(T.projectIfPresent(C1).projectIfPresent(C2),
+              T.projectIfPresent(C1.intersect(C2)));
+  }
+}
+
+TEST_P(TuplePropertyTest, ExtendsIsPartialOrder) {
+  Rng R(GetParam() + 3);
+  for (int Trial = 0; Trial != 200; ++Trial) {
+    Tuple T = randomTuple(R, 0.7, 4);
+    ColumnSet C = randomCols(R);
+    Tuple S = T.projectIfPresent(C);
+    // Reflexive; every projection is extended by its source.
+    EXPECT_TRUE(T.extends(T));
+    EXPECT_TRUE(T.extends(S));
+    // Antisymmetric on equal-column tuples.
+    if (S.extends(T))
+      EXPECT_EQ(S, T);
+    // Transitive through a second projection.
+    Tuple S2 = S.projectIfPresent(randomCols(R));
+    EXPECT_TRUE(T.extends(S2));
+  }
+}
+
+TEST_P(TuplePropertyTest, ExtendsImpliesMatches) {
+  Rng R(GetParam() + 4);
+  for (int Trial = 0; Trial != 200; ++Trial) {
+    Tuple T = randomTuple(R, 0.7, 4);
+    Tuple S = randomTuple(R, 0.4, 4);
+    if (T.extends(S))
+      EXPECT_TRUE(T.matches(S));
+    // matches is symmetric.
+    EXPECT_EQ(T.matches(S), S.matches(T));
+    // merge of matching tuples extends both... only where they agree:
+    if (T.matches(S)) {
+      Tuple M = T.merge(S);
+      EXPECT_TRUE(M.extends(T));
+      EXPECT_TRUE(M.extends(S));
+    }
+  }
+}
+
+TEST_P(TuplePropertyTest, HashConsistentWithEquality) {
+  Rng R(GetParam() + 5);
+  for (int Trial = 0; Trial != 200; ++Trial) {
+    Tuple A = randomTuple(R, 0.5, 2); // small range: collisions likely
+    Tuple B = randomTuple(R, 0.5, 2);
+    if (A == B)
+      EXPECT_EQ(A.hash(), B.hash());
+    // Rebuilding in shuffled column order preserves identity.
+    Tuple C;
+    for (ColumnId Col = NumColumns; Col-- > 0;)
+      if (A.has(Col))
+        C.set(Col, A.get(Col));
+    EXPECT_EQ(A, C);
+    EXPECT_EQ(A.hash(), C.hash());
+  }
+}
+
+TEST_P(TuplePropertyTest, OrderIsStrictAndTotal) {
+  Rng R(GetParam() + 6);
+  for (int Trial = 0; Trial != 200; ++Trial) {
+    Tuple A = randomTuple(R, 0.5, 3);
+    Tuple B = randomTuple(R, 0.5, 3);
+    // Exactly one of <, >, == holds.
+    int Count = (A < B) + (B < A) + (A == B);
+    EXPECT_EQ(Count, 1) << A.valuesStr() << " vs " << B.valuesStr();
+    EXPECT_FALSE(A < A);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, TuplePropertyTest,
+                         ::testing::Values(11u, 223u, 3001u, 48611u));
+
+} // namespace

@@ -1,0 +1,191 @@
+//===- tests/rel/TupleTest.cpp - Tuple tests ---------------------*- C++ -*-===//
+//
+// Part of the RelC data representation synthesis library.
+//
+//===----------------------------------------------------------------------===//
+
+#include "rel/Tuple.h"
+
+#include <gtest/gtest.h>
+
+#include <unordered_set>
+
+using namespace relc;
+
+namespace {
+
+/// Shared scheduler-style catalog: ns=0, pid=1, state=2, cpu=3.
+class TupleTest : public ::testing::Test {
+protected:
+  void SetUp() override {
+    Cat.add("ns");
+    Cat.add("pid");
+    Cat.add("state");
+    Cat.add("cpu");
+  }
+
+  Tuple make(std::initializer_list<std::pair<const char *, int64_t>> Binds) {
+    TupleBuilder B(Cat);
+    for (const auto &[Name, V] : Binds)
+      B.set(Name, V);
+    return B.build();
+  }
+
+  Catalog Cat;
+};
+
+TEST_F(TupleTest, EmptyTuple) {
+  Tuple T;
+  EXPECT_TRUE(T.empty());
+  EXPECT_EQ(T.size(), 0u);
+  EXPECT_TRUE(T.columns().empty());
+}
+
+TEST_F(TupleTest, SetAndGet) {
+  Tuple T = make({{"ns", 1}, {"pid", 2}});
+  EXPECT_EQ(T.size(), 2u);
+  EXPECT_TRUE(T.has(Cat.get("ns")));
+  EXPECT_EQ(T.get(Cat.get("ns")).asInt(), 1);
+  EXPECT_EQ(T.get(Cat.get("pid")).asInt(), 2);
+  EXPECT_FALSE(T.has(Cat.get("cpu")));
+}
+
+TEST_F(TupleTest, SetOverwrites) {
+  Tuple T = make({{"ns", 1}});
+  T.set(Cat.get("ns"), Value::ofInt(9));
+  EXPECT_EQ(T.get(Cat.get("ns")).asInt(), 9);
+  EXPECT_EQ(T.size(), 1u);
+}
+
+TEST_F(TupleTest, SetOutOfOrderStoresDense) {
+  // Values are stored in increasing ColumnId order regardless of the
+  // order in which columns are bound.
+  Tuple T;
+  T.set(Cat.get("cpu"), Value::ofInt(30));
+  T.set(Cat.get("ns"), Value::ofInt(10));
+  T.set(Cat.get("state"), Value::ofInt(20));
+  EXPECT_EQ(T.get(Cat.get("ns")).asInt(), 10);
+  EXPECT_EQ(T.get(Cat.get("state")).asInt(), 20);
+  EXPECT_EQ(T.get(Cat.get("cpu")).asInt(), 30);
+}
+
+TEST_F(TupleTest, Unset) {
+  Tuple T = make({{"ns", 1}, {"pid", 2}, {"cpu", 3}});
+  T.unset(Cat.get("pid"));
+  EXPECT_FALSE(T.has(Cat.get("pid")));
+  EXPECT_EQ(T.get(Cat.get("ns")).asInt(), 1);
+  EXPECT_EQ(T.get(Cat.get("cpu")).asInt(), 3);
+  T.unset(Cat.get("pid")); // absent: no-op
+  EXPECT_EQ(T.size(), 2u);
+}
+
+TEST_F(TupleTest, ExtendsPartialPattern) {
+  Tuple Full = make({{"ns", 1}, {"pid", 2}, {"state", 0}, {"cpu", 7}});
+  EXPECT_TRUE(Full.extends(make({{"ns", 1}})));
+  EXPECT_TRUE(Full.extends(make({{"ns", 1}, {"cpu", 7}})));
+  EXPECT_TRUE(Full.extends(Tuple()));
+  EXPECT_FALSE(Full.extends(make({{"ns", 2}})));
+}
+
+TEST_F(TupleTest, ExtendsRequiresAllPatternColumns) {
+  Tuple Partial = make({{"ns", 1}});
+  EXPECT_FALSE(Partial.extends(make({{"ns", 1}, {"pid", 2}})));
+}
+
+TEST_F(TupleTest, MatchesOnCommonColumns) {
+  Tuple A = make({{"ns", 1}, {"pid", 2}});
+  Tuple B = make({{"pid", 2}, {"cpu", 9}});
+  Tuple C = make({{"pid", 3}});
+  EXPECT_TRUE(A.matches(B));
+  EXPECT_TRUE(B.matches(A));
+  EXPECT_FALSE(A.matches(C));
+  // No common columns: vacuously matches.
+  EXPECT_TRUE(A.matches(make({{"cpu", 1}, {"state", 1}})));
+  EXPECT_TRUE(A.matches(Tuple()));
+}
+
+TEST_F(TupleTest, Project) {
+  Tuple T = make({{"ns", 1}, {"pid", 2}, {"cpu", 3}});
+  Tuple P = T.project(Cat.makeSet({"ns", "cpu"}));
+  EXPECT_EQ(P.size(), 2u);
+  EXPECT_EQ(P.get(Cat.get("ns")).asInt(), 1);
+  EXPECT_EQ(P.get(Cat.get("cpu")).asInt(), 3);
+  EXPECT_FALSE(P.has(Cat.get("pid")));
+}
+
+TEST_F(TupleTest, ProjectIfPresentIgnoresUnbound) {
+  Tuple T = make({{"ns", 1}});
+  Tuple P = T.projectIfPresent(Cat.makeSet({"ns", "cpu"}));
+  EXPECT_EQ(P.columns(), Cat.makeSet({"ns"}));
+}
+
+TEST_F(TupleTest, MergePrefersRight) {
+  Tuple S = make({{"ns", 1}, {"cpu", 5}});
+  Tuple U = make({{"cpu", 9}, {"state", 1}});
+  Tuple M = S.merge(U);
+  EXPECT_EQ(M.get(Cat.get("ns")).asInt(), 1);
+  EXPECT_EQ(M.get(Cat.get("cpu")).asInt(), 9); // U wins
+  EXPECT_EQ(M.get(Cat.get("state")).asInt(), 1);
+}
+
+TEST_F(TupleTest, MergeWithEmpty) {
+  Tuple T = make({{"ns", 1}});
+  EXPECT_EQ(T.merge(Tuple()), T);
+  EXPECT_EQ(Tuple().merge(T), T);
+}
+
+TEST_F(TupleTest, EqualityAndHash) {
+  Tuple A = make({{"ns", 1}, {"pid", 2}});
+  Tuple B = make({{"pid", 2}, {"ns", 1}});
+  Tuple C = make({{"ns", 1}, {"pid", 3}});
+  Tuple D = make({{"ns", 1}, {"cpu", 2}});
+  EXPECT_EQ(A, B);
+  EXPECT_EQ(A.hash(), B.hash());
+  EXPECT_NE(A, C);
+  EXPECT_NE(A, D); // same values, different columns
+
+  std::unordered_set<Tuple> S;
+  S.insert(A);
+  S.insert(B);
+  S.insert(C);
+  EXPECT_EQ(S.size(), 2u);
+}
+
+TEST_F(TupleTest, TotalOrderColumnsFirst) {
+  Tuple A = make({{"ns", 5}});
+  Tuple B = make({{"pid", 0}});
+  // ns has a smaller column mask than pid.
+  EXPECT_TRUE(A < B || B < A);
+  EXPECT_FALSE(A < A);
+}
+
+TEST_F(TupleTest, StringValues) {
+  TupleBuilder B(Cat);
+  B.set("ns", 1).set("state", "running");
+  Tuple T = B.build();
+  EXPECT_EQ(T.get(Cat.get("state")).asStr(), "running");
+}
+
+TEST_F(TupleTest, StrRendering) {
+  Tuple T = make({{"ns", 1}, {"pid", 2}});
+  std::string S = T.str(Cat);
+  EXPECT_NE(S.find("ns"), std::string::npos);
+  EXPECT_NE(S.find("pid"), std::string::npos);
+  EXPECT_NE(S.find('1'), std::string::npos);
+}
+
+TEST_F(TupleTest, HighColumnIds) {
+  // Exercise the rank() popcount path with a wide catalog.
+  Catalog Wide;
+  for (int I = 0; I < 64; ++I)
+    Wide.add("c" + std::to_string(I));
+  Tuple T;
+  T.set(63, Value::ofInt(630));
+  T.set(0, Value::ofInt(0));
+  T.set(32, Value::ofInt(320));
+  EXPECT_EQ(T.get(63).asInt(), 630);
+  EXPECT_EQ(T.get(32).asInt(), 320);
+  EXPECT_EQ(T.get(0).asInt(), 0);
+}
+
+} // namespace

@@ -1,0 +1,266 @@
+//===- tests/runtime/MutatorsTest.cpp - Mutation operation tests -*- C++ -*-===//
+//
+// Part of the RelC data representation synthesis library.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Tests dinsert/dremove/dupdate (Sections 4.4-4.5) directly against
+/// instance graphs, checking α and well-formedness after each step
+/// (Lemma 4 dynamically), including the paper's Fig. 9 scenario.
+///
+//===----------------------------------------------------------------------===//
+
+#include "runtime/Mutators.h"
+
+#include "decomp/Builder.h"
+#include "instance/Abstraction.h"
+#include "instance/WellFormed.h"
+
+#include <gtest/gtest.h>
+
+using namespace relc;
+
+namespace {
+
+class MutatorsTest : public ::testing::Test {
+protected:
+  void SetUp() override { reset(DsKind::HashTable, DsKind::DList); }
+
+  void reset(DsKind PidDs, DsKind NsPidDs) {
+    Spec = RelSpec::make("scheduler", {"ns", "pid", "state", "cpu"},
+                         {{"ns, pid", "state, cpu"}});
+    DecompBuilder B(Spec);
+    NodeId W = B.addNode("w", "ns, pid, state", B.unit("cpu"));
+    NodeId Y = B.addNode("y", "ns", B.map("pid", PidDs, W));
+    NodeId Z = B.addNode("z", "state", B.map("ns, pid", NsPidDs, W));
+    B.addNode("x", "", B.join(B.map("ns", DsKind::HashTable, Y),
+                              B.map("state", DsKind::Vector, Z)));
+    D = std::make_shared<Decomposition>(B.build());
+    G = std::make_unique<InstanceGraph>(D);
+    Plans = std::make_unique<PlanCache>(D, CostParams());
+  }
+
+  Tuple proc(int64_t Ns, int64_t Pid, int64_t State, int64_t Cpu) {
+    return TupleBuilder(Spec->catalog())
+        .set("ns", Ns)
+        .set("pid", Pid)
+        .set("state", State)
+        .set("cpu", Cpu)
+        .build();
+  }
+
+  void expectWellFormed() {
+    WfResult R = checkWellFormed(*G);
+    ASSERT_TRUE(R.Ok) << R.Error;
+  }
+
+  RelSpecRef Spec;
+  std::shared_ptr<const Decomposition> D;
+  std::unique_ptr<InstanceGraph> G;
+  std::unique_ptr<PlanCache> Plans;
+};
+
+TEST_F(MutatorsTest, Fig9InsertThenRemove) {
+  // Fig. 9: inserting 〈ns:2, pid:1, state:S, cpu:5〉 into instance (a)
+  // gives (b); removing it gives (a) back.
+  Relation Ra;
+  for (const Tuple &T : {proc(1, 1, 0, 7), proc(1, 2, 1, 4)}) {
+    ASSERT_TRUE(dinsert(*G, T));
+    Ra.insert(T);
+  }
+  expectWellFormed();
+  size_t LiveA = G->liveInstances();
+  EXPECT_EQ(abstractInstance(*G), Ra);
+
+  Tuple T = proc(2, 1, 0, 5);
+  ASSERT_TRUE(dinsert(*G, T));
+  expectWellFormed();
+  Relation Rb = Ra;
+  Rb.insert(T);
+  EXPECT_EQ(abstractInstance(*G), Rb);
+  // (b) has two more instances than (a): y2 and w21.
+  EXPECT_EQ(G->liveInstances(), LiveA + 2);
+
+  Tuple Pat = TupleBuilder(Spec->catalog()).set("ns", 2).set("pid", 1).build();
+  EXPECT_EQ(dremove(*G, Pat, *Plans), 1u);
+  expectWellFormed();
+  EXPECT_EQ(abstractInstance(*G), Ra);
+  EXPECT_EQ(G->liveInstances(), LiveA);
+}
+
+TEST_F(MutatorsTest, RemoveByNamespaceRemovesAllItsProcesses) {
+  for (int64_t P = 0; P < 6; ++P)
+    dinsert(*G, proc(P % 2, P, P % 2, P * 10));
+  Tuple Pat = TupleBuilder(Spec->catalog()).set("ns", 0).build();
+  EXPECT_EQ(dremove(*G, Pat, *Plans), 3u);
+  expectWellFormed();
+  Relation R = abstractInstance(*G);
+  EXPECT_EQ(R.size(), 3u);
+  for (const Tuple &T : R.tuples())
+    EXPECT_EQ(T.get(Spec->catalog().get("ns")).asInt(), 1);
+}
+
+TEST_F(MutatorsTest, RemoveByStateAcrossSharedNode) {
+  for (int64_t P = 0; P < 6; ++P)
+    dinsert(*G, proc(1, P, P % 2, P));
+  Tuple Pat = TupleBuilder(Spec->catalog()).set("state", 0).build();
+  EXPECT_EQ(dremove(*G, Pat, *Plans), 3u);
+  expectWellFormed();
+  EXPECT_EQ(abstractInstance(*G).size(), 3u);
+}
+
+TEST_F(MutatorsTest, RemoveEverythingViaEmptyPattern) {
+  for (int64_t P = 0; P < 5; ++P)
+    dinsert(*G, proc(1, P, 0, P));
+  EXPECT_EQ(dremove(*G, Tuple(), *Plans), 5u);
+  expectWellFormed();
+  EXPECT_TRUE(abstractInstance(*G).empty());
+  EXPECT_EQ(G->liveInstances(), 1u);
+}
+
+TEST_F(MutatorsTest, RemoveNonexistentIsNoop) {
+  dinsert(*G, proc(1, 1, 0, 7));
+  Tuple Pat = TupleBuilder(Spec->catalog()).set("ns", 9).build();
+  EXPECT_EQ(dremove(*G, Pat, *Plans), 0u);
+  expectWellFormed();
+  EXPECT_EQ(abstractInstance(*G).size(), 1u);
+}
+
+TEST_F(MutatorsTest, RemoveCleansEmptyInteriorNodes) {
+  // After removing the only process of ns=1, the y-instance for ns=1
+  // must be deallocated ("devoid of children", Section 4.5).
+  dinsert(*G, proc(1, 1, 0, 7));
+  dinsert(*G, proc(2, 1, 0, 5));
+  size_t Live = G->liveInstances(); // x + 2y + z + 2w = 6
+  Tuple Pat = TupleBuilder(Spec->catalog()).set("ns", 1).set("pid", 1).build();
+  EXPECT_EQ(dremove(*G, Pat, *Plans), 1u);
+  expectWellFormed();
+  // w11 and y1 both released.
+  EXPECT_EQ(G->liveInstances(), Live - 2);
+}
+
+TEST_F(MutatorsTest, UpdatePaperExample) {
+  // update r 〈ns:7, pid:42〉 〈state:S〉 — mark process sleeping.
+  dinsert(*G, proc(7, 42, 1, 9));
+  dinsert(*G, proc(7, 43, 1, 2));
+  const Catalog &Cat = Spec->catalog();
+  Tuple Pat = TupleBuilder(Cat).set("ns", 7).set("pid", 42).build();
+  Tuple Chg = TupleBuilder(Cat).set("state", 0).build();
+  EXPECT_EQ(dupdate(*G, Pat, Chg, *Plans), 1u);
+  expectWellFormed();
+
+  Relation Expected;
+  Expected.insert(proc(7, 42, 0, 9));
+  Expected.insert(proc(7, 43, 1, 2));
+  EXPECT_EQ(abstractInstance(*G), Expected);
+}
+
+TEST_F(MutatorsTest, UpdateValueColumnInPlace) {
+  // Changing cpu only: below-cut unit rewrite, no repositioning.
+  dinsert(*G, proc(1, 1, 0, 7));
+  const Catalog &Cat = Spec->catalog();
+  size_t Live = G->liveInstances();
+  Tuple Pat = TupleBuilder(Cat).set("ns", 1).set("pid", 1).build();
+  Tuple Chg = TupleBuilder(Cat).set("cpu", 99).build();
+  EXPECT_EQ(dupdate(*G, Pat, Chg, *Plans), 1u);
+  expectWellFormed();
+  EXPECT_EQ(G->liveInstances(), Live); // strictly in place
+  Relation Expected;
+  Expected.insert(proc(1, 1, 0, 99));
+  EXPECT_EQ(abstractInstance(*G), Expected);
+}
+
+TEST_F(MutatorsTest, UpdateRepositionsAcrossStateLists) {
+  // state changes move w between the two z instances; with multiple
+  // processes per state the shared node must be repositioned, not
+  // copied.
+  for (int64_t P = 0; P < 4; ++P)
+    dinsert(*G, proc(1, P, 0, P));
+  const Catalog &Cat = Spec->catalog();
+  size_t Live = G->liveInstances();
+  Tuple Pat = TupleBuilder(Cat).set("ns", 1).set("pid", 2).build();
+  Tuple Chg = TupleBuilder(Cat).set("state", 1).build();
+  EXPECT_EQ(dupdate(*G, Pat, Chg, *Plans), 1u);
+  expectWellFormed();
+  // One new z-instance (state=1) appears; nothing else allocated.
+  EXPECT_EQ(G->liveInstances(), Live + 1);
+  Relation R = abstractInstance(*G);
+  EXPECT_EQ(R.size(), 4u);
+  Tuple Moved = proc(1, 2, 1, 2);
+  EXPECT_TRUE(R.contains(Moved));
+}
+
+TEST_F(MutatorsTest, UpdateMissingTupleReturnsZero) {
+  dinsert(*G, proc(1, 1, 0, 7));
+  const Catalog &Cat = Spec->catalog();
+  Tuple Pat = TupleBuilder(Cat).set("ns", 9).set("pid", 9).build();
+  Tuple Chg = TupleBuilder(Cat).set("cpu", 1).build();
+  EXPECT_EQ(dupdate(*G, Pat, Chg, *Plans), 0u);
+  expectWellFormed();
+}
+
+TEST_F(MutatorsTest, UpdateNoopChangesAreIdempotent) {
+  dinsert(*G, proc(1, 1, 0, 7));
+  const Catalog &Cat = Spec->catalog();
+  Tuple Pat = TupleBuilder(Cat).set("ns", 1).set("pid", 1).build();
+  Tuple Chg = TupleBuilder(Cat).set("cpu", 7).build(); // same value
+  EXPECT_EQ(dupdate(*G, Pat, Chg, *Plans), 1u);
+  expectWellFormed();
+  Relation Expected;
+  Expected.insert(proc(1, 1, 0, 7));
+  EXPECT_EQ(abstractInstance(*G), Expected);
+}
+
+TEST_F(MutatorsTest, IntrusiveVariantFullCycle) {
+  // The same scenarios through intrusive containers (ITree + IList):
+  // exercises eraseNode fast paths and hook bookkeeping.
+  reset(DsKind::ITree, DsKind::IList);
+  for (int64_t P = 0; P < 8; ++P)
+    dinsert(*G, proc(P % 3, P, P % 2, P));
+  expectWellFormed();
+  EXPECT_EQ(abstractInstance(*G).size(), 8u);
+
+  const Catalog &Cat = Spec->catalog();
+  EXPECT_EQ(dremove(*G, TupleBuilder(Cat).set("state", 0).build(), *Plans),
+            4u);
+  expectWellFormed();
+  EXPECT_EQ(abstractInstance(*G).size(), 4u);
+
+  Tuple Pat = TupleBuilder(Cat).set("ns", 1).set("pid", 1).build();
+  EXPECT_EQ(dupdate(*G, Pat, TupleBuilder(Cat).set("state", 0).build(),
+                    *Plans),
+            1u);
+  expectWellFormed();
+  EXPECT_EQ(dremove(*G, Tuple(), *Plans), 4u);
+  EXPECT_TRUE(abstractInstance(*G).empty());
+  expectWellFormed();
+}
+
+TEST_F(MutatorsTest, InterleavedChurn) {
+  // Deterministic interleaving of all three mutations with α checked
+  // against the oracle at every step.
+  Relation Oracle;
+  const Catalog &Cat = Spec->catalog();
+  auto check = [&] {
+    ASSERT_EQ(abstractInstance(*G), Oracle);
+    WfResult R = checkWellFormed(*G);
+    ASSERT_TRUE(R.Ok) << R.Error;
+  };
+  for (int Round = 0; Round < 3; ++Round) {
+    for (int64_t P = 0; P < 10; ++P) {
+      Tuple T = proc(P % 2, P, (P + Round) % 2, P * 7 + Round);
+      if (Oracle.insertPreservesFds(T, Spec->fds())) {
+        dinsert(*G, T);
+        Oracle.insert(T);
+        check();
+      }
+    }
+    Tuple Pat = TupleBuilder(Cat).set("ns", Round % 2).build();
+    size_t N = dremove(*G, Pat, *Plans);
+    EXPECT_EQ(N, Oracle.remove(Pat));
+    check();
+  }
+}
+
+} // namespace

@@ -1,0 +1,148 @@
+//===- tests/support/SmallVectorTest.cpp - SmallVector tests -----*- C++ -*-===//
+//
+// Part of the RelC data representation synthesis library.
+//
+//===----------------------------------------------------------------------===//
+
+#include "support/SmallVector.h"
+
+#include <gtest/gtest.h>
+
+#include <memory>
+#include <string>
+
+using namespace relc;
+
+namespace {
+
+TEST(SmallVectorTest, StartsEmpty) {
+  SmallVector<int, 4> V;
+  EXPECT_TRUE(V.empty());
+  EXPECT_EQ(V.size(), 0u);
+}
+
+TEST(SmallVectorTest, PushWithinInlineCapacity) {
+  SmallVector<int, 4> V;
+  for (int I = 0; I < 4; ++I)
+    V.push_back(I);
+  EXPECT_EQ(V.size(), 4u);
+  for (int I = 0; I < 4; ++I)
+    EXPECT_EQ(V[I], I);
+}
+
+TEST(SmallVectorTest, GrowsPastInlineCapacity) {
+  SmallVector<int, 2> V;
+  for (int I = 0; I < 100; ++I)
+    V.push_back(I);
+  EXPECT_EQ(V.size(), 100u);
+  for (int I = 0; I < 100; ++I)
+    EXPECT_EQ(V[I], I);
+}
+
+TEST(SmallVectorTest, InitializerList) {
+  SmallVector<int, 4> V = {1, 2, 3};
+  ASSERT_EQ(V.size(), 3u);
+  EXPECT_EQ(V.front(), 1);
+  EXPECT_EQ(V.back(), 3);
+}
+
+TEST(SmallVectorTest, CopyPreservesElements) {
+  SmallVector<std::string, 2> V = {"a", "b", "c"};
+  SmallVector<std::string, 2> W(V);
+  ASSERT_EQ(W.size(), 3u);
+  EXPECT_EQ(W[0], "a");
+  EXPECT_EQ(W[2], "c");
+  // Deep copy: mutating the copy leaves the original intact.
+  W[0] = "z";
+  EXPECT_EQ(V[0], "a");
+}
+
+TEST(SmallVectorTest, CopyAssign) {
+  SmallVector<int, 2> V = {1, 2, 3, 4};
+  SmallVector<int, 2> W = {9};
+  W = V;
+  ASSERT_EQ(W.size(), 4u);
+  EXPECT_EQ(W[3], 4);
+}
+
+TEST(SmallVectorTest, MoveTransfersElements) {
+  SmallVector<std::string, 1> V = {"one", "two", "three"};
+  SmallVector<std::string, 1> W(std::move(V));
+  ASSERT_EQ(W.size(), 3u);
+  EXPECT_EQ(W[1], "two");
+}
+
+TEST(SmallVectorTest, MoveAssign) {
+  SmallVector<int, 2> V = {5, 6, 7};
+  SmallVector<int, 2> W;
+  W = std::move(V);
+  ASSERT_EQ(W.size(), 3u);
+  EXPECT_EQ(W[2], 7);
+}
+
+TEST(SmallVectorTest, PopBack) {
+  SmallVector<int, 4> V = {1, 2, 3};
+  V.pop_back();
+  EXPECT_EQ(V.size(), 2u);
+  EXPECT_EQ(V.back(), 2);
+}
+
+TEST(SmallVectorTest, Clear) {
+  SmallVector<int, 2> V = {1, 2, 3, 4, 5};
+  V.clear();
+  EXPECT_TRUE(V.empty());
+  V.push_back(42);
+  EXPECT_EQ(V.back(), 42);
+}
+
+TEST(SmallVectorTest, Resize) {
+  SmallVector<int, 2> V = {1, 2, 3};
+  V.resize(1);
+  EXPECT_EQ(V.size(), 1u);
+  V.resize(4);
+  EXPECT_EQ(V.size(), 4u);
+  EXPECT_EQ(V[0], 1);
+  EXPECT_EQ(V[3], 0);
+}
+
+TEST(SmallVectorTest, EmplaceBack) {
+  SmallVector<std::pair<int, std::string>, 2> V;
+  V.emplace_back(1, "one");
+  ASSERT_EQ(V.size(), 1u);
+  EXPECT_EQ(V[0].second, "one");
+}
+
+TEST(SmallVectorTest, Iteration) {
+  SmallVector<int, 4> V = {10, 20, 30};
+  int Sum = 0;
+  for (int X : V)
+    Sum += X;
+  EXPECT_EQ(Sum, 60);
+}
+
+TEST(SmallVectorTest, Equality) {
+  SmallVector<int, 2> A = {1, 2, 3};
+  SmallVector<int, 2> B = {1, 2, 3};
+  SmallVector<int, 2> C = {1, 2};
+  EXPECT_TRUE(A == B);
+  EXPECT_FALSE(A == C);
+}
+
+TEST(SmallVectorTest, MoveOnlyElementType) {
+  SmallVector<std::unique_ptr<int>, 2> V;
+  V.push_back(std::make_unique<int>(1));
+  V.push_back(std::make_unique<int>(2));
+  V.push_back(std::make_unique<int>(3)); // forces a grow with moves
+  ASSERT_EQ(V.size(), 3u);
+  EXPECT_EQ(*V[2], 3);
+}
+
+TEST(SmallVectorTest, ManyGrowCyclesWithStrings) {
+  SmallVector<std::string, 1> V;
+  for (int I = 0; I < 200; ++I)
+    V.push_back("s" + std::to_string(I));
+  EXPECT_EQ(V.size(), 200u);
+  EXPECT_EQ(V[199], "s199");
+}
+
+} // namespace

@@ -1,0 +1,107 @@
+//===- tests/support/ValueTest.cpp - Value cell tests ------------*- C++ -*-===//
+//
+// Part of the RelC data representation synthesis library.
+//
+//===----------------------------------------------------------------------===//
+
+#include "support/Value.h"
+
+#include <gtest/gtest.h>
+
+#include <set>
+#include <unordered_set>
+
+using namespace relc;
+
+namespace {
+
+TEST(ValueTest, DefaultIsIntZero) {
+  Value V;
+  EXPECT_TRUE(V.isInt());
+  EXPECT_EQ(V.asInt(), 0);
+}
+
+TEST(ValueTest, IntRoundTrip) {
+  EXPECT_EQ(Value::ofInt(42).asInt(), 42);
+  EXPECT_EQ(Value::ofInt(-7).asInt(), -7);
+  EXPECT_EQ(Value::ofInt(0).asInt(), 0);
+  int64_t Big = int64_t(1) << 62;
+  EXPECT_EQ(Value::ofInt(Big).asInt(), Big);
+  EXPECT_EQ(Value::ofInt(-Big).asInt(), -Big);
+}
+
+TEST(ValueTest, StringRoundTrip) {
+  Value V = Value::ofString("hello");
+  EXPECT_TRUE(V.isStr());
+  EXPECT_EQ(V.asStr(), "hello");
+}
+
+TEST(ValueTest, EmptyStringIsValid) {
+  Value V = Value::ofString("");
+  EXPECT_TRUE(V.isStr());
+  EXPECT_EQ(V.asStr(), "");
+}
+
+TEST(ValueTest, InterningGivesEqualValues) {
+  Value A = Value::ofString("interned");
+  Value B = Value::ofString("interned");
+  EXPECT_EQ(A, B);
+  EXPECT_EQ(A.hash(), B.hash());
+}
+
+TEST(ValueTest, DistinctStringsDiffer) {
+  EXPECT_NE(Value::ofString("a"), Value::ofString("b"));
+}
+
+TEST(ValueTest, IntAndStringNeverEqual) {
+  // Even if the interned id collides numerically with the int payload.
+  Value S = Value::ofString("0");
+  Value I = Value::ofInt(0);
+  EXPECT_NE(S, I);
+}
+
+TEST(ValueTest, EqualityOnInts) {
+  EXPECT_EQ(Value::ofInt(5), Value::ofInt(5));
+  EXPECT_NE(Value::ofInt(5), Value::ofInt(6));
+}
+
+TEST(ValueTest, OrderingIntsNumeric) {
+  EXPECT_LT(Value::ofInt(-2), Value::ofInt(3));
+  EXPECT_LT(Value::ofInt(3), Value::ofInt(4));
+  EXPECT_FALSE(Value::ofInt(4) < Value::ofInt(4));
+}
+
+TEST(ValueTest, OrderingIsStrictWeak) {
+  std::set<Value> S;
+  S.insert(Value::ofInt(1));
+  S.insert(Value::ofInt(2));
+  S.insert(Value::ofString("x"));
+  S.insert(Value::ofString("y"));
+  S.insert(Value::ofInt(1)); // duplicate
+  EXPECT_EQ(S.size(), 4u);
+}
+
+TEST(ValueTest, HashUsableInUnorderedSet) {
+  std::unordered_set<Value> S;
+  for (int64_t I = 0; I < 100; ++I)
+    S.insert(Value::ofInt(I));
+  S.insert(Value::ofString("foo"));
+  S.insert(Value::ofString("foo"));
+  EXPECT_EQ(S.size(), 101u);
+  EXPECT_TRUE(S.count(Value::ofInt(50)));
+  EXPECT_TRUE(S.count(Value::ofString("foo")));
+  EXPECT_FALSE(S.count(Value::ofString("bar")));
+}
+
+TEST(ValueTest, StrRendering) {
+  EXPECT_EQ(Value::ofInt(42).str(), "42");
+  EXPECT_EQ(Value::ofString("abc").str(), "\"abc\"");
+}
+
+TEST(ValueTest, HashDiffersForNearbyInts) {
+  // Not a strict requirement, but catches identity hashing regressions
+  // that would degrade the hash containers this library leans on.
+  EXPECT_NE(Value::ofInt(1).hash(), Value::ofInt(2).hash());
+}
+
+} // namespace

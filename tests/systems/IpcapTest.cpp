@@ -1,0 +1,145 @@
+//===- tests/systems/IpcapTest.cpp - IpCap system tests ----------*- C++ -*-===//
+//
+// Part of the RelC data representation synthesis library.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Tests the network-flow accounting system (Section 6.2) in both its
+/// default and transposed decompositions against the hand-coded
+/// baseline.
+///
+//===----------------------------------------------------------------------===//
+
+#include "systems/IpcapRelational.h"
+
+#include "baselines/IpcapBaseline.h"
+#include "workloads/PacketTrace.h"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+
+using namespace relc;
+
+namespace {
+
+TEST(IpcapTest, AccountCreatesAndUpdatesFlows) {
+  IpcapRelational I;
+  I.accountPacket(10, 20, 100, /*Outgoing=*/true);
+  EXPECT_EQ(I.numFlows(), 1u);
+  I.accountPacket(10, 20, 50, /*Outgoing=*/false);
+  EXPECT_EQ(I.numFlows(), 1u);
+  const FlowStats *S = I.flowOf(10, 20);
+  ASSERT_NE(S, nullptr);
+  EXPECT_EQ(S->BytesOut, 100);
+  EXPECT_EQ(S->BytesIn, 50);
+  EXPECT_EQ(S->Packets, 2);
+}
+
+TEST(IpcapTest, DistinctFlowsPerHostPair) {
+  IpcapRelational I;
+  I.accountPacket(10, 20, 1, true);
+  I.accountPacket(10, 21, 1, true);
+  I.accountPacket(11, 20, 1, true);
+  EXPECT_EQ(I.numFlows(), 3u);
+  EXPECT_EQ(I.flowOf(10, 21)->Packets, 1);
+  EXPECT_EQ(I.flowOf(99, 99), nullptr);
+}
+
+TEST(IpcapTest, FlushDrainsAndClears) {
+  IpcapRelational I;
+  I.accountPacket(1, 2, 10, true);
+  I.accountPacket(3, 4, 20, false);
+  auto Records = I.flush();
+  EXPECT_EQ(Records.size(), 2u);
+  EXPECT_EQ(I.numFlows(), 0u);
+  EXPECT_EQ(I.flowOf(1, 2), nullptr);
+  // Accounting resumes cleanly after a flush.
+  I.accountPacket(1, 2, 5, true);
+  EXPECT_EQ(I.numFlows(), 1u);
+  EXPECT_EQ(I.flowOf(1, 2)->BytesOut, 5);
+}
+
+TEST(IpcapTest, TransposedDecompositionSameBehaviour) {
+  RelSpecRef Spec = IpcapRelational::makeSpec();
+  IpcapRelational Default;
+  IpcapRelational Transposed(
+      IpcapRelational::makeTransposedDecomposition(Spec));
+  PacketTraceOptions Opts;
+  Opts.NumPackets = 3000;
+  Opts.Seed = 99;
+  for (const Packet &P : generatePacketTrace(Opts)) {
+    Default.accountPacket(P.LocalHost, P.RemoteHost, P.Bytes, P.Outgoing);
+    Transposed.accountPacket(P.LocalHost, P.RemoteHost, P.Bytes, P.Outgoing);
+  }
+  EXPECT_EQ(Default.numFlows(), Transposed.numFlows());
+
+  auto Da = Default.flush();
+  auto Tr = Transposed.flush();
+  auto Key = [](const FlowRecord &R) {
+    return std::pair<int64_t, int64_t>(R.LocalHost, R.RemoteHost);
+  };
+  auto ByKey = [&](const FlowRecord &A, const FlowRecord &B) {
+    return Key(A) < Key(B);
+  };
+  std::sort(Da.begin(), Da.end(), ByKey);
+  std::sort(Tr.begin(), Tr.end(), ByKey);
+  ASSERT_EQ(Da.size(), Tr.size());
+  for (size_t I = 0; I != Da.size(); ++I) {
+    EXPECT_EQ(Key(Da[I]), Key(Tr[I]));
+    EXPECT_EQ(Da[I].Stats.BytesIn, Tr[I].Stats.BytesIn);
+    EXPECT_EQ(Da[I].Stats.BytesOut, Tr[I].Stats.BytesOut);
+    EXPECT_EQ(Da[I].Stats.Packets, Tr[I].Stats.Packets);
+  }
+}
+
+TEST(IpcapTest, MatchesBaselineOnTrace) {
+  IpcapRelational I;
+  IpcapBaseline B;
+  PacketTraceOptions Opts;
+  Opts.NumPackets = 5000;
+  Opts.Seed = 7;
+  std::vector<Packet> Trace = generatePacketTrace(Opts);
+  for (const Packet &P : Trace) {
+    I.accountPacket(P.LocalHost, P.RemoteHost, P.Bytes, P.Outgoing);
+    B.accountPacket(P.LocalHost, P.RemoteHost, P.Bytes, P.Outgoing);
+  }
+  ASSERT_EQ(I.numFlows(), B.numFlows());
+  for (const Packet &P : Trace) {
+    const FlowStats *Si = I.flowOf(P.LocalHost, P.RemoteHost);
+    const FlowStats *Sb = B.flowOf(P.LocalHost, P.RemoteHost);
+    ASSERT_NE(Si, nullptr);
+    ASSERT_NE(Sb, nullptr);
+    EXPECT_EQ(Si->BytesIn, Sb->BytesIn);
+    EXPECT_EQ(Si->BytesOut, Sb->BytesOut);
+    EXPECT_EQ(Si->Packets, Sb->Packets);
+  }
+  WfResult Wf = I.relation().checkWellFormed();
+  EXPECT_TRUE(Wf.Ok) << Wf.Error;
+}
+
+TEST(IpcapTest, PeriodicFlushMatchesBaseline) {
+  // The daemon's real loop: account, periodically flush to "disk".
+  IpcapRelational I;
+  IpcapBaseline B;
+  PacketTraceOptions Opts;
+  Opts.NumPackets = 2000;
+  Opts.Seed = 21;
+  std::vector<Packet> Trace = generatePacketTrace(Opts);
+  int64_t TotalI = 0, TotalB = 0;
+  for (size_t N = 0; N != Trace.size(); ++N) {
+    const Packet &P = Trace[N];
+    I.accountPacket(P.LocalHost, P.RemoteHost, P.Bytes, P.Outgoing);
+    B.accountPacket(P.LocalHost, P.RemoteHost, P.Bytes, P.Outgoing);
+    if (N % 500 == 499) {
+      for (const FlowRecord &R : I.flush())
+        TotalI += R.Stats.BytesIn + R.Stats.BytesOut;
+      for (const FlowRecord &R : B.flush())
+        TotalB += R.Stats.BytesIn + R.Stats.BytesOut;
+      EXPECT_EQ(TotalI, TotalB);
+    }
+  }
+}
+
+} // namespace

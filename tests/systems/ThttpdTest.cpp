@@ -1,0 +1,97 @@
+//===- tests/systems/ThttpdTest.cpp - thttpd cache tests ---------*- C++ -*-===//
+//
+// Part of the RelC data representation synthesis library.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Tests the thttpd mmap-cache system (Section 6.2): map/unmap
+/// refcounting and TTL cleanup, relational vs. hand-coded baseline.
+///
+//===----------------------------------------------------------------------===//
+
+#include "systems/ThttpdRelational.h"
+
+#include "baselines/ThttpdBaseline.h"
+#include "workloads/MmapTrace.h"
+
+#include <gtest/gtest.h>
+
+using namespace relc;
+
+namespace {
+
+TEST(ThttpdTest, MapReusesCachedMapping) {
+  ThttpdRelational T;
+  int64_t A1 = T.mapFile(/*FileId=*/1, /*Size=*/4096, /*Now=*/0);
+  int64_t A2 = T.mapFile(1, 4096, 1);
+  EXPECT_EQ(A1, A2); // cache hit: same mapping
+  EXPECT_EQ(T.numMapped(), 1u);
+  EXPECT_EQ(T.mappedBytes(), 4096);
+
+  int64_t A3 = T.mapFile(2, 100, 2);
+  EXPECT_NE(A3, A1);
+  EXPECT_EQ(T.numMapped(), 2u);
+  EXPECT_EQ(T.mappedBytes(), 4196);
+}
+
+TEST(ThttpdTest, CleanupEvictsOnlyIdleAndExpired) {
+  ThttpdRelational T;
+  T.mapFile(1, 10, 0);
+  T.mapFile(2, 10, 0);
+  T.unmapFile(1, 5); // file 1 idle since t=5
+  // file 2 still referenced: never evicted.
+  EXPECT_EQ(T.cleanup(/*Now=*/100, /*TtlSeconds=*/50), 1u);
+  EXPECT_EQ(T.numMapped(), 1u);
+  EXPECT_EQ(T.mappedBytes(), 10);
+  // Not yet expired: kept.
+  T.unmapFile(2, 100);
+  EXPECT_EQ(T.cleanup(120, 50), 0u);
+  EXPECT_EQ(T.cleanup(200, 50), 1u);
+  EXPECT_EQ(T.numMapped(), 0u);
+  EXPECT_EQ(T.mappedBytes(), 0);
+}
+
+TEST(ThttpdTest, RefcountAcrossConcurrentRequests) {
+  ThttpdRelational T;
+  T.mapFile(7, 64, 0);
+  T.mapFile(7, 64, 1); // two requests share the mapping
+  T.unmapFile(7, 2);
+  // One reference remains: cleanup must not evict.
+  EXPECT_EQ(T.cleanup(1000, 1), 0u);
+  T.unmapFile(7, 1000);
+  EXPECT_EQ(T.cleanup(2000, 1), 1u);
+}
+
+TEST(ThttpdTest, MatchesBaselineOnTrace) {
+  ThttpdRelational T;
+  ThttpdBaseline B;
+  MmapTraceOptions Opts;
+  Opts.NumRequests = 5000;
+  Opts.NumFiles = 300;
+  Opts.Seed = 3;
+  std::vector<MmapRequest> Trace = generateMmapTrace(Opts);
+
+  // Model: every request maps its file, holds it for a bit, and the
+  // server periodically unmaps + cleans.
+  std::vector<int64_t> HeldT, HeldB;
+  for (size_t I = 0; I != Trace.size(); ++I) {
+    const MmapRequest &Q = Trace[I];
+    T.mapFile(Q.FileId, Q.Size, Q.Timestamp);
+    B.mapFile(Q.FileId, Q.Size, Q.Timestamp);
+    HeldT.push_back(Q.FileId);
+    if (HeldT.size() > 16) {
+      T.unmapFile(HeldT.front(), Q.Timestamp);
+      B.unmapFile(HeldT.front(), Q.Timestamp);
+      HeldT.erase(HeldT.begin());
+    }
+    if (I % 1000 == 999)
+      EXPECT_EQ(T.cleanup(Q.Timestamp, 30), B.cleanup(Q.Timestamp, 30));
+    ASSERT_EQ(T.numMapped(), B.numMapped());
+    ASSERT_EQ(T.mappedBytes(), B.mappedBytes());
+  }
+  WfResult Wf = T.relation().checkWellFormed();
+  EXPECT_TRUE(Wf.Ok) << Wf.Error;
+}
+
+} // namespace

@@ -1,0 +1,214 @@
+//===- tests/workloads/WorkloadsTest.cpp - Workload generators ---*- C++ -*-===//
+//
+// Part of the RelC data representation synthesis library.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Tests the synthetic workload generators (the substitutions for the
+/// paper's NW-USA road file and live traffic traces): determinism,
+/// size, and the structural properties the benchmarks rely on.
+///
+//===----------------------------------------------------------------------===//
+
+#include "workloads/LocCount.h"
+#include "workloads/MmapTrace.h"
+#include "workloads/PacketTrace.h"
+#include "workloads/Rng.h"
+#include "workloads/RoadNetwork.h"
+#include "workloads/TileTrace.h"
+
+#include <gtest/gtest.h>
+
+#include <map>
+#include <set>
+
+using namespace relc;
+
+namespace {
+
+TEST(RngTest, DeterministicPerSeed) {
+  Rng A(42), B(42), C(43);
+  for (int I = 0; I < 100; ++I) {
+    uint64_t Va = A.next();
+    EXPECT_EQ(Va, B.next());
+    (void)C;
+  }
+  // Different seeds diverge (overwhelmingly likely).
+  Rng A2(42), C2(43);
+  bool Diverged = false;
+  for (int I = 0; I < 10; ++I)
+    if (A2.next() != C2.next())
+      Diverged = true;
+  EXPECT_TRUE(Diverged);
+}
+
+TEST(RngTest, BelowStaysInRange) {
+  Rng R(7);
+  for (int I = 0; I < 1000; ++I)
+    EXPECT_LT(R.below(17), 17u);
+}
+
+TEST(RngTest, UnitInHalfOpenInterval) {
+  Rng R(7);
+  for (int I = 0; I < 1000; ++I) {
+    double U = R.unit();
+    EXPECT_GE(U, 0.0);
+    EXPECT_LT(U, 1.0);
+  }
+}
+
+TEST(RoadNetworkTest, DeterministicAndSized) {
+  RoadNetworkOptions Opts;
+  Opts.Width = 32;
+  Opts.Height = 32;
+  auto E1 = generateRoadNetwork(Opts);
+  auto E2 = generateRoadNetwork(Opts);
+  ASSERT_EQ(E1.size(), E2.size());
+  for (size_t I = 0; I != E1.size(); ++I) {
+    EXPECT_EQ(E1[I].Src, E2[I].Src);
+    EXPECT_EQ(E1[I].Dst, E2[I].Dst);
+    EXPECT_EQ(E1[I].Weight, E2[I].Weight);
+  }
+}
+
+TEST(RoadNetworkTest, SparseLikeARoadNetwork) {
+  // The NW-USA graph has ~2.35 edges per node; the generator must stay
+  // in that regime (sparse, bounded out-degree).
+  RoadNetworkOptions Opts;
+  Opts.Width = 64;
+  Opts.Height = 64;
+  auto Edges = generateRoadNetwork(Opts);
+  double PerNode = double(Edges.size()) / roadNetworkNodeCount(Opts);
+  EXPECT_GT(PerNode, 1.0);
+  EXPECT_LT(PerNode, 6.0);
+
+  std::map<int64_t, unsigned> OutDeg;
+  for (const RoadEdge &E : Edges)
+    ++OutDeg[E.Src];
+  for (const auto &[Node, Deg] : OutDeg)
+    EXPECT_LE(Deg, 8u) << "node " << Node;
+}
+
+TEST(RoadNetworkTest, EdgesAreUniqueAndInRange) {
+  RoadNetworkOptions Opts;
+  Opts.Width = 16;
+  Opts.Height = 16;
+  auto Edges = generateRoadNetwork(Opts);
+  std::set<std::pair<int64_t, int64_t>> Seen;
+  int64_t MaxNode = roadNetworkNodeCount(Opts);
+  for (const RoadEdge &E : Edges) {
+    EXPECT_TRUE(Seen.insert({E.Src, E.Dst}).second)
+        << E.Src << "->" << E.Dst;
+    EXPECT_GE(E.Src, 0);
+    EXPECT_LT(E.Src, MaxNode);
+    EXPECT_GE(E.Dst, 0);
+    EXPECT_LT(E.Dst, MaxNode);
+    EXPECT_GT(E.Weight, 0);
+    EXPECT_LE(E.Weight, Opts.MaxWeight);
+    EXPECT_NE(E.Src, E.Dst);
+  }
+}
+
+TEST(RoadNetworkTest, MostlyBidirectionalGridRoads) {
+  RoadNetworkOptions Opts;
+  Opts.Width = 32;
+  Opts.Height = 32;
+  Opts.DiagonalFraction = 0.0;
+  auto Edges = generateRoadNetwork(Opts);
+  std::set<std::pair<int64_t, int64_t>> Set;
+  for (const RoadEdge &E : Edges)
+    Set.insert({E.Src, E.Dst});
+  size_t Paired = 0;
+  for (const auto &[S, D] : Set)
+    if (Set.count({D, S}))
+      ++Paired;
+  EXPECT_EQ(Paired, Set.size()); // grid roads go both ways
+}
+
+TEST(PacketTraceTest, DeterministicAndBounded) {
+  PacketTraceOptions Opts;
+  Opts.NumPackets = 1000;
+  auto T1 = generatePacketTrace(Opts);
+  auto T2 = generatePacketTrace(Opts);
+  ASSERT_EQ(T1.size(), 1000u);
+  for (size_t I = 0; I != T1.size(); ++I) {
+    EXPECT_EQ(T1[I].LocalHost, T2[I].LocalHost);
+    EXPECT_EQ(T1[I].RemoteHost, T2[I].RemoteHost);
+    EXPECT_LT(T1[I].LocalHost, Opts.NumLocalHosts);
+    EXPECT_LT(T1[I].RemoteHost, Opts.NumRemoteHosts);
+    EXPECT_GT(T1[I].Bytes, 0);
+  }
+}
+
+TEST(PacketTraceTest, UsesBothDirections) {
+  PacketTraceOptions Opts;
+  Opts.NumPackets = 500;
+  bool In = false, Out = false;
+  for (const Packet &P : generatePacketTrace(Opts))
+    (P.Outgoing ? Out : In) = true;
+  EXPECT_TRUE(In);
+  EXPECT_TRUE(Out);
+}
+
+TEST(TileTraceTest, PanningGivesLocality) {
+  // With high pan probability consecutive requests hit nearby tiles:
+  // the number of distinct tiles is far below the request count.
+  TileTraceOptions Opts;
+  Opts.NumRequests = 5000;
+  Opts.PanProbability = 0.95;
+  auto Trace = generateTileTrace(Opts);
+  ASSERT_EQ(Trace.size(), 5000u);
+  std::set<int64_t> Distinct;
+  for (const TileRequest &Q : Trace)
+    Distinct.insert(Q.TileId);
+  EXPECT_LT(Distinct.size(), Trace.size() / 2);
+  for (const TileRequest &Q : Trace)
+    EXPECT_GT(Q.Size, 0);
+}
+
+TEST(MmapTraceTest, ZipfSkewConcentratesOnHotFiles) {
+  MmapTraceOptions Opts;
+  Opts.NumRequests = 20000;
+  Opts.NumFiles = 1000;
+  Opts.ZipfSkew = 1.1;
+  auto Trace = generateMmapTrace(Opts);
+  ASSERT_EQ(Trace.size(), 20000u);
+  std::map<int64_t, size_t> Freq;
+  for (const MmapRequest &Q : Trace)
+    ++Freq[Q.FileId];
+  // The most popular file must dwarf the median file.
+  size_t MaxFreq = 0;
+  for (const auto &[File, N] : Freq)
+    MaxFreq = std::max(MaxFreq, N);
+  EXPECT_GT(MaxFreq, 20000u / 1000u * 5);
+}
+
+TEST(MmapTraceTest, TimestampsNondecreasing) {
+  MmapTraceOptions Opts;
+  Opts.NumRequests = 2000;
+  auto Trace = generateMmapTrace(Opts);
+  for (size_t I = 1; I < Trace.size(); ++I)
+    EXPECT_LE(Trace[I - 1].Timestamp, Trace[I].Timestamp);
+}
+
+TEST(LocCountTest, CountsNonCommentLines) {
+  EXPECT_EQ(countLoc("int x;\nint y;\n"), 2u);
+  EXPECT_EQ(countLoc("// comment\nint x;\n"), 1u);
+  EXPECT_EQ(countLoc("/* block\n comment */\nint x;\n"), 1u);
+  EXPECT_EQ(countLoc("\n\n  \n"), 0u);
+  EXPECT_EQ(countLoc("int x; // trailing\n"), 1u);
+  EXPECT_EQ(countLoc(""), 0u);
+}
+
+TEST(LocCountTest, MixedBlockAndLine) {
+  const char *Src = R"(#include <x>
+/* a
+   b */ int live;
+// only a comment
+int more; /* tail */
+)";
+  EXPECT_EQ(countLoc(Src), 3u);
+}
+
+} // namespace
