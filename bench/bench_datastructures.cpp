@@ -36,6 +36,7 @@ struct BenchNode {
 struct Traits {
   using KeyT = int64_t;
   using NodeT = BenchNode;
+  static constexpr unsigned NumSlots = 2;
   static bool equal(int64_t A, int64_t B) { return A == B; }
   static bool less(int64_t A, int64_t B) { return A < B; }
   static size_t hash(int64_t K) {

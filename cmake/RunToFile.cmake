@@ -1,0 +1,8 @@
+# Runs ${EXE} and captures its stdout into ${OUT}. Used to materialize
+# RELC-generated headers at build time (shell-redirection-free so it
+# works under any CMake generator).
+execute_process(COMMAND "${EXE}" OUTPUT_FILE "${OUT}" RESULT_VARIABLE rc)
+if(NOT rc EQUAL 0)
+  file(REMOVE "${OUT}")
+  message(FATAL_ERROR "${EXE} failed with exit code ${rc}")
+endif()

@@ -27,6 +27,7 @@
 
 #include <cassert>
 #include <cstddef>
+#include <type_traits>
 
 namespace relc {
 
@@ -36,12 +37,16 @@ public:
   using NodeT = typename Traits::NodeT;
   using Hook = MapHook<NodeT, KeyT>;
 
-  /// Nodes support at most this many intrusive hook slots.
-  static constexpr unsigned MaxSlots = 8;
+  /// Nodes support at most this many intrusive hook slots. Traits may
+  /// declare a smaller `static constexpr unsigned NumSlots` matching its
+  /// hook array; per-slot code is then only instantiated up to it (an
+  /// accessor for a slot beyond the array would be an out-of-bounds
+  /// access even as dead code).
+  static constexpr unsigned MaxSlots = MaxHookSlots;
 
   /// \p Slot selects which of the child's hooks this tree uses.
   explicit IntrusiveAvl(unsigned Slot) : Slot(Slot) {
-    assert(Slot < MaxSlots && "hook slot beyond supported maximum");
+    assert(Slot < UsedSlots && "hook slot beyond the traits' hook array");
   }
   IntrusiveAvl(const IntrusiveAvl &) = delete;
   IntrusiveAvl &operator=(const IntrusiveAvl &) = delete;
@@ -70,13 +75,14 @@ public:
     assert(!H.Linked && "node already linked through this hook slot");
     H.Key = K;
     H.Linked = true;
-    dispatch([&]<unsigned S>() { CoreFor<S>::insert(Root, Child); });
+    dispatch([&](auto S) { CoreFor<decltype(S)::value>::insert(Root, Child); });
     ++Size;
   }
 
   NodeT *erase(const KeyT &K) {
     NodeT *Removed = nullptr;
-    dispatch([&]<unsigned S>() { Removed = CoreFor<S>::erase(Root, K); });
+    dispatch(
+        [&](auto S) { Removed = CoreFor<decltype(S)::value>::erase(Root, K); });
     if (!Removed)
       return nullptr;
     hookOf(Removed) = Hook();
@@ -97,8 +103,8 @@ public:
 
   template <typename FnT> bool forEach(FnT &&Fn) const {
     bool Result = true;
-    dispatch([&]<unsigned S>() {
-      Result = CoreFor<S>::forEach(Root, [&](NodeT *N) {
+    dispatch([&](auto S) {
+      Result = CoreFor<decltype(S)::value>::forEach(Root, [&](NodeT *N) {
         return Fn(static_cast<const KeyT &>(hookOf(N).Key), N);
       });
     });
@@ -108,7 +114,9 @@ public:
   /// For tests.
   bool checkInvariants() const {
     bool Result = true;
-    dispatch([&]<unsigned S>() { Result = CoreFor<S>::checkInvariants(Root); });
+    dispatch([&](auto S) {
+      Result = CoreFor<decltype(S)::value>::checkInvariants(Root);
+    });
     return Result;
   }
 
@@ -128,31 +136,45 @@ private:
 
   template <unsigned S> using CoreFor = AvlCore<NodeT, KeyT, SlotOps<S>>;
 
+  static constexpr unsigned UsedSlots = HookSlotCount<Traits>::value;
+
+  /// Invokes \p Fn with std::integral_constant<unsigned, S> (the C++17
+  /// spelling of a compile-time slot argument) when the slot is within
+  /// the traits' hook array; slots beyond it are never instantiated.
+  template <unsigned S, typename FnT> void callSlot(FnT &&Fn) const {
+    if constexpr (S < UsedSlots)
+      Fn(std::integral_constant<unsigned, S>{});
+    else
+      assert(false && "hook slot beyond Traits::NumSlots");
+  }
+
   template <typename FnT> void dispatch(FnT &&Fn) const {
+    static_assert(MaxHookSlots == 8,
+                  "extend dispatch()'s switch to cover every slot");
     switch (Slot) {
     case 0:
-      Fn.template operator()<0>();
+      callSlot<0>(Fn);
       return;
     case 1:
-      Fn.template operator()<1>();
+      callSlot<1>(Fn);
       return;
     case 2:
-      Fn.template operator()<2>();
+      callSlot<2>(Fn);
       return;
     case 3:
-      Fn.template operator()<3>();
+      callSlot<3>(Fn);
       return;
     case 4:
-      Fn.template operator()<4>();
+      callSlot<4>(Fn);
       return;
     case 5:
-      Fn.template operator()<5>();
+      callSlot<5>(Fn);
       return;
     case 6:
-      Fn.template operator()<6>();
+      callSlot<6>(Fn);
       return;
     case 7:
-      Fn.template operator()<7>();
+      callSlot<7>(Fn);
       return;
     }
     assert(false && "hook slot beyond supported maximum");

@@ -38,7 +38,10 @@ public:
 
   /// \p Slot selects which of the child's hooks this list uses; distinct
   /// incoming intrusive edges of one node use distinct slots.
-  explicit IntrusiveList(unsigned Slot) : Slot(Slot) {}
+  explicit IntrusiveList(unsigned Slot) : Slot(Slot) {
+    assert(Slot < HookSlotCount<Traits>::value &&
+           "hook slot beyond the traits' hook array");
+  }
   IntrusiveList(const IntrusiveList &) = delete;
   IntrusiveList &operator=(const IntrusiveList &) = delete;
 

@@ -16,8 +16,28 @@
 #define RELC_DS_MAPHOOK_H
 
 #include <cstdint>
+#include <type_traits>
 
 namespace relc {
+
+/// Upper bound on intrusive hook slots a node may carry.
+constexpr unsigned MaxHookSlots = 8;
+
+/// The number of hook slots a container traits type supports: its
+/// `static constexpr unsigned NumSlots` when declared (a count above
+/// MaxHookSlots is a compile error), MaxHookSlots otherwise. Containers
+/// validate slot choices and bound per-slot instantiations with this,
+/// so a traits whose node embeds a smaller hook array never has code
+/// addressing slots past it.
+template <typename Traits, typename = void> struct HookSlotCount {
+  static constexpr unsigned value = MaxHookSlots;
+};
+template <typename Traits>
+struct HookSlotCount<Traits, std::void_t<decltype(Traits::NumSlots)>> {
+  static_assert(Traits::NumSlots <= MaxHookSlots,
+                "Traits::NumSlots exceeds MaxHookSlots");
+  static constexpr unsigned value = Traits::NumSlots;
+};
 
 /// One intrusive link record. IntrusiveList uses A/B as prev/next;
 /// IntrusiveAvl uses A/B as left/right and Aux as subtree height. The

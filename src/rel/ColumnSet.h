@@ -15,7 +15,8 @@
 #ifndef RELC_REL_COLUMNSET_H
 #define RELC_REL_COLUMNSET_H
 
-#include <bit>
+#include "support/Bits.h"
+
 #include <cassert>
 #include <cstdint>
 #include <functional>
@@ -55,7 +56,7 @@ public:
 
   uint64_t mask() const { return Mask; }
   bool empty() const { return Mask == 0; }
-  unsigned size() const { return std::popcount(Mask); }
+  unsigned size() const { return bits::popcount(Mask); }
 
   bool contains(ColumnId Id) const {
     assert(Id < 64 && "column id out of range");
@@ -92,7 +93,7 @@ public:
   /// The smallest ColumnId in the set; the set must be non-empty.
   ColumnId first() const {
     assert(!empty() && "first() on empty ColumnSet");
-    return static_cast<ColumnId>(std::countr_zero(Mask));
+    return static_cast<ColumnId>(bits::countrZero(Mask));
   }
 
   bool operator==(ColumnSet Other) const { return Mask == Other.Mask; }
@@ -104,7 +105,7 @@ public:
   public:
     explicit iterator(uint64_t Mask) : Rest(Mask) {}
     ColumnId operator*() const {
-      return static_cast<ColumnId>(std::countr_zero(Rest));
+      return static_cast<ColumnId>(bits::countrZero(Rest));
     }
     iterator &operator++() {
       Rest &= Rest - 1;

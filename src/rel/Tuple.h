@@ -16,6 +16,7 @@
 
 #include "rel/Catalog.h"
 #include "rel/ColumnSet.h"
+#include "support/Bits.h"
 #include "support/SmallVector.h"
 #include "support/Value.h"
 
@@ -85,7 +86,7 @@ private:
   /// Index of \p Id within Vals: the number of bound columns below it.
   unsigned rank(ColumnId Id) const {
     uint64_t Below = Cols.mask() & ((uint64_t(1) << Id) - 1);
-    return std::popcount(Below);
+    return bits::popcount(Below);
   }
 
   ColumnSet Cols;

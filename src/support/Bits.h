@@ -1,0 +1,54 @@
+//===- support/Bits.h - Portable bit operations ------------------*- C++ -*-===//
+//
+// Part of the RelC data representation synthesis library.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// C++17-compatible popcount/countr_zero over 64-bit masks. The library
+/// builds as C++17, where <bit> is unavailable; generated headers may be
+/// compiled at C++20, so these stay valid under both.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef RELC_SUPPORT_BITS_H
+#define RELC_SUPPORT_BITS_H
+
+#include <cstdint>
+
+namespace relc {
+namespace bits {
+
+inline unsigned popcount(uint64_t Mask) {
+#if defined(__GNUC__) || defined(__clang__)
+  return static_cast<unsigned>(__builtin_popcountll(Mask));
+#else
+  unsigned Count = 0;
+  while (Mask) {
+    Mask &= Mask - 1;
+    ++Count;
+  }
+  return Count;
+#endif
+}
+
+/// Number of trailing zero bits; 64 when \p Mask is zero.
+inline unsigned countrZero(uint64_t Mask) {
+  if (Mask == 0)
+    return 64;
+#if defined(__GNUC__) || defined(__clang__)
+  return static_cast<unsigned>(__builtin_ctzll(Mask));
+#else
+  unsigned Count = 0;
+  while ((Mask & 1) == 0) {
+    Mask >>= 1;
+    ++Count;
+  }
+  return Count;
+#endif
+}
+
+} // namespace bits
+} // namespace relc
+
+#endif // RELC_SUPPORT_BITS_H

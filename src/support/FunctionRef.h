@@ -30,7 +30,8 @@ public:
 
   template <typename CallableT,
             typename = std::enable_if_t<!std::is_same_v<
-                std::remove_cvref_t<CallableT>, function_ref>>>
+                std::remove_cv_t<std::remove_reference_t<CallableT>>,
+                function_ref>>>
   function_ref(CallableT &&Callable)
       : Callback(&callFn<std::remove_reference_t<CallableT>>),
         Callable(reinterpret_cast<intptr_t>(&Callable)) {}

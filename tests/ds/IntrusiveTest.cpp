@@ -36,6 +36,7 @@ struct HookedNode {
 struct HookTraits {
   using KeyT = int64_t;
   using NodeT = HookedNode;
+  static constexpr unsigned NumSlots = ::NumSlots;
   static MapHook<HookedNode, int64_t> &hook(HookedNode *N, unsigned Slot) {
     return N->Hooks[Slot];
   }
