@@ -5,8 +5,8 @@
 //===----------------------------------------------------------------------===//
 ///
 /// \file
-/// Wall-clock timing and time-limit helpers shared by the figure/table
-/// reproduction benches.
+/// Wall-clock timing, time-limit, argument-parsing and JSON-reporting
+/// helpers shared by the figure/table reproduction benches.
 ///
 //===----------------------------------------------------------------------===//
 
@@ -15,7 +15,10 @@
 
 #include <chrono>
 #include <cstdio>
+#include <cstring>
+#include <deque>
 #include <string>
+#include <vector>
 
 namespace relcbench {
 
@@ -56,6 +59,82 @@ inline std::string formatSeconds(double S) {
   std::snprintf(Buf, sizeof(Buf), "%8.4f", S);
   return Buf;
 }
+
+/// True if \p Flag appears among the arguments.
+inline bool hasArg(int Argc, char **Argv, const char *Flag) {
+  for (int I = 1; I < Argc; ++I)
+    if (std::strcmp(Argv[I], Flag) == 0)
+      return true;
+  return false;
+}
+
+/// The value following \p Flag ("--json out.json"), or nullptr when
+/// the flag is absent, last, or followed by another "--" flag (a
+/// missing value must not silently swallow the next option — callers
+/// pair this with hasArg to reject the malformed invocation loudly).
+inline const char *argValue(int Argc, char **Argv, const char *Flag) {
+  for (int I = 1; I + 1 < Argc; ++I)
+    if (std::strcmp(Argv[I], Flag) == 0)
+      return std::strncmp(Argv[I + 1], "--", 2) == 0 ? nullptr : Argv[I + 1];
+  return nullptr;
+}
+
+/// One measured benchmark series: a name plus named numeric metrics.
+/// Metrics are kept in insertion order so reports are diffable.
+struct BenchRecord {
+  std::string Name;
+  std::vector<std::pair<std::string, double>> Metrics;
+
+  BenchRecord &metric(std::string Key, double V) {
+    Metrics.emplace_back(std::move(Key), V);
+    return *this;
+  }
+};
+
+/// Accumulates BenchRecords and writes them as a small self-contained
+/// JSON document (the --json reporting mode shared by the bench
+/// drivers; CI uploads these as per-PR artifacts so the perf
+/// trajectory is visible over time).
+class JsonReporter {
+public:
+  explicit JsonReporter(std::string BenchName, std::string Mode = "full")
+      : BenchName(std::move(BenchName)), Mode(std::move(Mode)) {}
+
+  /// The returned reference stays valid across later record() calls
+  /// (deque storage), so callers may hold it instead of chaining.
+  BenchRecord &record(std::string Name) {
+    Records.push_back(BenchRecord{std::move(Name), {}});
+    return Records.back();
+  }
+
+  /// Writes the report; \returns false (with a message on stderr) if
+  /// the file cannot be opened.
+  bool write(const char *Path) const {
+    std::FILE *F = std::fopen(Path, "w");
+    if (!F) {
+      std::fprintf(stderr, "error: cannot open %s for writing\n", Path);
+      return false;
+    }
+    std::fprintf(F, "{\n  \"bench\": \"%s\",\n  \"mode\": \"%s\",\n",
+                 BenchName.c_str(), Mode.c_str());
+    std::fprintf(F, "  \"results\": [\n");
+    for (size_t I = 0; I != Records.size(); ++I) {
+      const BenchRecord &R = Records[I];
+      std::fprintf(F, "    {\"name\": \"%s\"", R.Name.c_str());
+      for (const auto &[Key, V] : R.Metrics)
+        std::fprintf(F, ", \"%s\": %.6g", Key.c_str(), V);
+      std::fprintf(F, "}%s\n", I + 1 == Records.size() ? "" : ",");
+    }
+    std::fprintf(F, "  ]\n}\n");
+    std::fclose(F);
+    return true;
+  }
+
+private:
+  std::string BenchName;
+  std::string Mode;
+  std::deque<BenchRecord> Records;
+};
 
 } // namespace relcbench
 

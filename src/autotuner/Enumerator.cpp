@@ -32,21 +32,6 @@ struct Proto {
 
 using ProtoRef = std::shared_ptr<Proto>;
 
-unsigned countEdges(const ProtoRef &N,
-                    std::set<const Proto *> &Seen) {
-  if (!Seen.insert(N.get()).second)
-    return 0;
-  unsigned Count = 0;
-  for (const auto &[K, Child] : N->Maps)
-    Count += 1 + countEdges(Child, Seen);
-  return Count;
-}
-
-unsigned countEdges(const ProtoRef &N) {
-  std::set<const Proto *> Seen;
-  return countEdges(N, Seen);
-}
-
 /// Shape string ignoring bound sets (merge candidates must have equal
 /// shapes); pointer-shared subtrees render identically, which is what
 /// merging needs.

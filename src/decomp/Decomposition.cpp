@@ -12,12 +12,12 @@
 using namespace relc;
 
 std::vector<NodeId> Decomposition::topoOrder() const {
-  // Nodes are in let order: every edge points from a later-defined node
-  // to an earlier-defined one, so reverse let order is parents-first.
+  // Defined via topo() so the parents-first invariant has one source
+  // of truth (see TopoRange).
   std::vector<NodeId> Order;
   Order.reserve(Nodes.size());
-  for (unsigned I = numNodes(); I != 0; --I)
-    Order.push_back(I - 1);
+  for (NodeId Id : topo())
+    Order.push_back(Id);
   return Order;
 }
 

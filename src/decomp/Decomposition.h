@@ -120,6 +120,35 @@ public:
   /// Node ids parents-first (reverse let order, starting at the root).
   std::vector<NodeId> topoOrder() const;
 
+  /// Allocation-free topological iteration: nodes are stored in let
+  /// order, so parents-first is simply descending ids. The mutation
+  /// hot paths iterate this instead of materializing topoOrder().
+  class TopoRange {
+  public:
+    class iterator {
+    public:
+      explicit iterator(unsigned Next) : Next(Next) {}
+      NodeId operator*() const { return static_cast<NodeId>(Next - 1); }
+      iterator &operator++() {
+        --Next;
+        return *this;
+      }
+      bool operator!=(const iterator &O) const { return Next != O.Next; }
+
+    private:
+      unsigned Next; ///< One past the id to yield (counts down to 0).
+    };
+
+    explicit TopoRange(unsigned NumNodes) : NumNodes(NumNodes) {}
+    iterator begin() const { return iterator(NumNodes); }
+    iterator end() const { return iterator(0); }
+
+  private:
+    unsigned NumNodes;
+  };
+
+  TopoRange topo() const { return TopoRange(numNodes()); }
+
   /// Looks up a node by name.
   NodeId nodeByName(std::string_view Name) const;
 

@@ -37,7 +37,10 @@
 namespace relc {
 
 template <typename CellT, typename KeyT, typename Ops> struct AvlCore {
-  static CellT *find(CellT *Root, const KeyT &K) {
+  /// find/erase are heterogeneous: any probe type works, provided
+  /// Ops::less accepts it on both sides consistently with the stored
+  /// key order (used for borrowed key views on the hot probe path).
+  template <typename ProbeT> static CellT *find(CellT *Root, const ProbeT &K) {
     CellT *C = Root;
     while (C) {
       if (Ops::less(K, Ops::key(C)))
@@ -59,7 +62,7 @@ template <typename CellT, typename KeyT, typename Ops> struct AvlCore {
   }
 
   /// Unlinks and returns the cell with key \p K, or nullptr.
-  static CellT *erase(CellT *&Root, const KeyT &K) {
+  template <typename ProbeT> static CellT *erase(CellT *&Root, const ProbeT &K) {
     CellT *Removed = nullptr;
     Root = eraseRec(Root, K, Removed);
     return Removed;
@@ -145,7 +148,8 @@ private:
     return rebalance(C);
   }
 
-  static CellT *eraseRec(CellT *C, const KeyT &K, CellT *&Removed) {
+  template <typename ProbeT>
+  static CellT *eraseRec(CellT *C, const ProbeT &K, CellT *&Removed) {
     if (!C)
       return nullptr;
     if (Ops::less(K, Ops::key(C))) {

@@ -37,7 +37,9 @@ public:
   size_t size() const { return Size; }
   bool empty() const { return Size == 0; }
 
-  NodeT *lookup(const KeyT &K) const {
+  /// Heterogeneous: \p K may be any type Traits::less accepts against
+  /// the stored keys on both sides (e.g. a borrowed TupleView).
+  template <typename ProbeT> NodeT *lookup(const ProbeT &K) const {
     Cell *C = Core::find(Root, K);
     return C ? C->Child : nullptr;
   }
@@ -50,7 +52,7 @@ public:
     ++Size;
   }
 
-  NodeT *erase(const KeyT &K) {
+  template <typename ProbeT> NodeT *erase(const ProbeT &K) {
     Cell *C = Core::erase(Root, K);
     if (!C)
       return nullptr;
@@ -99,8 +101,8 @@ private:
     static Cell *&right(Cell *C) { return C->Right; }
     static int32_t &height(Cell *C) { return C->Height; }
     static const KeyT &key(const Cell *C) { return C->Key; }
-    static bool less(const KeyT &A, const KeyT &B) {
-      return Traits::less(A, B);
+    template <typename A, typename B> static bool less(const A &X, const B &Y) {
+      return Traits::less(X, Y);
     }
   };
 

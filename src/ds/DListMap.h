@@ -49,7 +49,9 @@ public:
   size_t size() const { return Size; }
   bool empty() const { return Size == 0; }
 
-  NodeT *lookup(const KeyT &K) const {
+  /// Heterogeneous: \p K may be any type Traits::equal accepts as the
+  /// second argument (e.g. a borrowed TupleView).
+  template <typename ProbeT> NodeT *lookup(const ProbeT &K) const {
     Cell *C = findCell(K);
     return C ? C->Child : nullptr;
   }
@@ -65,7 +67,7 @@ public:
     ++Size;
   }
 
-  NodeT *erase(const KeyT &K) {
+  template <typename ProbeT> NodeT *erase(const ProbeT &K) {
     Cell *C = findCell(K);
     if (!C)
       return nullptr;
@@ -104,7 +106,7 @@ private:
     Cell *Next;
   };
 
-  Cell *findCell(const KeyT &K) const {
+  template <typename ProbeT> Cell *findCell(const ProbeT &K) const {
     for (Cell *C = Head; C; C = C->Next)
       if (Traits::equal(C->Key, K))
         return C;

@@ -13,6 +13,12 @@
 ///   static bool equal(const KeyT &, const KeyT &);
 ///   static size_t hash(const KeyT &);
 ///
+/// lookup/erase are heterogeneous: any probe type K works, provided the
+/// traits overload equal(const KeyT &, const K &) and hash(const K &)
+/// consistently with the stored-key versions (the instance layer uses
+/// this to probe tuple-keyed maps with borrowed TupleViews, avoiding a
+/// key materialization per probe).
+///
 //===----------------------------------------------------------------------===//
 
 #ifndef RELC_DS_HASHMAP_H
@@ -47,7 +53,7 @@ public:
   size_t size() const { return Size; }
   bool empty() const { return Size == 0; }
 
-  NodeT *lookup(const KeyT &K) const {
+  template <typename ProbeT> NodeT *lookup(const ProbeT &K) const {
     for (Cell *C = Buckets[bucketOf(K)]; C; C = C->Next)
       if (Traits::equal(C->Key, K))
         return C->Child;
@@ -63,7 +69,7 @@ public:
     ++Size;
   }
 
-  NodeT *erase(const KeyT &K) {
+  template <typename ProbeT> NodeT *erase(const ProbeT &K) {
     Cell **Link = &Buckets[bucketOf(K)];
     while (*Link) {
       Cell *C = *Link;
@@ -110,7 +116,7 @@ private:
     Cell *Next;
   };
 
-  size_t bucketOf(const KeyT &K) const {
+  template <typename ProbeT> size_t bucketOf(const ProbeT &K) const {
     return Traits::hash(K) & (Buckets.size() - 1);
   }
 

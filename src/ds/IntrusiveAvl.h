@@ -56,7 +56,9 @@ public:
   size_t size() const { return Size; }
   bool empty() const { return Size == 0; }
 
-  NodeT *lookup(const KeyT &K) const {
+  /// Heterogeneous: \p K may be any type Traits::less accepts against
+  /// the stored keys on both sides (e.g. a borrowed TupleView).
+  template <typename ProbeT> NodeT *lookup(const ProbeT &K) const {
     NodeT *N = Root;
     while (N) {
       const Hook &H = hookOf(N);
@@ -79,7 +81,7 @@ public:
     ++Size;
   }
 
-  NodeT *erase(const KeyT &K) {
+  template <typename ProbeT> NodeT *erase(const ProbeT &K) {
     NodeT *Removed = nullptr;
     dispatch(
         [&](auto S) { Removed = CoreFor<decltype(S)::value>::erase(Root, K); });
@@ -129,8 +131,8 @@ private:
     static const KeyT &key(const NodeT *N) {
       return Traits::hook(const_cast<NodeT *>(N), S).Key;
     }
-    static bool less(const KeyT &A, const KeyT &B) {
-      return Traits::less(A, B);
+    template <typename A, typename B> static bool less(const A &X, const B &Y) {
+      return Traits::less(X, Y);
     }
   };
 

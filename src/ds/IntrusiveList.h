@@ -59,7 +59,9 @@ public:
   size_t size() const { return Size; }
   bool empty() const { return Size == 0; }
 
-  NodeT *lookup(const KeyT &K) const {
+  /// Heterogeneous: \p K may be any type Traits::equal accepts as the
+  /// second argument (e.g. a borrowed TupleView).
+  template <typename ProbeT> NodeT *lookup(const ProbeT &K) const {
     for (NodeT *N = Head; N; N = hookOf(N).B)
       if (Traits::equal(hookOf(N).Key, K))
         return N;
@@ -80,7 +82,7 @@ public:
     ++Size;
   }
 
-  NodeT *erase(const KeyT &K) {
+  template <typename ProbeT> NodeT *erase(const ProbeT &K) {
     NodeT *N = lookup(K);
     if (!N)
       return nullptr;

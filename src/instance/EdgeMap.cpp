@@ -19,14 +19,21 @@ using namespace relc;
 namespace {
 
 /// Traits binding the ds/ container templates to the dynamic engine's
-/// tuple keys and NodeInstance children.
+/// tuple keys and NodeInstance children. Stored keys are Tuples;
+/// probes may additionally be borrowed TupleViews (hash- and order-
+/// compatible by construction), which is what makes the hot paths
+/// allocation-free.
 struct InterpTraits {
   using KeyT = Tuple;
   using NodeT = NodeInstance;
 
   static bool less(const Tuple &A, const Tuple &B) { return A < B; }
+  static bool less(const Tuple &A, const TupleView &B) { return A < B; }
+  static bool less(const TupleView &A, const Tuple &B) { return A < B; }
   static bool equal(const Tuple &A, const Tuple &B) { return A == B; }
+  static bool equal(const Tuple &A, const TupleView &B) { return A == B; }
   static size_t hash(const Tuple &K) { return K.hash(); }
+  static size_t hash(const TupleView &K) { return K.hash(); }
   static MapHook<NodeInstance, Tuple> &hook(NodeInstance *N, unsigned Slot) {
     return N->hook(Slot);
   }
@@ -45,11 +52,19 @@ public:
     return Container.lookup(Key);
   }
 
+  NodeInstance *lookup(const TupleView &Key) const override {
+    return Container.lookup(Key);
+  }
+
   void insert(const Tuple &Key, NodeInstance *Child) override {
     Container.insert(Key, Child);
   }
 
   NodeInstance *erase(const Tuple &Key) override {
+    return Container.erase(Key);
+  }
+
+  NodeInstance *erase(const TupleView &Key) override {
     return Container.erase(Key);
   }
 
@@ -80,11 +95,19 @@ public:
     return Container.lookup(toIndex(Key));
   }
 
+  NodeInstance *lookup(const TupleView &Key) const override {
+    return Container.lookup(toIndex(Key));
+  }
+
   void insert(const Tuple &Key, NodeInstance *Child) override {
     Container.insert(toIndex(Key), Child);
   }
 
   NodeInstance *erase(const Tuple &Key) override {
+    return Container.erase(toIndex(Key));
+  }
+
+  NodeInstance *erase(const TupleView &Key) override {
     return Container.erase(toIndex(Key));
   }
 
@@ -102,7 +125,7 @@ public:
   }
 
 private:
-  size_t toIndex(const Tuple &Key) const {
+  template <typename KeyLikeT> size_t toIndex(const KeyLikeT &Key) const {
     const Value &V = Key.get(KeyCol);
     assert(V.isInt() && "vector-map keys must be integers");
     assert(V.asInt() >= 0 && "vector-map keys must be non-negative");

@@ -18,6 +18,7 @@
 
 #include "decomp/Decomposition.h"
 #include "rel/Tuple.h"
+#include "rel/TupleView.h"
 #include "support/FunctionRef.h"
 
 #include <memory>
@@ -40,11 +41,20 @@ public:
   /// \returns the child for \p Key, or nullptr.
   virtual NodeInstance *lookup(const Tuple &Key) const = 0;
 
-  /// Inserts a fresh entry; \p Key must not be present.
+  /// Borrowed-key probe: same contract, but the key is a view into an
+  /// existing tuple or binding frame — no key materialization. This is
+  /// the mutation/query hot path.
+  virtual NodeInstance *lookup(const TupleView &Key) const = 0;
+
+  /// Inserts a fresh entry; \p Key must not be present. Insertion is
+  /// the one place a key tuple is actually materialized and stored.
   virtual void insert(const Tuple &Key, NodeInstance *Child) = 0;
 
   /// Erases by key. \returns the unlinked child, or nullptr.
   virtual NodeInstance *erase(const Tuple &Key) = 0;
+
+  /// Borrowed-key erase.
+  virtual NodeInstance *erase(const TupleView &Key) = 0;
 
   /// Erases the entry pointing at \p Child. O(1)/O(log n) for intrusive
   /// kinds, a scan otherwise. \returns false if not present.

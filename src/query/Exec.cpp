@@ -17,61 +17,70 @@ namespace {
 /// its second query as the continuation of its first — nested
 /// iteration, no intermediate storage.
 ///
-/// The binding tuple accumulates the input pattern plus every column
-/// bound along the plan; scans and units filter against it (this is
-/// what makes plans with A ⊆ B faithful to `query r s C`, cf. Lemma 2).
+/// One mutable BindingFrame carries the input pattern plus every
+/// column bound along the plan; scans and units filter against it
+/// (this is what makes plans with A ⊆ B faithful to `query r s C`,
+/// cf. Lemma 2). Steps bracket their bindings with mask save/restore
+/// instead of merging tuples, and lookups probe containers with
+/// borrowed views of the frame — the whole traversal allocates
+/// nothing.
 class Executor {
 public:
-  Executor(const QueryPlan &Plan, const Decomposition &D)
-      : Plan(Plan), D(D) {}
+  Executor(const QueryPlan &Plan, const Decomposition &D, BindingFrame &Frame)
+      : Plan(Plan), D(D), Frame(Frame) {}
 
-  using Sink = function_ref<bool(const Tuple &)>;
+  using Sink = function_ref<bool(const BindingFrame &)>;
 
   /// \returns false if the consumer stopped the execution.
-  bool run(PlanStepId Id, const NodeInstance *Inst, const Tuple &Binding,
-           Sink Cont) const {
+  bool run(PlanStepId Id, const NodeInstance *Inst, Sink Cont) const {
     const PlanStep &S = Plan.Steps[Id];
     switch (S.Kind) {
     case PlanKind::Unit: {
       // (QUNIT), extended: the instance's bound valuation joins the
       // binding alongside the unit fields (see Validity.cpp). Both are
-      // filtered against the pattern/binding first.
-      const Tuple &Bound = Inst->bound();
-      if (!Bound.matches(Binding))
+      // filtered against the pattern/binding as they bind.
+      ColumnSet Saved = Frame.save();
+      if (!Frame.matchAndBind(Inst->bound()) ||
+          !Frame.matchAndBind(Inst->unitValues(S.Prim))) {
+        Frame.restore(Saved);
         return true;
-      const Tuple &U = Inst->unitValues(S.Prim);
-      if (!U.matches(Binding))
-        return true;
-      return Cont(Binding.merge(Bound).merge(U));
+      }
+      bool KeepGoing = Cont(Frame);
+      Frame.restore(Saved);
+      return KeepGoing;
     }
     case PlanKind::Scan: {
       const MapEdge &Edge = D.edge(D.prim(S.Prim).Edge);
       const EdgeMap &Map = Inst->edgeMap(Edge.OrdinalInFrom);
-      const NodeInstance *Parent = Inst;
-      (void)Parent;
       return Map.forEach([&](const Tuple &Key, NodeInstance *Child) {
-        if (!Key.matches(Binding))
+        ColumnSet Saved = Frame.save();
+        if (!Frame.matchAndBind(Key)) {
+          Frame.restore(Saved);
           return true;
-        return run(S.Child0, Child, Binding.merge(Key), Cont);
+        }
+        bool KeepGoing = run(S.Child0, Child, Cont);
+        Frame.restore(Saved);
+        return KeepGoing;
       });
     }
     case PlanKind::Lookup: {
       const MapEdge &Edge = D.edge(D.prim(S.Prim).Edge);
       const EdgeMap &Map = Inst->edgeMap(Edge.OrdinalInFrom);
-      // (QLOOKUP) validity guarantees the key columns are bound.
-      Tuple Key = Binding.project(Edge.KeyCols);
-      NodeInstance *Child = Map.lookup(Key);
+      // (QLOOKUP) validity guarantees the key columns are bound; probe
+      // with a borrowed view of the frame's registers.
+      NodeInstance *Child = Map.lookup(Frame.view(Edge.KeyCols));
       if (!Child)
         return true;
-      return run(S.Child0, Child, Binding, Cont);
+      return run(S.Child0, Child, Cont);
     }
     case PlanKind::Lr:
-      return run(S.Child0, Inst, Binding, Cont);
+      return run(S.Child0, Inst, Cont);
     case PlanKind::Join:
-      // Nested execution: the second query runs once per tuple the
-      // first produces, with the enriched binding.
-      return run(S.Child0, Inst, Binding, [&](const Tuple &B1) {
-        return run(S.Child1, Inst, B1, Cont);
+      // Nested execution: the second query runs once per binding the
+      // first produces; the shared frame still holds the first side's
+      // bindings when the second side runs.
+      return run(S.Child0, Inst, [&](const BindingFrame &) {
+        return run(S.Child1, Inst, Cont);
       });
     }
     assert(false && "unknown PlanKind");
@@ -81,16 +90,29 @@ public:
 private:
   const QueryPlan &Plan;
   const Decomposition &D;
+  BindingFrame &Frame;
 };
 
 } // namespace
 
 void relc::execPlan(const QueryPlan &Plan, const InstanceGraph &G,
-                    const Tuple &Pattern,
-                    function_ref<bool(const Tuple &)> Emit) {
+                    const Tuple &Pattern, BindingFrame &Frame,
+                    function_ref<bool(const BindingFrame &)> Emit) {
   assert(Plan.valid() && "executing an invalid plan");
   assert(Pattern.columns() == Plan.InputCols &&
          "pattern columns must match the plan's input columns");
-  Executor E(Plan, G.decomp());
-  E.run(Plan.Root, G.root(), Pattern, Emit);
+  const Decomposition &D = G.decomp();
+  Frame.reset(D.spec()->catalog().size());
+  Frame.bind(Pattern);
+  Executor E(Plan, D, Frame);
+  E.run(Plan.Root, G.root(), Emit);
+}
+
+void relc::execPlan(const QueryPlan &Plan, const InstanceGraph &G,
+                    const Tuple &Pattern,
+                    function_ref<bool(const Tuple &)> Emit) {
+  BindingFrame Frame;
+  execPlan(Plan, G, Pattern, Frame, [&](const BindingFrame &F) {
+    return Emit(F.toTuple(F.bound()));
+  });
 }

@@ -12,6 +12,13 @@
 /// nested joins realized as nested iteration. (The RELC code generator
 /// emits a specialized version of this interpreter per plan.)
 ///
+/// The interpreter threads one mutable BindingFrame through the plan:
+/// each step binds columns into the frame's registers and restores the
+/// frame's bound-mask when it backtracks, so no per-step tuple is ever
+/// materialized. Results are delivered as `const BindingFrame &`; the
+/// Tuple-emitting overload materializes one tuple per result at the
+/// emit boundary only.
+///
 //===----------------------------------------------------------------------===//
 
 #ifndef RELC_QUERY_EXEC_H
@@ -19,17 +26,28 @@
 
 #include "instance/InstanceGraph.h"
 #include "query/Plan.h"
+#include "rel/BindingFrame.h"
 #include "support/FunctionRef.h"
 
 namespace relc {
 
 /// Evaluates \p Plan over \p G with input pattern \p Pattern (whose
-/// columns must equal Plan.InputCols). \p Emit is called once per
-/// result with a tuple binding Plan.OutputCols ∪ Plan.InputCols;
-/// returning false stops execution early.
+/// columns must equal Plan.InputCols), threading \p Frame as the
+/// binding register file. \p Frame is reset to the catalog's width and
+/// seeded with the pattern; at each emission its bound columns are
+/// Plan.OutputCols ∪ Plan.InputCols (plus incidentally-bound columns
+/// along the plan's path). \p Emit returns false to stop early. The
+/// frame reference passed to \p Emit is only valid for the duration of
+/// the call — callers materialize what they keep.
 ///
 /// Results are not deduplicated (constant-space execution cannot be —
 /// Section 4.1); callers project and deduplicate as needed.
+void execPlan(const QueryPlan &Plan, const InstanceGraph &G,
+              const Tuple &Pattern, BindingFrame &Frame,
+              function_ref<bool(const BindingFrame &)> Emit);
+
+/// As above with a stack-local frame, materializing each result as a
+/// Tuple over the frame's bound columns.
 void execPlan(const QueryPlan &Plan, const InstanceGraph &G,
               const Tuple &Pattern, function_ref<bool(const Tuple &)> Emit);
 

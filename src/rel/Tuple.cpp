@@ -53,15 +53,16 @@ Tuple Tuple::project(ColumnSet C) const {
 Tuple Tuple::projectIfPresent(ColumnSet C) const {
   Tuple Result;
   Result.Cols = Cols.intersect(C);
-  for (ColumnId Id : Result.Cols)
-    Result.Vals.push_back(get(Id));
+  forEach([&](ColumnId Id, const Value &V) {
+    if (Result.Cols.contains(Id))
+      Result.Vals.push_back(V);
+  });
   return Result;
 }
 
 Tuple Tuple::merge(const Tuple &U) const {
   Tuple Result = *this;
-  for (ColumnId Id : U.Cols)
-    Result.set(Id, U.get(Id));
+  U.forEach([&](ColumnId Id, const Value &V) { Result.set(Id, V); });
   return Result;
 }
 
@@ -81,14 +82,14 @@ size_t Tuple::hash() const {
 std::string Tuple::str(const Catalog &Cat) const {
   std::string Result = "<";
   bool NeedComma = false;
-  for (ColumnId Id : Cols) {
+  forEach([&](ColumnId Id, const Value &V) {
     if (NeedComma)
       Result += ", ";
     Result += Cat.name(Id);
     Result += ": ";
-    Result += get(Id).str();
+    Result += V.str();
     NeedComma = true;
-  }
+  });
   Result += ">";
   return Result;
 }

@@ -21,6 +21,7 @@
 #include "support/Value.h"
 
 #include <string>
+#include <type_traits>
 
 namespace relc {
 
@@ -40,6 +41,29 @@ public:
   const Value &get(ColumnId Id) const {
     assert(has(Id) && "column not bound in tuple");
     return Vals[rank(Id)];
+  }
+
+  /// The dense value array, ordered by increasing ColumnId (the
+  /// borrowed-view machinery in TupleView indexes this directly).
+  const Value *data() const { return Vals.begin(); }
+
+  /// Calls \p Fn(ColumnId, const Value &) per bound column in
+  /// increasing column order — one pass, no per-column rank
+  /// recomputation. \p Fn may return void, or bool (false stops the
+  /// iteration early). \returns false if stopped.
+  template <typename FnT> bool forEach(FnT &&Fn) const {
+    unsigned Idx = 0;
+    for (ColumnId Id : Cols) {
+      if constexpr (std::is_void_v<
+                        std::invoke_result_t<FnT &, ColumnId, const Value &>>) {
+        Fn(Id, Vals[Idx]);
+      } else {
+        if (!Fn(Id, Vals[Idx]))
+          return false;
+      }
+      ++Idx;
+    }
+    return true;
   }
 
   /// Binds or overwrites column \p Id with \p V.

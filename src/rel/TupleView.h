@@ -1,0 +1,137 @@
+//===- rel/TupleView.h - Borrowed key views ---------------------*- C++ -*-===//
+//
+// Part of the RelC data representation synthesis library.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// A non-owning view of a subset of an existing tuple's (or binding
+/// frame's) columns, hash- and order-compatible with the materialized
+/// projection. Map probes on the query/mutation hot path pass views
+/// instead of Tuple::project results, so heterogeneous lookup/erase
+/// never copies values or touches the heap; a Tuple is materialized
+/// only when an entry is actually stored.
+///
+/// The source layout is described uniformly: a dense Value array
+/// ordered by increasing ColumnId plus the 64-bit mask of the columns
+/// that array covers. A Tuple is exactly that; a BindingFrame is the
+/// degenerate case where the array covers every catalog column.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef RELC_REL_TUPLEVIEW_H
+#define RELC_REL_TUPLEVIEW_H
+
+#include "rel/Tuple.h"
+
+namespace relc {
+
+/// Borrowed view of columns \p Cols within a source valuation. The
+/// source must outlive the view (views live for the duration of one
+/// container probe).
+class TupleView {
+public:
+  /// Views \p C within \p T; requires C ⊆ T.columns().
+  TupleView(const Tuple &T, ColumnSet C)
+      : Vals(T.data()), SrcMask(T.columns().mask()), Cols(C) {
+    assert(C.subsetOf(T.columns()) && "view columns must be bound");
+  }
+
+  /// Views \p C within a raw dense array covering \p SrcMask (used by
+  /// BindingFrame, whose register file covers the whole catalog).
+  TupleView(const Value *SrcVals, uint64_t SrcMask, ColumnSet C)
+      : Vals(SrcVals), SrcMask(SrcMask), Cols(C) {
+    assert(C.subsetOf(ColumnSet::fromMask(SrcMask)) &&
+           "view columns must lie within the source mask");
+  }
+
+  ColumnSet columns() const { return Cols; }
+  bool empty() const { return Cols.empty(); }
+  unsigned size() const { return Cols.size(); }
+  bool has(ColumnId Id) const { return Cols.contains(Id); }
+
+  const Value &get(ColumnId Id) const {
+    assert(has(Id) && "column not in view");
+    return Vals[bits::popcount(SrcMask & ((uint64_t(1) << Id) - 1))];
+  }
+
+  /// Copies the viewed columns into an owning Tuple (the insert
+  /// boundary). Equal to the source's project onto columns().
+  Tuple materialize() const {
+    Tuple T;
+    for (ColumnId Id : Cols)
+      T.set(Id, get(Id));
+    return T;
+  }
+
+  /// Hash-compatible with Tuple: materialize().hash() == hash().
+  size_t hash() const {
+    size_t Seed = std::hash<uint64_t>()(Cols.mask());
+    for (ColumnId Id : Cols)
+      Seed = hashCombine(Seed, get(Id).hash());
+    return Seed;
+  }
+
+  bool equals(const Tuple &T) const {
+    if (T.columns() != Cols)
+      return false;
+    return T.forEach(
+        [&](ColumnId Id, const Value &V) { return get(Id) == V; });
+  }
+
+  bool equals(const TupleView &O) const {
+    if (O.Cols != Cols)
+      return false;
+    for (ColumnId Id : Cols)
+      if (!(get(Id) == O.get(Id)))
+        return false;
+    return true;
+  }
+
+private:
+  const Value *Vals;
+  uint64_t SrcMask;
+  ColumnSet Cols;
+};
+
+inline bool operator==(const TupleView &A, const Tuple &B) {
+  return A.equals(B);
+}
+inline bool operator==(const Tuple &A, const TupleView &B) {
+  return B.equals(A);
+}
+inline bool operator==(const TupleView &A, const TupleView &B) {
+  return A.equals(B);
+}
+
+/// The same arbitrary-but-total order as Tuple::operator< (column mask
+/// first, then values in increasing column order), so ordered
+/// containers can probe with a view in place of the projected key.
+/// One definition serves both operand orders — Tuple and TupleView
+/// share the columns()/get() interface.
+template <typename LhsT, typename RhsT>
+bool tupleOrderedBefore(const LhsT &A, const RhsT &B) {
+  if (A.columns() != B.columns())
+    return A.columns() < B.columns();
+  for (ColumnId Id : A.columns()) {
+    const Value &Va = A.get(Id);
+    const Value &Vb = B.get(Id);
+    if (Va < Vb)
+      return true;
+    if (Vb < Va)
+      return false;
+  }
+  return false;
+}
+
+inline bool operator<(const TupleView &A, const Tuple &B) {
+  return tupleOrderedBefore(A, B);
+}
+
+inline bool operator<(const Tuple &A, const TupleView &B) {
+  return tupleOrderedBefore(A, B);
+}
+
+} // namespace relc
+
+#endif // RELC_REL_TUPLEVIEW_H

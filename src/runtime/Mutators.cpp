@@ -3,10 +3,19 @@
 // Part of the RelC data representation synthesis library.
 //
 //===----------------------------------------------------------------------===//
+//
+// Containers are probed with borrowed TupleViews of the subject tuple
+// (lookup/erase never materialize a key); a key Tuple is built only
+// when an entry is actually inserted. Per-node instance tables and the
+// match list live in the caller's MutatorScratch, so steady-state
+// mutation loops reuse their working storage.
+//
+//===----------------------------------------------------------------------===//
 
 #include "runtime/Mutators.h"
 
 #include "query/Exec.h"
+#include "rel/TupleView.h"
 #include "support/Checks.h"
 
 #include <cassert>
@@ -18,18 +27,18 @@ namespace {
 
 /// Finds the instance of every X node along full tuple \p T's path,
 /// navigating parent containers from the root (parents of X nodes are
-/// always X, since no edge crosses Y → X).
+/// always X, since no edge crosses Y → X). Results land in \p Inst.
 ///
 /// With \p AllowMissing, unresolvable nodes stay null: while dremove
 /// walks its match list, an earlier match that shared path structure
 /// with \p T may already have removed parts of T's X path (e.g. two
 /// matches differing only below a common crossing entry). Without it,
 /// a missing instance is a precondition violation and asserts.
-std::vector<NodeInstance *> navigateX(InstanceGraph &G, const Tuple &T,
-                                      const Cut &C, bool AllowMissing) {
+void navigateX(InstanceGraph &G, const Tuple &T, const Cut &C,
+               bool AllowMissing, std::vector<NodeInstance *> &Inst) {
   const Decomposition &D = G.decomp();
-  std::vector<NodeInstance *> Inst(D.numNodes(), nullptr);
-  for (NodeId Id : D.topoOrder()) {
+  Inst.assign(D.numNodes(), nullptr);
+  for (NodeId Id : D.topo()) {
     if (C.inY(Id))
       continue;
     if (Id == D.root()) {
@@ -47,7 +56,7 @@ std::vector<NodeInstance *> navigateX(InstanceGraph &G, const Tuple &T,
         continue;
       }
       NodeInstance *Child =
-          P->edgeMap(Edge.OrdinalInFrom).lookup(T.project(Edge.KeyCols));
+          P->edgeMap(Edge.OrdinalInFrom).lookup(TupleView(T, Edge.KeyCols));
       if (!Child) {
         assert(AllowMissing &&
                "X instance missing for a represented tuple");
@@ -57,7 +66,6 @@ std::vector<NodeInstance *> navigateX(InstanceGraph &G, const Tuple &T,
       break;
     }
   }
-  return Inst;
 }
 
 /// After breaking a tuple's crossing edges, interior X instances may be
@@ -82,7 +90,7 @@ void cleanupEmptyX(InstanceGraph &G, const Tuple &T, const Cut &C,
       if (dsSupportsEraseByNode(Edge.Ds))
         Removed = Map.eraseNode(N);
       else
-        Removed = Map.erase(T.project(Edge.KeyCols)) == N;
+        Removed = Map.erase(TupleView(T, Edge.KeyCols)) == N;
       assert(Removed && "parent entry missing during cleanup");
       (void)Removed;
       G.release(N);
@@ -93,10 +101,10 @@ void cleanupEmptyX(InstanceGraph &G, const Tuple &T, const Cut &C,
 
 /// Breaks all edges crossing the cut for one represented tuple \p T,
 /// releasing the detached Y-side instances (Fig. 9 right-to-left).
-void removeTuple(InstanceGraph &G, const Tuple &T, const Cut &C) {
+void removeTuple(InstanceGraph &G, const Tuple &T, const Cut &C,
+                 MutatorScratch &Scratch) {
   const Decomposition &D = G.decomp();
-  std::vector<NodeInstance *> Inst =
-      navigateX(G, T, C, /*AllowMissing=*/true);
+  navigateX(G, T, C, /*AllowMissing=*/true, Scratch.Inst);
 
   // Break every crossing edge. The first break per Y node resolves the
   // child by key; later breaks into the same child use the intrusive
@@ -109,23 +117,23 @@ void removeTuple(InstanceGraph &G, const Tuple &T, const Cut &C) {
   // severed it — releasing the subtree below, so the entry (and
   // possibly the child) is gone. Skipping is sound because the set of
   // matches was collected before any mutation.
-  std::vector<NodeInstance *> YInst(D.numNodes(), nullptr);
+  Scratch.YInst.assign(D.numNodes(), nullptr);
   for (EdgeId E : C.CrossingEdges) {
     const MapEdge &Edge = D.edge(E);
-    if (!Inst[Edge.From])
+    if (!Scratch.Inst[Edge.From])
       continue; // X side already removed along with an earlier match
-    EdgeMap &Map = Inst[Edge.From]->edgeMap(Edge.OrdinalInFrom);
-    NodeInstance *Child = YInst[Edge.To];
+    EdgeMap &Map = Scratch.Inst[Edge.From]->edgeMap(Edge.OrdinalInFrom);
+    NodeInstance *Child = Scratch.YInst[Edge.To];
     if (Child && dsSupportsEraseByNode(Edge.Ds)) {
       if (Map.eraseNode(Child))
         G.release(Child);
-    } else if ((Child = Map.erase(T.project(Edge.KeyCols)))) {
-      YInst[Edge.To] = Child;
+    } else if ((Child = Map.erase(TupleView(T, Edge.KeyCols)))) {
+      Scratch.YInst[Edge.To] = Child;
       G.release(Child);
     }
   }
 
-  cleanupEmptyX(G, T, C, Inst);
+  cleanupEmptyX(G, T, C, Scratch.Inst);
 }
 
 } // namespace
@@ -158,14 +166,15 @@ EdgeId cheapestIncoming(const Decomposition &D, NodeId Id) {
 
 } // namespace
 
-bool relc::dinsert(InstanceGraph &G, const Tuple &T) {
+bool relc::dinsert(InstanceGraph &G, const Tuple &T, MutatorScratch &Scratch) {
   const Decomposition &D = G.decomp();
   assert(T.columns() == D.spec()->columns() &&
          "insert requires a full tuple over the relation's columns");
 
-  std::vector<NodeInstance *> Inst(D.numNodes(), nullptr);
+  std::vector<NodeInstance *> &Inst = Scratch.Inst;
+  Inst.assign(D.numNodes(), nullptr);
   bool Changed = false;
-  for (NodeId Id : D.topoOrder()) {
+  for (NodeId Id : D.topo()) {
     if (Id == D.root()) {
       Inst[Id] = G.root();
       continue;
@@ -183,7 +192,7 @@ bool relc::dinsert(InstanceGraph &G, const Tuple &T) {
     assert(Inst[Probe.From] && "parent instance missing in topo insert");
     NodeInstance *N = Inst[Probe.From]
                           ->edgeMap(Probe.OrdinalInFrom)
-                          .lookup(T.project(Probe.KeyCols));
+                          .lookup(TupleView(T, Probe.KeyCols));
 
     if (!N) {
       N = G.create(Id, T.project(Node.Bound));
@@ -194,7 +203,7 @@ bool relc::dinsert(InstanceGraph &G, const Tuple &T) {
       for (EdgeId E : D.incoming(Id)) {
         const MapEdge &Edge = D.edge(E);
         EdgeMap &Map = Inst[Edge.From]->edgeMap(Edge.OrdinalInFrom);
-        RELC_EXPENSIVE_ASSERT(!Map.lookup(T.project(Edge.KeyCols)) &&
+        RELC_EXPENSIVE_ASSERT(!Map.lookup(TupleView(T, Edge.KeyCols)) &&
                               "fresh node already linked");
         Map.insert(T.project(Edge.KeyCols), N);
         N->retain();
@@ -214,19 +223,26 @@ bool relc::dinsert(InstanceGraph &G, const Tuple &T) {
   return Changed;
 }
 
-size_t relc::dremove(InstanceGraph &G, const Tuple &Pattern,
-                     PlanCache &Plans) {
+bool relc::dinsert(InstanceGraph &G, const Tuple &T) {
+  MutatorScratch Scratch;
+  return dinsert(G, T, Scratch);
+}
+
+size_t relc::dremove(InstanceGraph &G, const Tuple &Pattern, PlanCache &Plans,
+                     MutatorScratch &Scratch) {
   const Decomposition &D = G.decomp();
   ColumnSet All = D.spec()->columns();
   assert(Pattern.columns().subsetOf(All) && "pattern has foreign columns");
 
   // Locate the full matching tuples first (the mutation below cannot
-  // run concurrently with the traversal that finds them).
+  // run concurrently with the traversal that finds them). Each match
+  // is materialized once, straight from the binding frame.
   const QueryPlan *QP = Plans.plan(Pattern.columns(), All);
   assert(QP && "no valid plan to locate tuples for removal");
-  std::vector<Tuple> Matches;
-  execPlan(*QP, G, Pattern, [&](const Tuple &T) {
-    Matches.push_back(T.project(All));
+  std::vector<Tuple> &Matches = Scratch.Matches;
+  Matches.clear();
+  execPlan(*QP, G, Pattern, Scratch.Frame, [&](const BindingFrame &F) {
+    Matches.push_back(F.toTuple(All));
     return true;
   });
   if (Matches.empty())
@@ -240,12 +256,19 @@ size_t relc::dremove(InstanceGraph &G, const Tuple &Pattern,
 
   const Cut &C = Plans.cut(Pattern.columns());
   for (const Tuple &T : Matches)
-    removeTuple(G, T, C);
+    removeTuple(G, T, C, Scratch);
   return Matches.size();
 }
 
+size_t relc::dremove(InstanceGraph &G, const Tuple &Pattern,
+                     PlanCache &Plans) {
+  MutatorScratch Scratch;
+  return dremove(G, Pattern, Plans, Scratch);
+}
+
 size_t relc::dupdate(InstanceGraph &G, const Tuple &Pattern,
-                     const Tuple &Changes, PlanCache &Plans) {
+                     const Tuple &Changes, PlanCache &Plans,
+                     MutatorScratch &Scratch) {
   const Decomposition &D = G.decomp();
   const FuncDeps &Fds = D.spec()->fds();
   ColumnSet All = D.spec()->columns();
@@ -261,8 +284,8 @@ size_t relc::dupdate(InstanceGraph &G, const Tuple &Pattern,
   assert(QP && "no valid plan to locate the tuple for update");
   Tuple TOld;
   bool Found = false;
-  execPlan(*QP, G, Pattern, [&](const Tuple &T) {
-    TOld = T.project(All);
+  execPlan(*QP, G, Pattern, Scratch.Frame, [&](const BindingFrame &F) {
+    TOld = F.toTuple(All);
     Found = true;
     return false;
   });
@@ -273,21 +296,22 @@ size_t relc::dupdate(InstanceGraph &G, const Tuple &Pattern,
     return 1;
 
   const Cut &C = Plans.cut(Pattern.columns());
-  std::vector<NodeInstance *> Inst =
-      navigateX(G, TOld, C, /*AllowMissing=*/false);
+  std::vector<NodeInstance *> &Inst = Scratch.Inst;
+  navigateX(G, TOld, C, /*AllowMissing=*/false, Inst);
 
   // Resolve the (unique, since the pattern is a key) Y instance of
   // every below-cut node along TOld.
-  std::vector<NodeInstance *> YInst(D.numNodes(), nullptr);
-  for (NodeId Id : D.topoOrder()) {
+  std::vector<NodeInstance *> &YInst = Scratch.YInst;
+  YInst.assign(D.numNodes(), nullptr);
+  for (NodeId Id : D.topo()) {
     if (!C.inY(Id))
       continue;
     for (EdgeId E : D.incoming(Id)) {
       const MapEdge &Edge = D.edge(E);
       NodeInstance *P = C.inY(Edge.From) ? YInst[Edge.From] : Inst[Edge.From];
       assert(P && "parent instance missing for a represented tuple");
-      NodeInstance *Child =
-          P->edgeMap(Edge.OrdinalInFrom).lookup(TOld.project(Edge.KeyCols));
+      NodeInstance *Child = P->edgeMap(Edge.OrdinalInFrom)
+                                .lookup(TupleView(TOld, Edge.KeyCols));
       assert(Child && "Y instance missing for a represented tuple");
       YInst[Id] = Child;
       break;
@@ -304,7 +328,7 @@ size_t relc::dupdate(InstanceGraph &G, const Tuple &Pattern,
     if (dsSupportsEraseByNode(Edge.Ds))
       Removed = Map.eraseNode(YInst[Edge.To]);
     else
-      Removed = Map.erase(TOld.project(Edge.KeyCols)) == YInst[Edge.To];
+      Removed = Map.erase(TupleView(TOld, Edge.KeyCols)) == YInst[Edge.To];
     assert(Removed && "crossing entry missing during update detach");
     (void)Removed;
   }
@@ -315,7 +339,7 @@ size_t relc::dupdate(InstanceGraph &G, const Tuple &Pattern,
     if (!C.inY(Edge.From) || !Edge.KeyCols.intersects(Changes.columns()))
       continue;
     EdgeMap &Map = YInst[Edge.From]->edgeMap(Edge.OrdinalInFrom);
-    NodeInstance *Child = Map.erase(TOld.project(Edge.KeyCols));
+    NodeInstance *Child = Map.erase(TupleView(TOld, Edge.KeyCols));
     assert(Child == YInst[Edge.To] && "misaligned Y-internal entry");
     Map.insert(TNew.project(Edge.KeyCols), Child);
   }
@@ -344,8 +368,9 @@ size_t relc::dupdate(InstanceGraph &G, const Tuple &Pattern,
   // needed (bound columns of X nodes may have changed). The graph now
   // represents r \ {t_old}, so the single-probe existence rule of
   // dinsert applies verbatim.
-  std::vector<NodeInstance *> NewInst(D.numNodes(), nullptr);
-  for (NodeId Id : D.topoOrder()) {
+  std::vector<NodeInstance *> &NewInst = Scratch.NewInst;
+  NewInst.assign(D.numNodes(), nullptr);
+  for (NodeId Id : D.topo()) {
     if (C.inY(Id))
       continue;
     if (Id == D.root()) {
@@ -356,7 +381,7 @@ size_t relc::dupdate(InstanceGraph &G, const Tuple &Pattern,
     const MapEdge &Probe = D.edge(ProbeE);
     NodeInstance *N = NewInst[Probe.From]
                           ->edgeMap(Probe.OrdinalInFrom)
-                          .lookup(TNew.project(Probe.KeyCols));
+                          .lookup(TupleView(TNew, Probe.KeyCols));
     if (!N) {
       N = G.create(Id, TNew.project(D.node(Id).Bound));
       for (PrimId U : D.unitsOf(Id))
@@ -373,8 +398,9 @@ size_t relc::dupdate(InstanceGraph &G, const Tuple &Pattern,
   for (EdgeId E : C.CrossingEdges) {
     const MapEdge &Edge = D.edge(E);
     EdgeMap &Map = NewInst[Edge.From]->edgeMap(Edge.OrdinalInFrom);
-    RELC_EXPENSIVE_ASSERT(Map.lookup(TNew.project(Edge.KeyCols)) == nullptr &&
-                          "update would merge with an existing tuple");
+    RELC_EXPENSIVE_ASSERT(
+        Map.lookup(TupleView(TNew, Edge.KeyCols)) == nullptr &&
+        "update would merge with an existing tuple");
     Map.insert(TNew.project(Edge.KeyCols), YInst[Edge.To]);
     // Reference transferred from the detached entry; no retain.
   }
@@ -382,4 +408,10 @@ size_t relc::dupdate(InstanceGraph &G, const Tuple &Pattern,
   // Old X instances that no longer represent anything.
   cleanupEmptyX(G, TOld, C, Inst);
   return 1;
+}
+
+size_t relc::dupdate(InstanceGraph &G, const Tuple &Pattern,
+                     const Tuple &Changes, PlanCache &Plans) {
+  MutatorScratch Scratch;
+  return dupdate(G, Pattern, Changes, Plans, Scratch);
 }

@@ -30,22 +30,44 @@
 #define RELC_RUNTIME_MUTATORS_H
 
 #include "instance/InstanceGraph.h"
+#include "rel/BindingFrame.h"
 #include "runtime/PlanCache.h"
+
+#include <vector>
 
 namespace relc {
 
+/// Reusable working storage for the mutators. Each operation needs a
+/// handful of per-node instance tables and (for remove/update) a match
+/// list and an execution frame; a caller holding one scratch across
+/// operations (SynthesizedRelation does) makes the steady-state
+/// mutation loops allocation-free apart from the structural
+/// allocations the mutation itself requires.
+struct MutatorScratch {
+  BindingFrame Frame;
+  std::vector<NodeInstance *> Inst;
+  std::vector<NodeInstance *> YInst;
+  std::vector<NodeInstance *> NewInst;
+  std::vector<Tuple> Matches;
+};
+
 /// Inserts full tuple \p T (columns must equal the relation's).
 /// \returns true if the relation changed (false: duplicate).
+bool dinsert(InstanceGraph &G, const Tuple &T, MutatorScratch &Scratch);
 bool dinsert(InstanceGraph &G, const Tuple &T);
 
 /// Removes all tuples extending \p Pattern. \returns how many were
 /// removed.
+size_t dremove(InstanceGraph &G, const Tuple &Pattern, PlanCache &Plans,
+               MutatorScratch &Scratch);
 size_t dremove(InstanceGraph &G, const Tuple &Pattern, PlanCache &Plans);
 
 /// Applies \p Changes to the tuple matching \p Pattern. Requires
 /// dom(Pattern) to be a key and dom(Changes) ∩ dom(Pattern) = ∅
 /// (Section 4.5's restriction guaranteeing no node merging). \returns
 /// the number of tuples updated (0 or 1, since the pattern is a key).
+size_t dupdate(InstanceGraph &G, const Tuple &Pattern, const Tuple &Changes,
+               PlanCache &Plans, MutatorScratch &Scratch);
 size_t dupdate(InstanceGraph &G, const Tuple &Pattern, const Tuple &Changes,
                PlanCache &Plans);
 

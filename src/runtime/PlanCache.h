@@ -19,9 +19,10 @@
 #include "query/CostModel.h"
 #include "query/Planner.h"
 #include "runtime/Cut.h"
+#include "support/Hashing.h"
 
-#include <map>
 #include <memory>
+#include <unordered_map>
 
 namespace relc {
 
@@ -61,10 +62,22 @@ public:
   }
 
 private:
+  /// Hashes an (input mask, output mask) query shape. Steady-state
+  /// operations hit this map once per call, so it is a hash probe, not
+  /// a tree walk.
+  struct ShapeHash {
+    size_t operator()(const std::pair<uint64_t, uint64_t> &P) const {
+      return hashCombine(std::hash<uint64_t>()(P.first),
+                         std::hash<uint64_t>()(P.second));
+    }
+  };
+
   std::shared_ptr<const Decomposition> D;
   CostParams Params;
-  std::map<std::pair<uint64_t, uint64_t>, std::optional<QueryPlan>> Plans;
-  std::map<uint64_t, Cut> Cuts;
+  std::unordered_map<std::pair<uint64_t, uint64_t>, std::optional<QueryPlan>,
+                     ShapeHash>
+      Plans;
+  std::unordered_map<uint64_t, Cut> Cuts;
 };
 
 } // namespace relc

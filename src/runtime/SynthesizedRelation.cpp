@@ -21,14 +21,14 @@ SynthesizedRelation::SynthesizedRelation(Decomposition D, CostParams Params)
 }
 
 bool SynthesizedRelation::insert(const Tuple &T) {
-  bool Changed = dinsert(Graph, T);
+  bool Changed = dinsert(Graph, T, Scratch);
   if (Changed)
     ++Size;
   return Changed;
 }
 
 size_t SynthesizedRelation::remove(const Tuple &Pattern) {
-  size_t Removed = dremove(Graph, Pattern, Plans);
+  size_t Removed = dremove(Graph, Pattern, Plans, Scratch);
   assert(Removed <= Size && "removed more tuples than were present");
   Size -= Removed;
   return Removed;
@@ -36,15 +36,17 @@ size_t SynthesizedRelation::remove(const Tuple &Pattern) {
 
 size_t SynthesizedRelation::update(const Tuple &Pattern,
                                    const Tuple &Changes) {
-  return dupdate(Graph, Pattern, Changes, Plans);
+  return dupdate(Graph, Pattern, Changes, Plans, Scratch);
 }
 
 std::vector<Tuple> SynthesizedRelation::query(const Tuple &Pattern,
                                               ColumnSet OutputCols) const {
   std::vector<Tuple> Result;
   std::unordered_set<Tuple> Seen;
-  scan(Pattern, OutputCols, [&](const Tuple &T) {
-    Tuple Projected = T.project(OutputCols);
+  // Project straight off the binding frame: one tuple per result, no
+  // intermediate full-binding materialization.
+  scanFrames(Pattern, OutputCols, [&](const BindingFrame &F) {
+    Tuple Projected = F.toTuple(OutputCols);
     if (Seen.insert(Projected).second)
       Result.push_back(std::move(Projected));
     return true;
@@ -54,14 +56,26 @@ std::vector<Tuple> SynthesizedRelation::query(const Tuple &Pattern,
 
 void SynthesizedRelation::scan(const Tuple &Pattern, ColumnSet OutputCols,
                                function_ref<bool(const Tuple &)> Fn) const {
+  scanFrames(Pattern, OutputCols, [&](const BindingFrame &F) {
+    return Fn(F.toTuple(F.bound()));
+  });
+}
+
+void SynthesizedRelation::scanFrames(
+    const Tuple &Pattern, ColumnSet OutputCols,
+    function_ref<bool(const BindingFrame &)> Fn) const {
   const QueryPlan *Plan = Plans.plan(Pattern.columns(), OutputCols);
   assert(Plan && "no valid plan for this query shape");
-  execPlan(*Plan, Graph, Pattern, Fn);
+  // The frame is a stack local (no heap traffic for catalogs within
+  // BindingFrame::InlineColumns), so scans stay reentrant: a scan
+  // callback may issue nested scans on the same relation.
+  BindingFrame Frame;
+  execPlan(*Plan, Graph, Pattern, Frame, Fn);
 }
 
 bool SynthesizedRelation::contains(const Tuple &Pattern) const {
   bool Found = false;
-  scan(Pattern, ColumnSet(), [&](const Tuple &) {
+  scanFrames(Pattern, ColumnSet(), [&](const BindingFrame &) {
     Found = true;
     return false;
   });

@@ -72,6 +72,13 @@ public:
   void scan(const Tuple &Pattern, ColumnSet OutputCols,
             function_ref<bool(const Tuple &)> Fn) const;
 
+  /// As scan, but delivers each result as a borrowed BindingFrame —
+  /// no tuple is materialized at all; callers read columns straight
+  /// from the frame's registers (or project exactly what they keep).
+  /// The frame reference is valid only for the duration of each call.
+  void scanFrames(const Tuple &Pattern, ColumnSet OutputCols,
+                  function_ref<bool(const BindingFrame &)> Fn) const;
+
   /// True if some tuple extends \p Pattern.
   bool contains(const Tuple &Pattern) const;
 
@@ -115,6 +122,12 @@ private:
   std::shared_ptr<const Decomposition> D;
   mutable PlanCache Plans;
   InstanceGraph Graph;
+  /// Reused by insert/remove/update so steady-state mutation loops do
+  /// not re-allocate their per-node working tables. Like the plan
+  /// cache, this makes operations non-reentrant and the object not
+  /// thread-safe for concurrent mutation (queries use stack frames and
+  /// stay reentrant).
+  MutatorScratch Scratch;
   size_t Size = 0;
 };
 

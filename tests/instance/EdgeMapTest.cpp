@@ -16,6 +16,7 @@
 #include "decomp/Builder.h"
 #include "instance/InstanceGraph.h"
 #include "instance/NodeInstance.h"
+#include "rel/BindingFrame.h"
 
 #include <gtest/gtest.h>
 
@@ -119,6 +120,49 @@ TEST_P(EdgeMapTest, ForEachVisitsEveryEntry) {
     return true;
   }));
   EXPECT_EQ(Seen, Want);
+}
+
+TEST_P(EdgeMapTest, HeterogeneousViewLookup) {
+  NodeInstance *A = leaf(7);
+  NodeInstance *B = leaf(9);
+  Map->insert(key(7), A);
+  Map->insert(key(9), B);
+
+  // Probe with a borrowed view of a *wider* tuple (the mutator
+  // pattern: a full relation tuple viewed through the edge's key
+  // columns) — no projected key tuple is ever materialized.
+  const Catalog &Cat = Spec->catalog();
+  ColumnSet KeyCols = D->edge(0).KeyCols;
+  Tuple Full7 = TupleBuilder(Cat).set("k", 7).set("v", 41).build();
+  Tuple Full8 = TupleBuilder(Cat).set("k", 8).set("v", 42).build();
+  EXPECT_EQ(Map->lookup(TupleView(Full7, KeyCols)), A);
+  EXPECT_EQ(Map->lookup(TupleView(Full8, KeyCols)), nullptr);
+
+  // Probe with a view borrowed from a BindingFrame's registers (the
+  // query interpreter's lookup path).
+  BindingFrame Frame(Cat.size());
+  Frame.bind(Cat.get("k"), Value::ofInt(9));
+  EXPECT_EQ(Map->lookup(Frame.view(KeyCols)), B);
+  Frame.bind(Cat.get("k"), Value::ofInt(3));
+  EXPECT_EQ(Map->lookup(Frame.view(KeyCols)), nullptr);
+}
+
+TEST_P(EdgeMapTest, HeterogeneousViewErase) {
+  NodeInstance *A = leaf(4);
+  NodeInstance *B = leaf(6);
+  Map->insert(key(4), A);
+  Map->insert(key(6), B);
+
+  const Catalog &Cat = Spec->catalog();
+  ColumnSet KeyCols = D->edge(0).KeyCols;
+  Tuple Full4 = TupleBuilder(Cat).set("k", 4).set("v", 1).build();
+  Tuple Full5 = TupleBuilder(Cat).set("k", 5).set("v", 1).build();
+  EXPECT_EQ(Map->erase(TupleView(Full5, KeyCols)), nullptr);
+  EXPECT_EQ(Map->erase(TupleView(Full4, KeyCols)), A);
+  A->releaseRef(); // balance the map's dropped reference
+  EXPECT_EQ(Map->size(), 1u);
+  EXPECT_EQ(Map->lookup(key(4)), nullptr);
+  EXPECT_EQ(Map->lookup(key(6)), B);
 }
 
 TEST_P(EdgeMapTest, ForEachEarlyStop) {

@@ -1,0 +1,150 @@
+//===- tests/rel/BindingFrameTest.cpp - Binding frame tests ------*- C++ -*-===//
+//
+// Part of the RelC data representation synthesis library.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Tests the execution-time binding register file: O(1) bind/unbind,
+/// mask save/restore semantics (including stale registers), the
+/// filter-and-extend step the interpreter uses, and frame → tuple
+/// round trips.
+///
+//===----------------------------------------------------------------------===//
+
+#include "rel/BindingFrame.h"
+
+#include <gtest/gtest.h>
+
+using namespace relc;
+
+namespace {
+
+Catalog testCatalog() {
+  Catalog Cat;
+  Cat.add("a");
+  Cat.add("b");
+  Cat.add("c");
+  Cat.add("d");
+  return Cat;
+}
+
+TEST(BindingFrameTest, StartsUnbound) {
+  BindingFrame F(4);
+  EXPECT_EQ(F.numColumns(), 4u);
+  EXPECT_TRUE(F.bound().empty());
+  for (ColumnId Id = 0; Id != 4; ++Id)
+    EXPECT_FALSE(F.has(Id));
+}
+
+TEST(BindingFrameTest, BindGetUnbind) {
+  BindingFrame F(4);
+  F.bind(2, Value::ofInt(42));
+  EXPECT_TRUE(F.has(2));
+  EXPECT_FALSE(F.has(0));
+  EXPECT_EQ(F.get(2).asInt(), 42);
+  EXPECT_EQ(F.bound(), ColumnSet({2}));
+
+  F.bind(2, Value::ofInt(43)); // overwrite in place
+  EXPECT_EQ(F.get(2).asInt(), 43);
+
+  F.unbind(2);
+  EXPECT_FALSE(F.has(2));
+  EXPECT_TRUE(F.bound().empty());
+}
+
+TEST(BindingFrameTest, BindTupleBindsEveryColumn) {
+  Catalog Cat = testCatalog();
+  BindingFrame F(Cat.size());
+  Tuple T = TupleBuilder(Cat).set("a", 1).set("c", 3).build();
+  F.bind(T);
+  EXPECT_EQ(F.bound(), T.columns());
+  EXPECT_EQ(F.get(Cat.get("a")).asInt(), 1);
+  EXPECT_EQ(F.get(Cat.get("c")).asInt(), 3);
+}
+
+TEST(BindingFrameTest, SaveRestoreDropsLaterBindings) {
+  BindingFrame F(4);
+  F.bind(0, Value::ofInt(10));
+  ColumnSet Saved = F.save();
+
+  F.bind(1, Value::ofInt(11));
+  F.bind(3, Value::ofInt(13));
+  EXPECT_EQ(F.bound().size(), 3u);
+
+  F.restore(Saved);
+  EXPECT_EQ(F.bound(), ColumnSet({0}));
+  EXPECT_TRUE(F.has(0));
+  EXPECT_FALSE(F.has(1));
+  EXPECT_FALSE(F.has(3));
+  EXPECT_EQ(F.get(0).asInt(), 10);
+
+  // A stale register is unreachable until rebound; rebinding installs
+  // the new value.
+  F.bind(1, Value::ofInt(99));
+  EXPECT_EQ(F.get(1).asInt(), 99);
+}
+
+TEST(BindingFrameTest, MatchesAgreesOnCommonColumns) {
+  Catalog Cat = testCatalog();
+  BindingFrame F(Cat.size());
+  F.bind(Cat.get("a"), Value::ofInt(1));
+  F.bind(Cat.get("b"), Value::ofInt(2));
+
+  EXPECT_TRUE(F.matches(TupleBuilder(Cat).set("a", 1).build()));
+  EXPECT_TRUE(F.matches(TupleBuilder(Cat).set("a", 1).set("c", 9).build()));
+  EXPECT_TRUE(F.matches(TupleBuilder(Cat).set("c", 7).set("d", 8).build()));
+  EXPECT_FALSE(F.matches(TupleBuilder(Cat).set("b", 5).build()));
+}
+
+TEST(BindingFrameTest, MatchAndBindFiltersAndExtends) {
+  Catalog Cat = testCatalog();
+  BindingFrame F(Cat.size());
+  F.bind(Cat.get("a"), Value::ofInt(1));
+  ColumnSet Saved = F.save();
+
+  // Agreeing tuple: extends the frame with its unbound columns.
+  Tuple Ok = TupleBuilder(Cat).set("a", 1).set("b", 2).build();
+  EXPECT_TRUE(F.matchAndBind(Ok));
+  EXPECT_EQ(F.get(Cat.get("b")).asInt(), 2);
+
+  // Mismatching tuple: rejected; the caller's restore undoes any
+  // partial binds.
+  Tuple Bad = TupleBuilder(Cat).set("a", 9).set("c", 3).build();
+  F.restore(Saved);
+  EXPECT_FALSE(F.matchAndBind(Bad));
+  F.restore(Saved);
+  EXPECT_EQ(F.bound(), ColumnSet({Cat.get("a")}));
+  EXPECT_EQ(F.get(Cat.get("a")).asInt(), 1);
+}
+
+TEST(BindingFrameTest, ToTupleRoundTrip) {
+  Catalog Cat = testCatalog();
+  Tuple T =
+      TupleBuilder(Cat).set("a", 1).set("b", 2).set("d", 4).build();
+  BindingFrame F(Cat.size());
+  F.bind(T);
+  EXPECT_EQ(F.toTuple(T.columns()), T);
+
+  // Partial projection.
+  ColumnSet AB = Cat.parseSet("a, b");
+  EXPECT_EQ(F.toTuple(AB), T.project(AB));
+
+  // The borrowed view agrees with the materialized projection.
+  TupleView V = F.view(AB);
+  EXPECT_TRUE(V.equals(T.project(AB)));
+  EXPECT_EQ(V.hash(), T.project(AB).hash());
+  EXPECT_EQ(V.materialize(), T.project(AB));
+}
+
+TEST(BindingFrameTest, ResetClearsAndResizes) {
+  BindingFrame F(2);
+  F.bind(1, Value::ofInt(5));
+  F.reset(4);
+  EXPECT_EQ(F.numColumns(), 4u);
+  EXPECT_TRUE(F.bound().empty());
+  F.bind(3, Value::ofInt(7));
+  EXPECT_EQ(F.get(3).asInt(), 7);
+}
+
+} // namespace

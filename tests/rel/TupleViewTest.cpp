@@ -1,0 +1,193 @@
+//===- tests/rel/TupleViewTest.cpp - Borrowed key view tests -----*- C++ -*-===//
+//
+// Part of the RelC data representation synthesis library.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Tests the borrowed key views used on the probe hot paths: hash and
+/// order compatibility with materialized projections, equality in both
+/// directions, and heterogeneous lookup/erase against the four
+/// non-intrusive map templates directly (the intrusive kinds and the
+/// type-erased EdgeMap layer are covered by EdgeMapTest).
+///
+//===----------------------------------------------------------------------===//
+
+#include "rel/TupleView.h"
+
+#include "ds/AvlMap.h"
+#include "ds/DListMap.h"
+#include "ds/HashMap.h"
+#include "ds/VectorMap.h"
+
+#include <gtest/gtest.h>
+
+using namespace relc;
+
+namespace {
+
+Catalog testCatalog() {
+  Catalog Cat;
+  Cat.add("a");
+  Cat.add("b");
+  Cat.add("c");
+  Cat.add("d");
+  return Cat;
+}
+
+TEST(TupleViewTest, ViewReadsThroughSource) {
+  Catalog Cat = testCatalog();
+  Tuple T =
+      TupleBuilder(Cat).set("a", 1).set("b", 2).set("d", 4).build();
+  TupleView V(T, Cat.parseSet("a, d"));
+  EXPECT_EQ(V.columns(), Cat.parseSet("a, d"));
+  EXPECT_EQ(V.size(), 2u);
+  EXPECT_TRUE(V.has(Cat.get("a")));
+  EXPECT_FALSE(V.has(Cat.get("b")));
+  EXPECT_EQ(V.get(Cat.get("a")).asInt(), 1);
+  EXPECT_EQ(V.get(Cat.get("d")).asInt(), 4);
+}
+
+TEST(TupleViewTest, MaterializeEqualsProjection) {
+  Catalog Cat = testCatalog();
+  Tuple T = TupleBuilder(Cat)
+                .set("a", 1)
+                .set("b", 2)
+                .set("c", 3)
+                .set("d", 4)
+                .build();
+  for (uint64_t Mask = 0; Mask != 16; ++Mask) {
+    ColumnSet C = ColumnSet::fromMask(Mask);
+    TupleView V(T, C);
+    Tuple P = T.project(C);
+    EXPECT_EQ(V.materialize(), P);
+    EXPECT_EQ(V.hash(), P.hash()) << "hash mismatch for mask " << Mask;
+    EXPECT_TRUE(V == P);
+    EXPECT_TRUE(P == V);
+  }
+}
+
+TEST(TupleViewTest, EqualityRequiresSameColumnsAndValues) {
+  Catalog Cat = testCatalog();
+  Tuple T = TupleBuilder(Cat).set("a", 1).set("b", 2).build();
+  TupleView Va(T, Cat.parseSet("a"));
+  EXPECT_FALSE(Va == T);                          // different columns
+  EXPECT_TRUE(Va == T.project(Cat.parseSet("a"))); // same columns+values
+  Tuple Other = TupleBuilder(Cat).set("a", 9).build();
+  EXPECT_FALSE(Va == Other); // same columns, different value
+
+  TupleView Vb(T, Cat.parseSet("b"));
+  EXPECT_FALSE(Va.equals(Vb));
+  EXPECT_TRUE(Va.equals(TupleView(T, Cat.parseSet("a"))));
+}
+
+TEST(TupleViewTest, OrderingMatchesTupleOrder) {
+  Catalog Cat = testCatalog();
+  // A grid of tuples over (a, b); view-vs-tuple order must agree with
+  // tuple-vs-tuple order in every direction.
+  std::vector<Tuple> Tuples;
+  for (int64_t A = 0; A != 3; ++A)
+    for (int64_t B = 0; B != 3; ++B)
+      Tuples.push_back(TupleBuilder(Cat).set("a", A).set("b", B).build());
+  ColumnSet AB = Cat.parseSet("a, b");
+  for (const Tuple &X : Tuples)
+    for (const Tuple &Y : Tuples) {
+      TupleView Vx(X, AB);
+      EXPECT_EQ(Vx < Y, X < Y);
+      EXPECT_EQ(Y < Vx, Y < X);
+    }
+  // Mask-first ordering: a view with different columns compares by
+  // column mask exactly like Tuple::operator<.
+  Tuple Wide = TupleBuilder(Cat).set("a", 0).set("c", 0).build();
+  TupleView Narrow(Wide, Cat.parseSet("a"));
+  EXPECT_EQ(Narrow < Tuples[0], Tuple(Wide.project(Cat.parseSet("a"))) <
+                                    Tuples[0]);
+}
+
+//===----------------------------------------------------------------------===//
+// Heterogeneous probes against the raw map templates.
+//===----------------------------------------------------------------------===//
+
+/// Traits mirroring the dynamic engine's InterpTraits, minus the
+/// NodeInstance dependency: values are plain ints.
+struct IntNode {
+  int Id;
+};
+
+struct ViewTraits {
+  using KeyT = Tuple;
+  using NodeT = IntNode;
+  static bool less(const Tuple &A, const Tuple &B) { return A < B; }
+  static bool less(const Tuple &A, const TupleView &B) { return A < B; }
+  static bool less(const TupleView &A, const Tuple &B) { return A < B; }
+  static bool equal(const Tuple &A, const Tuple &B) { return A == B; }
+  static bool equal(const Tuple &A, const TupleView &B) { return A == B; }
+  static size_t hash(const Tuple &K) { return K.hash(); }
+  static size_t hash(const TupleView &K) { return K.hash(); }
+};
+
+/// Exercises lookup/erase through views of a wider tuple against one
+/// container instance.
+template <typename MapT> void probeMap(MapT &Map, const Catalog &Cat) {
+  ColumnSet KeyCols = Cat.parseSet("a, b");
+  IntNode Nodes[4] = {{0}, {1}, {2}, {3}};
+  std::vector<Tuple> Full;
+  for (int64_t I = 0; I != 4; ++I)
+    Full.push_back(TupleBuilder(Cat)
+                       .set("a", I % 2)
+                       .set("b", I)
+                       .set("c", I * 10)
+                       .build());
+  for (int64_t I = 0; I != 4; ++I)
+    Map.insert(Full[I].project(KeyCols), &Nodes[I]);
+
+  for (int64_t I = 0; I != 4; ++I)
+    EXPECT_EQ(Map.lookup(TupleView(Full[I], KeyCols)), &Nodes[I]);
+
+  Tuple Missing =
+      TupleBuilder(Cat).set("a", 5).set("b", 5).set("c", 0).build();
+  EXPECT_EQ(Map.lookup(TupleView(Missing, KeyCols)), nullptr);
+
+  EXPECT_EQ(Map.erase(TupleView(Full[2], KeyCols)), &Nodes[2]);
+  EXPECT_EQ(Map.lookup(TupleView(Full[2], KeyCols)), nullptr);
+  EXPECT_EQ(Map.erase(TupleView(Full[2], KeyCols)), nullptr);
+  EXPECT_EQ(Map.size(), 3u);
+  EXPECT_EQ(Map.lookup(TupleView(Full[3], KeyCols)), &Nodes[3]);
+}
+
+TEST(TupleViewTest, HeterogeneousProbeHashMap) {
+  Catalog Cat = testCatalog();
+  HashMap<ViewTraits> Map;
+  probeMap(Map, Cat);
+}
+
+TEST(TupleViewTest, HeterogeneousProbeAvlMap) {
+  Catalog Cat = testCatalog();
+  AvlMap<ViewTraits> Map;
+  probeMap(Map, Cat);
+  EXPECT_TRUE(Map.checkInvariants());
+}
+
+TEST(TupleViewTest, HeterogeneousProbeDListMap) {
+  Catalog Cat = testCatalog();
+  DListMap<ViewTraits> Map;
+  probeMap(Map, Cat);
+}
+
+TEST(TupleViewTest, HeterogeneousProbeVectorMap) {
+  // VectorMap keys are raw indices; the instance layer converts view
+  // keys via the same toIndex path as tuples — here we only check that
+  // a single-column view round-trips to the right index semantics.
+  Catalog Cat = testCatalog();
+  VectorMap<IntNode> Map;
+  IntNode N7{7};
+  Tuple Full = TupleBuilder(Cat).set("a", 7).set("b", 1).build();
+  TupleView V(Full, Cat.parseSet("a"));
+  Map.insert(static_cast<size_t>(V.get(Cat.get("a")).asInt()), &N7);
+  EXPECT_EQ(Map.lookup(7), &N7);
+  EXPECT_EQ(Map.erase(static_cast<size_t>(V.get(Cat.get("a")).asInt())),
+            &N7);
+  EXPECT_TRUE(Map.empty());
+}
+
+} // namespace
