@@ -1,0 +1,302 @@
+//===- bench/bench_concurrent.cpp - Sharded relation scaling -----------------===//
+//
+// Part of the RelC data representation synthesis library.
+//
+//===----------------------------------------------------------------------===//
+//
+// Thread-scaling loops over ConcurrentRelation for the scheduler,
+// graph and ipcap systems: a parallel insert phase, a read-only key
+// probe phase, and a mixed phase (80% routed key queries, 10% updates,
+// 10% duplicate inserts), each run at 1/2/4/8 threads with total work
+// held constant. Reports per-phase throughput and speedup over the
+// single-thread run — the number the sharding exists for. --json
+// <path> writes the machine-readable report (CI uploads it); --quick
+// shrinks the loops; --threads caps the thread sweep; --shards sets
+// the shard count (default 16).
+//
+// Run on a single-core machine this degenerates to measuring lock
+// overhead (speedup ≈ 1x or below); the scaling claims only mean
+// something with >= 4 hardware threads.
+//
+//===----------------------------------------------------------------------===//
+
+#include "BenchCommon.h"
+
+#include "concurrent/ConcurrentRelation.h"
+#include "systems/GraphRelational.h"
+#include "systems/IpcapRelational.h"
+#include "systems/SchedulerRelational.h"
+#include "workloads/Rng.h"
+
+#include <cstdlib>
+#include <functional>
+#include <memory>
+#include <thread>
+#include <vector>
+
+using namespace relc;
+using namespace relcbench;
+
+namespace {
+
+struct Workload {
+  std::string Name;
+  RelSpecRef Spec;
+  std::function<Decomposition()> MakeDecomp;
+  std::function<Tuple(int64_t)> Make; ///< I-th full tuple, unique key.
+  ColumnSet KeyCols;
+  ColumnSet ValueCols;
+  ColumnId UpdateCol; ///< Non-key column rewritten by mixed-loop updates.
+};
+
+Workload makeScheduler() {
+  Workload W;
+  W.Name = "scheduler";
+  W.Spec = SchedulerRelational::makeSpec();
+  W.MakeDecomp = [Spec = W.Spec] {
+    return SchedulerRelational::makeDefaultDecomposition(Spec);
+  };
+  const Catalog &Cat = W.Spec->catalog();
+  W.Make = [&Cat](int64_t I) {
+    return TupleBuilder(Cat)
+        .set("ns", I % 64)
+        .set("pid", I)
+        .set("state", I % 2)
+        .set("cpu", I % 97)
+        .build();
+  };
+  W.KeyCols = Cat.parseSet("ns, pid");
+  W.ValueCols = Cat.parseSet("state, cpu");
+  W.UpdateCol = Cat.get("cpu");
+  return W;
+}
+
+Workload makeGraph() {
+  Workload W;
+  W.Name = "graph";
+  W.Spec = GraphRelational::makeSpec();
+  W.MakeDecomp = [Spec = W.Spec] {
+    return GraphRelational::makeSharedBidirectional(Spec);
+  };
+  const Catalog &Cat = W.Spec->catalog();
+  W.Make = [&Cat](int64_t I) {
+    return TupleBuilder(Cat)
+        .set("src", I % 512)
+        .set("dst", I / 512)
+        .set("weight", I % 1009)
+        .build();
+  };
+  W.KeyCols = Cat.parseSet("src, dst");
+  W.ValueCols = Cat.parseSet("weight");
+  W.UpdateCol = Cat.get("weight");
+  return W;
+}
+
+Workload makeIpcap() {
+  Workload W;
+  W.Name = "ipcap";
+  W.Spec = IpcapRelational::makeSpec();
+  W.MakeDecomp = [Spec = W.Spec] {
+    return IpcapRelational::makeDefaultDecomposition(Spec);
+  };
+  const Catalog &Cat = W.Spec->catalog();
+  W.Make = [&Cat](int64_t I) {
+    return TupleBuilder(Cat)
+        .set("local", I % 256)
+        .set("remote", I)
+        .set("bytes_in", I * 3 % 65536)
+        .set("bytes_out", I * 7 % 65536)
+        .set("packets", I % 1024)
+        .build();
+  };
+  W.KeyCols = Cat.parseSet("local, remote");
+  W.ValueCols = Cat.parseSet("bytes_in, bytes_out, packets");
+  W.UpdateCol = Cat.get("packets");
+  return W;
+}
+
+volatile int64_t BenchSinkStore = 0;
+void benchSink(int64_t V) { BenchSinkStore = V; }
+
+/// Runs \p Body on \p NumThreads threads (thread id passed in) and
+/// returns the wall-clock seconds from first launch to last join.
+template <typename FnT> double runThreads(unsigned NumThreads, FnT &&Body) {
+  Clock::time_point Start = Clock::now();
+  if (NumThreads == 1) {
+    Body(0u); // in-line: a 1-thread baseline without spawn overhead
+  } else {
+    std::vector<std::thread> Threads;
+    Threads.reserve(NumThreads);
+    for (unsigned T = 0; T != NumThreads; ++T)
+      Threads.emplace_back([&Body, T] { Body(T); });
+    for (std::thread &Th : Threads)
+      Th.join();
+  }
+  return secondsSince(Start);
+}
+
+struct PhaseResult {
+  double Seconds = 0;
+  size_t Ops = 0;
+  double opsPerSec() const { return Seconds > 0 ? double(Ops) / Seconds : 0; }
+};
+
+void report(JsonReporter &Json, const std::string &System, const char *Phase,
+            unsigned Threads, const PhaseResult &M, double Baseline) {
+  double Speedup = Baseline > 0 ? M.opsPerSec() / Baseline : 1.0;
+  std::printf("  %-10s t=%u %12.0f ops/s   %5.2fx vs t=1\n", Phase, Threads,
+              M.opsPerSec(), Speedup);
+  Json.record(System + "." + Phase + ".t" + std::to_string(Threads))
+      .metric("threads", Threads)
+      .metric("ops", double(M.Ops))
+      .metric("seconds", M.Seconds)
+      .metric("ops_per_sec", M.opsPerSec())
+      .metric("speedup_vs_1", Speedup);
+}
+
+/// One system at one thread count: insert, query, mixed. \returns the
+/// per-phase throughputs (insert, query, mixed).
+std::vector<PhaseResult> runSystem(const Workload &W, unsigned Shards,
+                                   unsigned Threads, size_t N, size_t Probes,
+                                   size_t MixedOps,
+                                   const std::vector<Tuple> &Tuples,
+                                   const std::vector<Tuple> &KeyPats) {
+  ConcurrentOptions Opts;
+  Opts.NumShards = Shards;
+  ConcurrentRelation Rel(W.MakeDecomp(), Opts);
+
+  // Parallel insert: thread T owns slice [T*N/Threads, (T+1)*N/Threads).
+  PhaseResult Ins;
+  Ins.Ops = N;
+  Ins.Seconds = runThreads(Threads, [&](unsigned T) {
+    size_t Lo = N * T / Threads, Hi = N * (T + 1) / Threads;
+    for (size_t I = Lo; I != Hi; ++I)
+      Rel.insert(Tuples[I]);
+  });
+
+  // Warm every shard's plan/cut caches so the measured loops are
+  // steady state (as in bench_hotpath). Duplicate insert runs before
+  // the update so the re-inserted tuple still matches the stored one
+  // (inserting stale values after an update would violate the FD).
+  ColumnId ValueCol = W.ValueCols.first();
+  for (size_t I = 0; I != std::min<size_t>(N, 4 * Shards); ++I) {
+    Rel.scanFrames(KeyPats[I], W.ValueCols,
+                   [](const BindingFrame &) { return false; });
+    Rel.insert(Tuples[I]);
+    Tuple Changes;
+    Changes.set(W.UpdateCol, Value::ofInt(0));
+    Rel.update(KeyPats[I], Changes);
+    Rel.remove(KeyPats[I]);
+    Rel.insert(Tuples[I]);
+  }
+
+  // Read-only key probes, keys striped across threads.
+  PhaseResult Probe;
+  Probe.Ops = Probes;
+  Probe.Seconds = runThreads(Threads, [&](unsigned T) {
+    int64_t Sum = 0;
+    for (size_t I = T; I < Probes; I += Threads) {
+      const Tuple &Key = KeyPats[I % N];
+      Rel.scanFrames(Key, W.ValueCols, [&](const BindingFrame &F) {
+        Sum += F.get(ValueCol).asInt();
+        return false;
+      });
+    }
+    benchSink(Sum);
+  });
+
+  // Mixed: 80% routed key queries over any key, 10% updates, 10%
+  // remove+reinsert churn. Mutations stay on thread-owned keys (key
+  // index ≡ thread id mod Threads) so racing writers never re-insert
+  // a tuple another thread's update made stale — the concurrent
+  // analogue of the FD preconditions of Lemma 4.
+  PhaseResult Mixed;
+  Mixed.Ops = MixedOps;
+  size_t OwnSlots = N / Threads;
+  Mixed.Seconds = runThreads(Threads, [&](unsigned T) {
+    Rng R(0x9e1ab0 + T);
+    int64_t Sum = 0;
+    for (size_t I = T; I < MixedOps; I += Threads) {
+      uint64_t Dice = R.below(10);
+      if (Dice < 8) {
+        Rel.scanFrames(KeyPats[R.below(N)], W.ValueCols,
+                       [&](const BindingFrame &F) {
+                         Sum += F.get(ValueCol).asInt();
+                         return false;
+                       });
+      } else {
+        size_t K = T + Threads * R.below(OwnSlots);
+        if (Dice == 8) {
+          Tuple Changes;
+          Changes.set(W.UpdateCol, Value::ofInt(int64_t(R.below(1009))));
+          Rel.update(KeyPats[K], Changes);
+        } else {
+          Rel.remove(KeyPats[K]);
+          Rel.insert(Tuples[K]);
+        }
+      }
+    }
+    benchSink(Sum);
+  });
+
+  return {Ins, Probe, Mixed};
+}
+
+} // namespace
+
+int main(int argc, char **argv) {
+  bool Quick = hasArg(argc, argv, "--quick");
+  const char *JsonPath = argValue(argc, argv, "--json");
+  if (hasArg(argc, argv, "--json") && !JsonPath) {
+    std::fprintf(stderr, "error: --json requires a path argument\n");
+    return 1;
+  }
+  const char *ShardsArg = argValue(argc, argv, "--shards");
+  const char *ThreadsArg = argValue(argc, argv, "--threads");
+  int ShardsVal = ShardsArg ? std::atoi(ShardsArg) : 16;
+  int ThreadsVal = ThreadsArg ? std::atoi(ThreadsArg) : 8;
+  if (ShardsVal <= 0 || ThreadsVal <= 0) {
+    std::fprintf(stderr, "error: --shards/--threads must be positive\n");
+    return 1;
+  }
+  unsigned Shards = unsigned(ShardsVal);
+  unsigned MaxThreads = unsigned(ThreadsVal);
+
+  size_t N = Quick ? 8000 : 40000;
+  size_t Probes = Quick ? 24000 : 160000;
+  size_t MixedOps = Quick ? 16000 : 120000;
+
+  std::printf("hardware threads: %u, shards: %u\n",
+              std::thread::hardware_concurrency(), Shards);
+
+  JsonReporter Json("concurrent", Quick ? "quick" : "full");
+  Workload Workloads[] = {makeScheduler(), makeGraph(), makeIpcap()};
+  const char *Phases[] = {"insert", "query", "mixed"};
+
+  for (const Workload &W : Workloads) {
+    std::printf("%s (n=%zu)\n", W.Name.c_str(), N);
+    std::vector<Tuple> Tuples;
+    Tuples.reserve(N);
+    for (size_t I = 0; I != N; ++I)
+      Tuples.push_back(W.Make(int64_t(I)));
+    std::vector<Tuple> KeyPats;
+    KeyPats.reserve(N);
+    for (const Tuple &T : Tuples)
+      KeyPats.push_back(T.project(W.KeyCols));
+
+    std::vector<double> Baselines(3, 0.0);
+    for (unsigned Threads = 1; Threads <= MaxThreads; Threads *= 2) {
+      std::vector<PhaseResult> Results = runSystem(
+          W, Shards, Threads, N, Probes, MixedOps, Tuples, KeyPats);
+      for (size_t P = 0; P != Results.size(); ++P) {
+        if (Threads == 1)
+          Baselines[P] = Results[P].opsPerSec();
+        report(Json, W.Name, Phases[P], Threads, Results[P], Baselines[P]);
+      }
+    }
+  }
+
+  if (JsonPath && !Json.write(JsonPath))
+    return 1;
+  return 0;
+}

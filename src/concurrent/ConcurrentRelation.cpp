@@ -1,0 +1,199 @@
+//===- concurrent/ConcurrentRelation.cpp - Sharded thread-safe facade --------===//
+//
+// Part of the RelC data representation synthesis library.
+//
+//===----------------------------------------------------------------------===//
+
+#include "concurrent/ConcurrentRelation.h"
+
+#include <unordered_set>
+
+using namespace relc;
+
+ConcurrentRelation::ConcurrentRelation(const Decomposition &D,
+                                       ConcurrentOptions Opts)
+    : Router(Opts.ShardColumn ? *Opts.ShardColumn
+                              : ShardRouter::defaultShardColumn(D),
+             Opts.NumShards),
+      Locks(Opts.NumShards) {
+  assert(Router.shardColumn() < D.catalog().size() &&
+         "shard column is not a column of the relation");
+  Shards.reserve(Opts.NumShards);
+  for (unsigned I = 0; I != Opts.NumShards; ++I) {
+    Shards.push_back(std::make_unique<SynthesizedRelation>(Decomposition(D)));
+    Shards.back()->enableConcurrentReads();
+  }
+}
+
+bool ConcurrentRelation::insert(const Tuple &T) {
+  unsigned S = Router.shardOf(T);
+  auto Lock = Locks.exclusive(S);
+  bool Changed = Shards[S]->insert(T);
+  if (Changed)
+    Count.fetch_add(1, std::memory_order_relaxed);
+  return Changed;
+}
+
+size_t ConcurrentRelation::remove(const Tuple &Pattern) {
+  size_t Removed;
+  if (Router.routes(Pattern.columns())) {
+    unsigned S = Router.shardOf(Pattern);
+    auto Lock = Locks.exclusive(S);
+    Removed = Shards[S]->remove(Pattern);
+  } else {
+    Removed = removeAllShards(Pattern);
+  }
+  Count.fetch_sub(Removed, std::memory_order_relaxed);
+  return Removed;
+}
+
+size_t ConcurrentRelation::removeAllShards(const Tuple &Pattern) {
+  StripedLockSet::AllExclusiveGuard Guard(Locks);
+  size_t Removed = 0;
+  for (std::unique_ptr<SynthesizedRelation> &S : Shards)
+    Removed += S->remove(Pattern);
+  return Removed;
+}
+
+size_t ConcurrentRelation::update(const Tuple &Pattern, const Tuple &Changes) {
+  assert(!Pattern.columns().intersects(Changes.columns()) &&
+         "update changes must be disjoint from the pattern");
+  if (Changes.has(Router.shardColumn()))
+    return updateRehoming(Pattern, Changes);
+  if (Router.routes(Pattern.columns())) {
+    unsigned S = Router.shardOf(Pattern);
+    auto Lock = Locks.exclusive(S);
+    return Shards[S]->update(Pattern, Changes);
+  }
+  // The pattern is a key, so at most one shard holds a match — but
+  // without the shard column which one is unknown: take every writer
+  // lock (ascending, per the lock order) and try each shard in turn.
+  StripedLockSet::AllExclusiveGuard Guard(Locks);
+  for (std::unique_ptr<SynthesizedRelation> &S : Shards)
+    if (size_t Updated = S->update(Pattern, Changes))
+      return Updated;
+  return 0;
+}
+
+size_t ConcurrentRelation::updateRehoming(const Tuple &Pattern,
+                                          const Tuple &Changes) {
+  // The changes rewrite the shard column (so, by disjointness, the
+  // pattern does not bind it) and the tuple may change owners: locate
+  // the matching tuple, then either update in place (same owner) or
+  // migrate it (remove + reinsert), all under every writer lock.
+  StripedLockSet::AllExclusiveGuard Guard(Locks);
+  ColumnSet All = catalog().allColumns();
+  for (unsigned I = 0; I != Shards.size(); ++I) {
+    Tuple Old;
+    bool Found = false;
+    Shards[I]->scanFrames(Pattern, All, [&](const BindingFrame &F) {
+      Old = F.toTuple(All);
+      Found = true;
+      return false; // the pattern is a key: at most one match
+    });
+    if (!Found)
+      continue;
+    Tuple Merged = Old.merge(Changes);
+    unsigned Target = Router.shardOf(Merged);
+    if (Target == I)
+      return Shards[I]->update(Pattern, Changes);
+    [[maybe_unused]] size_t Removed = Shards[I]->remove(Old);
+    assert(Removed == 1 && "matched tuple vanished during migration");
+    if (!Shards[Target]->insert(Merged))
+      // The merged tuple already existed in the target shard — an
+      // FD-violating input the sequential engine would also mishandle;
+      // keep the size counter consistent with the shards regardless.
+      Count.fetch_sub(1, std::memory_order_relaxed);
+    return 1;
+  }
+  return 0;
+}
+
+std::vector<Tuple> ConcurrentRelation::query(const Tuple &Pattern,
+                                             ColumnSet OutputCols) const {
+  std::vector<Tuple> Result;
+  std::unordered_set<Tuple> Seen;
+  // One Seen set across every shard: a projection that drops the shard
+  // column can surface the same result tuple from several shards, and
+  // query's contract is set semantics.
+  scanFrames(Pattern, OutputCols, [&](const BindingFrame &F) {
+    Tuple Projected = F.toTuple(OutputCols);
+    if (Seen.insert(Projected).second)
+      Result.push_back(std::move(Projected));
+    return true;
+  });
+  return Result;
+}
+
+void ConcurrentRelation::scan(const Tuple &Pattern, ColumnSet OutputCols,
+                              function_ref<bool(const Tuple &)> Fn) const {
+  scanFrames(Pattern, OutputCols, [&](const BindingFrame &F) {
+    return Fn(F.toTuple(F.bound()));
+  });
+}
+
+void ConcurrentRelation::scanFrames(
+    const Tuple &Pattern, ColumnSet OutputCols,
+    function_ref<bool(const BindingFrame &)> Fn) const {
+  // NOTE: the callback runs under a shard's reader lock, so unlike the
+  // sequential engine's reentrant scans it must not issue operations
+  // on this ConcurrentRelation (a nested mutation deadlocks; a nested
+  // read re-acquires a held shared_mutex, which is undefined).
+  if (Router.routes(Pattern.columns())) {
+    unsigned S = Router.shardOf(Pattern);
+    auto Lock = Locks.shared(S);
+    Shards[S]->scanFrames(Pattern, OutputCols, Fn);
+    return;
+  }
+  bool Stopped = false;
+  for (unsigned I = 0; I != Shards.size() && !Stopped; ++I) {
+    auto Lock = Locks.shared(I);
+    Shards[I]->scanFrames(Pattern, OutputCols, [&](const BindingFrame &F) {
+      if (!Fn(F)) {
+        Stopped = true;
+        return false;
+      }
+      return true;
+    });
+  }
+}
+
+bool ConcurrentRelation::contains(const Tuple &Pattern) const {
+  bool Found = false;
+  scanFrames(Pattern, ColumnSet(), [&](const BindingFrame &) {
+    Found = true;
+    return false;
+  });
+  return Found;
+}
+
+void ConcurrentRelation::clear() {
+  StripedLockSet::AllExclusiveGuard Guard(Locks);
+  for (std::unique_ptr<SynthesizedRelation> &S : Shards)
+    S->clear();
+  Count.store(0, std::memory_order_relaxed);
+}
+
+Relation ConcurrentRelation::toRelation() const {
+  Relation Result(catalog().allColumns());
+  for (unsigned I = 0; I != Shards.size(); ++I) {
+    auto Lock = Locks.shared(I);
+    Result = Relation::unionWith(Result, Shards[I]->toRelation());
+  }
+  return Result;
+}
+
+size_t ConcurrentRelation::liveInstances() const {
+  size_t Live = 0;
+  for (unsigned I = 0; I != Shards.size(); ++I) {
+    auto Lock = Locks.shared(I);
+    Live += Shards[I]->liveInstances();
+  }
+  return Live;
+}
+
+void ConcurrentRelation::reoptimize() {
+  StripedLockSet::AllExclusiveGuard Guard(Locks);
+  for (std::unique_ptr<SynthesizedRelation> &S : Shards)
+    S->reoptimize();
+}

@@ -1,0 +1,146 @@
+//===- concurrent/ConcurrentRelation.h - Sharded thread-safe facade -*- C++ -*-===//
+//
+// Part of the RelC data representation synthesis library.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// A thread-safe facade over the synthesized relations of the paper:
+/// the relation is hash-partitioned across N independent
+/// SynthesizedRelation sub-instances by one shard column, with one
+/// reader-writer lock per shard (StripedLock.h). Readers of any shards
+/// run concurrently; writers serialize only within the shard they
+/// touch. Operations whose pattern binds the shard column route to
+/// exactly one shard; the rest fan out — reads shard-by-shard under
+/// successive reader locks, mutations atomically under all writer
+/// locks in ascending order (docs/CONCURRENCY.md has the full design,
+/// lock order, and visibility guarantees).
+///
+/// Correctness: every full tuple is owned by exactly one shard (the
+/// hash of its shard-column value), so the represented relation is the
+/// disjoint union of the shard relations and every Section 2 operation
+/// decomposes into per-shard operations on it. The one non-local case
+/// is an update that rewrites the shard column itself, which migrates
+/// the tuple between shards (remove + reinsert) under all writer
+/// locks. The per-shard zero-allocation query invariants of the
+/// sequential engine survive unchanged: scanFrames lends each shard's
+/// stack frame to the callback exactly as the sequential engine does.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef RELC_CONCURRENT_CONCURRENTRELATION_H
+#define RELC_CONCURRENT_CONCURRENTRELATION_H
+
+#include "concurrent/ShardRouter.h"
+#include "concurrent/StripedLock.h"
+#include "runtime/SynthesizedRelation.h"
+
+#include <atomic>
+#include <memory>
+#include <optional>
+#include <vector>
+
+namespace relc {
+
+struct ConcurrentOptions {
+  /// Number of sub-relations. More shards = more writer parallelism
+  /// and more fan-out work for non-routed operations; powers of two
+  /// around 2x the expected writer count work well.
+  unsigned NumShards = 8;
+  /// Column to partition by; defaults to the first column of the
+  /// decomposition root's key (ShardRouter::defaultShardColumn).
+  std::optional<ColumnId> ShardColumn;
+};
+
+class ConcurrentRelation {
+public:
+  /// Builds \p Opts.NumShards copies of the decomposition, one
+  /// SynthesizedRelation per shard (each with concurrent reads
+  /// enabled). \p D must be adequate, as for SynthesizedRelation.
+  explicit ConcurrentRelation(const Decomposition &D,
+                              ConcurrentOptions Opts = ConcurrentOptions());
+
+  const RelSpecRef &spec() const { return Shards.front()->spec(); }
+  const Catalog &catalog() const { return Shards.front()->catalog(); }
+  const Decomposition &decomp() const { return Shards.front()->decomp(); }
+
+  unsigned numShards() const { return Router.numShards(); }
+  ColumnId shardColumn() const { return Router.shardColumn(); }
+
+  //===--------------------------------------------------------------------===
+  // The relational interface (Section 2), thread-safe.
+  //===--------------------------------------------------------------------===
+
+  /// insert r t. Routes to the owning shard (full tuples always bind
+  /// the shard column) under its writer lock.
+  bool insert(const Tuple &T);
+
+  /// remove r s. One shard if the pattern binds the shard column;
+  /// otherwise all shards under all writer locks (atomic fan-out).
+  size_t remove(const Tuple &Pattern);
+
+  /// update r s u, with the sequential engine's preconditions (the
+  /// pattern is a key, changes disjoint from it). If the changes
+  /// rewrite the shard column the tuple migrates shards under all
+  /// writer locks; otherwise the update stays inside one shard.
+  size_t update(const Tuple &Pattern, const Tuple &Changes);
+
+  /// query r s C, deduplicated across shards.
+  std::vector<Tuple> query(const Tuple &Pattern, ColumnSet OutputCols) const;
+
+  /// Streaming scan; like the sequential engine, no deduplication.
+  /// Fan-out scans visit shards in index order under successive reader
+  /// locks: each shard's results are a consistent snapshot, but a
+  /// writer may commit between shards (see docs/CONCURRENCY.md).
+  void scan(const Tuple &Pattern, ColumnSet OutputCols,
+            function_ref<bool(const Tuple &)> Fn) const;
+
+  /// As scan, delivering borrowed BindingFrames (zero-allocation path;
+  /// the frame is the visited shard's stack frame).
+  void scanFrames(const Tuple &Pattern, ColumnSet OutputCols,
+                  function_ref<bool(const BindingFrame &)> Fn) const;
+
+  /// True if some tuple extends \p Pattern.
+  bool contains(const Tuple &Pattern) const;
+
+  /// Lock-free; exact whenever it does not race a mutation.
+  size_t size() const { return Count.load(std::memory_order_relaxed); }
+  bool empty() const { return size() == 0; }
+
+  /// Empties every shard (all writer locks).
+  void clear();
+
+  //===--------------------------------------------------------------------===
+  // Introspection (tests, benches).
+  //===--------------------------------------------------------------------===
+
+  /// α(d): the union of the shard relations (test-sized relations;
+  /// successive reader locks, so quiesce writers for an exact answer).
+  Relation toRelation() const;
+
+  /// Live NodeInstances across shards (leak checks).
+  size_t liveInstances() const;
+
+  /// Profiling-guided replanning of every shard against its own live
+  /// fanouts, under all writer locks (no reader may hold a plan).
+  void reoptimize();
+
+  /// Direct shard access for tests and benches. The caller is
+  /// responsible for exclusion (e.g. after joining all worker
+  /// threads); the facade's locks are not taken.
+  const SynthesizedRelation &shard(unsigned I) const { return *Shards[I]; }
+
+private:
+  size_t removeAllShards(const Tuple &Pattern);
+  size_t updateRehoming(const Tuple &Pattern, const Tuple &Changes);
+
+  ShardRouter Router;
+  StripedLockSet Locks;
+  /// unique_ptr: SynthesizedRelation owns a non-movable InstanceGraph.
+  std::vector<std::unique_ptr<SynthesizedRelation>> Shards;
+  std::atomic<size_t> Count{0};
+};
+
+} // namespace relc
+
+#endif // RELC_CONCURRENT_CONCURRENTRELATION_H

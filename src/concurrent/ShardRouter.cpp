@@ -1,0 +1,27 @@
+//===- concurrent/ShardRouter.cpp - Hash routing across shards ---------------===//
+//
+// Part of the RelC data representation synthesis library.
+//
+//===----------------------------------------------------------------------===//
+
+#include "concurrent/ShardRouter.h"
+
+using namespace relc;
+
+ColumnId ShardRouter::defaultShardColumn(const Decomposition &D) {
+  // The root's outgoing edges are the containers every operation
+  // probes first; their key columns are the "root key". A join at the
+  // root contributes its edges in primitive tree order, so the first
+  // edge is the left-most map — e.g. ns for the scheduler's
+  // join(map(ns, ...), map(state, ...)) root.
+  const std::vector<EdgeId> &RootEdges = D.outgoing(D.root());
+  if (!RootEdges.empty()) {
+    ColumnSet Key = D.edge(RootEdges.front()).KeyCols;
+    assert(!Key.empty() && "map edge with empty key columns");
+    return Key.first();
+  }
+  // Root is a bare unit: nothing to route by structurally; shard on
+  // the first catalog column.
+  assert(D.catalog().size() > 0 && "cannot shard a zero-column relation");
+  return 0;
+}

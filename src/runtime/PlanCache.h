@@ -11,6 +11,13 @@
 /// (input columns, output columns) shape and caching the plan; steady-
 /// state operations never re-plan.
 ///
+/// The cache is the one piece of relation state that mutates under
+/// logically-const queries, so it is also the only place the sharded
+/// concurrent facade needs internal synchronization: in thread-safe
+/// mode (enableThreadSafe) lookups take a reader lock and misses
+/// plan outside any lock, then publish under a writer lock. The
+/// default mode stays lock-free for the sequential hot path.
+///
 //===----------------------------------------------------------------------===//
 
 #ifndef RELC_RUNTIME_PLANCACHE_H
@@ -22,6 +29,8 @@
 #include "support/Hashing.h"
 
 #include <memory>
+#include <mutex>
+#include <shared_mutex>
 #include <unordered_map>
 
 namespace relc {
@@ -33,29 +42,72 @@ public:
 
   const CostParams &costParams() const { return Params; }
 
+  /// Switches the cache to internally-synchronized mode, allowing
+  /// concurrent plan()/cut() calls from multiple threads. Returned
+  /// plan/cut pointers stay valid across later insertions (node-based
+  /// map storage); reoptimize still requires external exclusivity.
+  /// One-way and not reversible mid-use.
+  void enableThreadSafe() { ThreadSafe = true; }
+
   /// The cheapest valid plan for the query shape, or nullptr if none
   /// exists (cached either way).
   const QueryPlan *plan(ColumnSet InputCols, ColumnSet OutputCols) {
     auto Key = std::make_pair(InputCols.mask(), OutputCols.mask());
-    auto It = Plans.find(Key);
-    if (It == Plans.end()) {
-      std::optional<QueryPlan> P = planQuery(*D, InputCols, OutputCols, Params);
-      It = Plans.emplace(Key, std::move(P)).first;
+    if (!ThreadSafe) {
+      auto It = Plans.find(Key);
+      if (It == Plans.end()) {
+        std::optional<QueryPlan> P =
+            planQuery(*D, InputCols, OutputCols, Params);
+        It = Plans.emplace(Key, std::move(P)).first;
+      }
+      return It->second ? &*It->second : nullptr;
     }
+    {
+      std::shared_lock<std::shared_mutex> Lock(Mu);
+      auto It = Plans.find(Key);
+      if (It != Plans.end())
+        return It->second ? &*It->second : nullptr;
+    }
+    // Plan outside the lock (planning is pure over the immutable
+    // decomposition and the cost parameters, which only reoptimize —
+    // externally exclusive — replaces); racing planners compute the
+    // same plan and the first publication wins.
+    std::optional<QueryPlan> P = planQuery(*D, InputCols, OutputCols, Params);
+    std::unique_lock<std::shared_mutex> Lock(Mu);
+    auto It = Plans.find(Key);
+    if (It == Plans.end())
+      It = Plans.emplace(Key, std::move(P)).first;
     return It->second ? &*It->second : nullptr;
   }
 
   /// The cut for a pattern column set (cached).
   const Cut &cut(ColumnSet PatternCols) {
+    if (!ThreadSafe) {
+      auto It = Cuts.find(PatternCols.mask());
+      if (It == Cuts.end())
+        It = Cuts.emplace(PatternCols.mask(), computeCut(*D, PatternCols))
+                 .first;
+      return It->second;
+    }
+    {
+      std::shared_lock<std::shared_mutex> Lock(Mu);
+      auto It = Cuts.find(PatternCols.mask());
+      if (It != Cuts.end())
+        return It->second;
+    }
+    Cut C = computeCut(*D, PatternCols);
+    std::unique_lock<std::shared_mutex> Lock(Mu);
     auto It = Cuts.find(PatternCols.mask());
     if (It == Cuts.end())
-      It = Cuts.emplace(PatternCols.mask(), computeCut(*D, PatternCols)).first;
+      It = Cuts.emplace(PatternCols.mask(), std::move(C)).first;
     return It->second;
   }
 
   /// Replaces the cost parameters and drops every cached plan so the
   /// next query of each shape replans under the new fanouts. Cuts are
-  /// cost-independent and stay.
+  /// cost-independent and stay. Requires external exclusivity even in
+  /// thread-safe mode: no concurrent plan() caller may be live (they
+  /// could hold pointers into the dropped plans).
   void reoptimize(CostParams NewParams) {
     Params = std::move(NewParams);
     Plans.clear();
@@ -78,6 +130,9 @@ private:
                      ShapeHash>
       Plans;
   std::unordered_map<uint64_t, Cut> Cuts;
+  /// Guards Plans and Cuts in thread-safe mode only.
+  std::shared_mutex Mu;
+  bool ThreadSafe = false;
 };
 
 } // namespace relc

@@ -116,6 +116,22 @@ public:
   /// As above with caller-supplied parameters.
   void reoptimize(CostParams Params) { Plans.reoptimize(std::move(Params)); }
 
+  //===--------------------------------------------------------------------===
+  // Concurrent use (src/concurrent/ConcurrentRelation).
+  //===--------------------------------------------------------------------===
+
+  /// Prepares this relation for concurrent const reads: queries are
+  /// reentrant and touch no relation state except the memoizing plan
+  /// cache, which this switches to internally-synchronized mode. After
+  /// the call, any number of threads may run scan/scanFrames/query/
+  /// contains concurrently with each other (but not with mutations —
+  /// writer exclusion stays the caller's job; ConcurrentRelation does
+  /// it with one shared_mutex per shard). One-way.
+  void enableConcurrentReads() { Plans.enableThreadSafe(); }
+
+  /// The live instance graph (concurrent facade + tests; read-only).
+  const InstanceGraph &instanceGraph() const { return Graph; }
+
 private:
   Relation abstractionOf() const;
 

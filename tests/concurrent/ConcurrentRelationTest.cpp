@@ -1,0 +1,359 @@
+//===- tests/concurrent/ConcurrentRelationTest.cpp - Facade tests -*- C++ -*-===//
+//
+// Part of the RelC data representation synthesis library.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Single-threaded semantics of the sharded ConcurrentRelation facade:
+/// routing, fan-out, shard-column migration, and α-equivalence with
+/// both the sequential engine and the Relation oracle under a
+/// randomized operation mix. (The multi-threaded interleavings are
+/// tests/concurrent/StressTest.cpp.)
+///
+//===----------------------------------------------------------------------===//
+
+#include "concurrent/ConcurrentRelation.h"
+
+#include "decomp/Builder.h"
+#include "systems/IpcapRelational.h"
+#include "workloads/Rng.h"
+
+#include <gtest/gtest.h>
+
+using namespace relc;
+
+namespace {
+
+RelSpecRef schedulerSpec() {
+  return RelSpec::make("scheduler", {"ns", "pid", "state", "cpu"},
+                       {{"ns, pid", "state, cpu"}});
+}
+
+Decomposition fig2(const RelSpecRef &Spec) {
+  DecompBuilder B(Spec);
+  NodeId W = B.addNode("w", "ns, pid, state", B.unit("cpu"));
+  NodeId Y = B.addNode("y", "ns", B.map("pid", DsKind::HashTable, W));
+  NodeId Z = B.addNode("z", "state", B.map("ns, pid", DsKind::DList, W));
+  B.addNode("x", "", B.join(B.map("ns", DsKind::HashTable, Y),
+                            B.map("state", DsKind::Vector, Z)));
+  return B.build();
+}
+
+class ConcurrentRelationTest : public ::testing::Test {
+protected:
+  ConcurrentRelationTest()
+      : Spec(schedulerSpec()), Decomp(fig2(Spec)), Cat(Spec->catalog()) {}
+
+  Tuple proc(int64_t Ns, int64_t Pid, int64_t State, int64_t Cpu) {
+    return TupleBuilder(Cat)
+        .set("ns", Ns)
+        .set("pid", Pid)
+        .set("state", State)
+        .set("cpu", Cpu)
+        .build();
+  }
+
+  Tuple key(int64_t Ns, int64_t Pid) {
+    return TupleBuilder(Cat).set("ns", Ns).set("pid", Pid).build();
+  }
+
+  RelSpecRef Spec;
+  Decomposition Decomp;
+  const Catalog &Cat;
+};
+
+TEST_F(ConcurrentRelationTest, DefaultShardColumnIsRootKeyHead) {
+  // fig2's root joins map(ns, ...) with map(state, ...): the first
+  // root edge is keyed on ns.
+  EXPECT_EQ(ShardRouter::defaultShardColumn(Decomp), Cat.get("ns"));
+
+  RelSpecRef IpcapSpec = IpcapRelational::makeSpec();
+  Decomposition IpcapD = IpcapRelational::makeDefaultDecomposition(IpcapSpec);
+  EXPECT_EQ(ShardRouter::defaultShardColumn(IpcapD),
+            IpcapSpec->catalog().get("local"));
+}
+
+TEST_F(ConcurrentRelationTest, StartsEmpty) {
+  ConcurrentRelation Rel(Decomp, {4, std::nullopt});
+  EXPECT_TRUE(Rel.empty());
+  EXPECT_EQ(Rel.size(), 0u);
+  EXPECT_EQ(Rel.numShards(), 4u);
+  EXPECT_EQ(Rel.shardColumn(), Cat.get("ns"));
+  EXPECT_TRUE(Rel.toRelation().empty());
+}
+
+TEST_F(ConcurrentRelationTest, InsertRoutesToOneShard) {
+  ConcurrentRelation Rel(Decomp, {4, std::nullopt});
+  EXPECT_TRUE(Rel.insert(proc(7, 42, 1, 0)));
+  EXPECT_FALSE(Rel.insert(proc(7, 42, 1, 0))); // duplicate
+  EXPECT_EQ(Rel.size(), 1u);
+
+  // Exactly one shard is non-empty, and it is the routed one.
+  ShardRouter Router(Rel.shardColumn(), Rel.numShards());
+  unsigned Owner = Router.shardOf(Value::ofInt(7));
+  for (unsigned I = 0; I != Rel.numShards(); ++I)
+    EXPECT_EQ(Rel.shard(I).size(), I == Owner ? 1u : 0u);
+}
+
+TEST_F(ConcurrentRelationTest, ShardsDisjointAndSizesSum) {
+  ConcurrentRelation Rel(Decomp, {4, std::nullopt});
+  for (int64_t Ns = 0; Ns != 16; ++Ns)
+    for (int64_t Pid = 0; Pid != 8; ++Pid)
+      ASSERT_TRUE(Rel.insert(proc(Ns, Pid, Pid % 2, 0)));
+  EXPECT_EQ(Rel.size(), 128u);
+
+  size_t Sum = 0;
+  unsigned NonEmpty = 0;
+  for (unsigned I = 0; I != Rel.numShards(); ++I) {
+    Sum += Rel.shard(I).size();
+    NonEmpty += Rel.shard(I).size() > 0;
+  }
+  EXPECT_EQ(Sum, 128u);
+  // 16 distinct ns values over 4 shards: overwhelmingly every shard
+  // gets some (and the default router does spread these).
+  EXPECT_GT(NonEmpty, 1u);
+}
+
+TEST_F(ConcurrentRelationTest, RoutedAndFanOutQueries) {
+  ConcurrentRelation Rel(Decomp, {4, std::nullopt});
+  for (int64_t Ns = 0; Ns != 8; ++Ns)
+    for (int64_t Pid = 0; Pid != 4; ++Pid)
+      Rel.insert(proc(Ns, Pid, Pid % 2, 10 * Ns + Pid));
+
+  // Routed: pattern binds ns.
+  auto Pids = Rel.query(TupleBuilder(Cat).set("ns", 3).build(),
+                        Cat.parseSet("pid"));
+  EXPECT_EQ(Pids.size(), 4u);
+
+  // Fan-out: pattern binds only state; results cross every shard.
+  auto Running = Rel.query(TupleBuilder(Cat).set("state", 1).build(),
+                           Cat.parseSet("ns, pid"));
+  EXPECT_EQ(Running.size(), 16u);
+
+  // Fan-out projection that drops the shard column must deduplicate
+  // across shards: the distinct states are {0, 1}.
+  auto States = Rel.query(Tuple(), Cat.parseSet("state"));
+  EXPECT_EQ(States.size(), 2u);
+
+  // contains: routed and fan-out.
+  EXPECT_TRUE(Rel.contains(key(3, 2)));
+  EXPECT_FALSE(Rel.contains(key(3, 9)));
+  EXPECT_TRUE(Rel.contains(TupleBuilder(Cat).set("cpu", 31).build()));
+  EXPECT_FALSE(Rel.contains(TupleBuilder(Cat).set("cpu", 999).build()));
+}
+
+TEST_F(ConcurrentRelationTest, ScanEarlyStopAcrossShards) {
+  ConcurrentRelation Rel(Decomp, {4, std::nullopt});
+  for (int64_t Ns = 0; Ns != 8; ++Ns)
+    Rel.insert(proc(Ns, 1, 1, 0));
+  size_t Seen = 0;
+  Rel.scan(TupleBuilder(Cat).set("state", 1).build(), Cat.parseSet("ns"),
+           [&](const Tuple &) { return ++Seen < 3; });
+  EXPECT_EQ(Seen, 3u);
+}
+
+TEST_F(ConcurrentRelationTest, RemoveRoutedAndFanOut) {
+  ConcurrentRelation Rel(Decomp, {4, std::nullopt});
+  for (int64_t Ns = 0; Ns != 8; ++Ns)
+    for (int64_t Pid = 0; Pid != 4; ++Pid)
+      Rel.insert(proc(Ns, Pid, Pid % 2, 0));
+
+  // Routed: the key binds ns.
+  EXPECT_EQ(Rel.remove(key(5, 0)), 1u);
+  EXPECT_EQ(Rel.size(), 31u);
+
+  // Fan-out: remove everything in state 1 (pattern misses ns).
+  EXPECT_EQ(Rel.remove(TupleBuilder(Cat).set("state", 1).build()), 16u);
+  EXPECT_EQ(Rel.size(), 15u);
+  EXPECT_FALSE(Rel.contains(TupleBuilder(Cat).set("state", 1).build()));
+}
+
+TEST_F(ConcurrentRelationTest, UpdateRoutedKeepsShard) {
+  ConcurrentRelation Rel(Decomp, {4, std::nullopt});
+  Rel.insert(proc(7, 42, 1, 0));
+  EXPECT_EQ(Rel.update(key(7, 42), TupleBuilder(Cat).set("cpu", 99).build()),
+            1u);
+  auto Row = Rel.query(key(7, 42), Cat.parseSet("cpu"));
+  ASSERT_EQ(Row.size(), 1u);
+  EXPECT_EQ(Row[0].get(Cat.get("cpu")).asInt(), 99);
+  EXPECT_EQ(Rel.size(), 1u);
+}
+
+TEST_F(ConcurrentRelationTest, UpdateFansOutWhenKeyMissesShardColumn) {
+  // Shard on state (not part of the key): a key-pattern update must
+  // fan out to find its shard.
+  ConcurrentOptions Opts;
+  Opts.NumShards = 4;
+  Opts.ShardColumn = Cat.get("state");
+  ConcurrentRelation Rel(Decomp, Opts);
+  Rel.insert(proc(7, 42, 1, 0));
+  Rel.insert(proc(7, 43, 0, 5));
+
+  EXPECT_EQ(Rel.update(key(7, 42), TupleBuilder(Cat).set("cpu", 31).build()),
+            1u);
+  EXPECT_EQ(Rel.update(key(1, 1), TupleBuilder(Cat).set("cpu", 31).build()),
+            0u); // no match anywhere
+  auto Row = Rel.query(key(7, 42), Cat.parseSet("cpu"));
+  ASSERT_EQ(Row.size(), 1u);
+  EXPECT_EQ(Row[0].get(Cat.get("cpu")).asInt(), 31);
+}
+
+TEST_F(ConcurrentRelationTest, UpdateRewritingShardColumnMigrates) {
+  ConcurrentOptions Opts;
+  Opts.NumShards = 4;
+  Opts.ShardColumn = Cat.get("state");
+  ConcurrentRelation Rel(Decomp, Opts);
+  Rel.insert(proc(7, 42, 1, 0));
+
+  ShardRouter Router(Rel.shardColumn(), Rel.numShards());
+  unsigned Before = Router.shardOf(Value::ofInt(1));
+
+  // Pick a new state whose hash lands on a different shard, so the
+  // update genuinely migrates the tuple.
+  int64_t NewState = -1;
+  for (int64_t S = 0; S != 64 && NewState < 0; ++S)
+    if (Router.shardOf(Value::ofInt(S)) != Before)
+      NewState = S;
+  ASSERT_GE(NewState, 0) << "no state value maps to another shard";
+  unsigned After = Router.shardOf(Value::ofInt(NewState));
+
+  EXPECT_EQ(
+      Rel.update(key(7, 42), TupleBuilder(Cat).set("state", NewState).build()),
+      1u);
+  EXPECT_EQ(Rel.size(), 1u);
+  EXPECT_EQ(Rel.shard(Before).size(), 0u);
+  EXPECT_EQ(Rel.shard(After).size(), 1u);
+
+  // The moved tuple is intact and queries see it under the new value.
+  auto Row = Rel.query(TupleBuilder(Cat).set("state", NewState).build(),
+                       Cat.parseSet("ns, pid, cpu"));
+  ASSERT_EQ(Row.size(), 1u);
+  EXPECT_EQ(Row[0].get(Cat.get("ns")).asInt(), 7);
+  EXPECT_EQ(Row[0].get(Cat.get("pid")).asInt(), 42);
+
+  // Updating a key with no match reports 0.
+  EXPECT_EQ(Rel.update(key(9, 9), TupleBuilder(Cat).set("state", 2).build()),
+            0u);
+}
+
+TEST_F(ConcurrentRelationTest, ClearAndLeakFree) {
+  ConcurrentRelation Rel(Decomp, {4, std::nullopt});
+  size_t EmptyLive = Rel.liveInstances(); // the per-shard roots
+  for (int64_t Ns = 0; Ns != 8; ++Ns)
+    Rel.insert(proc(Ns, 1, 0, 0));
+  EXPECT_GT(Rel.liveInstances(), EmptyLive);
+  Rel.clear();
+  EXPECT_TRUE(Rel.empty());
+  EXPECT_EQ(Rel.liveInstances(), EmptyLive);
+  EXPECT_TRUE(Rel.toRelation().empty());
+}
+
+/// Randomized α-equivalence: a mixed operation sequence applied to the
+/// sharded facade, the sequential engine, and the Relation oracle must
+/// leave all three representing the same relation.
+void runAlphaEquivalence(const RelSpecRef &Spec, const Decomposition &D,
+                         ConcurrentOptions Opts, uint64_t Seed) {
+  const Catalog &Cat = Spec->catalog();
+  ConcurrentRelation Sharded(D, Opts);
+  SynthesizedRelation Sequential{Decomposition(D)};
+  Relation Oracle(Cat.allColumns());
+  Rng R(Seed);
+
+  auto MakeProc = [&](int64_t Ns, int64_t Pid) {
+    return TupleBuilder(Cat)
+        .set("ns", Ns)
+        .set("pid", Pid)
+        .set("state", static_cast<int64_t>(R.below(3)))
+        .set("cpu", static_cast<int64_t>(R.below(100)))
+        .build();
+  };
+
+  for (int Step = 0; Step != 400; ++Step) {
+    int64_t Ns = R.range(0, 7);
+    int64_t Pid = R.range(0, 15);
+    Tuple Key = TupleBuilder(Cat).set("ns", Ns).set("pid", Pid).build();
+    switch (R.below(5)) {
+    case 0:
+    case 1: { // insert (FD-safe only: the oracle pre-checks)
+      Tuple T = MakeProc(Ns, Pid);
+      if (!Oracle.insertPreservesFds(T, Spec->fds()))
+        break;
+      Oracle.insert(T);
+      EXPECT_EQ(Sharded.insert(T), Sequential.insert(T));
+      break;
+    }
+    case 2: { // remove by key, or occasionally by state (fan-out)
+      Tuple Pattern =
+          R.chance(0.3)
+              ? TupleBuilder(Cat).set("state", R.range(0, 2)).build()
+              : Key;
+      size_t N = Oracle.remove(Pattern);
+      EXPECT_EQ(Sharded.remove(Pattern), N);
+      EXPECT_EQ(Sequential.remove(Pattern), N);
+      break;
+    }
+    case 3: { // update cpu through the key
+      Tuple Changes = TupleBuilder(Cat).set("cpu", R.range(0, 99)).build();
+      size_t N = Oracle.update(Key, Changes);
+      EXPECT_EQ(Sharded.update(Key, Changes), N);
+      EXPECT_EQ(Sequential.update(Key, Changes), N);
+      break;
+    }
+    case 4: { // update state through the key (migrates when sharded
+              // by state)
+      Tuple Changes = TupleBuilder(Cat).set("state", R.range(0, 2)).build();
+      size_t N = Oracle.update(Key, Changes);
+      EXPECT_EQ(Sharded.update(Key, Changes), N);
+      EXPECT_EQ(Sequential.update(Key, Changes), N);
+      break;
+    }
+    }
+    if (Step % 25 == 24) {
+      EXPECT_EQ(Sharded.toRelation(), Oracle) << "step " << Step;
+      EXPECT_EQ(Sharded.toRelation(), Sequential.toRelation())
+          << "step " << Step;
+      EXPECT_EQ(Sharded.size(), Oracle.size()) << "step " << Step;
+    }
+  }
+  EXPECT_EQ(Sharded.toRelation(), Oracle);
+}
+
+TEST_F(ConcurrentRelationTest, AlphaEquivalenceDefaultShardColumn) {
+  runAlphaEquivalence(Spec, Decomp, {4, std::nullopt}, 0xc0ffee);
+}
+
+TEST_F(ConcurrentRelationTest, AlphaEquivalenceSingleShard) {
+  runAlphaEquivalence(Spec, Decomp, {1, std::nullopt}, 0xbeef);
+}
+
+TEST_F(ConcurrentRelationTest, AlphaEquivalenceShardedByNonKeyColumn) {
+  ConcurrentOptions Opts;
+  Opts.NumShards = 4;
+  Opts.ShardColumn = Cat.get("state");
+  runAlphaEquivalence(Spec, Decomp, Opts, 0xfeed);
+}
+
+TEST_F(ConcurrentRelationTest, IpcapDecompositionRoundTrip) {
+  RelSpecRef IpcapSpec = IpcapRelational::makeSpec();
+  Decomposition D = IpcapRelational::makeDefaultDecomposition(IpcapSpec);
+  const Catalog &ICat = IpcapSpec->catalog();
+  ConcurrentRelation Rel(D, {8, std::nullopt});
+  for (int64_t L = 0; L != 16; ++L)
+    for (int64_t R = 0; R != 4; ++R)
+      ASSERT_TRUE(Rel.insert(TupleBuilder(ICat)
+                                 .set("local", L)
+                                 .set("remote", R)
+                                 .set("bytes_in", L * R)
+                                 .set("bytes_out", L + R)
+                                 .set("packets", 1)
+                                 .build()));
+  EXPECT_EQ(Rel.size(), 64u);
+  auto Flows = Rel.query(TupleBuilder(ICat).set("local", 3).build(),
+                         ICat.parseSet("remote, packets"));
+  EXPECT_EQ(Flows.size(), 4u);
+  EXPECT_EQ(Rel.remove(TupleBuilder(ICat).set("local", 3).build()), 4u);
+  EXPECT_EQ(Rel.size(), 60u);
+}
+
+} // namespace

@@ -1,0 +1,269 @@
+//===- tests/concurrent/StressTest.cpp - Multi-threaded stress ---*- C++ -*-===//
+//
+// Part of the RelC data representation synthesis library.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Multi-writer / multi-reader stress over ConcurrentRelation, built
+/// to run ThreadSanitizer-clean (the CI TSan job runs exactly this
+/// suite). Correctness is final-state α-equivalence: writer threads
+/// log every mutation they perform; because the writers operate on
+/// pairwise-disjoint key sets, their operations commute across
+/// threads, so the concurrent execution must leave the relation in the
+/// state produced by replaying the logs serially, thread by thread,
+/// into the sequential engine — a serial order of the same operations.
+///
+//===----------------------------------------------------------------------===//
+
+#include "concurrent/ConcurrentRelation.h"
+
+#include "decomp/Builder.h"
+#include "workloads/Rng.h"
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <thread>
+#include <vector>
+
+using namespace relc;
+
+namespace {
+
+RelSpecRef schedulerSpec() {
+  return RelSpec::make("scheduler", {"ns", "pid", "state", "cpu"},
+                       {{"ns, pid", "state, cpu"}});
+}
+
+Decomposition fig2(const RelSpecRef &Spec) {
+  DecompBuilder B(Spec);
+  NodeId W = B.addNode("w", "ns, pid, state", B.unit("cpu"));
+  NodeId Y = B.addNode("y", "ns", B.map("pid", DsKind::HashTable, W));
+  NodeId Z = B.addNode("z", "state", B.map("ns, pid", DsKind::DList, W));
+  B.addNode("x", "", B.join(B.map("ns", DsKind::HashTable, Y),
+                            B.map("state", DsKind::Vector, Z)));
+  return B.build();
+}
+
+/// One logged mutation, replayable against any engine.
+struct LoggedOp {
+  enum Kind { Insert, Remove, Update } Op;
+  Tuple A; ///< Insert: the tuple. Remove: the pattern. Update: the pattern.
+  Tuple B; ///< Update: the changes.
+};
+
+/// Writer loop: FD-safe random mutations confined to pid values
+/// `Tid mod NumWriters` (namespaces are shared across threads, so
+/// shards see real cross-thread contention while the key sets stay
+/// disjoint). Every performed op is logged for the serial replay.
+void writerLoop(ConcurrentRelation &Rel, const Catalog &Cat,
+                const FuncDeps &Fds, unsigned Tid, unsigned NumWriters,
+                int Ops, std::vector<LoggedOp> &Log) {
+  Rng R(0x5eed0000 + Tid);
+  Relation Mine(Cat.allColumns()); // this thread's slice, for FD checks
+  for (int Step = 0; Step != Ops; ++Step) {
+    int64_t Ns = R.range(0, 7);
+    int64_t Pid = static_cast<int64_t>(Tid) +
+                  static_cast<int64_t>(NumWriters) * R.range(0, 15);
+    Tuple Key = TupleBuilder(Cat).set("ns", Ns).set("pid", Pid).build();
+    switch (R.below(6)) {
+    case 0:
+    case 1:
+    case 2: { // insert
+      Tuple T = TupleBuilder(Cat)
+                    .set("ns", Ns)
+                    .set("pid", Pid)
+                    .set("state", static_cast<int64_t>(R.below(3)))
+                    .set("cpu", static_cast<int64_t>(R.below(100)))
+                    .build();
+      if (!Mine.insertPreservesFds(T, Fds))
+        break;
+      Mine.insert(T);
+      Rel.insert(T);
+      Log.push_back({LoggedOp::Insert, T, Tuple()});
+      break;
+    }
+    case 3: { // remove by key (routed), or by own pid only (fan-out)
+      Tuple Pattern =
+          R.chance(0.25) ? TupleBuilder(Cat).set("pid", Pid).build() : Key;
+      Mine.remove(Pattern);
+      Rel.remove(Pattern);
+      Log.push_back({LoggedOp::Remove, Pattern, Tuple()});
+      break;
+    }
+    case 4: { // update cpu through the key
+      Tuple Changes = TupleBuilder(Cat).set("cpu", R.range(0, 99)).build();
+      Mine.update(Key, Changes);
+      Rel.update(Key, Changes);
+      Log.push_back({LoggedOp::Update, Key, Changes});
+      break;
+    }
+    case 5: { // update state through the key (fan-out / migration
+              // when the shard column is state)
+      Tuple Changes = TupleBuilder(Cat).set("state", R.range(0, 2)).build();
+      Mine.update(Key, Changes);
+      Rel.update(Key, Changes);
+      Log.push_back({LoggedOp::Update, Key, Changes});
+      break;
+    }
+    }
+  }
+}
+
+/// Reader loop: routed key probes, fan-out scans and size polls until
+/// the writers finish. Results are only sanity-checked — the point is
+/// racing the readers against every writer path under TSan.
+void readerLoop(const ConcurrentRelation &Rel, const Catalog &Cat,
+                unsigned Tid, const std::atomic<bool> &Done,
+                std::atomic<size_t> &RowsSeen) {
+  Rng R(0xbead0000 + Tid);
+  ColumnId ColCpu = Cat.get("cpu");
+  size_t Rows = 0;
+  while (!Done.load(std::memory_order_acquire)) {
+    Tuple Key = TupleBuilder(Cat)
+                    .set("ns", R.range(0, 7))
+                    .set("pid", R.range(0, 63))
+                    .build();
+    int64_t Sum = 0;
+    Rel.scanFrames(Key, ColumnSet::single(ColCpu),
+                   [&](const BindingFrame &F) {
+                     Sum += F.get(ColCpu).asInt();
+                     ++Rows;
+                     return false;
+                   });
+    EXPECT_GE(Sum, 0);
+    Rel.scan(TupleBuilder(Cat).set("state", R.range(0, 2)).build(),
+             Cat.parseSet("ns, pid"), [&](const Tuple &T) {
+               EXPECT_TRUE(T.has(Cat.get("ns")));
+               EXPECT_TRUE(T.has(Cat.get("pid")));
+               ++Rows;
+               return true;
+             });
+    (void)Rel.size();
+    (void)Rel.contains(Key);
+  }
+  RowsSeen.fetch_add(Rows, std::memory_order_relaxed);
+}
+
+/// The full harness: writers + readers race, then the writer logs are
+/// replayed serially and the final states must be α-equivalent.
+void runStress(ConcurrentOptions Opts, unsigned NumWriters,
+               unsigned NumReaders, int OpsPerWriter) {
+  RelSpecRef Spec = schedulerSpec();
+  Decomposition D = fig2(Spec);
+  const Catalog &Cat = Spec->catalog();
+  ConcurrentRelation Rel(D, Opts);
+
+  std::vector<std::vector<LoggedOp>> Logs(NumWriters);
+  std::atomic<bool> Done{false};
+  std::atomic<size_t> RowsSeen{0};
+
+  std::vector<std::thread> Readers;
+  for (unsigned I = 0; I != NumReaders; ++I)
+    Readers.emplace_back(readerLoop, std::cref(Rel), std::cref(Cat), I,
+                         std::cref(Done), std::ref(RowsSeen));
+  std::vector<std::thread> Writers;
+  for (unsigned I = 0; I != NumWriters; ++I)
+    Writers.emplace_back([&, I] {
+      writerLoop(Rel, Cat, Spec->fds(), I, NumWriters, OpsPerWriter,
+                 Logs[I]);
+    });
+  for (std::thread &T : Writers)
+    T.join();
+  Done.store(true, std::memory_order_release);
+  for (std::thread &T : Readers)
+    T.join();
+
+  // Serial replay, thread by thread: a legal serialization because
+  // the writers' key sets are disjoint, so cross-thread ops commute.
+  SynthesizedRelation Replay{Decomposition(D)};
+  size_t TotalOps = 0;
+  for (const std::vector<LoggedOp> &Log : Logs) {
+    TotalOps += Log.size();
+    for (const LoggedOp &Op : Log) {
+      switch (Op.Op) {
+      case LoggedOp::Insert:
+        Replay.insert(Op.A);
+        break;
+      case LoggedOp::Remove:
+        Replay.remove(Op.A);
+        break;
+      case LoggedOp::Update:
+        Replay.update(Op.A, Op.B);
+        break;
+      }
+    }
+  }
+  EXPECT_GT(TotalOps, 0u);
+  EXPECT_EQ(Rel.toRelation(), Replay.toRelation());
+  EXPECT_EQ(Rel.size(), Replay.size());
+}
+
+TEST(ConcurrentStressTest, MultiWriterMultiReaderDefaultSharding) {
+  runStress({8, std::nullopt}, /*NumWriters=*/4, /*NumReaders=*/2,
+            /*OpsPerWriter=*/600);
+}
+
+TEST(ConcurrentStressTest, MultiWriterShardedByNonKeyColumn) {
+  // Sharding on state forces the fan-out update and cross-shard
+  // migration paths under contention.
+  RelSpecRef Spec = schedulerSpec();
+  ConcurrentOptions Opts;
+  Opts.NumShards = 4;
+  Opts.ShardColumn = Spec->catalog().get("state");
+  runStress(Opts, /*NumWriters=*/4, /*NumReaders=*/2, /*OpsPerWriter=*/300);
+}
+
+TEST(ConcurrentStressTest, SingleShardDegenerateStillSafe) {
+  runStress({1, std::nullopt}, /*NumWriters=*/2, /*NumReaders=*/2,
+            /*OpsPerWriter=*/300);
+}
+
+TEST(ConcurrentStressTest, ConcurrentIdenticalInsertsConverge) {
+  // Every thread races to insert the same tuple set in a different
+  // order: each tuple must change the relation exactly once globally,
+  // and the final state is exactly the set.
+  RelSpecRef Spec = schedulerSpec();
+  Decomposition D = fig2(Spec);
+  const Catalog &Cat = Spec->catalog();
+  ConcurrentRelation Rel(D, {8, std::nullopt});
+
+  const int NumTuples = 256;
+  std::vector<Tuple> Tuples;
+  for (int I = 0; I != NumTuples; ++I)
+    Tuples.push_back(TupleBuilder(Cat)
+                         .set("ns", I % 16)
+                         .set("pid", I)
+                         .set("state", I % 3)
+                         .set("cpu", I)
+                         .build());
+
+  const unsigned NumThreads = 4;
+  std::vector<size_t> Changed(NumThreads, 0);
+  std::vector<std::thread> Threads;
+  for (unsigned T = 0; T != NumThreads; ++T)
+    Threads.emplace_back([&, T] {
+      Rng R(T);
+      std::vector<Tuple> Order = Tuples;
+      for (size_t I = Order.size(); I > 1; --I)
+        std::swap(Order[I - 1], Order[R.below(I)]);
+      for (const Tuple &Tp : Order)
+        Changed[T] += Rel.insert(Tp);
+    });
+  for (std::thread &T : Threads)
+    T.join();
+
+  size_t TotalChanged = 0;
+  for (size_t C : Changed)
+    TotalChanged += C;
+  EXPECT_EQ(TotalChanged, static_cast<size_t>(NumTuples));
+  EXPECT_EQ(Rel.size(), static_cast<size_t>(NumTuples));
+
+  Relation Expected(Cat.allColumns());
+  for (const Tuple &T : Tuples)
+    Expected.insert(T);
+  EXPECT_EQ(Rel.toRelation(), Expected);
+}
+
+} // namespace
