@@ -6,13 +6,16 @@
 //
 // Thread-scaling loops over ConcurrentRelation for the scheduler,
 // graph and ipcap systems: a parallel insert phase, a read-only key
-// probe phase, and a mixed phase (80% routed key queries, 10% updates,
-// 10% duplicate inserts), each run at 1/2/4/8 threads with total work
-// held constant. Reports per-phase throughput and speedup over the
-// single-thread run — the number the sharding exists for. --json
-// <path> writes the machine-readable report (CI uploads it); --quick
-// shrinks the loops; --threads caps the thread sweep; --shards sets
-// the shard count (default 16).
+// probe phase, a mixed phase (80% routed key queries, 10% updates,
+// 10% duplicate inserts), an upsert phase (atomic read-modify-write
+// on contended random keys — every writer races on the shard locks),
+// and a full-scan phase (sequential fan-out at t=1, the parallel
+// one-worker-per-shard merge-queue scan at t>1), each run at 1/2/4/8
+// threads with total work held constant. Reports per-phase throughput
+// and speedup over the single-thread run — the number the sharding
+// exists for. --json <path> writes the machine-readable report (CI
+// uploads it); --quick shrinks the loops; --threads caps the thread
+// sweep; --shards sets the shard count (default 16).
 //
 // Run on a single-core machine this degenerates to measuring lock
 // overhead (speedup ≈ 1x or below); the scaling claims only mean
@@ -28,6 +31,7 @@
 #include "systems/SchedulerRelational.h"
 #include "workloads/Rng.h"
 
+#include <algorithm>
 #include <cstdlib>
 #include <functional>
 #include <memory>
@@ -239,7 +243,53 @@ std::vector<PhaseResult> runSystem(const Workload &W, unsigned Shards,
     benchSink(Sum);
   });
 
-  return {Ins, Probe, Mixed};
+  // Upsert: atomic read-modify-write on random keys across the WHOLE
+  // keyspace — unlike the mixed loop, writers deliberately contend on
+  // shared keys; the shard writer lock linearizes them (the primitive
+  // replaces external ownership partitioning, see examples/
+  // ipcap_daemon).
+  PhaseResult Upsert;
+  Upsert.Ops = MixedOps;
+  Upsert.Seconds = runThreads(Threads, [&](unsigned T) {
+    Rng R(0xa11ce + T);
+    for (size_t I = T; I < MixedOps; I += Threads) {
+      int64_t Delta = int64_t(R.below(997)) + 1;
+      Rel.upsert(KeyPats[R.below(N)], [&](const BindingFrame *Cur,
+                                          Tuple &Values) {
+        for (ColumnId C : W.ValueCols) {
+          int64_t V = Cur ? Cur->get(C).asInt() : 0;
+          Values.set(C, Value::ofInt(C == W.UpdateCol ? (V + Delta) % 100000
+                                                      : V));
+        }
+      });
+    }
+  });
+
+  // Full scans: the sequential fan-out at t=1 versus the parallel
+  // one-worker-per-shard merge-queue scan at t>1 — speedup_vs_1 is
+  // the parallel fan-out win. Every row crosses the bounded queue, so
+  // on a single core this reads WELL below 1x (pure overhead, no
+  // parallelism); the number only means something on multi-core CI.
+  size_t ScanReps = std::max<size_t>(1, MixedOps / N);
+  PhaseResult Scan;
+  Scan.Ops = ScanReps * Rel.size();
+  ColumnSet ScanCols = W.KeyCols;
+  Scan.Seconds = runThreads(1, [&](unsigned) {
+    int64_t Sum = 0;
+    for (size_t Rep = 0; Rep != ScanReps; ++Rep) {
+      auto Sink = [&](const BindingFrame &F) {
+        Sum += F.get(W.KeyCols.first()).asInt();
+        return true;
+      };
+      if (Threads == 1)
+        Rel.scanFrames(Tuple(), ScanCols, Sink);
+      else
+        Rel.scanFramesParallel(Tuple(), ScanCols, Sink);
+    }
+    benchSink(Sum);
+  });
+
+  return {Ins, Probe, Mixed, Upsert, Scan};
 }
 
 } // namespace
@@ -271,7 +321,7 @@ int main(int argc, char **argv) {
 
   JsonReporter Json("concurrent", Quick ? "quick" : "full");
   Workload Workloads[] = {makeScheduler(), makeGraph(), makeIpcap()};
-  const char *Phases[] = {"insert", "query", "mixed"};
+  const char *Phases[] = {"insert", "query", "mixed", "upsert", "scan"};
 
   for (const Workload &W : Workloads) {
     std::printf("%s (n=%zu)\n", W.Name.c_str(), N);
@@ -284,7 +334,7 @@ int main(int argc, char **argv) {
     for (const Tuple &T : Tuples)
       KeyPats.push_back(T.project(W.KeyCols));
 
-    std::vector<double> Baselines(3, 0.0);
+    std::vector<double> Baselines(5, 0.0);
     for (unsigned Threads = 1; Threads <= MaxThreads; Threads *= 2) {
       std::vector<PhaseResult> Results = runSystem(
           W, Shards, Threads, N, Probes, MixedOps, Tuples, KeyPats);

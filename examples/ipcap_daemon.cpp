@@ -13,14 +13,18 @@
 // Build & run:  ./build/examples/ipcap_daemon [num-packets]
 //               ./build/examples/ipcap_daemon [num-packets] --threads 4
 //
-// With --threads N the daemon runs the multi-queue design real
-// capture stacks use (RSS-style flow steering): the flow table is one
-// sharded ConcurrentRelation and each worker thread owns the flows of
-// the local hosts with LocalHost ≡ tid (mod N), so per-flow
-// read-modify-write needs no extra locking while the shared relation
-// absorbs concurrent writers on its shard locks. Both modes end by
-// flushing every flow and printing totals, which must agree between a
-// sequential and a threaded run over the same trace.
+// With --threads N the flow table is one sharded ConcurrentRelation
+// and the packet stream is split round-robin across the workers —
+// packet i goes to thread i mod N, regardless of which flow it
+// belongs to. Per-packet accounting is one atomic upsert: the key
+// (local, remote) binds the shard column, so the read-modify-write
+// cycle linearizes under a single shard writer lock and two workers
+// racing on the same flow can never lose an increment. (Earlier
+// versions steered flows by LocalHost ≡ tid (mod N) so each worker
+// owned its keys outright — upsert makes that external ownership
+// partitioning unnecessary.) Both modes end by flushing every flow
+// and printing totals, which must agree between a sequential and a
+// threaded run over the same trace.
 //
 //===----------------------------------------------------------------------===//
 
@@ -88,51 +92,38 @@ int runThreaded(const std::vector<Packet> &Trace, unsigned NumThreads) {
   ColumnId ColLocal = Cat.get("local"), ColRemote = Cat.get("remote");
   ColumnId ColIn = Cat.get("bytes_in"), ColOut = Cat.get("bytes_out");
   ColumnId ColPackets = Cat.get("packets");
-  ColumnSet Counters = Cat.parseSet("bytes_in, bytes_out, packets");
 
   auto T0 = std::chrono::steady_clock::now();
   std::vector<std::thread> Workers;
   for (unsigned Tid = 0; Tid != NumThreads; ++Tid)
     Workers.emplace_back([&, Tid] {
-      for (const Packet &P : Trace) {
-        // Flow steering: this worker owns LocalHost ≡ Tid (mod N).
-        if (static_cast<uint64_t>(P.LocalHost) % NumThreads != Tid)
-          continue;
+      for (size_t I = Tid; I < Trace.size(); I += NumThreads) {
+        const Packet &P = Trace[I];
         Tuple Key;
         Key.set(ColLocal, Value::ofInt(P.LocalHost));
         Key.set(ColRemote, Value::ofInt(P.RemoteHost));
-        int64_t In = 0, Out = 0, Pkts = 0;
-        bool Found = false;
-        // Routed read (the key binds the shard column, local).
-        Flows.scanFrames(Key, Counters, [&](const BindingFrame &F) {
-          In = F.get(ColIn).asInt();
-          Out = F.get(ColOut).asInt();
-          Pkts = F.get(ColPackets).asInt();
-          Found = true;
-          return false;
+        // One atomic read-modify-write under the flow's shard writer
+        // lock: the key binds the shard column (local), so this is a
+        // routed single-shard operation and concurrent workers hitting
+        // the same flow linearize instead of losing increments.
+        Flows.upsert(Key, [&](const BindingFrame *Cur, Tuple &Values) {
+          int64_t In = Cur ? Cur->get(ColIn).asInt() : 0;
+          int64_t Out = Cur ? Cur->get(ColOut).asInt() : 0;
+          int64_t Pkts = Cur ? Cur->get(ColPackets).asInt() : 0;
+          Values.set(ColIn, Value::ofInt(In + (P.Outgoing ? 0 : P.Bytes)));
+          Values.set(ColOut, Value::ofInt(Out + (P.Outgoing ? P.Bytes : 0)));
+          Values.set(ColPackets, Value::ofInt(Pkts + 1));
         });
-        if (!Found) {
-          Tuple T = Key;
-          T.set(ColIn, Value::ofInt(P.Outgoing ? 0 : P.Bytes));
-          T.set(ColOut, Value::ofInt(P.Outgoing ? P.Bytes : 0));
-          T.set(ColPackets, Value::ofInt(1));
-          Flows.insert(T);
-          continue;
-        }
-        Tuple Changes;
-        Changes.set(ColIn, Value::ofInt(In + (P.Outgoing ? 0 : P.Bytes)));
-        Changes.set(ColOut, Value::ofInt(Out + (P.Outgoing ? P.Bytes : 0)));
-        Changes.set(ColPackets, Value::ofInt(Pkts + 1));
-        Flows.update(Key, Changes);
       }
     });
   for (std::thread &W : Workers)
     W.join();
 
-  // The final log pass: one fan-out scan over every shard.
+  // The final log pass: a parallel fan-out scan, one worker per shard
+  // feeding the bounded merge queue.
   size_t FlushedFlows = 0;
   int64_t LoggedBytes = 0;
-  Flows.scan(Tuple(), Spec->columns(), [&](const Tuple &T) {
+  Flows.scanParallel(Tuple(), Spec->columns(), [&](const Tuple &T) {
     ++FlushedFlows;
     LoggedBytes += T.get(ColIn).asInt() + T.get(ColOut).asInt();
     return true;

@@ -13,6 +13,7 @@
 
 #include "codegen/CppEmitter.h"
 
+#include "concurrent/ShardRouter.h"
 #include "decomp/Adequacy.h"
 #include "query/Planner.h"
 #include "runtime/Cut.h"
@@ -69,6 +70,15 @@ public:
   }
 
   std::string run() {
+    // remove_by_* backs both update_by_* and upsert_by_* (each is
+    // remove + reinsert), so emit it for the union of the three key
+    // lists, each unique pattern once. The same deduped lists drive
+    // the facade emission, so its wrappers can never reference a
+    // member the sequential class lacks.
+    std::vector<ColumnSet> RemoveEmit = dedup(allRemoveKeys());
+    std::vector<ColumnSet> UpdateEmit = dedup(Opts.UpdateKeys);
+    std::vector<ColumnSet> UpsertEmit = dedup(Opts.UpsertKeys);
+
     prologue();
     for (NodeId Id = 0; Id != D.numNodes(); ++Id)
       emitNodeStruct(Id);
@@ -77,11 +87,18 @@ public:
     emitInsert();
     for (const QueryShape &Q : Opts.Queries)
       emitQuery(Q);
-    for (ColumnSet Key : Opts.RemoveKeys)
+    for (ColumnSet Key : RemoveEmit)
       emitRemove(Key);
-    for (ColumnSet Key : Opts.UpdateKeys)
+    for (ColumnSet Key : UpdateEmit)
       emitUpdate(Key);
-    epilogue();
+    for (ColumnSet Key : UpsertEmit) {
+      emitLookup(Key);
+      emitUpsert(Key);
+    }
+    closeClass();
+    if (Opts.ConcurrentShards > 0)
+      emitConcurrentFacade(RemoveEmit, UpdateEmit, UpsertEmit);
+    closeFile();
     return W.take();
   }
 
@@ -223,12 +240,20 @@ private:
     W.line("#include \"ds/IntrusiveAvl.h\"");
     W.line("#include \"ds/IntrusiveList.h\"");
     W.line("#include \"ds/VectorMap.h\"");
+    if (Opts.ConcurrentShards > 0) {
+      W.line("#include \"concurrent/BoundedQueue.h\"");
+      W.line("#include \"concurrent/StripedLock.h\"");
+    }
     W.line("#include \"support/Hashing.h\"");
     W.line();
     W.line("#include <array>");
+    if (Opts.ConcurrentShards > 0)
+      W.line("#include <atomic>");
     W.line("#include <cassert>");
     W.line("#include <cstddef>");
     W.line("#include <cstdint>");
+    if (Opts.ConcurrentShards > 0)
+      W.line("#include <thread>");
     W.line("#include <vector>");
     W.line();
     W.open("namespace " + Opts.Namespace + " {");
@@ -260,11 +285,14 @@ private:
     W.close("}");
   }
 
-  void epilogue() {
+  void closeClass() {
     W.line();
     W.line("  " + nodeType(D.root()) + " *Root;");
     W.line("  size_t Size = 0;");
     W.close("};");
+  }
+
+  void closeFile() {
     W.line();
     W.close("} // namespace " + Opts.Namespace);
     W.line();
@@ -693,14 +721,464 @@ private:
     W.open("  bool update_by_" + colsSuffix(Key) + "(" + Params + ") {");
     W.line("if (!remove_by_" + colsSuffix(Key) + "(" + colList(Key, "q_") +
            ")) return false;");
-    std::string Args;
-    for (ColumnId C : All) {
-      if (!Args.empty())
-        Args += ", ";
-      Args += (Key.contains(C) ? "q_" : "v_") + Cat.name(C);
-    }
-    W.line("insert(" + Args + ");");
+    W.line("insert(" + mixedArgs(Key, "q_", "v_") + ");");
     W.line("return true;");
+    W.close("}");
+  }
+
+  //===------------------------------------------------------------------===
+  // lookup_by_<key> / upsert_by_<key>: the atomic read-modify-write
+  // primitive, specialized (the static twin of
+  // SynthesizedRelation::upsert).
+  //===------------------------------------------------------------------===
+
+  /// "int64_t &p_a, int64_t &p_b" over \p Cols.
+  std::string refParams(ColumnSet Cols, const std::string &Prefix) const {
+    std::string Out;
+    for (ColumnId C : Cols) {
+      if (!Out.empty())
+        Out += ", ";
+      Out += "int64_t &" + Prefix + Cat.name(C);
+    }
+    return Out;
+  }
+
+  /// Full-tuple argument list in column order: key columns through
+  /// \p KeyPrefix, the rest through \p RestPrefix.
+  std::string mixedArgs(ColumnSet Key, const std::string &KeyPrefix,
+                        const std::string &RestPrefix) const {
+    std::string Out;
+    for (ColumnId C : D.spec()->columns()) {
+      if (!Out.empty())
+        Out += ", ";
+      Out += (Key.contains(C) ? KeyPrefix : RestPrefix) + Cat.name(C);
+    }
+    return Out;
+  }
+
+  void emitLookup(ColumnSet Key) {
+    ColumnSet All = D.spec()->columns();
+    ColumnSet Rest = All.minus(Key);
+    assert(D.spec()->fds().isKey(Key, All) &&
+           "lookup_by_* requires a key pattern");
+    auto Plan = planQuery(D, Key, All, Opts.Params);
+    assert(Plan && "no plan to resolve the full tuple for lookup");
+
+    W.line();
+    W.line("  /// Resolves the non-key columns of the tuple matching key");
+    W.line("  /// pattern {" + colsSuffix(Key) +
+           "} into the out-params (ascending column");
+    W.line("  /// order); returns false (out-params untouched) if none.");
+    std::string Params = params(Key, "q_");
+    if (!Rest.empty())
+      Params += ", " + refParams(Rest, "c_");
+    W.open("  bool lookup_by_" + colsSuffix(Key) + "(" + Params +
+           ") const {");
+    W.line("bool Found = false;");
+    Env E;
+    for (ColumnId Col : Key)
+      E[Col] = "q_" + Cat.name(Col);
+    emitStep(*Plan, Plan->Root, "Root", E, [&](const Env &Final) {
+      W.line("Found = true;");
+      for (ColumnId Col : Rest)
+        W.line("c_" + Cat.name(Col) + " = " + Final.at(Col) + ";");
+    });
+    W.line("return Found;");
+    W.close("}");
+  }
+
+  void emitUpsert(ColumnSet Key) {
+    ColumnSet All = D.spec()->columns();
+    ColumnSet Rest = All.minus(Key);
+    W.line();
+    W.line("  /// Atomic read-modify-write for key pattern {" +
+           colsSuffix(Key) + "}: calls");
+    W.line("  /// Fn(bool Found, int64_t &...) with the current non-key "
+           "values in");
+    W.line("  /// ascending column order (zeros when absent, Found == "
+           "false); Fn");
+    W.line("  /// mutates them and the tuple is reinserted (or inserted "
+           "fresh).");
+    W.line("  /// Returns true if a new tuple was inserted.");
+    W.open("  template <typename FnT> bool upsert_by_" + colsSuffix(Key) +
+           "(" + params(Key, "q_") + ", FnT &&Fn) {");
+    for (ColumnId C : Rest)
+      W.line("int64_t c_" + Cat.name(C) + " = 0;");
+    std::string LookupArgs = colList(Key, "q_");
+    if (!Rest.empty())
+      LookupArgs += ", " + colList(Rest, "c_");
+    W.line("bool Found = lookup_by_" + colsSuffix(Key) + "(" + LookupArgs +
+           ");");
+    std::string FnArgs = "Found";
+    if (!Rest.empty())
+      FnArgs += ", " + colList(Rest, "c_");
+    W.line("Fn(" + FnArgs + ");");
+    W.line("if (Found)");
+    W.line("  remove_by_" + colsSuffix(Key) + "(" + colList(Key, "q_") +
+           ");");
+    W.line("insert(" + mixedArgs(Key, "q_", "c_") + ");");
+    W.line("return !Found;");
+    W.close("}");
+  }
+
+  //===------------------------------------------------------------------===
+  // The sharded concurrent facade (the static mirror of
+  // src/concurrent/ConcurrentRelation; see docs/CONCURRENCY.md).
+  //===------------------------------------------------------------------===
+
+  /// \p RemoveEmit / \p UpdateEmit / \p UpsertEmit are the deduped
+  /// key lists the sequential class was emitted with (see run()).
+  void emitConcurrentFacade(const std::vector<ColumnSet> &RemoveEmit,
+                            const std::vector<ColumnSet> &UpdateEmit,
+                            const std::vector<ColumnSet> &UpsertEmit) {
+    ColumnSet All = D.spec()->columns();
+    ColumnId SC = Opts.ConcurrentShardColumn
+                      ? *Opts.ConcurrentShardColumn
+                      : ShardRouter::defaultShardColumn(D);
+    assert(SC < Cat.size() && "shard column is not a column");
+    std::string SCName = Cat.name(SC);
+    std::string Seq = Opts.ClassName;
+    std::string Fac = Opts.ClassName + "_concurrent";
+
+    W.line();
+    W.line("/// Sharded thread-safe facade over " + Seq + ": the relation "
+           "is hash-");
+    W.line("/// partitioned across NumShards " + Seq +
+           " sub-instances by column");
+    W.line("/// '" + SCName + "', one reader-writer stripe per shard. "
+           "Operations whose");
+    W.line("/// pattern binds the shard column take exactly one stripe; "
+           "the rest");
+    W.line("/// fan out (reads under successive reader locks, mutations "
+           "under all");
+    W.line("/// writer locks in ascending order). The lock discipline, "
+           "visibility");
+    W.line("/// guarantees, and the no-reentrant-callback rule mirror the");
+    W.line("/// interpreted relc::ConcurrentRelation (docs/CONCURRENCY.md).");
+    W.open("class " + Fac + " {");
+    W.line("public:");
+    W.line("  static constexpr unsigned NumShards = " +
+           std::to_string(Opts.ConcurrentShards) + ";");
+    W.line("  " + Fac + "() = default;");
+    W.line("  " + Fac + "(const " + Fac + " &) = delete;");
+    W.line("  " + Fac + " &operator=(const " + Fac + " &) = delete;");
+    W.line("  /// Lock-free; exact whenever it does not race a mutation.");
+    W.line("  size_t size() const { return Size.load("
+           "std::memory_order_relaxed); }");
+    W.line("  bool empty() const { return size() == 0; }");
+    W.line("  /// Direct shard access for tests and benches; the caller is");
+    W.line("  /// responsible for exclusion.");
+    W.line("  const " + Seq + " &shard(unsigned I) const "
+           "{ return Shards[I]; }");
+
+    // insert: full tuples always bind the shard column.
+    W.line();
+    W.line("  /// insert r t, routed to the owning shard under its writer "
+           "lock.");
+    W.open("  bool insert(" + params(All, "v_") + ") {");
+    W.line("unsigned S = shardOf(v_" + SCName + ");");
+    W.line("auto Lock = Locks.exclusive(S);");
+    W.line("bool Changed = Shards[S].insert(" + colList(All, "v_") + ");");
+    W.line("if (Changed)");
+    W.line("  Size.fetch_add(1, std::memory_order_relaxed);");
+    W.line("return Changed;");
+    W.close("}");
+
+    for (const QueryShape &Q : Opts.Queries)
+      emitFacadeQuery(Q, SC, SCName);
+
+    for (ColumnSet Key : RemoveEmit)
+      emitFacadeRemove(Key, SC, SCName);
+    for (ColumnSet Key : UpdateEmit)
+      emitFacadeUpdate(Key, SC, SCName);
+    for (ColumnSet Key : UpsertEmit)
+      emitFacadeUpsert(Key, SC, SCName);
+
+    W.line();
+    W.line("  /// Empties every shard (all writer locks).");
+    W.open("  void clear() {");
+    W.line("relc::AllShardsGuard Guard(Locks);");
+    W.line("for (" + Seq + " &S : Shards)");
+    W.line("  S.clear();");
+    W.line("Size.store(0, std::memory_order_relaxed);");
+    W.close("}");
+
+    W.line();
+    W.line("private:");
+    W.line("  /// Slots in the bounded merge queue of *_parallel queries.");
+    W.line("  static constexpr size_t ScanQueueCapacity = 1024;");
+    W.open("  static unsigned shardOf(int64_t V) {");
+    W.line("return static_cast<unsigned>(relc::hashMix64("
+           "static_cast<uint64_t>(V)) % NumShards);");
+    W.close("}");
+    W.line("  relc::StripedLockSet Locks{NumShards};");
+    W.line("  " + Seq + " Shards[NumShards];");
+    W.line("  std::atomic<size_t> Size{0};");
+    W.close("};");
+  }
+
+  static std::vector<ColumnSet> dedup(const std::vector<ColumnSet> &Keys) {
+    std::vector<ColumnSet> Out;
+    for (ColumnSet Key : Keys) {
+      bool Dup = false;
+      for (ColumnSet Seen : Out)
+        Dup |= Seen == Key;
+      if (!Dup)
+        Out.push_back(Key);
+    }
+    return Out;
+  }
+
+  /// Every key pattern needing remove_by_*: the remove, update, and
+  /// upsert lists concatenated (callers dedup).
+  std::vector<ColumnSet> allRemoveKeys() const {
+    std::vector<ColumnSet> Keys = Opts.RemoveKeys;
+    Keys.insert(Keys.end(), Opts.UpdateKeys.begin(), Opts.UpdateKeys.end());
+    Keys.insert(Keys.end(), Opts.UpsertKeys.begin(), Opts.UpsertKeys.end());
+    return Keys;
+  }
+
+  void emitFacadeQuery(const QueryShape &Q, ColumnId SC,
+                       const std::string &SCName) {
+    bool Routed = Q.InputCols.contains(SC);
+    std::string Params = params(Q.InputCols, "q_");
+    if (!Params.empty())
+      Params += ", ";
+    std::string FwdArgs = colList(Q.InputCols, "q_");
+    if (!FwdArgs.empty())
+      FwdArgs += ", ";
+
+    W.line();
+    if (Routed) {
+      W.line("  /// " + Q.Name + ": routed (the inputs bind '" + SCName +
+             "'), one shard");
+      W.line("  /// under its reader lock.");
+      W.open("  template <typename FnT> void " + Q.Name + "(" + Params +
+             "FnT &&Emit) const {");
+      W.line("unsigned S = shardOf(q_" + SCName + ");");
+      W.line("auto Lock = Locks.shared(S);");
+      W.line("Shards[S]." + Q.Name + "(" + FwdArgs + "Emit);");
+      W.close("}");
+      return;
+    }
+
+    W.line("  /// " + Q.Name + ": fan-out, each shard in turn under "
+           "successive");
+    W.line("  /// reader locks (per-shard-consistent, not a global "
+           "snapshot).");
+    W.open("  template <typename FnT> void " + Q.Name + "(" + Params +
+           "FnT &&Emit) const {");
+    W.open("for (unsigned S = 0; S != NumShards; ++S) {");
+    W.line("auto Lock = Locks.shared(S);");
+    W.line("Shards[S]." + Q.Name + "(" + FwdArgs + "Emit);");
+    W.close("}");
+    W.close("}");
+
+    // The parallel variant: one worker per shard, bounded merge queue.
+    unsigned K = Q.OutputCols.size();
+    if (K == 0)
+      return;
+    std::string RowT = "std::array<int64_t, " + std::to_string(K) + ">";
+    std::string LambdaParams, RowInit, EmitArgs;
+    for (unsigned I = 0; I != K; ++I) {
+      if (I) {
+        LambdaParams += ", ";
+        RowInit += ", ";
+        EmitArgs += ", ";
+      }
+      LambdaParams += "int64_t r" + std::to_string(I);
+      RowInit += "r" + std::to_string(I);
+      EmitArgs += "Row[" + std::to_string(I) + "]";
+    }
+    W.line("  /// As " + Q.Name + ", with one worker per shard feeding a "
+           "bounded");
+    W.line("  /// merge queue: the same multiset of rows, in arbitrary");
+    W.line("  /// interleaved order. Emit runs on the calling thread and "
+           "must");
+    W.line("  /// not call back into this facade.");
+    W.open("  template <typename FnT> void " + Q.Name + "_parallel(" +
+           Params + "FnT &&Emit) const {");
+    W.line("relc::BoundedQueue<" + RowT + "> Queue(ScanQueueCapacity, "
+           "NumShards);");
+    W.line("std::thread Workers[NumShards];");
+    W.open("for (unsigned S = 0; S != NumShards; ++S) {");
+    W.open("Workers[S] = std::thread([&, S] {");
+    W.line("auto Lock = Locks.shared(S);");
+    W.open("Shards[S]." + Q.Name + "(" + FwdArgs + "[&](" + LambdaParams +
+           ") {");
+    W.line("Queue.push(" + RowT + "{" + RowInit + "});");
+    W.close("});");
+    W.line("Queue.producerDone();");
+    W.close("});");
+    W.close("}");
+    W.line(RowT + " Row;");
+    W.line("while (Queue.pop(Row))");
+    W.line("  Emit(" + EmitArgs + ");");
+    W.line("for (std::thread &Worker : Workers)");
+    W.line("  Worker.join();");
+    W.close("}");
+  }
+
+  void emitFacadeRemove(ColumnSet Key, ColumnId SC,
+                        const std::string &SCName) {
+    bool Routed = Key.contains(SC);
+    std::string Name = "remove_by_" + colsSuffix(Key);
+    W.line();
+    if (Routed) {
+      W.line("  /// " + Name + ": routed, one shard under its writer "
+             "lock.");
+      W.open("  bool " + Name + "(" + params(Key, "q_") + ") {");
+      W.line("unsigned S = shardOf(q_" + SCName + ");");
+      W.line("auto Lock = Locks.exclusive(S);");
+      W.line("bool Removed = Shards[S]." + Name + "(" + colList(Key, "q_") +
+             ");");
+      W.line("if (Removed)");
+      W.line("  Size.fetch_sub(1, std::memory_order_relaxed);");
+      W.line("return Removed;");
+      W.close("}");
+      return;
+    }
+    W.line("  /// " + Name + ": the key misses '" + SCName +
+           "', so the owner is");
+    W.line("  /// unknown — all writer locks, try each shard (at most one "
+           "match).");
+    W.open("  bool " + Name + "(" + params(Key, "q_") + ") {");
+    W.line("relc::AllShardsGuard Guard(Locks);");
+    W.open("for (unsigned S = 0; S != NumShards; ++S) {");
+    W.open("if (Shards[S]." + Name + "(" + colList(Key, "q_") + ")) {");
+    W.line("Size.fetch_sub(1, std::memory_order_relaxed);");
+    W.line("return true;");
+    W.close("}");
+    W.close("}");
+    W.line("return false;");
+    W.close("}");
+  }
+
+  void emitFacadeUpdate(ColumnSet Key, ColumnId SC,
+                        const std::string &SCName) {
+    ColumnSet All = D.spec()->columns();
+    ColumnSet Rest = All.minus(Key);
+    bool Routed = Key.contains(SC);
+    std::string Name = "update_by_" + colsSuffix(Key);
+    std::string Params = params(Key, "q_");
+    if (!Rest.empty())
+      Params += ", " + params(Rest, "v_");
+    W.line();
+    if (Routed) {
+      W.line("  /// " + Name + ": routed (the key binds '" + SCName +
+             "' and the new");
+      W.line("  /// values cannot rewrite it), one shard under its writer "
+             "lock.");
+      W.open("  bool " + Name + "(" + Params + ") {");
+      W.line("unsigned S = shardOf(q_" + SCName + ");");
+      W.line("auto Lock = Locks.exclusive(S);");
+      // The shard-local reinsert can no-op on an FD-violating
+      // collision with another key (release builds); track the
+      // shard's size delta so the facade counter never drifts.
+      W.line("size_t Before = Shards[S].size();");
+      W.line("bool Updated = Shards[S]." + Name + "(" +
+             mixedArgs(Key, "q_", "v_") + ");");
+      W.line("if (Shards[S].size() < Before)");
+      W.line("  Size.fetch_sub(1, std::memory_order_relaxed);");
+      W.line("return Updated;");
+      W.close("}");
+      return;
+    }
+    W.line("  /// " + Name + ": rewrites every non-key column including "
+           "'" + SCName + "',");
+    W.line("  /// so the tuple may change owners — all writer locks, "
+           "remove from");
+    W.line("  /// the current owner, reinsert into the new one "
+           "(migration).");
+    W.open("  bool " + Name + "(" + Params + ") {");
+    W.line("relc::AllShardsGuard Guard(Locks);");
+    W.open("for (unsigned S = 0; S != NumShards; ++S) {");
+    W.open("if (Shards[S].remove_by_" + colsSuffix(Key) + "(" +
+           colList(Key, "q_") + ")) {");
+    // A false insert() is an FD-violating collision in the target
+    // shard; keep Size consistent with the shards regardless.
+    W.line("if (!Shards[shardOf(v_" + SCName + ")].insert(" +
+           mixedArgs(Key, "q_", "v_") + "))");
+    W.line("  Size.fetch_sub(1, std::memory_order_relaxed);");
+    W.line("return true;");
+    W.close("}");
+    W.close("}");
+    W.line("return false;");
+    W.close("}");
+  }
+
+  void emitFacadeUpsert(ColumnSet Key, ColumnId SC,
+                        const std::string &SCName) {
+    ColumnSet All = D.spec()->columns();
+    ColumnSet Rest = All.minus(Key);
+    bool Routed = Key.contains(SC);
+    std::string Name = "upsert_by_" + colsSuffix(Key);
+    std::string FnArgs = "Found";
+    if (!Rest.empty())
+      FnArgs += ", " + colList(Rest, "c_");
+    W.line();
+    if (Routed) {
+      W.line("  /// " + Name + ": the atomic read-modify-write, routed — "
+             "ONE shard");
+      W.line("  /// writer lock linearizes the whole cycle (see the "
+             "sequential");
+      W.line("  /// upsert_by_" + colsSuffix(Key) +
+             " for the callback contract).");
+      W.open("  template <typename FnT> bool " + Name + "(" +
+             params(Key, "q_") + ", FnT &&Fn) {");
+      W.line("unsigned S = shardOf(q_" + SCName + ");");
+      W.line("auto Lock = Locks.exclusive(S);");
+      // Track the shard's size delta rather than trusting the return
+      // value: an FD-violating collision with another key can make
+      // the shard-local reinsert no-op (release builds), and the
+      // facade counter must follow the shards regardless.
+      W.line("size_t Before = Shards[S].size();");
+      W.line("bool Inserted = Shards[S]." + Name + "(" +
+             colList(Key, "q_") + ", Fn);");
+      W.line("if (Shards[S].size() > Before)");
+      W.line("  Size.fetch_add(1, std::memory_order_relaxed);");
+      W.line("else if (Shards[S].size() < Before)");
+      W.line("  Size.fetch_sub(1, std::memory_order_relaxed);");
+      W.line("return Inserted;");
+      W.close("}");
+      return;
+    }
+    W.line("  /// " + Name + ": the key misses '" + SCName +
+           "' — all writer locks;");
+    W.line("  /// the new values may rewrite the shard column, migrating "
+           "the");
+    W.line("  /// tuple to its new owner.");
+    W.open("  template <typename FnT> bool " + Name + "(" +
+           params(Key, "q_") + ", FnT &&Fn) {");
+    W.line("relc::AllShardsGuard Guard(Locks);");
+    for (ColumnId C : Rest)
+      W.line("int64_t c_" + Cat.name(C) + " = 0;");
+    W.line("unsigned Owner = NumShards;");
+    std::string LookupArgs = colList(Key, "q_");
+    if (!Rest.empty())
+      LookupArgs += ", " + colList(Rest, "c_");
+    W.line("for (unsigned S = 0; S != NumShards && Owner == NumShards; "
+           "++S)");
+    W.line("  if (Shards[S].lookup_by_" + colsSuffix(Key) + "(" +
+           LookupArgs + "))");
+    W.line("    Owner = S;");
+    W.line("bool Found = Owner != NumShards;");
+    W.line("Fn(" + FnArgs + ");");
+    W.line("if (Found)");
+    W.line("  Shards[Owner].remove_by_" + colsSuffix(Key) + "(" +
+           colList(Key, "q_") + ");");
+    // SC is a non-key column here, so the new owner comes from c_<SC>.
+    // A false insert() means the new tuple collided with an existing
+    // one on another key FD — an FD-violating input, but keep Size
+    // consistent with the shards regardless (as the interpreted
+    // ConcurrentRelation::upsert does).
+    W.line("bool Inserted = Shards[shardOf(c_" + SCName + ")].insert(" +
+           mixedArgs(Key, "q_", "c_") + ");");
+    W.line("if (!Found && Inserted)");
+    W.line("  Size.fetch_add(1, std::memory_order_relaxed);");
+    W.line("else if (Found && !Inserted)");
+    W.line("  Size.fetch_sub(1, std::memory_order_relaxed);");
+    W.line("return !Found;");
     W.close("}");
   }
 

@@ -21,10 +21,21 @@
 ///    tuple), which covers the paper's clients; bulk removal and
 ///    in-place update remain the dynamic engine's job;
 ///  - `update_by_*` composes remove + insert (semantically equal,
-///    Section 4.5; the dynamic engine implements the in-place form).
+///    Section 4.5; the dynamic engine implements the in-place form);
+///  - `upsert_by_*` is the atomic read-modify-write primitive: resolve
+///    the current non-key values, hand them to a caller callback, and
+///    reinsert (the static twin of SynthesizedRelation::upsert);
+///  - with ConcurrentShards > 0 a sharded thread-safe facade class
+///    `<ClassName>_concurrent` is emitted alongside: shard router +
+///    striped reader-writer locks + N sequential sub-instances,
+///    mirroring src/concurrent/ConcurrentRelation, with parallel
+///    fan-out variants of non-routed queries.
 ///
-/// The emitted header depends only on the ds/ container headers and is
-/// compiled and replayed against the oracle in an integration test.
+/// The emitted header depends only on the ds/ container headers —
+/// plus, in concurrent mode, concurrent/StripedLock.h,
+/// concurrent/BoundedQueue.h, <thread>, and <atomic> (link consumers
+/// with -pthread) — and is compiled and replayed against the oracle
+/// in integration tests.
 ///
 //===----------------------------------------------------------------------===//
 
@@ -34,6 +45,7 @@
 #include "decomp/Decomposition.h"
 #include "query/CostModel.h"
 
+#include <optional>
 #include <string>
 #include <vector>
 
@@ -57,6 +69,21 @@ struct EmitterOptions {
   /// Emit update_by_<cols>(keys..., values...) for these key patterns
   /// (updates every non-key column).
   std::vector<ColumnSet> UpdateKeys;
+  /// Emit the atomic read-modify-write pair lookup_by_<cols> /
+  /// upsert_by_<cols>(keys..., fn) for these key patterns. The
+  /// supporting remove_by_<cols> is emitted automatically (as it is
+  /// for update keys).
+  std::vector<ColumnSet> UpsertKeys;
+  /// When positive, also emit a sharded thread-safe facade class
+  /// `<ClassName>_concurrent` wrapping this many generated
+  /// sub-instances behind striped reader-writer locks — the static
+  /// mirror of src/concurrent/ConcurrentRelation. Fan-out queries
+  /// additionally get a `<name>_parallel` variant (one worker per
+  /// shard, bounded merge queue).
+  unsigned ConcurrentShards = 0;
+  /// Shard column of the emitted facade; defaults to
+  /// ShardRouter::defaultShardColumn of the decomposition.
+  std::optional<ColumnId> ConcurrentShardColumn;
   CostParams Params;
 };
 

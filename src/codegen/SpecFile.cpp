@@ -8,6 +8,7 @@
 
 #include "decomp/Parser.h"
 
+#include <algorithm>
 #include <cctype>
 #include <vector>
 
@@ -97,6 +98,17 @@ public:
         PendingRemoves.emplace_back(LineNo, std::string(trim(Rest)));
       } else if (consumeWord(Rest, "update")) {
         PendingUpdates.emplace_back(LineNo, std::string(trim(Rest)));
+      } else if (consumeWord(Rest, "upsert")) {
+        PendingUpserts.emplace_back(LineNo, std::string(trim(Rest)));
+      } else if (consumeWord(Rest, "concurrency")) {
+        std::string Err;
+        if (!parseConcurrency(LineNo, Rest, Err))
+          return fail(LineNo,
+                      Err.empty()
+                          ? "malformed concurrency directive (expected "
+                            "'concurrency sharded <N> [on <column>]'): '" +
+                                std::string(Line) + "'"
+                          : Err);
       } else {
         return fail(LineNo, "unknown directive: '" + std::string(Line) +
                                 "'");
@@ -169,6 +181,21 @@ public:
         return fail(No, "update pattern {" + U + "} is not a key");
       Out.Options.UpdateKeys.push_back(Key);
     }
+    for (const auto &[No, U] : PendingUpserts) {
+      ColumnSet Key;
+      if (!parseCols(Cat, U, Key) || Key.empty())
+        return fail(No, "malformed upsert key");
+      if (!Out.Spec->fds().isKey(Key, Out.Spec->columns()))
+        return fail(No, "upsert pattern {" + U + "} is not a key");
+      Out.Options.UpsertKeys.push_back(Key);
+    }
+    if (!ShardColumnName.empty()) {
+      std::optional<ColumnId> Id = Cat.find(ShardColumnName);
+      if (!Id)
+        return fail(ConcurrencyLine, "unknown shard column '" +
+                                         ShardColumnName + "'");
+      Out.Options.ConcurrentShardColumn = *Id;
+    }
 
     return {std::move(Out), ""};
   }
@@ -178,6 +205,49 @@ private:
     if (LineNo == 0)
       return {std::nullopt, Msg};
     return {std::nullopt, "line " + std::to_string(LineNo) + ": " + Msg};
+  }
+
+  /// `sharded <N> [on <column>]` (the word `concurrency` is already
+  /// consumed). The column is resolved against the catalog after the
+  /// relation declaration is built. On failure \p Err is set when a
+  /// more specific diagnostic than the grammar message applies.
+  bool parseConcurrency(unsigned LineNo, std::string_view Rest,
+                        std::string &Err) {
+    // The last directive wins outright: clear any earlier `on` clause
+    // so a bare `concurrency sharded N` falls back to the default
+    // shard column as documented.
+    ShardColumnName.clear();
+    if (!consumeWord(Rest, "sharded"))
+      return false;
+    std::string_view T = trim(Rest);
+    size_t Len = 0;
+    unsigned Shards = 0;
+    while (Len != T.size() &&
+           std::isdigit(static_cast<unsigned char>(T[Len]))) {
+      // Saturate: only the [1, 4096] range check below matters.
+      Shards = std::min(Shards * 10 + static_cast<unsigned>(T[Len] - '0'),
+                        100000u);
+      ++Len;
+    }
+    if (Len == 0)
+      return false;
+    if (Shards == 0 || Shards > 4096) {
+      Err = "shard count must be in [1, 4096] (the facade holds a "
+            "sub-instance and a padded lock per shard)";
+      return false;
+    }
+    T = trim(T.substr(Len));
+    if (!T.empty()) {
+      if (!consumeWord(T, "on"))
+        return false;
+      T = trim(T);
+      if (T.empty())
+        return false;
+      ShardColumnName = std::string(T);
+    }
+    Out.Options.ConcurrentShards = Shards;
+    ConcurrencyLine = LineNo;
+    return true;
   }
 
   bool parseRelation(std::string_view Decl) {
@@ -218,6 +288,9 @@ private:
   std::vector<std::pair<unsigned, std::string>> PendingQueries;
   std::vector<std::pair<unsigned, std::string>> PendingRemoves;
   std::vector<std::pair<unsigned, std::string>> PendingUpdates;
+  std::vector<std::pair<unsigned, std::string>> PendingUpserts;
+  std::string ShardColumnName;
+  unsigned ConcurrencyLine = 0;
   SpecFile Out;
 };
 

@@ -23,6 +23,14 @@
 ///   query query_cpu (ns, pid) -> (cpu)
 ///   remove ns, pid
 ///   update ns, pid
+///   upsert ns, pid
+///   concurrency sharded 8 on ns
+///
+/// `upsert` emits the atomic read-modify-write pair lookup_by_/
+/// upsert_by_ for a key pattern; `concurrency sharded <N> [on <col>]`
+/// additionally emits a sharded thread-safe facade class wrapping N
+/// generated sub-instances (shard column defaults to the first column
+/// of the decomposition root's key).
 ///
 /// Lines starting with `#` are comments. Directives may appear in any
 /// order except that `relation`/`fd` must precede the `let` bindings.

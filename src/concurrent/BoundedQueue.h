@@ -1,0 +1,116 @@
+//===- concurrent/BoundedQueue.h - Bounded merge queue ----------*- C++ -*-===//
+//
+// Part of the RelC data representation synthesis library.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The bounded multi-producer merge queue behind parallel fan-out
+/// scans: one worker per shard pushes result rows, the calling thread
+/// pops them and feeds the user's sink callback. The bound provides
+/// backpressure — a slow consumer stalls the shard workers instead of
+/// buffering the whole relation — and the ring reuses its slots, so a
+/// steady-state scan moves rows without per-row allocation once every
+/// slot has been written once (element types with inline storage, like
+/// BindingFrame over small catalogs, never allocate at all).
+///
+/// Shutdown protocol: the queue is constructed with the producer
+/// count; each producer calls producerDone() exactly once when its
+/// shard is exhausted, and pop() returns false once the queue is empty
+/// and no producers remain. The consumer may abandon the scan early
+/// with close(), after which push() returns false — producers treat
+/// that as "stop scanning".
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef RELC_CONCURRENT_BOUNDEDQUEUE_H
+#define RELC_CONCURRENT_BOUNDEDQUEUE_H
+
+#include <cassert>
+#include <condition_variable>
+#include <mutex>
+#include <utility>
+#include <vector>
+
+namespace relc {
+
+/// A bounded FIFO of \p T with blocking push/pop and cooperative
+/// shutdown. \p T must be default-constructible and assignable.
+template <typename T> class BoundedQueue {
+public:
+  BoundedQueue(size_t Capacity, unsigned NumProducers)
+      : Ring(Capacity), Producers(NumProducers) {
+    assert(Capacity > 0 && "queue needs at least one slot");
+    assert(NumProducers > 0 && "queue needs at least one producer");
+  }
+
+  BoundedQueue(const BoundedQueue &) = delete;
+  BoundedQueue &operator=(const BoundedQueue &) = delete;
+
+  /// Enqueues \p V, blocking while the queue is full. \returns false
+  /// (without enqueueing) if the consumer closed the queue — the
+  /// producer should stop producing.
+  bool push(const T &V) {
+    std::unique_lock<std::mutex> L(Mu);
+    NotFull.wait(L, [&] { return Count != Ring.size() || Closed; });
+    if (Closed)
+      return false;
+    Ring[(Head + Count) % Ring.size()] = V;
+    ++Count;
+    L.unlock();
+    NotEmpty.notify_one();
+    return true;
+  }
+
+  /// Dequeues into \p Out, blocking while the queue is empty and
+  /// producers remain. \returns false when the queue is drained: empty
+  /// with every producer finished (or closed).
+  bool pop(T &Out) {
+    std::unique_lock<std::mutex> L(Mu);
+    NotEmpty.wait(L, [&] { return Count != 0 || Producers == 0 || Closed; });
+    if (Count == 0)
+      return false;
+    Out = std::move(Ring[Head]);
+    Head = (Head + 1) % Ring.size();
+    --Count;
+    L.unlock();
+    NotFull.notify_one();
+    return true;
+  }
+
+  /// Signals that one producer has finished. The last call wakes a
+  /// consumer blocked on an empty queue.
+  void producerDone() {
+    std::unique_lock<std::mutex> L(Mu);
+    assert(Producers > 0 && "more producerDone calls than producers");
+    if (--Producers == 0) {
+      L.unlock();
+      NotEmpty.notify_all();
+    }
+  }
+
+  /// Consumer-side cancellation: subsequent (and blocked) push calls
+  /// return false. Queued rows are discarded.
+  void close() {
+    {
+      std::lock_guard<std::mutex> L(Mu);
+      Closed = true;
+      Count = 0;
+    }
+    NotFull.notify_all();
+    NotEmpty.notify_all();
+  }
+
+private:
+  std::mutex Mu;
+  std::condition_variable NotFull, NotEmpty;
+  std::vector<T> Ring;
+  size_t Head = 0;
+  size_t Count = 0;
+  unsigned Producers;
+  bool Closed = false;
+};
+
+} // namespace relc
+
+#endif // RELC_CONCURRENT_BOUNDEDQUEUE_H

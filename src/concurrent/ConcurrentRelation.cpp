@@ -6,6 +6,9 @@
 
 #include "concurrent/ConcurrentRelation.h"
 
+#include "concurrent/BoundedQueue.h"
+
+#include <thread>
 #include <unordered_set>
 
 using namespace relc;
@@ -15,7 +18,11 @@ ConcurrentRelation::ConcurrentRelation(const Decomposition &D,
     : Router(Opts.ShardColumn ? *Opts.ShardColumn
                               : ShardRouter::defaultShardColumn(D),
              Opts.NumShards),
-      Locks(Opts.NumShards) {
+      Locks(Opts.NumShards),
+      // Clamp: capacity 0 would be modulo-by-zero UB inside the
+      // queue's ring in release builds (its own check is assert-only).
+      ScanQueueCap(Opts.ScanQueueCapacity > 0 ? Opts.ScanQueueCapacity
+                                              : 1) {
   assert(Router.shardColumn() < D.catalog().size() &&
          "shard column is not a column of the relation");
   Shards.reserve(Opts.NumShards);
@@ -48,7 +55,7 @@ size_t ConcurrentRelation::remove(const Tuple &Pattern) {
 }
 
 size_t ConcurrentRelation::removeAllShards(const Tuple &Pattern) {
-  StripedLockSet::AllExclusiveGuard Guard(Locks);
+  AllShardsGuard Guard(Locks);
   size_t Removed = 0;
   for (std::unique_ptr<SynthesizedRelation> &S : Shards)
     Removed += S->remove(Pattern);
@@ -68,7 +75,7 @@ size_t ConcurrentRelation::update(const Tuple &Pattern, const Tuple &Changes) {
   // The pattern is a key, so at most one shard holds a match — but
   // without the shard column which one is unknown: take every writer
   // lock (ascending, per the lock order) and try each shard in turn.
-  StripedLockSet::AllExclusiveGuard Guard(Locks);
+  AllShardsGuard Guard(Locks);
   for (std::unique_ptr<SynthesizedRelation> &S : Shards)
     if (size_t Updated = S->update(Pattern, Changes))
       return Updated;
@@ -81,7 +88,7 @@ size_t ConcurrentRelation::updateRehoming(const Tuple &Pattern,
   // pattern does not bind it) and the tuple may change owners: locate
   // the matching tuple, then either update in place (same owner) or
   // migrate it (remove + reinsert), all under every writer lock.
-  StripedLockSet::AllExclusiveGuard Guard(Locks);
+  AllShardsGuard Guard(Locks);
   ColumnSet All = catalog().allColumns();
   for (unsigned I = 0; I != Shards.size(); ++I) {
     Tuple Old;
@@ -107,6 +114,77 @@ size_t ConcurrentRelation::updateRehoming(const Tuple &Pattern,
     return 1;
   }
   return 0;
+}
+
+bool ConcurrentRelation::upsert(
+    const Tuple &Key, function_ref<void(const BindingFrame *, Tuple &)> Fn) {
+  // The routed path re-checks this inside SynthesizedRelation::upsert;
+  // assert here too so the fan-out path catches non-key patterns.
+  assert(spec()->fds().isKey(Key.columns(), spec()->columns()) &&
+         "upsert pattern must be a key");
+  if (Router.routes(Key.columns())) {
+    // The common case the primitive exists for: the key owns its shard
+    // (and, being disjoint from the key, the new values cannot rewrite
+    // the shard column), so one writer lock linearizes the whole
+    // read-modify-write cycle.
+    unsigned S = Router.shardOf(Key);
+    auto Lock = Locks.exclusive(S);
+    // Follow the shard's size delta rather than the return value: an
+    // FD-violating collision with another key can make the reinsert
+    // no-op in release builds, and the counter must track the shards
+    // regardless (as the fan-out path and the emitted facade do).
+    size_t Before = Shards[S]->size();
+    bool Inserted = Shards[S]->upsert(Key, Fn);
+    size_t After = Shards[S]->size();
+    if (After > Before)
+      Count.fetch_add(1, std::memory_order_relaxed);
+    else if (After < Before)
+      Count.fetch_sub(1, std::memory_order_relaxed);
+    return Inserted;
+  }
+  // The key misses the shard column: the owner is unknown and the new
+  // values may rewrite the shard column, migrating the tuple — the
+  // same all-writer-locks discipline as updateRehoming.
+  AllShardsGuard Guard(Locks);
+  ColumnSet All = catalog().allColumns();
+  ColumnSet Rest = All.minus(Key.columns());
+  for (unsigned I = 0; I != Shards.size(); ++I) {
+    Tuple Old, Values;
+    bool Found = false;
+    Shards[I]->scanFrames(Key, Rest, [&](const BindingFrame &F) {
+      Found = true;
+      Old = F.toTuple(All);
+      Fn(&F, Values);
+      return false; // the pattern is a key: at most one match
+    });
+    if (!Found)
+      continue;
+    assert(Values.columns().subsetOf(Rest) &&
+           "upsert values must not rebind key columns");
+    if (Values.empty())
+      return false;
+    Tuple Merged = Old.merge(Values);
+    unsigned Target = Router.shardOf(Merged);
+    if (Target == I) {
+      Shards[I]->update(Key, Values);
+      return false;
+    }
+    [[maybe_unused]] size_t Removed = Shards[I]->remove(Old);
+    assert(Removed == 1 && "matched tuple vanished during upsert");
+    if (!Shards[Target]->insert(Merged))
+      // FD-violating collision in the target shard; keep the counter
+      // consistent with the shards (see updateRehoming).
+      Count.fetch_sub(1, std::memory_order_relaxed);
+    return false;
+  }
+  Tuple Values;
+  Fn(nullptr, Values);
+  assert(Values.columns() == Rest &&
+         "upsert must bind every non-key column when inserting");
+  Tuple Full = Key.merge(Values);
+  if (Shards[Router.shardOf(Full)]->insert(Full))
+    Count.fetch_add(1, std::memory_order_relaxed);
+  return true;
 }
 
 std::vector<Tuple> ConcurrentRelation::query(const Tuple &Pattern,
@@ -158,6 +236,54 @@ void ConcurrentRelation::scanFrames(
   }
 }
 
+void ConcurrentRelation::scanFramesParallel(
+    const Tuple &Pattern, ColumnSet OutputCols,
+    function_ref<bool(const BindingFrame &)> Fn) const {
+  // Routed patterns touch one shard: nothing to fan out.
+  if (Router.routes(Pattern.columns())) {
+    scanFrames(Pattern, OutputCols, Fn);
+    return;
+  }
+  // One worker per shard scans under that shard's reader lock and
+  // pushes copies of its frames into the bounded merge queue; the
+  // calling thread drains it and runs the sink. The copy is the price
+  // of crossing threads — the borrowed-frame zero-allocation contract
+  // still holds per shard, and frames over catalogs within
+  // BindingFrame::InlineColumns copy without heap traffic.
+  BoundedQueue<BindingFrame> Queue(ScanQueueCap,
+                                   static_cast<unsigned>(Shards.size()));
+  std::vector<std::thread> Workers;
+  Workers.reserve(Shards.size());
+  for (unsigned I = 0; I != Shards.size(); ++I)
+    Workers.emplace_back([&, I] {
+      auto Lock = Locks.shared(I);
+      Shards[I]->scanFrames(Pattern, OutputCols,
+                            [&](const BindingFrame &F) {
+                              // push fails only after close(): the
+                              // consumer stopped, so stop scanning.
+                              return Queue.push(F);
+                            });
+      Queue.producerDone();
+    });
+  BindingFrame Row;
+  while (Queue.pop(Row)) {
+    if (!Fn(Row)) {
+      Queue.close();
+      break;
+    }
+  }
+  for (std::thread &W : Workers)
+    W.join();
+}
+
+void ConcurrentRelation::scanParallel(const Tuple &Pattern,
+                                      ColumnSet OutputCols,
+                                      function_ref<bool(const Tuple &)> Fn) const {
+  scanFramesParallel(Pattern, OutputCols, [&](const BindingFrame &F) {
+    return Fn(F.toTuple(F.bound()));
+  });
+}
+
 bool ConcurrentRelation::contains(const Tuple &Pattern) const {
   bool Found = false;
   scanFrames(Pattern, ColumnSet(), [&](const BindingFrame &) {
@@ -168,32 +294,33 @@ bool ConcurrentRelation::contains(const Tuple &Pattern) const {
 }
 
 void ConcurrentRelation::clear() {
-  StripedLockSet::AllExclusiveGuard Guard(Locks);
+  AllShardsGuard Guard(Locks);
   for (std::unique_ptr<SynthesizedRelation> &S : Shards)
     S->clear();
   Count.store(0, std::memory_order_relaxed);
 }
 
 Relation ConcurrentRelation::toRelation() const {
+  // Reader locks on every shard at once: a consistent global snapshot
+  // (writers are fully excluded for the duration), while other readers
+  // still proceed.
+  AllShardsGuard Guard(Locks, AllShardsGuard::Shared);
   Relation Result(catalog().allColumns());
-  for (unsigned I = 0; I != Shards.size(); ++I) {
-    auto Lock = Locks.shared(I);
-    Result = Relation::unionWith(Result, Shards[I]->toRelation());
-  }
+  for (const std::unique_ptr<SynthesizedRelation> &S : Shards)
+    Result = Relation::unionWith(Result, S->toRelation());
   return Result;
 }
 
 size_t ConcurrentRelation::liveInstances() const {
+  AllShardsGuard Guard(Locks, AllShardsGuard::Shared);
   size_t Live = 0;
-  for (unsigned I = 0; I != Shards.size(); ++I) {
-    auto Lock = Locks.shared(I);
-    Live += Shards[I]->liveInstances();
-  }
+  for (const std::unique_ptr<SynthesizedRelation> &S : Shards)
+    Live += S->liveInstances();
   return Live;
 }
 
 void ConcurrentRelation::reoptimize() {
-  StripedLockSet::AllExclusiveGuard Guard(Locks);
+  AllShardsGuard Guard(Locks);
   for (std::unique_ptr<SynthesizedRelation> &S : Shards)
     S->reoptimize();
 }

@@ -50,6 +50,9 @@ struct ConcurrentOptions {
   /// Column to partition by; defaults to the first column of the
   /// decomposition root's key (ShardRouter::defaultShardColumn).
   std::optional<ColumnId> ShardColumn;
+  /// Slots in the bounded merge queue of parallel fan-out scans; the
+  /// bound backpressures shard workers against a slow consumer.
+  size_t ScanQueueCapacity = 1024;
 };
 
 class ConcurrentRelation {
@@ -85,6 +88,18 @@ public:
   /// writer locks; otherwise the update stays inside one shard.
   size_t update(const Tuple &Pattern, const Tuple &Changes);
 
+  /// Atomic read-modify-write (see SynthesizedRelation::upsert for the
+  /// callback contract). When \p Key binds the shard column this takes
+  /// exactly ONE shard writer lock — the whole point of the primitive:
+  /// concurrent writers to different keys of one shard linearize their
+  /// read-modify-write cycles without external ownership partitioning.
+  /// Otherwise every writer lock is taken and, if the new values
+  /// rewrite the shard column, the tuple migrates shards. \p Fn must
+  /// not operate on this relation. \returns true if a tuple was newly
+  /// inserted.
+  bool upsert(const Tuple &Key,
+              function_ref<void(const BindingFrame *, Tuple &)> Fn);
+
   /// query r s C, deduplicated across shards.
   std::vector<Tuple> query(const Tuple &Pattern, ColumnSet OutputCols) const;
 
@@ -100,6 +115,23 @@ public:
   void scanFrames(const Tuple &Pattern, ColumnSet OutputCols,
                   function_ref<bool(const BindingFrame &)> Fn) const;
 
+  /// Parallel fan-out scan: one worker per shard scans under its
+  /// shard's reader lock and feeds a bounded merge queue
+  /// (ConcurrentOptions::ScanQueueCapacity); \p Fn runs on the calling
+  /// thread and sees the same multiset of frames as the sequential
+  /// fan-out, in arbitrary interleaved order. Routed patterns (which
+  /// touch one shard) degrade to the sequential path. Like scanFrames,
+  /// \p Fn must not call back into this relation — a mutation would
+  /// deadlock against a queue-blocked shard worker. Intended for
+  /// analytics-style full scans; per-call thread spawn makes it a poor
+  /// fit for tiny results.
+  void scanFramesParallel(const Tuple &Pattern, ColumnSet OutputCols,
+                          function_ref<bool(const BindingFrame &)> Fn) const;
+
+  /// As scanFramesParallel, delivering materialized tuples.
+  void scanParallel(const Tuple &Pattern, ColumnSet OutputCols,
+                    function_ref<bool(const Tuple &)> Fn) const;
+
   /// True if some tuple extends \p Pattern.
   bool contains(const Tuple &Pattern) const;
 
@@ -114,8 +146,9 @@ public:
   // Introspection (tests, benches).
   //===--------------------------------------------------------------------===
 
-  /// α(d): the union of the shard relations (test-sized relations;
-  /// successive reader locks, so quiesce writers for an exact answer).
+  /// α(d): the union of the shard relations, extracted under reader
+  /// locks on every shard at once (AllShardsGuard shared mode) — a
+  /// globally consistent snapshot even while writers run.
   Relation toRelation() const;
 
   /// Live NodeInstances across shards (leak checks).
@@ -139,6 +172,7 @@ private:
   /// unique_ptr: SynthesizedRelation owns a non-movable InstanceGraph.
   std::vector<std::unique_ptr<SynthesizedRelation>> Shards;
   std::atomic<size_t> Count{0};
+  size_t ScanQueueCap;
 };
 
 } // namespace relc

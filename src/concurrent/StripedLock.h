@@ -56,27 +56,6 @@ public:
     return std::unique_lock<std::shared_mutex>(stripe(I));
   }
 
-  /// Writer locks on every stripe, acquired in ascending index order
-  /// (the global lock order) and released in reverse. Used by the
-  /// fan-out mutations, which must be atomic across shards.
-  class AllExclusiveGuard {
-  public:
-    explicit AllExclusiveGuard(const StripedLockSet &Locks) : Locks(Locks) {
-      for (unsigned I = 0; I != Locks.numStripes(); ++I)
-        Locks.stripe(I).lock();
-    }
-    ~AllExclusiveGuard() {
-      for (unsigned I = Locks.numStripes(); I != 0; --I)
-        Locks.stripe(I - 1).unlock();
-    }
-
-    AllExclusiveGuard(const AllExclusiveGuard &) = delete;
-    AllExclusiveGuard &operator=(const AllExclusiveGuard &) = delete;
-
-  private:
-    const StripedLockSet &Locks;
-  };
-
 private:
   /// Padded to a cache line so contended stripes do not false-share.
   /// (std::hardware_destructive_interference_size is not implemented
@@ -88,6 +67,44 @@ private:
 
   std::unique_ptr<PaddedMutex[]> Stripes;
   unsigned Count;
+};
+
+/// RAII acquisition of EVERY stripe of a StripedLockSet, in ascending
+/// index order (the global lock order) and released in reverse. The
+/// exclusive mode backs the fan-out mutations, which must be atomic
+/// across shards; the shared mode gives whole-relation reads (e.g.
+/// snapshot extraction) a globally consistent view while still
+/// admitting concurrent readers. Both modes respect the same total
+/// acquisition order, so they cannot deadlock against each other or
+/// against single-stripe operations.
+class AllShardsGuard {
+public:
+  enum Mode { Exclusive, Shared };
+
+  explicit AllShardsGuard(const StripedLockSet &Locks, Mode M = Exclusive)
+      : Locks(Locks), M(M) {
+    for (unsigned I = 0; I != Locks.numStripes(); ++I) {
+      if (M == Exclusive)
+        Locks.stripe(I).lock();
+      else
+        Locks.stripe(I).lock_shared();
+    }
+  }
+  ~AllShardsGuard() {
+    for (unsigned I = Locks.numStripes(); I != 0; --I) {
+      if (M == Exclusive)
+        Locks.stripe(I - 1).unlock();
+      else
+        Locks.stripe(I - 1).unlock_shared();
+    }
+  }
+
+  AllShardsGuard(const AllShardsGuard &) = delete;
+  AllShardsGuard &operator=(const AllShardsGuard &) = delete;
+
+private:
+  const StripedLockSet &Locks;
+  Mode M;
 };
 
 } // namespace relc

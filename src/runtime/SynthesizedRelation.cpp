@@ -39,6 +39,36 @@ size_t SynthesizedRelation::update(const Tuple &Pattern,
   return dupdate(Graph, Pattern, Changes, Plans, Scratch);
 }
 
+bool SynthesizedRelation::upsert(
+    const Tuple &Key, function_ref<void(const BindingFrame *, Tuple &)> Fn) {
+  assert(spec()->fds().isKey(Key.columns(), spec()->columns()) &&
+         "upsert pattern must be a key");
+  ColumnSet Rest = spec()->columns().minus(Key.columns());
+  Tuple Values;
+  bool Found = false;
+  // The pattern is a key: at most one match. Fn runs inside the scan,
+  // where the borrowed frame is valid; the mutation itself waits until
+  // the scan (and its container iterators) is finished.
+  scanFrames(Key, Rest, [&](const BindingFrame &F) {
+    Found = true;
+    Fn(&F, Values);
+    return false;
+  });
+  if (!Found) {
+    Fn(nullptr, Values);
+    assert(Values.columns() == Rest &&
+           "upsert must bind every non-key column when inserting");
+    [[maybe_unused]] bool Changed = insert(Key.merge(Values));
+    assert(Changed && "upsert insert collided with an existing tuple");
+    return true;
+  }
+  assert(Values.columns().subsetOf(Rest) &&
+         "upsert values must not rebind key columns");
+  if (!Values.empty())
+    update(Key, Values);
+  return false;
+}
+
 std::vector<Tuple> SynthesizedRelation::query(const Tuple &Pattern,
                                               ColumnSet OutputCols) const {
   std::vector<Tuple> Result;

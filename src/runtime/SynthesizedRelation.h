@@ -61,6 +61,22 @@ public:
   /// Precondition: the updated relation satisfies ∆.
   size_t update(const Tuple &Pattern, const Tuple &Changes);
 
+  /// Atomic read-modify-write: \p Key must be a key pattern (it
+  /// functionally determines every column). \p Fn is called exactly
+  /// once — with the matching tuple's binding frame if one exists, or
+  /// nullptr if not — and fills \p Values with new values for non-key
+  /// columns. If no tuple matched, \p Values must bind every non-key
+  /// column and Key ∪ Values is inserted; otherwise the matching tuple
+  /// is updated with \p Values (which may bind any subset; an empty
+  /// \p Values leaves the tuple unchanged). \returns true if a new
+  /// tuple was inserted. \p Fn must not operate on this relation.
+  ///
+  /// This is the one implementation of the upsert primitive: the
+  /// sequential engine is trivially atomic, and ConcurrentRelation
+  /// exposes the same operation under a single shard writer lock.
+  bool upsert(const Tuple &Key,
+              function_ref<void(const BindingFrame *, Tuple &)> Fn);
+
   /// query r s C: the projection onto \p OutputCols of tuples extending
   /// \p Pattern, deduplicated (matches the relational semantics).
   std::vector<Tuple> query(const Tuple &Pattern, ColumnSet OutputCols) const;

@@ -104,6 +104,85 @@ TEST(RelcToolTest, EmittedHeaderCompiles) {
   EXPECT_EQ(CompileRc, 0) << CompileOut;
 }
 
+TEST(RelcToolTest, ConcurrencyDirectiveEmitsCompilableFacade) {
+  // The golden concurrent spec (tests/codegen/golden/ holds the ones
+  // the build compiles for GeneratedConcurrentTest): the directive
+  // must produce the facade class and the whole header must compile.
+  std::string Text = std::string(SchedulerInput) +
+                     "upsert ns, pid\nconcurrency sharded 4 on ns\n";
+  std::string In = writeInput("conc.relc", Text);
+  std::string Header = uniquePath("conc_gen.h");
+  auto [Rc, Out] =
+      run(std::string(RELC_TOOL_PATH) + " -o " + Header + " " + In);
+  ASSERT_EQ(Rc, 0) << Out;
+
+  std::ifstream HeaderIn(Header);
+  std::stringstream Ss;
+  Ss << HeaderIn.rdbuf();
+  std::string Code = Ss.str();
+  EXPECT_NE(Code.find("class sched_concurrent"), std::string::npos);
+  EXPECT_NE(Code.find("upsert_by_ns_pid"), std::string::npos);
+  EXPECT_NE(Code.find("by_state_parallel"), std::string::npos);
+
+  auto [CompileRc, CompileOut] =
+      run("c++ -std=c++20 -fsyntax-only -I " +
+          std::string(RELC_SOURCE_DIR) + "/src -include " + Header +
+          " -x c++ /dev/null");
+  EXPECT_EQ(CompileRc, 0) << CompileOut;
+}
+
+TEST(RelcToolTest, ShardsFlagOverridesDirective) {
+  // --shards enables the facade without a directive in the file.
+  std::string In = writeInput("sched.relc", SchedulerInput);
+  auto [Rc, Out] = run(std::string(RELC_TOOL_PATH) +
+                       " --shards 2 --shard-column state " + In);
+  ASSERT_EQ(Rc, 0) << Out;
+  EXPECT_NE(Out.find("class sched_concurrent"), std::string::npos);
+  EXPECT_NE(Out.find("NumShards = 2"), std::string::npos);
+
+  auto [Rc2, Out2] = run(std::string(RELC_TOOL_PATH) + " " + In);
+  ASSERT_EQ(Rc2, 0);
+  EXPECT_EQ(Out2.find("sched_concurrent"), std::string::npos);
+}
+
+TEST(RelcToolTest, ShardsZeroSuppressesDirectiveFacade) {
+  std::string Text =
+      std::string(SchedulerInput) + "concurrency sharded 8\n";
+  std::string In = writeInput("conc.relc", Text);
+  auto [Rc, Out] =
+      run(std::string(RELC_TOOL_PATH) + " --shards 0 " + In);
+  ASSERT_EQ(Rc, 0) << Out;
+  EXPECT_EQ(Out.find("sched_concurrent"), std::string::npos);
+}
+
+TEST(RelcToolTest, ShardsFlagRejectsNonNumericValues) {
+  std::string In = writeInput("sched.relc", SchedulerInput);
+  for (const char *Bad : {"four", "4x", "-1", "5000"}) {
+    auto [Rc, Out] = run(std::string(RELC_TOOL_PATH) + " --shards " +
+                         Bad + " " + In);
+    EXPECT_NE(Rc, 0) << Bad;
+    EXPECT_NE(Out.find("--shards"), std::string::npos) << Out;
+  }
+}
+
+TEST(RelcToolTest, ShardColumnFlagRejectsUnknownColumn) {
+  std::string In = writeInput("sched.relc", SchedulerInput);
+  auto [Rc, Out] = run(std::string(RELC_TOOL_PATH) +
+                       " --shards 2 --shard-column bogus " + In);
+  EXPECT_NE(Rc, 0);
+  EXPECT_NE(Out.find("not a column"), std::string::npos) << Out;
+}
+
+TEST(RelcToolTest, ShardColumnWithoutFacadeIsAnError) {
+  // Without --shards or a `concurrency` directive the flag would be a
+  // silent no-op; it must be rejected instead.
+  std::string In = writeInput("sched.relc", SchedulerInput);
+  auto [Rc, Out] =
+      run(std::string(RELC_TOOL_PATH) + " --shard-column ns " + In);
+  EXPECT_NE(Rc, 0);
+  EXPECT_NE(Out.find("requires a facade"), std::string::npos) << Out;
+}
+
 TEST(RelcToolTest, RejectsInadequateDecomposition) {
   // Drop the FD: Fig. 2's shape is no longer adequate.
   std::string Bad = SchedulerInput;

@@ -129,6 +129,114 @@ TEST(SpecFileTest, ErrorDecompositionParseErrorsSurface) {
   EXPECT_NE(R.Error.find("decomposition"), std::string::npos);
 }
 
+TEST(SpecFileTest, ParsesUpsertAndConcurrencyDirectives) {
+  std::string Text = std::string(SchedulerFile) +
+                     "upsert ns, pid\nconcurrency sharded 8 on state\n";
+  SpecFileResult R = parseSpecFile(Text);
+  ASSERT_TRUE(R.ok()) << R.Error;
+  ASSERT_EQ(R.File->Options.UpsertKeys.size(), 1u);
+  EXPECT_EQ(R.File->Options.UpsertKeys[0],
+            R.File->Spec->catalog().parseSet("ns, pid"));
+  EXPECT_EQ(R.File->Options.ConcurrentShards, 8u);
+  ASSERT_TRUE(R.File->Options.ConcurrentShardColumn.has_value());
+  EXPECT_EQ(*R.File->Options.ConcurrentShardColumn,
+            R.File->Spec->catalog().get("state"));
+}
+
+TEST(SpecFileTest, ConcurrencyDefaultShardColumn) {
+  std::string Text =
+      std::string(SchedulerFile) + "concurrency sharded 4\n";
+  SpecFileResult R = parseSpecFile(Text);
+  ASSERT_TRUE(R.ok()) << R.Error;
+  EXPECT_EQ(R.File->Options.ConcurrentShards, 4u);
+  EXPECT_FALSE(R.File->Options.ConcurrentShardColumn.has_value());
+}
+
+TEST(SpecFileTest, ConcurrencyDirectiveFeedsEmitter) {
+  std::string Text = std::string(SchedulerFile) +
+                     "upsert ns, pid\nconcurrency sharded 4 on ns\n";
+  SpecFileResult R = parseSpecFile(Text);
+  ASSERT_TRUE(R.ok()) << R.Error;
+  std::string Code = emitCpp(*R.File->Decomp, R.File->Options);
+  EXPECT_NE(Code.find("class scheduler_relation_concurrent"),
+            std::string::npos);
+  EXPECT_NE(Code.find("NumShards = 4"), std::string::npos);
+  EXPECT_NE(Code.find("upsert_by_ns_pid"), std::string::npos);
+  EXPECT_NE(Code.find("lookup_by_ns_pid"), std::string::npos);
+  // The fan-out query gets a parallel variant; the routed one (by cpu
+  // inputs that bind ns) would not.
+  EXPECT_NE(Code.find("query_by_state_parallel"), std::string::npos);
+  EXPECT_EQ(Code.find("query_cpu_parallel"), std::string::npos);
+}
+
+TEST(SpecFileTest, RepeatedMethodDirectivesEmitOnce) {
+  // Duplicate remove/update/upsert directives must not emit duplicate
+  // (un-overloadable) member functions.
+  std::string Text = std::string(SchedulerFile) +
+                     "remove ns, pid\nupdate ns, pid\nupsert ns, pid\n"
+                     "upsert ns, pid\n";
+  SpecFileResult R = parseSpecFile(Text);
+  ASSERT_TRUE(R.ok()) << R.Error;
+  std::string Code = emitCpp(*R.File->Decomp, R.File->Options);
+  auto countOf = [&](const char *Needle) {
+    size_t N = 0;
+    for (size_t Pos = Code.find(Needle); Pos != std::string::npos;
+         Pos = Code.find(Needle, Pos + 1))
+      ++N;
+    return N;
+  };
+  EXPECT_EQ(countOf("bool remove_by_ns_pid("), 1u);
+  EXPECT_EQ(countOf("bool update_by_ns_pid("), 1u);
+  EXPECT_EQ(countOf("bool upsert_by_ns_pid("), 1u);
+}
+
+TEST(SpecFileTest, LaterConcurrencyDirectiveWinsOutright) {
+  // A bare re-declaration must not inherit the earlier `on` clause.
+  std::string Text = std::string(SchedulerFile) +
+                     "concurrency sharded 8 on state\n"
+                     "concurrency sharded 4\n";
+  SpecFileResult R = parseSpecFile(Text);
+  ASSERT_TRUE(R.ok()) << R.Error;
+  EXPECT_EQ(R.File->Options.ConcurrentShards, 4u);
+  EXPECT_FALSE(R.File->Options.ConcurrentShardColumn.has_value());
+}
+
+TEST(SpecFileTest, ErrorNonKeyUpsert) {
+  std::string Text = std::string(SchedulerFile) + "upsert state\n";
+  SpecFileResult R = parseSpecFile(Text);
+  ASSERT_FALSE(R.ok());
+  EXPECT_NE(R.Error.find("not a key"), std::string::npos);
+}
+
+TEST(SpecFileTest, ErrorMalformedConcurrency) {
+  for (const char *Line :
+       {"concurrency 4\n", "concurrency sharded\n",
+        "concurrency sharded 4 off ns\n"}) {
+    SpecFileResult R = parseSpecFile(std::string(SchedulerFile) + Line);
+    EXPECT_FALSE(R.ok()) << Line;
+  }
+}
+
+TEST(SpecFileTest, ErrorShardCountOutOfRangeNamesTheCap) {
+  // Syntactically fine, semantically out of range: the diagnostic
+  // must name the cap, not claim the grammar is wrong.
+  for (const char *Line :
+       {"concurrency sharded 8192\n", "concurrency sharded 0\n",
+        "concurrency sharded 99999999999\n"}) {
+    SpecFileResult R = parseSpecFile(std::string(SchedulerFile) + Line);
+    ASSERT_FALSE(R.ok()) << Line;
+    EXPECT_NE(R.Error.find("[1, 4096]"), std::string::npos) << R.Error;
+  }
+}
+
+TEST(SpecFileTest, ErrorUnknownShardColumn) {
+  std::string Text =
+      std::string(SchedulerFile) + "concurrency sharded 4 on bogus\n";
+  SpecFileResult R = parseSpecFile(Text);
+  ASSERT_FALSE(R.ok());
+  EXPECT_NE(R.Error.find("shard column"), std::string::npos);
+}
+
 TEST(SpecFileTest, DirectiveWordBoundary) {
   // "classic" must not parse as the "class" directive.
   SpecFileResult R = parseSpecFile("relation r(a)\nclassic foo\n");

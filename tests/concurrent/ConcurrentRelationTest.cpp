@@ -16,10 +16,16 @@
 #include "concurrent/ConcurrentRelation.h"
 
 #include "decomp/Builder.h"
+#include "systems/GraphRelational.h"
 #include "systems/IpcapRelational.h"
+#include "systems/SchedulerRelational.h"
+#include "systems/ThttpdRelational.h"
+#include "systems/ZtopoRelational.h"
 #include "workloads/Rng.h"
 
 #include <gtest/gtest.h>
+
+#include <algorithm>
 
 using namespace relc;
 
@@ -237,6 +243,77 @@ TEST_F(ConcurrentRelationTest, UpdateRewritingShardColumnMigrates) {
             0u);
 }
 
+TEST_F(ConcurrentRelationTest, UpsertRoutedInsertAndReadModifyWrite) {
+  ConcurrentRelation Rel(Decomp, {4, std::nullopt});
+  Tuple Key = key(7, 42);
+  ColumnId ColState = Cat.get("state"), ColCpu = Cat.get("cpu");
+
+  // Absent: Fn sees nullptr and supplies every non-key column.
+  bool Inserted = Rel.upsert(Key, [&](const BindingFrame *Cur, Tuple &V) {
+    EXPECT_EQ(Cur, nullptr);
+    V.set(ColState, Value::ofInt(1));
+    V.set(ColCpu, Value::ofInt(10));
+  });
+  EXPECT_TRUE(Inserted);
+  EXPECT_EQ(Rel.size(), 1u);
+
+  // Present: Fn reads the live frame and accumulates.
+  Inserted = Rel.upsert(Key, [&](const BindingFrame *Cur, Tuple &V) {
+    ASSERT_NE(Cur, nullptr);
+    V.set(ColCpu, Value::ofInt(Cur->get(ColCpu).asInt() + 32));
+  });
+  EXPECT_FALSE(Inserted);
+  EXPECT_EQ(Rel.size(), 1u);
+  EXPECT_TRUE(Rel.contains(proc(7, 42, 1, 42)));
+
+  // Routed: only the owning shard holds the tuple.
+  ShardRouter Router(Rel.shardColumn(), Rel.numShards());
+  unsigned Owner = Router.shardOf(Value::ofInt(7));
+  for (unsigned I = 0; I != Rel.numShards(); ++I)
+    EXPECT_EQ(Rel.shard(I).size(), I == Owner ? 1u : 0u);
+}
+
+TEST_F(ConcurrentRelationTest, UpsertFanOutMigratesAcrossShards) {
+  // Sharded by state (non-key): the upsert key cannot route, and
+  // rewriting state rehomes the tuple.
+  ConcurrentOptions Opts;
+  Opts.NumShards = 4;
+  Opts.ShardColumn = Cat.get("state");
+  ConcurrentRelation Rel(Decomp, Opts);
+  ColumnId ColState = Cat.get("state"), ColCpu = Cat.get("cpu");
+
+  ASSERT_TRUE(Rel.insert(proc(1, 2, 0, 5)));
+  ShardRouter Router(Rel.shardColumn(), Rel.numShards());
+  unsigned Before = Router.shardOf(Value::ofInt(0));
+  ASSERT_EQ(Rel.shard(Before).size(), 1u);
+
+  bool Inserted =
+      Rel.upsert(key(1, 2), [&](const BindingFrame *Cur, Tuple &V) {
+        ASSERT_NE(Cur, nullptr);
+        EXPECT_EQ(Cur->get(ColCpu).asInt(), 5);
+        V.set(ColState, Value::ofInt(2)); // rehomes the tuple
+        V.set(ColCpu, Value::ofInt(6));
+      });
+  EXPECT_FALSE(Inserted);
+  EXPECT_EQ(Rel.size(), 1u);
+  EXPECT_TRUE(Rel.contains(proc(1, 2, 2, 6)));
+  unsigned After = Router.shardOf(Value::ofInt(2));
+  EXPECT_EQ(Rel.shard(After).size(), 1u);
+  if (After != Before)
+    EXPECT_EQ(Rel.shard(Before).size(), 0u);
+
+  // Absent key through the fan-out path: inserts into the shard of
+  // the new state value.
+  Inserted = Rel.upsert(key(3, 4), [&](const BindingFrame *Cur, Tuple &V) {
+    EXPECT_EQ(Cur, nullptr);
+    V.set(ColState, Value::ofInt(1));
+    V.set(ColCpu, Value::ofInt(9));
+  });
+  EXPECT_TRUE(Inserted);
+  EXPECT_EQ(Rel.size(), 2u);
+  EXPECT_TRUE(Rel.contains(proc(3, 4, 1, 9)));
+}
+
 TEST_F(ConcurrentRelationTest, ClearAndLeakFree) {
   ConcurrentRelation Rel(Decomp, {4, std::nullopt});
   size_t EmptyLive = Rel.liveInstances(); // the per-shard roots
@@ -269,11 +346,12 @@ void runAlphaEquivalence(const RelSpecRef &Spec, const Decomposition &D,
         .build();
   };
 
+  ColumnId ColState = Cat.get("state"), ColCpu = Cat.get("cpu");
   for (int Step = 0; Step != 400; ++Step) {
     int64_t Ns = R.range(0, 7);
     int64_t Pid = R.range(0, 15);
     Tuple Key = TupleBuilder(Cat).set("ns", Ns).set("pid", Pid).build();
-    switch (R.below(5)) {
+    switch (R.below(6)) {
     case 0:
     case 1: { // insert (FD-safe only: the oracle pre-checks)
       Tuple T = MakeProc(Ns, Pid);
@@ -308,6 +386,30 @@ void runAlphaEquivalence(const RelSpecRef &Spec, const Decomposition &D,
       EXPECT_EQ(Sequential.update(Key, Changes), N);
       break;
     }
+    case 5: { // upsert: read-modify-write (migrates when sharded by
+              // state and the delta rewrites it)
+      int64_t Delta = R.range(1, 49);
+      auto Fn = [&](const BindingFrame *Cur, Tuple &Values) {
+        int64_t Cpu = Cur ? Cur->get(ColCpu).asInt() : 0;
+        Values.set(ColCpu, Value::ofInt((Cpu + Delta) % 100));
+        Values.set(ColState, Value::ofInt(Delta % 3));
+      };
+      bool Inserted = Sharded.upsert(Key, Fn);
+      EXPECT_EQ(Sequential.upsert(Key, Fn), Inserted);
+      // Oracle: the read-modify-write by hand.
+      auto Cur = Oracle.query(Key, ColumnSet::single(ColCpu));
+      EXPECT_EQ(Cur.empty(), Inserted);
+      int64_t Cpu = Cur.empty() ? 0 : Cur.front().get(ColCpu).asInt();
+      Tuple Changes = TupleBuilder(Cat)
+                          .set("cpu", (Cpu + Delta) % 100)
+                          .set("state", Delta % 3)
+                          .build();
+      if (Cur.empty())
+        Oracle.insert(Key.merge(Changes));
+      else
+        Oracle.update(Key, Changes);
+      break;
+    }
     }
     if (Step % 25 == 24) {
       EXPECT_EQ(Sharded.toRelation(), Oracle) << "step " << Step;
@@ -332,6 +434,116 @@ TEST_F(ConcurrentRelationTest, AlphaEquivalenceShardedByNonKeyColumn) {
   Opts.NumShards = 4;
   Opts.ShardColumn = Cat.get("state");
   runAlphaEquivalence(Spec, Decomp, Opts, 0xfeed);
+}
+
+/// Parallel fan-out scans must deliver exactly the sequential
+/// fan-out's multiset of frames, on every example system.
+void checkParallelScanParity(const RelSpecRef &Spec, Decomposition D,
+                             uint64_t Seed) {
+  const Catalog &Cat = Spec->catalog();
+  ConcurrentOptions Opts;
+  Opts.NumShards = 4;
+  Opts.ScanQueueCapacity = 32; // small: force worker/consumer handoff
+  ConcurrentRelation Rel(std::move(D), Opts);
+  Rng R(Seed);
+
+  // Unique first-column values keep every insert FD-safe (the first
+  // column is part of — or is — every system's key).
+  ColumnSet All = Cat.allColumns();
+  for (int64_t I = 0; I != 300; ++I) {
+    Tuple T;
+    unsigned J = 0;
+    for (ColumnId C : All) {
+      T.set(C, Value::ofInt(J == 0 ? I : R.range(0, 96)));
+      ++J;
+    }
+    ASSERT_TRUE(Rel.insert(T));
+  }
+
+  std::vector<Tuple> Sequential, Parallel;
+  Rel.scanFrames(Tuple(), All, [&](const BindingFrame &F) {
+    Sequential.push_back(F.toTuple(All));
+    return true;
+  });
+  Rel.scanFramesParallel(Tuple(), All, [&](const BindingFrame &F) {
+    Parallel.push_back(F.toTuple(All));
+    return true;
+  });
+  std::sort(Sequential.begin(), Sequential.end());
+  std::sort(Parallel.begin(), Parallel.end());
+  EXPECT_EQ(Sequential.size(), 300u) << Spec->name();
+  EXPECT_EQ(Sequential, Parallel) << Spec->name();
+
+  // Early stop terminates cleanly (close() unblocks shard workers).
+  size_t Seen = 0;
+  Rel.scanFramesParallel(Tuple(), All, [&](const BindingFrame &) {
+    return ++Seen < 10;
+  });
+  EXPECT_GE(Seen, 10u);
+
+  // A routed pattern degrades to the sequential single-shard path.
+  ColumnId First = All.first();
+  std::vector<Tuple> RoutedSeq, RoutedPar;
+  Tuple Pat = TupleBuilder(Cat).set(Cat.name(First), int64_t(5)).build();
+  Rel.scanFrames(Pat, All, [&](const BindingFrame &F) {
+    RoutedSeq.push_back(F.toTuple(All));
+    return true;
+  });
+  Rel.scanFramesParallel(Pat, All, [&](const BindingFrame &F) {
+    RoutedPar.push_back(F.toTuple(All));
+    return true;
+  });
+  std::sort(RoutedSeq.begin(), RoutedSeq.end());
+  std::sort(RoutedPar.begin(), RoutedPar.end());
+  EXPECT_EQ(RoutedSeq, RoutedPar) << Spec->name();
+}
+
+TEST_F(ConcurrentRelationTest, ParallelScanZeroCapacityClampsToOne) {
+  // Capacity 0 is clamped (not UB): the scan degenerates to a
+  // one-slot handoff per row and must still deliver everything.
+  ConcurrentOptions Opts;
+  Opts.NumShards = 4;
+  Opts.ScanQueueCapacity = 0;
+  ConcurrentRelation Rel(Decomp, Opts);
+  for (int64_t I = 0; I != 64; ++I)
+    ASSERT_TRUE(Rel.insert(proc(I % 8, I, I % 3, I)));
+  size_t Rows = 0;
+  Rel.scanFramesParallel(Tuple(), Cat.allColumns(),
+                         [&](const BindingFrame &) {
+                           ++Rows;
+                           return true;
+                         });
+  EXPECT_EQ(Rows, 64u);
+}
+
+TEST_F(ConcurrentRelationTest, ParallelScanParityScheduler) {
+  RelSpecRef S = SchedulerRelational::makeSpec();
+  checkParallelScanParity(
+      S, SchedulerRelational::makeDefaultDecomposition(S), 0x5c4e1);
+}
+
+TEST_F(ConcurrentRelationTest, ParallelScanParityGraph) {
+  RelSpecRef S = GraphRelational::makeSpec();
+  checkParallelScanParity(S, GraphRelational::makeSharedBidirectional(S),
+                          0x5c4e2);
+}
+
+TEST_F(ConcurrentRelationTest, ParallelScanParityThttpd) {
+  RelSpecRef S = ThttpdRelational::makeSpec();
+  checkParallelScanParity(
+      S, ThttpdRelational::makeDefaultDecomposition(S), 0x5c4e3);
+}
+
+TEST_F(ConcurrentRelationTest, ParallelScanParityIpcap) {
+  RelSpecRef S = IpcapRelational::makeSpec();
+  checkParallelScanParity(S, IpcapRelational::makeDefaultDecomposition(S),
+                          0x5c4e4);
+}
+
+TEST_F(ConcurrentRelationTest, ParallelScanParityZtopo) {
+  RelSpecRef S = ZtopoRelational::makeSpec();
+  checkParallelScanParity(S, ZtopoRelational::makeDefaultDecomposition(S),
+                          0x5c4e5);
 }
 
 TEST_F(ConcurrentRelationTest, IpcapDecompositionRoundTrip) {

@@ -48,10 +48,24 @@ Decomposition fig2(const RelSpecRef &Spec) {
 
 /// One logged mutation, replayable against any engine.
 struct LoggedOp {
-  enum Kind { Insert, Remove, Update } Op;
-  Tuple A; ///< Insert: the tuple. Remove: the pattern. Update: the pattern.
+  enum Kind { Insert, Remove, Update, Upsert } Op;
+  Tuple A; ///< Insert: the tuple. Remove/Update/Upsert: the pattern.
   Tuple B; ///< Update: the changes.
+  int64_t Delta = 0; ///< Upsert: the deterministic Fn's increment.
 };
+
+/// The upsert stress Fn, deterministic in (current value, Delta) so a
+/// serial replay reproduces it: cpu accumulates mod 100, state follows
+/// the delta (exercising migration when sharded by state).
+void applyUpsert(SynthesizedRelation &Rel, const Catalog &Cat,
+                 const Tuple &Key, int64_t Delta) {
+  ColumnId ColCpu = Cat.get("cpu"), ColState = Cat.get("state");
+  Rel.upsert(Key, [&](const BindingFrame *Cur, Tuple &Values) {
+    int64_t Cpu = Cur ? Cur->get(ColCpu).asInt() : 0;
+    Values.set(ColCpu, Value::ofInt((Cpu + Delta) % 100));
+    Values.set(ColState, Value::ofInt(Delta % 3));
+  });
+}
 
 /// Writer loop: FD-safe random mutations confined to pid values
 /// `Tid mod NumWriters` (namespaces are shared across threads, so
@@ -67,7 +81,7 @@ void writerLoop(ConcurrentRelation &Rel, const Catalog &Cat,
     int64_t Pid = static_cast<int64_t>(Tid) +
                   static_cast<int64_t>(NumWriters) * R.range(0, 15);
     Tuple Key = TupleBuilder(Cat).set("ns", Ns).set("pid", Pid).build();
-    switch (R.below(6)) {
+    switch (R.below(8)) {
     case 0:
     case 1:
     case 2: { // insert
@@ -107,6 +121,31 @@ void writerLoop(ConcurrentRelation &Rel, const Catalog &Cat,
       Log.push_back({LoggedOp::Update, Key, Changes});
       break;
     }
+    case 6:
+    case 7: { // upsert: atomic read-modify-write through the key
+              // (routed under default sharding, fan-out + migration
+              // when sharded by state); always FD-safe
+      int64_t Delta = R.range(1, 49);
+      ColumnId ColCpu = Cat.get("cpu"), ColState = Cat.get("state");
+      Rel.upsert(Key, [&](const BindingFrame *Cur, Tuple &Values) {
+        int64_t Cpu = Cur ? Cur->get(ColCpu).asInt() : 0;
+        Values.set(ColCpu, Value::ofInt((Cpu + Delta) % 100));
+        Values.set(ColState, Value::ofInt(Delta % 3));
+      });
+      // Mirror into this thread's slice for later FD pre-checks.
+      auto Cur = Mine.query(Key, ColumnSet::single(ColCpu));
+      int64_t Cpu = Cur.empty() ? 0 : Cur.front().get(ColCpu).asInt();
+      Tuple Changes = TupleBuilder(Cat)
+                          .set("cpu", (Cpu + Delta) % 100)
+                          .set("state", Delta % 3)
+                          .build();
+      if (Cur.empty())
+        Mine.insert(Key.merge(Changes));
+      else
+        Mine.update(Key, Changes);
+      Log.push_back({LoggedOp::Upsert, Key, Tuple(), Delta});
+      break;
+    }
     }
   }
 }
@@ -140,6 +179,17 @@ void readerLoop(const ConcurrentRelation &Rel, const Catalog &Cat,
                ++Rows;
                return true;
              });
+    // Parallel fan-out scan racing the writers (one worker per shard
+    // through the bounded merge queue), sometimes stopped early to
+    // exercise close()-side shutdown against blocked producers.
+    bool StopEarly = R.chance(0.3);
+    size_t ParRows = 0;
+    Rel.scanFramesParallel(Tuple(), Cat.parseSet("ns, cpu"),
+                           [&](const BindingFrame &F) {
+                             EXPECT_GE(F.get(ColCpu).asInt(), 0);
+                             ++Rows;
+                             return !StopEarly || ++ParRows < 5;
+                           });
     (void)Rel.size();
     (void)Rel.contains(Key);
   }
@@ -191,6 +241,9 @@ void runStress(ConcurrentOptions Opts, unsigned NumWriters,
         break;
       case LoggedOp::Update:
         Replay.update(Op.A, Op.B);
+        break;
+      case LoggedOp::Upsert:
+        applyUpsert(Replay, Cat, Op.A, Op.Delta);
         break;
       }
     }

@@ -151,6 +151,58 @@ TEST_F(SynthesizedRelationTest, RemoveByPartialPattern) {
   EXPECT_TRUE(Rel.checkWellFormed().Ok);
 }
 
+TEST_F(SynthesizedRelationTest, UpsertInsertsWhenAbsent) {
+  Tuple Key = TupleBuilder(Cat).set("ns", 1).set("pid", 2).build();
+  bool Inserted = Rel.upsert(Key, [&](const BindingFrame *Cur, Tuple &V) {
+    EXPECT_EQ(Cur, nullptr);
+    V.set(Cat.get("state"), Value::ofInt(1));
+    V.set(Cat.get("cpu"), Value::ofInt(7));
+  });
+  EXPECT_TRUE(Inserted);
+  EXPECT_EQ(Rel.size(), 1u);
+  EXPECT_TRUE(Rel.contains(proc(1, 2, 1, 7)));
+}
+
+TEST_F(SynthesizedRelationTest, UpsertReadModifyWritesWhenPresent) {
+  Rel.insert(proc(1, 2, 1, 10));
+  Tuple Key = TupleBuilder(Cat).set("ns", 1).set("pid", 2).build();
+  ColumnId ColCpu = Cat.get("cpu");
+  bool Inserted = Rel.upsert(Key, [&](const BindingFrame *Cur, Tuple &V) {
+    ASSERT_NE(Cur, nullptr);
+    EXPECT_EQ(Cur->get(Cat.get("state")).asInt(), 1);
+    V.set(ColCpu, Value::ofInt(Cur->get(ColCpu).asInt() + 5));
+  });
+  EXPECT_FALSE(Inserted);
+  EXPECT_EQ(Rel.size(), 1u);
+  EXPECT_TRUE(Rel.contains(proc(1, 2, 1, 15)));
+  EXPECT_FALSE(Rel.contains(proc(1, 2, 1, 10)));
+}
+
+TEST_F(SynthesizedRelationTest, UpsertEmptyValuesLeavesTupleAlone) {
+  Rel.insert(proc(3, 4, 0, 9));
+  Tuple Key = TupleBuilder(Cat).set("ns", 3).set("pid", 4).build();
+  bool Inserted =
+      Rel.upsert(Key, [&](const BindingFrame *, Tuple &) {});
+  EXPECT_FALSE(Inserted);
+  EXPECT_TRUE(Rel.contains(proc(3, 4, 0, 9)));
+  EXPECT_EQ(Rel.size(), 1u);
+}
+
+TEST_F(SynthesizedRelationTest, UpsertAccumulatorLoop) {
+  // The ipcap_daemon pattern: counters accumulated by key through
+  // repeated upserts.
+  Tuple Key = TupleBuilder(Cat).set("ns", 5).set("pid", 6).build();
+  ColumnId ColCpu = Cat.get("cpu"), ColState = Cat.get("state");
+  for (int64_t I = 1; I <= 10; ++I)
+    Rel.upsert(Key, [&](const BindingFrame *Cur, Tuple &V) {
+      int64_t Acc = Cur ? Cur->get(ColCpu).asInt() : 0;
+      V.set(ColCpu, Value::ofInt(Acc + I));
+      V.set(ColState, Value::ofInt(0));
+    });
+  EXPECT_EQ(Rel.size(), 1u);
+  EXPECT_TRUE(Rel.contains(proc(5, 6, 0, 55)));
+}
+
 TEST_F(SynthesizedRelationTest, Clear) {
   for (int64_t P = 0; P < 5; ++P)
     Rel.insert(proc(1, P, 0, P));

@@ -14,6 +14,9 @@
 //   relc --check input.relc        parse + adequacy check only
 //   relc --print input.relc        echo the parsed decomposition
 //   relc --dot input.relc          Graphviz rendering of the decomposition
+//   relc --shards N input.relc     also emit the sharded concurrent facade
+//                                  (overrides the `concurrency` directive)
+//   relc --shard-column COL ...    shard column for the facade
 //
 //===----------------------------------------------------------------------===//
 
@@ -23,6 +26,7 @@
 #include "decomp/Printer.h"
 
 #include <cstdio>
+#include <cstdlib>
 #include <cstring>
 #include <fstream>
 #include <sstream>
@@ -34,7 +38,8 @@ namespace {
 
 int usage(const char *Argv0) {
   std::fprintf(stderr,
-               "usage: %s [--check | --print | --dot] [-o FILE] INPUT\n",
+               "usage: %s [--check | --print | --dot] [-o FILE] "
+               "[--shards N] [--shard-column COL] INPUT\n",
                Argv0);
   return 2;
 }
@@ -44,6 +49,8 @@ int usage(const char *Argv0) {
 int main(int argc, char **argv) {
   const char *Input = nullptr;
   const char *Output = nullptr;
+  const char *ShardColumn = nullptr;
+  int Shards = -1; // -1: follow the input file's `concurrency` directive
   enum { EmitCpp, CheckOnly, PrintDecomp, PrintDot } Mode = EmitCpp;
 
   for (int I = 1; I < argc; ++I) {
@@ -55,6 +62,24 @@ int main(int argc, char **argv) {
       Mode = PrintDot;
     else if (std::strcmp(argv[I], "-o") == 0 && I + 1 < argc)
       Output = argv[++I];
+    else if (std::strcmp(argv[I], "--shards") == 0 && I + 1 < argc) {
+      // 0 suppresses the facade (overriding a `concurrency`
+      // directive); the upper bound is the directive's sanity cap —
+      // the facade holds a by-value sub-instance and a padded lock
+      // per shard. Parse strictly: "four" or "4x" must not silently
+      // become a facade-stripping 0 (or a truncated 4).
+      const char *Arg = argv[++I];
+      char *End = nullptr;
+      long V = std::strtol(Arg, &End, 10);
+      if (End == Arg || *End != '\0' || V < 0 || V > 4096) {
+        std::fprintf(stderr,
+                     "relc: error: --shards must be an integer in "
+                     "[0, 4096] (0 disables the facade)\n");
+        return 2;
+      }
+      Shards = static_cast<int>(V);
+    } else if (std::strcmp(argv[I], "--shard-column") == 0 && I + 1 < argc)
+      ShardColumn = argv[++I];
     else if (argv[I][0] == '-')
       return usage(argv[0]);
     else if (!Input)
@@ -80,6 +105,31 @@ int main(int argc, char **argv) {
     return 1;
   }
   SpecFile &File = *Parsed.File;
+
+  // CLI overrides for the concurrent facade (see docs/RELC_CLI.md).
+  if (Shards >= 0)
+    File.Options.ConcurrentShards = static_cast<unsigned>(Shards);
+  if (ShardColumn) {
+    std::optional<ColumnId> Id = File.Spec->catalog().find(ShardColumn);
+    if (!Id) {
+      std::fprintf(stderr,
+                   "relc: %s: error: --shard-column '%s' is not a column "
+                   "of the relation\n",
+                   Input, ShardColumn);
+      return 1;
+    }
+    // A shard column with no facade to shard is a silent no-op the
+    // user will only discover when their client code fails to find
+    // the concurrent class; reject it up front.
+    if (File.Options.ConcurrentShards == 0) {
+      std::fprintf(stderr,
+                   "relc: %s: error: --shard-column requires a facade "
+                   "(pass --shards N or add a `concurrency` directive)\n",
+                   Input);
+      return 1;
+    }
+    File.Options.ConcurrentShardColumn = *Id;
+  }
 
   AdequacyResult Adequate = checkAdequacy(*File.Decomp);
   if (!Adequate.Ok) {
