@@ -9,9 +9,10 @@
 // probe phase, a mixed phase (80% routed key queries, 10% updates,
 // 10% duplicate inserts), an upsert phase (atomic read-modify-write
 // on contended random keys — every writer races on the shard locks),
-// and a full-scan phase (sequential fan-out at t=1, the parallel
-// one-worker-per-shard merge-queue scan at t>1), each run at 1/2/4/8
-// threads with total work held constant. Reports per-phase throughput
+// a transact phase (transfer-style two-key transactions under
+// shard-set two-phase locking), and a full-scan phase (sequential
+// fan-out at t=1, the parallel one-worker-per-shard merge-queue scan
+// at t>1), each run at 1/2/4/8 threads with total work held constant. Reports per-phase throughput
 // and speedup over the single-thread run — the number the sharding
 // exists for. --json <path> writes the machine-readable report (CI
 // uploads it); --quick shrinks the loops; --threads caps the thread
@@ -265,6 +266,40 @@ std::vector<PhaseResult> runSystem(const Workload &W, unsigned Shards,
     }
   });
 
+  // Transact: transfer-style two-key transactions over contended
+  // random keys — debit one tuple, credit another as one atomic,
+  // serializable unit. Each transaction locks exactly the two owning
+  // stripes (ascending order, two-phase), so this measures the
+  // multi-key extension of the upsert phase: rival transfers on
+  // overlapping keys serialize on the stripes they share.
+  PhaseResult Transact;
+  Transact.Ops = MixedOps / 2;
+  Transact.Seconds = runThreads(Threads, [&](unsigned T) {
+    Rng R(0x7ab5a + T);
+    for (size_t I = T; I < Transact.Ops; I += Threads) {
+      size_t KA = R.below(N), KB = R.below(N);
+      if (KB == KA)
+        KB = (KB + 1) % N;
+      int64_t Delta = int64_t(R.below(97)) + 1;
+      auto Side = [&](int64_t Sign) {
+        return [&, Sign](const BindingFrame *Cur, Tuple &Values) {
+          for (ColumnId C : W.ValueCols) {
+            int64_t V = Cur ? Cur->get(C).asInt() : 0;
+            Values.set(C, Value::ofInt(C == W.UpdateCol
+                                           ? (V + Sign * Delta + 100000) %
+                                                 100000
+                                           : V));
+          }
+        };
+      };
+      std::vector<TxOp> Ops;
+      Ops.reserve(2);
+      Ops.push_back(TxOp::upsert(KeyPats[KA], Side(-1)));
+      Ops.push_back(TxOp::upsert(KeyPats[KB], Side(+1)));
+      Rel.transact(Ops);
+    }
+  });
+
   // Full scans: the sequential fan-out at t=1 versus the parallel
   // one-worker-per-shard merge-queue scan at t>1 — speedup_vs_1 is
   // the parallel fan-out win. Every row crosses the bounded queue, so
@@ -289,7 +324,7 @@ std::vector<PhaseResult> runSystem(const Workload &W, unsigned Shards,
     benchSink(Sum);
   });
 
-  return {Ins, Probe, Mixed, Upsert, Scan};
+  return {Ins, Probe, Mixed, Upsert, Transact, Scan};
 }
 
 } // namespace
@@ -321,7 +356,8 @@ int main(int argc, char **argv) {
 
   JsonReporter Json("concurrent", Quick ? "quick" : "full");
   Workload Workloads[] = {makeScheduler(), makeGraph(), makeIpcap()};
-  const char *Phases[] = {"insert", "query", "mixed", "upsert", "scan"};
+  const char *Phases[] = {"insert", "query",    "mixed",
+                          "upsert", "transact", "scan"};
 
   for (const Workload &W : Workloads) {
     std::printf("%s (n=%zu)\n", W.Name.c_str(), N);
@@ -334,7 +370,7 @@ int main(int argc, char **argv) {
     for (const Tuple &T : Tuples)
       KeyPats.push_back(T.project(W.KeyCols));
 
-    std::vector<double> Baselines(5, 0.0);
+    std::vector<double> Baselines(6, 0.0);
     for (unsigned Threads = 1; Threads <= MaxThreads; Threads *= 2) {
       std::vector<PhaseResult> Results = runSystem(
           W, Shards, Threads, N, Probes, MixedOps, Tuples, KeyPats);

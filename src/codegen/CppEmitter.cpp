@@ -70,14 +70,22 @@ public:
   }
 
   std::string run() {
-    // remove_by_* backs both update_by_* and upsert_by_* (each is
-    // remove + reinsert), so emit it for the union of the three key
-    // lists, each unique pattern once. The same deduped lists drive
-    // the facade emission, so its wrappers can never reference a
-    // member the sequential class lacks.
+    // remove_by_* backs update_by_*, upsert_by_*, and transact_by_*
+    // (each is remove + reinsert), so emit it for the union of the
+    // four key lists, each unique pattern once. transact_by_* is
+    // built from the lookup/upsert pair, so transact keys join the
+    // upsert list too. The same deduped lists drive the facade
+    // emission, so its wrappers can never reference a member the
+    // sequential class lacks.
+    assert((Opts.TransactKeys.empty() || Opts.ConcurrentShards > 0) &&
+           "transact_by_* lives on the concurrent facade");
     std::vector<ColumnSet> RemoveEmit = dedup(allRemoveKeys());
     std::vector<ColumnSet> UpdateEmit = dedup(Opts.UpdateKeys);
-    std::vector<ColumnSet> UpsertEmit = dedup(Opts.UpsertKeys);
+    std::vector<ColumnSet> UpsertKeys = Opts.UpsertKeys;
+    UpsertKeys.insert(UpsertKeys.end(), Opts.TransactKeys.begin(),
+                      Opts.TransactKeys.end());
+    std::vector<ColumnSet> UpsertEmit = dedup(UpsertKeys);
+    std::vector<ColumnSet> TransactEmit = dedup(Opts.TransactKeys);
 
     prologue();
     for (NodeId Id = 0; Id != D.numNodes(); ++Id)
@@ -97,7 +105,8 @@ public:
     }
     closeClass();
     if (Opts.ConcurrentShards > 0)
-      emitConcurrentFacade(RemoveEmit, UpdateEmit, UpsertEmit);
+      emitConcurrentFacade(RemoveEmit, UpdateEmit, UpsertEmit,
+                           TransactEmit);
     closeFile();
     return W.take();
   }
@@ -254,6 +263,8 @@ private:
     W.line("#include <cstdint>");
     if (Opts.ConcurrentShards > 0)
       W.line("#include <thread>");
+    if (!Opts.TransactKeys.empty())
+      W.line("#include <type_traits>");
     W.line("#include <vector>");
     W.line();
     W.open("namespace " + Opts.Namespace + " {");
@@ -826,11 +837,13 @@ private:
   // src/concurrent/ConcurrentRelation; see docs/CONCURRENCY.md).
   //===------------------------------------------------------------------===
 
-  /// \p RemoveEmit / \p UpdateEmit / \p UpsertEmit are the deduped
-  /// key lists the sequential class was emitted with (see run()).
+  /// \p RemoveEmit / \p UpdateEmit / \p UpsertEmit / \p TransactEmit
+  /// are the deduped key lists the sequential class was emitted with
+  /// (see run()).
   void emitConcurrentFacade(const std::vector<ColumnSet> &RemoveEmit,
                             const std::vector<ColumnSet> &UpdateEmit,
-                            const std::vector<ColumnSet> &UpsertEmit) {
+                            const std::vector<ColumnSet> &UpsertEmit,
+                            const std::vector<ColumnSet> &TransactEmit) {
     ColumnSet All = D.spec()->columns();
     ColumnId SC = Opts.ConcurrentShardColumn
                       ? *Opts.ConcurrentShardColumn
@@ -893,6 +906,8 @@ private:
       emitFacadeUpdate(Key, SC, SCName);
     for (ColumnSet Key : UpsertEmit)
       emitFacadeUpsert(Key, SC, SCName);
+    for (ColumnSet Key : TransactEmit)
+      emitFacadeTransact(Key, SC, SCName);
 
     W.line();
     W.line("  /// Empties every shard (all writer locks).");
@@ -929,12 +944,16 @@ private:
     return Out;
   }
 
-  /// Every key pattern needing remove_by_*: the remove, update, and
-  /// upsert lists concatenated (callers dedup).
+  /// Every key pattern needing remove_by_*: the remove, update,
+  /// upsert, and transaction lists concatenated (callers dedup) —
+  /// transact keys emit the upsert pair, whose upsert_by_ body calls
+  /// remove_by_.
   std::vector<ColumnSet> allRemoveKeys() const {
     std::vector<ColumnSet> Keys = Opts.RemoveKeys;
     Keys.insert(Keys.end(), Opts.UpdateKeys.begin(), Opts.UpdateKeys.end());
     Keys.insert(Keys.end(), Opts.UpsertKeys.begin(), Opts.UpsertKeys.end());
+    Keys.insert(Keys.end(), Opts.TransactKeys.begin(),
+                Opts.TransactKeys.end());
     return Keys;
   }
 
@@ -1180,6 +1199,167 @@ private:
     W.line("  Size.fetch_sub(1, std::memory_order_relaxed);");
     W.line("return !Found;");
     W.close("}");
+  }
+
+  /// Joins non-empty argument-list fragments with ", ".
+  static std::string join(std::initializer_list<std::string> Parts) {
+    std::string Out;
+    for (const std::string &P : Parts) {
+      if (P.empty())
+        continue;
+      if (!Out.empty())
+        Out += ", ";
+      Out += P;
+    }
+    return Out;
+  }
+
+  void emitFacadeTransact(ColumnSet Key, ColumnId SC,
+                          const std::string &SCName) {
+    ColumnSet All = D.spec()->columns();
+    ColumnSet Rest = All.minus(Key);
+    bool Routed = Key.contains(SC);
+    std::string Suffix = colsSuffix(Key);
+    std::string Name = "transact_by_" + Suffix;
+    std::string Apply = "tx_apply_by_" + Suffix;
+    // Fn(bool FoundA, int64_t &a_<rest>..., bool FoundB, int64_t &b_<rest>...)
+    std::string FnArgs = join({"FoundA", colList(Rest, "a_"), "FoundB",
+                               colList(Rest, "b_")});
+    std::string Params =
+        join({params(Key, "a_"), params(Key, "b_"), "FnT &&Fn"});
+
+    W.line();
+    W.line("  /// " + Name + ": atomic two-key read-modify-write "
+           "(transfer-style");
+    W.line("  /// transaction) over key pattern {" + Suffix +
+           "}. Resolves both tuples,");
+    W.line("  /// calls Fn(bool FoundA, int64_t &a_..., bool FoundB, "
+           "int64_t &b_...)");
+    W.line("  /// exactly once with the pre-transaction non-key values "
+           "(zeros when");
+    W.line("  /// absent), then writes both sides back — an absent side "
+           "is inserted");
+    W.line("  /// with whatever values Fn leaves. Fn may return false to "
+           "abort");
+    W.line("  /// (nothing is written); a void Fn always commits. "
+           "Returns true if");
+    W.line("  /// the transaction committed.");
+    if (Routed) {
+      W.line("  /// Locking: exactly the owning shard stripes — one or "
+             "two, never");
+      W.line("  /// all — acquired in ascending index order (two-phase "
+             "locking, the");
+      W.line("  /// same total order as every other multi-stripe "
+             "acquisition).");
+      W.open("  template <typename FnT> bool " + Name + "(" + Params +
+             ") {");
+      W.line("unsigned SA = shardOf(a_" + SCName + ");");
+      W.line("unsigned SB = shardOf(b_" + SCName + ");");
+      W.line("unsigned Lo = SA < SB ? SA : SB;");
+      W.line("unsigned Hi = SA < SB ? SB : SA;");
+      W.line("auto LockLo = Locks.exclusive(Lo);");
+      W.line("std::unique_lock<std::shared_mutex> LockHi;");
+      W.line("if (Hi != Lo)");
+      W.line("  LockHi = Locks.exclusive(Hi);");
+    } else {
+      W.line("  /// Locking: the key misses '" + SCName +
+             "', so the owners are unknown");
+      W.line("  /// and the write-back may migrate tuples — every "
+             "writer stripe, in");
+      W.line("  /// ascending order.");
+      W.open("  template <typename FnT> bool " + Name + "(" + Params +
+             ") {");
+      W.line("relc::AllShardsGuard Guard(Locks);");
+    }
+    for (ColumnId C : Rest) {
+      W.line("int64_t a_" + Cat.name(C) + " = 0;");
+      W.line("int64_t b_" + Cat.name(C) + " = 0;");
+    }
+    for (std::string Side : {"A", "B"}) {
+      std::string P = Side == "A" ? "a_" : "b_";
+      std::string LookupArgs = join({colList(Key, P), colList(Rest, P)});
+      if (Routed) {
+        W.line("bool Found" + Side + " = Shards[S" + Side +
+               "].lookup_by_" + Suffix + "(" + LookupArgs + ");");
+      } else {
+        W.line("bool Found" + Side + " = false;");
+        W.line("for (unsigned S = 0; S != NumShards && !Found" + Side +
+               "; ++S)");
+        W.line("  Found" + Side + " = Shards[S].lookup_by_" + Suffix +
+               "(" + LookupArgs + ");");
+      }
+    }
+    W.line("bool Commit = true;");
+    W.line("if constexpr (std::is_void_v<decltype(Fn(" + FnArgs + "))>)");
+    W.line("  Fn(" + FnArgs + ");");
+    W.line("else");
+    W.line("  Commit = Fn(" + FnArgs + ");");
+    W.line("if (!Commit)");
+    W.line("  return false;");
+    std::string ShardA = Routed ? "SA" : "";
+    std::string ShardB = Routed ? "SB" : "";
+    W.line(Apply + "(" +
+           join({ShardA, colList(Key, "a_"), colList(Rest, "a_")}) + ");");
+    W.line(Apply + "(" +
+           join({ShardB, colList(Key, "b_"), colList(Rest, "b_")}) + ");");
+    W.line("return true;");
+    W.close("}");
+
+    // The write-back half, shared by both sides; private.
+    W.line();
+    W.line("private:");
+    std::string ApplyParams =
+        join({Routed ? "unsigned S" : "", params(Key, "q_"),
+              params(Rest, "c_")});
+    if (Routed) {
+      W.line("  /// Write-back half of " + Name + ": upserts the key to "
+             "the given");
+      W.line("  /// values on shard S, whose writer lock the caller "
+             "holds.");
+      W.open("  void " + Apply + "(" + ApplyParams + ") {");
+      W.line("size_t Before = Shards[S].size();");
+      W.open("Shards[S].upsert_by_" + Suffix + "(" +
+             join({colList(Key, "q_"),
+                   "[&](" + join({"bool", refParams(Rest, "r_")}) + ") {"}));
+      for (ColumnId C : Rest)
+        W.line("r_" + Cat.name(C) + " = c_" + Cat.name(C) + ";");
+      W.close("});");
+      W.line("if (Shards[S].size() > Before)");
+      W.line("  Size.fetch_add(1, std::memory_order_relaxed);");
+      W.line("else if (Shards[S].size() < Before)");
+      W.line("  Size.fetch_sub(1, std::memory_order_relaxed);");
+      W.close("}");
+    } else {
+      W.line("  /// Write-back half of " + Name + " under every writer "
+             "lock (held by");
+      W.line("  /// the caller): upserts the key to the given values, "
+             "migrating the");
+      W.line("  /// tuple to the shard of the new '" + SCName +
+             "' value.");
+      W.open("  void " + Apply + "(" + ApplyParams + ") {");
+      for (ColumnId C : Rest)
+        W.line("int64_t o_" + Cat.name(C) + " = 0;");
+      W.line("unsigned Owner = NumShards;");
+      std::string LookupArgs = join({colList(Key, "q_"),
+                                     colList(Rest, "o_")});
+      W.line("for (unsigned S = 0; S != NumShards && Owner == NumShards; "
+             "++S)");
+      W.line("  if (Shards[S].lookup_by_" + Suffix + "(" + LookupArgs +
+             "))");
+      W.line("    Owner = S;");
+      W.line("if (Owner != NumShards)");
+      W.line("  Shards[Owner].remove_by_" + Suffix + "(" +
+             colList(Key, "q_") + ");");
+      W.line("bool Inserted = Shards[shardOf(c_" + SCName + ")].insert(" +
+             mixedArgs(Key, "q_", "c_") + ");");
+      W.line("if (Owner == NumShards && Inserted)");
+      W.line("  Size.fetch_add(1, std::memory_order_relaxed);");
+      W.line("else if (Owner != NumShards && !Inserted)");
+      W.line("  Size.fetch_sub(1, std::memory_order_relaxed);");
+      W.close("}");
+    }
+    W.line();
+    W.line("public:");
   }
 
   const Decomposition &D;

@@ -29,7 +29,12 @@
 ///    `<ClassName>_concurrent` is emitted alongside: shard router +
 ///    striped reader-writer locks + N sequential sub-instances,
 ///    mirroring src/concurrent/ConcurrentRelation, with parallel
-///    fan-out variants of non-routed queries.
+///    fan-out variants of non-routed queries;
+///  - `transact_by_*` (TransactKeys) adds the atomic two-key
+///    read-modify-write on the facade: both shard stripes acquired in
+///    ascending order (two-phase locking), both tuples resolved, one
+///    callback, both written back — the static twin of
+///    ConcurrentRelation::transact for the transfer-shaped batch.
 ///
 /// The emitted header depends only on the ds/ container headers —
 /// plus, in concurrent mode, concurrent/StripedLock.h,
@@ -74,6 +79,15 @@ struct EmitterOptions {
   /// supporting remove_by_<cols> is emitted automatically (as it is
   /// for update keys).
   std::vector<ColumnSet> UpsertKeys;
+  /// Emit, on the concurrent facade, the atomic two-key
+  /// read-modify-write `transact_by_<cols>(a_keys..., b_keys..., fn)`
+  /// for these key patterns (transfer-style multi-key transactions:
+  /// both tuples are resolved, fn runs once over both sides, both are
+  /// written back — all under the writer locks of exactly the owning
+  /// shard stripes, acquired in ascending order). Requires
+  /// ConcurrentShards > 0; the supporting lookup/upsert/remove
+  /// methods are emitted automatically on the sequential class.
+  std::vector<ColumnSet> TransactKeys;
   /// When positive, also emit a sharded thread-safe facade class
   /// `<ClassName>_concurrent` wrapping this many generated
   /// sub-instances behind striped reader-writer locks — the static

@@ -100,6 +100,8 @@ public:
         PendingUpdates.emplace_back(LineNo, std::string(trim(Rest)));
       } else if (consumeWord(Rest, "upsert")) {
         PendingUpserts.emplace_back(LineNo, std::string(trim(Rest)));
+      } else if (consumeWord(Rest, "transaction")) {
+        PendingTransacts.emplace_back(LineNo, std::string(trim(Rest)));
       } else if (consumeWord(Rest, "concurrency")) {
         std::string Err;
         if (!parseConcurrency(LineNo, Rest, Err))
@@ -188,6 +190,14 @@ public:
       if (!Out.Spec->fds().isKey(Key, Out.Spec->columns()))
         return fail(No, "upsert pattern {" + U + "} is not a key");
       Out.Options.UpsertKeys.push_back(Key);
+    }
+    for (const auto &[No, T] : PendingTransacts) {
+      ColumnSet Key;
+      if (!parseCols(Cat, T, Key) || Key.empty())
+        return fail(No, "malformed transaction key");
+      if (!Out.Spec->fds().isKey(Key, Out.Spec->columns()))
+        return fail(No, "transaction pattern {" + T + "} is not a key");
+      Out.Options.TransactKeys.push_back(Key);
     }
     if (!ShardColumnName.empty()) {
       std::optional<ColumnId> Id = Cat.find(ShardColumnName);
@@ -289,6 +299,7 @@ private:
   std::vector<std::pair<unsigned, std::string>> PendingRemoves;
   std::vector<std::pair<unsigned, std::string>> PendingUpdates;
   std::vector<std::pair<unsigned, std::string>> PendingUpserts;
+  std::vector<std::pair<unsigned, std::string>> PendingTransacts;
   std::string ShardColumnName;
   unsigned ConcurrencyLine = 0;
   SpecFile Out;

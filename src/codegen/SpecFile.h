@@ -24,13 +24,18 @@
 ///   remove ns, pid
 ///   update ns, pid
 ///   upsert ns, pid
+///   transaction ns, pid
 ///   concurrency sharded 8 on ns
 ///
 /// `upsert` emits the atomic read-modify-write pair lookup_by_/
 /// upsert_by_ for a key pattern; `concurrency sharded <N> [on <col>]`
 /// additionally emits a sharded thread-safe facade class wrapping N
 /// generated sub-instances (shard column defaults to the first column
-/// of the decomposition root's key).
+/// of the decomposition root's key); `transaction` emits, on that
+/// facade, the atomic two-key read-modify-write transact_by_ for a
+/// key pattern (transfer-style multi-key transactions under two-phase
+/// locking over exactly the owning shard stripes — it therefore
+/// requires a facade, which the relc tool enforces).
 ///
 /// Lines starting with `#` are comments. Directives may appear in any
 /// order except that `relation`/`fd` must precede the `let` bindings.

@@ -8,8 +8,10 @@
 
 #include "concurrent/BoundedQueue.h"
 
+#include <algorithm>
 #include <thread>
 #include <unordered_set>
+#include <utility>
 
 using namespace relc;
 
@@ -25,6 +27,9 @@ ConcurrentRelation::ConcurrentRelation(const Decomposition &D,
                                               : 1) {
   assert(Router.shardColumn() < D.catalog().size() &&
          "shard column is not a column of the relation");
+  FdProbesRoute = true;
+  for (const FuncDep &Fd : D.spec()->fds().deps())
+    FdProbesRoute &= Fd.Lhs.contains(Router.shardColumn());
   Shards.reserve(Opts.NumShards);
   for (unsigned I = 0; I != Opts.NumShards; ++I) {
     Shards.push_back(std::make_unique<SynthesizedRelation>(Decomposition(D)));
@@ -185,6 +190,265 @@ bool ConcurrentRelation::upsert(
   if (Shards[Router.shardOf(Full)]->insert(Full))
     Count.fetch_add(1, std::memory_order_relaxed);
   return true;
+}
+
+std::optional<unsigned> ConcurrentRelation::txRoutedShard(const TxOp &Op) const {
+  switch (Op.Op) {
+  case TxOp::Insert:
+    // Full tuples always bind the shard column; the op still fans out
+    // when an FD probe cannot be confined to the owning shard.
+    return FdProbesRoute ? std::optional<unsigned>(Router.shardOf(Op.A))
+                         : std::nullopt;
+  case TxOp::Remove:
+    // Removal needs no FD probes: routable whenever the pattern is.
+    if (Router.routes(Op.A.columns()))
+      return Router.shardOf(Op.A);
+    return std::nullopt;
+  case TxOp::Update:
+    if (Op.B.has(Router.shardColumn()))
+      return std::nullopt; // may migrate the tuple between shards
+    if (!Router.routes(Op.A.columns()) || !FdProbesRoute)
+      return std::nullopt;
+    return Router.shardOf(Op.A);
+  case TxOp::Upsert:
+    // A routed key contains the shard column, and upsert values are
+    // disjoint from the key, so the new values cannot rewrite it.
+    if (!Router.routes(Op.A.columns()) || !FdProbesRoute)
+      return std::nullopt;
+    return Router.shardOf(Op.A);
+  }
+  assert(false && "unknown TxOp kind");
+  return std::nullopt;
+}
+
+ConcurrentRelation::TxLockPlan
+ConcurrentRelation::transactLockPlan(const std::vector<TxOp> &Ops) const {
+  TxLockPlan Plan;
+  for (const TxOp &Op : Ops) {
+    std::optional<unsigned> S = txRoutedShard(Op);
+    if (!S) {
+      Plan.AllShards = true;
+      Plan.Stripes.clear();
+      for (unsigned I = 0; I != Router.numShards(); ++I)
+        Plan.Stripes.push_back(I);
+      return Plan;
+    }
+    Plan.Stripes.push_back(*S);
+  }
+  std::sort(Plan.Stripes.begin(), Plan.Stripes.end());
+  Plan.Stripes.erase(std::unique(Plan.Stripes.begin(), Plan.Stripes.end()),
+                     Plan.Stripes.end());
+  return Plan;
+}
+
+TxResult ConcurrentRelation::transact(const std::vector<TxOp> &Ops) {
+  TxLockPlan Plan = transactLockPlan(Ops);
+  if (Plan.AllShards) {
+    // The all-stripes guard and the subset guard share the ascending
+    // acquisition order, so mixed transactions cannot deadlock.
+    AllShardsGuard Guard(Locks);
+    return transactLocked(Ops, Plan.Stripes);
+  }
+  ShardSetGuard Guard(Locks, Plan.Stripes);
+  return transactLocked(Ops, Guard.stripes());
+}
+
+TxResult ConcurrentRelation::transact(function_ref<void(TxBatch &)> Build) {
+  TxBatch Tx;
+  Build(Tx);
+  return transact(Tx.ops());
+}
+
+TxResult ConcurrentRelation::transactLocked(const std::vector<TxOp> &Ops,
+                                            const std::vector<unsigned> &Scope) {
+  ColumnSet All = catalog().allColumns();
+  auto ScopeSize = [&] {
+    size_t N = 0;
+    for (unsigned S : Scope)
+      N += Shards[S]->size();
+    return N;
+  };
+  size_t Before = ScopeSize();
+
+  // One undo log across shards: (shard, inverse op), applied in
+  // reverse on abort.
+  std::vector<std::pair<unsigned, TxOp>> Undo;
+  std::vector<TxOp> Tmp;
+  auto ApplyOn = [&](unsigned S, const TxOp &Op) {
+    Tmp.clear();
+    bool Ok = Shards[S]->applyTxOp(Op, Tmp);
+    for (TxOp &U : Tmp)
+      Undo.emplace_back(S, std::move(U));
+    return Ok;
+  };
+  // Cross-shard FD conflict check for the fan-out path. When probes
+  // route, the owning shard sees every possible witness; otherwise
+  // every stripe is held (fan-out mode) and all shards are consulted.
+  auto Conflicts = [&](const Tuple &T, const Tuple *Exclude) {
+    if (FdProbesRoute)
+      return Shards[Router.shardOf(T)]->insertConflictsFds(T, Exclude);
+    for (const std::unique_ptr<SynthesizedRelation> &S : Shards)
+      if (S->insertConflictsFds(T, Exclude))
+        return true;
+    return false;
+  };
+
+  size_t Failed = Ops.size();
+  for (size_t I = 0; I != Ops.size() && Failed == Ops.size(); ++I) {
+    const TxOp &Op = Ops[I];
+    if (std::optional<unsigned> S = txRoutedShard(Op)) {
+      // Routed: ownership confines matches — and, via FdProbesRoute,
+      // conflict witnesses — to one shard, so the sequential engine's
+      // per-shard apply is the whole story.
+      if (!ApplyOn(*S, Op))
+        Failed = I;
+      continue;
+    }
+    // Fan-out: every stripe is held (the lock plan degraded to
+    // AllShards the moment any op could not route).
+    switch (Op.Op) {
+    case TxOp::Insert: {
+      assert(Op.A.columns() == All && "insert must bind every column");
+      if (Conflicts(Op.A, nullptr)) {
+        Failed = I;
+        break;
+      }
+      // The global check already validated the FDs: mutate directly
+      // rather than through applyTxOp, whose local re-check would
+      // repeat every probe while all writer stripes are held.
+      unsigned S = Router.shardOf(Op.A);
+      if (Shards[S]->insert(Op.A))
+        Undo.emplace_back(S, TxOp::remove(Op.A));
+      break;
+    }
+    case TxOp::Remove: {
+      if (Router.routes(Op.A.columns())) {
+        ApplyOn(Router.shardOf(Op.A), Op);
+        break;
+      }
+      for (unsigned S = 0; S != Shards.size(); ++S)
+        ApplyOn(S, Op);
+      break;
+    }
+    case TxOp::Update: {
+      assert(!Op.A.columns().intersects(Op.B.columns()) &&
+             "update changes must be disjoint from the pattern");
+      // The pattern is a key: at most one shard holds the match.
+      Tuple Old;
+      unsigned Owner = ~0u;
+      for (unsigned S = 0; S != Shards.size() && Owner == ~0u; ++S)
+        Shards[S]->scanFrames(Op.A, All, [&](const BindingFrame &F) {
+          Old = F.toTuple(All);
+          Owner = S;
+          return false;
+        });
+      if (Owner == ~0u)
+        break; // no match: a committed no-op
+      Tuple Merged = Old.merge(Op.B);
+      if (Merged == Old)
+        break;
+      if (Conflicts(Merged, &Old)) {
+        Failed = I;
+        break;
+      }
+      unsigned Target = Router.shardOf(Merged);
+      if (Target == Owner) {
+        // Validated above; update in place without applyTxOp's
+        // redundant re-scan and re-probe.
+        [[maybe_unused]] size_t N = Shards[Owner]->update(Op.A, Op.B);
+        assert(N == 1 && "matched tuple vanished during update");
+        Undo.emplace_back(Owner,
+                          TxOp::update(Op.A, Old.project(Op.B.columns())));
+        break;
+      }
+      // Migration inside the batch: remove + reinsert, two inverse
+      // ops (reverse application restores the old home first... last).
+      [[maybe_unused]] size_t Removed = Shards[Owner]->remove(Old);
+      assert(Removed == 1 && "matched tuple vanished during migration");
+      Undo.emplace_back(Owner, TxOp::insert(Old));
+      [[maybe_unused]] bool Ins = Shards[Target]->insert(Merged);
+      assert(Ins && "conflict-free migration insert must change");
+      Undo.emplace_back(Target, TxOp::remove(std::move(Merged)));
+      break;
+    }
+    case TxOp::Upsert: {
+      assert(Op.Fn && "upsert op needs a callback");
+      ColumnSet Rest = All.minus(Op.A.columns());
+      Tuple Old, Values;
+      unsigned Owner = ~0u;
+      // The callback runs exactly once: inside the owner's scan (the
+      // frame is live there), or on nullptr after every shard missed.
+      for (unsigned S = 0; S != Shards.size() && Owner == ~0u; ++S)
+        Shards[S]->scanFrames(Op.A, Rest, [&](const BindingFrame &F) {
+          Owner = S;
+          Old = F.toTuple(All);
+          Op.Fn(&F, Values);
+          return false;
+        });
+      if (Owner == ~0u) {
+        Op.Fn(nullptr, Values);
+        if (Values.columns() != Rest) {
+          Failed = I; // conditional abort: see TxOp::Fn
+          break;
+        }
+        Tuple Full = Op.A.merge(Values);
+        if (Conflicts(Full, nullptr)) {
+          Failed = I;
+          break;
+        }
+        unsigned Target = Router.shardOf(Full);
+        [[maybe_unused]] bool Ins = Shards[Target]->insert(Full);
+        assert(Ins && "conflict-free upsert insert must change");
+        Undo.emplace_back(Target, TxOp::remove(std::move(Full)));
+        break;
+      }
+      assert(Values.columns().subsetOf(Rest) &&
+             "upsert values must not rebind key columns");
+      if (Values.empty())
+        break;
+      Tuple Merged = Old.merge(Values);
+      if (Merged == Old)
+        break;
+      if (Conflicts(Merged, &Old)) {
+        Failed = I;
+        break;
+      }
+      unsigned Target = Router.shardOf(Merged);
+      if (Target == Owner) {
+        [[maybe_unused]] size_t N = Shards[Owner]->update(Op.A, Values);
+        assert(N == 1 && "matched tuple vanished during upsert");
+        Undo.emplace_back(Owner,
+                          TxOp::update(Op.A,
+                                       Old.project(Values.columns())));
+        break;
+      }
+      [[maybe_unused]] size_t Removed = Shards[Owner]->remove(Old);
+      assert(Removed == 1 && "matched tuple vanished during migration");
+      Undo.emplace_back(Owner, TxOp::insert(Old));
+      [[maybe_unused]] bool Ins = Shards[Target]->insert(Merged);
+      assert(Ins && "conflict-free migration insert must change");
+      Undo.emplace_back(Target, TxOp::remove(std::move(Merged)));
+      break;
+    }
+    }
+  }
+
+  if (Failed != Ops.size()) {
+    for (size_t J = Undo.size(); J != 0; --J)
+      Shards[Undo[J - 1].first]->applyTxUndo(Undo[J - 1].second);
+    assert(ScopeSize() == Before && "rollback did not restore the sizes");
+    return TxResult{false, Failed, 0};
+  }
+  size_t After = ScopeSize();
+  if (After > Before)
+    Count.fetch_add(After - Before, std::memory_order_relaxed);
+  else if (Before > After)
+    Count.fetch_sub(Before - After, std::memory_order_relaxed);
+  // The ticket is drawn while every touched stripe is still held (the
+  // linearization point), so conflicting transactions — whose stripe
+  // sets intersect — are ticketed in their serialization order.
+  return TxResult{true, 0,
+                  TxTickets.fetch_add(1, std::memory_order_relaxed)};
 }
 
 std::vector<Tuple> ConcurrentRelation::query(const Tuple &Pattern,

@@ -100,6 +100,37 @@ public:
   bool upsert(const Tuple &Key,
               function_ref<void(const BindingFrame *, Tuple &)> Fn);
 
+  /// transact: the batch \p Ops as one atomic, serializable unit under
+  /// two-phase locking. The touched shard set is computed from the
+  /// ops' shard-column bindings (transactLockPlan); when every op
+  /// routes, exactly those stripes are acquired in ascending index
+  /// order — a transfer between two routed keys locks two stripes,
+  /// never all — and the batch degrades to all stripes only when some
+  /// op cannot be confined to one shard (its pattern misses the shard
+  /// column, it may rewrite the shard column, or an FD probe spans
+  /// shards). All locks precede the first mutation and are released
+  /// together after the last, so every execution is conflict-
+  /// serializable; the returned Ticket orders conflicting commits.
+  /// Aborts (FD conflict, upsert conditional abort) roll the touched
+  /// shards back via inverse ops — all-or-nothing, exactly as the
+  /// sequential SynthesizedRelation::transact.
+  TxResult transact(const std::vector<TxOp> &Ops);
+
+  /// As above, with the batch assembled by \p Build (see TxBatch).
+  TxResult transact(function_ref<void(TxBatch &)> Build);
+
+  /// The stripes transact(\p Ops) would lock: either the exact
+  /// ascending routed set, or every stripe (AllShards). Exposed so
+  /// tests and capacity planning can see the lock footprint without
+  /// running the batch.
+  struct TxLockPlan {
+    /// True when some op forces the all-stripes fan-out.
+    bool AllShards = false;
+    /// Ascending, deduplicated stripe indices when !AllShards.
+    std::vector<unsigned> Stripes;
+  };
+  TxLockPlan transactLockPlan(const std::vector<TxOp> &Ops) const;
+
   /// query r s C, deduplicated across shards.
   std::vector<Tuple> query(const Tuple &Pattern, ColumnSet OutputCols) const;
 
@@ -167,12 +198,32 @@ private:
   size_t removeAllShards(const Tuple &Pattern);
   size_t updateRehoming(const Tuple &Pattern, const Tuple &Changes);
 
+  /// The single shard a transact op touches, or nullopt when it must
+  /// run under every stripe: its pattern misses the shard column, it
+  /// may rewrite the shard column (migration), or — for insert-like
+  /// ops — an FD's left-hand side misses the shard column, so the
+  /// conflict probe itself cannot be confined to one shard.
+  std::optional<unsigned> txRoutedShard(const TxOp &Op) const;
+
+  /// Applies the batch with every stripe in \p Scope already held
+  /// exclusively by the caller (Scope lists all stripes for fan-out
+  /// batches); maintains Count from the scope's size delta and stamps
+  /// the commit ticket.
+  TxResult transactLocked(const std::vector<TxOp> &Ops,
+                          const std::vector<unsigned> &Scope);
+
   ShardRouter Router;
   StripedLockSet Locks;
   /// unique_ptr: SynthesizedRelation owns a non-movable InstanceGraph.
   std::vector<std::unique_ptr<SynthesizedRelation>> Shards;
   std::atomic<size_t> Count{0};
+  /// Monotone commit tickets for transact (see TxResult::Ticket).
+  std::atomic<uint64_t> TxTickets{1};
   size_t ScanQueueCap;
+  /// True if every FD's left-hand side contains the shard column, so
+  /// every conflict probe for a tuple lands in that tuple's own shard
+  /// and routed transact ops can validate FDs shard-locally.
+  bool FdProbesRoute;
 };
 
 } // namespace relc

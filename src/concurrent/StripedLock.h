@@ -20,10 +20,12 @@
 #ifndef RELC_CONCURRENT_STRIPEDLOCK_H
 #define RELC_CONCURRENT_STRIPEDLOCK_H
 
+#include <algorithm>
 #include <cassert>
 #include <memory>
 #include <mutex>
 #include <shared_mutex>
+#include <vector>
 
 namespace relc {
 
@@ -105,6 +107,45 @@ public:
 private:
   const StripedLockSet &Locks;
   Mode M;
+};
+
+/// RAII writer acquisition of an ARBITRARY SUBSET of stripes — the
+/// growing phase of the two-phase locking behind multi-key
+/// transactions: every stripe a transaction touches is taken before
+/// its first mutation, and all are released together at the end
+/// (destruction, in reverse). The requested indices are sorted and
+/// deduplicated on construction, so any two overlapping acquisitions
+/// respect the same ascending total order as AllShardsGuard and the
+/// single-stripe operations — deadlock-free by the usual
+/// ordered-acquisition argument, whatever subsets concurrent
+/// transactions pick.
+class ShardSetGuard {
+public:
+  ShardSetGuard(const StripedLockSet &Locks, std::vector<unsigned> Stripes)
+      : Locks(Locks), Indices(std::move(Stripes)) {
+    std::sort(Indices.begin(), Indices.end());
+    Indices.erase(std::unique(Indices.begin(), Indices.end()),
+                  Indices.end());
+    for (unsigned I : Indices) {
+      assert(I < Locks.numStripes() && "stripe index out of range");
+      Locks.stripe(I).lock();
+    }
+  }
+  ~ShardSetGuard() {
+    for (size_t I = Indices.size(); I != 0; --I)
+      Locks.stripe(Indices[I - 1]).unlock();
+  }
+
+  ShardSetGuard(const ShardSetGuard &) = delete;
+  ShardSetGuard &operator=(const ShardSetGuard &) = delete;
+
+  /// The stripes actually held: sorted ascending, deduplicated (the
+  /// acquisition order — tests assert the discipline through this).
+  const std::vector<unsigned> &stripes() const { return Indices; }
+
+private:
+  const StripedLockSet &Locks;
+  std::vector<unsigned> Indices;
 };
 
 } // namespace relc

@@ -9,6 +9,7 @@
 #include "instance/Abstraction.h"
 #include "query/Exec.h"
 
+#include <algorithm>
 #include <unordered_set>
 
 using namespace relc;
@@ -67,6 +68,174 @@ bool SynthesizedRelation::upsert(
   if (!Values.empty())
     update(Key, Values);
   return false;
+}
+
+bool SynthesizedRelation::insertConflictsFds(const Tuple &T,
+                                             const Tuple *Exclude) const {
+  ColumnSet All = spec()->columns();
+  assert(T.columns() == All && "conflict check needs a full tuple");
+  // A relation satisfies ∆ iff it satisfies each declared dependency,
+  // so probing the declared ones (not the entailed closure) is enough:
+  // inserting T violates X → Y iff some live tuple agrees with T on X
+  // but not on Y.
+  for (const FuncDep &Fd : spec()->fds().deps()) {
+    Tuple Probe = T.project(Fd.Lhs);
+    Tuple Rhs = T.project(Fd.Rhs);
+    bool Conflict = false;
+    scanFrames(Probe, All, [&](const BindingFrame &F) {
+      Tuple Cur = F.toTuple(All);
+      if (Exclude && Cur == *Exclude)
+        return true;
+      if (!Cur.extends(Rhs)) {
+        Conflict = true;
+        return false;
+      }
+      return true;
+    });
+    if (Conflict)
+      return true;
+  }
+  return false;
+}
+
+bool SynthesizedRelation::applyTxOp(const TxOp &Op, std::vector<TxOp> &Undo) {
+  ColumnSet All = spec()->columns();
+  switch (Op.Op) {
+  case TxOp::Insert: {
+    assert(Op.A.columns() == All && "insert must bind every column");
+    if (insertConflictsFds(Op.A))
+      return false;
+    if (insert(Op.A))
+      Undo.push_back(TxOp::remove(Op.A));
+    return true; // exact duplicate: a committed no-op
+  }
+  case TxOp::Remove: {
+    // Capture the matching tuples before removal; each becomes an
+    // inverse insert. Removal never conflicts. (scanFrames does not
+    // deduplicate, so collapse plans that reach a tuple twice.)
+    std::vector<Tuple> Victims;
+    scanFrames(Op.A, All, [&](const BindingFrame &F) {
+      Victims.push_back(F.toTuple(All));
+      return true;
+    });
+    std::sort(Victims.begin(), Victims.end());
+    Victims.erase(std::unique(Victims.begin(), Victims.end()),
+                  Victims.end());
+    if (Victims.empty())
+      return true;
+    [[maybe_unused]] size_t Removed = remove(Op.A);
+    assert(Removed == Victims.size() && "scan and remove disagree");
+    for (Tuple &V : Victims)
+      Undo.push_back(TxOp::insert(std::move(V)));
+    return true;
+  }
+  case TxOp::Update: {
+    assert(spec()->fds().isKey(Op.A.columns(), All) &&
+           "update pattern must be a key");
+    assert(!Op.A.columns().intersects(Op.B.columns()) &&
+           "update changes must be disjoint from the pattern");
+    Tuple Old;
+    bool Found = false;
+    scanFrames(Op.A, All, [&](const BindingFrame &F) {
+      Old = F.toTuple(All);
+      Found = true;
+      return false; // the pattern is a key: at most one match
+    });
+    if (!Found)
+      return true; // no match: a committed no-op, as for update()
+    Tuple Merged = Old.merge(Op.B);
+    if (Merged == Old)
+      return true;
+    if (insertConflictsFds(Merged, &Old))
+      return false;
+    update(Op.A, Op.B);
+    Undo.push_back(TxOp::update(Op.A, Old.project(Op.B.columns())));
+    return true;
+  }
+  case TxOp::Upsert: {
+    assert(spec()->fds().isKey(Op.A.columns(), All) &&
+           "upsert pattern must be a key");
+    assert(Op.Fn && "upsert op needs a callback");
+    ColumnSet Rest = All.minus(Op.A.columns());
+    Tuple Old, Values;
+    bool Found = false;
+    scanFrames(Op.A, Rest, [&](const BindingFrame &F) {
+      Found = true;
+      Old = F.toTuple(All);
+      Op.Fn(&F, Values);
+      return false; // the pattern is a key: at most one match
+    });
+    if (!Found) {
+      Op.Fn(nullptr, Values);
+      // Unlike the standalone upsert (which asserts), an incomplete
+      // insert is a *defined* abort: the callback's way of saying
+      // "only proceed if the tuple exists".
+      if (Values.columns() != Rest)
+        return false;
+      Tuple Full = Op.A.merge(Values);
+      if (insertConflictsFds(Full))
+        return false;
+      [[maybe_unused]] bool Changed = insert(Full);
+      assert(Changed && "conflict-free upsert insert must change");
+      Undo.push_back(TxOp::remove(std::move(Full)));
+      return true;
+    }
+    assert(Values.columns().subsetOf(Rest) &&
+           "upsert values must not rebind key columns");
+    if (Values.empty())
+      return true;
+    Tuple Merged = Old.merge(Values);
+    if (Merged == Old)
+      return true;
+    if (insertConflictsFds(Merged, &Old))
+      return false;
+    update(Op.A, Values);
+    Undo.push_back(TxOp::update(Op.A, Old.project(Values.columns())));
+    return true;
+  }
+  }
+  assert(false && "unknown TxOp kind");
+  return false;
+}
+
+void SynthesizedRelation::applyTxUndo(const TxOp &U) {
+  switch (U.Op) {
+  case TxOp::Insert: {
+    [[maybe_unused]] bool Changed = insert(U.A);
+    assert(Changed && "undo insert collided with a live tuple");
+    return;
+  }
+  case TxOp::Remove: {
+    // Undo removes are always exact full tuples.
+    [[maybe_unused]] size_t Removed = remove(U.A);
+    assert(Removed == 1 && "undo remove missed its tuple");
+    return;
+  }
+  case TxOp::Update:
+    update(U.A, U.B);
+    return;
+  case TxOp::Upsert:
+    break;
+  }
+  assert(false && "upserts never appear in undo logs");
+}
+
+TxResult SynthesizedRelation::transact(const std::vector<TxOp> &Ops) {
+  std::vector<TxOp> Undo;
+  for (size_t I = 0; I != Ops.size(); ++I) {
+    if (!applyTxOp(Ops[I], Undo)) {
+      for (size_t J = Undo.size(); J != 0; --J)
+        applyTxUndo(Undo[J - 1]);
+      return TxResult{false, I, 0};
+    }
+  }
+  return TxResult{true, 0, 0};
+}
+
+TxResult SynthesizedRelation::transact(function_ref<void(TxBatch &)> Build) {
+  TxBatch Tx;
+  Build(Tx);
+  return transact(Tx.ops());
 }
 
 std::vector<Tuple> SynthesizedRelation::query(const Tuple &Pattern,

@@ -26,6 +26,7 @@
 #include "instance/WellFormed.h"
 #include "rel/Relation.h"
 #include "runtime/Mutators.h"
+#include "runtime/Transaction.h"
 
 #include <memory>
 #include <vector>
@@ -76,6 +77,41 @@ public:
   /// exposes the same operation under a single shard writer lock.
   bool upsert(const Tuple &Key,
               function_ref<void(const BindingFrame *, Tuple &)> Fn);
+
+  /// transact: applies \p Ops in order as ONE unit — every op applies
+  /// or none does. Structural preconditions (key patterns, disjoint
+  /// changes, full insert tuples) are asserted exactly as for the
+  /// standalone methods; FD conflicts — which the standalone methods
+  /// treat as caller bugs — are *detected* here before any mutation of
+  /// the offending op, the already-applied prefix is rolled back via
+  /// the recorded inverse ops, and the failing op's index is reported.
+  /// An upsert op whose key matches nothing and whose callback binds
+  /// fewer than all non-key columns also aborts the batch (the
+  /// conditional-abort hook; the standalone upsert asserts instead).
+  TxResult transact(const std::vector<TxOp> &Ops);
+
+  /// As above, with the batch assembled by \p Build (see TxBatch).
+  TxResult transact(function_ref<void(TxBatch &)> Build);
+
+  /// One op of a transact batch. On success returns true, having
+  /// appended to \p Undo the inverse ops that — applied in reverse
+  /// order via applyTxUndo — restore the prior state. On FD conflict
+  /// (or upsert conditional abort) returns false with the relation
+  /// unchanged by this op. Building block for transact, shared with
+  /// ConcurrentRelation::transact, whose undo log spans shards.
+  bool applyTxOp(const TxOp &Op, std::vector<TxOp> &Undo);
+
+  /// Applies one recorded inverse op (only Insert/Remove/Update kinds
+  /// appear in undo logs).
+  void applyTxUndo(const TxOp &U);
+
+  /// True if inserting full tuple \p T would violate an FD against a
+  /// live tuple other than \p Exclude: some tuple agrees with T on a
+  /// dependency's left-hand side but disagrees on its right. An exact
+  /// duplicate of \p T is NOT a conflict (insert would no-op). Pass
+  /// \p Exclude when validating an update, to ignore the tuple being
+  /// rewritten.
+  bool insertConflictsFds(const Tuple &T, const Tuple *Exclude = nullptr) const;
 
   /// query r s C: the projection onto \p OutputCols of tuples extending
   /// \p Pattern, deduplicated (matches the relational semantics).

@@ -1,0 +1,139 @@
+//===- runtime/Transaction.h - Multi-op transact batches --------*- C++ -*-===//
+//
+// Part of the RelC data representation synthesis library.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The operation vocabulary of `transact`, the atomic multi-op batch
+/// over a synthesized relation: a TxOp is one insert/remove/update/
+/// upsert with the same contracts as the standalone methods, a TxBatch
+/// assembles a vector of them, and a TxResult reports whether the
+/// batch committed (all ops applied, in order) or aborted (no op
+/// applied — the engine rolls back via recorded inverse ops).
+///
+/// The batch either commits whole or leaves the relation untouched:
+/// SynthesizedRelation::transact gives the sequential semantics, and
+/// ConcurrentRelation::transact runs the same batch under two-phase
+/// locking over exactly the touched shard stripes (docs/CONCURRENCY.md
+/// has the lock matrix and the serializability argument).
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef RELC_RUNTIME_TRANSACTION_H
+#define RELC_RUNTIME_TRANSACTION_H
+
+#include "rel/BindingFrame.h"
+#include "rel/Tuple.h"
+
+#include <cstddef>
+#include <cstdint>
+#include <functional>
+#include <utility>
+#include <vector>
+
+namespace relc {
+
+/// One operation of a transact batch. Build these through the static
+/// factories (or TxBatch); the Kind decides which fields are read.
+struct TxOp {
+  enum Kind { Insert, Remove, Update, Upsert };
+
+  Kind Op = Insert;
+  /// Insert: the full tuple. Remove: the pattern (any columns).
+  /// Update/Upsert: the key pattern.
+  Tuple A;
+  /// Update only: the changes (disjoint from the key).
+  Tuple B;
+  /// Upsert only: the read-modify-write callback, with the contract of
+  /// SynthesizedRelation::upsert. Owning (unlike the standalone
+  /// upsert's function_ref) because a batch outlives the expression
+  /// that built it. One transact-specific extension: when no tuple
+  /// matches and the callback binds fewer than all non-key columns,
+  /// the batch ABORTS instead of asserting — the conditional-abort
+  /// escape hatch for transfer-style transactions.
+  std::function<void(const BindingFrame *, Tuple &)> Fn;
+
+  static TxOp insert(Tuple T) {
+    TxOp Op;
+    Op.Op = Insert;
+    Op.A = std::move(T);
+    return Op;
+  }
+  static TxOp remove(Tuple Pattern) {
+    TxOp Op;
+    Op.Op = Remove;
+    Op.A = std::move(Pattern);
+    return Op;
+  }
+  static TxOp update(Tuple Key, Tuple Changes) {
+    TxOp Op;
+    Op.Op = Update;
+    Op.A = std::move(Key);
+    Op.B = std::move(Changes);
+    return Op;
+  }
+  static TxOp upsert(Tuple Key,
+                     std::function<void(const BindingFrame *, Tuple &)> Fn) {
+    TxOp Op;
+    Op.Op = Upsert;
+    Op.A = std::move(Key);
+    Op.Fn = std::move(Fn);
+    return Op;
+  }
+};
+
+/// Outcome of a transact batch.
+struct TxResult {
+  /// True if every op applied; false if the batch aborted with the
+  /// relation rolled back to its pre-transact state.
+  bool Committed = false;
+  /// Index of the aborting op when !Committed.
+  size_t FailedOp = 0;
+  /// Commit ticket from ConcurrentRelation::transact, assigned at the
+  /// transaction's linearization point (while every touched stripe is
+  /// still held): for any two conflicting transactions, ticket order
+  /// equals serialization order — sorting committed logs by ticket
+  /// yields a legal serial history. 0 from the sequential engine.
+  uint64_t Ticket = 0;
+
+  explicit operator bool() const { return Committed; }
+};
+
+/// Fluent assembly of a transact batch:
+///
+///   Rel.transact([&](TxBatch &Tx) {
+///     Tx.upsert(From, Debit);
+///     Tx.upsert(To, Credit);
+///   });
+class TxBatch {
+public:
+  TxBatch &insert(Tuple T) {
+    Batch.push_back(TxOp::insert(std::move(T)));
+    return *this;
+  }
+  TxBatch &remove(Tuple Pattern) {
+    Batch.push_back(TxOp::remove(std::move(Pattern)));
+    return *this;
+  }
+  TxBatch &update(Tuple Key, Tuple Changes) {
+    Batch.push_back(TxOp::update(std::move(Key), std::move(Changes)));
+    return *this;
+  }
+  TxBatch &upsert(Tuple Key,
+                  std::function<void(const BindingFrame *, Tuple &)> Fn) {
+    Batch.push_back(TxOp::upsert(std::move(Key), std::move(Fn)));
+    return *this;
+  }
+
+  const std::vector<TxOp> &ops() const { return Batch; }
+  size_t size() const { return Batch.size(); }
+  bool empty() const { return Batch.empty(); }
+
+private:
+  std::vector<TxOp> Batch;
+};
+
+} // namespace relc
+
+#endif // RELC_RUNTIME_TRANSACTION_H

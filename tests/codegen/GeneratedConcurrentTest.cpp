@@ -23,6 +23,7 @@
 #include "workloads/Rng.h"
 
 // Build-generated: relc-emitted headers (see tests/CMakeLists.txt).
+#include "account_tx_gen.h"
 #include "sched_conc_ns_gen.h"
 #include "sched_conc_state_gen.h"
 
@@ -360,6 +361,257 @@ TEST(GeneratedConcurrentTest, MultiWriterStressShardedByNs) {
 TEST(GeneratedConcurrentTest, MultiWriterStressShardedByState) {
   runStress<genconc::sched_state_concurrent>(/*NumWriters=*/4,
                                              /*Ops=*/250);
+}
+
+//===----------------------------------------------------------------------===
+// The generated transact_by_* (the `transaction` directive).
+//===----------------------------------------------------------------------===
+
+/// Locksteps the generated two-key transact against the interpreted
+/// ConcurrentRelation::transact, the sequential engine's transact, and
+/// the Relation oracle. The generated method resolves both sides from
+/// the pre-transaction state and writes back after one callback, which
+/// for DISTINCT keys equals the sequential batch [upsert A, upsert B]
+/// with the values the callback produced — the equivalence this
+/// harness asserts.
+template <typename GenT>
+void runGeneratedTransactAlpha(ColumnId ShardCol, unsigned NumShards,
+                               uint64_t Seed) {
+  RelSpecRef Spec = schedulerSpec();
+  const Catalog &Cat = Spec->catalog();
+  ColumnId ColState = Cat.get("state"), ColCpu = Cat.get("cpu");
+
+  GenT Gen;
+  ConcurrentOptions Opts;
+  Opts.NumShards = NumShards;
+  Opts.ShardColumn = ShardCol;
+  ConcurrentRelation Interp(fig2(Spec), Opts);
+  SynthesizedRelation Seq{fig2(Spec)};
+  Relation Oracle(Cat.allColumns());
+  Rng R(Seed);
+
+  for (int Step = 0; Step != 300; ++Step) {
+    int64_t NsA = R.range(0, 7), PidA = R.range(0, 15);
+    int64_t NsB = R.range(0, 7), PidB = R.range(0, 15);
+    if (NsA == NsB && PidA == PidB)
+      PidB = (PidB + 1) % 16; // distinct keys: see the doc above
+    Tuple KeyA = TupleBuilder(Cat).set("ns", NsA).set("pid", PidA).build();
+    Tuple KeyB = TupleBuilder(Cat).set("ns", NsB).set("pid", PidB).build();
+
+    if (R.chance(0.15)) {
+      // The abort arm: a false-returning callback writes nothing.
+      Relation Before = harvest(Gen, Cat);
+      size_t SizeBefore = Gen.size();
+      bool Committed = Gen.transact_by_ns_pid(
+          NsA, PidA, NsB, PidB,
+          [&](bool, int64_t &, int64_t &, bool, int64_t &, int64_t &) {
+            return false;
+          });
+      EXPECT_FALSE(Committed);
+      EXPECT_EQ(harvest(Gen, Cat), Before) << "step " << Step;
+      EXPECT_EQ(Gen.size(), SizeBefore);
+      continue;
+    }
+
+    int64_t DA = R.range(1, 49), DB = R.range(1, 49);
+    bool FA = false, FB = false;
+    int64_t NewStA = 0, NewCpuA = 0, NewStB = 0, NewCpuB = 0;
+    bool Committed = Gen.transact_by_ns_pid(
+        NsA, PidA, NsB, PidB,
+        [&](bool FoundA, int64_t &StA, int64_t &CpuA, bool FoundB,
+            int64_t &StB, int64_t &CpuB) {
+          CpuA = ((FoundA ? CpuA : 0) + DA) % 100;
+          StA = DA % 3;
+          CpuB = ((FoundB ? CpuB : 0) + DB) % 100;
+          StB = DB % 3;
+          FA = FoundA;
+          FB = FoundB;
+          NewStA = StA;
+          NewCpuA = CpuA;
+          NewStB = StB;
+          NewCpuB = CpuB;
+        });
+    EXPECT_TRUE(Committed);
+    // The generated lookups saw exactly the oracle's state.
+    EXPECT_EQ(FA, !Oracle.query(KeyA, Cat.allColumns()).empty());
+    EXPECT_EQ(FB, !Oracle.query(KeyB, Cat.allColumns()).empty());
+
+    // The equivalent batch against the interpreted engines: two
+    // upserts setting the values the generated callback produced.
+    std::vector<TxOp> Ops;
+    Ops.push_back(TxOp::upsert(
+        KeyA, [=](const BindingFrame *, Tuple &V) {
+          V.set(ColState, Value::ofInt(NewStA));
+          V.set(ColCpu, Value::ofInt(NewCpuA));
+        }));
+    Ops.push_back(TxOp::upsert(
+        KeyB, [=](const BindingFrame *, Tuple &V) {
+          V.set(ColState, Value::ofInt(NewStB));
+          V.set(ColCpu, Value::ofInt(NewCpuB));
+        }));
+    EXPECT_TRUE(Interp.transact(Ops).Committed);
+    EXPECT_TRUE(Seq.transact(Ops).Committed);
+    // Oracle: upsert = remove the key's tuple (if any) + insert.
+    for (const auto &[Key, St, Cpu] :
+         {std::make_tuple(KeyA, NewStA, NewCpuA),
+          std::make_tuple(KeyB, NewStB, NewCpuB)}) {
+      Oracle.remove(Key);
+      Oracle.insert(Key.merge(TupleBuilder(Cat)
+                                  .set("state", St)
+                                  .set("cpu", Cpu)
+                                  .build()));
+    }
+
+    if (Step % 25 == 24) {
+      Relation G = harvest(Gen, Cat);
+      EXPECT_EQ(G, Oracle) << "step " << Step;
+      EXPECT_EQ(G, Interp.toRelation()) << "step " << Step;
+      EXPECT_EQ(G, Seq.toRelation()) << "step " << Step;
+      EXPECT_EQ(Gen.size(), Oracle.size()) << "step " << Step;
+    }
+  }
+  EXPECT_EQ(harvest(Gen, Cat), Oracle);
+}
+
+TEST(GeneratedConcurrentTest, TransactAlphaShardedByNs) {
+  // Routed: the generated transact locks one or two stripes.
+  runGeneratedTransactAlpha<genconc::sched_ns_concurrent>(
+      schedulerSpec()->catalog().get("ns"), 4, 0x7abcde0);
+}
+
+TEST(GeneratedConcurrentTest, TransactAlphaShardedByState) {
+  // Non-key shard column: the generated transact fans out under every
+  // writer stripe and its write-backs migrate tuples between shards.
+  runGeneratedTransactAlpha<genconc::sched_state_concurrent>(
+      schedulerSpec()->catalog().get("state"), 3, 0x7abcde1);
+}
+
+/// Harvests the generated account facade (3 columns).
+Relation harvestAccounts(const genconc::account_concurrent &Accts,
+                         const Catalog &Cat) {
+  Relation R(Cat.allColumns());
+  Accts.all([&](int64_t Owner, int64_t Acct, int64_t Balance) {
+    R.insert(TupleBuilder(Cat)
+                 .set("owner", Owner)
+                 .set("acct", Acct)
+                 .set("balance", Balance)
+                 .build());
+  });
+  return R;
+}
+
+/// The flagship invariant: N writers hammering random transfers
+/// between overlapping accounts through the generated two-key
+/// transact must conserve the total balance exactly — any lost or
+/// duplicated update, torn write, or non-atomic debit/credit pair
+/// breaks the sum. Runs under the CI TSan job.
+TEST(GeneratedConcurrentTest, AccountTransferConservesTotalBalance) {
+  genconc::account_concurrent Accts;
+  const int64_t NumOwners = 8, PerOwner = 4, Initial = 1000;
+  for (int64_t O = 0; O != NumOwners; ++O)
+    for (int64_t A = 0; A != PerOwner; ++A)
+      ASSERT_TRUE(Accts.insert(O, A, Initial));
+  const int64_t Total = NumOwners * PerOwner * Initial;
+
+  const unsigned NumWriters = 4;
+  const int Transfers = 1500;
+  std::atomic<size_t> Committed{0}, Aborted{0};
+  std::vector<std::thread> Writers;
+  for (unsigned T = 0; T != NumWriters; ++T)
+    Writers.emplace_back([&, T] {
+      Rng R(0xacc7 + T);
+      for (int I = 0; I != Transfers; ++I) {
+        int64_t O1 = R.range(0, NumOwners - 1);
+        int64_t A1 = R.range(0, PerOwner - 1);
+        // Occasionally target a nonexistent account: the callback
+        // aborts and the transfer must leave no trace.
+        bool Bogus = R.chance(0.1);
+        int64_t O2 = Bogus ? 99 : R.range(0, NumOwners - 1);
+        int64_t A2 = R.range(0, PerOwner - 1);
+        if (O1 == O2 && A1 == A2)
+          A2 = (A2 + 1) % PerOwner; // self-transfers excluded
+        int64_t Amount = R.range(1, 50);
+        bool Ok = Accts.transact_by_owner_acct(
+            O1, A1, O2, A2,
+            [&](bool FoundA, int64_t &BalA, bool FoundB, int64_t &BalB) {
+              if (!FoundA || !FoundB)
+                return false; // missing account: abort
+              int64_t Moved = Amount < BalA ? Amount : BalA;
+              BalA -= Moved;
+              BalB += Moved;
+              return true;
+            });
+        (Ok ? Committed : Aborted).fetch_add(1,
+                                             std::memory_order_relaxed);
+      }
+    });
+  for (std::thread &T : Writers)
+    T.join();
+
+  EXPECT_GT(Committed.load(), 0u);
+  EXPECT_GT(Aborted.load(), 0u);
+  EXPECT_EQ(Accts.size(), static_cast<size_t>(NumOwners * PerOwner));
+  int64_t Sum = 0;
+  size_t Rows = 0;
+  Accts.all([&](int64_t, int64_t, int64_t Balance) {
+    Sum += Balance;
+    ++Rows;
+    EXPECT_GE(Balance, 0);
+  });
+  EXPECT_EQ(Rows, static_cast<size_t>(NumOwners * PerOwner));
+  EXPECT_EQ(Sum, Total);
+}
+
+TEST(GeneratedConcurrentTest, AccountTransactSingleThreadSemantics) {
+  RelSpecRef Spec = RelSpec::make("account", {"owner", "acct", "balance"},
+                                  {{"owner, acct", "balance"}});
+  const Catalog &Cat = Spec->catalog();
+  genconc::account_concurrent Accts;
+  ASSERT_TRUE(Accts.insert(1, 1, 100));
+  ASSERT_TRUE(Accts.insert(2, 1, 50));
+
+  // A committed transfer.
+  EXPECT_TRUE(Accts.transact_by_owner_acct(
+      1, 1, 2, 1, [](bool FA, int64_t &A, bool FB, int64_t &B) {
+        EXPECT_TRUE(FA);
+        EXPECT_TRUE(FB);
+        A -= 30;
+        B += 30;
+        return true;
+      }));
+  Relation State = harvestAccounts(Accts, Cat);
+  EXPECT_TRUE(State.contains(TupleBuilder(Cat)
+                                 .set("owner", 1)
+                                 .set("acct", 1)
+                                 .set("balance", 70)
+                                 .build()));
+  EXPECT_TRUE(State.contains(TupleBuilder(Cat)
+                                 .set("owner", 2)
+                                 .set("acct", 1)
+                                 .set("balance", 80)
+                                 .build()));
+
+  // An absent side seeds a fresh account when the callback commits
+  // (upsert semantics: the values it leaves are inserted).
+  EXPECT_TRUE(Accts.transact_by_owner_acct(
+      1, 1, 3, 1, [](bool FA, int64_t &A, bool FB, int64_t &B) {
+        EXPECT_TRUE(FA);
+        EXPECT_FALSE(FB);
+        A -= 10;
+        B = 10;
+        return true;
+      }));
+  EXPECT_EQ(Accts.size(), 3u);
+
+  // A void callback always commits.
+  Accts.transact_by_owner_acct(
+      1, 1, 2, 1, [](bool, int64_t &A, bool, int64_t &B) {
+        A += 1;
+        B += 1;
+      });
+  int64_t Sum = 0;
+  Accts.all([&](int64_t, int64_t, int64_t Balance) { Sum += Balance; });
+  EXPECT_EQ(Sum, 100 + 50 + 2);
 }
 
 } // namespace

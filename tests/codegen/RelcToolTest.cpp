@@ -183,6 +183,90 @@ TEST(RelcToolTest, ShardColumnWithoutFacadeIsAnError) {
   EXPECT_NE(Out.find("requires a facade"), std::string::npos) << Out;
 }
 
+TEST(RelcToolTest, TransactionDirectiveEmitsCompilableTransact) {
+  std::string Text = std::string(SchedulerInput) +
+                     "transaction ns, pid\nconcurrency sharded 4 on ns\n";
+  std::string In = writeInput("tx.relc", Text);
+  std::string Header = uniquePath("tx_gen.h");
+  auto [Rc, Out] =
+      run(std::string(RELC_TOOL_PATH) + " -o " + Header + " " + In);
+  ASSERT_EQ(Rc, 0) << Out;
+
+  std::ifstream HeaderIn(Header);
+  std::stringstream Ss;
+  Ss << HeaderIn.rdbuf();
+  std::string Code = Ss.str();
+  EXPECT_NE(Code.find("transact_by_ns_pid"), std::string::npos);
+  EXPECT_NE(Code.find("tx_apply_by_ns_pid"), std::string::npos);
+
+  auto [CompileRc, CompileOut] =
+      run("c++ -std=c++20 -fsyntax-only -I " +
+          std::string(RELC_SOURCE_DIR) + "/src -include " + Header +
+          " -x c++ /dev/null");
+  EXPECT_EQ(CompileRc, 0) << CompileOut;
+}
+
+TEST(RelcToolTest, TransactionOnlyKeyEmitsCompilableHeader) {
+  // Regression: a key that appears ONLY in a `transaction` directive
+  // (no upsert/update/remove for it) must still pull in its whole
+  // supporting chain — transact_by_ calls upsert_by_ calls
+  // remove_by_ — or the emitted header does not compile.
+  const char *TxOnly = R"(
+relation account(owner, acct, balance)
+fd owner, acct -> balance
+
+let u : {owner, acct} = unit {balance}
+let y : {owner} = map({acct}, htable, u)
+let x : {} = map({owner}, htable, y)
+
+class acct
+namespace toolgen
+query all () -> (owner, acct, balance)
+transaction owner, acct
+concurrency sharded 4 on owner
+)";
+  std::string In = writeInput("txonly.relc", TxOnly);
+  std::string Header = uniquePath("txonly_gen.h");
+  auto [Rc, Out] =
+      run(std::string(RELC_TOOL_PATH) + " -o " + Header + " " + In);
+  ASSERT_EQ(Rc, 0) << Out;
+  auto [CompileRc, CompileOut] =
+      run("c++ -std=c++20 -fsyntax-only -I " +
+          std::string(RELC_SOURCE_DIR) + "/src -include " + Header +
+          " -x c++ /dev/null");
+  EXPECT_EQ(CompileRc, 0) << CompileOut;
+}
+
+TEST(RelcToolTest, TransactionWithoutFacadeIsAnError) {
+  // transact_by_* lives on the facade: a spec asking for transactions
+  // without a `concurrency` directive (and no --shards) must be
+  // rejected with a clear diagnostic, not silently dropped.
+  std::string Text = std::string(SchedulerInput) + "transaction ns, pid\n";
+  std::string In = writeInput("tx.relc", Text);
+  auto [Rc, Out] = run(std::string(RELC_TOOL_PATH) + " " + In);
+  EXPECT_NE(Rc, 0);
+  EXPECT_NE(Out.find("requires a concurrent facade"), std::string::npos)
+      << Out;
+
+  // --shards N supplies the facade and un-blocks the same spec.
+  auto [Rc2, Out2] =
+      run(std::string(RELC_TOOL_PATH) + " --shards 2 " + In);
+  EXPECT_EQ(Rc2, 0) << Out2;
+  EXPECT_NE(Out2.find("transact_by_ns_pid"), std::string::npos);
+}
+
+TEST(RelcToolTest, ShardsZeroRejectedWhenTransactionsPresent) {
+  // --shards 0 strips the facade the `transaction` directive needs:
+  // an error, not a header that silently lost its transact method.
+  std::string Text = std::string(SchedulerInput) +
+                     "transaction ns, pid\nconcurrency sharded 4\n";
+  std::string In = writeInput("tx.relc", Text);
+  auto [Rc, Out] = run(std::string(RELC_TOOL_PATH) + " --shards 0 " + In);
+  EXPECT_NE(Rc, 0);
+  EXPECT_NE(Out.find("requires a concurrent facade"), std::string::npos)
+      << Out;
+}
+
 TEST(RelcToolTest, RejectsInadequateDecomposition) {
   // Drop the FD: Fig. 2's shape is no longer adequate.
   std::string Bad = SchedulerInput;

@@ -237,6 +237,68 @@ TEST(SpecFileTest, ErrorUnknownShardColumn) {
   EXPECT_NE(R.Error.find("shard column"), std::string::npos);
 }
 
+TEST(SpecFileTest, ParsesTransactionDirective) {
+  std::string Text = std::string(SchedulerFile) +
+                     "transaction ns, pid\nconcurrency sharded 4 on ns\n";
+  SpecFileResult R = parseSpecFile(Text);
+  ASSERT_TRUE(R.ok()) << R.Error;
+  ASSERT_EQ(R.File->Options.TransactKeys.size(), 1u);
+  EXPECT_EQ(R.File->Options.TransactKeys[0],
+            R.File->Spec->catalog().parseSet("ns, pid"));
+}
+
+TEST(SpecFileTest, TransactionDirectiveFeedsEmitter) {
+  std::string Text = std::string(SchedulerFile) +
+                     "transaction ns, pid\nconcurrency sharded 4 on ns\n";
+  SpecFileResult R = parseSpecFile(Text);
+  ASSERT_TRUE(R.ok()) << R.Error;
+  std::string Code = emitCpp(*R.File->Decomp, R.File->Options);
+  // The facade grows the two-key transact and its write-back helper,
+  // and the supporting lookup/upsert pair is emitted even without an
+  // explicit `upsert` directive.
+  EXPECT_NE(Code.find("transact_by_ns_pid"), std::string::npos);
+  EXPECT_NE(Code.find("tx_apply_by_ns_pid"), std::string::npos);
+  EXPECT_NE(Code.find("lookup_by_ns_pid"), std::string::npos);
+  EXPECT_NE(Code.find("upsert_by_ns_pid"), std::string::npos);
+}
+
+TEST(SpecFileTest, RepeatedTransactionDirectivesEmitOnce) {
+  std::string Text = std::string(SchedulerFile) +
+                     "upsert ns, pid\ntransaction ns, pid\n"
+                     "transaction ns, pid\nconcurrency sharded 4 on ns\n";
+  SpecFileResult R = parseSpecFile(Text);
+  ASSERT_TRUE(R.ok()) << R.Error;
+  std::string Code = emitCpp(*R.File->Decomp, R.File->Options);
+  auto countOf = [&](const char *Needle) {
+    size_t N = 0;
+    for (size_t Pos = Code.find(Needle); Pos != std::string::npos;
+         Pos = Code.find(Needle, Pos + 1))
+      ++N;
+    return N;
+  };
+  EXPECT_EQ(countOf("bool transact_by_ns_pid("), 1u);
+  EXPECT_EQ(countOf("void tx_apply_by_ns_pid("), 1u);
+  // The transaction key joins the upsert key list without duplicating
+  // the pair: exactly one sequential upsert_by plus one facade wrapper.
+  EXPECT_EQ(countOf("bool upsert_by_ns_pid(int64_t q_ns"), 2u);
+}
+
+TEST(SpecFileTest, ErrorMalformedTransaction) {
+  for (const char *Line : {"transaction\n", "transaction ,\n",
+                           "transaction bogus\n"}) {
+    SpecFileResult R = parseSpecFile(std::string(SchedulerFile) + Line);
+    ASSERT_FALSE(R.ok()) << Line;
+    EXPECT_NE(R.Error.find("transaction"), std::string::npos) << R.Error;
+  }
+}
+
+TEST(SpecFileTest, ErrorNonKeyTransaction) {
+  std::string Text = std::string(SchedulerFile) + "transaction state\n";
+  SpecFileResult R = parseSpecFile(Text);
+  ASSERT_FALSE(R.ok());
+  EXPECT_NE(R.Error.find("not a key"), std::string::npos);
+}
+
 TEST(SpecFileTest, DirectiveWordBoundary) {
   // "classic" must not parse as the "class" directive.
   SpecFileResult R = parseSpecFile("relation r(a)\nclassic foo\n");

@@ -546,6 +546,419 @@ TEST_F(ConcurrentRelationTest, ParallelScanParityZtopo) {
                           0x5c4e5);
 }
 
+TEST_F(ConcurrentRelationTest, TransactLockPlanRoutedSetNeverAllShards) {
+  ConcurrentRelation Rel(Decomp, {8, std::nullopt});
+  ShardRouter Router(Rel.shardColumn(), Rel.numShards());
+
+  // Two ns values owned by different shards.
+  int64_t NsA = 0, NsB = -1;
+  for (int64_t V = 1; V != 64 && NsB < 0; ++V)
+    if (Router.shardOf(Value::ofInt(V)) != Router.shardOf(Value::ofInt(NsA)))
+      NsB = V;
+  ASSERT_GE(NsB, 0);
+
+  auto Noop = [](const BindingFrame *, Tuple &) {};
+  std::vector<TxOp> Transfer;
+  Transfer.push_back(TxOp::upsert(key(NsA, 1), Noop));
+  Transfer.push_back(TxOp::upsert(key(NsB, 2), Noop));
+
+  // The acceptance shape: two routed keys, exactly their two stripes,
+  // ascending, never all shards.
+  ConcurrentRelation::TxLockPlan Plan = Rel.transactLockPlan(Transfer);
+  EXPECT_FALSE(Plan.AllShards);
+  std::vector<unsigned> Expected = {Router.shardOf(Value::ofInt(NsA)),
+                                    Router.shardOf(Value::ofInt(NsB))};
+  std::sort(Expected.begin(), Expected.end());
+  EXPECT_EQ(Plan.Stripes, Expected);
+  EXPECT_EQ(Plan.Stripes.size(), 2u);
+
+  // Same shard twice: one stripe.
+  std::vector<TxOp> SameShard;
+  SameShard.push_back(TxOp::upsert(key(NsA, 1), Noop));
+  SameShard.push_back(TxOp::upsert(key(NsA, 2), Noop));
+  Plan = Rel.transactLockPlan(SameShard);
+  EXPECT_FALSE(Plan.AllShards);
+  EXPECT_EQ(Plan.Stripes.size(), 1u);
+
+  // A routed insert and remove join the routed set too.
+  std::vector<TxOp> Mixed;
+  Mixed.push_back(TxOp::insert(proc(NsA, 3, 0, 0)));
+  Mixed.push_back(TxOp::remove(key(NsB, 4)));
+  Plan = Rel.transactLockPlan(Mixed);
+  EXPECT_FALSE(Plan.AllShards);
+  EXPECT_EQ(Plan.Stripes.size(), 2u);
+
+  // An op that misses the shard column degrades the batch to all
+  // shards...
+  std::vector<TxOp> FanOut;
+  FanOut.push_back(TxOp::upsert(key(NsA, 1), Noop));
+  FanOut.push_back(
+      TxOp::remove(TupleBuilder(Cat).set("state", 1).build()));
+  Plan = Rel.transactLockPlan(FanOut);
+  EXPECT_TRUE(Plan.AllShards);
+
+  // ...as does an update that rewrites the shard column (migration).
+  std::vector<TxOp> Rehome;
+  Rehome.push_back(TxOp::update(
+      TupleBuilder(Cat).set("pid", 1).set("state", 0).build(),
+      TupleBuilder(Cat).set("ns", 5).build()));
+  Plan = Rel.transactLockPlan(Rehome);
+  EXPECT_TRUE(Plan.AllShards);
+}
+
+TEST_F(ConcurrentRelationTest, TransactLockPlanFansOutWhenFdProbesCannotRoute) {
+  // Sharded by state: the key FD's left-hand side {ns, pid} misses the
+  // shard column, so even a full-tuple insert cannot validate its FDs
+  // against one shard — every insert-like op degrades to all stripes.
+  ConcurrentOptions Opts;
+  Opts.NumShards = 4;
+  Opts.ShardColumn = Cat.get("state");
+  ConcurrentRelation Rel(Decomp, Opts);
+
+  std::vector<TxOp> Ops;
+  Ops.push_back(TxOp::insert(proc(1, 1, 0, 0)));
+  EXPECT_TRUE(Rel.transactLockPlan(Ops).AllShards);
+
+  // Removal needs no FD probes: a state-bound remove still routes.
+  std::vector<TxOp> Removes;
+  Removes.push_back(
+      TxOp::remove(TupleBuilder(Cat).set("state", 1).build()));
+  ConcurrentRelation::TxLockPlan Plan = Rel.transactLockPlan(Removes);
+  EXPECT_FALSE(Plan.AllShards);
+  EXPECT_EQ(Plan.Stripes.size(), 1u);
+}
+
+TEST_F(ConcurrentRelationTest, TransactTransferMovesValueAtomically) {
+  ConcurrentRelation Rel(Decomp, {8, std::nullopt});
+  ASSERT_TRUE(Rel.insert(proc(1, 1, 0, 50)));
+  ASSERT_TRUE(Rel.insert(proc(2, 2, 0, 10)));
+  ColumnId ColCpu = Cat.get("cpu");
+
+  // Debit one key, credit the other, as one serializable unit.
+  TxResult R = Rel.transact([&](TxBatch &Tx) {
+    Tx.upsert(key(1, 1), [&](const BindingFrame *Cur, Tuple &V) {
+      ASSERT_NE(Cur, nullptr);
+      V.set(ColCpu, Value::ofInt(Cur->get(ColCpu).asInt() - 30));
+    });
+    Tx.upsert(key(2, 2), [&](const BindingFrame *Cur, Tuple &V) {
+      ASSERT_NE(Cur, nullptr);
+      V.set(ColCpu, Value::ofInt(Cur->get(ColCpu).asInt() + 30));
+    });
+  });
+  EXPECT_TRUE(R.Committed);
+  EXPECT_GT(R.Ticket, 0u);
+  EXPECT_TRUE(Rel.contains(proc(1, 1, 0, 20)));
+  EXPECT_TRUE(Rel.contains(proc(2, 2, 0, 40)));
+  EXPECT_EQ(Rel.size(), 2u);
+
+  // Tickets are monotone commit stamps.
+  TxResult R2 = Rel.transact([&](TxBatch &Tx) {
+    Tx.update(key(1, 1), TupleBuilder(Cat).set("cpu", 21).build());
+  });
+  EXPECT_TRUE(R2.Committed);
+  EXPECT_GT(R2.Ticket, R.Ticket);
+}
+
+TEST_F(ConcurrentRelationTest, TransactRollsBackAcrossShards) {
+  ConcurrentRelation Rel(Decomp, {4, std::nullopt});
+  ASSERT_TRUE(Rel.insert(proc(1, 1, 0, 10)));
+  ASSERT_TRUE(Rel.insert(proc(2, 2, 1, 20)));
+  Relation Before = Rel.toRelation();
+
+  // Mutations land on several shards before the conflict: the
+  // cross-shard undo log must restore every one of them.
+  std::vector<TxOp> Ops;
+  Ops.push_back(TxOp::insert(proc(3, 3, 0, 3)));
+  Ops.push_back(
+      TxOp::update(key(1, 1), TupleBuilder(Cat).set("cpu", 99).build()));
+  Ops.push_back(TxOp::remove(key(2, 2)));
+  Ops.push_back(TxOp::insert(proc(1, 1, 2, 0))); // FD conflict
+
+  TxResult R = Rel.transact(Ops);
+  EXPECT_FALSE(R.Committed);
+  EXPECT_EQ(R.FailedOp, 3u);
+  EXPECT_EQ(R.Ticket, 0u);
+  EXPECT_EQ(Rel.toRelation(), Before);
+  EXPECT_EQ(Rel.size(), 2u);
+}
+
+TEST_F(ConcurrentRelationTest, TransactMigrationInsideBatch) {
+  // Sharded by state: updates and upserts that rewrite it rehome
+  // tuples between shards mid-batch, and a trailing conflict must
+  // migrate them back.
+  ConcurrentOptions Opts;
+  Opts.NumShards = 4;
+  Opts.ShardColumn = Cat.get("state");
+  ConcurrentRelation Rel(Decomp, Opts);
+  SynthesizedRelation Seq{Decomposition(Decomp)};
+  ColumnId ColState = Cat.get("state"), ColCpu = Cat.get("cpu");
+
+  for (int64_t P = 0; P != 6; ++P) {
+    ASSERT_TRUE(Rel.insert(proc(1, P, P % 3, 10 * P)));
+    ASSERT_TRUE(Seq.insert(proc(1, P, P % 3, 10 * P)));
+  }
+
+  std::vector<TxOp> Ops;
+  Ops.push_back(
+      TxOp::update(key(1, 0), TupleBuilder(Cat).set("state", 2).build()));
+  Ops.push_back(TxOp::upsert(key(1, 1), [&](const BindingFrame *Cur,
+                                            Tuple &V) {
+    ASSERT_NE(Cur, nullptr);
+    V.set(ColState, Value::ofInt((Cur->get(ColState).asInt() + 1) % 3));
+    V.set(ColCpu, Value::ofInt(Cur->get(ColCpu).asInt() + 1));
+  }));
+  Ops.push_back(TxOp::insert(proc(1, 6, 1, 60)));
+  EXPECT_TRUE(Rel.transactLockPlan(Ops).AllShards);
+
+  TxResult RC = Rel.transact(Ops);
+  TxResult RS = Seq.transact(Ops);
+  EXPECT_TRUE(RC.Committed);
+  EXPECT_TRUE(RS.Committed);
+  EXPECT_EQ(Rel.toRelation(), Seq.toRelation());
+  EXPECT_EQ(Rel.size(), Seq.size());
+
+  // Same shape with a trailing conflict: the migrations must unwind.
+  Relation Before = Rel.toRelation();
+  Ops.push_back(TxOp::insert(proc(1, 6, 2, 0))); // conflicts with (1,6)
+  TxResult RF = Rel.transact(Ops);
+  EXPECT_FALSE(RF.Committed);
+  EXPECT_EQ(RF.FailedOp, 3u);
+  EXPECT_EQ(Rel.toRelation(), Before);
+}
+
+//===----------------------------------------------------------------------===
+// Five-system transact α-equivalence.
+//===----------------------------------------------------------------------===
+
+/// One op of the oracle-side batch: TxOp plus the deterministic
+/// upsert delta (the callback itself lives in the TxOp).
+struct TxScript {
+  std::vector<TxOp> Ops;
+  std::vector<int64_t> Deltas; ///< per op; meaningful for upserts
+};
+
+/// Reference transact semantics over the Relation oracle: applied to a
+/// copy, committed by swap — an executable specification independent
+/// of both engines.
+bool oracleTransact(Relation &R, const FuncDeps &Fds, ColumnSet All,
+                    ColumnSet Rest, const TxScript &Script) {
+  Relation Work = R;
+  for (size_t I = 0; I != Script.Ops.size(); ++I) {
+    const TxOp &Op = Script.Ops[I];
+    switch (Op.Op) {
+    case TxOp::Insert:
+      if (Work.contains(Op.A))
+        break; // duplicate no-op
+      if (!Work.insertPreservesFds(Op.A, Fds))
+        return false;
+      Work.insert(Op.A);
+      break;
+    case TxOp::Remove:
+      Work.remove(Op.A);
+      break;
+    case TxOp::Update: {
+      auto Cur = Work.query(Op.A, All);
+      if (Cur.empty())
+        break;
+      Tuple Merged = Cur.front().merge(Op.B);
+      if (Merged == Cur.front())
+        break;
+      Work.remove(Cur.front());
+      if (!Work.insertPreservesFds(Merged, Fds))
+        return false;
+      Work.insert(Merged);
+      break;
+    }
+    case TxOp::Upsert: {
+      // The same deterministic formula the TxOp's callback applies:
+      // each non-key column becomes (current + delta + rank) mod 7.
+      auto Cur = Work.query(Op.A, All);
+      Tuple New = Op.A;
+      unsigned Rank = 0;
+      for (ColumnId C : Rest) {
+        int64_t Base = Cur.empty() ? 0 : Cur.front().get(C).asInt();
+        New.set(C, Value::ofInt((Base + Script.Deltas[I] + Rank) % 7));
+        ++Rank;
+      }
+      if (New == (Cur.empty() ? New : Cur.front()) && !Cur.empty())
+        break;
+      if (!Cur.empty())
+        Work.remove(Cur.front());
+      if (!Work.insertPreservesFds(New, Fds))
+        return false;
+      Work.insert(New);
+      break;
+    }
+    }
+  }
+  R = Work;
+  return true;
+}
+
+/// Random 1-4-op batches applied in lockstep to the sharded facade,
+/// the sequential engine, and the oracle semantics above: commit
+/// verdicts, failing indices, and final relations must all agree —
+/// on any example system, under any sharding.
+void runTransactAlphaEquivalence(const RelSpecRef &Spec, Decomposition D,
+                                 ConcurrentOptions Opts, uint64_t Seed) {
+  const Catalog &Cat = Spec->catalog();
+  ColumnSet All = Cat.allColumns();
+  // The key pattern: the left-hand side of a declared key FD.
+  ColumnSet Key;
+  for (const FuncDep &Fd : Spec->fds().deps())
+    if (Spec->fds().isKey(Fd.Lhs, All)) {
+      Key = Fd.Lhs;
+      break;
+    }
+  ASSERT_FALSE(Key.empty()) << Spec->name();
+  ColumnSet Rest = All.minus(Key);
+
+  ConcurrentRelation Sharded(D, Opts);
+  SynthesizedRelation Sequential{Decomposition(D)};
+  Relation Oracle(All);
+  Rng R(Seed);
+
+  auto RandKey = [&] {
+    Tuple K;
+    for (ColumnId C : Key)
+      K.set(C, Value::ofInt(R.range(0, 9)));
+    return K;
+  };
+
+  size_t Commits = 0, Aborts = 0;
+  for (int Step = 0; Step != 200; ++Step) {
+    TxScript Script;
+    unsigned N = 1 + static_cast<unsigned>(R.below(4));
+    for (unsigned J = 0; J != N; ++J) {
+      int64_t Delta = R.range(0, 6);
+      Script.Deltas.push_back(Delta);
+      switch (R.below(8)) {
+      case 0:
+      case 1: { // insert (narrow value domain: conflicts do happen)
+        Tuple T = RandKey();
+        for (ColumnId C : Rest)
+          T.set(C, Value::ofInt(R.range(0, 6)));
+        Script.Ops.push_back(TxOp::insert(T));
+        break;
+      }
+      case 2: // remove by key (routed under key sharding)
+        Script.Ops.push_back(TxOp::remove(RandKey()));
+        break;
+      case 3: { // remove by one non-key column (fan-out)
+        ColumnId C = Rest.first();
+        Script.Ops.push_back(TxOp::remove(
+            TupleBuilder(Cat)
+                .set(Cat.name(C), static_cast<int64_t>(R.below(7)))
+                .build()));
+        break;
+      }
+      case 4: { // update a random non-empty subset of the non-key
+                // columns (rewrites the shard column when it is
+                // non-key: migration)
+        Tuple Changes;
+        for (ColumnId C : Rest)
+          if (R.chance(0.5))
+            Changes.set(C, Value::ofInt(R.range(0, 6)));
+        if (Changes.empty())
+          Changes.set(Rest.first(), Value::ofInt(R.range(0, 6)));
+        Script.Ops.push_back(TxOp::update(RandKey(), Changes));
+        break;
+      }
+      default: { // upsert: deterministic read-modify-write
+        Script.Ops.push_back(TxOp::upsert(
+            RandKey(), [Rest, Delta](const BindingFrame *Cur, Tuple &V) {
+              unsigned Rank = 0;
+              for (ColumnId C : Rest) {
+                int64_t Base =
+                    Cur && Cur->has(C) ? Cur->get(C).asInt() : 0;
+                V.set(C, Value::ofInt((Base + Delta + Rank) % 7));
+                ++Rank;
+              }
+            }));
+        break;
+      }
+      }
+    }
+
+    TxResult RC = Sharded.transact(Script.Ops);
+    TxResult RS = Sequential.transact(Script.Ops);
+    bool RO = oracleTransact(Oracle, Spec->fds(), All, Rest, Script);
+    ASSERT_EQ(RC.Committed, RS.Committed)
+        << Spec->name() << " step " << Step;
+    ASSERT_EQ(RC.Committed, RO) << Spec->name() << " step " << Step;
+    if (!RC.Committed)
+      EXPECT_EQ(RC.FailedOp, RS.FailedOp)
+          << Spec->name() << " step " << Step;
+    (RC.Committed ? Commits : Aborts) += 1;
+    if (Step % 20 == 19) {
+      EXPECT_EQ(Sharded.toRelation(), Oracle)
+          << Spec->name() << " step " << Step;
+      EXPECT_EQ(Sharded.toRelation(), Sequential.toRelation())
+          << Spec->name() << " step " << Step;
+      EXPECT_EQ(Sharded.size(), Oracle.size())
+          << Spec->name() << " step " << Step;
+    }
+  }
+  EXPECT_EQ(Sharded.toRelation(), Oracle) << Spec->name();
+  // The mix must genuinely exercise both verdicts.
+  EXPECT_GT(Commits, 0u) << Spec->name();
+  EXPECT_GT(Aborts, 0u) << Spec->name();
+}
+
+TEST_F(ConcurrentRelationTest, TransactAlphaScheduler) {
+  RelSpecRef S = SchedulerRelational::makeSpec();
+  runTransactAlphaEquivalence(
+      S, SchedulerRelational::makeDefaultDecomposition(S),
+      {4, std::nullopt}, 0x7a0001);
+}
+
+TEST_F(ConcurrentRelationTest, TransactAlphaSchedulerShardedByNonKey) {
+  // Sharded by state: every insert-like op fans out, updates and
+  // upserts migrate tuples mid-batch.
+  RelSpecRef S = SchedulerRelational::makeSpec();
+  ConcurrentOptions Opts;
+  Opts.NumShards = 4;
+  Opts.ShardColumn = S->catalog().get("state");
+  runTransactAlphaEquivalence(
+      S, SchedulerRelational::makeDefaultDecomposition(S), Opts, 0x7a0002);
+}
+
+TEST_F(ConcurrentRelationTest, TransactAlphaGraph) {
+  RelSpecRef S = GraphRelational::makeSpec();
+  runTransactAlphaEquivalence(S, GraphRelational::makeSharedBidirectional(S),
+                              {4, std::nullopt}, 0x7a0003);
+}
+
+TEST_F(ConcurrentRelationTest, TransactAlphaThttpd) {
+  RelSpecRef S = ThttpdRelational::makeSpec();
+  runTransactAlphaEquivalence(
+      S, ThttpdRelational::makeDefaultDecomposition(S), {4, std::nullopt},
+      0x7a0004);
+}
+
+TEST_F(ConcurrentRelationTest, TransactAlphaIpcap) {
+  RelSpecRef S = IpcapRelational::makeSpec();
+  runTransactAlphaEquivalence(
+      S, IpcapRelational::makeDefaultDecomposition(S), {4, std::nullopt},
+      0x7a0005);
+}
+
+TEST_F(ConcurrentRelationTest, TransactAlphaZtopo) {
+  RelSpecRef S = ZtopoRelational::makeSpec();
+  runTransactAlphaEquivalence(
+      S, ZtopoRelational::makeDefaultDecomposition(S), {4, std::nullopt},
+      0x7a0006);
+}
+
+TEST_F(ConcurrentRelationTest, TransactAlphaZtopoShardedByNonKey) {
+  RelSpecRef S = ZtopoRelational::makeSpec();
+  ConcurrentOptions Opts;
+  Opts.NumShards = 4;
+  Opts.ShardColumn = S->catalog().get("state");
+  runTransactAlphaEquivalence(
+      S, ZtopoRelational::makeDefaultDecomposition(S), Opts, 0x7a0007);
+}
+
 TEST_F(ConcurrentRelationTest, IpcapDecompositionRoundTrip) {
   RelSpecRef IpcapSpec = IpcapRelational::makeSpec();
   Decomposition D = IpcapRelational::makeDefaultDecomposition(IpcapSpec);

@@ -23,6 +23,7 @@
 
 #include <gtest/gtest.h>
 
+#include <algorithm>
 #include <atomic>
 #include <thread>
 #include <vector>
@@ -271,6 +272,264 @@ TEST(ConcurrentStressTest, MultiWriterShardedByNonKeyColumn) {
 TEST(ConcurrentStressTest, SingleShardDegenerateStillSafe) {
   runStress({1, std::nullopt}, /*NumWriters=*/2, /*NumReaders=*/2,
             /*OpsPerWriter=*/300);
+}
+
+//===----------------------------------------------------------------------===
+// Serializability stress: racing multi-key transactions.
+//===----------------------------------------------------------------------===
+
+/// One op of a logged transaction, replayable against any engine.
+struct LoggedTxOp {
+  enum Kind { Insert, Remove, Update, Upsert } Op;
+  Tuple A;           ///< Insert: tuple. Remove/Update/Upsert: the key.
+  Tuple B;           ///< Update: the changes.
+  int64_t Delta = 0; ///< Upsert: the deterministic Fn's increment.
+};
+
+/// A committed transaction: its commit ticket (drawn at the
+/// linearization point, while every touched stripe was held) plus the
+/// ops to replay.
+struct LoggedTx {
+  uint64_t Ticket = 0;
+  std::vector<LoggedTxOp> Ops;
+};
+
+/// Rebuilds the executable TxOp for a logged op; the upsert callback
+/// is the same deterministic (current, Delta) formula applyUpsert
+/// replays, so any engine reproduces it.
+TxOp toTxOp(const Catalog &Cat, const LoggedTxOp &Op) {
+  switch (Op.Op) {
+  case LoggedTxOp::Insert:
+    return TxOp::insert(Op.A);
+  case LoggedTxOp::Remove:
+    return TxOp::remove(Op.A);
+  case LoggedTxOp::Update:
+    return TxOp::update(Op.A, Op.B);
+  case LoggedTxOp::Upsert:
+    break;
+  }
+  ColumnId ColCpu = Cat.get("cpu"), ColState = Cat.get("state");
+  int64_t Delta = Op.Delta;
+  return TxOp::upsert(Op.A, [ColCpu, ColState,
+                             Delta](const BindingFrame *Cur, Tuple &V) {
+    int64_t Cpu = Cur ? Cur->get(ColCpu).asInt() : 0;
+    V.set(ColCpu, Value::ofInt((Cpu + Delta) % 100));
+    V.set(ColState, Value::ofInt(Delta % 3));
+  });
+}
+
+/// Transaction writer: random 2-4-op transactions over keys drawn
+/// from ONE domain shared by every writer — unlike the single-op
+/// stress, the key sets deliberately OVERLAP, so nothing commutes for
+/// free and only two-phase locking keeps the histories serializable.
+/// Committed transactions are logged under their commit tickets;
+/// aborted ones (mid-batch FD conflicts from racing inserts, rolled
+/// back under the held locks) are counted.
+void txWriterLoop(ConcurrentRelation &Rel, const Catalog &Cat,
+                  unsigned Tid, int Txns, std::vector<LoggedTx> &Log,
+                  std::atomic<size_t> &Aborts) {
+  Rng R(0x7c0000 + Tid);
+  for (int T = 0; T != Txns; ++T) {
+    std::vector<LoggedTxOp> Script;
+    unsigned N = 2 + static_cast<unsigned>(R.below(3));
+    for (unsigned J = 0; J != N; ++J) {
+      Tuple Key = TupleBuilder(Cat)
+                      .set("ns", R.range(0, 7))
+                      .set("pid", R.range(0, 11))
+                      .build();
+      switch (R.below(8)) {
+      case 0: { // insert: conflict-prone on purpose (shared keys)
+        Tuple T2 = Key.merge(TupleBuilder(Cat)
+                                 .set("state", R.range(0, 2))
+                                 .set("cpu", R.range(0, 99))
+                                 .build());
+        Script.push_back({LoggedTxOp::Insert, T2, Tuple(), 0});
+        break;
+      }
+      case 1: // remove through the key
+        Script.push_back({LoggedTxOp::Remove, Key, Tuple(), 0});
+        break;
+      case 2: { // update cpu through the key
+        Script.push_back(
+            {LoggedTxOp::Update, Key,
+             TupleBuilder(Cat).set("cpu", R.range(0, 99)).build(), 0});
+        break;
+      }
+      case 3: { // update state through the key (migration when
+                // sharded by state)
+        Script.push_back(
+            {LoggedTxOp::Update, Key,
+             TupleBuilder(Cat).set("state", R.range(0, 2)).build(), 0});
+        break;
+      }
+      default: // upsert: the transfer-style read-modify-write
+        Script.push_back(
+            {LoggedTxOp::Upsert, Key, Tuple(), R.range(1, 49)});
+        break;
+      }
+    }
+    std::vector<TxOp> Ops;
+    Ops.reserve(Script.size());
+    for (const LoggedTxOp &Op : Script)
+      Ops.push_back(toTxOp(Cat, Op));
+    TxResult Res = Rel.transact(Ops);
+    if (Res.Committed)
+      Log.push_back({Res.Ticket, std::move(Script)});
+    else
+      Aborts.fetch_add(1, std::memory_order_relaxed);
+  }
+}
+
+/// The serializability harness: N transaction writers over overlapping
+/// keys race M readers; afterwards every committed transaction is
+/// replayed SERIALLY, in commit-ticket order, into the sequential
+/// engine. Two-phase locking promises that ticket order is a legal
+/// serialization: every replayed transaction must commit again, and
+/// the final states must be α-equivalent.
+void runTransactStress(ConcurrentOptions Opts, unsigned NumWriters,
+                       unsigned NumReaders, int TxnsPerWriter) {
+  RelSpecRef Spec = schedulerSpec();
+  Decomposition D = fig2(Spec);
+  const Catalog &Cat = Spec->catalog();
+  ConcurrentRelation Rel(D, Opts);
+
+  std::vector<std::vector<LoggedTx>> Logs(NumWriters);
+  std::atomic<size_t> Aborts{0};
+  std::atomic<bool> Done{false};
+  std::atomic<size_t> RowsSeen{0};
+
+  std::vector<std::thread> Readers;
+  for (unsigned I = 0; I != NumReaders; ++I)
+    Readers.emplace_back(readerLoop, std::cref(Rel), std::cref(Cat), I,
+                         std::cref(Done), std::ref(RowsSeen));
+  std::vector<std::thread> Writers;
+  for (unsigned I = 0; I != NumWriters; ++I)
+    Writers.emplace_back([&, I] {
+      txWriterLoop(Rel, Cat, I, TxnsPerWriter, Logs[I], Aborts);
+    });
+  for (std::thread &T : Writers)
+    T.join();
+  Done.store(true, std::memory_order_release);
+  for (std::thread &T : Readers)
+    T.join();
+
+  // Merge the logs into one serial history ordered by commit ticket.
+  std::vector<const LoggedTx *> History;
+  for (const std::vector<LoggedTx> &Log : Logs)
+    for (const LoggedTx &Tx : Log)
+      History.push_back(&Tx);
+  std::sort(History.begin(), History.end(),
+            [](const LoggedTx *L, const LoggedTx *R2) {
+              return L->Ticket < R2->Ticket;
+            });
+  // Tickets are unique commit stamps.
+  for (size_t I = 1; I < History.size(); ++I)
+    ASSERT_NE(History[I - 1]->Ticket, History[I]->Ticket);
+
+  SynthesizedRelation Replay{Decomposition(D)};
+  for (const LoggedTx *Tx : History) {
+    std::vector<TxOp> Ops;
+    Ops.reserve(Tx->Ops.size());
+    for (const LoggedTxOp &Op : Tx->Ops)
+      Ops.push_back(toTxOp(Cat, Op));
+    TxResult Res = Replay.transact(Ops);
+    // Serializability: what committed concurrently must commit in the
+    // serial order the tickets define.
+    ASSERT_TRUE(Res.Committed) << "ticket " << Tx->Ticket;
+  }
+  EXPECT_GT(History.size(), 0u);
+  EXPECT_GT(Aborts.load(), 0u)
+      << "overlapping inserts should produce some rolled-back batches";
+  EXPECT_EQ(Rel.toRelation(), Replay.toRelation());
+  EXPECT_EQ(Rel.size(), Replay.size());
+}
+
+TEST(ConcurrentStressTest, SerializableTransactionsDefaultSharding) {
+  // Routed transactions: most batches lock 2-4 stripes (ShardSetGuard)
+  // while rivals hold overlapping subsets.
+  runTransactStress({8, std::nullopt}, /*NumWriters=*/4, /*NumReaders=*/2,
+                    /*TxnsPerWriter=*/250);
+}
+
+TEST(ConcurrentStressTest, SerializableTransactionsShardedByNonKeyColumn) {
+  // Sharded by state: every transaction degrades to the all-stripes
+  // fan-out and updates migrate tuples between shards mid-batch.
+  RelSpecRef Spec = schedulerSpec();
+  ConcurrentOptions Opts;
+  Opts.NumShards = 4;
+  Opts.ShardColumn = Spec->catalog().get("state");
+  runTransactStress(Opts, /*NumWriters=*/4, /*NumReaders=*/2,
+                    /*TxnsPerWriter=*/150);
+}
+
+TEST(ConcurrentStressTest, TransactionsRaceSingleOpWriters) {
+  // Transactions and plain single-op writers on DISJOINT key ranges
+  // (transactions on pids 0-11, single-op writers above 64): the
+  // single-op harness's commutativity argument still applies to the
+  // combined final state, so replaying the single-op logs thread by
+  // thread plus the transaction log in ticket order must reproduce it.
+  RelSpecRef Spec = schedulerSpec();
+  Decomposition D = fig2(Spec);
+  const Catalog &Cat = Spec->catalog();
+  ConcurrentRelation Rel(D, {8, std::nullopt});
+
+  const unsigned NumTxWriters = 2, NumOpWriters = 2;
+  std::vector<std::vector<LoggedTx>> TxLogs(NumTxWriters);
+  std::vector<std::vector<LoggedOp>> OpLogs(NumOpWriters);
+  std::atomic<size_t> Aborts{0};
+
+  std::vector<std::thread> Threads;
+  for (unsigned I = 0; I != NumTxWriters; ++I)
+    Threads.emplace_back([&, I] {
+      txWriterLoop(Rel, Cat, I, 200, TxLogs[I], Aborts);
+    });
+  for (unsigned I = 0; I != NumOpWriters; ++I)
+    Threads.emplace_back([&, I] {
+      // Offset the pid domain: writerLoop keys are Tid + N*k; shift
+      // Tid past the transaction domain.
+      writerLoop(Rel, Cat, Spec->fds(), 64 + I, NumOpWriters, 300,
+                 OpLogs[I]);
+    });
+  for (std::thread &T : Threads)
+    T.join();
+
+  SynthesizedRelation Replay{Decomposition(D)};
+  // Single-op logs first (their keys are disjoint from every
+  // transaction's, so they commute with the whole transaction
+  // history), then transactions in ticket order.
+  for (const std::vector<LoggedOp> &Log : OpLogs)
+    for (const LoggedOp &Op : Log) {
+      switch (Op.Op) {
+      case LoggedOp::Insert:
+        Replay.insert(Op.A);
+        break;
+      case LoggedOp::Remove:
+        Replay.remove(Op.A);
+        break;
+      case LoggedOp::Update:
+        Replay.update(Op.A, Op.B);
+        break;
+      case LoggedOp::Upsert:
+        applyUpsert(Replay, Cat, Op.A, Op.Delta);
+        break;
+      }
+    }
+  std::vector<const LoggedTx *> History;
+  for (const std::vector<LoggedTx> &Log : TxLogs)
+    for (const LoggedTx &Tx : Log)
+      History.push_back(&Tx);
+  std::sort(History.begin(), History.end(),
+            [](const LoggedTx *L, const LoggedTx *R2) {
+              return L->Ticket < R2->Ticket;
+            });
+  for (const LoggedTx *Tx : History) {
+    std::vector<TxOp> Ops;
+    for (const LoggedTxOp &Op : Tx->Ops)
+      Ops.push_back(toTxOp(Cat, Op));
+    ASSERT_TRUE(Replay.transact(Ops).Committed);
+  }
+  EXPECT_EQ(Rel.toRelation(), Replay.toRelation());
+  EXPECT_EQ(Rel.size(), Replay.size());
 }
 
 TEST(ConcurrentStressTest, ConcurrentIdenticalInsertsConverge) {

@@ -317,6 +317,160 @@ TEST_F(SynthesizedRelationTest, ReoptimizeWithExplicitParams) {
   EXPECT_TRUE(Rel.contains(TupleBuilder(Cat).set("ns", 1).build()));
 }
 
+TEST_F(SynthesizedRelationTest, InsertConflictsFdsDetectsKeyCollisions) {
+  Rel.insert(proc(1, 2, 0, 7));
+  // Same key, different non-key values: a conflict.
+  EXPECT_TRUE(Rel.insertConflictsFds(proc(1, 2, 1, 7)));
+  EXPECT_TRUE(Rel.insertConflictsFds(proc(1, 2, 0, 8)));
+  // Exact duplicate: not a conflict (insert would no-op).
+  EXPECT_FALSE(Rel.insertConflictsFds(proc(1, 2, 0, 7)));
+  // Different key: no conflict.
+  EXPECT_FALSE(Rel.insertConflictsFds(proc(1, 3, 1, 9)));
+  // Excluding the matching tuple silences its conflict (the update
+  // validation path).
+  Tuple Old = proc(1, 2, 0, 7);
+  EXPECT_FALSE(Rel.insertConflictsFds(proc(1, 2, 1, 7), &Old));
+}
+
+TEST_F(SynthesizedRelationTest, TransactAppliesBatchAtomically) {
+  Rel.insert(proc(1, 1, 0, 10));
+  ColumnId ColCpu = Cat.get("cpu"), ColState = Cat.get("state");
+  std::vector<TxOp> Ops;
+  Ops.push_back(TxOp::insert(proc(2, 2, 1, 5)));
+  Ops.push_back(TxOp::update(
+      TupleBuilder(Cat).set("ns", 1).set("pid", 1).build(),
+      TupleBuilder(Cat).set("cpu", 11).build()));
+  Ops.push_back(TxOp::upsert(
+      TupleBuilder(Cat).set("ns", 3).set("pid", 3).build(),
+      [&](const BindingFrame *Cur, Tuple &V) {
+        EXPECT_EQ(Cur, nullptr);
+        V.set(ColState, Value::ofInt(2));
+        V.set(ColCpu, Value::ofInt(1));
+      }));
+  Ops.push_back(TxOp::remove(
+      TupleBuilder(Cat).set("ns", 2).set("pid", 2).build()));
+
+  TxResult R = Rel.transact(Ops);
+  EXPECT_TRUE(R.Committed);
+  EXPECT_EQ(Rel.size(), 2u);
+  EXPECT_TRUE(Rel.contains(proc(1, 1, 0, 11)));
+  EXPECT_TRUE(Rel.contains(proc(3, 3, 2, 1)));
+  EXPECT_FALSE(Rel.contains(TupleBuilder(Cat).set("ns", 2).build()));
+  EXPECT_TRUE(Rel.checkWellFormed().Ok);
+}
+
+TEST_F(SynthesizedRelationTest, TransactRollsBackOnMidBatchFdConflict) {
+  Rel.insert(proc(1, 1, 0, 10));
+  Rel.insert(proc(1, 2, 1, 20));
+  Relation Before = Rel.toRelation();
+
+  // Ops 0-2 succeed (insert + remove-with-victims + update), then op 3
+  // collides with (1,2)'s key FD: everything must unwind.
+  std::vector<TxOp> Ops;
+  Ops.push_back(TxOp::insert(proc(4, 4, 0, 4)));
+  Ops.push_back(TxOp::remove(TupleBuilder(Cat).set("state", 0).build()));
+  Ops.push_back(TxOp::update(
+      TupleBuilder(Cat).set("ns", 1).set("pid", 2).build(),
+      TupleBuilder(Cat).set("cpu", 99).build()));
+  Ops.push_back(TxOp::insert(proc(1, 2, 2, 0))); // FD conflict
+
+  TxResult R = Rel.transact(Ops);
+  EXPECT_FALSE(R.Committed);
+  EXPECT_EQ(R.FailedOp, 3u);
+  EXPECT_EQ(Rel.toRelation(), Before);
+  EXPECT_EQ(Rel.size(), 2u);
+  EXPECT_TRUE(Rel.checkWellFormed().Ok);
+}
+
+TEST_F(SynthesizedRelationTest, TransactRemoveUndoRestoresEveryVictim) {
+  for (int64_t P = 0; P != 6; ++P)
+    Rel.insert(proc(P % 2, P, P % 2, P));
+  Relation Before = Rel.toRelation();
+
+  // The fan-out remove deletes the three state-1 tuples; the trailing
+  // conflict (against the surviving (0,0)) must resurrect all three.
+  std::vector<TxOp> Ops;
+  Ops.push_back(TxOp::remove(TupleBuilder(Cat).set("state", 1).build()));
+  Ops.push_back(TxOp::insert(proc(0, 0, 1, 999))); // conflicts with (0,0)
+  TxResult R = Rel.transact(Ops);
+  EXPECT_FALSE(R.Committed);
+  EXPECT_EQ(R.FailedOp, 1u);
+  EXPECT_EQ(Rel.toRelation(), Before);
+  EXPECT_EQ(Rel.size(), 6u);
+}
+
+TEST_F(SynthesizedRelationTest, TransactUpsertConditionalAbort) {
+  // An upsert whose key matches nothing and whose callback binds
+  // nothing is the defined "only if present" abort.
+  Rel.insert(proc(1, 1, 0, 10));
+  Relation Before = Rel.toRelation();
+  ColumnId ColCpu = Cat.get("cpu");
+
+  std::vector<TxOp> Ops;
+  Ops.push_back(TxOp::update(
+      TupleBuilder(Cat).set("ns", 1).set("pid", 1).build(),
+      TupleBuilder(Cat).set("cpu", 77).build()));
+  Ops.push_back(TxOp::upsert(
+      TupleBuilder(Cat).set("ns", 9).set("pid", 9).build(),
+      [&](const BindingFrame *Cur, Tuple &V) {
+        if (!Cur)
+          return; // absent: abort the batch
+        V.set(ColCpu, Value::ofInt(Cur->get(ColCpu).asInt() + 1));
+      }));
+  TxResult R = Rel.transact(Ops);
+  EXPECT_FALSE(R.Committed);
+  EXPECT_EQ(R.FailedOp, 1u);
+  EXPECT_EQ(Rel.toRelation(), Before);
+}
+
+TEST_F(SynthesizedRelationTest, TransactBuilderFormAndNoOps) {
+  ColumnId ColCpu = Cat.get("cpu"), ColState = Cat.get("state");
+  TxResult R = Rel.transact([&](TxBatch &Tx) {
+    Tx.upsert(TupleBuilder(Cat).set("ns", 1).set("pid", 1).build(),
+              [&](const BindingFrame *, Tuple &V) {
+                V.set(ColState, Value::ofInt(1));
+                V.set(ColCpu, Value::ofInt(50));
+              });
+    Tx.upsert(TupleBuilder(Cat).set("ns", 1).set("pid", 2).build(),
+              [&](const BindingFrame *, Tuple &V) {
+                V.set(ColState, Value::ofInt(1));
+                V.set(ColCpu, Value::ofInt(0));
+              });
+  });
+  EXPECT_TRUE(R.Committed);
+  EXPECT_EQ(Rel.size(), 2u);
+
+  // The transfer: move 30 cpu from (1,1) to (1,2) as one unit.
+  R = Rel.transact([&](TxBatch &Tx) {
+    Tx.upsert(TupleBuilder(Cat).set("ns", 1).set("pid", 1).build(),
+              [&](const BindingFrame *Cur, Tuple &V) {
+                ASSERT_NE(Cur, nullptr);
+                V.set(ColCpu, Value::ofInt(Cur->get(ColCpu).asInt() - 30));
+              });
+    Tx.upsert(TupleBuilder(Cat).set("ns", 1).set("pid", 2).build(),
+              [&](const BindingFrame *Cur, Tuple &V) {
+                ASSERT_NE(Cur, nullptr);
+                V.set(ColCpu, Value::ofInt(Cur->get(ColCpu).asInt() + 30));
+              });
+  });
+  EXPECT_TRUE(R.Committed);
+  EXPECT_TRUE(Rel.contains(proc(1, 1, 1, 20)));
+  EXPECT_TRUE(Rel.contains(proc(1, 2, 1, 30)));
+
+  // Duplicate insert and no-match update/remove are committed no-ops.
+  R = Rel.transact([&](TxBatch &Tx) {
+    Tx.insert(proc(1, 1, 1, 20));
+    Tx.update(TupleBuilder(Cat).set("ns", 8).set("pid", 8).build(),
+              TupleBuilder(Cat).set("cpu", 1).build());
+    Tx.remove(TupleBuilder(Cat).set("ns", 8).build());
+  });
+  EXPECT_TRUE(R.Committed);
+  EXPECT_EQ(Rel.size(), 2u);
+
+  // The empty batch commits trivially.
+  EXPECT_TRUE(Rel.transact(std::vector<TxOp>()).Committed);
+}
+
 TEST_F(SynthesizedRelationTest, ToRelationMatchesOracleAfterChurn) {
   Relation Oracle;
   for (int64_t P = 0; P < 12; ++P) {

@@ -18,6 +18,10 @@
 //                                  (overrides the `concurrency` directive)
 //   relc --shard-column COL ...    shard column for the facade
 //
+// The `transaction` directive (transact_by_* on the facade) requires a
+// facade to attach to: a spec using it without a `concurrency`
+// directive needs --shards N, and --shards 0 is rejected for it.
+//
 //===----------------------------------------------------------------------===//
 
 #include "codegen/CppEmitter.h"
@@ -129,6 +133,20 @@ int main(int argc, char **argv) {
       return 1;
     }
     File.Options.ConcurrentShardColumn = *Id;
+  }
+
+  // transact_by_* lives on the concurrent facade: without one the
+  // directive would silently vanish from the emitted header, so reject
+  // the combination up front (after the overrides, so `--shards N` can
+  // supply the facade and `--shards 0` is caught stripping it).
+  if (!File.Options.TransactKeys.empty() &&
+      File.Options.ConcurrentShards == 0) {
+    std::fprintf(stderr,
+                 "relc: %s: error: `transaction` requires a concurrent "
+                 "facade (add a `concurrency sharded N` directive or "
+                 "pass --shards N)\n",
+                 Input);
+    return 1;
   }
 
   AdequacyResult Adequate = checkAdequacy(*File.Decomp);
