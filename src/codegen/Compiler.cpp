@@ -1,0 +1,34 @@
+//===- codegen/Compiler.cpp - The relc pipeline, assembled --------------------===//
+//
+// Part of the RelC data representation synthesis library.
+//
+//===----------------------------------------------------------------------===//
+
+#include "codegen/Compiler.h"
+
+#include "codegen/backend/Backend.h"
+#include "codegen/ir/Lowering.h"
+#include "codegen/ir/Passes.h"
+
+#include <cassert>
+
+using namespace relc;
+
+CompileResult relc::compile(const Decomposition &D,
+                            const EmitterOptions &Opts,
+                            const CompileControl &Control) {
+  CompileResult R;
+  R.Ir = lowerToIr(D, Opts);
+  ir::PassManager PM;
+  ir::addDefaultPasses(PM);
+  PM.run(R.Ir, Control.RunOptimizations);
+  std::unique_ptr<Backend> B = createBackend(Control.BackendName);
+  assert(B && "unknown backend name");
+  R.Code = B->emit(R.Ir);
+  return R;
+}
+
+std::string relc::emitCpp(const Decomposition &D,
+                          const EmitterOptions &Opts) {
+  return compile(D, Opts).Code;
+}

@@ -1,0 +1,60 @@
+//===- codegen/Compiler.h - The relc pipeline, assembled --------*- C++ -*-===//
+//
+// Part of the RelC data representation synthesis library.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The relc compilation pipeline as one call:
+///
+///   SpecFile/EmitterOptions --lowerToIr--> ir::Module
+///     --PassManager (dedup, dead-index elim, lock plans)--> canonical IR
+///     --Backend--> target text
+///
+/// compile() exposes the stages (IR kept for --dump-ir, optimization
+/// toggle, backend choice); emitCpp() is the historical single-call
+/// shape used by tests and examples.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef RELC_CODEGEN_COMPILER_H
+#define RELC_CODEGEN_COMPILER_H
+
+#include "codegen/Options.h"
+#include "codegen/ir/IR.h"
+
+#include <string>
+
+namespace relc {
+
+struct CompileControl {
+  /// When false (--no-opt), optimization passes are skipped;
+  /// canonicalization passes always run. The unoptimized output of the
+  /// cpp backend matches the pre-IR emitter byte for byte.
+  bool RunOptimizations = true;
+  /// Backend name for createBackend(); compile() asserts it resolves.
+  std::string BackendName = "cpp";
+};
+
+struct CompileResult {
+  /// The backend's rendering of Ir.
+  std::string Code;
+  /// The post-pipeline IR (non-owning view of the decomposition passed
+  /// to compile(); keep it alive while reading this).
+  ir::Module Ir;
+};
+
+/// Runs the full pipeline: lower, default passes, backend.
+/// Asserts that \p D is adequate, every requested shape is plannable,
+/// and Control.BackendName names a registered backend.
+CompileResult compile(const Decomposition &D, const EmitterOptions &Opts,
+                      const CompileControl &Control = {});
+
+/// Emits the complete C++ header text through the default pipeline.
+/// Asserts that \p D is adequate and every requested shape is
+/// plannable.
+std::string emitCpp(const Decomposition &D, const EmitterOptions &Opts);
+
+} // namespace relc
+
+#endif // RELC_CODEGEN_COMPILER_H

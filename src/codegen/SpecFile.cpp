@@ -3,6 +3,14 @@
 // Part of the RelC data representation synthesis library.
 //
 //===----------------------------------------------------------------------===//
+//
+// Positions: every pending directive records the 1-based line and the
+// column of its payload (the text after the keyword), computed by
+// pointer arithmetic — all the string_views here are subviews of the
+// one input buffer. Errors resolved later (unknown column, non-key
+// pattern) are anchored at that payload.
+//
+//===----------------------------------------------------------------------===//
 
 #include "codegen/SpecFile.h"
 
@@ -55,6 +63,21 @@ bool splitNames(std::string_view Text, std::vector<std::string> &Out) {
   return !Out.empty();
 }
 
+/// A directive payload with its source anchor.
+struct Pending {
+  unsigned Line;
+  unsigned Col;
+  std::string Text;
+};
+
+/// A `transaction` payload: key columns + optional arity suffix.
+struct PendingTransact {
+  unsigned Line;
+  unsigned Col;
+  std::string Cols;
+  unsigned Arity;
+};
+
 class SpecFileParser {
 public:
   explicit SpecFileParser(std::string_view Text) : Text(Text) {}
@@ -76,78 +99,106 @@ public:
       if (Line.empty() || Line.front() == '#')
         continue;
 
+      // 1-based column of a subview of Raw (shared buffer).
+      auto colOf = [&](std::string_view Sub) -> unsigned {
+        if (Sub.empty())
+          return static_cast<unsigned>(Line.data() - Raw.data()) + 1;
+        return static_cast<unsigned>(Sub.data() - Raw.data()) + 1;
+      };
+      auto pendingOf = [&](std::string_view Rest) {
+        std::string_view Payload = trim(Rest);
+        return Pending{LineNo, colOf(Payload), std::string(Payload)};
+      };
+
       std::string_view Rest = Line;
       if (consumeWord(Rest, "relation")) {
         if (!parseRelation(trim(Rest)))
-          return fail(LineNo, "malformed relation declaration");
+          return fail(LineNo, colOf(trim(Rest)),
+                      "malformed relation declaration");
       } else if (consumeWord(Rest, "fd")) {
-        Fds.emplace_back(trim(Rest));
+        Fds.push_back(pendingOf(Rest));
       } else if (consumeWord(Rest, "let")) {
+        if (FirstLetLine == 0) {
+          FirstLetLine = LineNo;
+          FirstLetCol = colOf(Line);
+        }
         DecompText += std::string(Line) + "\n";
       } else if (consumeWord(Rest, "class")) {
         Out.Options.ClassName = std::string(trim(Rest));
         if (Out.Options.ClassName.empty())
-          return fail(LineNo, "empty class name");
+          return fail(LineNo, colOf(Line), "empty class name");
       } else if (consumeWord(Rest, "namespace")) {
         Out.Options.Namespace = std::string(trim(Rest));
         if (Out.Options.Namespace.empty())
-          return fail(LineNo, "empty namespace");
+          return fail(LineNo, colOf(Line), "empty namespace");
       } else if (consumeWord(Rest, "query")) {
-        PendingQueries.emplace_back(LineNo, std::string(trim(Rest)));
+        PendingQueries.push_back(pendingOf(Rest));
       } else if (consumeWord(Rest, "remove")) {
-        PendingRemoves.emplace_back(LineNo, std::string(trim(Rest)));
-      } else if (consumeWord(Rest, "update")) {
-        PendingUpdates.emplace_back(LineNo, std::string(trim(Rest)));
+        PendingRemoves.push_back(pendingOf(Rest));
       } else if (consumeWord(Rest, "upsert")) {
-        PendingUpserts.emplace_back(LineNo, std::string(trim(Rest)));
+        PendingUpserts.push_back(pendingOf(Rest));
+      } else if (consumeWord(Rest, "update")) {
+        PendingUpdates.push_back(pendingOf(Rest));
       } else if (consumeWord(Rest, "transaction")) {
-        PendingTransacts.emplace_back(LineNo, std::string(trim(Rest)));
+        Pending P = pendingOf(Rest);
+        unsigned Arity = 2;
+        std::string ColsText;
+        std::string Err;
+        if (!splitTransactArity(P.Text, ColsText, Arity, Err))
+          return fail(P.Line, P.Col,
+                      Err.empty() ? "malformed transaction directive "
+                                    "(expected 'transaction <key "
+                                    "columns> [x <N>]'): '" +
+                                        std::string(Line) + "'"
+                                  : Err);
+        PendingTransacts.push_back({P.Line, P.Col, ColsText, Arity});
       } else if (consumeWord(Rest, "concurrency")) {
         std::string Err;
-        if (!parseConcurrency(LineNo, Rest, Err))
-          return fail(LineNo,
+        if (!parseConcurrency(LineNo, Raw.data(), Rest, Err))
+          return fail(LineNo, colOf(trim(Rest)),
                       Err.empty()
                           ? "malformed concurrency directive (expected "
                             "'concurrency sharded <N> [on <column>]'): '" +
                                 std::string(Line) + "'"
                           : Err);
       } else {
-        return fail(LineNo, "unknown directive: '" + std::string(Line) +
-                                "'");
+        return fail(LineNo, colOf(Line),
+                    "unknown directive: '" + std::string(Line) + "'");
       }
     }
 
     if (Columns.empty())
-      return fail(0, "missing 'relation' declaration");
+      return fail(0, 0, "missing 'relation' declaration");
 
     // Build the spec.
     std::vector<std::pair<std::string, std::string>> FdPairs;
-    for (const std::string &Fd : Fds) {
-      size_t Arrow = Fd.find("->");
+    for (const Pending &Fd : Fds) {
+      size_t Arrow = Fd.Text.find("->");
       if (Arrow == std::string::npos)
-        return fail(0, "fd is missing '->': " + Fd);
-      FdPairs.emplace_back(std::string(trim(
-                               std::string_view(Fd).substr(0, Arrow))),
-                           std::string(trim(
-                               std::string_view(Fd).substr(Arrow + 2))));
+        return fail(Fd.Line, Fd.Col, "fd is missing '->': " + Fd.Text);
+      std::string_view V = Fd.Text;
+      FdPairs.emplace_back(std::string(trim(V.substr(0, Arrow))),
+                           std::string(trim(V.substr(Arrow + 2))));
     }
     Out.Spec = RelSpec::make(RelationName, Columns, FdPairs);
 
     // Parse the decomposition in the Fig. 3 language.
     if (DecompText.empty())
-      return fail(0, "missing 'let' bindings (no decomposition)");
+      return fail(0, 0, "missing 'let' bindings (no decomposition)");
     ParseResult Parsed = parseDecomposition(Out.Spec, DecompText);
     if (!Parsed.ok())
-      return fail(0, "decomposition: " + Parsed.Error);
+      return fail(FirstLetLine, FirstLetCol,
+                  "decomposition: " + Parsed.Error);
     Out.Decomp = std::move(Parsed.Decomp);
 
     // Resolve the method set against the catalog.
     const Catalog &Cat = Out.Spec->catalog();
-    for (const auto &[No, Q] : PendingQueries) {
+    for (const Pending &P : PendingQueries) {
+      const std::string &Q = P.Text;
       // name (in, cols) -> (out, cols)
       size_t Open = Q.find('(');
       if (Open == std::string::npos)
-        return fail(No, "query needs '(inputs) -> (outputs)'");
+        return fail(P.Line, P.Col, "query needs '(inputs) -> (outputs)'");
       std::string Name(trim(std::string_view(Q).substr(0, Open)));
       size_t Close = Q.find(')', Open);
       size_t Arrow = Q.find("->", Close);
@@ -157,72 +208,134 @@ public:
       if (Name.empty() || Close == std::string::npos ||
           Arrow == std::string::npos || Open2 == std::string::npos ||
           Close2 == std::string::npos)
-        return fail(No, "malformed query directive");
+        return fail(P.Line, P.Col, "malformed query directive");
       ColumnSet In, OutCols;
       if (!parseCols(Cat, Q.substr(Open + 1, Close - Open - 1), In))
-        return fail(No, "unknown column in query inputs");
+        return fail(P.Line, P.Col, "unknown column in query inputs");
       if (!parseCols(Cat, Q.substr(Open2 + 1, Close2 - Open2 - 1), OutCols))
-        return fail(No, "unknown column in query outputs");
+        return fail(P.Line, P.Col, "unknown column in query outputs");
       if (OutCols.empty())
-        return fail(No, "query outputs are empty");
+        return fail(P.Line, P.Col, "query outputs are empty");
       Out.Options.Queries.push_back({Name, In, OutCols});
     }
-    for (const auto &[No, R] : PendingRemoves) {
+    for (const Pending &P : PendingRemoves) {
       ColumnSet Key;
-      if (!parseCols(Cat, R, Key) || Key.empty())
-        return fail(No, "malformed remove key");
+      if (!parseCols(Cat, P.Text, Key) || Key.empty())
+        return fail(P.Line, P.Col, "malformed remove key");
       if (!Out.Spec->fds().isKey(Key, Out.Spec->columns()))
-        return fail(No, "remove pattern {" + R + "} is not a key");
+        return fail(P.Line, P.Col,
+                    "remove pattern {" + P.Text + "} is not a key");
       Out.Options.RemoveKeys.push_back(Key);
     }
-    for (const auto &[No, U] : PendingUpdates) {
+    for (const Pending &P : PendingUpdates) {
       ColumnSet Key;
-      if (!parseCols(Cat, U, Key) || Key.empty())
-        return fail(No, "malformed update key");
+      if (!parseCols(Cat, P.Text, Key) || Key.empty())
+        return fail(P.Line, P.Col, "malformed update key");
       if (!Out.Spec->fds().isKey(Key, Out.Spec->columns()))
-        return fail(No, "update pattern {" + U + "} is not a key");
+        return fail(P.Line, P.Col,
+                    "update pattern {" + P.Text + "} is not a key");
       Out.Options.UpdateKeys.push_back(Key);
     }
-    for (const auto &[No, U] : PendingUpserts) {
+    for (const Pending &P : PendingUpserts) {
       ColumnSet Key;
-      if (!parseCols(Cat, U, Key) || Key.empty())
-        return fail(No, "malformed upsert key");
+      if (!parseCols(Cat, P.Text, Key) || Key.empty())
+        return fail(P.Line, P.Col, "malformed upsert key");
       if (!Out.Spec->fds().isKey(Key, Out.Spec->columns()))
-        return fail(No, "upsert pattern {" + U + "} is not a key");
+        return fail(P.Line, P.Col,
+                    "upsert pattern {" + P.Text + "} is not a key");
       Out.Options.UpsertKeys.push_back(Key);
     }
-    for (const auto &[No, T] : PendingTransacts) {
+    for (const PendingTransact &P : PendingTransacts) {
       ColumnSet Key;
-      if (!parseCols(Cat, T, Key) || Key.empty())
-        return fail(No, "malformed transaction key");
+      if (!parseCols(Cat, P.Cols, Key) || Key.empty())
+        return fail(P.Line, P.Col, "malformed transaction key");
       if (!Out.Spec->fds().isKey(Key, Out.Spec->columns()))
-        return fail(No, "transaction pattern {" + T + "} is not a key");
-      Out.Options.TransactKeys.push_back(Key);
+        return fail(P.Line, P.Col,
+                    "transaction pattern {" + P.Cols + "} is not a key");
+      Out.Options.Transactions.push_back({Key, P.Arity});
     }
     if (!ShardColumnName.empty()) {
       std::optional<ColumnId> Id = Cat.find(ShardColumnName);
       if (!Id)
-        return fail(ConcurrencyLine, "unknown shard column '" +
-                                         ShardColumnName + "'");
+        return fail(ConcurrencyLine, ConcurrencyCol,
+                    "unknown shard column '" + ShardColumnName + "'");
       Out.Options.ConcurrentShardColumn = *Id;
     }
 
-    return {std::move(Out), ""};
+    return finish();
   }
 
 private:
-  SpecFileResult fail(unsigned LineNo, const std::string &Msg) {
-    if (LineNo == 0)
-      return {std::nullopt, Msg};
-    return {std::nullopt, "line " + std::to_string(LineNo) + ": " + Msg};
+  SpecFileResult fail(unsigned LineNo, unsigned Col,
+                      const std::string &Msg) {
+    SpecFileResult R;
+    R.Error = Msg;
+    R.Line = LineNo;
+    R.Col = LineNo == 0 ? 0 : std::max(Col, 1u);
+    return R;
+  }
+
+  SpecFileResult finish() {
+    SpecFileResult R;
+    R.File = std::move(Out);
+    return R;
+  }
+
+  /// Splits an optional trailing "x <N>" arity suffix off a
+  /// `transaction` payload. "owner, acct x 3" -> ("owner, acct", 3);
+  /// no suffix leaves the default arity 2. A trailing integer without
+  /// the `x` separator is malformed (returns false with a grammar
+  /// hint via the caller); an out-of-range arity sets \p Err.
+  static bool splitTransactArity(const std::string &Payload,
+                                 std::string &Cols, unsigned &Arity,
+                                 std::string &Err) {
+    std::string_view T = trim(Payload);
+    Cols = std::string(T);
+    if (T.empty())
+      return true; // "malformed transaction key" fires later.
+    // Last whitespace-delimited token.
+    size_t End = T.size();
+    size_t P = End;
+    while (P > 0 && !std::isspace(static_cast<unsigned char>(T[P - 1])))
+      --P;
+    std::string_view LastTok = T.substr(P, End - P);
+    bool AllDigits = !LastTok.empty();
+    for (char C : LastTok)
+      AllDigits &= std::isdigit(static_cast<unsigned char>(C)) != 0;
+    if (!AllDigits)
+      return true; // no arity suffix
+    // The token before the number must be exactly "x".
+    size_t Q = P;
+    while (Q > 0 && std::isspace(static_cast<unsigned char>(T[Q - 1])))
+      --Q;
+    size_t X = Q;
+    while (X > 0 && !std::isspace(static_cast<unsigned char>(T[X - 1])))
+      --X;
+    std::string_view Sep = T.substr(X, Q - X);
+    if (Sep != "x")
+      return false;
+    unsigned long V = 0;
+    for (char C : LastTok) {
+      V = std::min(V * 10 + static_cast<unsigned long>(C - '0'),
+                   100000ul); // saturate; only the range check matters
+    }
+    if (V < 2 || V > MaxTransactArity) {
+      Err = "transaction arity must be in [2, " +
+            std::to_string(MaxTransactArity) +
+            "] (one key tuple per side)";
+      return false;
+    }
+    Arity = static_cast<unsigned>(V);
+    Cols = std::string(trim(T.substr(0, X)));
+    return true;
   }
 
   /// `sharded <N> [on <column>]` (the word `concurrency` is already
   /// consumed). The column is resolved against the catalog after the
   /// relation declaration is built. On failure \p Err is set when a
   /// more specific diagnostic than the grammar message applies.
-  bool parseConcurrency(unsigned LineNo, std::string_view Rest,
-                        std::string &Err) {
+  bool parseConcurrency(unsigned LineNo, const char *RawBegin,
+                        std::string_view Rest, std::string &Err) {
     // The last directive wins outright: clear any earlier `on` clause
     // so a bare `concurrency sharded N` falls back to the default
     // shard column as documented.
@@ -254,6 +367,8 @@ private:
       if (T.empty())
         return false;
       ShardColumnName = std::string(T);
+      // Anchor the deferred "unknown shard column" error at the name.
+      ConcurrencyCol = static_cast<unsigned>(T.data() - RawBegin) + 1;
     }
     Out.Options.ConcurrentShards = Shards;
     ConcurrencyLine = LineNo;
@@ -294,14 +409,17 @@ private:
   std::string_view Text;
   std::string RelationName;
   std::vector<std::string> Columns;
-  std::vector<std::string> Fds;
-  std::vector<std::pair<unsigned, std::string>> PendingQueries;
-  std::vector<std::pair<unsigned, std::string>> PendingRemoves;
-  std::vector<std::pair<unsigned, std::string>> PendingUpdates;
-  std::vector<std::pair<unsigned, std::string>> PendingUpserts;
-  std::vector<std::pair<unsigned, std::string>> PendingTransacts;
+  std::vector<Pending> Fds;
+  std::vector<Pending> PendingQueries;
+  std::vector<Pending> PendingRemoves;
+  std::vector<Pending> PendingUpdates;
+  std::vector<Pending> PendingUpserts;
+  std::vector<PendingTransact> PendingTransacts;
   std::string ShardColumnName;
+  unsigned FirstLetLine = 0;
+  unsigned FirstLetCol = 0;
   unsigned ConcurrencyLine = 0;
+  unsigned ConcurrencyCol = 1;
   SpecFile Out;
 };
 

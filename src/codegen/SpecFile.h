@@ -24,18 +24,19 @@
 ///   remove ns, pid
 ///   update ns, pid
 ///   upsert ns, pid
-///   transaction ns, pid
+///   transaction ns, pid x 3
 ///   concurrency sharded 8 on ns
 ///
 /// `upsert` emits the atomic read-modify-write pair lookup_by_/
 /// upsert_by_ for a key pattern; `concurrency sharded <N> [on <col>]`
 /// additionally emits a sharded thread-safe facade class wrapping N
 /// generated sub-instances (shard column defaults to the first column
-/// of the decomposition root's key); `transaction` emits, on that
-/// facade, the atomic two-key read-modify-write transact_by_ for a
-/// key pattern (transfer-style multi-key transactions under two-phase
-/// locking over exactly the owning shard stripes — it therefore
-/// requires a facade, which the relc tool enforces).
+/// of the decomposition root's key); `transaction <cols> [x N]` emits,
+/// on that facade, the atomic N-key read-modify-write transact_by_ /
+/// transact<N>_by_ for a key pattern (multi-key transactions under
+/// two-phase locking over exactly the owning shard stripes — it
+/// therefore requires a facade, which the relc tool enforces). The
+/// arity defaults to 2 (the transfer shape) and caps at 8.
 ///
 /// Lines starting with `#` are comments. Directives may appear in any
 /// order except that `relation`/`fd` must precede the `let` bindings.
@@ -45,7 +46,7 @@
 #ifndef RELC_CODEGEN_SPECFILE_H
 #define RELC_CODEGEN_SPECFILE_H
 
-#include "codegen/CppEmitter.h"
+#include "codegen/Options.h"
 #include "decomp/Decomposition.h"
 
 #include <optional>
@@ -54,7 +55,7 @@
 
 namespace relc {
 
-/// A fully parsed `relc` input: everything emitCpp needs.
+/// A fully parsed `relc` input: everything the compile pipeline needs.
 struct SpecFile {
   RelSpecRef Spec;
   std::optional<Decomposition> Decomp;
@@ -63,9 +64,21 @@ struct SpecFile {
 
 struct SpecFileResult {
   std::optional<SpecFile> File;
+  /// The bare diagnostic text, no position prefix (see message()).
   std::string Error;
+  /// 1-based source position of the error; 0 when the error has no
+  /// useful anchor (e.g. a missing `relation` declaration).
+  unsigned Line = 0;
+  unsigned Col = 0;
 
   bool ok() const { return File.has_value(); }
+  /// "line L, col C: <Error>" when positioned, else just Error.
+  std::string message() const {
+    if (!Line)
+      return Error;
+    return "line " + std::to_string(Line) + ", col " +
+           std::to_string(Col) + ": " + Error;
+  }
 };
 
 /// Parses the text of one relc input file.

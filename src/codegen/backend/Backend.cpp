@@ -1,0 +1,19 @@
+//===- codegen/backend/Backend.cpp - Emission backend registry ----------------===//
+//
+// Part of the RelC data representation synthesis library.
+//
+//===----------------------------------------------------------------------===//
+
+#include "codegen/backend/Backend.h"
+
+#include "codegen/backend/CppBackend.h"
+
+using namespace relc;
+
+std::unique_ptr<Backend> relc::createBackend(std::string_view Name) {
+  if (Name == "cpp")
+    return createCppBackend();
+  return nullptr;
+}
+
+std::vector<std::string_view> relc::backendNames() { return {"cpp"}; }

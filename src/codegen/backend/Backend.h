@@ -1,0 +1,52 @@
+//===- codegen/backend/Backend.h - Emission backends ------------*- C++ -*-===//
+//
+// Part of the RelC data representation synthesis library.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The emission side of the relc pipeline: a Backend renders a fully
+/// lowered, pass-processed ir::Module into target text. Backends are
+/// pure visitors over Module::Ops — every decision about which methods
+/// exist, how duplicates merge, and how facade ops lock is stamped on
+/// the IR before a backend ever sees it; a backend that re-derives any
+/// of those is a bug.
+///
+/// `CppBackend` (CppBackend.h) is the first implementation, emitting
+/// the standalone C++ header relc has always produced. New targets
+/// register in createBackend()'s table.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef RELC_CODEGEN_BACKEND_BACKEND_H
+#define RELC_CODEGEN_BACKEND_BACKEND_H
+
+#include "codegen/ir/IR.h"
+
+#include <memory>
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace relc {
+
+class Backend {
+public:
+  virtual ~Backend() = default;
+  virtual std::string_view name() const = 0;
+  /// Renders the module. Requires canonical IR: unique method names
+  /// and a lock plan on every facade op (run ir::addDefaultPasses
+  /// first; --no-opt still runs the canonicalization passes).
+  virtual std::string emit(const ir::Module &M) = 0;
+};
+
+/// Backend registry: the named backend, or nullptr when unknown.
+/// Known names: "cpp".
+std::unique_ptr<Backend> createBackend(std::string_view Name);
+
+/// Names accepted by createBackend, for CLI help and diagnostics.
+std::vector<std::string_view> backendNames();
+
+} // namespace relc
+
+#endif // RELC_CODEGEN_BACKEND_BACKEND_H

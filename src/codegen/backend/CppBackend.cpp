@@ -1,4 +1,4 @@
-//===- codegen/CppEmitter.cpp - RELC C++ code generation ---------------------===//
+//===- codegen/backend/CppBackend.cpp - C++ header backend --------------------===//
 //
 // Part of the RelC data representation synthesis library.
 //
@@ -9,14 +9,15 @@
 // virtual dispatch, and query/removal code specialized from the
 // planner's chosen plans instead of the CPS interpreter in Exec.cpp.
 //
+// This backend is a visitor over ir::Module::Ops. It chooses syntax
+// only: the op list is final (lowering + MethodDedup +
+// DeadIndexElimination decided it) and every facade op arrives with a
+// LockPlan (LockPlanPrecompute decided routing and stripe bounds).
+// Nothing in here may invent a method or re-derive a routing decision.
+//
 //===----------------------------------------------------------------------===//
 
-#include "codegen/CppEmitter.h"
-
-#include "concurrent/ShardRouter.h"
-#include "decomp/Adequacy.h"
-#include "query/Planner.h"
-#include "runtime/Cut.h"
+#include "codegen/backend/CppBackend.h"
 
 #include <cassert>
 #include <cctype>
@@ -25,6 +26,7 @@
 #include <string>
 
 using namespace relc;
+using namespace relc::ir;
 
 namespace {
 
@@ -60,58 +62,62 @@ private:
   unsigned Indent = 0;
 };
 
-class Emitter {
+class CppEmitter {
 public:
-  Emitter(const Decomposition &D, const EmitterOptions &Opts)
-      : D(D), Opts(Opts), Cat(D.catalog()) {
+  explicit CppEmitter(const ir::Module &M)
+      : M(M), D(*M.Decomp), Cat(D.catalog()) {
     for (NodeId Id = 0; Id != D.numNodes(); ++Id)
       for (PrimId U : D.unitsOf(Id))
         UnitOwner[U] = Id;
   }
 
   std::string run() {
-    // remove_by_* backs update_by_*, upsert_by_*, and transact_by_*
-    // (each is remove + reinsert), so emit it for the union of the
-    // four key lists, each unique pattern once. transact_by_* is
-    // built from the lookup/upsert pair, so transact keys join the
-    // upsert list too. The same deduped lists drive the facade
-    // emission, so its wrappers can never reference a member the
-    // sequential class lacks.
-    assert((Opts.TransactKeys.empty() || Opts.ConcurrentShards > 0) &&
-           "transact_by_* lives on the concurrent facade");
-    std::vector<ColumnSet> RemoveEmit = dedup(allRemoveKeys());
-    std::vector<ColumnSet> UpdateEmit = dedup(Opts.UpdateKeys);
-    std::vector<ColumnSet> UpsertKeys = Opts.UpsertKeys;
-    UpsertKeys.insert(UpsertKeys.end(), Opts.TransactKeys.begin(),
-                      Opts.TransactKeys.end());
-    std::vector<ColumnSet> UpsertEmit = dedup(UpsertKeys);
-    std::vector<ColumnSet> TransactEmit = dedup(Opts.TransactKeys);
-
     prologue();
     for (NodeId Id = 0; Id != D.numNodes(); ++Id)
       emitNodeStruct(Id);
     emitDestroys();
     emitLifecycle();
-    emitInsert();
-    for (const QueryShape &Q : Opts.Queries)
-      emitQuery(Q);
-    for (ColumnSet Key : RemoveEmit)
-      emitRemove(Key);
-    for (ColumnSet Key : UpdateEmit)
-      emitUpdate(Key);
-    for (ColumnSet Key : UpsertEmit) {
-      emitLookup(Key);
-      emitUpsert(Key);
-    }
+    for (const MethodOp &Op : M.Ops)
+      if (Op.Where == Layer::Sequential)
+        emitSequentialOp(Op);
     closeClass();
-    if (Opts.ConcurrentShards > 0)
-      emitConcurrentFacade(RemoveEmit, UpdateEmit, UpsertEmit,
-                           TransactEmit);
+    if (M.hasFacade())
+      emitConcurrentFacade();
     closeFile();
     return W.take();
   }
 
 private:
+  void emitSequentialOp(const MethodOp &Op) {
+    assert(Op.Lock.Mode == LockPlan::None &&
+           "sequential op with a facade lock plan");
+    switch (Op.Kind) {
+    case OpKind::Insert:
+      emitInsert();
+      return;
+    case OpKind::Query:
+      emitQuery(Op);
+      return;
+    case OpKind::RemoveBy:
+      emitRemove(Op);
+      return;
+    case OpKind::UpdateBy:
+      emitUpdate(Op.Key);
+      return;
+    case OpKind::LookupBy:
+      emitLookup(Op);
+      return;
+    case OpKind::UpsertBy:
+      emitUpsert(Op.Key);
+      return;
+    case OpKind::ParallelScan:
+    case OpKind::TransactBy:
+    case OpKind::Clear:
+      break;
+    }
+    assert(false && "op kind is facade-only");
+  }
+
   //===------------------------------------------------------------------===
   // Naming helpers.
   //===------------------------------------------------------------------===
@@ -240,8 +246,8 @@ private:
     W.line("// Generated by RELC for specification " + D.spec()->str());
     W.line("// Decomposition: " + D.canonicalString(/*IncludeDs=*/true));
     W.line("// Do not edit.");
-    W.line("#ifndef RELCGEN_" + upper(Opts.ClassName) + "_H");
-    W.line("#define RELCGEN_" + upper(Opts.ClassName) + "_H");
+    W.line("#ifndef RELCGEN_" + upper(M.ClassName) + "_H");
+    W.line("#define RELCGEN_" + upper(M.ClassName) + "_H");
     W.line();
     W.line("#include \"ds/AvlMap.h\"");
     W.line("#include \"ds/DListMap.h\"");
@@ -249,31 +255,30 @@ private:
     W.line("#include \"ds/IntrusiveAvl.h\"");
     W.line("#include \"ds/IntrusiveList.h\"");
     W.line("#include \"ds/VectorMap.h\"");
-    if (Opts.ConcurrentShards > 0) {
+    if (M.hasFacade()) {
       W.line("#include \"concurrent/BoundedQueue.h\"");
       W.line("#include \"concurrent/StripedLock.h\"");
     }
     W.line("#include \"support/Hashing.h\"");
     W.line();
     W.line("#include <array>");
-    if (Opts.ConcurrentShards > 0)
+    if (M.hasFacade())
       W.line("#include <atomic>");
     W.line("#include <cassert>");
     W.line("#include <cstddef>");
     W.line("#include <cstdint>");
-    if (Opts.ConcurrentShards > 0)
+    if (M.hasFacade())
       W.line("#include <thread>");
-    if (!Opts.TransactKeys.empty())
+    if (M.hasTransactions())
       W.line("#include <type_traits>");
     W.line("#include <vector>");
     W.line();
-    W.open("namespace " + Opts.Namespace + " {");
+    W.open("namespace " + M.Namespace + " {");
     W.line();
-    W.open("class " + Opts.ClassName + " {");
+    W.open("class " + M.ClassName + " {");
     W.line("public:");
-    W.line("  " + Opts.ClassName + "(const " + Opts.ClassName +
-           " &) = delete;");
-    W.line("  " + Opts.ClassName + " &operator=(const " + Opts.ClassName +
+    W.line("  " + M.ClassName + "(const " + M.ClassName + " &) = delete;");
+    W.line("  " + M.ClassName + " &operator=(const " + M.ClassName +
            " &) = delete;");
     W.line("  size_t size() const { return Size; }");
     W.line("  bool empty() const { return Size == 0; }");
@@ -305,7 +310,7 @@ private:
 
   void closeFile() {
     W.line();
-    W.close("} // namespace " + Opts.Namespace);
+    W.close("} // namespace " + M.Namespace);
     W.line();
     W.line("#endif");
   }
@@ -398,9 +403,9 @@ private:
   void emitLifecycle() {
     W.line();
     W.line("public:");
-    W.line("  " + Opts.ClassName + "() : Root(new " + nodeType(D.root()) +
+    W.line("  " + M.ClassName + "() : Root(new " + nodeType(D.root()) +
            "()) { Root->Ref = 1; }");
-    W.line("  ~" + Opts.ClassName + "() { release(Root); }");
+    W.line("  ~" + M.ClassName + "() { release(Root); }");
     W.open("  void clear() {");
     W.line("release(Root);");
     W.line("Root = new " + nodeType(D.root()) + "();");
@@ -479,11 +484,11 @@ private:
   using Env = std::map<ColumnId, std::string>;
   using Cont = std::function<void(const Env &)>;
 
-  void emitQuery(const QueryShape &Q) {
-    auto Plan = planQuery(D, Q.InputCols, Q.OutputCols, Opts.Params);
-    assert(Plan && "requested query shape is not plannable");
+  void emitQuery(const MethodOp &Q) {
+    assert(Q.Plan && "query op lowered without a plan");
+    const QueryPlan &Plan = *Q.Plan;
     W.line();
-    W.line("  /// " + Q.Name + ": plan " + Plan->str());
+    W.line("  /// " + Q.Name + ": plan " + Plan.str());
     std::string Params = params(Q.InputCols, "q_");
     if (!Params.empty())
       Params += ", ";
@@ -492,7 +497,7 @@ private:
     Env E;
     for (ColumnId C : Q.InputCols)
       E[C] = "q_" + Cat.name(C);
-    emitStep(*Plan, Plan->Root, "Root", E, [&](const Env &Final) {
+    emitStep(Plan, Plan.Root, "Root", E, [&](const Env &Final) {
       std::string Args;
       for (ColumnId C : Q.OutputCols) {
         if (!Args.empty())
@@ -609,13 +614,13 @@ private:
   // remove_by_<key> / update_by_<key> (Section 4.5, specialized).
   //===------------------------------------------------------------------===
 
-  void emitRemove(ColumnSet Key) {
+  void emitRemove(const MethodOp &Op) {
+    ColumnSet Key = Op.Key;
     ColumnSet All = D.spec()->columns();
-    assert(D.spec()->fds().isKey(Key, All) &&
-           "remove_by_* requires a key pattern");
-    auto Plan = planQuery(D, Key, All, Opts.Params);
-    assert(Plan && "no plan to resolve the full tuple for removal");
-    Cut C = computeCut(D, Key);
+    assert(Op.Plan && Op.RemoveCut &&
+           "remove op lowered without a plan and cut");
+    const QueryPlan &Plan = *Op.Plan;
+    const Cut &C = *Op.RemoveCut;
 
     W.line();
     W.line("  /// remove r s for key pattern {" + colsSuffix(Key) +
@@ -630,7 +635,7 @@ private:
     Env E;
     for (ColumnId Col : Key)
       E[Col] = "q_" + Cat.name(Col);
-    emitStep(*Plan, Plan->Root, "Root", E, [&](const Env &Final) {
+    emitStep(Plan, Plan.Root, "Root", E, [&](const Env &Final) {
       W.line("Found = true;");
       for (ColumnId Col : All.minus(Key))
         W.line("c_" + Cat.name(Col) + " = " + Final.at(Col) + ";");
@@ -767,13 +772,12 @@ private:
     return Out;
   }
 
-  void emitLookup(ColumnSet Key) {
+  void emitLookup(const MethodOp &Op) {
+    ColumnSet Key = Op.Key;
     ColumnSet All = D.spec()->columns();
     ColumnSet Rest = All.minus(Key);
-    assert(D.spec()->fds().isKey(Key, All) &&
-           "lookup_by_* requires a key pattern");
-    auto Plan = planQuery(D, Key, All, Opts.Params);
-    assert(Plan && "no plan to resolve the full tuple for lookup");
+    assert(Op.Plan && "lookup op lowered without a plan");
+    const QueryPlan &Plan = *Op.Plan;
 
     W.line();
     W.line("  /// Resolves the non-key columns of the tuple matching key");
@@ -789,7 +793,7 @@ private:
     Env E;
     for (ColumnId Col : Key)
       E[Col] = "q_" + Cat.name(Col);
-    emitStep(*Plan, Plan->Root, "Root", E, [&](const Env &Final) {
+    emitStep(Plan, Plan.Root, "Root", E, [&](const Env &Final) {
       W.line("Found = true;");
       for (ColumnId Col : Rest)
         W.line("c_" + Cat.name(Col) + " = " + Final.at(Col) + ";");
@@ -837,21 +841,13 @@ private:
   // src/concurrent/ConcurrentRelation; see docs/CONCURRENCY.md).
   //===------------------------------------------------------------------===
 
-  /// \p RemoveEmit / \p UpdateEmit / \p UpsertEmit / \p TransactEmit
-  /// are the deduped key lists the sequential class was emitted with
-  /// (see run()).
-  void emitConcurrentFacade(const std::vector<ColumnSet> &RemoveEmit,
-                            const std::vector<ColumnSet> &UpdateEmit,
-                            const std::vector<ColumnSet> &UpsertEmit,
-                            const std::vector<ColumnSet> &TransactEmit) {
+  void emitConcurrentFacade() {
     ColumnSet All = D.spec()->columns();
-    ColumnId SC = Opts.ConcurrentShardColumn
-                      ? *Opts.ConcurrentShardColumn
-                      : ShardRouter::defaultShardColumn(D);
+    ColumnId SC = M.ShardColumn;
     assert(SC < Cat.size() && "shard column is not a column");
     std::string SCName = Cat.name(SC);
-    std::string Seq = Opts.ClassName;
-    std::string Fac = Opts.ClassName + "_concurrent";
+    std::string Seq = M.ClassName;
+    std::string Fac = M.ClassName + "_concurrent";
 
     W.line();
     W.line("/// Sharded thread-safe facade over " + Seq + ": the relation "
@@ -871,7 +867,7 @@ private:
     W.open("class " + Fac + " {");
     W.line("public:");
     W.line("  static constexpr unsigned NumShards = " +
-           std::to_string(Opts.ConcurrentShards) + ";");
+           std::to_string(M.Shards) + ";");
     W.line("  " + Fac + "() = default;");
     W.line("  " + Fac + "(const " + Fac + " &) = delete;");
     W.line("  " + Fac + " &operator=(const " + Fac + " &) = delete;");
@@ -884,39 +880,60 @@ private:
     W.line("  const " + Seq + " &shard(unsigned I) const "
            "{ return Shards[I]; }");
 
-    // insert: full tuples always bind the shard column.
-    W.line();
-    W.line("  /// insert r t, routed to the owning shard under its writer "
-           "lock.");
-    W.open("  bool insert(" + params(All, "v_") + ") {");
-    W.line("unsigned S = shardOf(v_" + SCName + ");");
-    W.line("auto Lock = Locks.exclusive(S);");
-    W.line("bool Changed = Shards[S].insert(" + colList(All, "v_") + ");");
-    W.line("if (Changed)");
-    W.line("  Size.fetch_add(1, std::memory_order_relaxed);");
-    W.line("return Changed;");
-    W.close("}");
-
-    for (const QueryShape &Q : Opts.Queries)
-      emitFacadeQuery(Q, SC, SCName);
-
-    for (ColumnSet Key : RemoveEmit)
-      emitFacadeRemove(Key, SC, SCName);
-    for (ColumnSet Key : UpdateEmit)
-      emitFacadeUpdate(Key, SC, SCName);
-    for (ColumnSet Key : UpsertEmit)
-      emitFacadeUpsert(Key, SC, SCName);
-    for (ColumnSet Key : TransactEmit)
-      emitFacadeTransact(Key, SC, SCName);
-
-    W.line();
-    W.line("  /// Empties every shard (all writer locks).");
-    W.open("  void clear() {");
-    W.line("relc::AllShardsGuard Guard(Locks);");
-    W.line("for (" + Seq + " &S : Shards)");
-    W.line("  S.clear();");
-    W.line("Size.store(0, std::memory_order_relaxed);");
-    W.close("}");
+    for (const MethodOp &Op : M.Ops) {
+      if (Op.Where != Layer::Facade)
+        continue;
+      assert(Op.Lock.Mode != LockPlan::Unset &&
+             "facade op without a lock plan — run the pass pipeline");
+      switch (Op.Kind) {
+      case OpKind::Insert:
+        // insert: full tuples always bind the shard column.
+        W.line();
+        W.line("  /// insert r t, routed to the owning shard under its "
+               "writer lock.");
+        W.open("  bool insert(" + params(All, "v_") + ") {");
+        W.line("unsigned S = shardOf(v_" + SCName + ");");
+        W.line("auto Lock = Locks.exclusive(S);");
+        W.line("bool Changed = Shards[S].insert(" + colList(All, "v_") +
+               ");");
+        W.line("if (Changed)");
+        W.line("  Size.fetch_add(1, std::memory_order_relaxed);");
+        W.line("return Changed;");
+        W.close("}");
+        break;
+      case OpKind::Query:
+        emitFacadeQuery(Op, SCName);
+        break;
+      case OpKind::ParallelScan:
+        emitFacadeParallel(Op);
+        break;
+      case OpKind::RemoveBy:
+        emitFacadeRemove(Op, SCName);
+        break;
+      case OpKind::UpdateBy:
+        emitFacadeUpdate(Op, SCName);
+        break;
+      case OpKind::UpsertBy:
+        emitFacadeUpsert(Op, SCName);
+        break;
+      case OpKind::TransactBy:
+        emitFacadeTransact(Op, SCName);
+        break;
+      case OpKind::Clear:
+        W.line();
+        W.line("  /// Empties every shard (all writer locks).");
+        W.open("  void clear() {");
+        W.line("relc::AllShardsGuard Guard(Locks);");
+        W.line("for (" + Seq + " &S : Shards)");
+        W.line("  S.clear();");
+        W.line("Size.store(0, std::memory_order_relaxed);");
+        W.close("}");
+        break;
+      case OpKind::LookupBy:
+        assert(false && "lookup_by_* is never a facade op");
+        break;
+      }
+    }
 
     W.line();
     W.line("private:");
@@ -932,34 +949,8 @@ private:
     W.close("};");
   }
 
-  static std::vector<ColumnSet> dedup(const std::vector<ColumnSet> &Keys) {
-    std::vector<ColumnSet> Out;
-    for (ColumnSet Key : Keys) {
-      bool Dup = false;
-      for (ColumnSet Seen : Out)
-        Dup |= Seen == Key;
-      if (!Dup)
-        Out.push_back(Key);
-    }
-    return Out;
-  }
-
-  /// Every key pattern needing remove_by_*: the remove, update,
-  /// upsert, and transaction lists concatenated (callers dedup) —
-  /// transact keys emit the upsert pair, whose upsert_by_ body calls
-  /// remove_by_.
-  std::vector<ColumnSet> allRemoveKeys() const {
-    std::vector<ColumnSet> Keys = Opts.RemoveKeys;
-    Keys.insert(Keys.end(), Opts.UpdateKeys.begin(), Opts.UpdateKeys.end());
-    Keys.insert(Keys.end(), Opts.UpsertKeys.begin(), Opts.UpsertKeys.end());
-    Keys.insert(Keys.end(), Opts.TransactKeys.begin(),
-                Opts.TransactKeys.end());
-    return Keys;
-  }
-
-  void emitFacadeQuery(const QueryShape &Q, ColumnId SC,
-                       const std::string &SCName) {
-    bool Routed = Q.InputCols.contains(SC);
+  void emitFacadeQuery(const MethodOp &Q, const std::string &SCName) {
+    bool Routed = Q.Lock.Routed;
     std::string Params = params(Q.InputCols, "q_");
     if (!Params.empty())
       Params += ", ";
@@ -992,11 +983,23 @@ private:
     W.line("Shards[S]." + Q.Name + "(" + FwdArgs + "Emit);");
     W.close("}");
     W.close("}");
+  }
 
-    // The parallel variant: one worker per shard, bounded merge queue.
-    unsigned K = Q.OutputCols.size();
-    if (K == 0)
-      return;
+  /// The parallel variant of a fan-out query: one worker per shard,
+  /// bounded merge queue. Lowered as its own op directly after the
+  /// base query; LockPlanPrecompute already erased the routed and
+  /// zero-output cases, so no blank line is emitted here — the comment
+  /// block abuts the base query exactly as it always has.
+  void emitFacadeParallel(const MethodOp &Op) {
+    unsigned K = Op.OutputCols.size();
+    assert(K > 0 && !Op.Lock.Routed &&
+           "parallel scan survived lock-plan precompute it should not");
+    std::string Params = params(Op.InputCols, "q_");
+    if (!Params.empty())
+      Params += ", ";
+    std::string FwdArgs = colList(Op.InputCols, "q_");
+    if (!FwdArgs.empty())
+      FwdArgs += ", ";
     std::string RowT = "std::array<int64_t, " + std::to_string(K) + ">";
     std::string LambdaParams, RowInit, EmitArgs;
     for (unsigned I = 0; I != K; ++I) {
@@ -1009,21 +1012,21 @@ private:
       RowInit += "r" + std::to_string(I);
       EmitArgs += "Row[" + std::to_string(I) + "]";
     }
-    W.line("  /// As " + Q.Name + ", with one worker per shard feeding a "
-           "bounded");
+    W.line("  /// As " + Op.Callee + ", with one worker per shard feeding "
+           "a bounded");
     W.line("  /// merge queue: the same multiset of rows, in arbitrary");
     W.line("  /// interleaved order. Emit runs on the calling thread and "
            "must");
     W.line("  /// not call back into this facade.");
-    W.open("  template <typename FnT> void " + Q.Name + "_parallel(" +
-           Params + "FnT &&Emit) const {");
+    W.open("  template <typename FnT> void " + Op.Name + "(" + Params +
+           "FnT &&Emit) const {");
     W.line("relc::BoundedQueue<" + RowT + "> Queue(ScanQueueCapacity, "
            "NumShards);");
     W.line("std::thread Workers[NumShards];");
     W.open("for (unsigned S = 0; S != NumShards; ++S) {");
     W.open("Workers[S] = std::thread([&, S] {");
     W.line("auto Lock = Locks.shared(S);");
-    W.open("Shards[S]." + Q.Name + "(" + FwdArgs + "[&](" + LambdaParams +
+    W.open("Shards[S]." + Op.Callee + "(" + FwdArgs + "[&](" + LambdaParams +
            ") {");
     W.line("Queue.push(" + RowT + "{" + RowInit + "});");
     W.close("});");
@@ -1038,9 +1041,9 @@ private:
     W.close("}");
   }
 
-  void emitFacadeRemove(ColumnSet Key, ColumnId SC,
-                        const std::string &SCName) {
-    bool Routed = Key.contains(SC);
+  void emitFacadeRemove(const MethodOp &Op, const std::string &SCName) {
+    ColumnSet Key = Op.Key;
+    bool Routed = Op.Lock.Routed;
     std::string Name = "remove_by_" + colsSuffix(Key);
     W.line();
     if (Routed) {
@@ -1073,11 +1076,11 @@ private:
     W.close("}");
   }
 
-  void emitFacadeUpdate(ColumnSet Key, ColumnId SC,
-                        const std::string &SCName) {
+  void emitFacadeUpdate(const MethodOp &Op, const std::string &SCName) {
+    ColumnSet Key = Op.Key;
     ColumnSet All = D.spec()->columns();
     ColumnSet Rest = All.minus(Key);
-    bool Routed = Key.contains(SC);
+    bool Routed = Op.Lock.Routed;
     std::string Name = "update_by_" + colsSuffix(Key);
     std::string Params = params(Key, "q_");
     if (!Rest.empty())
@@ -1126,11 +1129,11 @@ private:
     W.close("}");
   }
 
-  void emitFacadeUpsert(ColumnSet Key, ColumnId SC,
-                        const std::string &SCName) {
+  void emitFacadeUpsert(const MethodOp &Op, const std::string &SCName) {
+    ColumnSet Key = Op.Key;
     ColumnSet All = D.spec()->columns();
     ColumnSet Rest = All.minus(Key);
-    bool Routed = Key.contains(SC);
+    bool Routed = Op.Lock.Routed;
     std::string Name = "upsert_by_" + colsSuffix(Key);
     std::string FnArgs = "Found";
     if (!Rest.empty())
@@ -1214,53 +1217,114 @@ private:
     return Out;
   }
 
-  void emitFacadeTransact(ColumnSet Key, ColumnId SC,
-                          const std::string &SCName) {
+  //===------------------------------------------------------------------===
+  // transact*_by_<key>: the atomic N-key read-modify-write. Arity 2 is
+  // the historical transfer shape (pairwise Lo/Hi lock ordering); any
+  // larger arity locks its owning stripe set through ShardSetGuard,
+  // which sorts, dedups, and acquires ascending — the same total order.
+  //===------------------------------------------------------------------===
+
+  /// Per-side naming: sides are a_, b_, c_, ... with FoundA/FoundB/...
+  /// flags and SA/SB/... shard indices.
+  static std::string sidePrefix(unsigned I) {
+    return std::string(1, char('a' + I)) + "_";
+  }
+  static std::string sideLetter(unsigned I) {
+    return std::string(1, char('A' + I));
+  }
+
+  void emitFacadeTransact(const MethodOp &Op, const std::string &SCName) {
+    ColumnSet Key = Op.Key;
     ColumnSet All = D.spec()->columns();
     ColumnSet Rest = All.minus(Key);
-    bool Routed = Key.contains(SC);
+    unsigned N = Op.Arity;
+    assert(N >= 2 && "transact op with a degenerate arity");
+    bool Routed = Op.Lock.Routed;
     std::string Suffix = colsSuffix(Key);
-    std::string Name = "transact_by_" + Suffix;
-    std::string Apply = "tx_apply_by_" + Suffix;
-    // Fn(bool FoundA, int64_t &a_<rest>..., bool FoundB, int64_t &b_<rest>...)
-    std::string FnArgs = join({"FoundA", colList(Rest, "a_"), "FoundB",
-                               colList(Rest, "b_")});
-    std::string Params =
-        join({params(Key, "a_"), params(Key, "b_"), "FnT &&Fn"});
+    std::string Name = Op.Name;
+    std::string Apply =
+        N == 2 ? "tx_apply_by_" + Suffix
+               : "tx_apply" + std::to_string(N) + "_by_" + Suffix;
+    // Fn(bool FoundA, int64_t &a_<rest>..., bool FoundB, ...): one
+    // (flag, values) group per side.
+    std::string FnArgs;
+    for (unsigned I = 0; I != N; ++I)
+      FnArgs = join({FnArgs, "Found" + sideLetter(I),
+                     colList(Rest, sidePrefix(I))});
+    std::string Params;
+    for (unsigned I = 0; I != N; ++I)
+      Params = join({Params, params(Key, sidePrefix(I))});
+    Params = join({Params, "FnT &&Fn"});
 
     W.line();
-    W.line("  /// " + Name + ": atomic two-key read-modify-write "
-           "(transfer-style");
-    W.line("  /// transaction) over key pattern {" + Suffix +
-           "}. Resolves both tuples,");
-    W.line("  /// calls Fn(bool FoundA, int64_t &a_..., bool FoundB, "
-           "int64_t &b_...)");
-    W.line("  /// exactly once with the pre-transaction non-key values "
-           "(zeros when");
-    W.line("  /// absent), then writes both sides back — an absent side "
-           "is inserted");
-    W.line("  /// with whatever values Fn leaves. Fn may return false to "
-           "abort");
-    W.line("  /// (nothing is written); a void Fn always commits. "
-           "Returns true if");
-    W.line("  /// the transaction committed.");
+    if (N == 2) {
+      W.line("  /// " + Name + ": atomic two-key read-modify-write "
+             "(transfer-style");
+      W.line("  /// transaction) over key pattern {" + Suffix +
+             "}. Resolves both tuples,");
+      W.line("  /// calls Fn(bool FoundA, int64_t &a_..., bool FoundB, "
+             "int64_t &b_...)");
+      W.line("  /// exactly once with the pre-transaction non-key values "
+             "(zeros when");
+      W.line("  /// absent), then writes both sides back — an absent side "
+             "is inserted");
+      W.line("  /// with whatever values Fn leaves. Fn may return false to "
+             "abort");
+      W.line("  /// (nothing is written); a void Fn always commits. "
+             "Returns true if");
+      W.line("  /// the transaction committed.");
+    } else {
+      W.line("  /// " + Name + ": atomic " + std::to_string(N) +
+             "-key read-modify-write over key pattern");
+      W.line("  /// {" + Suffix + "}. Resolves all " + std::to_string(N) +
+             " tuples, calls Fn(bool FoundA, int64_t &a_...,");
+      W.line("  /// ..., bool Found" + sideLetter(N - 1) + ", int64_t &" +
+             sidePrefix(N - 1) + "...) exactly once with the "
+             "pre-transaction");
+      W.line("  /// non-key values (zeros when absent), then writes every "
+             "side back —");
+      W.line("  /// an absent side is inserted with whatever values Fn "
+             "leaves. Fn may");
+      W.line("  /// return false to abort (nothing is written); a void Fn "
+             "always");
+      W.line("  /// commits. Returns true if the transaction committed.");
+    }
     if (Routed) {
-      W.line("  /// Locking: exactly the owning shard stripes — one or "
-             "two, never");
-      W.line("  /// all — acquired in ascending index order (two-phase "
-             "locking, the");
-      W.line("  /// same total order as every other multi-stripe "
-             "acquisition).");
-      W.open("  template <typename FnT> bool " + Name + "(" + Params +
-             ") {");
-      W.line("unsigned SA = shardOf(a_" + SCName + ");");
-      W.line("unsigned SB = shardOf(b_" + SCName + ");");
-      W.line("unsigned Lo = SA < SB ? SA : SB;");
-      W.line("unsigned Hi = SA < SB ? SB : SA;");
-      W.line("auto LockLo = Locks.exclusive(Lo);");
-      W.line("std::unique_lock<std::shared_mutex> LockHi;");
-      W.line("if (Hi != Lo)");
-      W.line("  LockHi = Locks.exclusive(Hi);");
+      if (N == 2) {
+        W.line("  /// Locking: exactly the owning shard stripes — one or "
+               "two, never");
+        W.line("  /// all — acquired in ascending index order (two-phase "
+               "locking, the");
+        W.line("  /// same total order as every other multi-stripe "
+               "acquisition).");
+        W.open("  template <typename FnT> bool " + Name + "(" + Params +
+               ") {");
+        W.line("unsigned SA = shardOf(a_" + SCName + ");");
+        W.line("unsigned SB = shardOf(b_" + SCName + ");");
+        W.line("unsigned Lo = SA < SB ? SA : SB;");
+        W.line("unsigned Hi = SA < SB ? SB : SA;");
+        W.line("auto LockLo = Locks.exclusive(Lo);");
+        W.line("std::unique_lock<std::shared_mutex> LockHi;");
+        W.line("if (Hi != Lo)");
+        W.line("  LockHi = Locks.exclusive(Hi);");
+      } else {
+        W.line("  /// Locking: exactly the owning shard stripes — at most " +
+               std::to_string(N) + ", never");
+        W.line("  /// all — sorted, deduped, and acquired in ascending "
+               "index order by");
+        W.line("  /// ShardSetGuard (two-phase locking, the same total "
+               "order as every");
+        W.line("  /// other multi-stripe acquisition).");
+        W.open("  template <typename FnT> bool " + Name + "(" + Params +
+               ") {");
+        std::string StripeList;
+        for (unsigned I = 0; I != N; ++I) {
+          W.line("unsigned S" + sideLetter(I) + " = shardOf(" +
+                 sidePrefix(I) + SCName + ");");
+          StripeList = join({StripeList, "S" + sideLetter(I)});
+        }
+        W.line("relc::ShardSetGuard Guard(Locks, {" + StripeList + "});");
+      }
     } else {
       W.line("  /// Locking: the key misses '" + SCName +
              "', so the owners are unknown");
@@ -1271,12 +1335,12 @@ private:
              ") {");
       W.line("relc::AllShardsGuard Guard(Locks);");
     }
-    for (ColumnId C : Rest) {
-      W.line("int64_t a_" + Cat.name(C) + " = 0;");
-      W.line("int64_t b_" + Cat.name(C) + " = 0;");
-    }
-    for (std::string Side : {"A", "B"}) {
-      std::string P = Side == "A" ? "a_" : "b_";
+    for (ColumnId C : Rest)
+      for (unsigned I = 0; I != N; ++I)
+        W.line("int64_t " + sidePrefix(I) + Cat.name(C) + " = 0;");
+    for (unsigned I = 0; I != N; ++I) {
+      std::string Side = sideLetter(I);
+      std::string P = sidePrefix(I);
       std::string LookupArgs = join({colList(Key, P), colList(Rest, P)});
       if (Routed) {
         W.line("bool Found" + Side + " = Shards[S" + Side +
@@ -1296,16 +1360,16 @@ private:
     W.line("  Commit = Fn(" + FnArgs + ");");
     W.line("if (!Commit)");
     W.line("  return false;");
-    std::string ShardA = Routed ? "SA" : "";
-    std::string ShardB = Routed ? "SB" : "";
-    W.line(Apply + "(" +
-           join({ShardA, colList(Key, "a_"), colList(Rest, "a_")}) + ");");
-    W.line(Apply + "(" +
-           join({ShardB, colList(Key, "b_"), colList(Rest, "b_")}) + ");");
+    for (unsigned I = 0; I != N; ++I) {
+      std::string Shard = Routed ? "S" + sideLetter(I) : "";
+      W.line(Apply + "(" +
+             join({Shard, colList(Key, sidePrefix(I)),
+                   colList(Rest, sidePrefix(I))}) + ");");
+    }
     W.line("return true;");
     W.close("}");
 
-    // The write-back half, shared by both sides; private.
+    // The write-back half, shared by all sides; private.
     W.line();
     W.line("private:");
     std::string ApplyParams =
@@ -1362,17 +1426,24 @@ private:
     W.line("public:");
   }
 
+  const ir::Module &M;
   const Decomposition &D;
-  const EmitterOptions &Opts;
   const Catalog &Cat;
   CodeWriter W;
   std::map<PrimId, NodeId> UnitOwner;
 };
 
+class CppBackend : public Backend {
+public:
+  std::string_view name() const override { return "cpp"; }
+  std::string emit(const ir::Module &M) override {
+    assert(M.Decomp && "module with no decomposition");
+    return CppEmitter(M).run();
+  }
+};
+
 } // namespace
 
-std::string relc::emitCpp(const Decomposition &D, const EmitterOptions &Opts) {
-  assert(checkAdequacy(D).Ok &&
-         "emitting code for an inadequate decomposition");
-  return Emitter(D, Opts).run();
+std::unique_ptr<Backend> relc::createCppBackend() {
+  return std::make_unique<CppBackend>();
 }

@@ -1,0 +1,50 @@
+//===- codegen/backend/CppBackend.h - C++ header backend --------*- C++ -*-===//
+//
+// Part of the RelC data representation synthesis library.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The C++ backend of the relc pipeline (Section 6): renders an
+/// ir::Module into a standalone C++ header — node structs with
+/// embedded intrusive hooks, concrete ds/ container members, query and
+/// removal code specialized from the planner's plans stamped on each
+/// op, and (when the module has a facade) the sharded thread-safe
+/// `<class>_concurrent` wrapper whose locking follows each op's
+/// precomputed LockPlan.
+///
+/// Scope of the generated code:
+///  - columns are int64_t (the paper's case studies are integer-keyed;
+///    interned strings fit through their ids);
+///  - `insert` and the requested query shapes are emitted for any
+///    adequate decomposition;
+///  - `remove_by_*` covers *key* patterns (at most one matching
+///    tuple); bulk removal stays the dynamic engine's job;
+///  - `update_by_*` composes remove + insert (semantically equal,
+///    Section 4.5); `upsert_by_*` is the atomic read-modify-write;
+///  - `transact_by_*` / `transact<N>_by_*` is the atomic N-key
+///    read-modify-write on the facade: the owning shard stripes
+///    acquired in ascending order (two-phase locking), every tuple
+///    resolved, one callback, every side written back — the static
+///    generalization of ConcurrentRelation::transact.
+///
+/// The emitted header depends only on the ds/ container headers —
+/// plus, in concurrent mode, concurrent/StripedLock.h,
+/// concurrent/BoundedQueue.h, <thread>, and <atomic> (link consumers
+/// with -pthread) — and is compiled and replayed against the oracle in
+/// integration tests.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef RELC_CODEGEN_BACKEND_CPPBACKEND_H
+#define RELC_CODEGEN_BACKEND_CPPBACKEND_H
+
+#include "codegen/backend/Backend.h"
+
+namespace relc {
+
+std::unique_ptr<Backend> createCppBackend();
+
+} // namespace relc
+
+#endif // RELC_CODEGEN_BACKEND_CPPBACKEND_H

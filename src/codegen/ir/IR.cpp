@@ -1,0 +1,56 @@
+//===- codegen/ir/IR.cpp - Typed codegen IR helpers ---------------------------===//
+//
+// Part of the RelC data representation synthesis library.
+//
+//===----------------------------------------------------------------------===//
+
+#include "codegen/ir/IR.h"
+
+using namespace relc;
+using namespace relc::ir;
+
+const char *ir::lockModeName(LockPlan::Kind K) {
+  switch (K) {
+  case LockPlan::Unset:
+    return "unset";
+  case LockPlan::None:
+    return "none";
+  case LockPlan::SharedOne:
+    return "shared(1)";
+  case LockPlan::SharedEach:
+    return "shared(each)";
+  case LockPlan::ExclusiveOne:
+    return "exclusive(1)";
+  case LockPlan::ExclusiveSet:
+    return "exclusive(set)";
+  case LockPlan::ExclusiveAll:
+    return "exclusive(all)";
+  }
+  return "?";
+}
+
+bool Module::hasTransactions() const {
+  for (const MethodOp &Op : Ops)
+    if (Op.Kind == OpKind::TransactBy)
+      return true;
+  return false;
+}
+
+const MethodOp *Module::find(OpKind K, Layer L, ColumnSet Key,
+                             unsigned Arity) const {
+  for (const MethodOp &Op : Ops) {
+    if (Op.Kind != K || Op.Where != L || !(Op.Key == Key))
+      continue;
+    if (Arity != 0 && Op.Arity != Arity)
+      continue;
+    return &Op;
+  }
+  return nullptr;
+}
+
+const MethodOp *Module::findByName(Layer L, const std::string &Name) const {
+  for (const MethodOp &Op : Ops)
+    if (Op.Where == L && Op.Name == Name)
+      return &Op;
+  return nullptr;
+}

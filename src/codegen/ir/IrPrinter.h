@@ -1,0 +1,29 @@
+//===- codegen/ir/IrPrinter.h - Textual IR dumps ----------------*- C++ -*-===//
+//
+// Part of the RelC data representation synthesis library.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Renders an ir::Module as the stable, line-oriented text behind
+/// `relc --dump-ir`: module header, one line per op (layer, kind,
+/// name, key/shape, provenance, lock plan, plan cost), and the pass
+/// log. Intended for humans, tests, and CI artifacts — not a parseable
+/// interchange format.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef RELC_CODEGEN_IR_IRPRINTER_H
+#define RELC_CODEGEN_IR_IRPRINTER_H
+
+#include "codegen/ir/IR.h"
+
+#include <string>
+
+namespace relc::ir {
+
+std::string printModule(const Module &M);
+
+} // namespace relc::ir
+
+#endif // RELC_CODEGEN_IR_IRPRINTER_H

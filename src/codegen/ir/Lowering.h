@@ -1,0 +1,41 @@
+//===- codegen/ir/Lowering.h - SpecFile options -> IR -----------*- C++ -*-===//
+//
+// Part of the RelC data representation synthesis library.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The lowering stage of the relc pipeline: turns the front end's
+/// method-set options plus a decomposition into an ir::Module. Lowering
+/// materializes the *support closure* — every method another method's
+/// body calls (update needs remove; upsert needs lookup + remove;
+/// transact needs the upsert pair) — and stamps provenance so the
+/// passes can dedup and prune. It does not decide lock plans; that is
+/// the LockPlanPrecompute pass.
+///
+/// The resulting op order is the emission order backends iterate in.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef RELC_CODEGEN_IR_LOWERING_H
+#define RELC_CODEGEN_IR_LOWERING_H
+
+#include "codegen/Options.h"
+#include "codegen/ir/IR.h"
+
+namespace relc {
+
+/// Lowers \p Opts over \p D into a fresh module. Asserts that \p D is
+/// adequate, that every requested shape is plannable, that every
+/// remove/update/upsert/transact pattern is a key, and that
+/// transactions come with a facade (Opts.ConcurrentShards > 0). The
+/// module holds a non-owning pointer to \p D.
+///
+/// The raw module may contain duplicate and unreachable support ops;
+/// run the default pass pipeline (ir::addDefaultPasses) before handing
+/// it to a backend.
+ir::Module lowerToIr(const Decomposition &D, const EmitterOptions &Opts);
+
+} // namespace relc
+
+#endif // RELC_CODEGEN_IR_LOWERING_H

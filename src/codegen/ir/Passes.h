@@ -1,0 +1,84 @@
+//===- codegen/ir/Passes.h - IR pass pipeline -------------------*- C++ -*-===//
+//
+// Part of the RelC data representation synthesis library.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The pass pipeline run between lowering and emission. Two kinds of
+/// pass:
+///
+///  - *canonicalization* passes establish invariants backends rely on
+///    (no duplicate methods; every facade op carries a lock plan) and
+///    always run, even under `relc --no-opt`;
+///  - *optimization* passes improve the emitted artifact (dead-index
+///    elimination) and are skipped by `--no-opt` — which is also why
+///    `--no-opt` output matches the historical emitter byte for byte.
+///
+/// Each pass is unit-testable on a bare ir::Module (tests/codegen/
+/// IrPassTest.cpp); passes log what they change into Module::PassLog.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef RELC_CODEGEN_IR_PASSES_H
+#define RELC_CODEGEN_IR_PASSES_H
+
+#include "codegen/ir/IR.h"
+
+#include <memory>
+#include <string_view>
+
+namespace relc::ir {
+
+class Pass {
+public:
+  virtual ~Pass() = default;
+  virtual std::string_view name() const = 0;
+  /// Canonicalization passes run even under --no-opt.
+  virtual bool isCanonicalization() const { return false; }
+  /// Returns true when the module changed. Log actions into
+  /// \p M.PassLog, prefixed with the pass name.
+  virtual bool run(Module &M) = 0;
+};
+
+/// Merges ops lowered more than once for the same method — repeated
+/// directives and the remove/upsert support closure both produce
+/// duplicates. The first occurrence survives (preserving emission
+/// order); provenance is ORed, so a requested duplicate upgrades a
+/// support survivor. Canonicalization: backends assume unique names.
+std::unique_ptr<Pass> createMethodDedupPass();
+
+/// Removes Support ops nothing reaches: mark from Requested roots along
+/// the calls-into edges (update -> remove; upsert -> lookup + remove +
+/// insert; transact -> the sequential upsert pair; facade wrappers ->
+/// their sequential counterparts), sweep the rest. Optimization pass —
+/// the pruned ops are correct, just unreachable API surface.
+std::unique_ptr<Pass> createDeadIndexEliminationPass();
+
+/// Stamps a LockPlan on every op: routed-vs-fan-out (does the pattern
+/// bind the shard column?), stripe bounds (transaction arity), and
+/// erases ParallelScan ops that routing or empty outputs make
+/// pointless. Canonicalization: backends refuse unstamped facade ops.
+std::unique_ptr<Pass> createLockPlanPrecomputePass();
+
+class PassManager {
+public:
+  void add(std::unique_ptr<Pass> P) { Passes.push_back(std::move(P)); }
+  /// Runs the pipeline in order; when \p RunOptimizations is false,
+  /// non-canonicalization passes are skipped (and the skip is logged).
+  /// Returns true when any pass changed the module.
+  bool run(Module &M, bool RunOptimizations = true) const;
+  size_t size() const { return Passes.size(); }
+
+private:
+  std::vector<std::unique_ptr<Pass>> Passes;
+};
+
+/// The default pipeline: dedup, dead-index elimination, lock-plan
+/// precompute (in that order — liveness wants merged provenance, lock
+/// plans want the final op set).
+void addDefaultPasses(PassManager &PM);
+
+} // namespace relc::ir
+
+#endif // RELC_CODEGEN_IR_PASSES_H

@@ -14,7 +14,7 @@
 ///
 //===----------------------------------------------------------------------===//
 
-#include "codegen/CppEmitter.h"
+#include "codegen/Compiler.h"
 
 #include "decomp/Builder.h"
 

@@ -1,0 +1,311 @@
+//===- tests/codegen/IrPassTest.cpp - IR pass pipeline tests -----*- C++ -*-===//
+//
+// Part of the RelC data representation synthesis library.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// IR-in/IR-out tests for each pass of the relc pipeline: lowering's
+/// support closure, MethodDedup, DeadIndexElimination, and
+/// LockPlanPrecompute, each observed directly on the ir::Module rather
+/// than through emitted text.
+///
+//===----------------------------------------------------------------------===//
+
+#include "codegen/ir/Lowering.h"
+#include "codegen/ir/Passes.h"
+
+#include "codegen/SpecFile.h"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <string>
+
+using namespace relc;
+using namespace relc::ir;
+
+namespace {
+
+constexpr const char *SchedulerBase = R"(
+relation scheduler(ns, pid, state, cpu)
+fd ns, pid -> state, cpu
+
+let w : {ns, pid, state} = unit {cpu}
+let y : {ns} = map({pid}, htable, w)
+let z : {state} = map({ns, pid}, ilist, w)
+let x : {} = join(map({ns}, htable, y), map({state}, vector, z))
+
+class sched
+namespace irtest
+query all () -> (ns, pid, state, cpu)
+query by_state (state) -> (ns, pid)
+)";
+
+/// Parses `SchedulerBase` + \p Extra and lowers it. The returned module
+/// references the SpecFile, which the caller must keep alive.
+SpecFile parseOrDie(const std::string &Extra) {
+  SpecFileResult R = parseSpecFile(std::string(SchedulerBase) + Extra);
+  EXPECT_TRUE(R.ok()) << R.message();
+  return std::move(*R.File);
+}
+
+size_t countOps(const Module &M, OpKind K, Layer L) {
+  size_t N = 0;
+  for (const MethodOp &Op : M.Ops)
+    N += Op.Kind == K && Op.Where == L;
+  return N;
+}
+
+bool logContains(const Module &M, const std::string &Needle) {
+  return std::any_of(M.PassLog.begin(), M.PassLog.end(),
+                     [&](const std::string &Line) {
+                       return Line.find(Needle) != std::string::npos;
+                     });
+}
+
+//===--------------------------------------------------------------------===//
+// Lowering: the support closure
+//===--------------------------------------------------------------------===//
+
+TEST(IrLoweringTest, TransactionOnlySpecMaterializesSupportClosure) {
+  // `transaction` alone must pull in everything its body calls:
+  // the sequential (lookup, upsert) pair, remove, and the facade
+  // wrappers — all marked Support so the passes can prune what stays
+  // unreachable.
+  SpecFile F = parseOrDie("transaction ns, pid\n"
+                          "concurrency sharded 4 on ns\n");
+  Module M = lowerToIr(*F.Decomp, F.Options);
+  ColumnSet Key = F.Spec->catalog().parseSet("ns, pid");
+
+  const MethodOp *Tx = M.find(OpKind::TransactBy, Layer::Facade, Key);
+  ASSERT_NE(Tx, nullptr);
+  EXPECT_EQ(Tx->Provenance, Origin::Requested);
+  EXPECT_EQ(Tx->Arity, 2u);
+  EXPECT_EQ(Tx->Name, "transact_by_ns_pid");
+
+  for (OpKind K :
+       {OpKind::LookupBy, OpKind::UpsertBy, OpKind::RemoveBy}) {
+    const MethodOp *Op = M.find(K, Layer::Sequential, Key);
+    ASSERT_NE(Op, nullptr) << int(K);
+    EXPECT_EQ(Op->Provenance, Origin::Support) << int(K);
+  }
+  const MethodOp *FacUpsert = M.find(OpKind::UpsertBy, Layer::Facade, Key);
+  ASSERT_NE(FacUpsert, nullptr);
+  EXPECT_EQ(FacUpsert->Provenance, Origin::Support);
+}
+
+TEST(IrLoweringTest, ArityThreeTransactionNamesAndArity) {
+  SpecFile F = parseOrDie("transaction ns, pid x 3\n"
+                          "concurrency sharded 4 on ns\n");
+  Module M = lowerToIr(*F.Decomp, F.Options);
+  ColumnSet Key = F.Spec->catalog().parseSet("ns, pid");
+  const MethodOp *Tx = M.find(OpKind::TransactBy, Layer::Facade, Key, 3);
+  ASSERT_NE(Tx, nullptr);
+  EXPECT_EQ(Tx->Name, "transact3_by_ns_pid");
+  EXPECT_EQ(Tx->Arity, 3u);
+}
+
+TEST(IrLoweringTest, QueriesCarryPlansAndScansNameTheirCallee) {
+  SpecFile F = parseOrDie("concurrency sharded 4 on ns\n");
+  Module M = lowerToIr(*F.Decomp, F.Options);
+  const MethodOp *SeqQ = M.findByName(Layer::Sequential, "by_state");
+  ASSERT_NE(SeqQ, nullptr);
+  EXPECT_NE(SeqQ->Plan, nullptr);
+  const MethodOp *Scan = M.findByName(Layer::Facade, "by_state_parallel");
+  ASSERT_NE(Scan, nullptr);
+  EXPECT_EQ(Scan->Kind, OpKind::ParallelScan);
+  EXPECT_EQ(Scan->Callee, "by_state");
+}
+
+//===--------------------------------------------------------------------===//
+// MethodDedup
+//===--------------------------------------------------------------------===//
+
+TEST(IrPassTest, MethodDedupMergesRepeatedDirectives) {
+  // remove + update + upsert of the same key each lower a sequential
+  // RemoveBy; dedup must keep exactly one, and the requested one (the
+  // explicit `remove` lowers first) stays requested.
+  SpecFile F = parseOrDie("remove ns, pid\nupdate ns, pid\nupsert ns, pid\n");
+  Module M = lowerToIr(*F.Decomp, F.Options);
+  ColumnSet Key = F.Spec->catalog().parseSet("ns, pid");
+  ASSERT_GT(countOps(M, OpKind::RemoveBy, Layer::Sequential), 1u);
+
+  createMethodDedupPass()->run(M);
+  EXPECT_EQ(countOps(M, OpKind::RemoveBy, Layer::Sequential), 1u);
+  EXPECT_EQ(M.find(OpKind::RemoveBy, Layer::Sequential, Key)->Provenance,
+            Origin::Requested);
+  EXPECT_TRUE(logContains(M, "method-dedup: merged duplicate"));
+}
+
+TEST(IrPassTest, MethodDedupUpgradesSupportSurvivorToRequested) {
+  // Hand-built module: the support instance lowers first, then a
+  // requested duplicate. The survivor keeps its slot but must become
+  // requested — otherwise liveness would prune an explicitly asked-for
+  // method.
+  Module M;
+  MethodOp A;
+  A.Kind = OpKind::RemoveBy;
+  A.Where = Layer::Sequential;
+  A.Provenance = Origin::Support;
+  A.Name = "remove_by_k";
+  MethodOp B = A;
+  B.Provenance = Origin::Requested;
+  M.Ops = {A, B};
+
+  EXPECT_TRUE(createMethodDedupPass()->run(M));
+  ASSERT_EQ(M.Ops.size(), 1u);
+  EXPECT_EQ(M.Ops[0].Provenance, Origin::Requested);
+  EXPECT_TRUE(logContains(M, "upgrades survivor to requested"));
+}
+
+TEST(IrPassTest, MethodDedupKeepsDistinctAritiesApart) {
+  // transact_by_k and transact3_by_k share a key but are different
+  // methods; dedup must not merge them.
+  SpecFile F = parseOrDie("transaction ns, pid\ntransaction ns, pid x 3\n"
+                          "concurrency sharded 4 on ns\n");
+  Module M = lowerToIr(*F.Decomp, F.Options);
+  createMethodDedupPass()->run(M);
+  EXPECT_EQ(countOps(M, OpKind::TransactBy, Layer::Facade), 2u);
+}
+
+//===--------------------------------------------------------------------===//
+// DeadIndexElimination
+//===--------------------------------------------------------------------===//
+
+TEST(IrPassTest, DeadIndexElimPrunesUnreachableFacadeSupport) {
+  // Transaction-only: the facade remove/upsert wrappers are support
+  // nothing reaches (transact calls the *sequential* methods under its
+  // own locks). The sequential chain stays — transact's body needs it.
+  SpecFile F = parseOrDie("transaction ns, pid\n"
+                          "concurrency sharded 4 on ns\n");
+  Module M = lowerToIr(*F.Decomp, F.Options);
+  ColumnSet Key = F.Spec->catalog().parseSet("ns, pid");
+  createMethodDedupPass()->run(M);
+  EXPECT_TRUE(createDeadIndexEliminationPass()->run(M));
+
+  EXPECT_EQ(M.find(OpKind::RemoveBy, Layer::Facade, Key), nullptr);
+  EXPECT_EQ(M.find(OpKind::UpsertBy, Layer::Facade, Key), nullptr);
+  EXPECT_NE(M.find(OpKind::TransactBy, Layer::Facade, Key), nullptr);
+  for (OpKind K : {OpKind::LookupBy, OpKind::UpsertBy, OpKind::RemoveBy})
+    EXPECT_NE(M.find(K, Layer::Sequential, Key), nullptr) << int(K);
+  EXPECT_TRUE(logContains(M, "dead-index-elim: removed facade"));
+}
+
+TEST(IrPassTest, DeadIndexElimKeepsRequestedWrappers) {
+  // The same shape with every wrapper explicitly requested: nothing to
+  // prune, the pass reports no change.
+  SpecFile F = parseOrDie("remove ns, pid\nupsert ns, pid\n"
+                          "transaction ns, pid\n"
+                          "concurrency sharded 4 on ns\n");
+  Module M = lowerToIr(*F.Decomp, F.Options);
+  ColumnSet Key = F.Spec->catalog().parseSet("ns, pid");
+  createMethodDedupPass()->run(M);
+  EXPECT_FALSE(createDeadIndexEliminationPass()->run(M));
+  EXPECT_NE(M.find(OpKind::RemoveBy, Layer::Facade, Key), nullptr);
+  EXPECT_NE(M.find(OpKind::UpsertBy, Layer::Facade, Key), nullptr);
+}
+
+TEST(IrPassTest, NoOptSkipsDeadIndexElimButCanonicalizes) {
+  SpecFile F = parseOrDie("transaction ns, pid\n"
+                          "concurrency sharded 4 on ns\n");
+  Module M = lowerToIr(*F.Decomp, F.Options);
+  ColumnSet Key = F.Spec->catalog().parseSet("ns, pid");
+  PassManager PM;
+  addDefaultPasses(PM);
+  PM.run(M, /*RunOptimizations=*/false);
+
+  // Support wrappers survive (byte-compat with the historical
+  // emitter), but every op still got deduped and lock-stamped.
+  EXPECT_NE(M.find(OpKind::RemoveBy, Layer::Facade, Key), nullptr);
+  EXPECT_TRUE(logContains(M, "pipeline: skipped dead-index-elim"));
+  for (const MethodOp &Op : M.Ops)
+    EXPECT_NE(Op.Lock.Mode, LockPlan::Unset) << Op.Name;
+}
+
+//===--------------------------------------------------------------------===//
+// LockPlanPrecompute
+//===--------------------------------------------------------------------===//
+
+TEST(IrPassTest, LockPlanRoutesKeyedOpsWhenKeyBindsShardColumn) {
+  SpecFile F = parseOrDie("remove ns, pid\nupsert ns, pid\n"
+                          "concurrency sharded 4 on ns\n");
+  Module M = lowerToIr(*F.Decomp, F.Options);
+  ColumnSet Key = F.Spec->catalog().parseSet("ns, pid");
+  createMethodDedupPass()->run(M);
+  createLockPlanPrecomputePass()->run(M);
+
+  const MethodOp *Rm = M.find(OpKind::RemoveBy, Layer::Facade, Key);
+  ASSERT_NE(Rm, nullptr);
+  EXPECT_EQ(Rm->Lock.Mode, LockPlan::ExclusiveOne);
+  EXPECT_TRUE(Rm->Lock.Routed);
+  EXPECT_EQ(Rm->Lock.MaxStripes, 1u);
+
+  // Sequential ops carry no locks.
+  const MethodOp *SeqRm = M.find(OpKind::RemoveBy, Layer::Sequential, Key);
+  ASSERT_NE(SeqRm, nullptr);
+  EXPECT_EQ(SeqRm->Lock.Mode, LockPlan::None);
+}
+
+TEST(IrPassTest, LockPlanDegradesToAllStripesOffTheShardColumn) {
+  // Sharded on state: the {ns, pid} key misses the shard column, so
+  // every keyed facade op fans out over all stripes, and the degrade
+  // is logged for --dump-ir to surface.
+  SpecFile F = parseOrDie("remove ns, pid\ntransaction ns, pid\n"
+                          "concurrency sharded 4 on state\n");
+  Module M = lowerToIr(*F.Decomp, F.Options);
+  ColumnSet Key = F.Spec->catalog().parseSet("ns, pid");
+  createMethodDedupPass()->run(M);
+  createLockPlanPrecomputePass()->run(M);
+
+  const MethodOp *Rm = M.find(OpKind::RemoveBy, Layer::Facade, Key);
+  ASSERT_NE(Rm, nullptr);
+  EXPECT_EQ(Rm->Lock.Mode, LockPlan::ExclusiveAll);
+  EXPECT_FALSE(Rm->Lock.Routed);
+  EXPECT_EQ(Rm->Lock.MaxStripes, 4u);
+
+  const MethodOp *Tx = M.find(OpKind::TransactBy, Layer::Facade, Key);
+  ASSERT_NE(Tx, nullptr);
+  EXPECT_EQ(Tx->Lock.Mode, LockPlan::ExclusiveAll);
+  EXPECT_TRUE(logContains(M, "degrades to all stripes"));
+}
+
+TEST(IrPassTest, LockPlanBoundsRoutedTransactByArity) {
+  SpecFile F = parseOrDie("transaction ns, pid x 5\n"
+                          "concurrency sharded 8 on ns\n");
+  Module M = lowerToIr(*F.Decomp, F.Options);
+  ColumnSet Key = F.Spec->catalog().parseSet("ns, pid");
+  createMethodDedupPass()->run(M);
+  createLockPlanPrecomputePass()->run(M);
+  const MethodOp *Tx = M.find(OpKind::TransactBy, Layer::Facade, Key, 5);
+  ASSERT_NE(Tx, nullptr);
+  EXPECT_EQ(Tx->Lock.Mode, LockPlan::ExclusiveSet);
+  EXPECT_TRUE(Tx->Lock.Routed);
+  EXPECT_EQ(Tx->Lock.MaxStripes, 5u);
+}
+
+TEST(IrPassTest, LockPlanErasesParallelScanOverRoutedQuery) {
+  // Sharded on state: by_state binds the shard column, so its scan
+  // would fan out for a single-shard read — erased. The full-scan
+  // query `all` keeps its parallel variant.
+  SpecFile F = parseOrDie("concurrency sharded 4 on state\n");
+  Module M = lowerToIr(*F.Decomp, F.Options);
+  ASSERT_NE(M.findByName(Layer::Facade, "by_state_parallel"), nullptr);
+
+  createLockPlanPrecomputePass()->run(M);
+  EXPECT_EQ(M.findByName(Layer::Facade, "by_state_parallel"), nullptr);
+  EXPECT_TRUE(logContains(M, "lock-plan: erased by_state_parallel"));
+
+  const MethodOp *All = M.findByName(Layer::Facade, "all_parallel");
+  ASSERT_NE(All, nullptr);
+  EXPECT_EQ(All->Lock.Mode, LockPlan::SharedEach);
+  EXPECT_EQ(All->Lock.MaxStripes, 4u);
+
+  // The routed base query itself is a single-stripe read.
+  const MethodOp *Q = M.findByName(Layer::Facade, "by_state");
+  ASSERT_NE(Q, nullptr);
+  EXPECT_EQ(Q->Lock.Mode, LockPlan::SharedOne);
+  EXPECT_TRUE(Q->Lock.Routed);
+}
+
+} // namespace

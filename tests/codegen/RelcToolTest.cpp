@@ -289,11 +289,101 @@ TEST(RelcToolTest, RejectsInadequateDecomposition) {
   EXPECT_NE(Out.find("not adequate"), std::string::npos) << Out;
 }
 
-TEST(RelcToolTest, ReportsParseErrorsWithLine) {
+TEST(RelcToolTest, ReportsParseErrorsWithLineAndColumn) {
+  // Diagnostics use the FILE:LINE:COL: shape editors and CI
+  // annotators parse.
   std::string In = writeInput("broken.relc", "relation r(a)\nbogus line\n");
   auto [Rc, Out] = run(std::string(RELC_TOOL_PATH) + " --check " + In);
   EXPECT_NE(Rc, 0);
-  EXPECT_NE(Out.find("line 2"), std::string::npos) << Out;
+  EXPECT_NE(Out.find(In + ":2:1: error:"), std::string::npos) << Out;
+  EXPECT_NE(Out.find("bogus"), std::string::npos) << Out;
+}
+
+TEST(RelcToolTest, PositionlessErrorsOmitLineAndColumn) {
+  std::string In = writeInput("norel.relc", "# only a comment\n");
+  auto [Rc, Out] = run(std::string(RELC_TOOL_PATH) + " --check " + In);
+  EXPECT_NE(Rc, 0);
+  EXPECT_NE(Out.find(In + ": error:"), std::string::npos) << Out;
+  EXPECT_EQ(Out.find(":0:"), std::string::npos) << Out;
+}
+
+TEST(RelcToolTest, MalformedTransactionDirectiveIsPositioned) {
+  // The payload (not column 1) anchors the diagnostic; line 15 is the
+  // appended directive (SchedulerInput opens with a newline and ends
+  // with one).
+  std::string Text = std::string(SchedulerInput) + "transaction ns, pid 3\n";
+  std::string In = writeInput("badtx.relc", Text);
+  auto [Rc, Out] = run(std::string(RELC_TOOL_PATH) + " --check " + In);
+  EXPECT_NE(Rc, 0);
+  EXPECT_NE(Out.find(In + ":15:13: error:"), std::string::npos) << Out;
+  EXPECT_NE(Out.find("transaction"), std::string::npos) << Out;
+}
+
+TEST(RelcToolTest, TransactionArityOutOfRangeIsRejected) {
+  std::string Text =
+      std::string(SchedulerInput) + "transaction ns, pid x 99\n";
+  std::string In = writeInput("badarity.relc", Text);
+  auto [Rc, Out] = run(std::string(RELC_TOOL_PATH) + " --check " + In);
+  EXPECT_NE(Rc, 0);
+  EXPECT_NE(Out.find("arity must be in [2, 8]"), std::string::npos) << Out;
+}
+
+TEST(RelcToolTest, MalformedConcurrencyDirectiveIsPositioned) {
+  std::string Text =
+      std::string(SchedulerInput) + "concurrency sharded 4 off ns\n";
+  std::string In = writeInput("badconc.relc", Text);
+  auto [Rc, Out] = run(std::string(RELC_TOOL_PATH) + " --check " + In);
+  EXPECT_NE(Rc, 0);
+  EXPECT_NE(Out.find(In + ":15:13: error:"), std::string::npos) << Out;
+  EXPECT_NE(Out.find("concurrency"), std::string::npos) << Out;
+}
+
+TEST(RelcToolTest, UnknownShardColumnIsPositionedAtTheName) {
+  std::string Text =
+      std::string(SchedulerInput) + "concurrency sharded 4 on bogus\n";
+  std::string In = writeInput("badcol.relc", Text);
+  auto [Rc, Out] = run(std::string(RELC_TOOL_PATH) + " --check " + In);
+  EXPECT_NE(Rc, 0);
+  EXPECT_NE(Out.find(In + ":15:26: error:"), std::string::npos) << Out;
+  EXPECT_NE(Out.find("unknown shard column"), std::string::npos) << Out;
+}
+
+TEST(RelcToolTest, DumpIrPrintsModuleAndPassLog) {
+  std::string Text = std::string(SchedulerInput) +
+                     "transaction ns, pid\nconcurrency sharded 4 on ns\n";
+  std::string In = writeInput("ir.relc", Text);
+  auto [Rc, Out] = run(std::string(RELC_TOOL_PATH) + " --dump-ir " + In);
+  ASSERT_EQ(Rc, 0) << Out;
+  EXPECT_NE(Out.find("module sched"), std::string::npos) << Out;
+  EXPECT_NE(Out.find("shards: 4 on ns"), std::string::npos) << Out;
+  EXPECT_NE(Out.find("fac transact transact_by_ns_pid"), std::string::npos)
+      << Out;
+  EXPECT_NE(Out.find("lock=exclusive(set)"), std::string::npos) << Out;
+  EXPECT_NE(Out.find("passes:"), std::string::npos) << Out;
+  // No C++ in an IR dump.
+  EXPECT_EQ(Out.find("#include"), std::string::npos) << Out;
+}
+
+TEST(RelcToolTest, NoOptSkipsDeadIndexElimination) {
+  std::string Text = std::string(SchedulerInput) +
+                     "transaction ns, pid\nconcurrency sharded 4 on ns\n";
+  std::string In = writeInput("noopt.relc", Text);
+  auto [Rc, Out] =
+      run(std::string(RELC_TOOL_PATH) + " --dump-ir --no-opt " + In);
+  ASSERT_EQ(Rc, 0) << Out;
+  EXPECT_NE(Out.find("skipped dead-index-elim (--no-opt)"),
+            std::string::npos)
+      << Out;
+}
+
+TEST(RelcToolTest, UnknownBackendIsRejected) {
+  std::string In = writeInput("sched.relc", SchedulerInput);
+  auto [Rc, Out] =
+      run(std::string(RELC_TOOL_PATH) + " --backend fortran " + In);
+  EXPECT_NE(Rc, 0);
+  EXPECT_NE(Out.find("unknown backend 'fortran'"), std::string::npos)
+      << Out;
+  EXPECT_NE(Out.find("cpp"), std::string::npos) << Out;
 }
 
 TEST(RelcToolTest, MissingFileFails) {

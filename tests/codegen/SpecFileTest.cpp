@@ -6,6 +6,7 @@
 
 #include "codegen/SpecFile.h"
 
+#include "codegen/Compiler.h"
 #include "decomp/Adequacy.h"
 
 #include <gtest/gtest.h>
@@ -92,8 +93,12 @@ TEST(SpecFileTest, ErrorMissingDecomposition) {
 TEST(SpecFileTest, ErrorUnknownDirective) {
   SpecFileResult R = parseSpecFile("relation r(a)\nfrobnicate a\n");
   ASSERT_FALSE(R.ok());
-  EXPECT_NE(R.Error.find("line 2"), std::string::npos);
+  EXPECT_EQ(R.Line, 2u);
+  EXPECT_EQ(R.Col, 1u);
   EXPECT_NE(R.Error.find("frobnicate"), std::string::npos);
+  // message() folds the position back in for callers that print one
+  // string.
+  EXPECT_NE(R.message().find("line 2, col 1"), std::string::npos);
 }
 
 TEST(SpecFileTest, ErrorBadFd) {
@@ -242,9 +247,42 @@ TEST(SpecFileTest, ParsesTransactionDirective) {
                      "transaction ns, pid\nconcurrency sharded 4 on ns\n";
   SpecFileResult R = parseSpecFile(Text);
   ASSERT_TRUE(R.ok()) << R.Error;
-  ASSERT_EQ(R.File->Options.TransactKeys.size(), 1u);
-  EXPECT_EQ(R.File->Options.TransactKeys[0],
+  ASSERT_EQ(R.File->Options.Transactions.size(), 1u);
+  EXPECT_EQ(R.File->Options.Transactions[0].Key,
             R.File->Spec->catalog().parseSet("ns, pid"));
+  // No `x N` suffix: the transfer shape.
+  EXPECT_EQ(R.File->Options.Transactions[0].Arity, 2u);
+}
+
+TEST(SpecFileTest, ParsesTransactionArity) {
+  std::string Text = std::string(SchedulerFile) +
+                     "transaction ns, pid x 3\n"
+                     "concurrency sharded 4 on ns\n";
+  SpecFileResult R = parseSpecFile(Text);
+  ASSERT_TRUE(R.ok()) << R.Error;
+  ASSERT_EQ(R.File->Options.Transactions.size(), 1u);
+  EXPECT_EQ(R.File->Options.Transactions[0].Key,
+            R.File->Spec->catalog().parseSet("ns, pid"));
+  EXPECT_EQ(R.File->Options.Transactions[0].Arity, 3u);
+}
+
+TEST(SpecFileTest, ErrorTransactionArityOutOfRange) {
+  for (const char *Line :
+       {"transaction ns, pid x 1\n", "transaction ns, pid x 9\n",
+        "transaction ns, pid x 99999999999\n"}) {
+    SpecFileResult R = parseSpecFile(std::string(SchedulerFile) + Line);
+    ASSERT_FALSE(R.ok()) << Line;
+    EXPECT_NE(R.Error.find("[2, 8]"), std::string::npos) << R.Error;
+  }
+}
+
+TEST(SpecFileTest, ErrorTransactionArityMalformed) {
+  // A trailing number without the `x` separator is a malformed column
+  // list, not a silent arity.
+  SpecFileResult R =
+      parseSpecFile(std::string(SchedulerFile) + "transaction ns, pid 3\n");
+  ASSERT_FALSE(R.ok());
+  EXPECT_NE(R.Error.find("transaction"), std::string::npos) << R.Error;
 }
 
 TEST(SpecFileTest, TransactionDirectiveFeedsEmitter) {
@@ -297,6 +335,32 @@ TEST(SpecFileTest, ErrorNonKeyTransaction) {
   SpecFileResult R = parseSpecFile(Text);
   ASSERT_FALSE(R.ok());
   EXPECT_NE(R.Error.find("not a key"), std::string::npos);
+}
+
+TEST(SpecFileTest, ErrorPositionsAnchorAtThePayload) {
+  // SchedulerFile opens with a blank line and closes with a newline,
+  // so an appended directive lands on line 17. The column anchors at
+  // the payload (or the shard column name for `concurrency ... on`),
+  // not column 1.
+  struct Case {
+    const char *Line;
+    unsigned Col;
+  };
+  for (const Case &C : {Case{"remove ns\n", 8u},          // "ns"
+                        Case{"transaction state\n", 13u}, // "state"
+                        Case{"concurrency sharded 4 on bogus\n", 26u}}) {
+    SpecFileResult R = parseSpecFile(std::string(SchedulerFile) + C.Line);
+    ASSERT_FALSE(R.ok()) << C.Line;
+    EXPECT_EQ(R.Line, 17u) << C.Line;
+    EXPECT_EQ(R.Col, C.Col) << C.Line;
+  }
+}
+
+TEST(SpecFileTest, ErrorWithoutAnchorHasNoPosition) {
+  SpecFileResult R = parseSpecFile("relation r(a, b)\nfd a -> b\n");
+  ASSERT_FALSE(R.ok());
+  EXPECT_EQ(R.Line, 0u);
+  EXPECT_EQ(R.message(), R.Error);
 }
 
 TEST(SpecFileTest, DirectiveWordBoundary) {

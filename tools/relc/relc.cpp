@@ -4,16 +4,21 @@
 //
 //===----------------------------------------------------------------------===//
 //
-// The paper's compiler as a tool: reads a relational specification, a
-// decomposition (Fig. 3 let-language) and a method set from one input
-// file and emits a standalone C++ class implementing the relational
-// interface.
+// The paper's compiler as a tool — a thin driver over the pipeline:
+//
+//   parse (SpecFile) -> lower (ir::Lowering) -> passes (ir::PassManager)
+//     -> backend (codegen/backend)
 //
 //   relc input.relc                emit the C++ header to stdout
 //   relc -o out.h input.relc       emit to a file
 //   relc --check input.relc        parse + adequacy check only
 //   relc --print input.relc        echo the parsed decomposition
 //   relc --dot input.relc          Graphviz rendering of the decomposition
+//   relc --dump-ir input.relc      print the post-pass IR instead of code
+//   relc --no-opt input.relc       skip optimization passes (dead-index
+//                                  elimination); canonicalization passes
+//                                  (dedup, lock plans) always run
+//   relc --backend NAME input.relc pick the emission backend (default cpp)
 //   relc --shards N input.relc     also emit the sharded concurrent facade
 //                                  (overrides the `concurrency` directive)
 //   relc --shard-column COL ...    shard column for the facade
@@ -22,10 +27,15 @@
 // facade to attach to: a spec using it without a `concurrency`
 // directive needs --shards N, and --shards 0 is rejected for it.
 //
+// Spec errors are reported as `relc: FILE:LINE:COL: error: ...`.
+//
 //===----------------------------------------------------------------------===//
 
-#include "codegen/CppEmitter.h"
 #include "codegen/SpecFile.h"
+#include "codegen/backend/Backend.h"
+#include "codegen/ir/IrPrinter.h"
+#include "codegen/ir/Lowering.h"
+#include "codegen/ir/Passes.h"
 #include "decomp/Adequacy.h"
 #include "decomp/Printer.h"
 
@@ -42,7 +52,8 @@ namespace {
 
 int usage(const char *Argv0) {
   std::fprintf(stderr,
-               "usage: %s [--check | --print | --dot] [-o FILE] "
+               "usage: %s [--check | --print | --dot | --dump-ir] "
+               "[--no-opt] [--backend NAME] [-o FILE] "
                "[--shards N] [--shard-column COL] INPUT\n",
                Argv0);
   return 2;
@@ -54,8 +65,11 @@ int main(int argc, char **argv) {
   const char *Input = nullptr;
   const char *Output = nullptr;
   const char *ShardColumn = nullptr;
+  const char *BackendName = "cpp";
   int Shards = -1; // -1: follow the input file's `concurrency` directive
-  enum { EmitCpp, CheckOnly, PrintDecomp, PrintDot } Mode = EmitCpp;
+  bool RunOptimizations = true;
+  enum { EmitCode, CheckOnly, PrintDecomp, PrintDot, DumpIr } Mode =
+      EmitCode;
 
   for (int I = 1; I < argc; ++I) {
     if (std::strcmp(argv[I], "--check") == 0)
@@ -64,6 +78,12 @@ int main(int argc, char **argv) {
       Mode = PrintDecomp;
     else if (std::strcmp(argv[I], "--dot") == 0)
       Mode = PrintDot;
+    else if (std::strcmp(argv[I], "--dump-ir") == 0)
+      Mode = DumpIr;
+    else if (std::strcmp(argv[I], "--no-opt") == 0)
+      RunOptimizations = false;
+    else if (std::strcmp(argv[I], "--backend") == 0 && I + 1 < argc)
+      BackendName = argv[++I];
     else if (std::strcmp(argv[I], "-o") == 0 && I + 1 < argc)
       Output = argv[++I];
     else if (std::strcmp(argv[I], "--shards") == 0 && I + 1 < argc) {
@@ -104,8 +124,13 @@ int main(int argc, char **argv) {
 
   SpecFileResult Parsed = parseSpecFile(Ss.str());
   if (!Parsed.ok()) {
-    std::fprintf(stderr, "relc: %s: error: %s\n", Input,
-                 Parsed.Error.c_str());
+    // FILE:LINE:COL:, the format editors and CI annotators understand.
+    if (Parsed.Line > 0)
+      std::fprintf(stderr, "relc: %s:%u:%u: error: %s\n", Input,
+                   Parsed.Line, Parsed.Col, Parsed.Error.c_str());
+    else
+      std::fprintf(stderr, "relc: %s: error: %s\n", Input,
+                   Parsed.Error.c_str());
     return 1;
   }
   SpecFile &File = *Parsed.File;
@@ -139,7 +164,7 @@ int main(int argc, char **argv) {
   // directive would silently vanish from the emitted header, so reject
   // the combination up front (after the overrides, so `--shards N` can
   // supply the facade and `--shards 0` is caught stripping it).
-  if (!File.Options.TransactKeys.empty() &&
+  if (!File.Options.Transactions.empty() &&
       File.Options.ConcurrentShards == 0) {
     std::fprintf(stderr,
                  "relc: %s: error: `transaction` requires a concurrent "
@@ -170,9 +195,27 @@ int main(int argc, char **argv) {
   case PrintDot:
     Text = printDecompositionDot(*File.Decomp);
     break;
-  case EmitCpp:
-    Text = emitCpp(*File.Decomp, File.Options);
+  case DumpIr:
+  case EmitCode: {
+    // The pipeline, stage by stage: lower, passes, then (for code
+    // emission) the chosen backend over the canonical IR.
+    std::unique_ptr<Backend> B = createBackend(BackendName);
+    if (!B) {
+      std::string Known;
+      for (std::string_view N : backendNames())
+        Known += (Known.empty() ? "" : ", ") + std::string(N);
+      std::fprintf(stderr,
+                   "relc: error: unknown backend '%s' (known: %s)\n",
+                   BackendName, Known.c_str());
+      return 2;
+    }
+    ir::Module M = lowerToIr(*File.Decomp, File.Options);
+    ir::PassManager PM;
+    ir::addDefaultPasses(PM);
+    PM.run(M, RunOptimizations);
+    Text = Mode == DumpIr ? ir::printModule(M) : B->emit(M);
     break;
+  }
   }
 
   if (!Output) {
