@@ -107,6 +107,20 @@ public:
     return Records.back();
   }
 
+  /// Attaches one piece of run metadata (hardware, configuration,
+  /// provenance), emitted as a "meta" object in the JSON header so a
+  /// regression gate can tell results from different machines or
+  /// configurations apart. Values are written as JSON strings; numeric
+  /// callers use the overload below.
+  JsonReporter &meta(std::string Key, std::string V) {
+    Meta.emplace_back(std::move(Key), MetaValue{std::move(V), 0, true});
+    return *this;
+  }
+  JsonReporter &meta(std::string Key, double V) {
+    Meta.emplace_back(std::move(Key), MetaValue{{}, V, false});
+    return *this;
+  }
+
   /// Writes the report; \returns false (with a message on stderr) if
   /// the file cannot be opened.
   bool write(const char *Path) const {
@@ -117,6 +131,18 @@ public:
     }
     std::fprintf(F, "{\n  \"bench\": \"%s\",\n  \"mode\": \"%s\",\n",
                  BenchName.c_str(), Mode.c_str());
+    if (!Meta.empty()) {
+      std::fprintf(F, "  \"meta\": {");
+      for (size_t I = 0; I != Meta.size(); ++I) {
+        const auto &[Key, V] = Meta[I];
+        std::fprintf(F, "%s\"%s\": ", I ? ", " : "", Key.c_str());
+        if (V.IsString)
+          std::fprintf(F, "\"%s\"", V.Str.c_str());
+        else
+          std::fprintf(F, "%.6g", V.Num);
+      }
+      std::fprintf(F, "},\n");
+    }
     std::fprintf(F, "  \"results\": [\n");
     for (size_t I = 0; I != Records.size(); ++I) {
       const BenchRecord &R = Records[I];
@@ -131,8 +157,15 @@ public:
   }
 
 private:
+  struct MetaValue {
+    std::string Str;
+    double Num;
+    bool IsString;
+  };
+
   std::string BenchName;
   std::string Mode;
+  std::vector<std::pair<std::string, MetaValue>> Meta;
   std::deque<BenchRecord> Records;
 };
 

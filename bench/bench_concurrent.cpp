@@ -16,7 +16,8 @@
 // and speedup over the single-thread run — the number the sharding
 // exists for. --json <path> writes the machine-readable report (CI
 // uploads it); --quick shrinks the loops; --threads caps the thread
-// sweep; --shards sets the shard count (default 16).
+// sweep; --shards sets the shard count (default 16); --rev stamps the
+// report with a revision id (falls back to $GITHUB_SHA).
 //
 // Run on a single-core machine this degenerates to measuring lock
 // overhead (speedup ≈ 1x or below); the scaling claims only mean
@@ -355,6 +356,16 @@ int main(int argc, char **argv) {
               std::thread::hardware_concurrency(), Shards);
 
   JsonReporter Json("concurrent", Quick ? "quick" : "full");
+  // Provenance for the regression gate: results from a different
+  // machine class or shard configuration are not comparable, and the
+  // committed baseline records the revision it was captured at.
+  const char *Rev = argValue(argc, argv, "--rev");
+  if (!Rev)
+    Rev = std::getenv("GITHUB_SHA");
+  Json.meta("hardware_concurrency", double(std::thread::hardware_concurrency()))
+      .meta("shards", double(Shards))
+      .meta("max_threads", double(MaxThreads))
+      .meta("git_rev", Rev ? Rev : "unknown");
   Workload Workloads[] = {makeScheduler(), makeGraph(), makeIpcap()};
   const char *Phases[] = {"insert", "query",    "mixed",
                           "upsert", "transact", "scan"};

@@ -257,6 +257,8 @@ private:
     W.line("#include \"ds/VectorMap.h\"");
     if (M.hasFacade()) {
       W.line("#include \"concurrent/BoundedQueue.h\"");
+      W.line("#include \"concurrent/Epoch.h\"");
+      W.line("#include \"concurrent/ScanPool.h\"");
       W.line("#include \"concurrent/StripedLock.h\"");
     }
     W.line("#include \"support/Hashing.h\"");
@@ -267,8 +269,6 @@ private:
     W.line("#include <cassert>");
     W.line("#include <cstddef>");
     W.line("#include <cstdint>");
-    if (M.hasFacade())
-      W.line("#include <thread>");
     if (M.hasTransactions())
       W.line("#include <type_traits>");
     W.line("#include <vector>");
@@ -858,11 +858,20 @@ private:
            "Operations whose");
     W.line("/// pattern binds the shard column take exactly one stripe; "
            "the rest");
-    W.line("/// fan out (reads under successive reader locks, mutations "
-           "under all");
-    W.line("/// writer locks in ascending order). The lock discipline, "
-           "visibility");
-    W.line("/// guarantees, and the no-reentrant-callback rule mirror the");
+    W.line("/// fan out (reads per shard in turn, mutations under all "
+           "writer locks");
+    W.line("/// in ascending order). Reads are wait-free on the common "
+           "path: an");
+    W.line("/// epoch read-side section (relc::EpochGuard) plus a check "
+           "of the");
+    W.line("/// shard's writer gate replaces the reader lock, which is "
+           "taken only");
+    W.line("/// while a writer holds the gate. Writers drain overlapping "
+           "sections");
+    W.line("/// with relc::EpochWriterFence before mutating. The lock "
+           "discipline,");
+    W.line("/// visibility guarantees, and the no-reentrant-callback rule "
+           "mirror the");
     W.line("/// interpreted relc::ConcurrentRelation (docs/CONCURRENCY.md).");
     W.open("class " + Fac + " {");
     W.line("public:");
@@ -894,6 +903,7 @@ private:
         W.open("  bool insert(" + params(All, "v_") + ") {");
         W.line("unsigned S = shardOf(v_" + SCName + ");");
         W.line("auto Lock = Locks.exclusive(S);");
+        W.line("relc::EpochWriterFence Fence(Gates[S]);");
         W.line("bool Changed = Shards[S].insert(" + colList(All, "v_") +
                ");");
         W.line("if (Changed)");
@@ -924,6 +934,7 @@ private:
         W.line("  /// Empties every shard (all writer locks).");
         W.open("  void clear() {");
         W.line("relc::AllShardsGuard Guard(Locks);");
+        W.line("relc::EpochWriterFence Fence = fenceAll();");
         W.line("for (" + Seq + " &S : Shards)");
         W.line("  S.clear();");
         W.line("Size.store(0, std::memory_order_relaxed);");
@@ -937,20 +948,72 @@ private:
 
     W.line();
     W.line("private:");
-    W.line("  /// Slots in the bounded merge queue of *_parallel queries.");
-    W.line("  static constexpr size_t ScanQueueCapacity = 1024;");
+    W.line("  /// Rows per chunk of *_parallel queries: result rows cross "
+           "the");
+    W.line("  /// merge queue in batches so the queue mutex is taken once "
+           "per");
+    W.line("  /// chunk, not once per row.");
+    W.line("  static constexpr size_t ScanChunkRows = 128;");
+    W.line("  /// Slots (chunks) in the bounded merge queue.");
+    W.line("  static constexpr size_t ScanQueueChunks = 8;");
     W.open("  static unsigned shardOf(int64_t V) {");
     W.line("return static_cast<unsigned>(relc::hashMix64("
            "static_cast<uint64_t>(V)) % NumShards);");
     W.close("}");
+    W.line("  /// Runs Body over shard S: wait-free inside an epoch "
+           "section when");
+    W.line("  /// the shard's writer gate is down, else under the shard's "
+           "reader");
+    W.line("  /// lock (the fallback every new reader takes while a "
+           "writer");
+    W.line("  /// fence is up). Body must not block or mutate the facade.");
+    W.open("  template <typename BodyT> void readShard(unsigned S, "
+           "BodyT &&Body) const {");
+    W.open("{");
+    W.line("relc::EpochGuard Guard(&Gates[S]);");
+    W.open("if (!Gates[S].writerActive()) {");
+    W.line("Body();");
+    W.line("return;");
+    W.close("}");
+    W.close("}");
+    W.line("auto Lock = Locks.shared(S);");
+    W.line("Body();");
+    W.close("}");
+    W.line("  /// Raises every shard gate and drains the overlapping "
+           "wait-free");
+    W.line("  /// read sections; the caller holds all writer locks.");
+    W.open("  relc::EpochWriterFence fenceAll() {");
+    W.line("return relc::EpochWriterFence(Gates, AllShardIdx, NumShards);");
+    W.close("}");
+    emitAllShardIdx();
     W.line("  relc::StripedLockSet Locks{NumShards};");
+    W.line("  relc::EpochGate Gates[NumShards];");
     W.line("  " + Seq + " Shards[NumShards];");
     W.line("  std::atomic<size_t> Size{0};");
     W.close("};");
   }
 
+  /// The 0..NumShards-1 index array fenceAll() hands to the multi-gate
+  /// EpochWriterFence constructor.
+  void emitAllShardIdx() {
+    std::string Init;
+    for (unsigned S = 0; S != M.Shards; ++S) {
+      if (S)
+        Init += ", ";
+      Init += std::to_string(S);
+    }
+    W.line("  static constexpr unsigned AllShardIdx[NumShards] = {" + Init +
+           "};");
+  }
+
   void emitFacadeQuery(const MethodOp &Q, const std::string &SCName) {
     bool Routed = Q.Lock.Routed;
+    // The epoch read path is a lock-plan decision, not a backend one:
+    // LockPlanPrecompute stamps WaitFree on every plain shared query
+    // (and leaves it off ParallelScan, whose pooled workers may block).
+    assert(Q.Lock.WaitFree &&
+           "facade query without the wait-free read plan — run the pass "
+           "pipeline");
     std::string Params = params(Q.InputCols, "q_");
     if (!Params.empty())
       Params += ", ";
@@ -961,27 +1024,27 @@ private:
     W.line();
     if (Routed) {
       W.line("  /// " + Q.Name + ": routed (the inputs bind '" + SCName +
-             "'), one shard");
-      W.line("  /// under its reader lock.");
+             "'), one shard,");
+      W.line("  /// wait-free via readShard (reader lock only while a "
+             "writer holds");
+      W.line("  /// the shard's gate).");
       W.open("  template <typename FnT> void " + Q.Name + "(" + Params +
              "FnT &&Emit) const {");
       W.line("unsigned S = shardOf(q_" + SCName + ");");
-      W.line("auto Lock = Locks.shared(S);");
-      W.line("Shards[S]." + Q.Name + "(" + FwdArgs + "Emit);");
+      W.line("readShard(S, [&] { Shards[S]." + Q.Name + "(" + FwdArgs +
+             "Emit); });");
       W.close("}");
       return;
     }
 
-    W.line("  /// " + Q.Name + ": fan-out, each shard in turn under "
-           "successive");
-    W.line("  /// reader locks (per-shard-consistent, not a global "
-           "snapshot).");
+    W.line("  /// " + Q.Name + ": fan-out, each shard in turn via "
+           "readShard");
+    W.line("  /// (per-shard-consistent, not a global snapshot).");
     W.open("  template <typename FnT> void " + Q.Name + "(" + Params +
            "FnT &&Emit) const {");
-    W.open("for (unsigned S = 0; S != NumShards; ++S) {");
-    W.line("auto Lock = Locks.shared(S);");
-    W.line("Shards[S]." + Q.Name + "(" + FwdArgs + "Emit);");
-    W.close("}");
+    W.line("for (unsigned S = 0; S != NumShards; ++S)");
+    W.line("  readShard(S, [&] { Shards[S]." + Q.Name + "(" + FwdArgs +
+           "Emit); });");
     W.close("}");
   }
 
@@ -994,6 +1057,9 @@ private:
     unsigned K = Op.OutputCols.size();
     assert(K > 0 && !Op.Lock.Routed &&
            "parallel scan survived lock-plan precompute it should not");
+    assert(!Op.Lock.WaitFree &&
+           "pooled scan workers block on the merge queue; they must hold "
+           "reader locks, not epoch sections");
     std::string Params = params(Op.InputCols, "q_");
     if (!Params.empty())
       Params += ", ";
@@ -1012,32 +1078,49 @@ private:
       RowInit += "r" + std::to_string(I);
       EmitArgs += "Row[" + std::to_string(I) + "]";
     }
-    W.line("  /// As " + Op.Callee + ", with one worker per shard feeding "
+    W.line("  /// As " + Op.Callee + ", with one pooled worker per shard "
+           "(the process-");
+    W.line("  /// wide relc::ScanPool — no thread spawn per call) feeding "
            "a bounded");
-    W.line("  /// merge queue: the same multiset of rows, in arbitrary");
-    W.line("  /// interleaved order. Emit runs on the calling thread and "
-           "must");
-    W.line("  /// not call back into this facade.");
+    W.line("  /// merge queue in ScanChunkRows-row chunks: the same "
+           "multiset of");
+    W.line("  /// rows, in arbitrary interleaved order. Workers read "
+           "under shard");
+    W.line("  /// reader locks, not epoch sections — pool tasks may block "
+           "on queue");
+    W.line("  /// backpressure, which a read-side section must never do. "
+           "Emit runs");
+    W.line("  /// on the calling thread and must not call back into this "
+           "facade.");
     W.open("  template <typename FnT> void " + Op.Name + "(" + Params +
            "FnT &&Emit) const {");
-    W.line("relc::BoundedQueue<" + RowT + "> Queue(ScanQueueCapacity, "
-           "NumShards);");
-    W.line("std::thread Workers[NumShards];");
+    W.line("using ChunkT = std::vector<" + RowT + ">;");
+    W.line("relc::BoundedQueue<ChunkT> Queue(ScanQueueChunks, NumShards);");
+    W.line("relc::ScanPool::TaskGroup Tasks(relc::ScanPool::global());");
     W.open("for (unsigned S = 0; S != NumShards; ++S) {");
-    W.open("Workers[S] = std::thread([&, S] {");
+    W.open("Tasks.submit([&, S] {");
     W.line("auto Lock = Locks.shared(S);");
+    W.line("ChunkT C;");
+    W.line("C.reserve(ScanChunkRows);");
     W.open("Shards[S]." + Op.Callee + "(" + FwdArgs + "[&](" + LambdaParams +
            ") {");
-    W.line("Queue.push(" + RowT + "{" + RowInit + "});");
+    W.line("C.push_back(" + RowT + "{" + RowInit + "});");
+    W.open("if (C.size() == ScanChunkRows) {");
+    W.line("Queue.push(std::move(C));");
+    W.line("C.clear();");
+    W.line("C.reserve(ScanChunkRows);");
+    W.close("}");
     W.close("});");
+    W.line("if (!C.empty())");
+    W.line("  Queue.push(std::move(C));");
     W.line("Queue.producerDone();");
     W.close("});");
     W.close("}");
-    W.line(RowT + " Row;");
-    W.line("while (Queue.pop(Row))");
-    W.line("  Emit(" + EmitArgs + ");");
-    W.line("for (std::thread &Worker : Workers)");
-    W.line("  Worker.join();");
+    W.line("ChunkT Chunk;");
+    W.line("while (Queue.pop(Chunk))");
+    W.line("  for (const " + RowT + " &Row : Chunk)");
+    W.line("    Emit(" + EmitArgs + ");");
+    W.line("Tasks.wait();");
     W.close("}");
   }
 
@@ -1052,6 +1135,7 @@ private:
       W.open("  bool " + Name + "(" + params(Key, "q_") + ") {");
       W.line("unsigned S = shardOf(q_" + SCName + ");");
       W.line("auto Lock = Locks.exclusive(S);");
+      W.line("relc::EpochWriterFence Fence(Gates[S]);");
       W.line("bool Removed = Shards[S]." + Name + "(" + colList(Key, "q_") +
              ");");
       W.line("if (Removed)");
@@ -1066,6 +1150,7 @@ private:
            "match).");
     W.open("  bool " + Name + "(" + params(Key, "q_") + ") {");
     W.line("relc::AllShardsGuard Guard(Locks);");
+    W.line("relc::EpochWriterFence Fence = fenceAll();");
     W.open("for (unsigned S = 0; S != NumShards; ++S) {");
     W.open("if (Shards[S]." + Name + "(" + colList(Key, "q_") + ")) {");
     W.line("Size.fetch_sub(1, std::memory_order_relaxed);");
@@ -1094,6 +1179,7 @@ private:
       W.open("  bool " + Name + "(" + Params + ") {");
       W.line("unsigned S = shardOf(q_" + SCName + ");");
       W.line("auto Lock = Locks.exclusive(S);");
+      W.line("relc::EpochWriterFence Fence(Gates[S]);");
       // The shard-local reinsert can no-op on an FD-violating
       // collision with another key (release builds); track the
       // shard's size delta so the facade counter never drifts.
@@ -1114,6 +1200,7 @@ private:
            "(migration).");
     W.open("  bool " + Name + "(" + Params + ") {");
     W.line("relc::AllShardsGuard Guard(Locks);");
+    W.line("relc::EpochWriterFence Fence = fenceAll();");
     W.open("for (unsigned S = 0; S != NumShards; ++S) {");
     W.open("if (Shards[S].remove_by_" + colsSuffix(Key) + "(" +
            colList(Key, "q_") + ")) {");
@@ -1150,6 +1237,7 @@ private:
              params(Key, "q_") + ", FnT &&Fn) {");
       W.line("unsigned S = shardOf(q_" + SCName + ");");
       W.line("auto Lock = Locks.exclusive(S);");
+      W.line("relc::EpochWriterFence Fence(Gates[S]);");
       // Track the shard's size delta rather than trusting the return
       // value: an FD-violating collision with another key can make
       // the shard-local reinsert no-op (release builds), and the
@@ -1173,6 +1261,7 @@ private:
     W.open("  template <typename FnT> bool " + Name + "(" +
            params(Key, "q_") + ", FnT &&Fn) {");
     W.line("relc::AllShardsGuard Guard(Locks);");
+    W.line("relc::EpochWriterFence Fence = fenceAll();");
     for (ColumnId C : Rest)
       W.line("int64_t c_" + Cat.name(C) + " = 0;");
     W.line("unsigned Owner = NumShards;");
@@ -1307,6 +1396,9 @@ private:
         W.line("std::unique_lock<std::shared_mutex> LockHi;");
         W.line("if (Hi != Lo)");
         W.line("  LockHi = Locks.exclusive(Hi);");
+        W.line("unsigned FenceIdx[2] = {Lo, Hi};");
+        W.line("relc::EpochWriterFence Fence(Gates, FenceIdx, "
+               "Hi != Lo ? 2u : 1u);");
       } else {
         W.line("  /// Locking: exactly the owning shard stripes — at most " +
                std::to_string(N) + ", never");
@@ -1324,6 +1416,8 @@ private:
           StripeList = join({StripeList, "S" + sideLetter(I)});
         }
         W.line("relc::ShardSetGuard Guard(Locks, {" + StripeList + "});");
+        W.line("relc::EpochWriterFence Fence(Gates, "
+               "Guard.stripes().data(), Guard.stripes().size());");
       }
     } else {
       W.line("  /// Locking: the key misses '" + SCName +
@@ -1334,6 +1428,7 @@ private:
       W.open("  template <typename FnT> bool " + Name + "(" + Params +
              ") {");
       W.line("relc::AllShardsGuard Guard(Locks);");
+      W.line("relc::EpochWriterFence Fence = fenceAll();");
     }
     for (ColumnId C : Rest)
       for (unsigned I = 0; I != N; ++I)

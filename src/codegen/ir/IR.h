@@ -90,6 +90,13 @@ struct LockPlan {
   /// Upper bound on stripes held at once (0 = unknown/unlimited; for
   /// ExclusiveSet this is the transaction arity).
   unsigned MaxStripes = 0;
+  /// Shared-mode reads only: the op takes an epoch read-side section
+  /// (concurrent/Epoch.h) per shard and falls back to the reader
+  /// stripe only while a writer gate is up, so its common path does no
+  /// shared write at all. Exclusive-mode ops instead drain such
+  /// sections with a writer fence before mutating. Stamped by
+  /// LockPlanPrecompute; backends read it, they never re-derive it.
+  bool WaitFree = false;
 };
 
 /// Human-readable name of a lock-plan mode (for dumps and logs).

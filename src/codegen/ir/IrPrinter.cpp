@@ -85,6 +85,8 @@ std::string ir::printModule(const Module &M) {
     Line += lockModeName(Op.Lock.Mode);
     if (Op.Lock.Routed)
       Line += " routed";
+    if (Op.Lock.WaitFree)
+      Line += " wait_free";
     if (Op.Lock.MaxStripes != 0)
       Line += " max_stripes=" + std::to_string(Op.Lock.MaxStripes);
     if (Op.Plan)

@@ -221,6 +221,11 @@ public:
       case OpKind::Query:
         Plan.Mode = Routed ? LockPlan::SharedOne : LockPlan::SharedEach;
         Plan.MaxStripes = 1;
+        // Plain shared reads go wait-free: an epoch section per shard,
+        // reader stripe only as the writer-gate fallback. ParallelScan
+        // stays locked — its pooled workers may block on merge-queue
+        // backpressure, which an epoch section must never do.
+        Plan.WaitFree = true;
         break;
       case OpKind::ParallelScan: {
         // A routed base query touches one shard (nothing to fan out)
@@ -273,7 +278,8 @@ public:
         break;
       }
       Changed |= Op.Lock.Mode != Plan.Mode || Op.Lock.Routed != Plan.Routed ||
-                 Op.Lock.MaxStripes != Plan.MaxStripes;
+                 Op.Lock.MaxStripes != Plan.MaxStripes ||
+                 Op.Lock.WaitFree != Plan.WaitFree;
       Plans[I] = Plan;
     }
     std::vector<MethodOp> Out;

@@ -50,17 +50,11 @@ public:
   /// Enqueues \p V, blocking while the queue is full. \returns false
   /// (without enqueueing) if the consumer closed the queue — the
   /// producer should stop producing.
-  bool push(const T &V) {
-    std::unique_lock<std::mutex> L(Mu);
-    NotFull.wait(L, [&] { return Count != Ring.size() || Closed; });
-    if (Closed)
-      return false;
-    Ring[(Head + Count) % Ring.size()] = V;
-    ++Count;
-    L.unlock();
-    NotEmpty.notify_one();
-    return true;
-  }
+  bool push(const T &V) { return pushImpl(V); }
+
+  /// Move overload: element types with owned storage (e.g. the row
+  /// chunks of pooled parallel scans) enqueue without a deep copy.
+  bool push(T &&V) { return pushImpl(std::move(V)); }
 
   /// Dequeues into \p Out, blocking while the queue is empty and
   /// producers remain. \returns false when the queue is drained: empty
@@ -102,6 +96,18 @@ public:
   }
 
 private:
+  template <typename U> bool pushImpl(U &&V) {
+    std::unique_lock<std::mutex> L(Mu);
+    NotFull.wait(L, [&] { return Count != Ring.size() || Closed; });
+    if (Closed)
+      return false;
+    Ring[(Head + Count) % Ring.size()] = std::forward<U>(V);
+    ++Count;
+    L.unlock();
+    NotEmpty.notify_one();
+    return true;
+  }
+
   std::mutex Mu;
   std::condition_variable NotFull, NotEmpty;
   std::vector<T> Ring;

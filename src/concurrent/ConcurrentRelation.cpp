@@ -7,9 +7,9 @@
 #include "concurrent/ConcurrentRelation.h"
 
 #include "concurrent/BoundedQueue.h"
+#include "concurrent/ScanPool.h"
 
 #include <algorithm>
-#include <thread>
 #include <unordered_set>
 #include <utility>
 
@@ -30,16 +30,24 @@ ConcurrentRelation::ConcurrentRelation(const Decomposition &D,
   FdProbesRoute = true;
   for (const FuncDep &Fd : D.spec()->fds().deps())
     FdProbesRoute &= Fd.Lhs.contains(Router.shardColumn());
+  Gates = std::make_unique<EpochGate[]>(Opts.NumShards);
+  AllShardIdx.resize(Opts.NumShards);
+  for (unsigned I = 0; I != Opts.NumShards; ++I)
+    AllShardIdx[I] = I;
   Shards.reserve(Opts.NumShards);
   for (unsigned I = 0; I != Opts.NumShards; ++I) {
     Shards.push_back(std::make_unique<SynthesizedRelation>(Decomposition(D)));
     Shards.back()->enableConcurrentReads();
+    // Freed node memory outlives the epoch grace period, so a reader
+    // racing ahead of its gate check can never touch unmapped memory.
+    Shards.back()->enableDeferredReclamation();
   }
 }
 
 bool ConcurrentRelation::insert(const Tuple &T) {
   unsigned S = Router.shardOf(T);
   auto Lock = Locks.exclusive(S);
+  EpochWriterFence Fence(Gates[S]);
   bool Changed = Shards[S]->insert(T);
   if (Changed)
     Count.fetch_add(1, std::memory_order_relaxed);
@@ -51,6 +59,7 @@ size_t ConcurrentRelation::remove(const Tuple &Pattern) {
   if (Router.routes(Pattern.columns())) {
     unsigned S = Router.shardOf(Pattern);
     auto Lock = Locks.exclusive(S);
+    EpochWriterFence Fence(Gates[S]);
     Removed = Shards[S]->remove(Pattern);
   } else {
     Removed = removeAllShards(Pattern);
@@ -61,6 +70,7 @@ size_t ConcurrentRelation::remove(const Tuple &Pattern) {
 
 size_t ConcurrentRelation::removeAllShards(const Tuple &Pattern) {
   AllShardsGuard Guard(Locks);
+  EpochWriterFence Fence = fenceAll();
   size_t Removed = 0;
   for (std::unique_ptr<SynthesizedRelation> &S : Shards)
     Removed += S->remove(Pattern);
@@ -75,12 +85,14 @@ size_t ConcurrentRelation::update(const Tuple &Pattern, const Tuple &Changes) {
   if (Router.routes(Pattern.columns())) {
     unsigned S = Router.shardOf(Pattern);
     auto Lock = Locks.exclusive(S);
+    EpochWriterFence Fence(Gates[S]);
     return Shards[S]->update(Pattern, Changes);
   }
   // The pattern is a key, so at most one shard holds a match — but
   // without the shard column which one is unknown: take every writer
   // lock (ascending, per the lock order) and try each shard in turn.
   AllShardsGuard Guard(Locks);
+  EpochWriterFence Fence = fenceAll();
   for (std::unique_ptr<SynthesizedRelation> &S : Shards)
     if (size_t Updated = S->update(Pattern, Changes))
       return Updated;
@@ -94,6 +106,7 @@ size_t ConcurrentRelation::updateRehoming(const Tuple &Pattern,
   // the matching tuple, then either update in place (same owner) or
   // migrate it (remove + reinsert), all under every writer lock.
   AllShardsGuard Guard(Locks);
+  EpochWriterFence Fence = fenceAll();
   ColumnSet All = catalog().allColumns();
   for (unsigned I = 0; I != Shards.size(); ++I) {
     Tuple Old;
@@ -134,6 +147,7 @@ bool ConcurrentRelation::upsert(
     // read-modify-write cycle.
     unsigned S = Router.shardOf(Key);
     auto Lock = Locks.exclusive(S);
+    EpochWriterFence Fence(Gates[S]);
     // Follow the shard's size delta rather than the return value: an
     // FD-violating collision with another key can make the reinsert
     // no-op in release builds, and the counter must track the shards
@@ -151,6 +165,7 @@ bool ConcurrentRelation::upsert(
   // values may rewrite the shard column, migrating the tuple — the
   // same all-writer-locks discipline as updateRehoming.
   AllShardsGuard Guard(Locks);
+  EpochWriterFence Fence = fenceAll();
   ColumnSet All = catalog().allColumns();
   ColumnSet Rest = All.minus(Key.columns());
   for (unsigned I = 0; I != Shards.size(); ++I) {
@@ -247,9 +262,12 @@ TxResult ConcurrentRelation::transact(const std::vector<TxOp> &Ops) {
     // The all-stripes guard and the subset guard share the ascending
     // acquisition order, so mixed transactions cannot deadlock.
     AllShardsGuard Guard(Locks);
+    EpochWriterFence Fence = fenceAll();
     return transactLocked(Ops, Plan.Stripes);
   }
   ShardSetGuard Guard(Locks, Plan.Stripes);
+  EpochWriterFence Fence(Gates.get(), Guard.stripes().data(),
+                         Guard.stripes().size());
   return transactLocked(Ops, Guard.stripes());
 }
 
@@ -257,6 +275,103 @@ TxResult ConcurrentRelation::transact(function_ref<void(TxBatch &)> Build) {
   TxBatch Tx;
   Build(Tx);
   return transact(Tx.ops());
+}
+
+TxResult ConcurrentRelation::transactKeys(
+    const std::vector<Tuple> &Keys,
+    function_ref<bool(std::vector<TxKeyView> &)> Fn) {
+  assert(!Keys.empty() && "transactKeys needs at least one key");
+  ColumnSet KeyCols = Keys.front().columns();
+  assert(spec()->fds().isKey(KeyCols, spec()->columns()) &&
+         "transactKeys patterns must form a key");
+  for ([[maybe_unused]] const Tuple &K : Keys)
+    assert(K.columns() == KeyCols &&
+           "every transactKeys key must bind the same columns");
+  ColumnSet Rest = catalog().allColumns().minus(KeyCols);
+
+  // Lock footprint from upsert-shaped pseudo-ops: each key's eventual
+  // write-back (update in place, or insert of key+values) routes to
+  // the key's shard exactly when an upsert of that key would, so the
+  // upsert plan covers every op transactLocked will see below.
+  std::vector<TxOp> Pseudo;
+  Pseudo.reserve(Keys.size());
+  for (const Tuple &K : Keys)
+    Pseudo.push_back(TxOp::upsert(K, [](const BindingFrame *, Tuple &) {}));
+  TxLockPlan Plan = transactLockPlan(Pseudo);
+
+  auto Run = [&](const std::vector<unsigned> &Scope) -> TxResult {
+    // Phase 1 (read, all stripes held): resolve every key's current
+    // values. Routed keys probe their owning shard; otherwise every
+    // stripe is in Scope and all shards are searched.
+    std::vector<TxKeyView> Views(Keys.size());
+    for (size_t I = 0; I != Keys.size(); ++I) {
+      TxKeyView &V = Views[I];
+      auto Probe = [&](unsigned S) {
+        Shards[S]->scanFrames(Keys[I], Rest, [&](const BindingFrame &F) {
+          V.Found = true;
+          V.Values = F.toTuple(Rest);
+          return false; // the pattern is a key: at most one match
+        });
+        return V.Found;
+      };
+      if (Router.routes(KeyCols)) {
+        Probe(Router.shardOf(Keys[I]));
+      } else {
+        for (unsigned S = 0; S != Shards.size() && !Probe(S); ++S) {
+        }
+      }
+    }
+
+    // Phase 2: one callback over all views — the N-key read-modify-
+    // write the generated transactN_by_<key> methods compile.
+    std::vector<Tuple> Before;
+    Before.reserve(Views.size());
+    for (const TxKeyView &V : Views)
+      Before.push_back(V.Values);
+    if (!Fn(Views))
+      return TxResult{false, Keys.size(), 0};
+
+    // Phase 3 (write-back): one op per key that changed. Absent keys
+    // must come back fully bound (conditional abort otherwise, as for
+    // TxOp::upsert), found keys write a delta update.
+    std::vector<TxOp> Ops;
+    std::vector<size_t> OpKey; // op index -> key index, for FailedOp
+    for (size_t I = 0; I != Keys.size(); ++I) {
+      TxKeyView &V = Views[I];
+      if (!V.Found) {
+        if (V.Values.columns() != Rest)
+          return TxResult{false, I, 0}; // under-bound insert: abort
+        Ops.push_back(TxOp::insert(Keys[I].merge(V.Values)));
+        OpKey.push_back(I);
+        continue;
+      }
+      assert(V.Values.columns().subsetOf(Rest) &&
+             "transactKeys values must not rebind key columns");
+      if (V.Values == Before[I])
+        continue; // untouched: no write for this key
+      Ops.push_back(TxOp::update(Keys[I], V.Values));
+      OpKey.push_back(I);
+    }
+    if (Ops.empty())
+      // Read-only batch: nothing to apply, but still a committed unit;
+      // draw its ticket while the stripes are held.
+      return TxResult{true, 0,
+                      TxTickets.fetch_add(1, std::memory_order_relaxed)};
+    TxResult R = transactLocked(Ops, Scope);
+    if (!R.Committed)
+      R.FailedOp = OpKey[R.FailedOp];
+    return R;
+  };
+
+  if (Plan.AllShards) {
+    AllShardsGuard Guard(Locks);
+    EpochWriterFence Fence = fenceAll();
+    return Run(Plan.Stripes);
+  }
+  ShardSetGuard Guard(Locks, Plan.Stripes);
+  EpochWriterFence Fence(Gates.get(), Guard.stripes().data(),
+                         Guard.stripes().size());
+  return Run(Guard.stripes());
 }
 
 TxResult ConcurrentRelation::transactLocked(const std::vector<TxOp> &Ops,
@@ -477,27 +592,28 @@ void ConcurrentRelation::scan(const Tuple &Pattern, ColumnSet OutputCols,
 void ConcurrentRelation::scanFrames(
     const Tuple &Pattern, ColumnSet OutputCols,
     function_ref<bool(const BindingFrame &)> Fn) const {
-  // NOTE: the callback runs under a shard's reader lock, so unlike the
-  // sequential engine's reentrant scans it must not issue operations
-  // on this ConcurrentRelation (a nested mutation deadlocks; a nested
-  // read re-acquires a held shared_mutex, which is undefined).
+  // NOTE: the callback runs inside a shard's epoch section (or under
+  // its reader lock on the fallback path), so unlike the sequential
+  // engine's reentrant scans it must not issue operations on this
+  // ConcurrentRelation (a nested mutation deadlocks against its own
+  // section or lock), and it must not block indefinitely (a stalled
+  // section stalls writer fences).
   if (Router.routes(Pattern.columns())) {
     unsigned S = Router.shardOf(Pattern);
-    auto Lock = Locks.shared(S);
-    Shards[S]->scanFrames(Pattern, OutputCols, Fn);
+    readShard(S, [&] { Shards[S]->scanFrames(Pattern, OutputCols, Fn); });
     return;
   }
   bool Stopped = false;
-  for (unsigned I = 0; I != Shards.size() && !Stopped; ++I) {
-    auto Lock = Locks.shared(I);
-    Shards[I]->scanFrames(Pattern, OutputCols, [&](const BindingFrame &F) {
-      if (!Fn(F)) {
-        Stopped = true;
-        return false;
-      }
-      return true;
+  for (unsigned I = 0; I != Shards.size() && !Stopped; ++I)
+    readShard(I, [&] {
+      Shards[I]->scanFrames(Pattern, OutputCols, [&](const BindingFrame &F) {
+        if (!Fn(F)) {
+          Stopped = true;
+          return false;
+        }
+        return true;
+      });
     });
-  }
 }
 
 void ConcurrentRelation::scanFramesParallel(
@@ -508,36 +624,61 @@ void ConcurrentRelation::scanFramesParallel(
     scanFrames(Pattern, OutputCols, Fn);
     return;
   }
-  // One worker per shard scans under that shard's reader lock and
-  // pushes copies of its frames into the bounded merge queue; the
-  // calling thread drains it and runs the sink. The copy is the price
+  // One task per shard runs on the persistent pool, scans under that
+  // shard's reader lock (NOT an epoch section: a task may block on
+  // queue backpressure, which would stall writer fences), and pushes
+  // chunks of copied frames into the bounded merge queue; the calling
+  // thread drains it and runs the sink. Chunking matters: moving rows
+  // one at a time through the queue made the mutex the bottleneck and
+  // parallel scans slower than sequential ones. The copy is the price
   // of crossing threads — the borrowed-frame zero-allocation contract
   // still holds per shard, and frames over catalogs within
   // BindingFrame::InlineColumns copy without heap traffic.
-  BoundedQueue<BindingFrame> Queue(ScanQueueCap,
-                                   static_cast<unsigned>(Shards.size()));
-  std::vector<std::thread> Workers;
-  Workers.reserve(Shards.size());
+  using Chunk = std::vector<BindingFrame>;
+  constexpr size_t ChunkRows = 128;
+  size_t CapChunks = ScanQueueCap / ChunkRows;
+  if (CapChunks < 2)
+    CapChunks = 2;
+  BoundedQueue<Chunk> Queue(CapChunks, static_cast<unsigned>(Shards.size()));
+  ScanPool::TaskGroup Tasks(ScanPool::global());
   for (unsigned I = 0; I != Shards.size(); ++I)
-    Workers.emplace_back([&, I] {
-      auto Lock = Locks.shared(I);
-      Shards[I]->scanFrames(Pattern, OutputCols,
-                            [&](const BindingFrame &F) {
-                              // push fails only after close(): the
-                              // consumer stopped, so stop scanning.
-                              return Queue.push(F);
-                            });
+    Tasks.submit([&, I] {
+      Chunk C;
+      C.reserve(ChunkRows);
+      bool Open = true;
+      {
+        auto Lock = Locks.shared(I);
+        Shards[I]->scanFrames(Pattern, OutputCols,
+                              [&](const BindingFrame &F) {
+                                C.push_back(F);
+                                if (C.size() == ChunkRows) {
+                                  // push fails only after close(): the
+                                  // consumer stopped, so stop scanning.
+                                  Open = Queue.push(std::move(C));
+                                  C.clear();
+                                  C.reserve(ChunkRows);
+                                }
+                                return Open;
+                              });
+      }
+      if (Open && !C.empty())
+        Queue.push(std::move(C));
       Queue.producerDone();
     });
-  BindingFrame Row;
-  while (Queue.pop(Row)) {
-    if (!Fn(Row)) {
-      Queue.close();
-      break;
+  Chunk Rows;
+  bool Stopped = false;
+  while (!Stopped && Queue.pop(Rows)) {
+    for (const BindingFrame &F : Rows) {
+      if (!Fn(F)) {
+        Stopped = true;
+        Queue.close();
+        break;
+      }
     }
   }
-  for (std::thread &W : Workers)
-    W.join();
+  // The group destructor would wait too; explicit for clarity. Tasks
+  // reference Queue and Pattern, so they must finish before we return.
+  Tasks.wait();
 }
 
 void ConcurrentRelation::scanParallel(const Tuple &Pattern,
@@ -559,15 +700,32 @@ bool ConcurrentRelation::contains(const Tuple &Pattern) const {
 
 void ConcurrentRelation::clear() {
   AllShardsGuard Guard(Locks);
+  EpochWriterFence Fence = fenceAll();
   for (std::unique_ptr<SynthesizedRelation> &S : Shards)
     S->clear();
   Count.store(0, std::memory_order_relaxed);
 }
 
 Relation ConcurrentRelation::toRelation() const {
-  // Reader locks on every shard at once: a consistent global snapshot
-  // (writers are fully excluded for the duration), while other readers
-  // still proceed.
+  // Wait-free attempt: one wildcard epoch section covers the whole
+  // extraction. Every writer fence waits for wildcard sections, so a
+  // writer that starts mid-snapshot blocks until we finish — the
+  // snapshot stays globally consistent without taking a single lock.
+  // If some shard already has a writer (gate raised), fall back to
+  // reader locks on every shard at once: the same consistent snapshot,
+  // with writers excluded by the locks instead.
+  {
+    EpochGuard Guard; // wildcard
+    bool Quiescent = true;
+    for (unsigned I = 0; I != Shards.size() && Quiescent; ++I)
+      Quiescent = !Gates[I].writerActive();
+    if (Quiescent) {
+      Relation Result(catalog().allColumns());
+      for (const std::unique_ptr<SynthesizedRelation> &S : Shards)
+        Result = Relation::unionWith(Result, S->toRelation());
+      return Result;
+    }
+  }
   AllShardsGuard Guard(Locks, AllShardsGuard::Shared);
   Relation Result(catalog().allColumns());
   for (const std::unique_ptr<SynthesizedRelation> &S : Shards)
@@ -576,6 +734,19 @@ Relation ConcurrentRelation::toRelation() const {
 }
 
 size_t ConcurrentRelation::liveInstances() const {
+  // Same wait-free-with-lock-fallback shape as toRelation.
+  {
+    EpochGuard Guard; // wildcard
+    bool Quiescent = true;
+    for (unsigned I = 0; I != Shards.size() && Quiescent; ++I)
+      Quiescent = !Gates[I].writerActive();
+    if (Quiescent) {
+      size_t Live = 0;
+      for (const std::unique_ptr<SynthesizedRelation> &S : Shards)
+        Live += S->liveInstances();
+      return Live;
+    }
+  }
   AllShardsGuard Guard(Locks, AllShardsGuard::Shared);
   size_t Live = 0;
   for (const std::unique_ptr<SynthesizedRelation> &S : Shards)
@@ -585,6 +756,9 @@ size_t ConcurrentRelation::liveInstances() const {
 
 void ConcurrentRelation::reoptimize() {
   AllShardsGuard Guard(Locks);
+  // The fence also drains wait-free readers, who may hold pointers
+  // into the plan caches this replaces.
+  EpochWriterFence Fence = fenceAll();
   for (std::unique_ptr<SynthesizedRelation> &S : Shards)
     S->reoptimize();
 }

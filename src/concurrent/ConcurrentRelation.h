@@ -11,10 +11,21 @@
 /// reader-writer lock per shard (StripedLock.h). Readers of any shards
 /// run concurrently; writers serialize only within the shard they
 /// touch. Operations whose pattern binds the shard column route to
-/// exactly one shard; the rest fan out — reads shard-by-shard under
-/// successive reader locks, mutations atomically under all writer
-/// locks in ascending order (docs/CONCURRENCY.md has the full design,
-/// lock order, and visibility guarantees).
+/// exactly one shard; the rest fan out — reads shard-by-shard,
+/// mutations atomically under all writer locks in ascending order
+/// (docs/CONCURRENCY.md has the full design, lock order, and
+/// visibility guarantees).
+///
+/// The read path is epoch-protected and wait-free in the common case
+/// (concurrent/Epoch.h): a reader enters an epoch section tagged with
+/// the shard's gate and, finding no writer active on that gate, scans
+/// without touching the stripe lock at all — no shared read-modify-
+/// write, so read throughput scales with cores. When a writer holds
+/// the shard (its gate is raised for the duration of the mutation,
+/// and the raising fence waits out in-flight reader sections), the
+/// reader falls back to the shard's reader lock, which is exactly the
+/// pre-epoch behavior. Writers are unchanged: exclusive stripe locks,
+/// two-phase locking for transact, commit tickets.
 ///
 /// Correctness: every full tuple is owned by exactly one shard (the
 /// hash of its shard-column value), so the represented relation is the
@@ -31,6 +42,7 @@
 #ifndef RELC_CONCURRENT_CONCURRENTRELATION_H
 #define RELC_CONCURRENT_CONCURRENTRELATION_H
 
+#include "concurrent/Epoch.h"
 #include "concurrent/ShardRouter.h"
 #include "concurrent/StripedLock.h"
 #include "runtime/SynthesizedRelation.h"
@@ -119,6 +131,35 @@ public:
   /// As above, with the batch assembled by \p Build (see TxBatch).
   TxResult transact(function_ref<void(TxBatch &)> Build);
 
+  /// One key's slice of a transactKeys batch: what the callback reads
+  /// and writes.
+  struct TxKeyView {
+    /// In: did a tuple matching the key exist?
+    bool Found = false;
+    /// In: the existing tuple's non-key values (empty when !Found).
+    /// Out: the values to write back. Leaving a Found view's values
+    /// unchanged writes nothing for that key; an absent key must come
+    /// back with every non-key column bound, or the batch aborts (the
+    /// same conditional-abort convention as TxOp::upsert).
+    Tuple Values;
+  };
+
+  /// The interpreted mirror of the generated facades' `transaction
+  /// cols x N` form (relc `transactN_by_<key>` methods): an atomic
+  /// read-modify-write over \p Keys, all bound over the same key
+  /// columns (which must form a key of the relation). Under the same
+  /// two-phase locking as transact — exactly the owning stripes,
+  /// ascending, when the key columns route; every stripe otherwise —
+  /// the current values of every key are read, \p Fn mutates the views
+  /// (returning false aborts with nothing applied), and the write-back
+  /// runs as one batch: updates for found keys whose values changed,
+  /// inserts for absent keys. FD conflicts roll back all-or-nothing
+  /// exactly as transact. On a callback abort the returned FailedOp is
+  /// Keys.size(); on an FD abort it is the index of the offending
+  /// write-back op.
+  TxResult transactKeys(const std::vector<Tuple> &Keys,
+                        function_ref<bool(std::vector<TxKeyView> &)> Fn);
+
   /// The stripes transact(\p Ops) would lock: either the exact
   /// ascending routed set, or every stripe (AllShards). Exposed so
   /// tests and capacity planning can see the lock footprint without
@@ -146,16 +187,16 @@ public:
   void scanFrames(const Tuple &Pattern, ColumnSet OutputCols,
                   function_ref<bool(const BindingFrame &)> Fn) const;
 
-  /// Parallel fan-out scan: one worker per shard scans under its
-  /// shard's reader lock and feeds a bounded merge queue
-  /// (ConcurrentOptions::ScanQueueCapacity); \p Fn runs on the calling
-  /// thread and sees the same multiset of frames as the sequential
-  /// fan-out, in arbitrary interleaved order. Routed patterns (which
-  /// touch one shard) degrade to the sequential path. Like scanFrames,
-  /// \p Fn must not call back into this relation — a mutation would
-  /// deadlock against a queue-blocked shard worker. Intended for
-  /// analytics-style full scans; per-call thread spawn makes it a poor
-  /// fit for tiny results.
+  /// Parallel fan-out scan: one task per shard runs on the persistent
+  /// scan worker pool (concurrent/ScanPool.h — no per-call thread
+  /// spawn), scans under its shard's reader lock, and feeds row chunks
+  /// into a bounded merge queue (ConcurrentOptions::ScanQueueCapacity
+  /// rows); \p Fn runs on the calling thread and sees the same
+  /// multiset of frames as the sequential fan-out, in arbitrary
+  /// per-shard-chunked order. Routed patterns (which touch one shard)
+  /// degrade to the sequential path. Like scanFrames, \p Fn must not
+  /// call back into this relation — a mutation would deadlock against
+  /// a queue-blocked shard task.
   void scanFramesParallel(const Tuple &Pattern, ColumnSet OutputCols,
                           function_ref<bool(const BindingFrame &)> Fn) const;
 
@@ -177,9 +218,12 @@ public:
   // Introspection (tests, benches).
   //===--------------------------------------------------------------------===
 
-  /// α(d): the union of the shard relations, extracted under reader
-  /// locks on every shard at once (AllShardsGuard shared mode) — a
-  /// globally consistent snapshot even while writers run.
+  /// α(d): the union of the shard relations — a globally consistent
+  /// snapshot even while writers run. Wait-free when no writer is
+  /// active: the extraction runs inside one wildcard epoch section
+  /// (any writer fence starting mid-snapshot waits for it), touching
+  /// no lock; if any shard's gate is already raised it falls back to
+  /// reader locks on every shard at once (AllShardsGuard shared).
   Relation toRelation() const;
 
   /// Live NodeInstances across shards (leak checks).
@@ -198,6 +242,29 @@ private:
   size_t removeAllShards(const Tuple &Pattern);
   size_t updateRehoming(const Tuple &Pattern, const Tuple &Changes);
 
+  /// Runs \p Body with read access to shard \p S: wait-free inside an
+  /// epoch section tagged with the shard's gate when no writer is
+  /// active on it, else under the shard's reader lock. \p Body may run
+  /// twice only in the sense that the epoch attempt is abandoned
+  /// *before* Body starts — Body itself always runs exactly once.
+  template <typename BodyT> void readShard(unsigned S, BodyT &&Body) const {
+    {
+      EpochGuard Guard(&Gates[S]);
+      if (!Gates[S].writerActive()) {
+        Body();
+        return;
+      }
+    }
+    auto Lock = Locks.shared(S);
+    Body();
+  }
+
+  /// Fence covering every shard's gate (fan-out mutations).
+  EpochWriterFence fenceAll() {
+    return EpochWriterFence(Gates.get(), AllShardIdx.data(),
+                            AllShardIdx.size());
+  }
+
   /// The single shard a transact op touches, or nullopt when it must
   /// run under every stripe: its pattern misses the shard column, it
   /// may rewrite the shard column (migration), or — for insert-like
@@ -214,6 +281,11 @@ private:
 
   ShardRouter Router;
   StripedLockSet Locks;
+  /// One writer gate per shard for the epoch read path (cache-line
+  /// padded, like the stripes).
+  std::unique_ptr<EpochGate[]> Gates;
+  /// 0..NumShards-1, for all-gate fences.
+  std::vector<unsigned> AllShardIdx;
   /// unique_ptr: SynthesizedRelation owns a non-movable InstanceGraph.
   std::vector<std::unique_ptr<SynthesizedRelation>> Shards;
   std::atomic<size_t> Count{0};

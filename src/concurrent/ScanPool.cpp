@@ -1,0 +1,103 @@
+//===- concurrent/ScanPool.cpp - Persistent scan worker pool --------------===//
+
+#include "concurrent/ScanPool.h"
+
+#include <cassert>
+
+using namespace relc;
+
+ScanPool::ScanPool(unsigned MaxWorkers) : Max(MaxWorkers) {
+  if (Max == 0) {
+    Max = std::thread::hardware_concurrency();
+    if (Max == 0)
+      Max = 4;
+  }
+}
+
+ScanPool::~ScanPool() {
+  {
+    std::lock_guard<std::mutex> Lock(M);
+    Stopping = true;
+  }
+  HasWork.notify_all();
+  for (std::thread &W : Workers)
+    W.join();
+}
+
+ScanPool &ScanPool::global() {
+  static ScanPool Pool;
+  return Pool;
+}
+
+void ScanPool::submit(std::function<void()> Task) {
+  bool Spawn = false;
+  {
+    std::lock_guard<std::mutex> Lock(M);
+    assert(!Stopping && "submit() after shutdown");
+    Tasks.push_back(std::move(Task));
+    // Spawn only when no idle worker can pick this up: steady-state
+    // scans reuse the existing threads.
+    if (Idle == 0 && Workers.size() < Max) {
+      Workers.emplace_back(); // slot first; thread start outside lock
+      Spawn = true;
+    }
+  }
+  if (Spawn) {
+    std::thread T([this] { workerLoop(); });
+    {
+      std::lock_guard<std::mutex> Lock(M);
+      // The slot reserved above is the last default-constructed one.
+      for (std::thread &W : Workers)
+        if (!W.joinable()) {
+          W = std::move(T);
+          break;
+        }
+    }
+    Spawned.fetch_add(1, std::memory_order_acq_rel);
+  }
+  HasWork.notify_one();
+}
+
+void ScanPool::workerLoop() {
+  std::unique_lock<std::mutex> Lock(M);
+  for (;;) {
+    while (Tasks.empty() && !Stopping) {
+      ++Idle;
+      HasWork.wait(Lock);
+      --Idle;
+    }
+    if (Tasks.empty() && Stopping)
+      return;
+    std::function<void()> Task = std::move(Tasks.front());
+    Tasks.pop_front();
+    Lock.unlock();
+    Task();
+    Lock.lock();
+  }
+}
+
+void ScanPool::TaskGroup::submit(std::function<void()> Task) {
+  {
+    std::lock_guard<std::mutex> Lock(M);
+    ++Outstanding;
+  }
+  // Wrap so completion is signalled even if the task throws would be
+  // nice, but tasks are noexcept by convention in this codebase (the
+  // engine aborts on contract violations), so a plain wrapper does.
+  Pool.submit([this, T = std::move(Task)]() mutable {
+    T();
+    finishOne();
+  });
+}
+
+void ScanPool::TaskGroup::finishOne() {
+  std::lock_guard<std::mutex> Lock(M);
+  assert(Outstanding != 0);
+  if (--Outstanding == 0)
+    Done.notify_all();
+}
+
+void ScanPool::TaskGroup::wait() {
+  std::unique_lock<std::mutex> Lock(M);
+  Done.wait(Lock, [this] { return Outstanding == 0; });
+}

@@ -1,0 +1,98 @@
+//===- concurrent/ScanPool.h - Persistent scan worker pool --------*- C++ -*-=//
+//
+// A lazily-started, process-wide pool of long-lived worker threads for
+// fan-out scans. Thread-per-call parallel scans pay a thread spawn per
+// shard per scan (~100us each), which is why BENCH_concurrent.json
+// showed parallel scans collapsing to ~0.1x; the pool amortizes thread
+// creation across the process lifetime.
+//
+// Shape: fire-and-forget `submit()` plus a per-scan `TaskGroup` whose
+// `wait()` blocks until every task submitted through the group has
+// finished. The scanning caller must submit all shard tasks, then
+// drain the merge queue, and only then wait on the group — waiting
+// before draining would deadlock once the bounded queue fills.
+//
+// Pool tasks may block (on stripe locks or queue backpressure); they
+// must NOT be inside an EpochGuard section while doing so (a blocked
+// section stalls writer fences — see Epoch.h).
+//
+//===----------------------------------------------------------------------===//
+
+#ifndef RELC_CONCURRENT_SCANPOOL_H
+#define RELC_CONCURRENT_SCANPOOL_H
+
+#include <atomic>
+#include <condition_variable>
+#include <cstddef>
+#include <deque>
+#include <functional>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+namespace relc {
+
+class ScanPool {
+public:
+  /// MaxWorkers == 0 uses std::thread::hardware_concurrency().
+  explicit ScanPool(unsigned MaxWorkers = 0);
+  ~ScanPool();
+  ScanPool(const ScanPool &) = delete;
+  ScanPool &operator=(const ScanPool &) = delete;
+
+  /// The process-wide pool shared by every ConcurrentRelation and
+  /// generated facade.
+  static ScanPool &global();
+
+  /// Enqueue a task. Workers are spawned lazily, one per submit that
+  /// finds no idle worker, up to the cap — a process that never scans
+  /// in parallel never starts a thread.
+  void submit(std::function<void()> Task);
+
+  /// Workers spawned so far (test hook).
+  unsigned workerCount() const {
+    return Spawned.load(std::memory_order_acquire);
+  }
+
+  unsigned maxWorkers() const { return Max; }
+
+  /// Tracks completion of the tasks one scan submits. Destruction
+  /// waits, so a TaskGroup must never outlive the data its tasks
+  /// capture by reference.
+  class TaskGroup {
+  public:
+    explicit TaskGroup(ScanPool &P) : Pool(P) {}
+    ~TaskGroup() { wait(); }
+    TaskGroup(const TaskGroup &) = delete;
+    TaskGroup &operator=(const TaskGroup &) = delete;
+
+    void submit(std::function<void()> Task);
+    /// Block until every task submitted through this group completed.
+    void wait();
+
+  private:
+    ScanPool &Pool;
+    std::mutex M;
+    std::condition_variable Done;
+    size_t Outstanding = 0;
+
+    void finishOne();
+  };
+
+private:
+  void workerLoop();
+
+  unsigned Max;
+  std::atomic<unsigned> Spawned{0};
+
+  std::mutex M;
+  std::condition_variable HasWork;
+  std::deque<std::function<void()>> Tasks;
+  unsigned Idle = 0;
+  bool Stopping = false;
+  std::vector<std::thread> Workers;
+};
+
+} // namespace relc
+
+#endif // RELC_CONCURRENT_SCANPOOL_H

@@ -6,6 +6,8 @@
 
 #include "instance/InstanceGraph.h"
 
+#include "concurrent/Epoch.h"
+
 #include <vector>
 
 using namespace relc;
@@ -43,7 +45,20 @@ void InstanceGraph::destroy(NodeInstance *N) {
       Children.push_back(Child);
       return true;
     });
-  delete N;
+  if (DeferredReclaim) {
+    // Destruct now, free later. The destructor must run eagerly: it
+    // unlinks surviving children's intrusive hooks, and a deferred
+    // unlink could corrupt a container the child is re-linked into
+    // meanwhile. Only the allocator free rides the retire list, past
+    // the epoch grace period — so the memory of a node a stale reader
+    // could still be traversing stays mapped, and the free itself
+    // happens outside the writer's fenced critical section.
+    N->~NodeInstance();
+    EpochManager::global().retire(
+        static_cast<void *>(N), [](void *P) { ::operator delete(P); });
+  } else {
+    delete N;
+  }
   --Live;
   for (NodeInstance *Child : Children)
     release(Child);

@@ -53,12 +53,24 @@ public:
   /// and memory accounting in tests/benches).
   size_t liveInstances() const { return Live; }
 
+  /// Route the final `delete` of destroyed instances through the
+  /// epoch retire list (concurrent/Epoch.h) instead of freeing
+  /// inline. Enabled by ConcurrentRelation on its shards: a writer
+  /// that unlinks nodes under its stripe lock defers the actual
+  /// deallocation past the readers' grace period, keeping frees out
+  /// of the fenced critical section. Unlinking semantics (refcounts,
+  /// Live accounting, edge-map teardown) are unchanged — only the
+  /// point in time memory is returned to the allocator moves.
+  void enableDeferredReclamation() { DeferredReclaim = true; }
+  bool deferredReclamation() const { return DeferredReclaim; }
+
 private:
   void destroy(NodeInstance *N);
 
   std::shared_ptr<const Decomposition> D;
   NodeInstance *Root = nullptr;
   size_t Live = 0;
+  bool DeferredReclaim = false;
 };
 
 } // namespace relc

@@ -18,6 +18,15 @@
 /// plan outside any lock, then publish under a writer lock. The
 /// default mode stays lock-free for the sequential hot path.
 ///
+/// Even a shared_lock is a read-modify-write on the mutex word, which
+/// defeats the epoch-based wait-free read path (concurrent/Epoch.h):
+/// with it, plan() would be the last shared write left on the read
+/// side. Thread-safe mode therefore fronts the locked map with a small
+/// lock-free publication table — insert-only open addressing over
+/// atomic pointers to immutable entries — so steady-state plan()
+/// lookups are pure loads. The locked map remains the source of truth
+/// and the slow path for cold shapes and table overflow.
+///
 //===----------------------------------------------------------------------===//
 
 #ifndef RELC_RUNTIME_PLANCACHE_H
@@ -28,6 +37,8 @@
 #include "runtime/Cut.h"
 #include "support/Hashing.h"
 
+#include <array>
+#include <atomic>
 #include <memory>
 #include <mutex>
 #include <shared_mutex>
@@ -62,22 +73,42 @@ public:
       }
       return It->second ? &*It->second : nullptr;
     }
+    // Wait-free fast path: pure loads over the publication table.
+    // Insert-only open addressing, so probing may stop at the first
+    // empty slot.
+    size_t H = ShapeHash()(Key);
+    for (size_t P = 0; P != FastProbes; ++P) {
+      const PublishedShape *E =
+          Fast[(H + P) & (FastSlots - 1)].load(std::memory_order_acquire);
+      if (!E)
+        break;
+      if (E->InMask == Key.first && E->OutMask == Key.second)
+        return E->Plan;
+    }
+    const QueryPlan *Resolved = nullptr;
+    bool Hit = false;
     {
       std::shared_lock<std::shared_mutex> Lock(Mu);
       auto It = Plans.find(Key);
-      if (It != Plans.end())
-        return It->second ? &*It->second : nullptr;
+      if (It != Plans.end()) {
+        Resolved = It->second ? &*It->second : nullptr;
+        Hit = true;
+      }
     }
-    // Plan outside the lock (planning is pure over the immutable
-    // decomposition and the cost parameters, which only reoptimize —
-    // externally exclusive — replaces); racing planners compute the
-    // same plan and the first publication wins.
-    std::optional<QueryPlan> P = planQuery(*D, InputCols, OutputCols, Params);
-    std::unique_lock<std::shared_mutex> Lock(Mu);
-    auto It = Plans.find(Key);
-    if (It == Plans.end())
-      It = Plans.emplace(Key, std::move(P)).first;
-    return It->second ? &*It->second : nullptr;
+    if (!Hit) {
+      // Plan outside the lock (planning is pure over the immutable
+      // decomposition and the cost parameters, which only reoptimize —
+      // externally exclusive — replaces); racing planners compute the
+      // same plan and the first publication wins.
+      std::optional<QueryPlan> P = planQuery(*D, InputCols, OutputCols, Params);
+      std::unique_lock<std::shared_mutex> Lock(Mu);
+      auto It = Plans.find(Key);
+      if (It == Plans.end())
+        It = Plans.emplace(Key, std::move(P)).first;
+      Resolved = It->second ? &*It->second : nullptr;
+    }
+    publishShape(Key, Resolved);
+    return Resolved;
   }
 
   /// The cut for a pattern column set (cached).
@@ -111,6 +142,16 @@ public:
   void reoptimize(CostParams NewParams) {
     Params = std::move(NewParams);
     Plans.clear();
+    // Published entries point into the dropped plans; reset the table.
+    // Safe to delete outright under this method's external-exclusivity
+    // contract (no concurrent plan() caller is live).
+    for (std::atomic<const PublishedShape *> &Slot : Fast)
+      delete Slot.exchange(nullptr, std::memory_order_relaxed);
+  }
+
+  ~PlanCache() {
+    for (std::atomic<const PublishedShape *> &Slot : Fast)
+      delete Slot.load(std::memory_order_relaxed);
   }
 
 private:
@@ -124,6 +165,42 @@ private:
     }
   };
 
+  /// One published (shape -> plan) binding. Immutable once linked into
+  /// the table; the pointed-to plan lives in Plans (node-based, so
+  /// stable across later insertions).
+  struct PublishedShape {
+    uint64_t InMask;
+    uint64_t OutMask;
+    const QueryPlan *Plan; // null is a valid cached answer ("no plan")
+  };
+
+  static constexpr size_t FastSlots = 64; // power of two
+  static constexpr size_t FastProbes = 16;
+
+  /// Best-effort publication: first empty probe slot wins; a full
+  /// probe window simply leaves the shape on the locked slow path.
+  void publishShape(const std::pair<uint64_t, uint64_t> &Key,
+                    const QueryPlan *Plan) {
+    size_t H = ShapeHash()(Key);
+    for (size_t P = 0; P != FastProbes; ++P) {
+      std::atomic<const PublishedShape *> &Slot = Fast[(H + P) & (FastSlots - 1)];
+      const PublishedShape *Cur = Slot.load(std::memory_order_acquire);
+      if (Cur) {
+        if (Cur->InMask == Key.first && Cur->OutMask == Key.second)
+          return; // someone already published this shape
+        continue;
+      }
+      auto *E = new PublishedShape{Key.first, Key.second, Plan};
+      const PublishedShape *Expected = nullptr;
+      if (Slot.compare_exchange_strong(Expected, E, std::memory_order_release,
+                                       std::memory_order_acquire))
+        return;
+      delete E; // lost the race for this slot; retry on the next one
+      if (Expected->InMask == Key.first && Expected->OutMask == Key.second)
+        return;
+    }
+  }
+
   std::shared_ptr<const Decomposition> D;
   CostParams Params;
   std::unordered_map<std::pair<uint64_t, uint64_t>, std::optional<QueryPlan>,
@@ -132,6 +209,8 @@ private:
   std::unordered_map<uint64_t, Cut> Cuts;
   /// Guards Plans and Cuts in thread-safe mode only.
   std::shared_mutex Mu;
+  /// Lock-free publication table fronting Plans in thread-safe mode.
+  std::array<std::atomic<const PublishedShape *>, FastSlots> Fast{};
   bool ThreadSafe = false;
 };
 

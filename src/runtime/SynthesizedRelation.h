@@ -181,6 +181,13 @@ public:
   /// it with one shared_mutex per shard). One-way.
   void enableConcurrentReads() { Plans.enableThreadSafe(); }
 
+  /// Routes freed NodeInstance memory through the global epoch retire
+  /// list (concurrent/Epoch.h): mutators destruct unlinked nodes
+  /// eagerly but return the memory to the allocator only after every
+  /// epoch reader's grace period. Enabled by ConcurrentRelation
+  /// alongside enableConcurrentReads(); one-way.
+  void enableDeferredReclamation() { Graph.enableDeferredReclamation(); }
+
   /// The live instance graph (concurrent facade + tests; read-only).
   const InstanceGraph &instanceGraph() const { return Graph; }
 

@@ -959,6 +959,142 @@ TEST_F(ConcurrentRelationTest, TransactAlphaZtopoShardedByNonKey) {
       S, ZtopoRelational::makeDefaultDecomposition(S), Opts, 0x7a0007);
 }
 
+//===--------------------------------------------------------------------===//
+// transactKeys: the interpreted mirror of the generated
+// `transaction cols x N` form (transactN_by_<key>).
+//===--------------------------------------------------------------------===//
+
+TEST_F(ConcurrentRelationTest, TransactKeysTransfersAtomically) {
+  ConcurrentRelation Rel(Decomp, {8, std::nullopt});
+  ASSERT_TRUE(Rel.insert(proc(1, 1, 0, 50)));
+  ASSERT_TRUE(Rel.insert(proc(2, 2, 0, 10)));
+  ColumnId ColCpu = Cat.get("cpu");
+
+  TxResult R = Rel.transactKeys(
+      {key(1, 1), key(2, 2)},
+      [&](std::vector<ConcurrentRelation::TxKeyView> &Views) {
+        EXPECT_TRUE(Views[0].Found);
+        EXPECT_TRUE(Views[1].Found);
+        int64_t A = Views[0].Values.get(ColCpu).asInt();
+        int64_t B = Views[1].Values.get(ColCpu).asInt();
+        Views[0].Values.set(ColCpu, Value::ofInt(A - 30));
+        Views[1].Values.set(ColCpu, Value::ofInt(B + 30));
+        return true;
+      });
+  EXPECT_TRUE(R.Committed);
+  EXPECT_GT(R.Ticket, 0u);
+  EXPECT_TRUE(Rel.contains(proc(1, 1, 0, 20)));
+  EXPECT_TRUE(Rel.contains(proc(2, 2, 0, 40)));
+  EXPECT_EQ(Rel.size(), 2u);
+}
+
+TEST_F(ConcurrentRelationTest, TransactKeysInsertsAbsentSides) {
+  ConcurrentRelation Rel(Decomp, {4, std::nullopt});
+  ASSERT_TRUE(Rel.insert(proc(1, 1, 0, 7)));
+
+  // One found key, one absent: the absent side comes back fully bound
+  // and is inserted; the found side is left untouched (no write).
+  TxResult R = Rel.transactKeys(
+      {key(1, 1), key(9, 9)},
+      [&](std::vector<ConcurrentRelation::TxKeyView> &Views) {
+        EXPECT_TRUE(Views[0].Found);
+        EXPECT_FALSE(Views[1].Found);
+        EXPECT_TRUE(Views[1].Values.columns().empty());
+        Views[1].Values =
+            TupleBuilder(Cat).set("state", 2).set("cpu", 1).build();
+        return true;
+      });
+  EXPECT_TRUE(R.Committed);
+  EXPECT_EQ(Rel.size(), 2u);
+  EXPECT_TRUE(Rel.contains(proc(1, 1, 0, 7)));
+  EXPECT_TRUE(Rel.contains(proc(9, 9, 2, 1)));
+}
+
+TEST_F(ConcurrentRelationTest, TransactKeysCallbackAbortAppliesNothing) {
+  ConcurrentRelation Rel(Decomp, {4, std::nullopt});
+  ASSERT_TRUE(Rel.insert(proc(1, 1, 0, 10)));
+  Relation Before = Rel.toRelation();
+
+  TxResult R = Rel.transactKeys(
+      {key(1, 1), key(2, 2)},
+      [&](std::vector<ConcurrentRelation::TxKeyView> &Views) {
+        Views[0].Values.set(Cat.get("cpu"), Value::ofInt(99));
+        return false; // abort
+      });
+  EXPECT_FALSE(R.Committed);
+  EXPECT_EQ(R.FailedOp, 2u); // callback abort reports Keys.size()
+  EXPECT_EQ(R.Ticket, 0u);
+  EXPECT_EQ(Rel.toRelation(), Before);
+}
+
+TEST_F(ConcurrentRelationTest, TransactKeysUnderboundInsertAborts) {
+  ConcurrentRelation Rel(Decomp, {4, std::nullopt});
+  ASSERT_TRUE(Rel.insert(proc(1, 1, 0, 10)));
+  Relation Before = Rel.toRelation();
+
+  // The absent key's view binds only one of the two non-key columns:
+  // conditional abort naming the offending key, nothing applied.
+  TxResult R = Rel.transactKeys(
+      {key(1, 1), key(5, 5)},
+      [&](std::vector<ConcurrentRelation::TxKeyView> &Views) {
+        Views[0].Values.set(Cat.get("cpu"), Value::ofInt(11));
+        Views[1].Values = TupleBuilder(Cat).set("state", 1).build();
+        return true;
+      });
+  EXPECT_FALSE(R.Committed);
+  EXPECT_EQ(R.FailedOp, 1u);
+  EXPECT_EQ(Rel.toRelation(), Before);
+}
+
+TEST_F(ConcurrentRelationTest, TransactKeysReadOnlyStillCommits) {
+  ConcurrentRelation Rel(Decomp, {4, std::nullopt});
+  ASSERT_TRUE(Rel.insert(proc(1, 1, 0, 10)));
+
+  // A batch that touches nothing is a committed (serializable) unit
+  // with its own ticket — the generated transactN methods behave the
+  // same when Fn leaves every side unchanged.
+  TxResult R = Rel.transactKeys(
+      {key(1, 1)},
+      [&](std::vector<ConcurrentRelation::TxKeyView> &Views) {
+        EXPECT_TRUE(Views[0].Found);
+        return true;
+      });
+  EXPECT_TRUE(R.Committed);
+  EXPECT_GT(R.Ticket, 0u);
+  EXPECT_EQ(Rel.size(), 1u);
+}
+
+TEST_F(ConcurrentRelationTest, TransactKeysFansOutWhenShardedByNonKey) {
+  // Sharded by state (not part of the {ns, pid} key): the lock plan
+  // degrades to all stripes and write-backs may migrate tuples
+  // between shards.
+  ConcurrentOptions Opts;
+  Opts.NumShards = 4;
+  Opts.ShardColumn = Cat.get("state");
+  ConcurrentRelation Rel(fig2(Spec), Opts);
+  ASSERT_TRUE(Rel.insert(proc(1, 1, 0, 10)));
+  ASSERT_TRUE(Rel.insert(proc(2, 2, 1, 20)));
+
+  ColumnId ColState = Cat.get("state");
+  TxResult R = Rel.transactKeys(
+      {key(1, 1), key(2, 2)},
+      [&](std::vector<ConcurrentRelation::TxKeyView> &Views) {
+        // Swap the two tuples' states: both migrate shards.
+        Views[0].Values.set(ColState, Value::ofInt(1));
+        Views[1].Values.set(ColState, Value::ofInt(0));
+        return true;
+      });
+  EXPECT_TRUE(R.Committed);
+  EXPECT_TRUE(Rel.contains(proc(1, 1, 1, 10)));
+  EXPECT_TRUE(Rel.contains(proc(2, 2, 0, 20)));
+  EXPECT_EQ(Rel.size(), 2u);
+
+  size_t Sum = 0;
+  for (unsigned I = 0; I != Rel.numShards(); ++I)
+    Sum += Rel.shard(I).size();
+  EXPECT_EQ(Sum, 2u);
+}
+
 TEST_F(ConcurrentRelationTest, IpcapDecompositionRoundTrip) {
   RelSpecRef IpcapSpec = IpcapRelational::makeSpec();
   Decomposition D = IpcapRelational::makeDefaultDecomposition(IpcapSpec);

@@ -1,0 +1,134 @@
+#!/usr/bin/env python3
+"""Concurrency-bench regression gate.
+
+Reads a BENCH_concurrent.json report (as produced by
+``bench_concurrent --json``) and fails when the headline speedups that
+the epoch read path and the persistent scan pool exist for have
+regressed:
+
+  * ``<system>.scan.t2``  speedup_vs_1 must be >= 0.9
+  * ``<system>.query.t4`` speedup_vs_1 must be >= 1.0
+
+The gate only means something with real parallelism: when the report's
+``meta.hardware_concurrency`` is below 4 (or missing), the t2/t4
+numbers measure scheduling overhead on an oversubscribed machine, so
+the gate prints a notice and exits 0 rather than producing noise.
+
+Usage:  check_bench_gate.py <report.json> [--baseline BENCH_concurrent.json]
+
+With --baseline the gate additionally checks that neither headline
+metric dropped more than 20% below the committed baseline captured on
+a comparable machine (same hardware_concurrency class and shard
+count); incomparable baselines are skipped with a notice.
+
+stdlib only -- runs on a bare CI python3.
+"""
+
+import argparse
+import json
+import sys
+
+SCAN_T2_FLOOR = 0.9
+QUERY_T4_FLOOR = 1.0
+BASELINE_DROP = 0.8  # new must be >= 80% of baseline
+MIN_HW_THREADS = 4
+
+
+def load(path):
+    with open(path) as f:
+        return json.load(f)
+
+
+def speedups(report):
+    """{name: speedup_vs_1} for every result that has one."""
+    out = {}
+    for rec in report.get("results", []):
+        if "speedup_vs_1" in rec:
+            out[rec["name"]] = rec["speedup_vs_1"]
+    return out
+
+
+def gated_names(sp):
+    """The (name, floor) pairs this gate enforces, present in sp."""
+    pairs = []
+    for name in sorted(sp):
+        if name.endswith(".scan.t2"):
+            pairs.append((name, SCAN_T2_FLOOR))
+        elif name.endswith(".query.t4"):
+            pairs.append((name, QUERY_T4_FLOOR))
+    return pairs
+
+
+def hw_threads(report):
+    meta = report.get("meta", {})
+    try:
+        return int(meta.get("hardware_concurrency", 0))
+    except (TypeError, ValueError):
+        return 0
+
+
+def main(argv):
+    ap = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    ap.add_argument("report", help="bench_concurrent --json output to check")
+    ap.add_argument("--baseline", help="committed baseline to compare against")
+    args = ap.parse_args(argv)
+
+    report = load(args.report)
+    threads = hw_threads(report)
+    if threads < MIN_HW_THREADS:
+        print(
+            "bench gate: skipped -- hardware_concurrency=%d < %d, "
+            "speedups on this machine measure overhead, not scaling"
+            % (threads, MIN_HW_THREADS)
+        )
+        return 0
+
+    sp = speedups(report)
+    pairs = gated_names(sp)
+    if not pairs:
+        print("bench gate: FAIL -- report has no scan.t2/query.t4 results")
+        return 1
+
+    failures = []
+    for name, floor in pairs:
+        val = sp[name]
+        status = "ok" if val >= floor else "FAIL"
+        print("bench gate: %-28s %.3f (floor %.2f) %s" % (name, val, floor, status))
+        if val < floor:
+            failures.append(name)
+
+    if args.baseline:
+        base = load(args.baseline)
+        base_threads = hw_threads(base)
+        base_shards = base.get("meta", {}).get("shards")
+        shards = report.get("meta", {}).get("shards")
+        if base_threads < MIN_HW_THREADS or base_shards != shards:
+            print(
+                "bench gate: baseline skipped -- captured on an "
+                "incomparable machine (hw=%s shards=%s vs hw=%s shards=%s)"
+                % (base_threads, base_shards, threads, shards)
+            )
+        else:
+            base_sp = speedups(base)
+            for name, _ in pairs:
+                if name not in base_sp:
+                    continue
+                floor = base_sp[name] * BASELINE_DROP
+                val = sp[name]
+                status = "ok" if val >= floor else "FAIL"
+                print(
+                    "bench gate: %-28s %.3f vs baseline %.3f (floor %.3f) %s"
+                    % (name, val, base_sp[name], floor, status)
+                )
+                if val < floor:
+                    failures.append(name + " (vs baseline)")
+
+    if failures:
+        print("bench gate: FAIL -- " + ", ".join(failures))
+        return 1
+    print("bench gate: all headline speedups within bounds")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main(sys.argv[1:]))
