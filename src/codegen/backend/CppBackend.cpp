@@ -21,6 +21,7 @@
 
 #include <cassert>
 #include <cctype>
+#include <cstdio>
 #include <functional>
 #include <map>
 #include <string>
@@ -83,6 +84,8 @@ public:
     closeClass();
     if (M.hasFacade())
       emitConcurrentFacade();
+    if (M.WireDispatch)
+      emitWireDispatch();
     closeFile();
     return W.take();
   }
@@ -1004,6 +1007,91 @@ private:
     }
     W.line("  static constexpr unsigned AllShardIdx[NumShards] = {" + Init +
            "};");
+  }
+
+  //===------------------------------------------------------------------===
+  // The wire dispatch table (the spec's `wire` directive): a constexpr
+  // opcode -> facade-method mapping matching the relserved protocol
+  // (src/server/Wire.h), so a server shim over the generated facade
+  // dispatches without hand-maintaining the table. One row per
+  // wire-addressable facade op; upserts, parallel scans, and clear are
+  // reachable only through other opcodes (Transact / Query) or not
+  // wire-exposed at all, so they get no row.
+  //===------------------------------------------------------------------===
+
+  void emitWireDispatch() {
+    assert(M.hasFacade() && "wire dispatch without a facade");
+    struct Row {
+      unsigned Opcode;
+      std::string Method;
+      unsigned Arity;
+    };
+    // Opcode values mirror wire::Op (kept numeric here so generated
+    // headers stay standalone).
+    std::vector<Row> Rows;
+    for (const MethodOp &Op : M.Ops) {
+      if (Op.Where != Layer::Facade)
+        continue;
+      switch (Op.Kind) {
+      case OpKind::Insert:
+        Rows.push_back({0x02, "insert", 0});
+        break;
+      case OpKind::RemoveBy:
+        Rows.push_back({0x03, Op.Name, 0});
+        break;
+      case OpKind::UpdateBy:
+        Rows.push_back({0x04, Op.Name, 0});
+        break;
+      case OpKind::Query:
+        Rows.push_back({0x05, Op.Name, 0});
+        break;
+      case OpKind::TransactBy:
+        Rows.push_back({0x06, Op.Name, Op.Arity});
+        break;
+      case OpKind::ParallelScan:
+      case OpKind::UpsertBy:
+      case OpKind::LookupBy:
+      case OpKind::Clear:
+        break;
+      }
+    }
+    // size() exists on every facade.
+    Rows.push_back({0x07, "size", 0});
+
+    std::string Fac = M.ClassName + "_concurrent";
+    W.line();
+    W.line("/// Wire dispatch table for " + Fac + ": one row per wire-");
+    W.line("/// addressable facade method, opcode values matching the "
+           "relserved");
+    W.line("/// binary protocol. An opcode with several specialized "
+           "methods (e.g.");
+    W.line("/// one Query per query directive) gets one row per method; "
+           "lookup()");
+    W.line("/// returns the first.");
+    W.open("struct " + M.ClassName + "_wire {");
+    W.open("struct Entry {");
+    W.line("unsigned char Opcode;");
+    W.line("const char *Method;");
+    W.line("/// Key tuples of a transact row; 0 elsewhere.");
+    W.line("unsigned Arity;");
+    W.close("};");
+    W.line("static constexpr unsigned NumEntries = " +
+           std::to_string(Rows.size()) + ";");
+    W.open("static constexpr Entry Table[NumEntries] = {");
+    for (const Row &R : Rows) {
+      char Op[8];
+      std::snprintf(Op, sizeof(Op), "0x%02X", R.Opcode);
+      W.line("{" + std::string(Op) + ", \"" + R.Method + "\", " +
+             std::to_string(R.Arity) + "},");
+    }
+    W.close("};");
+    W.open("static constexpr const Entry *lookup(unsigned char Op) {");
+    W.line("for (unsigned I = 0; I != NumEntries; ++I)");
+    W.line("  if (Table[I].Opcode == Op)");
+    W.line("    return &Table[I];");
+    W.line("return nullptr;");
+    W.close("}");
+    W.close("};");
   }
 
   void emitFacadeQuery(const MethodOp &Q, const std::string &SCName) {

@@ -139,6 +139,9 @@ struct Module {
   unsigned Shards = 0;
   /// Resolved shard column (meaningful iff Shards > 0).
   ColumnId ShardColumn = 0;
+  /// Emit the `<class>_wire` opcode dispatch table alongside the
+  /// facade (the spec's `wire` directive; requires Shards > 0).
+  bool WireDispatch = false;
   /// All methods, in emission order: sequential ops first, then facade
   /// ops. Backends iterate this vector; they never invent methods.
   std::vector<MethodOp> Ops;

@@ -64,6 +64,8 @@ std::string ir::printModule(const Module &M) {
            Cat.name(M.ShardColumn) + "\n";
   else
     Out += "  shards: none\n";
+  if (M.WireDispatch)
+    Out += "  wire dispatch: on\n";
 
   Out += "  ops:\n";
   for (const MethodOp &Op : M.Ops) {

@@ -52,11 +52,14 @@ public:
            "lowering an inadequate decomposition");
     assert((Opts.Transactions.empty() || Opts.ConcurrentShards > 0) &&
            "transact_by_* lives on the concurrent facade");
+    assert((!Opts.WireDispatch || Opts.ConcurrentShards > 0) &&
+           "the wire dispatch table targets the concurrent facade");
 
     M.Decomp = &D;
     M.ClassName = Opts.ClassName;
     M.Namespace = Opts.Namespace;
     M.Shards = Opts.ConcurrentShards;
+    M.WireDispatch = Opts.WireDispatch;
     if (M.Shards > 0)
       M.ShardColumn = Opts.ConcurrentShardColumn
                           ? *Opts.ConcurrentShardColumn

@@ -389,6 +389,51 @@ TxResult ConcurrentRelation::transactLocked(const std::vector<TxOp> &Ops,
   // reverse on abort.
   std::vector<std::pair<unsigned, TxOp>> Undo;
   std::vector<TxOp> Tmp;
+
+  // When a durability hook is armed, every applied op also derives its
+  // REDO: the concrete state change, read off the undo delta the op
+  // just produced (an inverse remove marks an insert of exactly that
+  // tuple; an inverse insert marks a removal; an inverse update marks
+  // an update whose new values are re-read from the live tuple). The
+  // redo ops carry no callbacks — upserts resolve to the write they
+  // performed — so they serialize byte-for-byte, and replaying them in
+  // ticket order reproduces every intermediate state of the original
+  // execution (which is why recovery replay can never abort).
+  const bool HookArmed = static_cast<bool>(Hook);
+  std::vector<TxOp> Redo;
+  auto DeriveRedo = [&](const TxOp &Op, size_t UndoStart) {
+    if (!HookArmed)
+      return;
+    for (size_t J = UndoStart; J != Undo.size(); ++J) {
+      unsigned S = Undo[J].first;
+      const TxOp &U = Undo[J].second;
+      switch (U.Op) {
+      case TxOp::Remove: // inverse of an insert of exactly U.A
+        Redo.push_back(TxOp::insert(U.A));
+        break;
+      case TxOp::Insert: // inverse of a removal of exactly U.A
+        Redo.push_back(TxOp::remove(U.A));
+        break;
+      case TxOp::Update: {
+        // Inverse update: re-read the tuple for the values just
+        // written (U.B holds the old ones over the same columns).
+        Tuple Now;
+        [[maybe_unused]] bool Found = false;
+        Shards[S]->scanFrames(Op.A, All, [&](const BindingFrame &F) {
+          Now = F.toTuple(All);
+          Found = true;
+          return false; // the pattern is a key: at most one match
+        });
+        assert(Found && "updated tuple vanished before redo derivation");
+        Redo.push_back(TxOp::update(Op.A, Now.project(U.B.columns())));
+        break;
+      }
+      case TxOp::Upsert:
+        assert(false && "upserts never appear in undo logs");
+        break;
+      }
+    }
+  };
   auto ApplyOn = [&](unsigned S, const TxOp &Op) {
     Tmp.clear();
     bool Ok = Shards[S]->applyTxOp(Op, Tmp);
@@ -411,12 +456,15 @@ TxResult ConcurrentRelation::transactLocked(const std::vector<TxOp> &Ops,
   size_t Failed = Ops.size();
   for (size_t I = 0; I != Ops.size() && Failed == Ops.size(); ++I) {
     const TxOp &Op = Ops[I];
+    size_t UndoStart = Undo.size();
     if (std::optional<unsigned> S = txRoutedShard(Op)) {
       // Routed: ownership confines matches — and, via FdProbesRoute,
       // conflict witnesses — to one shard, so the sequential engine's
       // per-shard apply is the whole story.
       if (!ApplyOn(*S, Op))
         Failed = I;
+      else
+        DeriveRedo(Op, UndoStart);
       continue;
     }
     // Fan-out: every stripe is held (the lock plan degraded to
@@ -487,21 +535,29 @@ TxResult ConcurrentRelation::transactLocked(const std::vector<TxOp> &Ops,
       break;
     }
     case TxOp::Upsert: {
-      assert(Op.Fn && "upsert op needs a callback");
+      assert((Op.Fn || Op.FnChecked) && "upsert op needs a callback");
       ColumnSet Rest = All.minus(Op.A.columns());
       Tuple Old, Values;
       unsigned Owner = ~0u;
+      bool Vetoed = false;
       // The callback runs exactly once: inside the owner's scan (the
       // frame is live there), or on nullptr after every shard missed.
       for (unsigned S = 0; S != Shards.size() && Owner == ~0u; ++S)
         Shards[S]->scanFrames(Op.A, Rest, [&](const BindingFrame &F) {
           Owner = S;
           Old = F.toTuple(All);
-          Op.Fn(&F, Values);
+          Vetoed = !Op.runUpsertFn(&F, Values);
           return false;
         });
+      if (Vetoed) {
+        Failed = I; // checked callback refused: a defined abort
+        break;
+      }
       if (Owner == ~0u) {
-        Op.Fn(nullptr, Values);
+        if (!Op.runUpsertFn(nullptr, Values)) {
+          Failed = I;
+          break;
+        }
         if (Values.columns() != Rest) {
           Failed = I; // conditional abort: see TxOp::Fn
           break;
@@ -546,6 +602,8 @@ TxResult ConcurrentRelation::transactLocked(const std::vector<TxOp> &Ops,
       break;
     }
     }
+    if (Failed == Ops.size())
+      DeriveRedo(Op, UndoStart);
   }
 
   if (Failed != Ops.size()) {
@@ -561,9 +619,33 @@ TxResult ConcurrentRelation::transactLocked(const std::vector<TxOp> &Ops,
     Count.fetch_sub(Before - After, std::memory_order_relaxed);
   // The ticket is drawn while every touched stripe is still held (the
   // linearization point), so conflicting transactions — whose stripe
-  // sets intersect — are ticketed in their serialization order.
-  return TxResult{true, 0,
-                  TxTickets.fetch_add(1, std::memory_order_relaxed)};
+  // sets intersect — are ticketed in their serialization order. With a
+  // durability hook armed, the draw and the hook call are one atomic
+  // step under the hook mutex: even transactions on DISJOINT stripes
+  // (which no lock orders) reach the log in ticket order.
+  uint64_t Ticket;
+  if (HookArmed && !Redo.empty()) {
+    std::lock_guard<std::mutex> HookLock(HookMu);
+    Ticket = TxTickets.fetch_add(1, std::memory_order_relaxed);
+    Hook(Ticket, Redo);
+  } else {
+    Ticket = TxTickets.fetch_add(1, std::memory_order_relaxed);
+  }
+  return TxResult{true, 0, Ticket};
+}
+
+void ConcurrentRelation::withTxLocks(const TxLockPlan &Plan,
+                                     function_ref<void()> Body) {
+  if (Plan.AllShards) {
+    AllShardsGuard Guard(Locks);
+    EpochWriterFence Fence = fenceAll();
+    Body();
+    return;
+  }
+  ShardSetGuard Guard(Locks, Plan.Stripes);
+  EpochWriterFence Fence(Gates.get(), Guard.stripes().data(),
+                         Guard.stripes().size());
+  Body();
 }
 
 std::vector<Tuple> ConcurrentRelation::query(const Tuple &Pattern,

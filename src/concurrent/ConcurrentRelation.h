@@ -48,7 +48,9 @@
 #include "runtime/SynthesizedRelation.h"
 
 #include <atomic>
+#include <functional>
 #include <memory>
+#include <mutex>
 #include <optional>
 #include <vector>
 
@@ -172,6 +174,54 @@ public:
   };
   TxLockPlan transactLockPlan(const std::vector<TxOp> &Ops) const;
 
+  //===--------------------------------------------------------------------===
+  // Durability and group commit (src/server/).
+  //===--------------------------------------------------------------------===
+
+  /// Ticket-ordered commit hook for durability layers (the server's
+  /// write-ahead log): called once per committed transact batch, at
+  /// the linearization point — every touched stripe is still held —
+  /// with the commit ticket and the batch's REDO ops. Redo ops are the
+  /// concrete effects of the batch (upsert callbacks resolved to the
+  /// exact insert/remove/update they performed), so they serialize
+  /// without code and replaying committed batches in ticket order
+  /// through a fresh relation reproduces the represented relation
+  /// exactly. Ticket draw and hook invocation are atomic under one
+  /// mutex, so the hook observes strictly increasing tickets: an
+  /// append-only log fed by this hook is in ticket order by
+  /// construction. The hook must not call back into this relation and
+  /// should be fast (an in-memory append; defer fsync to group
+  /// commit). Install before any concurrent use; installing while
+  /// writers run is a race. Batches whose net effect is empty are not
+  /// reported.
+  using CommitHook =
+      std::function<void(uint64_t Ticket, const std::vector<TxOp> &Redo)>;
+  void setCommitHook(CommitHook H) { Hook = std::move(H); }
+
+  /// Recovery support: restarts the commit-ticket counter at \p Next,
+  /// so tickets stay monotone across a WAL replay (replayed history
+  /// consumed tickets up to Next-1). Call before any concurrent use.
+  void seedTickets(uint64_t Next) {
+    TxTickets.store(Next, std::memory_order_relaxed);
+  }
+
+  /// Group-commit support: acquires exactly the stripes of \p Plan
+  /// (exclusive, ascending, with the epoch writer fence raised on the
+  /// matching gates), runs \p Body, then releases. \p Body typically
+  /// applies several compatible transactions via transactPreLocked —
+  /// one stripe acquisition amortized over the group.
+  void withTxLocks(const TxLockPlan &Plan, function_ref<void()> Body);
+
+  /// Applies \p Ops as one transaction with locking delegated to the
+  /// caller: every stripe in \p Scope — which must cover
+  /// transactLockPlan(Ops) — is already held exclusively (see
+  /// withTxLocks). Same semantics and results as transact, including
+  /// the commit hook.
+  TxResult transactPreLocked(const std::vector<TxOp> &Ops,
+                             const std::vector<unsigned> &Scope) {
+    return transactLocked(Ops, Scope);
+  }
+
   /// query r s C, deduplicated across shards.
   std::vector<Tuple> query(const Tuple &Pattern, ColumnSet OutputCols) const;
 
@@ -291,6 +341,10 @@ private:
   std::atomic<size_t> Count{0};
   /// Monotone commit tickets for transact (see TxResult::Ticket).
   std::atomic<uint64_t> TxTickets{1};
+  /// Durability hook (setCommitHook) and the mutex making ticket draw
+  /// + hook call one atomic step, so hook order == ticket order.
+  CommitHook Hook;
+  std::mutex HookMu;
   size_t ScanQueueCap;
   /// True if every FD's left-hand side contains the shard column, so
   /// every conflict probe for a tuple lands in that tuple's own shard

@@ -155,18 +155,21 @@ bool SynthesizedRelation::applyTxOp(const TxOp &Op, std::vector<TxOp> &Undo) {
   case TxOp::Upsert: {
     assert(spec()->fds().isKey(Op.A.columns(), All) &&
            "upsert pattern must be a key");
-    assert(Op.Fn && "upsert op needs a callback");
+    assert((Op.Fn || Op.FnChecked) && "upsert op needs a callback");
     ColumnSet Rest = All.minus(Op.A.columns());
     Tuple Old, Values;
-    bool Found = false;
+    bool Found = false, Vetoed = false;
     scanFrames(Op.A, Rest, [&](const BindingFrame &F) {
       Found = true;
       Old = F.toTuple(All);
-      Op.Fn(&F, Values);
+      Vetoed = !Op.runUpsertFn(&F, Values);
       return false; // the pattern is a key: at most one match
     });
+    if (Vetoed)
+      return false; // checked callback refused: a defined abort
     if (!Found) {
-      Op.Fn(nullptr, Values);
+      if (!Op.runUpsertFn(nullptr, Values))
+        return false;
       // Unlike the standalone upsert (which asserts), an incomplete
       // insert is a *defined* abort: the callback's way of saying
       // "only proceed if the tuple exists".

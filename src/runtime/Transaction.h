@@ -26,6 +26,7 @@
 #include "rel/BindingFrame.h"
 #include "rel/Tuple.h"
 
+#include <cassert>
 #include <cstddef>
 #include <cstdint>
 #include <functional>
@@ -53,6 +54,12 @@ struct TxOp {
   /// the batch ABORTS instead of asserting — the conditional-abort
   /// escape hatch for transfer-style transactions.
   std::function<void(const BindingFrame *, Tuple &)> Fn;
+  /// Upsert only, alternative to Fn (exactly one of the two is set): a
+  /// CHECKED read-modify-write callback that may veto the whole batch.
+  /// Same contract as Fn, plus: returning false aborts the transaction
+  /// with nothing applied (the declarative "abort on overdraft" /
+  /// guard hook — the server's wire `add` op compiles to this).
+  std::function<bool(const BindingFrame *, Tuple &)> FnChecked;
 
   static TxOp insert(Tuple T) {
     TxOp Op;
@@ -80,6 +87,24 @@ struct TxOp {
     Op.A = std::move(Key);
     Op.Fn = std::move(Fn);
     return Op;
+  }
+  static TxOp
+  upsertChecked(Tuple Key,
+                std::function<bool(const BindingFrame *, Tuple &)> Fn) {
+    TxOp Op;
+    Op.Op = Upsert;
+    Op.A = std::move(Key);
+    Op.FnChecked = std::move(Fn);
+    return Op;
+  }
+
+  /// Runs whichever upsert callback is set; false = abort the batch.
+  bool runUpsertFn(const BindingFrame *F, Tuple &V) const {
+    assert((Fn || FnChecked) && "upsert op needs a callback");
+    if (FnChecked)
+      return FnChecked(F, V);
+    Fn(F, V);
+    return true;
   }
 };
 
@@ -123,6 +148,12 @@ public:
   TxBatch &upsert(Tuple Key,
                   std::function<void(const BindingFrame *, Tuple &)> Fn) {
     Batch.push_back(TxOp::upsert(std::move(Key), std::move(Fn)));
+    return *this;
+  }
+  TxBatch &
+  upsertChecked(Tuple Key,
+                std::function<bool(const BindingFrame *, Tuple &)> Fn) {
+    Batch.push_back(TxOp::upsertChecked(std::move(Key), std::move(Fn)));
     return *this;
   }
 

@@ -1,0 +1,206 @@
+//===- server/Client.cpp - Blocking + pipelined wire client ---------------===//
+//
+// Part of the RelC data representation synthesis library.
+//
+//===----------------------------------------------------------------------===//
+
+#include "server/Client.h"
+
+#include <unistd.h>
+
+using namespace relc;
+using wire::ByteReader;
+using wire::ByteWriter;
+using wire::Status;
+
+bool RelClient::connect(uint16_t Port, std::string *Err) {
+  close();
+  Fd = wire::connectTcp(Port, Err);
+  return Fd >= 0;
+}
+
+void RelClient::close() {
+  if (Fd >= 0)
+    ::close(Fd);
+  Fd = -1;
+}
+
+bool RelClient::sendRaw(const std::vector<uint8_t> &Body) {
+  return Fd >= 0 && wire::writeFrame(Fd, Body);
+}
+
+bool RelClient::recvRaw(std::vector<uint8_t> &Body) {
+  return Fd >= 0 && wire::readFrame(Fd, Body);
+}
+
+uint64_t RelClient::sendRequest(wire::Op Op,
+                                const std::vector<uint8_t> &Payload) {
+  uint64_t ReqId = NextReqId++;
+  ByteWriter W;
+  W.u8(static_cast<uint8_t>(Op));
+  W.u64(ReqId);
+  W.bytes(Payload.data(), Payload.size());
+  if (!sendRaw(W.data()))
+    return 0;
+  return ReqId;
+}
+
+bool RelClient::recvReply(Reply &R) {
+  std::vector<uint8_t> Body;
+  if (!recvRaw(Body))
+    return false;
+  ByteReader Rd(Body);
+  uint8_t St;
+  if (!Rd.u8(St) || !Rd.u64(R.ReqId))
+    return false;
+  R.St = static_cast<Status>(St);
+  R.Ticket = 0;
+  R.FailedOp = 0;
+  R.Error.clear();
+  R.Extra.clear();
+  switch (R.St) {
+  case Status::Ok:
+    // Mutation acks carry a ticket; reads carry their own payloads.
+    // Keep the whole payload in Extra and decode the ticket when the
+    // shape matches (8-byte payload) — the typed wrappers know which
+    // is which.
+    R.Extra.assign(Body.begin() + 9, Body.end());
+    if (R.Extra.size() == 8) {
+      ByteReader T(R.Extra);
+      T.u64(R.Ticket);
+    }
+    return true;
+  case Status::Aborted:
+    return Rd.u32(R.FailedOp);
+  case Status::Error:
+    return Rd.str(R.Error);
+  }
+  return false;
+}
+
+bool RelClient::roundTrip(wire::Op Op, const std::vector<uint8_t> &Payload,
+                          Reply &R) {
+  uint64_t ReqId = sendRequest(Op, Payload);
+  if (ReqId == 0)
+    return false;
+  if (!recvReply(R))
+    return false;
+  return R.ReqId == ReqId;
+}
+
+bool RelClient::ping() {
+  Reply R;
+  return roundTrip(wire::Op::Ping, {}, R) && R.ok();
+}
+
+bool RelClient::insert(const Tuple &T, Reply *Out) {
+  ByteWriter W;
+  W.tuple(T);
+  Reply R;
+  if (!roundTrip(wire::Op::Insert, W.data(), R))
+    return false;
+  if (Out)
+    *Out = R;
+  return true;
+}
+
+bool RelClient::remove(const Tuple &Pattern, Reply *Out) {
+  ByteWriter W;
+  W.tuple(Pattern);
+  Reply R;
+  if (!roundTrip(wire::Op::Remove, W.data(), R))
+    return false;
+  if (Out)
+    *Out = R;
+  return true;
+}
+
+bool RelClient::update(const Tuple &Key, const Tuple &Changes, Reply *Out) {
+  ByteWriter W;
+  W.tuple(Key);
+  W.tuple(Changes);
+  Reply R;
+  if (!roundTrip(wire::Op::Update, W.data(), R))
+    return false;
+  if (Out)
+    *Out = R;
+  return true;
+}
+
+static std::vector<uint8_t>
+encodeTransact(const std::vector<wire::WireTxOp> &Ops) {
+  ByteWriter W;
+  W.u32(static_cast<uint32_t>(Ops.size()));
+  for (const wire::WireTxOp &Op : Ops)
+    W.txOp(Op);
+  return W.take();
+}
+
+bool RelClient::transact(const std::vector<wire::WireTxOp> &Ops, Reply *Out) {
+  Reply R;
+  if (!roundTrip(wire::Op::Transact, encodeTransact(Ops), R))
+    return false;
+  if (Out)
+    *Out = R;
+  return true;
+}
+
+bool RelClient::query(const Tuple &Pattern, ColumnSet Out,
+                      std::vector<Tuple> &Rows) {
+  ByteWriter W;
+  W.tuple(Pattern);
+  W.u64(Out.mask());
+  Reply R;
+  if (!roundTrip(wire::Op::Query, W.data(), R) || !R.ok())
+    return false;
+  ByteReader Rd(R.Extra);
+  uint32_t N;
+  if (!Rd.u32(N))
+    return false;
+  Rows.clear();
+  Rows.reserve(N);
+  for (uint32_t I = 0; I != N; ++I) {
+    Tuple T;
+    if (!Rd.tuple(T))
+      return false;
+    Rows.push_back(std::move(T));
+  }
+  return Rd.remaining() == 0;
+}
+
+bool RelClient::size(uint64_t &N) {
+  Reply R;
+  if (!roundTrip(wire::Op::Size, {}, R) || !R.ok())
+    return false;
+  ByteReader Rd(R.Extra);
+  return Rd.u64(N);
+}
+
+bool RelClient::checkpoint(Reply *Out) {
+  Reply R;
+  if (!roundTrip(wire::Op::Checkpoint, {}, R))
+    return false;
+  if (Out)
+    *Out = R;
+  return R.ok();
+}
+
+bool RelClient::stats(ServerStats &S) {
+  Reply R;
+  if (!roundTrip(wire::Op::Stats, {}, R) || !R.ok())
+    return false;
+  ByteReader Rd(R.Extra);
+  return Rd.u64(S.Groups) && Rd.u64(S.Committed) &&
+         Rd.u64(S.MultiTxGroups) && Rd.u64(S.MaxGroupSize) &&
+         Rd.u64(S.Syncs);
+}
+
+uint64_t RelClient::sendInsert(const Tuple &T) {
+  ByteWriter W;
+  W.tuple(T);
+  return sendRequest(wire::Op::Insert, W.data());
+}
+
+uint64_t RelClient::sendTransact(const std::vector<wire::WireTxOp> &Ops) {
+  return sendRequest(wire::Op::Transact, encodeTransact(Ops));
+}

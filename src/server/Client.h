@@ -1,0 +1,113 @@
+//===- server/Client.h - Blocking + pipelined wire client -------*- C++ -*-===//
+//
+// Part of the RelC data representation synthesis library.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// RelClient speaks the server/Wire.h protocol from one thread: a
+/// blocking convenience API (send one request, wait for its reply) and
+/// a pipelined API (sendX() returns the request id immediately;
+/// recvReply() delivers replies in server order, tagged with their
+/// ids) for driving group commit — a batch of pipelined transacts is
+/// what gives the committer something to fold. sendRaw()/recvRaw()
+/// expose the frame layer for protocol fuzzing tests.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef RELC_SERVER_CLIENT_H
+#define RELC_SERVER_CLIENT_H
+
+#include "server/Wire.h"
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace relc {
+
+class RelClient {
+public:
+  RelClient() = default;
+  ~RelClient() { close(); }
+
+  RelClient(const RelClient &) = delete;
+  RelClient &operator=(const RelClient &) = delete;
+
+  bool connect(uint16_t Port, std::string *Err = nullptr);
+  void close();
+  bool connected() const { return Fd >= 0; }
+  /// Raw socket, for tests that want to break the protocol.
+  int fd() const { return Fd; }
+
+  /// One decoded response.
+  struct Reply {
+    wire::Status St = wire::Status::Error;
+    uint64_t ReqId = 0;
+    /// Ok mutations: the commit ticket.
+    uint64_t Ticket = 0;
+    /// Aborted: index of the failing op.
+    uint32_t FailedOp = 0;
+    /// Error: the server's message.
+    std::string Error;
+    /// Ok payload past the fixed fields (queries, stats).
+    std::vector<uint8_t> Extra;
+
+    bool ok() const { return St == wire::Status::Ok; }
+    bool aborted() const { return St == wire::Status::Aborted; }
+  };
+
+  //===--------------------------------------------------------------------===
+  // Blocking API (no pipelined requests may be outstanding)
+  //===--------------------------------------------------------------------===
+
+  bool ping();
+  /// Mutations: false on transport failure; otherwise \p R (optional)
+  /// holds the outcome. A true return with R.ok() is a durable ack.
+  bool insert(const Tuple &T, Reply *R = nullptr);
+  bool remove(const Tuple &Pattern, Reply *R = nullptr);
+  bool update(const Tuple &Key, const Tuple &Changes, Reply *R = nullptr);
+  bool transact(const std::vector<wire::WireTxOp> &Ops, Reply *R = nullptr);
+  bool query(const Tuple &Pattern, ColumnSet Out, std::vector<Tuple> &Rows);
+  bool size(uint64_t &N);
+  bool checkpoint(Reply *R = nullptr);
+  struct ServerStats {
+    uint64_t Groups = 0;
+    uint64_t Committed = 0;
+    uint64_t MultiTxGroups = 0;
+    uint64_t MaxGroupSize = 0;
+    uint64_t Syncs = 0;
+  };
+  bool stats(ServerStats &S);
+
+  //===--------------------------------------------------------------------===
+  // Pipelined API
+  //===--------------------------------------------------------------------===
+
+  /// Sends without waiting; returns the request id (0 on transport
+  /// failure — ids start at 1).
+  uint64_t sendInsert(const Tuple &T);
+  uint64_t sendTransact(const std::vector<wire::WireTxOp> &Ops);
+  /// Next reply in server order; false on transport failure.
+  bool recvReply(Reply &R);
+
+  //===--------------------------------------------------------------------===
+  // Raw frames (protocol fuzzing)
+  //===--------------------------------------------------------------------===
+
+  bool sendRaw(const std::vector<uint8_t> &Body);
+  bool recvRaw(std::vector<uint8_t> &Body);
+
+private:
+  uint64_t sendRequest(wire::Op Op,
+                       const std::vector<uint8_t> &Payload);
+  bool roundTrip(wire::Op Op, const std::vector<uint8_t> &Payload,
+                 Reply &R);
+
+  int Fd = -1;
+  uint64_t NextReqId = 1;
+};
+
+} // namespace relc
+
+#endif // RELC_SERVER_CLIENT_H

@@ -1,0 +1,360 @@
+//===- server/Wal.cpp - Write-ahead log implementation --------------------===//
+//
+// Part of the RelC data representation synthesis library.
+//
+//===----------------------------------------------------------------------===//
+
+#include "server/Wal.h"
+
+#include <cerrno>
+#include <cstdio>
+#include <cstring>
+#include <fcntl.h>
+#include <sys/stat.h>
+#include <unistd.h>
+
+using namespace relc;
+
+constexpr char Wal::Magic[9];
+constexpr char Wal::CkptMagic[9];
+
+//===----------------------------------------------------------------------===//
+// CRC-32
+//===----------------------------------------------------------------------===//
+
+namespace {
+struct Crc32Table {
+  uint32_t T[256];
+  Crc32Table() {
+    for (uint32_t I = 0; I != 256; ++I) {
+      uint32_t C = I;
+      for (int K = 0; K != 8; ++K)
+        C = (C & 1) ? 0xEDB88320u ^ (C >> 1) : C >> 1;
+      T[I] = C;
+    }
+  }
+};
+} // namespace
+
+uint32_t relc::crc32(const void *Data, size_t N) {
+  static const Crc32Table Table;
+  const uint8_t *P = static_cast<const uint8_t *>(Data);
+  uint32_t C = 0xFFFFFFFFu;
+  for (size_t I = 0; I != N; ++I)
+    C = Table.T[(C ^ P[I]) & 0xFF] ^ (C >> 8);
+  return C ^ 0xFFFFFFFFu;
+}
+
+//===----------------------------------------------------------------------===//
+// Small file helpers
+//===----------------------------------------------------------------------===//
+
+static void setErr(std::string *Err, const std::string &What) {
+  if (Err)
+    *Err = What + ": " + std::strerror(errno);
+}
+
+static bool writeAll(int Fd, const uint8_t *P, size_t N) {
+  while (N != 0) {
+    ssize_t W = ::write(Fd, P, N);
+    if (W < 0) {
+      if (errno == EINTR)
+        continue;
+      return false;
+    }
+    P += W;
+    N -= static_cast<size_t>(W);
+  }
+  return true;
+}
+
+static void putU32(uint8_t *P, uint32_t V) {
+  for (int I = 0; I != 4; ++I)
+    P[I] = static_cast<uint8_t>(V >> (8 * I));
+}
+static void putU64(uint8_t *P, uint64_t V) {
+  for (int I = 0; I != 8; ++I)
+    P[I] = static_cast<uint8_t>(V >> (8 * I));
+}
+static uint32_t getU32(const uint8_t *P) {
+  uint32_t V = 0;
+  for (int I = 0; I != 4; ++I)
+    V |= static_cast<uint32_t>(P[I]) << (8 * I);
+  return V;
+}
+static uint64_t getU64(const uint8_t *P) {
+  uint64_t V = 0;
+  for (int I = 0; I != 8; ++I)
+    V |= static_cast<uint64_t>(P[I]) << (8 * I);
+  return V;
+}
+
+/// Reads a whole file into \p Out; false if it cannot be opened.
+static bool slurp(const std::string &Path, std::vector<uint8_t> &Out) {
+  int Fd = ::open(Path.c_str(), O_RDONLY);
+  if (Fd < 0)
+    return false;
+  Out.clear();
+  uint8_t Buf[1 << 16];
+  for (;;) {
+    ssize_t R = ::read(Fd, Buf, sizeof(Buf));
+    if (R < 0) {
+      if (errno == EINTR)
+        continue;
+      ::close(Fd);
+      return false;
+    }
+    if (R == 0)
+      break;
+    Out.insert(Out.end(), Buf, Buf + R);
+  }
+  ::close(Fd);
+  return true;
+}
+
+//===----------------------------------------------------------------------===//
+// Wal
+//===----------------------------------------------------------------------===//
+
+Wal::~Wal() { close(); }
+
+bool Wal::open(std::string *Err) {
+  std::lock_guard<std::mutex> Lock(Mu);
+  Fd = ::open(Path.c_str(), O_RDWR | O_CREAT | O_APPEND, 0644);
+  if (Fd < 0) {
+    setErr(Err, "open " + Path);
+    return false;
+  }
+  struct stat St;
+  if (::fstat(Fd, &St) != 0) {
+    setErr(Err, "fstat " + Path);
+    ::close(Fd);
+    Fd = -1;
+    return false;
+  }
+  if (St.st_size == 0) {
+    if (!writeAll(Fd, reinterpret_cast<const uint8_t *>(Magic), MagicLen) ||
+        ::fsync(Fd) != 0) {
+      setErr(Err, "init " + Path);
+      ::close(Fd);
+      Fd = -1;
+      return false;
+    }
+    Written = Durable = MagicLen;
+  } else {
+    // Appends land at EOF whatever state the tail is in; replay is the
+    // authority on which prefix is valid, but new records must start
+    // AFTER any torn tail would corrupt them — so recovery protocol is
+    // replay first, truncate the file to the valid prefix, then open.
+    Written = Durable = static_cast<size_t>(St.st_size);
+  }
+  return true;
+}
+
+void Wal::close() {
+  std::lock_guard<std::mutex> Lock(Mu);
+  if (Fd >= 0)
+    ::close(Fd);
+  Fd = -1;
+}
+
+bool Wal::append(uint64_t Ticket, const uint8_t *Payload, size_t N) {
+  std::lock_guard<std::mutex> Lock(Mu);
+  if (Fd < 0 || Tripped)
+    return false;
+  std::vector<uint8_t> Rec(HeaderLen + 8 + N);
+  putU32(Rec.data(), static_cast<uint32_t>(8 + N));
+  putU64(Rec.data() + HeaderLen, Ticket);
+  std::memcpy(Rec.data() + HeaderLen + 8, Payload, N);
+  putU32(Rec.data() + 4, crc32(Rec.data() + HeaderLen, 8 + N));
+
+  size_t Len = Rec.size();
+  if (Written + Len > FailAfter) {
+    // Fault budget crossed: emit only the in-budget prefix — exactly
+    // the torn-tail shape a crash mid-write leaves behind.
+    size_t Keep = FailAfter > Written ? FailAfter - Written : 0;
+    writeAll(Fd, Rec.data(), Keep);
+    Written += Keep;
+    Tripped = true;
+    return false;
+  }
+  if (!writeAll(Fd, Rec.data(), Len)) {
+    Tripped = true;
+    return false;
+  }
+  Written += Len;
+  if (Ticket > LastTicketSeen)
+    LastTicketSeen = Ticket;
+  return true;
+}
+
+bool Wal::sync() {
+  std::lock_guard<std::mutex> Lock(Mu);
+  if (Fd < 0 || Tripped)
+    return false;
+  if (Durable == Written)
+    return true;
+  if (::fsync(Fd) != 0) {
+    Tripped = true;
+    return false;
+  }
+  Durable = Written;
+  return true;
+}
+
+size_t Wal::durableBytes() const {
+  std::lock_guard<std::mutex> Lock(Mu);
+  return Durable;
+}
+
+size_t Wal::writtenBytes() const {
+  std::lock_guard<std::mutex> Lock(Mu);
+  return Written;
+}
+
+uint64_t Wal::lastTicket() const {
+  std::lock_guard<std::mutex> Lock(Mu);
+  return LastTicketSeen;
+}
+
+void Wal::failAfterBytes(size_t N) {
+  std::lock_guard<std::mutex> Lock(Mu);
+  FailAfter = N;
+}
+
+bool Wal::checkpoint(uint64_t LastTicket, const std::vector<uint8_t> &Snapshot,
+                     std::string *Err) {
+  std::lock_guard<std::mutex> Lock(Mu);
+  if (Fd < 0 || Tripped) {
+    if (Err)
+      *Err = "wal not open or fault-tripped";
+    return false;
+  }
+  // 1. Durable snapshot under a temp name.
+  std::string Tmp = Path + ".ckpt.tmp";
+  int TFd = ::open(Tmp.c_str(), O_WRONLY | O_CREAT | O_TRUNC, 0644);
+  if (TFd < 0) {
+    setErr(Err, "open " + Tmp);
+    return false;
+  }
+  uint8_t Head[MagicLen + 8 + 8];
+  std::memcpy(Head, CkptMagic, MagicLen);
+  putU64(Head + MagicLen, LastTicket);
+  putU32(Head + MagicLen + 8, static_cast<uint32_t>(Snapshot.size()));
+  putU32(Head + MagicLen + 12, crc32(Snapshot.data(), Snapshot.size()));
+  if (!writeAll(TFd, Head, sizeof(Head)) ||
+      !writeAll(TFd, Snapshot.data(), Snapshot.size()) || ::fsync(TFd) != 0) {
+    setErr(Err, "write " + Tmp);
+    ::close(TFd);
+    return false;
+  }
+  ::close(TFd);
+  // 2. Atomic publish.
+  std::string Ckpt = Path + ".ckpt";
+  if (::rename(Tmp.c_str(), Ckpt.c_str()) != 0) {
+    setErr(Err, "rename " + Tmp);
+    return false;
+  }
+  // 3. Only now drop the log (a crash before this point keeps both:
+  //    snapshot + full log is safe, snapshot + empty log is the goal,
+  //    old-snapshot + full log — the pre-call state — is safe too).
+  if (::ftruncate(Fd, static_cast<off_t>(MagicLen)) != 0 ||
+      ::fsync(Fd) != 0) {
+    setErr(Err, "truncate " + Path);
+    Tripped = true;
+    return false;
+  }
+  Written = Durable = MagicLen;
+  return true;
+}
+
+bool Wal::replay(const std::string &Path,
+                 const std::function<void(const Record &)> &Fn,
+                 std::string *Err, size_t *ValidEnd) {
+  if (ValidEnd)
+    *ValidEnd = 0;
+  std::vector<uint8_t> Bytes;
+  if (!slurp(Path, Bytes)) {
+    if (errno == ENOENT)
+      return true; // no log yet: empty history
+    setErr(Err, "read " + Path);
+    return false;
+  }
+  if (Bytes.size() < MagicLen) {
+    // A file torn inside the magic can only come from a crash during
+    // creation, before any record: an empty history.
+    return true;
+  }
+  if (std::memcmp(Bytes.data(), Magic, MagicLen) != 0) {
+    if (Err)
+      *Err = Path + ": bad WAL magic";
+    return false;
+  }
+  size_t Off = MagicLen;
+  if (ValidEnd)
+    *ValidEnd = Off;
+  Record R;
+  while (Bytes.size() - Off >= HeaderLen) {
+    uint32_t Len = getU32(Bytes.data() + Off);
+    uint32_t Crc = getU32(Bytes.data() + Off + 4);
+    if (Len < 8 || Bytes.size() - Off - HeaderLen < Len)
+      return true; // torn tail
+    const uint8_t *Payload = Bytes.data() + Off + HeaderLen;
+    if (crc32(Payload, Len) != Crc)
+      return true; // corrupt tail
+    R.Ticket = getU64(Payload);
+    R.Payload.assign(Payload + 8, Payload + Len);
+    Fn(R);
+    Off += HeaderLen + Len;
+    if (ValidEnd)
+      *ValidEnd = Off;
+  }
+  return true;
+}
+
+bool Wal::loadCheckpoint(const std::string &Path, uint64_t &LastTicket,
+                         std::vector<uint8_t> &Snapshot) {
+  std::vector<uint8_t> Bytes;
+  if (!slurp(Path + ".ckpt", Bytes))
+    return false;
+  if (Bytes.size() < MagicLen + 16 ||
+      std::memcmp(Bytes.data(), CkptMagic, MagicLen) != 0)
+    return false;
+  uint64_t Ticket = getU64(Bytes.data() + MagicLen);
+  uint32_t Len = getU32(Bytes.data() + MagicLen + 8);
+  uint32_t Crc = getU32(Bytes.data() + MagicLen + 12);
+  if (Bytes.size() - MagicLen - 16 < Len)
+    return false;
+  if (crc32(Bytes.data() + MagicLen + 16, Len) != Crc)
+    return false;
+  LastTicket = Ticket;
+  Snapshot.assign(Bytes.begin() + static_cast<long>(MagicLen + 16),
+                  Bytes.begin() + static_cast<long>(MagicLen + 16 + Len));
+  return true;
+}
+
+bool Wal::truncateTo(const std::string &Path, size_t Size) {
+  return ::truncate(Path.c_str(), static_cast<off_t>(Size)) == 0;
+}
+
+bool Wal::flipBitAt(const std::string &Path, size_t Offset, unsigned Bit) {
+  int Fd = ::open(Path.c_str(), O_RDWR);
+  if (Fd < 0)
+    return false;
+  uint8_t B;
+  if (::pread(Fd, &B, 1, static_cast<off_t>(Offset)) != 1) {
+    ::close(Fd);
+    return false;
+  }
+  B ^= static_cast<uint8_t>(1u << (Bit % 8));
+  bool Ok = ::pwrite(Fd, &B, 1, static_cast<off_t>(Offset)) == 1;
+  ::close(Fd);
+  return Ok;
+}
+
+size_t Wal::fileSize(const std::string &Path) {
+  struct stat St;
+  if (::stat(Path.c_str(), &St) != 0)
+    return 0;
+  return static_cast<size_t>(St.st_size);
+}

@@ -1,0 +1,158 @@
+//===- server/Wal.h - Write-ahead log with CRC framing ----------*- C++ -*-===//
+//
+// Part of the RelC data representation synthesis library.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The durability log behind relserved. Committed transactions are
+/// appended in commit-ticket order (the feeding commit hook guarantees
+/// the order; see ConcurrentRelation::setCommitHook) as CRC-framed
+/// records and made durable by an explicit sync() — one fsync per
+/// commit GROUP, not per transaction (server/GroupCommit.h).
+///
+/// On-disk layout (little-endian):
+///
+///   log      := magic "RELCWAL1" | record*
+///   record   := u32 payloadLen | u32 crc32(payload) | payload
+///   payload  := u64 commitTicket | redo-op bytes (opaque to the Wal)
+///
+/// Recovery (replay) reads the longest valid prefix: it stops —
+/// silently, by design — at the first record whose header or payload
+/// is short (a torn tail from a crash mid-write) or whose CRC
+/// mismatches. The crash model: everything sync()ed before the crash
+/// survives byte-exactly; the unsynced tail may be arbitrarily
+/// truncated or corrupted. Because the server acknowledges a mutation
+/// only after the sync covering it returns, every acked transaction is
+/// inside the valid prefix, so replay never loses an acked commit; a
+/// torn tail can only hold unacked transactions.
+///
+/// Checkpointing writes the full snapshot to `<path>.ckpt` via
+/// write-to-temp + fsync + atomic rename, then truncates the log back
+/// to its magic. A crash between the two steps leaves snapshot AND log
+/// (replaying both double-applies nothing because recovery loads the
+/// snapshot first and the log was emptied *after* the rename — the
+/// ordering makes the pair always consistent: the snapshot is durable
+/// before any log byte is dropped).
+///
+/// Fault injection for tests: failAfterBytes() makes appends beyond a
+/// byte budget write only a prefix (a torn record) and every later
+/// sync() fail; the static truncateTo()/flipBitAt() helpers damage a
+/// closed log file the way a crash or bad sector would.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef RELC_SERVER_WAL_H
+#define RELC_SERVER_WAL_H
+
+#include <cstddef>
+#include <cstdint>
+#include <functional>
+#include <mutex>
+#include <string>
+#include <vector>
+
+namespace relc {
+
+/// CRC-32 (IEEE 802.3 polynomial, the zlib one) over \p N bytes.
+uint32_t crc32(const void *Data, size_t N);
+
+class Wal {
+public:
+  explicit Wal(std::string Path) : Path(std::move(Path)) {}
+  ~Wal();
+
+  Wal(const Wal &) = delete;
+  Wal &operator=(const Wal &) = delete;
+
+  /// Opens (creating if absent) the log for appending; writes the
+  /// magic into a fresh file. False with \p Err on I/O failure.
+  bool open(std::string *Err);
+  void close();
+
+  /// Appends one record (not yet durable). \p Payload is the record
+  /// body EXCLUDING the ticket, which this prepends. Thread-safe.
+  /// False once the fault budget has tripped or on a write error.
+  bool append(uint64_t Ticket, const uint8_t *Payload, size_t N);
+
+  /// fsyncs everything appended so far. False if the sync (or any
+  /// append since the last sync) failed — the caller must NOT ack the
+  /// covered transactions.
+  bool sync();
+
+  /// Bytes covered by the last successful sync / total bytes appended.
+  size_t durableBytes() const;
+  size_t writtenBytes() const;
+  /// Largest ticket appended by this instance (0 before any append).
+  uint64_t lastTicket() const;
+
+  /// Snapshot checkpoint: durably writes `<path>.ckpt` (temp + fsync +
+  /// rename), then truncates the log to its magic. \p LastTicket is
+  /// the newest commit the snapshot includes. The caller must ensure
+  /// no append runs concurrently.
+  bool checkpoint(uint64_t LastTicket, const std::vector<uint8_t> &Snapshot,
+                  std::string *Err);
+
+  //===--------------------------------------------------------------------===
+  // Recovery (static: operates on closed files)
+  //===--------------------------------------------------------------------===
+
+  struct Record {
+    uint64_t Ticket;
+    std::vector<uint8_t> Payload;
+  };
+
+  /// Replays the longest valid record prefix of \p Path into \p Fn, in
+  /// file order (== ticket order within one server lifetime). A
+  /// missing file is an empty log. Returns false only for a real I/O
+  /// error or a wrong magic — never for a torn/corrupt tail. When
+  /// \p ValidEnd is non-null it receives the byte offset where the
+  /// valid prefix ends; reopening for append must first truncateTo()
+  /// that offset so fresh records do not land after torn garbage.
+  static bool replay(const std::string &Path,
+                     const std::function<void(const Record &)> &Fn,
+                     std::string *Err, size_t *ValidEnd = nullptr);
+
+  /// Loads `<path>.ckpt` if present and intact. Returns true and fills
+  /// the outputs on success; false (not an error) when no usable
+  /// checkpoint exists.
+  static bool loadCheckpoint(const std::string &Path, uint64_t &LastTicket,
+                             std::vector<uint8_t> &Snapshot);
+
+  //===--------------------------------------------------------------------===
+  // Fault injection (tests)
+  //===--------------------------------------------------------------------===
+
+  /// After a total of \p N appended bytes, writes are cut short (the
+  /// crossing record is written only up to the budget — a torn tail)
+  /// and sync() returns false forever.
+  void failAfterBytes(size_t N);
+
+  /// Truncates the file at \p Path to \p Size bytes.
+  static bool truncateTo(const std::string &Path, size_t Size);
+  /// Flips bit \p Bit of byte \p Offset in the file at \p Path.
+  static bool flipBitAt(const std::string &Path, size_t Offset, unsigned Bit);
+  /// Size of the file at \p Path (0 if missing).
+  static size_t fileSize(const std::string &Path);
+
+  static constexpr char Magic[9] = "RELCWAL1";
+  static constexpr char CkptMagic[9] = "RELCCKP1";
+  static constexpr size_t MagicLen = 8;
+  /// Bytes of record header: u32 len + u32 crc.
+  static constexpr size_t HeaderLen = 8;
+
+private:
+  std::string Path;
+  int Fd = -1;
+  mutable std::mutex Mu;
+  size_t Written = 0;
+  size_t Durable = 0;
+  uint64_t LastTicketSeen = 0;
+  /// SIZE_MAX = no fault armed; once tripped, Tripped latches.
+  size_t FailAfter = static_cast<size_t>(-1);
+  bool Tripped = false;
+};
+
+} // namespace relc
+
+#endif // RELC_SERVER_WAL_H

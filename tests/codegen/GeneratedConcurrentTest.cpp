@@ -616,6 +616,55 @@ TEST(GeneratedConcurrentTest, AccountTransactSingleThreadSemantics) {
 }
 
 //===----------------------------------------------------------------------===
+// The `wire` directive: account_tx.relc also emits genconc::account_wire,
+// a constexpr opcode -> facade-method dispatch table matching the
+// relserved protocol (src/server/Wire.h).
+//===----------------------------------------------------------------------===
+
+TEST(GeneratedConcurrentTest, WireDispatchTableMapsOpcodesToFacadeMethods) {
+  using Wire = genconc::account_wire;
+  // The table is constexpr: dispatch decisions can be made at compile
+  // time by a server shim. (Exact row count depends on the pass
+  // pipeline — DeadIndexElimination prunes unreachable facade support
+  // ops — so only the requested methods' rows are asserted.)
+  static_assert(Wire::NumEntries >= 4, "account_tx wire table size");
+  static_assert(Wire::lookup(0x02) != nullptr, "insert row");
+  static_assert(Wire::lookup(0x01) == nullptr, "ping has no method row");
+
+  const Wire::Entry *Insert = Wire::lookup(0x02);
+  ASSERT_NE(Insert, nullptr);
+  EXPECT_STREQ(Insert->Method, "insert");
+  EXPECT_EQ(Insert->Arity, 0u);
+
+  // A remove row exists only when the pipeline kept the facade
+  // remove_by support op; when present it must name the real method.
+  if (const Wire::Entry *Remove = Wire::lookup(0x03))
+    EXPECT_STREQ(Remove->Method, "remove_by_owner_acct");
+
+  const Wire::Entry *Query = Wire::lookup(0x05);
+  ASSERT_NE(Query, nullptr);
+  EXPECT_STREQ(Query->Method, "all");
+
+  const Wire::Entry *Transact = Wire::lookup(0x06);
+  ASSERT_NE(Transact, nullptr);
+  EXPECT_STREQ(Transact->Method, "transact_by_owner_acct");
+  EXPECT_EQ(Transact->Arity, 2u);
+
+  const Wire::Entry *Size = Wire::lookup(0x07);
+  ASSERT_NE(Size, nullptr);
+  EXPECT_STREQ(Size->Method, "size");
+
+  // Unknown opcodes dispatch to nothing.
+  EXPECT_EQ(Wire::lookup(0x7F), nullptr);
+  EXPECT_EQ(Wire::lookup(0x00), nullptr);
+
+  // Every named method really exists on the facade with the advertised
+  // shape (compile-time check by taking the member pointers).
+  [[maybe_unused]] auto InsertFn = &genconc::account_concurrent::insert;
+  [[maybe_unused]] auto SizeFn = &genconc::account_concurrent::size;
+}
+
+//===----------------------------------------------------------------------===
 // The N-key generalization: `transaction bank, acct x 3` compiles
 // transact3_by_bank_acct on the ledger facade (settle_tri.relc).
 //===----------------------------------------------------------------------===

@@ -242,6 +242,43 @@ TEST(SpecFileTest, ErrorUnknownShardColumn) {
   EXPECT_NE(R.Error.find("shard column"), std::string::npos);
 }
 
+TEST(SpecFileTest, ParsesWireDirective) {
+  std::string Text = std::string(SchedulerFile) +
+                     "concurrency sharded 4 on ns\nwire\n";
+  SpecFileResult R = parseSpecFile(Text);
+  ASSERT_TRUE(R.ok()) << R.Error;
+  EXPECT_TRUE(R.File->Options.WireDispatch);
+  // Directive order does not matter: wire before concurrency is fine.
+  Text = std::string(SchedulerFile) + "wire\nconcurrency sharded 4\n";
+  R = parseSpecFile(Text);
+  ASSERT_TRUE(R.ok()) << R.Error;
+  EXPECT_TRUE(R.File->Options.WireDispatch);
+}
+
+TEST(SpecFileTest, WireDefaultsOff) {
+  SpecFileResult R = parseSpecFile(SchedulerFile);
+  ASSERT_TRUE(R.ok()) << R.Error;
+  EXPECT_FALSE(R.File->Options.WireDispatch);
+}
+
+TEST(SpecFileTest, ErrorWireWithoutConcurrency) {
+  std::string Text = std::string(SchedulerFile) + "wire\n";
+  SpecFileResult R = parseSpecFile(Text);
+  ASSERT_FALSE(R.ok());
+  EXPECT_NE(R.Error.find("requires a concurrency facade"),
+            std::string::npos)
+      << R.Error;
+}
+
+TEST(SpecFileTest, ErrorWireTakesNoArguments) {
+  std::string Text = std::string(SchedulerFile) +
+                     "concurrency sharded 4\nwire dispatch\n";
+  SpecFileResult R = parseSpecFile(Text);
+  ASSERT_FALSE(R.ok());
+  EXPECT_NE(R.Error.find("takes no arguments"), std::string::npos)
+      << R.Error;
+}
+
 TEST(SpecFileTest, ParsesTransactionDirective) {
   std::string Text = std::string(SchedulerFile) +
                      "transaction ns, pid\nconcurrency sharded 4 on ns\n";

@@ -423,6 +423,96 @@ TEST_F(SynthesizedRelationTest, TransactUpsertConditionalAbort) {
   EXPECT_EQ(Rel.toRelation(), Before);
 }
 
+TEST_F(SynthesizedRelationTest, TransactUpsertCheckedVetoRollsBackBatch) {
+  // The guarded upsert (TxOp::upsertChecked): the callback returning
+  // false vetoes the whole batch — the declarative overdraft guard the
+  // server's wire `add` op compiles to.
+  Rel.insert(proc(1, 1, 0, 100));
+  Rel.insert(proc(1, 2, 0, 5));
+  Relation Before = Rel.toRelation();
+  ColumnId ColCpu = Cat.get("cpu");
+
+  auto debit = [&](int64_t Pid, int64_t Amount) {
+    return TxOp::upsertChecked(
+        TupleBuilder(Cat).set("ns", 1).set("pid", Pid).build(),
+        [&Cat = Cat, ColCpu, Amount](const BindingFrame *Cur, Tuple &V) {
+          if (!Cur)
+            return false; // absent key vetoes
+          int64_t Next = Cur->get(ColCpu).asInt() - Amount;
+          if (Next < 0)
+            return false; // overdraft vetoes
+          V.set(ColCpu, Value::ofInt(Next));
+          return true;
+        });
+  };
+
+  // First debit succeeds and applies; the second overdraws: the batch
+  // aborts at op 1 and the FIRST debit is rolled back too.
+  std::vector<TxOp> Ops;
+  Ops.push_back(debit(1, 60));
+  Ops.push_back(debit(2, 60));
+  TxResult R = Rel.transact(Ops);
+  EXPECT_FALSE(R.Committed);
+  EXPECT_EQ(R.FailedOp, 1u);
+  EXPECT_EQ(Rel.toRelation(), Before);
+
+  // Within budget, both apply atomically.
+  Ops.clear();
+  Ops.push_back(debit(1, 60));
+  Ops.push_back(debit(2, 5));
+  R = Rel.transact(Ops);
+  EXPECT_TRUE(R.Committed);
+  EXPECT_TRUE(Rel.contains(proc(1, 1, 0, 40)));
+  EXPECT_TRUE(Rel.contains(proc(1, 2, 0, 0)));
+}
+
+TEST_F(SynthesizedRelationTest, TransactUpsertCheckedAbsentKeyVeto) {
+  Rel.insert(proc(1, 1, 0, 10));
+  Relation Before = Rel.toRelation();
+  // The guard refuses to create missing rows — unlike the plain
+  // upsert, which would insert when the callback binds all values.
+  TxResult R = Rel.transact([&](TxBatch &Tx) {
+    Tx.upsertChecked(TupleBuilder(Cat).set("ns", 9).set("pid", 9).build(),
+                     [](const BindingFrame *Cur, Tuple &) {
+                       return Cur != nullptr;
+                     });
+  });
+  EXPECT_FALSE(R.Committed);
+  EXPECT_EQ(R.FailedOp, 0u);
+  EXPECT_EQ(Rel.toRelation(), Before);
+}
+
+TEST_F(SynthesizedRelationTest, TransactUpsertCheckedCanInsertWhenAllowed) {
+  // A checked upsert that accepts the absent case and binds every
+  // non-key column behaves like a guarded insert.
+  ColumnId ColCpu = Cat.get("cpu"), ColState = Cat.get("state");
+  TxResult R = Rel.transact([&](TxBatch &Tx) {
+    Tx.upsertChecked(TupleBuilder(Cat).set("ns", 2).set("pid", 3).build(),
+                     [&](const BindingFrame *Cur, Tuple &V) {
+                       if (Cur)
+                         return false; // only-if-absent
+                       V.set(ColState, Value::ofInt(1));
+                       V.set(ColCpu, Value::ofInt(7));
+                       return true;
+                     });
+  });
+  EXPECT_TRUE(R.Committed);
+  EXPECT_TRUE(Rel.contains(proc(2, 3, 1, 7)));
+  // Running it again vetoes: the row now exists.
+  R = Rel.transact([&](TxBatch &Tx) {
+    Tx.upsertChecked(TupleBuilder(Cat).set("ns", 2).set("pid", 3).build(),
+                     [&](const BindingFrame *Cur, Tuple &V) {
+                       if (Cur)
+                         return false;
+                       V.set(ColState, Value::ofInt(1));
+                       V.set(ColCpu, Value::ofInt(7));
+                       return true;
+                     });
+  });
+  EXPECT_FALSE(R.Committed);
+  EXPECT_TRUE(Rel.contains(proc(2, 3, 1, 7)));
+}
+
 TEST_F(SynthesizedRelationTest, TransactBuilderFormAndNoOps) {
   ColumnId ColCpu = Cat.get("cpu"), ColState = Cat.get("state");
   TxResult R = Rel.transact([&](TxBatch &Tx) {
