@@ -159,10 +159,10 @@ void GroupCommit::run() {
         Durable = Log->sync();
         Synced = true;
       }
-      for (size_t G = 0; G != Group.size(); ++G)
-        if (Group[G].Done)
-          Group[G].Done(Results[G],
-                        Results[G].Committed ? Durable : true);
+      // Stats first, completions second: an observer that has seen a
+      // member's ack (sent from its Done) must also see the group in
+      // stats(), or a stats read racing the committer reports a state
+      // where acked commits belong to no group.
       {
         std::lock_guard<std::mutex> Lock(Mu);
         ++Stats.Groups;
@@ -174,6 +174,10 @@ void GroupCommit::run() {
         Stats.Syncs += Synced;
         Stats.SyncFailures += Synced && !Durable;
       }
+      for (size_t G = 0; G != Group.size(); ++G)
+        if (Group[G].Done)
+          Group[G].Done(Results[G],
+                        Results[G].Committed ? Durable : true);
     }
   }
 }

@@ -6,7 +6,6 @@
 
 #include "server/Server.h"
 
-#include <cassert>
 #include <cerrno>
 #include <future>
 #include <sys/socket.h>
@@ -64,9 +63,9 @@ bool RelServer::decodeSnapshot(const std::vector<uint8_t> &Bytes,
 
 bool RelServer::recover(std::string *Err) {
   unsigned Arity = Rel.catalog().size();
-  uint64_t MaxTicket = 0;
+  uint64_t CkptTicket = 0;
   std::vector<uint8_t> Snap;
-  if (Wal::loadCheckpoint(Opts.WalPath, MaxTicket, Snap)) {
+  if (Wal::loadCheckpoint(Opts.WalPath, CkptTicket, Snap)) {
     std::vector<Tuple> Tuples;
     if (!decodeSnapshot(Snap, Arity, Tuples)) {
       if (Err)
@@ -76,22 +75,38 @@ bool RelServer::recover(std::string *Err) {
     for (const Tuple &T : Tuples)
       Rel.insert(T);
   }
+  uint64_t MaxTicket = CkptTicket;
+  std::string ReplayErr;
   size_t ValidEnd = 0;
   bool Ok = Wal::replay(
       Opts.WalPath,
       [&](const Wal::Record &R) {
+        if (!ReplayErr.empty())
+          return;
+        // A crash between the checkpoint's rename and its log
+        // truncation leaves snapshot + full log: records at or below
+        // the snapshot's ticket are already inside it, and re-applying
+        // them would conflict (a logged insert of a since-updated key).
+        if (R.Ticket <= CkptTicket)
+          return;
         std::vector<TxOp> Ops;
         if (!wire::decodeRedo(R.Payload.data(), R.Payload.size(), Arity,
                               Ops)) {
-          // CRC passed, so this is an encoder bug, not disk damage.
-          assert(false && "undecodable redo payload behind a valid CRC");
+          // CRC passed, so this is an encoder bug, not disk damage —
+          // skipping it would silently diverge the recovered state.
+          ReplayErr = Opts.WalPath + ": undecodable redo payload behind a "
+                      "valid CRC at ticket " + std::to_string(R.Ticket);
           return;
         }
         // Redo ops are the exact committed effects in ticket order:
         // replaying them through a fresh relation reproduces every
         // intermediate state, so no FD conflict or abort is possible.
-        [[maybe_unused]] TxResult Res = Rel.transact(Ops);
-        assert(Res.Committed && "redo replay aborted");
+        TxResult Res = Rel.transact(Ops);
+        if (!Res.Committed) {
+          ReplayErr = Opts.WalPath + ": redo replay aborted at ticket " +
+                      std::to_string(R.Ticket);
+          return;
+        }
         ++Recovered;
         if (R.Ticket > MaxTicket)
           MaxTicket = R.Ticket;
@@ -99,9 +114,17 @@ bool RelServer::recover(std::string *Err) {
       Err, &ValidEnd);
   if (!Ok)
     return false;
-  // Drop any torn tail so fresh appends never land after garbage.
+  if (!ReplayErr.empty()) {
+    if (Err)
+      *Err = ReplayErr;
+    return false;
+  }
+  // Drop any torn tail so fresh appends never land after garbage. A
+  // non-empty file with ValidEnd == 0 was torn inside the magic (a
+  // crash during creation): truncate it to nothing so open()
+  // re-initializes the magic instead of appending after garbage.
   size_t OnDisk = Wal::fileSize(Opts.WalPath);
-  if (ValidEnd != 0 && OnDisk > ValidEnd)
+  if (OnDisk > ValidEnd)
     Wal::truncateTo(Opts.WalPath, ValidEnd);
   Rel.seedTickets(MaxTicket + 1);
   LastTicket.store(MaxTicket, std::memory_order_relaxed);
@@ -143,22 +166,19 @@ void RelServer::stop() {
     ::close(ListenFd);
     ListenFd = -1;
   }
-  std::vector<std::thread> Threads;
+  std::vector<ConnEntry> Entries;
   {
     std::lock_guard<std::mutex> Lock(ConnMu);
-    for (const ConnPtr &C : Conns)
-      ::shutdown(C->Fd, SHUT_RDWR); // wakes blocked connection reads
-    Threads.swap(ConnThreads);
+    for (const ConnEntry &E : Conns)
+      ::shutdown(E.C->Fd, SHUT_RDWR); // wakes blocked connection reads
+    Entries.swap(Conns);
   }
-  for (std::thread &T : Threads)
-    T.join();
+  for (ConnEntry &E : Entries)
+    E.T.join();
   // Committer last: in-flight mutations complete (their replies fail
   // harmlessly against the shut-down sockets) before the WAL closes.
   Committer.stop();
-  {
-    std::lock_guard<std::mutex> Lock(ConnMu);
-    Conns.clear();
-  }
+  Entries.clear();
   if (HasWal)
     Log.close();
 }
@@ -178,8 +198,23 @@ void RelServer::acceptLoop() {
     auto C = std::make_shared<Conn>();
     C->Fd = Fd;
     std::lock_guard<std::mutex> Lock(ConnMu);
-    Conns.push_back(C);
-    ConnThreads.emplace_back([this, C] { connLoop(C); });
+    // Reap what finished since the last accept, so a long-running
+    // daemon holds threads only for live connections (plus finished
+    // ones not yet swept — bounded by the accept rate, joined by
+    // stop() regardless).
+    reapFinishedLocked();
+    Conns.push_back(ConnEntry{C, std::thread([this, C] { connLoop(C); })});
+  }
+}
+
+void RelServer::reapFinishedLocked() {
+  for (size_t I = 0; I != Conns.size();) {
+    if (Conns[I].C->Done.load(std::memory_order_acquire)) {
+      Conns[I].T.join();
+      Conns.erase(Conns.begin() + static_cast<long>(I));
+    } else {
+      ++I;
+    }
   }
 }
 
@@ -194,6 +229,7 @@ void RelServer::connLoop(ConnPtr C) {
   // The fd itself is closed by the last ConnPtr owner — a pending
   // group-commit completion may still be about to write its reply.
   ::shutdown(C->Fd, SHUT_RDWR);
+  C->Done.store(true, std::memory_order_release);
 }
 
 //===----------------------------------------------------------------------===//

@@ -107,13 +107,22 @@ private:
   struct Conn {
     int Fd = -1;
     std::mutex WriteMu;
+    /// Set by connLoop as its last act; lets the acceptor reap the
+    /// entry (join the thread, drop the Conn) without blocking.
+    std::atomic<bool> Done{false};
     ~Conn();
   };
   using ConnPtr = std::shared_ptr<Conn>;
+  struct ConnEntry {
+    ConnPtr C;
+    std::thread T;
+  };
 
   bool recover(std::string *Err);
   void acceptLoop();
   void connLoop(ConnPtr C);
+  /// Joins and erases every finished connection entry. ConnMu held.
+  void reapFinishedLocked();
   /// One request frame; false closes the connection.
   bool handleFrame(const ConnPtr &C, const std::vector<uint8_t> &Body);
   void reply(const ConnPtr &C, wire::Status St, uint64_t ReqId,
@@ -137,8 +146,7 @@ private:
   uint16_t Port = 0;
   std::thread Acceptor;
   std::mutex ConnMu;
-  std::vector<ConnPtr> Conns;
-  std::vector<std::thread> ConnThreads;
+  std::vector<ConnEntry> Conns;
   std::atomic<bool> Running{false};
   uint64_t Recovered = 0;
   /// Newest commit ticket this server knows of (recovered or logged);

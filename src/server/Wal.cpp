@@ -89,6 +89,23 @@ static uint64_t getU64(const uint8_t *P) {
   return V;
 }
 
+/// fsyncs the directory holding \p Path. POSIX does not order a
+/// rename's (or create's) dirent durability against later data writes
+/// to other files — without this, a crash can surface a truncated log
+/// next to the OLD checkpoint dirent, losing acknowledged commits.
+static bool syncParentDir(const std::string &Path) {
+  std::string::size_type Slash = Path.find_last_of('/');
+  std::string Dir = Slash == std::string::npos
+                        ? std::string(".")
+                        : Slash == 0 ? std::string("/") : Path.substr(0, Slash);
+  int Fd = ::open(Dir.c_str(), O_RDONLY | O_DIRECTORY);
+  if (Fd < 0)
+    return false;
+  bool Ok = ::fsync(Fd) == 0;
+  ::close(Fd);
+  return Ok;
+}
+
 /// Reads a whole file into \p Out; false if it cannot be opened.
 static bool slurp(const std::string &Path, std::vector<uint8_t> &Out) {
   int Fd = ::open(Path.c_str(), O_RDONLY);
@@ -133,8 +150,11 @@ bool Wal::open(std::string *Err) {
     return false;
   }
   if (St.st_size == 0) {
+    // The dirent of a freshly created file needs its own directory
+    // fsync, or a crash can lose the whole file after commits were
+    // acked against it.
     if (!writeAll(Fd, reinterpret_cast<const uint8_t *>(Magic), MagicLen) ||
-        ::fsync(Fd) != 0) {
+        ::fsync(Fd) != 0 || !syncParentDir(Path)) {
       setErr(Err, "init " + Path);
       ::close(Fd);
       Fd = -1;
@@ -249,10 +269,16 @@ bool Wal::checkpoint(uint64_t LastTicket, const std::vector<uint8_t> &Snapshot,
     return false;
   }
   ::close(TFd);
-  // 2. Atomic publish.
+  // 2. Atomic publish. The rename's dirent must be durable BEFORE the
+  //    log shrinks: nothing orders the rename against the ftruncate
+  //    below except this directory fsync.
   std::string Ckpt = Path + ".ckpt";
   if (::rename(Tmp.c_str(), Ckpt.c_str()) != 0) {
     setErr(Err, "rename " + Tmp);
+    return false;
+  }
+  if (!syncParentDir(Ckpt)) {
+    setErr(Err, "fsync parent dir of " + Ckpt);
     return false;
   }
   // 3. Only now drop the log (a crash before this point keeps both:

@@ -28,12 +28,15 @@
 /// torn tail can only hold unacked transactions.
 ///
 /// Checkpointing writes the full snapshot to `<path>.ckpt` via
-/// write-to-temp + fsync + atomic rename, then truncates the log back
-/// to its magic. A crash between the two steps leaves snapshot AND log
-/// (replaying both double-applies nothing because recovery loads the
-/// snapshot first and the log was emptied *after* the rename — the
-/// ordering makes the pair always consistent: the snapshot is durable
-/// before any log byte is dropped).
+/// write-to-temp + fsync + atomic rename + parent-directory fsync,
+/// then truncates the log back to its magic. The directory fsync
+/// pins the order: the new snapshot dirent is durable before any log
+/// byte is dropped, so a crash anywhere in the sequence leaves either
+/// the old pair intact or the new snapshot with a full (or already
+/// truncated) log. Snapshot + full log means the log still holds
+/// records the snapshot already includes — recovery (see
+/// RelServer::recover) must skip every record whose ticket is at or
+/// below the checkpoint's LastTicket, or it double-applies history.
 ///
 /// Fault injection for tests: failAfterBytes() makes appends beyond a
 /// byte budget write only a prefix (a torn record) and every later

@@ -505,6 +505,144 @@ TEST(CrashRecovery, CheckpointCompactsAndRecoversAcrossIt) {
   removeWal(Path);
 }
 
+/// The checkpoint crash window: the snapshot rename has landed but the
+/// log truncation never ran (crash, or the ftruncate failing after
+/// rename). Disk holds snapshot + FULL log, so the log's prefix is
+/// already inside the snapshot — recovery must skip every record at or
+/// below the checkpoint ticket instead of double-applying history.
+TEST(CrashRecovery, CheckpointPublishedButLogNotTruncated) {
+  RelSpecRef Spec = accountSpec();
+  const Catalog &Cat = Spec->catalog();
+  ColumnId Bal = Cat.get("balance");
+  std::string Path = walPath("ckptwindow");
+  removeWal(Path);
+
+  Relation Final(Cat.allColumns());
+  uint64_t CkptTicket = 0;
+  std::vector<uint8_t> SnapBytes;
+  {
+    ConcurrentRelation Rel(accountDecomp(Spec), fourShards());
+    Wal Log(Path);
+    std::string Err;
+    ASSERT_TRUE(Log.open(&Err)) << Err;
+    Rel.setCommitHook([&](uint64_t Ticket, const std::vector<TxOp> &Redo) {
+      std::vector<uint8_t> P = wire::encodeRedo(Redo);
+      Log.append(Ticket, P.data(), P.size());
+    });
+    for (int64_t A = 0; A != 8; ++A) {
+      TxResult Res = Rel.transact(std::vector<TxOp>{TxOp::insert(TupleBuilder(Cat)
+                                                    .set("owner", A / 4)
+                                                    .set("acct", A % 4)
+                                                    .set("balance", 1000)
+                                                    .build())});
+      ASSERT_TRUE(Res.Committed);
+      CkptTicket = Res.Ticket;
+    }
+    // The snapshot the checkpoint will publish: state at CkptTicket,
+    // i.e. BEFORE the transfers below — those form the replay residue.
+    SnapBytes = RelServer::encodeSnapshot(Rel.toRelation());
+    for (int T = 0; T != 10; ++T) {
+      int64_t From = T % 8;
+      int64_t To = (From + 3) % 8;
+      ASSERT_TRUE(Rel.transact(transfer(Cat, From, To, 10 + T)).Committed);
+    }
+    ASSERT_TRUE(Log.sync());
+    Rel.setCommitHook(nullptr);
+    Log.close();
+    Final = Rel.toRelation();
+  }
+
+  // Recreate the window. Wal::checkpoint publishes AND truncates, so
+  // save the full log, checkpoint, then put the full log back — the
+  // exact on-disk state a crash between the two steps leaves.
+  std::string Full = Path + ".full";
+  copyFile(Path, Full);
+  {
+    Wal Log(Path);
+    std::string Err;
+    ASSERT_TRUE(Log.open(&Err)) << Err;
+    ASSERT_TRUE(Log.checkpoint(CkptTicket, SnapBytes, &Err)) << Err;
+  }
+  copyFile(Full, Path);
+  std::remove(Full.c_str());
+
+  ServerOptions Opts;
+  Opts.WalPath = Path;
+  Opts.Concurrent.NumShards = 4;
+  {
+    RelServer Server(accountDecomp(Spec), Opts);
+    std::string Err;
+    ASSERT_TRUE(Server.start(&Err)) << Err;
+    // Only the post-checkpoint residue replays — the 8 seed inserts
+    // are in the snapshot and must not be re-applied on top of it.
+    EXPECT_EQ(Server.recoveredTxns(), 10u);
+    expectSameRelation(Server.relation().toRelation(), Final);
+    RelClient Cli;
+    ASSERT_TRUE(Cli.connect(Server.port()));
+    std::vector<Tuple> Rows;
+    ASSERT_TRUE(Cli.query(Tuple(), Cat.allColumns(), Rows));
+    ASSERT_EQ(Rows.size(), 8u);
+    int64_t Total = 0;
+    for (const Tuple &T : Rows)
+      Total += T.get(Bal).asInt();
+    EXPECT_EQ(Total, 8 * 1000) << "double-applied history leaked a transfer";
+    Server.stop();
+  }
+  removeWal(Path);
+}
+
+/// A crash during WAL creation can leave a file holding only a prefix
+/// of the magic. Recovery must truncate it to empty so reopening
+/// re-initializes the magic — otherwise the first restart appends
+/// acked records after the garbage and the SECOND restart fails with
+/// "bad WAL magic", losing them.
+TEST(CrashRecovery, FileTornInsideTheMagicIsReinitialized) {
+  RelSpecRef Spec = accountSpec();
+  const Catalog &Cat = Spec->catalog();
+  std::string Path = walPath("tornmagic");
+  removeWal(Path);
+  {
+    std::ofstream Out(Path, std::ios::binary | std::ios::trunc);
+    Out.write(Wal::Magic, 3);
+  }
+  ASSERT_EQ(Wal::fileSize(Path), 3u);
+
+  ServerOptions Opts;
+  Opts.WalPath = Path;
+  Opts.Concurrent.NumShards = 4;
+  {
+    RelServer Server(accountDecomp(Spec), Opts);
+    std::string Err;
+    ASSERT_TRUE(Server.start(&Err)) << Err;
+    EXPECT_EQ(Server.recoveredTxns(), 0u);
+    RelClient Cli;
+    ASSERT_TRUE(Cli.connect(Server.port()));
+    RelClient::Reply R;
+    ASSERT_TRUE(Cli.insert(TupleBuilder(Cat)
+                               .set("owner", 1)
+                               .set("acct", 2)
+                               .set("balance", 42)
+                               .build(),
+                           &R));
+    ASSERT_TRUE(R.ok());
+    Server.stop();
+  }
+  {
+    RelServer Server(accountDecomp(Spec), Opts);
+    std::string Err;
+    ASSERT_TRUE(Server.start(&Err)) << Err;
+    EXPECT_EQ(Server.recoveredTxns(), 1u);
+    RelClient Cli;
+    ASSERT_TRUE(Cli.connect(Server.port()));
+    std::vector<Tuple> Rows;
+    ASSERT_TRUE(Cli.query(Tuple(), Cat.allColumns(), Rows));
+    ASSERT_EQ(Rows.size(), 1u);
+    EXPECT_EQ(Rows[0].get(Cat.get("balance")).asInt(), 42);
+    Server.stop();
+  }
+  removeWal(Path);
+}
+
 /// Full server lifecycle: serve, mutate over the wire, stop, restart
 /// on the same WAL, and find every acked mutation again — twice, so
 /// the second generation proves post-recovery appends land after the

@@ -358,6 +358,13 @@ TEST(GroupCommitServer, PipelinedWireTransfersBatchAndConserve) {
         wire::WireTxOp::add(key(Cat, 1, 0), Bal, 1)};
     ASSERT_NE(Cli.sendTransact(Ops), 0u);
   }
+  // sendTransact returns once the frame is in the socket buffer; the
+  // conn thread still has to read and submit it. Resuming before the
+  // whole burst is queued lets the committer drain 1-by-1 groups, so
+  // wait for every submission (8 seed inserts + the burst) first.
+  while (Server.commitStats().Submitted <
+         static_cast<uint64_t>(Accounts + Burst))
+    std::this_thread::yield();
   Server.committer().resume();
   int Acked = 0, Aborted = 0;
   for (int I = 0; I != Burst; ++I) {
