@@ -34,14 +34,57 @@
 #include "workloads/Rng.h"
 
 #include <algorithm>
+#include <atomic>
 #include <cstdlib>
 #include <functional>
 #include <memory>
+#include <new>
 #include <thread>
 #include <vector>
 
 using namespace relc;
 using namespace relcbench;
+
+//===----------------------------------------------------------------------===//
+// Allocation-counting hook, as in bench_hotpath but atomic: phases run
+// on many threads, and a phase's global-heap traffic is the counter
+// delta across it. The per-shard slab arenas exist precisely to keep
+// this near zero on the steady-state insert path.
+//===----------------------------------------------------------------------===//
+
+static std::atomic<size_t> GlobalAllocCount{0};
+
+static void *countedAlloc(size_t Sz) {
+  GlobalAllocCount.fetch_add(1, std::memory_order_relaxed);
+  if (void *P = std::malloc(Sz ? Sz : 1))
+    return P;
+  throw std::bad_alloc();
+}
+
+static void *countedAlignedAlloc(size_t Sz, std::align_val_t Al) {
+  GlobalAllocCount.fetch_add(1, std::memory_order_relaxed);
+  size_t Align = static_cast<size_t>(Al);
+  // aligned_alloc requires the size to be a multiple of the alignment.
+  size_t Rounded = (Sz + Align - 1) / Align * Align;
+  if (void *P = std::aligned_alloc(Align, Rounded ? Rounded : Align))
+    return P;
+  throw std::bad_alloc();
+}
+
+void *operator new(size_t Sz) { return countedAlloc(Sz); }
+void *operator new[](size_t Sz) { return countedAlloc(Sz); }
+void *operator new(size_t Sz, std::align_val_t Al) {
+  return countedAlignedAlloc(Sz, Al);
+}
+void *operator new[](size_t Sz, std::align_val_t Al) {
+  return countedAlignedAlloc(Sz, Al);
+}
+void operator delete(void *P) noexcept { std::free(P); }
+void operator delete[](void *P) noexcept { std::free(P); }
+void operator delete(void *P, size_t) noexcept { std::free(P); }
+void operator delete[](void *P, size_t) noexcept { std::free(P); }
+void operator delete(void *P, std::align_val_t) noexcept { std::free(P); }
+void operator delete[](void *P, std::align_val_t) noexcept { std::free(P); }
 
 namespace {
 
@@ -144,24 +187,28 @@ template <typename FnT> double runThreads(unsigned NumThreads, FnT &&Body) {
 struct PhaseResult {
   double Seconds = 0;
   size_t Ops = 0;
+  size_t Allocs = 0; ///< Global-heap allocations across the phase.
   double opsPerSec() const { return Seconds > 0 ? double(Ops) / Seconds : 0; }
+  double allocsPerOp() const { return Ops ? double(Allocs) / double(Ops) : 0; }
 };
+
 
 void report(JsonReporter &Json, const std::string &System, const char *Phase,
             unsigned Threads, const PhaseResult &M, double Baseline) {
   double Speedup = Baseline > 0 ? M.opsPerSec() / Baseline : 1.0;
-  std::printf("  %-10s t=%u %12.0f ops/s   %5.2fx vs t=1\n", Phase, Threads,
-              M.opsPerSec(), Speedup);
+  std::printf("  %-10s t=%u %12.0f ops/s   %5.2fx vs t=1   %6.3f allocs/op\n",
+              Phase, Threads, M.opsPerSec(), Speedup, M.allocsPerOp());
   Json.record(System + "." + Phase + ".t" + std::to_string(Threads))
       .metric("threads", Threads)
       .metric("ops", double(M.Ops))
       .metric("seconds", M.Seconds)
       .metric("ops_per_sec", M.opsPerSec())
-      .metric("speedup_vs_1", Speedup);
+      .metric("speedup_vs_1", Speedup)
+      .metric("allocs_per_op", M.allocsPerOp());
 }
 
-/// One system at one thread count: insert, query, mixed. \returns the
-/// per-phase throughputs (insert, query, mixed).
+/// One system at one thread count. \returns the per-phase results
+/// (insert, reinsert, query, mixed, upsert, transact, scan).
 std::vector<PhaseResult> runSystem(const Workload &W, unsigned Shards,
                                    unsigned Threads, size_t N, size_t Probes,
                                    size_t MixedOps,
@@ -172,13 +219,33 @@ std::vector<PhaseResult> runSystem(const Workload &W, unsigned Shards,
   ConcurrentRelation Rel(W.MakeDecomp(), Opts);
 
   // Parallel insert: thread T owns slice [T*N/Threads, (T+1)*N/Threads).
+  // Cold: the shard arenas grow their slabs inside this phase. Each
+  // phase brackets GlobalAllocCount to report its global-heap traffic.
+  size_t AllocMark;
   PhaseResult Ins;
   Ins.Ops = N;
-  Ins.Seconds = runThreads(Threads, [&](unsigned T) {
-    size_t Lo = N * T / Threads, Hi = N * (T + 1) / Threads;
-    for (size_t I = Lo; I != Hi; ++I)
-      Rel.insert(Tuples[I]);
-  });
+  auto InsertAll = [&] {
+    return runThreads(Threads, [&](unsigned T) {
+      size_t Lo = N * T / Threads, Hi = N * (T + 1) / Threads;
+      for (size_t I = Lo; I != Hi; ++I)
+        Rel.insert(Tuples[I]);
+    });
+  };
+  AllocMark = GlobalAllocCount.load(std::memory_order_relaxed);
+  Ins.Seconds = InsertAll();
+  Ins.Allocs = GlobalAllocCount.load(std::memory_order_relaxed) - AllocMark;
+
+  // Warm re-insert: clear() rewinds the slabs but retains them, so
+  // this measures the fresh-insert steady state — nodes and cells come
+  // from the warmed arenas, and global-heap traffic is only the
+  // amortized residue (hash-bucket vector regrowth, per-node EdgeMap
+  // wrappers), which main() asserts stays near zero.
+  PhaseResult Reins;
+  Reins.Ops = N;
+  Rel.clear();
+  AllocMark = GlobalAllocCount.load(std::memory_order_relaxed);
+  Reins.Seconds = InsertAll();
+  Reins.Allocs = GlobalAllocCount.load(std::memory_order_relaxed) - AllocMark;
 
   // Warm every shard's plan/cut caches so the measured loops are
   // steady state (as in bench_hotpath). Duplicate insert runs before
@@ -199,6 +266,7 @@ std::vector<PhaseResult> runSystem(const Workload &W, unsigned Shards,
   // Read-only key probes, keys striped across threads.
   PhaseResult Probe;
   Probe.Ops = Probes;
+  AllocMark = GlobalAllocCount.load(std::memory_order_relaxed);
   Probe.Seconds = runThreads(Threads, [&](unsigned T) {
     int64_t Sum = 0;
     for (size_t I = T; I < Probes; I += Threads) {
@@ -210,6 +278,7 @@ std::vector<PhaseResult> runSystem(const Workload &W, unsigned Shards,
     }
     benchSink(Sum);
   });
+  Probe.Allocs = GlobalAllocCount.load(std::memory_order_relaxed) - AllocMark;
 
   // Mixed: 80% routed key queries over any key, 10% updates, 10%
   // remove+reinsert churn. Mutations stay on thread-owned keys (key
@@ -219,6 +288,7 @@ std::vector<PhaseResult> runSystem(const Workload &W, unsigned Shards,
   PhaseResult Mixed;
   Mixed.Ops = MixedOps;
   size_t OwnSlots = N / Threads;
+  AllocMark = GlobalAllocCount.load(std::memory_order_relaxed);
   Mixed.Seconds = runThreads(Threads, [&](unsigned T) {
     Rng R(0x9e1ab0 + T);
     int64_t Sum = 0;
@@ -244,6 +314,7 @@ std::vector<PhaseResult> runSystem(const Workload &W, unsigned Shards,
     }
     benchSink(Sum);
   });
+  Mixed.Allocs = GlobalAllocCount.load(std::memory_order_relaxed) - AllocMark;
 
   // Upsert: atomic read-modify-write on random keys across the WHOLE
   // keyspace — unlike the mixed loop, writers deliberately contend on
@@ -252,6 +323,7 @@ std::vector<PhaseResult> runSystem(const Workload &W, unsigned Shards,
   // ipcap_daemon).
   PhaseResult Upsert;
   Upsert.Ops = MixedOps;
+  AllocMark = GlobalAllocCount.load(std::memory_order_relaxed);
   Upsert.Seconds = runThreads(Threads, [&](unsigned T) {
     Rng R(0xa11ce + T);
     for (size_t I = T; I < MixedOps; I += Threads) {
@@ -266,6 +338,7 @@ std::vector<PhaseResult> runSystem(const Workload &W, unsigned Shards,
       });
     }
   });
+  Upsert.Allocs = GlobalAllocCount.load(std::memory_order_relaxed) - AllocMark;
 
   // Transact: transfer-style two-key transactions over contended
   // random keys — debit one tuple, credit another as one atomic,
@@ -275,6 +348,7 @@ std::vector<PhaseResult> runSystem(const Workload &W, unsigned Shards,
   // overlapping keys serialize on the stripes they share.
   PhaseResult Transact;
   Transact.Ops = MixedOps / 2;
+  AllocMark = GlobalAllocCount.load(std::memory_order_relaxed);
   Transact.Seconds = runThreads(Threads, [&](unsigned T) {
     Rng R(0x7ab5a + T);
     for (size_t I = T; I < Transact.Ops; I += Threads) {
@@ -300,6 +374,8 @@ std::vector<PhaseResult> runSystem(const Workload &W, unsigned Shards,
       Rel.transact(Ops);
     }
   });
+  Transact.Allocs =
+      GlobalAllocCount.load(std::memory_order_relaxed) - AllocMark;
 
   // Full scans: the sequential fan-out at t=1 versus the parallel
   // one-worker-per-shard merge-queue scan at t>1 — speedup_vs_1 is
@@ -310,6 +386,7 @@ std::vector<PhaseResult> runSystem(const Workload &W, unsigned Shards,
   PhaseResult Scan;
   Scan.Ops = ScanReps * Rel.size();
   ColumnSet ScanCols = W.KeyCols;
+  AllocMark = GlobalAllocCount.load(std::memory_order_relaxed);
   Scan.Seconds = runThreads(1, [&](unsigned) {
     int64_t Sum = 0;
     for (size_t Rep = 0; Rep != ScanReps; ++Rep) {
@@ -324,8 +401,9 @@ std::vector<PhaseResult> runSystem(const Workload &W, unsigned Shards,
     }
     benchSink(Sum);
   });
+  Scan.Allocs = GlobalAllocCount.load(std::memory_order_relaxed) - AllocMark;
 
-  return {Ins, Probe, Mixed, Upsert, Transact, Scan};
+  return {Ins, Reins, Probe, Mixed, Upsert, Transact, Scan};
 }
 
 } // namespace
@@ -367,8 +445,15 @@ int main(int argc, char **argv) {
       .meta("max_threads", double(MaxThreads))
       .meta("git_rev", Rev ? Rev : "unknown");
   Workload Workloads[] = {makeScheduler(), makeGraph(), makeIpcap()};
-  const char *Phases[] = {"insert", "query",    "mixed",
+  const char *Phases[] = {"insert", "reinsert", "query",    "mixed",
                           "upsert", "transact", "scan"};
+
+  // Warm fresh inserts must come out of the shard arenas, not the
+  // global heap. The 0.25 allows the amortized residue (hash-bucket
+  // vector regrowth and per-node EdgeMap wrappers) while still
+  // catching any per-insert heap allocation sneaking back in.
+  const double MaxReinsertAllocsPerOp = 0.25;
+  bool AllocRegression = false;
 
   for (const Workload &W : Workloads) {
     std::printf("%s (n=%zu)\n", W.Name.c_str(), N);
@@ -381,7 +466,7 @@ int main(int argc, char **argv) {
     for (const Tuple &T : Tuples)
       KeyPats.push_back(T.project(W.KeyCols));
 
-    std::vector<double> Baselines(6, 0.0);
+    std::vector<double> Baselines(7, 0.0);
     for (unsigned Threads = 1; Threads <= MaxThreads; Threads *= 2) {
       std::vector<PhaseResult> Results = runSystem(
           W, Shards, Threads, N, Probes, MixedOps, Tuples, KeyPats);
@@ -389,11 +474,20 @@ int main(int argc, char **argv) {
         if (Threads == 1)
           Baselines[P] = Results[P].opsPerSec();
         report(Json, W.Name, Phases[P], Threads, Results[P], Baselines[P]);
+        if (std::string(Phases[P]) == "reinsert" &&
+            Results[P].allocsPerOp() > MaxReinsertAllocsPerOp) {
+          std::fprintf(stderr,
+                       "FAIL: %s reinsert t=%u allocates %.3f/op from the "
+                       "global heap (limit %.2f) — the arena path regressed\n",
+                       W.Name.c_str(), Threads, Results[P].allocsPerOp(),
+                       MaxReinsertAllocsPerOp);
+          AllocRegression = true;
+        }
       }
     }
   }
 
   if (JsonPath && !Json.write(JsonPath))
     return 1;
-  return 0;
+  return AllocRegression ? 1 : 0;
 }

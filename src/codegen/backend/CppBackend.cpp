@@ -76,6 +76,7 @@ public:
     prologue();
     for (NodeId Id = 0; Id != D.numNodes(); ++Id)
       emitNodeStruct(Id);
+    emitMakers();
     emitDestroys();
     emitLifecycle();
     for (const MethodOp &Op : M.Ops)
@@ -186,6 +187,19 @@ private:
 
   std::string edgeMember(EdgeId E) const { return "e" + std::to_string(E); }
 
+  /// Cell-per-entry containers allocate through the class arena
+  /// (intrusive kinds store no cells; vectors use amortized
+  /// std::vector storage).
+  static bool dsUsesArenaCells(DsKind K) {
+    return K == DsKind::DList || K == DsKind::HashTable || K == DsKind::Btree;
+  }
+
+  /// The call that allocates and wires up a fresh instance of \p Id
+  /// (see emitMakers).
+  std::string makeNodeCall(NodeId Id) const {
+    return "make" + nodeType(Id) + "()";
+  }
+
   std::string unitField(PrimId U, ColumnId C) const {
     return "u" + std::to_string(U) + "_" + Cat.name(C);
   }
@@ -258,6 +272,7 @@ private:
     W.line("#include \"ds/IntrusiveAvl.h\"");
     W.line("#include \"ds/IntrusiveList.h\"");
     W.line("#include \"ds/VectorMap.h\"");
+    W.line("#include \"support/Arena.h\"");
     if (M.hasFacade()) {
       W.line("#include \"concurrent/BoundedQueue.h\"");
       W.line("#include \"concurrent/Epoch.h\"");
@@ -306,6 +321,10 @@ private:
 
   void closeClass() {
     W.line();
+    W.line("  /// Backs every node and container cell of this instance;");
+    W.line("  /// one arena per instance keeps shard allocation private");
+    W.line("  /// (see support/Arena.h).");
+    W.line("  relc::SlabArena Arena;");
     W.line("  " + nodeType(D.root()) + " *Root;");
     W.line("  size_t Size = 0;");
     W.close("};");
@@ -365,7 +384,36 @@ private:
       W.line(containerType(E) + " " + edgeMember(E) + Init + ";");
     }
     W.line("unsigned Ref = 0;");
+    // Hooked nodes reset (not destroy) their hooks: an arena-reset
+    // sweep may destroy this node before the parent whose intrusive
+    // container unlinks through these hooks, and the unlink must land
+    // on a valid empty hook.
+    std::string HookResets;
+    for (EdgeId E : D.incoming(Id)) {
+      const MapEdge &Edge = D.edge(E);
+      if (!dsSupportsEraseByNode(Edge.Ds))
+        continue;
+      std::string H = "h" + std::to_string(Edge.HookSlot);
+      HookResets += " " + H + " = decltype(" + H + ")();";
+    }
+    if (!HookResets.empty())
+      W.line("~" + nodeType(Id) + "() {" + HookResets + " }");
     W.close("};");
+  }
+
+  /// One maker per node type: arena-allocates the instance and binds
+  /// its cell-based containers to the class arena.
+  void emitMakers() {
+    for (NodeId Id = 0; Id != D.numNodes(); ++Id) {
+      W.line();
+      W.open("  " + nodeType(Id) + " *make" + nodeType(Id) + "() {");
+      W.line("auto *N = Arena.create<" + nodeType(Id) + ">();");
+      for (EdgeId E : D.outgoing(Id))
+        if (dsUsesArenaCells(D.edge(E).Ds))
+          W.line("N->" + edgeMember(E) + ".setArena(relc::ArenaRef(&Arena));");
+      W.line("return N;");
+      W.close("}");
+    }
   }
 
   void emitDestroys() {
@@ -375,7 +423,7 @@ private:
       W.line();
       W.open("  void destroy(" + nodeType(Id) + " *N) {");
       if (D.outgoing(Id).empty()) {
-        W.line("delete N;");
+        W.line("Arena.destroy(N);");
         W.close("}");
       } else {
         // Collect children before the containers (whose destructors
@@ -391,7 +439,7 @@ private:
           W.line("return true;");
           W.close("});");
         }
-        W.line("delete N;");
+        W.line("Arena.destroy(N);");
         for (EdgeId E : D.outgoing(Id)) {
           W.line("for (auto *Child : c" + std::to_string(E) + ")");
           W.line("  release(Child);");
@@ -406,15 +454,20 @@ private:
   void emitLifecycle() {
     W.line();
     W.line("public:");
-    W.line("  " + M.ClassName + "() : Root(new " + nodeType(D.root()) +
-           "()) { Root->Ref = 1; }");
-    W.line("  ~" + M.ClassName + "() { release(Root); }");
+    W.line("  " + M.ClassName + "() { Root = " + makeNodeCall(D.root()) +
+           "; Root->Ref = 1; }");
+    // Teardown and clear are O(slabs): one arena sweep destroys every
+    // live node (hook resets keep the sweep order-independent) and
+    // rewinds the slabs, instead of a refcount-driven graph cascade.
+    W.line("  ~" + M.ClassName + "() { Arena.reset(); }");
     W.open("  void clear() {");
-    W.line("release(Root);");
-    W.line("Root = new " + nodeType(D.root()) + "();");
+    W.line("Arena.reset();");
+    W.line("Root = " + makeNodeCall(D.root()) + ";");
     W.line("Root->Ref = 1;");
     W.line("Size = 0;");
     W.close("}");
+    W.line("  /// Allocator counters of this instance's private arena.");
+    W.line("  relc::ArenaStats arenaStats() const { return Arena.stats(); }");
   }
 
   //===------------------------------------------------------------------===
@@ -447,7 +500,7 @@ private:
              D.node(Probe.From).Name + "->" + edgeMember(ProbeE) +
              ".lookup(" + keyExpr(Probe, Env) + ");");
       W.open("if (!" + Var + ") {");
-      W.line(Var + " = new " + nodeType(Id) + "();");
+      W.line(Var + " = " + makeNodeCall(Id) + ";");
       for (ColumnId C : D.node(Id).Bound)
         W.line(Var + "->b_" + Cat.name(C) + " = " + Env.at(C) + ";");
       for (PrimId U : D.unitsOf(Id))

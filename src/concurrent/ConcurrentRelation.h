@@ -279,6 +279,28 @@ public:
   /// Live NodeInstances across shards (leak checks).
   size_t liveInstances() const;
 
+  /// Allocator counters of shard \p I's private slab arena. ArenaStats
+  /// fields are relaxed atomics underneath, so reading concurrently
+  /// with writers is safe but a moving target; quiesce for exactness.
+  ArenaStats shardArenaStats(unsigned I) const {
+    assert(I < Shards.size() && "shard index out of range");
+    return Shards[I]->arenaStats();
+  }
+
+  /// Sum of every shard's arena counters (server stats / memory
+  /// accounting). Same consistency caveat as shardArenaStats.
+  ArenaStats arenaStats() const {
+    ArenaStats Total;
+    for (const std::unique_ptr<SynthesizedRelation> &S : Shards) {
+      ArenaStats A = S->arenaStats();
+      Total.Slabs += A.Slabs;
+      Total.Bytes += A.Bytes;
+      Total.Live += A.Live;
+      Total.Recycled += A.Recycled;
+    }
+    return Total;
+  }
+
   /// Profiling-guided replanning of every shard against its own live
   /// fanouts, under all writer locks (no reader may hold a plan).
   void reoptimize();

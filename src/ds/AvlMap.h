@@ -17,9 +17,11 @@
 #define RELC_DS_AVLMAP_H
 
 #include "ds/AvlCore.h"
+#include "support/Arena.h"
 
 #include <cassert>
 #include <cstddef>
+#include <new>
 
 namespace relc {
 
@@ -34,6 +36,13 @@ public:
 
   ~AvlMap() { destroyRec(Root); }
 
+  /// Binds cell storage to \p A (unbound: global heap). Set before the
+  /// first insert.
+  void setArena(ArenaRef A) {
+    assert(empty() && "setArena on a populated map");
+    Arena = A;
+  }
+
   size_t size() const { return Size; }
   bool empty() const { return Size == 0; }
 
@@ -45,7 +54,7 @@ public:
   }
 
   void insert(const KeyT &K, NodeT *Child) {
-    Cell *C = new Cell;
+    Cell *C = new (Arena.allocate(sizeof(Cell))) Cell;
     C->Key = K;
     C->Child = Child;
     Core::insert(Root, C);
@@ -57,7 +66,7 @@ public:
     if (!C)
       return nullptr;
     NodeT *Child = C->Child;
-    delete C;
+    freeCell(C);
     --Size;
     return Child;
   }
@@ -108,16 +117,22 @@ private:
 
   using Core = AvlCore<Cell, KeyT, CellOps>;
 
-  static void destroyRec(Cell *C) {
+  void freeCell(Cell *C) noexcept {
+    C->~Cell();
+    Arena.deallocate(C, sizeof(Cell));
+  }
+
+  void destroyRec(Cell *C) {
     if (!C)
       return;
     destroyRec(C->Left);
     destroyRec(C->Right);
-    delete C;
+    freeCell(C);
   }
 
   Cell *Root = nullptr;
   size_t Size = 0;
+  ArenaRef Arena;
 };
 
 } // namespace relc

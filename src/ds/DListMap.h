@@ -20,10 +20,12 @@
 #ifndef RELC_DS_DLISTMAP_H
 #define RELC_DS_DLISTMAP_H
 
+#include "support/Arena.h"
 #include "support/Checks.h"
 
 #include <cassert>
 #include <cstddef>
+#include <new>
 #include <utility>
 
 namespace relc {
@@ -41,9 +43,16 @@ public:
     Cell *C = Head;
     while (C) {
       Cell *Next = C->Next;
-      delete C;
+      freeCell(C);
       C = Next;
     }
+  }
+
+  /// Binds cell storage to \p A (unbound: global heap). Set before the
+  /// first insert.
+  void setArena(ArenaRef A) {
+    assert(empty() && "setArena on a populated map");
+    Arena = A;
   }
 
   size_t size() const { return Size; }
@@ -58,7 +67,7 @@ public:
 
   void insert(const KeyT &K, NodeT *Child) {
     RELC_EXPENSIVE_ASSERT(!findCell(K) && "duplicate key in DListMap");
-    Cell *C = new Cell{K, Child, nullptr, Head};
+    Cell *C = new (Arena.allocate(sizeof(Cell))) Cell{K, Child, nullptr, Head};
     if (Head)
       Head->Prev = C;
     Head = C;
@@ -73,7 +82,7 @@ public:
       return nullptr;
     NodeT *Child = C->Child;
     unlink(C);
-    delete C;
+    freeCell(C);
     --Size;
     return Child;
   }
@@ -84,7 +93,7 @@ public:
     for (Cell *C = Head; C; C = C->Next)
       if (C->Child == Child) {
         unlink(C);
-        delete C;
+        freeCell(C);
         --Size;
         return true;
       }
@@ -105,6 +114,11 @@ private:
     Cell *Prev;
     Cell *Next;
   };
+
+  void freeCell(Cell *C) noexcept {
+    C->~Cell();
+    Arena.deallocate(C, sizeof(Cell));
+  }
 
   template <typename ProbeT> Cell *findCell(const ProbeT &K) const {
     for (Cell *C = Head; C; C = C->Next)
@@ -127,6 +141,7 @@ private:
   Cell *Head = nullptr;
   Cell *Tail = nullptr;
   size_t Size = 0;
+  ArenaRef Arena;
 };
 
 } // namespace relc

@@ -24,10 +24,12 @@
 #ifndef RELC_DS_HASHMAP_H
 #define RELC_DS_HASHMAP_H
 
+#include "support/Arena.h"
 #include "support/Checks.h"
 
 #include <cassert>
 #include <cstddef>
+#include <new>
 #include <vector>
 
 namespace relc {
@@ -45,9 +47,17 @@ public:
     for (Cell *Head : Buckets)
       while (Head) {
         Cell *Next = Head->Next;
-        delete Head;
+        freeCell(Head);
         Head = Next;
       }
+  }
+
+  /// Binds cell storage to \p A (unbound: global heap). Set before the
+  /// first insert; rebinding a populated map would recycle cells into
+  /// the wrong allocator.
+  void setArena(ArenaRef A) {
+    assert(empty() && "setArena on a populated map");
+    Arena = A;
   }
 
   size_t size() const { return Size; }
@@ -65,7 +75,7 @@ public:
     if (Size + 1 > Buckets.size())
       rehash(Buckets.size() * 2);
     size_t B = bucketOf(K);
-    Buckets[B] = new Cell{K, Child, Buckets[B]};
+    Buckets[B] = new (Arena.allocate(sizeof(Cell))) Cell{K, Child, Buckets[B]};
     ++Size;
   }
 
@@ -76,7 +86,7 @@ public:
       if (Traits::equal(C->Key, K)) {
         NodeT *Child = C->Child;
         *Link = C->Next;
-        delete C;
+        freeCell(C);
         --Size;
         return Child;
       }
@@ -92,7 +102,7 @@ public:
         if ((*Link)->Child == Child) {
           Cell *C = *Link;
           *Link = C->Next;
-          delete C;
+          freeCell(C);
           --Size;
           return true;
         }
@@ -116,6 +126,11 @@ private:
     Cell *Next;
   };
 
+  void freeCell(Cell *C) noexcept {
+    C->~Cell();
+    Arena.deallocate(C, sizeof(Cell));
+  }
+
   template <typename ProbeT> size_t bucketOf(const ProbeT &K) const {
     return Traits::hash(K) & (Buckets.size() - 1);
   }
@@ -135,6 +150,7 @@ private:
 
   std::vector<Cell *> Buckets;
   size_t Size = 0;
+  ArenaRef Arena;
 };
 
 } // namespace relc

@@ -78,6 +78,8 @@ public:
         [&](const Tuple &K, NodeInstance *N) { return Fn(K, N); });
   }
 
+  ContainerT &container() { return Container; }
+
 private:
   ContainerT Container;
 };
@@ -138,14 +140,23 @@ private:
 
 } // namespace
 
-std::unique_ptr<EdgeMap> EdgeMap::create(const MapEdge &Edge) {
+std::unique_ptr<EdgeMap> EdgeMap::create(const MapEdge &Edge, ArenaRef Arena) {
   switch (Edge.Ds) {
-  case DsKind::DList:
-    return std::make_unique<EdgeMapImpl<DListMap<InterpTraits>>>(Edge.Ds);
-  case DsKind::HashTable:
-    return std::make_unique<EdgeMapImpl<HashMap<InterpTraits>>>(Edge.Ds);
-  case DsKind::Btree:
-    return std::make_unique<EdgeMapImpl<AvlMap<InterpTraits>>>(Edge.Ds);
+  case DsKind::DList: {
+    auto M = std::make_unique<EdgeMapImpl<DListMap<InterpTraits>>>(Edge.Ds);
+    M->container().setArena(Arena);
+    return M;
+  }
+  case DsKind::HashTable: {
+    auto M = std::make_unique<EdgeMapImpl<HashMap<InterpTraits>>>(Edge.Ds);
+    M->container().setArena(Arena);
+    return M;
+  }
+  case DsKind::Btree: {
+    auto M = std::make_unique<EdgeMapImpl<AvlMap<InterpTraits>>>(Edge.Ds);
+    M->container().setArena(Arena);
+    return M;
+  }
   case DsKind::Vector:
     assert(Edge.KeyCols.size() == 1 &&
            "vector maps require a single key column");

@@ -19,6 +19,7 @@
 #include "decomp/Decomposition.h"
 #include "rel/Tuple.h"
 #include "rel/TupleView.h"
+#include "support/Arena.h"
 #include "support/FunctionRef.h"
 
 #include <memory>
@@ -68,8 +69,10 @@ public:
   forEach(function_ref<bool(const Tuple &, NodeInstance *)> Fn) const = 0;
 
   /// Instantiates the container for \p Edge (ψ and, for intrusive
-  /// kinds, the hook slot in the target node).
-  static std::unique_ptr<EdgeMap> create(const MapEdge &Edge);
+  /// kinds, the hook slot in the target node). Cell-based kinds
+  /// allocate their cells through \p Arena (global heap when unbound).
+  static std::unique_ptr<EdgeMap> create(const MapEdge &Edge,
+                                         ArenaRef Arena = ArenaRef());
 
 protected:
   explicit EdgeMap(DsKind Kind) : Kind(Kind) {}

@@ -8,25 +8,70 @@
 
 #include "concurrent/Epoch.h"
 
+#include <new>
 #include <vector>
 
 using namespace relc;
 
-InstanceGraph::InstanceGraph(std::shared_ptr<const Decomposition> D)
-    : D(std::move(D)) {
+// Hook storage trails the NodeInstance in the same allocation block;
+// sizeof(NodeInstance) is a multiple of its alignment, so the trailing
+// slots are aligned as long as hooks don't demand more.
+static_assert(alignof(NodeInstance::Hook) <= alignof(NodeInstance),
+              "trailing hook storage would be misaligned");
+
+namespace {
+
+/// Retire-list context for epoch-deferred arena frees. Holds the arena
+/// alive (the owning relation may die before the grace period ends) and
+/// the reset generation at unlink time: recycleDeferred drops the block
+/// on the floor if the arena was bulk-reset meanwhile, because the
+/// reset already reclaimed the whole slab.
+struct DeferredFree {
+  std::shared_ptr<SlabArena> A;
+  void *P;
+  uint64_t Gen;
+};
+
+} // namespace
+
+InstanceGraph::InstanceGraph(std::shared_ptr<const Decomposition> D,
+                             std::shared_ptr<SlabArena> Arena)
+    : D(std::move(D)), Arena(std::move(Arena)) {
   assert(this->D && "instance graph needs a decomposition");
   Root = create(this->D->root(), Tuple());
   Root->retain(); // The graph itself holds the root reference.
 }
 
 InstanceGraph::~InstanceGraph() {
+  if (Arena) {
+    // Sweep every live node in one pass while the decomposition is
+    // still alive (node destructors consult it). Retired DeferredFree
+    // entries may outlive the graph; they hold the arena alive and are
+    // generation-checked against this reset.
+    Arena->reset();
+    Root = nullptr;
+    return;
+  }
   if (Root && Root->releaseRef() == 0)
     destroy(Root);
 }
 
 NodeInstance *InstanceGraph::create(NodeId Node, Tuple Bound) {
+  const DecompNode &DN = D->node(Node);
+  const size_t Bytes =
+      sizeof(NodeInstance) + size_t(DN.HookSlots) * sizeof(NodeInstance::Hook);
+  void *Mem =
+      Arena ? Arena->allocateTracked(
+                  Bytes,
+                  [](void *P) { static_cast<NodeInstance *>(P)->~NodeInstance(); })
+            : ::operator new(Bytes);
+  auto *Hooks = DN.HookSlots != 0
+                    ? reinterpret_cast<NodeInstance::Hook *>(
+                          static_cast<char *>(Mem) + sizeof(NodeInstance))
+                    : nullptr;
   ++Live;
-  return new NodeInstance(*D, Node, std::move(Bound));
+  return new (Mem) NodeInstance(*D, Node, std::move(Bound),
+                                ArenaRef(Arena.get()), Hooks);
 }
 
 void InstanceGraph::release(NodeInstance *N) {
@@ -53,11 +98,26 @@ void InstanceGraph::destroy(NodeInstance *N) {
     // the epoch grace period — so the memory of a node a stale reader
     // could still be traversing stays mapped, and the free itself
     // happens outside the writer's fenced critical section.
-    N->~NodeInstance();
-    EpochManager::global().retire(
-        static_cast<void *>(N), [](void *P) { ::operator delete(P); });
+    if (Arena) {
+      const uint64_t Gen = Arena->resetGeneration();
+      Arena->untrack(N);
+      N->~NodeInstance();
+      auto *Ctx = new DeferredFree{Arena, static_cast<void *>(N), Gen};
+      EpochManager::global().retire(static_cast<void *>(Ctx), [](void *P) {
+        auto *C = static_cast<DeferredFree *>(P);
+        C->A->recycleDeferred(C->P, C->Gen);
+        delete C;
+      });
+    } else {
+      N->~NodeInstance();
+      EpochManager::global().retire(
+          static_cast<void *>(N), [](void *P) { ::operator delete(P); });
+    }
+  } else if (Arena) {
+    Arena->destroyTracked(N);
   } else {
-    delete N;
+    N->~NodeInstance();
+    ::operator delete(N);
   }
   --Live;
   for (NodeInstance *Child : Children)
@@ -65,8 +125,19 @@ void InstanceGraph::destroy(NodeInstance *N) {
 }
 
 void InstanceGraph::clear() {
-  if (Root->releaseRef() == 0)
+  if (Arena) {
+    // O(slabs) bulk clear: one sweep over the arena's live list runs
+    // every node destructor (returning container cells as it goes),
+    // then the slabs rewind wholesale. Refcount-driven cascading
+    // teardown is skipped entirely. Callers must exclude concurrent
+    // readers and writers (ConcurrentRelation::clear holds all stripes
+    // and fences all epochs); in-flight deferred frees are defused by
+    // the generation bump inside reset().
+    Arena->reset();
+    Live = 0;
+  } else if (Root->releaseRef() == 0) {
     destroy(Root);
+  }
   Root = create(D->root(), Tuple());
   Root->retain();
 }

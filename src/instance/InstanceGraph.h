@@ -17,6 +17,7 @@
 #define RELC_INSTANCE_INSTANCEGRAPH_H
 
 #include "instance/NodeInstance.h"
+#include "support/Arena.h"
 
 #include <memory>
 
@@ -25,8 +26,13 @@ namespace relc {
 class InstanceGraph {
 public:
   /// Creates dempty d̂: a sole root instance with no map entries
-  /// (Section 4.4).
-  explicit InstanceGraph(std::shared_ptr<const Decomposition> D);
+  /// (Section 4.4). When \p Arena is non-null, every NodeInstance (with
+  /// its trailing hook storage) and every edge-container cell is
+  /// carved from it instead of the global heap, and clear() becomes an
+  /// O(slabs) arena reset. The graph shares ownership of the arena so
+  /// epoch-deferred frees can outlive it safely.
+  explicit InstanceGraph(std::shared_ptr<const Decomposition> D,
+                         std::shared_ptr<SlabArena> Arena = nullptr);
 
   ~InstanceGraph();
 
@@ -64,10 +70,14 @@ public:
   void enableDeferredReclamation() { DeferredReclaim = true; }
   bool deferredReclamation() const { return DeferredReclaim; }
 
+  /// The backing arena, or null when instances live on the global heap.
+  SlabArena *arena() const { return Arena.get(); }
+
 private:
   void destroy(NodeInstance *N);
 
   std::shared_ptr<const Decomposition> D;
+  std::shared_ptr<SlabArena> Arena;
   NodeInstance *Root = nullptr;
   size_t Live = 0;
   bool DeferredReclaim = false;

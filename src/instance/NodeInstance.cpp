@@ -6,22 +6,39 @@
 
 #include "instance/NodeInstance.h"
 
+#include <new>
+
 using namespace relc;
 
-NodeInstance::NodeInstance(const Decomposition &D, NodeId Id, Tuple Bound)
-    : D(&D), Id(Id), Bound(std::move(Bound)) {
+NodeInstance::NodeInstance(const Decomposition &D, NodeId Id, Tuple Bound,
+                           ArenaRef Arena, Hook *HookStorage)
+    : D(&D), Id(Id), Bound(std::move(Bound)), Hooks(HookStorage) {
   const DecompNode &Node = D.node(Id);
   assert(this->Bound.columns() == Node.Bound &&
          "bound valuation must cover exactly the node's bound columns");
+  assert((Node.HookSlots == 0 || HookStorage) &&
+         "hooked nodes need trailing hook storage");
 
   for (PrimId U : D.unitsOf(Id))
     Units.emplace_back(U, Tuple());
 
   for (EdgeId E : D.outgoing(Id))
-    Edges.push_back(EdgeMap::create(D.edge(E)));
+    Edges.push_back(EdgeMap::create(D.edge(E), Arena));
 
-  if (Node.HookSlots > 0)
-    Hooks = std::make_unique<Hook[]>(Node.HookSlots);
+  for (unsigned I = 0; I != Node.HookSlots; ++I)
+    new (&Hooks[I]) Hook();
+}
+
+NodeInstance::~NodeInstance() {
+  // Reset (not destroy) the hooks: clears any heap-spilled keys while
+  // leaving valid empty hooks behind, so an arena-reset sweep that
+  // destroys this node before its parent can still run the parent's
+  // container destructor (which unlinks through these hooks) safely.
+  // An empty Hook owns no resources, so skipping its destructor leaks
+  // nothing. The edge containers (destroyed next, as members) unlink
+  // children's hooks the same way, live or already-swept.
+  for (unsigned I = 0, E = node().HookSlots; I != E; ++I)
+    Hooks[I] = Hook();
 }
 
 const Tuple &NodeInstance::unitValues(PrimId U) const {

@@ -22,6 +22,7 @@
 #include "ds/MapHook.h"
 #include "instance/EdgeMap.h"
 #include "rel/Tuple.h"
+#include "support/Arena.h"
 #include "support/SmallVector.h"
 
 #include <memory>
@@ -32,9 +33,21 @@ class NodeInstance {
 public:
   using Hook = MapHook<NodeInstance, Tuple>;
 
-  /// Creates an instance of node \p Id with bound valuation \p Bound,
-  /// allocating its edge containers and hooks. Unit values start unset.
-  NodeInstance(const Decomposition &D, NodeId Id, Tuple Bound);
+  /// Creates an instance of node \p Id with bound valuation \p Bound.
+  /// Edge containers allocate their cells through \p Arena (global
+  /// heap when unbound); \p HookStorage must point at
+  /// node().HookSlots uninitialized Hook slots (the trailing storage
+  /// of the instance's allocation block — InstanceGraph::create sizes
+  /// the block) and may be null only when the node has no hook slots.
+  /// Unit values start unset.
+  NodeInstance(const Decomposition &D, NodeId Id, Tuple Bound, ArenaRef Arena,
+               Hook *HookStorage);
+
+  /// Leaves this instance's hooks in a valid default-constructed state
+  /// rather than destroying them: during a bulk arena reset a parent's
+  /// intrusive container may unlink a child that was already swept,
+  /// and the unlink must land on a valid (empty) hook.
+  ~NodeInstance();
 
   NodeId id() const { return Id; }
   const DecompNode &node() const { return D->node(Id); }
@@ -85,7 +98,10 @@ private:
   Tuple Bound;
   SmallVector<std::pair<PrimId, Tuple>, 1> Units;
   SmallVector<std::unique_ptr<EdgeMap>, 2> Edges;
-  std::unique_ptr<Hook[]> Hooks;
+  /// Borrowed trailing storage of this instance's allocation block
+  /// (hooks live in the same cache-line-aligned arena block as the
+  /// node, so instance creation is one allocation).
+  Hook *Hooks = nullptr;
   unsigned RefCount = 0;
 };
 

@@ -16,7 +16,8 @@ using namespace relc;
 
 SynthesizedRelation::SynthesizedRelation(Decomposition D, CostParams Params)
     : D(std::make_shared<Decomposition>(std::move(D))),
-      Plans(this->D, std::move(Params)), Graph(this->D) {
+      Arena(std::make_shared<SlabArena>()), Plans(this->D, std::move(Params)),
+      Graph(this->D, Arena) {
   [[maybe_unused]] AdequacyResult A = checkAdequacy(*this->D);
   assert(A.Ok && "decomposition is not adequate for its specification");
 }

@@ -154,6 +154,11 @@ public:
   /// Live NodeInstances (memory accounting / leak checks).
   size_t liveInstances() const { return Graph.liveInstances(); }
 
+  /// Allocator counters of this relation's private slab arena: slab
+  /// count and bytes retained, live blocks (nodes + container cells),
+  /// cumulative recycles. Server stats and benches read these.
+  ArenaStats arenaStats() const { return Arena->stats(); }
+
   /// Measures per-edge fanout on the live instance and returns cost
   /// parameters seeded with it (profiling mode of Section 4.3).
   CostParams profileCostParams() const;
@@ -195,6 +200,13 @@ private:
   Relation abstractionOf() const;
 
   std::shared_ptr<const Decomposition> D;
+  /// Private slab arena backing every NodeInstance and container cell
+  /// of this relation. One arena per relation means one arena per
+  /// ConcurrentRelation shard: all allocation happens under the shard's
+  /// writer stripe, pages are first touched by the threads that use
+  /// them, and clear() rewinds in O(slabs). Shared with the instance
+  /// graph, which hands it to epoch-deferred free contexts.
+  std::shared_ptr<SlabArena> Arena;
   mutable PlanCache Plans;
   InstanceGraph Graph;
   /// Reused by insert/remove/update so steady-state mutation loops do

@@ -77,6 +77,10 @@ public:
     uint64_t MultiTxGroups = 0;
     uint64_t MaxGroupSize = 0;
     uint64_t Syncs = 0;
+    /// Slab-arena memory of the served relation, summed over shards:
+    /// bytes reserved and blocks (nodes + container cells) live.
+    uint64_t ArenaBytes = 0;
+    uint64_t ArenaLive = 0;
   };
   bool stats(ServerStats &S);
 

@@ -488,12 +488,15 @@ bool RelServer::handleFrame(const ConnPtr &C,
 
   case wire::Op::Stats: {
     GroupCommitStats S = Committer.stats();
+    ArenaStats A = Rel.arenaStats();
     wire::ByteWriter W;
     W.u64(S.Groups);
     W.u64(S.Committed);
     W.u64(S.MultiTxGroups);
     W.u64(S.MaxGroupSize);
     W.u64(S.Syncs);
+    W.u64(A.Bytes);
+    W.u64(A.Live);
     reply(C, Status::Ok, ReqId, W.data());
     return true;
   }

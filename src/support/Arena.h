@@ -1,0 +1,482 @@
+//===- support/Arena.h - Slab arena allocator -------------------*- C++ -*-===//
+//
+// Part of the RelC data representation synthesis library.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// A slab arena for node and container-cell storage. One SlabArena is
+/// owned per SynthesizedRelation (so per shard of a ConcurrentRelation):
+/// every fresh insert carves node/cell blocks out of slabs that only
+/// that shard's writer touches, instead of contending on the global
+/// `operator new` from every shard. First-touch placement gives the
+/// slabs best-effort NUMA locality with the shard's dominant writers.
+///
+///  - Slabs grow geometrically (16 KiB doubling to 1 MiB) and are
+///    retained across reset(): a warmed arena serves the steady state
+///    from its free lists and bump pointers with no global allocation.
+///  - Blocks are carved in cache-line (64 B) units, each starting on a
+///    64 B boundary, so blocks never share a cache line across shards.
+///  - Freed blocks go to per-size-class free lists for exact-fit reuse.
+///  - reset() destroys all live tracked blocks and rewinds every slab
+///    in one pass: O(live tracked blocks) destructor calls + O(slabs)
+///    memory work, not a per-node graph teardown.
+///
+/// Two block kinds:
+///
+///  - *Raw* blocks (`allocate`/`deallocate`): headerless; the caller
+///    (a ds/ container) destroys contents and returns the block with
+///    its size. Containers reach the arena through an ArenaRef and
+///    fall back to the global heap when unbound.
+///  - *Tracked* blocks (`allocateTracked`/`create<T>`): carry a 32 B
+///    header linking them into the arena's live list with a destructor
+///    pointer, so reset() can destroy whatever is still live. Node
+///    storage uses this kind.
+///
+/// Thread contract (see docs/CONCURRENCY.md): all operations except
+/// recycleDeferred are owner-side — they must be serialized by whatever
+/// lock guards the owning relation's mutations (the shard stripe).
+/// recycleDeferred is the epoch-reclamation hand-back: any thread may
+/// push a previously untracked block while the owner allocates (a
+/// lock-free pending stack the owner drains), but never concurrently
+/// with reset()/destruction — reset runs only with every stripe held,
+/// which excludes the writers that drive epoch reclamation. Stale
+/// hand-backs that straddle a reset are dropped by generation check:
+/// their memory was already reclaimed wholesale by the slab rewind.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef RELC_SUPPORT_ARENA_H
+#define RELC_SUPPORT_ARENA_H
+
+#include <algorithm>
+#include <atomic>
+#include <cassert>
+#include <cstddef>
+#include <cstdint>
+#include <new>
+#include <utility>
+#include <vector>
+
+namespace relc {
+
+/// Counter block returned by SlabArena::stats().
+struct ArenaStats {
+  /// Slabs currently allocated.
+  size_t Slabs = 0;
+  /// Bytes currently reserved (slab bytes + outstanding oversize).
+  size_t Bytes = 0;
+  /// Blocks handed out and not yet destroyed/deallocated. A destructed
+  /// block whose memory hand-back is epoch-deferred is no longer live.
+  size_t Live = 0;
+  /// Cumulative blocks returned for reuse (free-list pushes, deferred
+  /// hand-backs, oversize frees). reset() reclaims wholesale and does
+  /// not count here.
+  size_t Recycled = 0;
+};
+
+class SlabArena {
+public:
+  /// Carving unit and block alignment: one cache line.
+  static constexpr size_t BlockAlign = 64;
+  /// Tracked/oversize block header size; tracked payloads sit at this
+  /// offset inside their 64 B-aligned block.
+  static constexpr size_t HeaderBytes = 32;
+  /// Geometric slab sizes: FirstSlabBytes doubling up to MaxSlabBytes.
+  static constexpr size_t FirstSlabBytes = size_t(16) << 10;
+  static constexpr size_t MaxSlabBytes = size_t(1) << 20;
+  /// Largest slab-carved block; bigger requests take the oversize path
+  /// (individually heap-allocated, still tracked and reset-freed).
+  static constexpr size_t MaxSmallBytes = 4096;
+  static constexpr size_t NumClasses = MaxSmallBytes / BlockAlign;
+
+  SlabArena() = default;
+  ~SlabArena();
+  SlabArena(const SlabArena &) = delete;
+  SlabArena &operator=(const SlabArena &) = delete;
+
+  /// Raw block of at least \p Size bytes, BlockAlign-aligned.
+  void *allocate(size_t Size) {
+    assert(Size > 0 && "zero-size arena allocation");
+    if (Size > MaxSmallBytes)
+      return oversizeAlloc(Size, nullptr);
+    Stats.Live.fetch_add(1, std::memory_order_relaxed);
+    return carve(unitsFor(Size));
+  }
+
+  /// Returns a raw block; \p Size must match the allocate() request.
+  void deallocate(void *P, size_t Size) noexcept {
+    assert(P && "deallocating null");
+    if (Size > MaxSmallBytes) {
+      oversizeFree(headerOf(P));
+      Stats.Live.fetch_sub(1, std::memory_order_relaxed);
+      Stats.Recycled.fetch_add(1, std::memory_order_relaxed);
+      return;
+    }
+    pushFree(P, unitsFor(Size));
+    Stats.Live.fetch_sub(1, std::memory_order_relaxed);
+    Stats.Recycled.fetch_add(1, std::memory_order_relaxed);
+  }
+
+  /// Tracked block: reset() runs \p Dtor on the payload of every block
+  /// still live. \p Dtor must not destroy *other* tracked blocks of
+  /// this arena (node destructors satisfy this: releasing children is
+  /// graph logic, not destructor logic).
+  void *allocateTracked(size_t Size, void (*Dtor)(void *));
+
+  /// Runs the stored destructor and recycles the block.
+  void destroyTracked(void *Payload) noexcept;
+
+  /// Unlinks a tracked block from the live list without running its
+  /// destructor or recycling its memory; the caller destructs eagerly
+  /// and hands the memory back later via recycleDeferred (the
+  /// epoch-deferred reclamation path). Decrements Live: the payload
+  /// object is dead from here on.
+  void untrack(void *Payload) noexcept;
+
+  /// Returns an untracked block's memory to the free lists. Callable
+  /// from any thread concurrently with the owner allocating; never
+  /// concurrently with reset() (see the file comment). \p Gen must be
+  /// the resetGeneration() captured at untrack time: a stale
+  /// generation means an intervening reset already reclaimed the
+  /// memory wholesale and the hand-back is dropped.
+  void recycleDeferred(void *Payload, uint64_t Gen) noexcept;
+
+  /// Arena-constructed object (tracked block), destroyed by destroy()
+  /// or at reset().
+  template <typename T, typename... ArgTs> T *create(ArgTs &&...Args) {
+    static_assert(alignof(T) <= HeaderBytes,
+                  "tracked payloads are HeaderBytes-aligned");
+    void *P = allocateTracked(
+        sizeof(T), [](void *Q) { static_cast<T *>(Q)->~T(); });
+    return new (P) T(std::forward<ArgTs>(Args)...);
+  }
+
+  template <typename T> void destroy(T *P) noexcept { destroyTracked(P); }
+
+  /// Destroys every live tracked block, rewinds every slab's bump
+  /// pointer, clears the free lists, and frees oversize blocks. Slabs
+  /// are retained: the arena is warm for the next fill. Bumps the
+  /// reset generation so in-flight deferred hand-backs are dropped.
+  void reset();
+
+  uint64_t resetGeneration() const {
+    return Generation.load(std::memory_order_acquire);
+  }
+
+  ArenaStats stats() const {
+    ArenaStats S;
+    S.Slabs = Stats.Slabs.load(std::memory_order_relaxed);
+    S.Bytes = Stats.Bytes.load(std::memory_order_relaxed);
+    S.Live = Stats.Live.load(std::memory_order_relaxed);
+    S.Recycled = Stats.Recycled.load(std::memory_order_relaxed);
+    return S;
+  }
+
+private:
+  enum : uint32_t { FlagOversize = 1 };
+
+  /// Header preceding tracked and oversize payloads. For tracked
+  /// blocks Prev/Next link the live list; for raw oversize blocks they
+  /// link the oversize list (Dtor null).
+  struct Header {
+    void (*Dtor)(void *);
+    Header *Prev;
+    Header *Next;
+    uint32_t Units; ///< Block size in BlockAlign units (0: oversize).
+    uint32_t Flags;
+  };
+  static_assert(sizeof(Header) <= HeaderBytes, "header must fit 32 bytes");
+
+  /// Free-list node, stored in the freed block itself.
+  struct FreeCell {
+    FreeCell *Next;
+  };
+
+  /// Deferred hand-back node, stored in the freed block itself.
+  struct PendingCell {
+    PendingCell *Next;
+    uint32_t Units;
+  };
+
+  struct Slab {
+    char *Base;
+    size_t Size;
+    size_t Used;
+  };
+
+  static uint32_t unitsFor(size_t Bytes) {
+    return static_cast<uint32_t>((Bytes + BlockAlign - 1) / BlockAlign);
+  }
+
+  static Header *headerOf(void *Payload) {
+    return reinterpret_cast<Header *>(static_cast<char *>(Payload) -
+                                      HeaderBytes);
+  }
+  static void *payloadOf(Header *H) {
+    return reinterpret_cast<char *>(H) + HeaderBytes;
+  }
+  /// Oversize blocks pad the front so the payload (not the header) sits
+  /// on a BlockAlign boundary; this recovers the allocation base.
+  static void *oversizeBase(Header *H) {
+    return reinterpret_cast<char *>(H) - (BlockAlign - HeaderBytes);
+  }
+
+  void *carve(uint32_t Units) {
+    size_t Cls = Units - 1;
+    assert(Cls < NumClasses && "oversize request on the carve path");
+    if (!FreeLists[Cls] &&
+        Pending.load(std::memory_order_relaxed) != nullptr)
+      drainPending();
+    if (FreeCell *C = FreeLists[Cls]) {
+      FreeLists[Cls] = C->Next;
+      return C;
+    }
+    return bump(Units);
+  }
+
+  void pushFree(void *Block, uint32_t Units) noexcept {
+    size_t Cls = Units - 1;
+    assert(Cls < NumClasses && "oversize block on a free list");
+    FreeCell *C = static_cast<FreeCell *>(Block);
+    C->Next = FreeLists[Cls];
+    FreeLists[Cls] = C;
+  }
+
+  void linkHeader(Header *&ListHead, Header *H) noexcept {
+    H->Prev = nullptr;
+    H->Next = ListHead;
+    if (ListHead)
+      ListHead->Prev = H;
+    ListHead = H;
+  }
+
+  void unlinkHeader(Header *&ListHead, Header *H) noexcept {
+    if (H->Prev)
+      H->Prev->Next = H->Next;
+    else {
+      assert(ListHead == H && "unlinking a header not on its list");
+      ListHead = H->Next;
+    }
+    if (H->Next)
+      H->Next->Prev = H->Prev;
+  }
+
+  void *bump(uint32_t Units);
+  void *oversizeAlloc(size_t Size, void (*Dtor)(void *));
+  void oversizeFree(Header *H) noexcept;
+  void drainPending() noexcept;
+
+  std::vector<Slab> Slabs;
+  size_t CurSlab = 0;
+  size_t NextSlabBytes = FirstSlabBytes;
+  FreeCell *FreeLists[NumClasses] = {};
+  /// Lock-free stack of epoch-deferred hand-backs from other shards'
+  /// reclamation; drained by the owner on free-list miss and at reset.
+  std::atomic<PendingCell *> Pending{nullptr};
+  /// Live tracked blocks (reset destroys these).
+  Header *LiveHead = nullptr;
+  /// Raw oversize blocks (reset frees these; no destructor).
+  Header *OversizeRawHead = nullptr;
+  std::atomic<uint64_t> Generation{0};
+
+  struct {
+    std::atomic<size_t> Slabs{0};
+    std::atomic<size_t> Bytes{0};
+    std::atomic<size_t> Live{0};
+    std::atomic<size_t> Recycled{0};
+  } Stats;
+};
+
+/// Nullable handle the ds/ containers allocate their cells through:
+/// bound to a SlabArena by the owning relation, or unbound (default)
+/// with global-heap fallback — standalone container use is unchanged.
+class ArenaRef {
+public:
+  ArenaRef() = default;
+  explicit ArenaRef(SlabArena *A) : A(A) {}
+
+  explicit operator bool() const { return A != nullptr; }
+  SlabArena *arena() const { return A; }
+
+  void *allocate(size_t Size) {
+    return A ? A->allocate(Size) : ::operator new(Size);
+  }
+  void deallocate(void *P, size_t Size) noexcept {
+    if (A)
+      A->deallocate(P, Size);
+    else
+      ::operator delete(P);
+  }
+
+private:
+  SlabArena *A = nullptr;
+};
+
+//===----------------------------------------------------------------------===//
+// Implementation. Header-only: RELC-generated headers include this (via
+// the ds/ containers and their own arena member) and must compile
+// standalone against the src/ include directory, with no library to
+// link.
+//===----------------------------------------------------------------------===//
+
+inline SlabArena::~SlabArena() {
+  reset();
+  for (Slab &S : Slabs)
+    ::operator delete(S.Base, std::align_val_t(BlockAlign));
+}
+
+inline void *SlabArena::bump(uint32_t Units) {
+  size_t Bytes = size_t(Units) * BlockAlign;
+  while (CurSlab < Slabs.size() &&
+         Slabs[CurSlab].Size - Slabs[CurSlab].Used < Bytes)
+    ++CurSlab; // the tail remainder is waste until the next reset
+  if (CurSlab == Slabs.size()) {
+    size_t SlabBytes = std::max(NextSlabBytes, Bytes);
+    NextSlabBytes = std::min(NextSlabBytes * 2, MaxSlabBytes);
+    char *Base = static_cast<char *>(
+        ::operator new(SlabBytes, std::align_val_t(BlockAlign)));
+    Slabs.push_back(Slab{Base, SlabBytes, 0});
+    Stats.Slabs.fetch_add(1, std::memory_order_relaxed);
+    Stats.Bytes.fetch_add(SlabBytes, std::memory_order_relaxed);
+  }
+  Slab &S = Slabs[CurSlab];
+  void *P = S.Base + S.Used;
+  S.Used += Bytes;
+  return P;
+}
+
+inline void *SlabArena::oversizeAlloc(size_t Size, void (*Dtor)(void *)) {
+  size_t Total = BlockAlign + Size; // front pad + header, payload aligned
+  assert(Total <= UINT32_MAX && "oversize block exceeds the header field");
+  char *Base = static_cast<char *>(
+      ::operator new(Total, std::align_val_t(BlockAlign)));
+  Header *H = reinterpret_cast<Header *>(Base + (BlockAlign - HeaderBytes));
+  H->Dtor = Dtor;
+  // Oversize blocks repurpose Units for total bytes (stats bookkeeping).
+  H->Units = static_cast<uint32_t>(Total);
+  H->Flags = FlagOversize;
+  linkHeader(Dtor ? LiveHead : OversizeRawHead, H);
+  Stats.Bytes.fetch_add(Total, std::memory_order_relaxed);
+  Stats.Live.fetch_add(1, std::memory_order_relaxed);
+  return payloadOf(H);
+}
+
+inline void SlabArena::oversizeFree(Header *H) noexcept {
+  unlinkHeader(H->Dtor ? LiveHead : OversizeRawHead, H);
+  Stats.Bytes.fetch_sub(H->Units, std::memory_order_relaxed);
+  ::operator delete(oversizeBase(H), std::align_val_t(BlockAlign));
+}
+
+inline void *SlabArena::allocateTracked(size_t Size, void (*Dtor)(void *)) {
+  assert(Size > 0 && "zero-size arena allocation");
+  assert(Dtor && "tracked blocks need a destructor");
+  if (HeaderBytes + Size > MaxSmallBytes)
+    return oversizeAlloc(Size, Dtor);
+  uint32_t Units = unitsFor(HeaderBytes + Size);
+  Header *H = static_cast<Header *>(carve(Units));
+  H->Dtor = Dtor;
+  H->Units = Units;
+  H->Flags = 0;
+  linkHeader(LiveHead, H);
+  Stats.Live.fetch_add(1, std::memory_order_relaxed);
+  return payloadOf(H);
+}
+
+inline void SlabArena::destroyTracked(void *Payload) noexcept {
+  Header *H = headerOf(Payload);
+  H->Dtor(Payload);
+  if (H->Flags & FlagOversize) {
+    unlinkHeader(LiveHead, H);
+    Stats.Bytes.fetch_sub(H->Units, std::memory_order_relaxed);
+    ::operator delete(oversizeBase(H), std::align_val_t(BlockAlign));
+  } else {
+    unlinkHeader(LiveHead, H);
+    pushFree(H, H->Units);
+  }
+  Stats.Live.fetch_sub(1, std::memory_order_relaxed);
+  Stats.Recycled.fetch_add(1, std::memory_order_relaxed);
+}
+
+inline void SlabArena::untrack(void *Payload) noexcept {
+  Header *H = headerOf(Payload);
+  unlinkHeader(LiveHead, H);
+  Stats.Live.fetch_sub(1, std::memory_order_relaxed);
+}
+
+inline void SlabArena::recycleDeferred(void *Payload, uint64_t Gen) noexcept {
+  Header *H = headerOf(Payload);
+  if (H->Flags & FlagOversize) {
+    // Untracked oversize blocks were unlinked from the live list and
+    // are invisible to reset(): always free them here.
+    Stats.Bytes.fetch_sub(H->Units, std::memory_order_relaxed);
+    ::operator delete(oversizeBase(H), std::align_val_t(BlockAlign));
+    Stats.Recycled.fetch_add(1, std::memory_order_relaxed);
+    return;
+  }
+  if (Gen != resetGeneration())
+    return; // a reset reclaimed this block's slab memory wholesale
+  PendingCell *C = reinterpret_cast<PendingCell *>(H);
+  C->Units = H->Units; // aliases H->Dtor's bytes; Units read first
+  PendingCell *Head = Pending.load(std::memory_order_relaxed);
+  do {
+    C->Next = Head;
+  } while (!Pending.compare_exchange_weak(Head, C, std::memory_order_release,
+                                          std::memory_order_relaxed));
+  Stats.Recycled.fetch_add(1, std::memory_order_relaxed);
+}
+
+inline void SlabArena::drainPending() noexcept {
+  PendingCell *C = Pending.exchange(nullptr, std::memory_order_acquire);
+  while (C) {
+    PendingCell *Next = C->Next;
+    pushFree(C, C->Units);
+    C = Next;
+  }
+}
+
+inline void SlabArena::reset() {
+  // 1. Destroy live tracked blocks (payload destructors may hand cells
+  //    back via deallocate(); that only touches the free lists cleared
+  //    below, and oversize raw frees, which unlink safely from a list
+  //    this walk does not hold). Oversize tracked blocks are freed on
+  //    the spot; small ones are reclaimed by the slab rewind.
+  Header *H = LiveHead;
+  while (H) {
+    Header *Next = H->Next;
+    H->Dtor(payloadOf(H));
+    if (H->Flags & FlagOversize) {
+      Stats.Bytes.fetch_sub(H->Units, std::memory_order_relaxed);
+      ::operator delete(oversizeBase(H), std::align_val_t(BlockAlign));
+    }
+    H = Next;
+  }
+  LiveHead = nullptr;
+  // 2. Free raw oversize blocks that survived the destructors.
+  H = OversizeRawHead;
+  while (H) {
+    Header *Next = H->Next;
+    Stats.Bytes.fetch_sub(H->Units, std::memory_order_relaxed);
+    ::operator delete(oversizeBase(H), std::align_val_t(BlockAlign));
+    H = Next;
+  }
+  OversizeRawHead = nullptr;
+  // 3. Invalidate in-flight deferred hand-backs, then discard any that
+  //    landed before the bump — their memory is slab memory rewound
+  //    below. (No hand-back can race this: reset runs with every
+  //    stripe held, which excludes the writers that drive epoch
+  //    reclamation.)
+  Generation.fetch_add(1, std::memory_order_release);
+  Pending.exchange(nullptr, std::memory_order_acquire);
+  // 4. Clear free lists and rewind the slabs — O(slabs); the slabs
+  //    themselves are retained warm.
+  std::fill(std::begin(FreeLists), std::end(FreeLists), nullptr);
+  for (Slab &S : Slabs)
+    S.Used = 0;
+  CurSlab = 0;
+  Stats.Live.store(0, std::memory_order_relaxed);
+}
+
+} // namespace relc
+
+#endif // RELC_SUPPORT_ARENA_H

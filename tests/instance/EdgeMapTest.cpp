@@ -96,6 +96,7 @@ TEST_P(EdgeMapTest, InsertLookupEraseByKey) {
   EXPECT_EQ(Map->lookup(key(1)), nullptr);
   EXPECT_EQ(Map->erase(key(1)), nullptr);
   EXPECT_EQ(Map->size(), 1u);
+  G->release(A); // drop the test handle; A is not in the map for TearDown
 }
 
 TEST_P(EdgeMapTest, EraseNode) {
@@ -105,6 +106,7 @@ TEST_P(EdgeMapTest, EraseNode) {
   A->releaseRef();
   EXPECT_FALSE(Map->eraseNode(A));
   EXPECT_TRUE(Map->empty());
+  G->release(A); // drop the test handle; A is not in the map for TearDown
 }
 
 TEST_P(EdgeMapTest, ForEachVisitsEveryEntry) {
@@ -163,6 +165,7 @@ TEST_P(EdgeMapTest, HeterogeneousViewErase) {
   EXPECT_EQ(Map->size(), 1u);
   EXPECT_EQ(Map->lookup(key(4)), nullptr);
   EXPECT_EQ(Map->lookup(key(6)), B);
+  G->release(A); // drop the test handle; A is not in the map for TearDown
 }
 
 TEST_P(EdgeMapTest, ForEachEarlyStop) {

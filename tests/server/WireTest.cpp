@@ -266,6 +266,34 @@ TEST_F(WireServerTest, BasicOpsRoundTrip) {
   EXPECT_EQ(N, 1u);
 }
 
+TEST_F(WireServerTest, StatsReportsCommitsAndArenaOccupancy) {
+  RelClient Cli;
+  std::string Err;
+  ASSERT_TRUE(Cli.connect(Server->port(), &Err)) << Err;
+
+  RelClient::ServerStats Empty;
+  ASSERT_TRUE(Cli.stats(Empty));
+  // Every shard arena holds at least its root node before any insert.
+  EXPECT_GT(Empty.ArenaLive, 0u);
+  EXPECT_GT(Empty.ArenaBytes, 0u);
+
+  RelClient::Reply R;
+  const int Rows = 64;
+  for (int I = 0; I != Rows; ++I) {
+    ASSERT_TRUE(Cli.insert(account(I % 8, I, 10 + I), &R));
+    ASSERT_TRUE(R.ok());
+  }
+
+  RelClient::ServerStats Loaded;
+  ASSERT_TRUE(Cli.stats(Loaded));
+  EXPECT_GE(Loaded.Committed, uint64_t(Rows));
+  EXPECT_GT(Loaded.Groups, 0u);
+  // The inserted rows live in the shard arenas: at least one block
+  // (the unit node) per row beyond the empty-relation baseline.
+  EXPECT_GE(Loaded.ArenaLive, Empty.ArenaLive + Rows);
+  EXPECT_GE(Loaded.ArenaBytes, Empty.ArenaBytes);
+}
+
 TEST_F(WireServerTest, TransferAndOverdraftAbort) {
   RelClient Cli;
   ASSERT_TRUE(Cli.connect(Server->port()));

@@ -1,0 +1,270 @@
+//===- tests/support/ArenaTest.cpp - SlabArena unit tests --------------------===//
+//
+// Part of the RelC data representation synthesis library.
+//
+//===----------------------------------------------------------------------===//
+
+#include "support/Arena.h"
+
+#include <gtest/gtest.h>
+
+#include <cstring>
+#include <set>
+#include <string>
+#include <vector>
+
+using namespace relc;
+
+namespace {
+
+TEST(ArenaTest, FreshArenaHasNoSlabs) {
+  SlabArena A;
+  ArenaStats S = A.stats();
+  EXPECT_EQ(S.Slabs, 0u);
+  EXPECT_EQ(S.Bytes, 0u);
+  EXPECT_EQ(S.Live, 0u);
+  EXPECT_EQ(S.Recycled, 0u);
+}
+
+TEST(ArenaTest, RawBlocksAreCacheLineAligned) {
+  SlabArena A;
+  std::vector<void *> Blocks;
+  for (size_t Size : {1u, 17u, 63u, 64u, 65u, 200u, 4096u}) {
+    void *P = A.allocate(Size);
+    EXPECT_EQ(reinterpret_cast<uintptr_t>(P) % SlabArena::BlockAlign, 0u)
+        << "size " << Size;
+    std::memset(P, 0xAB, Size); // the block must really be writable
+    Blocks.push_back(P);
+  }
+  size_t I = 0;
+  for (size_t Size : {1u, 17u, 63u, 64u, 65u, 200u, 4096u})
+    A.deallocate(Blocks[I++], Size);
+  EXPECT_EQ(A.stats().Live, 0u);
+}
+
+TEST(ArenaTest, SlabsGrowGeometricallyAndAreRetained) {
+  SlabArena A;
+  // Fill well past the first slab.
+  std::vector<void *> Blocks;
+  const size_t Block = 512;
+  const size_t N = (SlabArena::FirstSlabBytes / Block) * 4;
+  for (size_t I = 0; I != N; ++I)
+    Blocks.push_back(A.allocate(Block));
+  ArenaStats Grown = A.stats();
+  EXPECT_GE(Grown.Slabs, 2u);
+  EXPECT_EQ(Grown.Live, N);
+
+  for (void *P : Blocks)
+    A.deallocate(P, Block);
+  A.reset();
+  ArenaStats AfterReset = A.stats();
+  // Slabs and bytes are retained warm; nothing is live.
+  EXPECT_EQ(AfterReset.Slabs, Grown.Slabs);
+  EXPECT_EQ(AfterReset.Bytes, Grown.Bytes);
+  EXPECT_EQ(AfterReset.Live, 0u);
+
+  // A refill of the same shape allocates no new slabs.
+  for (size_t I = 0; I != N; ++I)
+    A.allocate(Block);
+  EXPECT_EQ(A.stats().Slabs, Grown.Slabs);
+}
+
+TEST(ArenaTest, FreeListReusesExactSizeClass) {
+  SlabArena A;
+  void *P = A.allocate(128);
+  A.deallocate(P, 128);
+  // Same size class: the freed block itself comes back.
+  void *Q = A.allocate(100); // 100 rounds to the same 128-byte class
+  EXPECT_EQ(P, Q);
+  // A different class must not poach it.
+  A.deallocate(Q, 100);
+  void *R = A.allocate(256);
+  EXPECT_NE(P, R);
+  EXPECT_EQ(A.stats().Recycled, 2u);
+}
+
+TEST(ArenaTest, TrackedBlocksRunDestructorsOnReset) {
+  int Destroyed = 0;
+  struct Probe {
+    int *Counter;
+    explicit Probe(int *C) : Counter(C) {}
+    ~Probe() { ++*Counter; }
+  };
+  SlabArena A;
+  for (int I = 0; I != 10; ++I)
+    A.create<Probe>(&Destroyed);
+  EXPECT_EQ(A.stats().Live, 10u);
+  A.reset();
+  EXPECT_EQ(Destroyed, 10);
+  EXPECT_EQ(A.stats().Live, 0u);
+}
+
+TEST(ArenaTest, DestroyRunsDestructorAndRecycles) {
+  int Destroyed = 0;
+  struct Probe {
+    int *Counter;
+    explicit Probe(int *C) : Counter(C) {}
+    ~Probe() { ++*Counter; }
+  };
+  SlabArena A;
+  Probe *P = A.create<Probe>(&Destroyed);
+  Probe *Q = A.create<Probe>(&Destroyed);
+  A.destroy(P);
+  EXPECT_EQ(Destroyed, 1);
+  EXPECT_EQ(A.stats().Live, 1u);
+  EXPECT_EQ(A.stats().Recycled, 1u);
+  A.destroy(Q);
+  A.reset(); // nothing left to destroy
+  EXPECT_EQ(Destroyed, 2);
+}
+
+TEST(ArenaTest, ResetThenReuseDoesNotDoubleDestroy) {
+  int Destroyed = 0;
+  struct Probe {
+    int *Counter;
+    explicit Probe(int *C) : Counter(C) {}
+    ~Probe() { ++*Counter; }
+  };
+  SlabArena A;
+  A.create<Probe>(&Destroyed);
+  A.reset();
+  EXPECT_EQ(Destroyed, 1);
+  // Refill the same memory; the old header must not be revisited.
+  A.create<Probe>(&Destroyed);
+  A.reset();
+  EXPECT_EQ(Destroyed, 2);
+}
+
+TEST(ArenaTest, OversizeBlocksTrackBytes) {
+  SlabArena A;
+  size_t Big = SlabArena::MaxSmallBytes * 4;
+  void *P = A.allocate(Big);
+  EXPECT_EQ(reinterpret_cast<uintptr_t>(P) % SlabArena::BlockAlign, 0u);
+  std::memset(P, 0xCD, Big);
+  ArenaStats S = A.stats();
+  EXPECT_EQ(S.Slabs, 0u); // no slab carved for an oversize block
+  EXPECT_GE(S.Bytes, Big);
+  EXPECT_EQ(S.Live, 1u);
+  A.deallocate(P, Big);
+  S = A.stats();
+  EXPECT_EQ(S.Bytes, 0u);
+  EXPECT_EQ(S.Live, 0u);
+}
+
+TEST(ArenaTest, OversizeTrackedFreedByReset) {
+  int Destroyed = 0;
+  struct BigProbe {
+    int *Counter;
+    char Pad[SlabArena::MaxSmallBytes];
+    ~BigProbe() { ++*Counter; }
+  };
+  SlabArena A;
+  BigProbe *P = A.create<BigProbe>();
+  P->Counter = &Destroyed;
+  A.reset();
+  EXPECT_EQ(Destroyed, 1);
+  EXPECT_EQ(A.stats().Bytes, 0u);
+}
+
+TEST(ArenaTest, DeferredRecycleReturnsBlockToOwner) {
+  int Destroyed = 0;
+  struct Probe {
+    int *Counter;
+    explicit Probe(int *C) : Counter(C) {}
+    ~Probe() { ++*Counter; }
+  };
+  SlabArena A;
+  Probe *P = A.create<Probe>(&Destroyed);
+  uint64_t Gen = A.resetGeneration();
+  A.untrack(P);
+  P->~Probe();
+  EXPECT_EQ(A.stats().Live, 0u); // dead as soon as untracked
+  A.recycleDeferred(P, Gen);
+  EXPECT_EQ(A.stats().Recycled, 1u);
+  // The next same-class tracked allocation drains the pending stack
+  // and reuses the block.
+  Probe *Q = A.create<Probe>(&Destroyed);
+  EXPECT_EQ(static_cast<void *>(Q), static_cast<void *>(P));
+  A.reset();
+}
+
+TEST(ArenaTest, StaleDeferredRecycleIsDropped) {
+  SlabArena A;
+  struct Probe {
+    char C;
+  };
+  Probe *P = A.create<Probe>();
+  uint64_t Gen = A.resetGeneration();
+  A.untrack(P);
+  P->~Probe();
+  A.reset(); // reclaims the block's slab memory wholesale
+  ArenaStats Before = A.stats();
+  A.recycleDeferred(P, Gen); // stale: must be a no-op
+  EXPECT_EQ(A.stats().Recycled, Before.Recycled);
+  // The dropped block must not surface on a free list.
+  void *Q = A.allocate(sizeof(Probe));
+  std::memset(Q, 0, sizeof(Probe));
+  A.deallocate(Q, sizeof(Probe));
+}
+
+TEST(ArenaTest, StatsLiveTracksMixedBlockKinds) {
+  SlabArena A;
+  struct Node {
+    int64_t V;
+  };
+  std::vector<void *> Raw;
+  std::vector<Node *> Tracked;
+  for (int I = 0; I != 100; ++I) {
+    Raw.push_back(A.allocate(48));
+    Tracked.push_back(A.create<Node>());
+  }
+  EXPECT_EQ(A.stats().Live, 200u);
+  for (int I = 0; I != 50; ++I) {
+    A.deallocate(Raw[I], 48);
+    A.destroy(Tracked[I]);
+  }
+  EXPECT_EQ(A.stats().Live, 100u);
+  EXPECT_EQ(A.stats().Recycled, 100u);
+  A.reset();
+  EXPECT_EQ(A.stats().Live, 0u);
+}
+
+TEST(ArenaTest, ArenaRefFallsBackToGlobalHeap) {
+  ArenaRef Unbound;
+  EXPECT_FALSE(static_cast<bool>(Unbound));
+  void *P = Unbound.allocate(64);
+  ASSERT_NE(P, nullptr);
+  Unbound.deallocate(P, 64);
+
+  SlabArena A;
+  ArenaRef Bound(&A);
+  EXPECT_TRUE(static_cast<bool>(Bound));
+  void *Q = Bound.allocate(64);
+  EXPECT_EQ(A.stats().Live, 1u);
+  Bound.deallocate(Q, 64);
+  EXPECT_EQ(A.stats().Live, 0u);
+}
+
+TEST(ArenaTest, ManyDistinctSizeClasses) {
+  SlabArena A;
+  std::vector<std::pair<void *, size_t>> Blocks;
+  for (size_t Units = 1; Units * SlabArena::BlockAlign <= SlabArena::MaxSmallBytes;
+       ++Units) {
+    size_t Size = Units * SlabArena::BlockAlign;
+    Blocks.emplace_back(A.allocate(Size), Size);
+  }
+  // Blocks are distinct and non-overlapping at cache-line granularity.
+  std::set<void *> Unique;
+  for (auto &[P, Size] : Blocks)
+    Unique.insert(P);
+  EXPECT_EQ(Unique.size(), Blocks.size());
+  for (auto &[P, Size] : Blocks)
+    A.deallocate(P, Size);
+  // Every class refill hits its free list: no new slabs.
+  size_t SlabsBefore = A.stats().Slabs;
+  for (auto &[P, Size] : Blocks)
+    A.allocate(Size);
+  EXPECT_EQ(A.stats().Slabs, SlabsBefore);
+}
+
+} // namespace

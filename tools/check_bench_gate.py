@@ -6,8 +6,13 @@ Reads a BENCH_concurrent.json report (as produced by
 the epoch read path and the persistent scan pool exist for have
 regressed:
 
-  * ``<system>.scan.t2``  speedup_vs_1 must be >= 0.9
-  * ``<system>.query.t4`` speedup_vs_1 must be >= 1.0
+  * ``<system>.scan.t2``   speedup_vs_1 must be >= 0.9
+  * ``<system>.query.t4``  speedup_vs_1 must be >= 1.0
+  * ``<system>.insert.t4`` speedup_vs_1 must be >= 1.5
+
+The insert floor is the per-shard slab-arena claim: with each shard
+bump-allocating from its own arena, parallel inserts share no
+allocator state, so four threads must beat one by at least 1.5x.
 
 The gate only means something with real parallelism: when the report's
 ``meta.hardware_concurrency`` is below 4 (or missing), the t2/t4
@@ -30,6 +35,7 @@ import sys
 
 SCAN_T2_FLOOR = 0.9
 QUERY_T4_FLOOR = 1.0
+INSERT_T4_FLOOR = 1.5
 BASELINE_DROP = 0.8  # new must be >= 80% of baseline
 MIN_HW_THREADS = 4
 
@@ -56,6 +62,8 @@ def gated_names(sp):
             pairs.append((name, SCAN_T2_FLOOR))
         elif name.endswith(".query.t4"):
             pairs.append((name, QUERY_T4_FLOOR))
+        elif name.endswith(".insert.t4"):
+            pairs.append((name, INSERT_T4_FLOOR))
     return pairs
 
 
@@ -86,7 +94,9 @@ def main(argv):
     sp = speedups(report)
     pairs = gated_names(sp)
     if not pairs:
-        print("bench gate: FAIL -- report has no scan.t2/query.t4 results")
+        print(
+            "bench gate: FAIL -- report has no scan.t2/query.t4/insert.t4 results"
+        )
         return 1
 
     failures = []
