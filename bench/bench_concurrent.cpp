@@ -10,9 +10,13 @@
 // 10% duplicate inserts), an upsert phase (atomic read-modify-write
 // on contended random keys — every writer races on the shard locks),
 // a transact phase (transfer-style two-key transactions under
-// shard-set two-phase locking), and a full-scan phase (sequential
+// shard-set two-phase locking), a full-scan phase (sequential
 // fan-out at t=1, the parallel one-worker-per-shard merge-queue scan
-// at t>1), each run at 1/2/4/8 threads with total work held constant. Reports per-phase throughput
+// at t>1), a snapshot phase (O(shards) consistent-handle acquisition
+// rate), and a ckptmix phase (upsert throughput while a dedicated
+// checkpointer thread snapshots and extracts rows, as the server's
+// off-committer checkpoint does), each run at 1/2/4/8 threads with
+// total work held constant. Reports per-phase throughput
 // and speedup over the single-thread run — the number the sharding
 // exists for. --json <path> writes the machine-readable report (CI
 // uploads it); --quick shrinks the loops; --threads caps the thread
@@ -208,7 +212,8 @@ void report(JsonReporter &Json, const std::string &System, const char *Phase,
 }
 
 /// One system at one thread count. \returns the per-phase results
-/// (insert, reinsert, query, mixed, upsert, transact, scan).
+/// (insert, reinsert, query, mixed, upsert, transact, scan, snapshot,
+/// ckptmix).
 std::vector<PhaseResult> runSystem(const Workload &W, unsigned Shards,
                                    unsigned Threads, size_t N, size_t Probes,
                                    size_t MixedOps,
@@ -403,7 +408,67 @@ std::vector<PhaseResult> runSystem(const Workload &W, unsigned Shards,
   });
   Scan.Allocs = GlobalAllocCount.load(std::memory_order_relaxed) - AllocMark;
 
-  return {Ins, Reins, Probe, Mixed, Upsert, Transact, Scan};
+  // Snapshot acquisition: grabbing a consistent handle is O(shards) —
+  // an all-stripe shared acquisition plus one refcount bump per shard,
+  // no data copy — so ops/s here is the acquisition rate (invert for
+  // latency). Handles are dropped immediately, so the release/retire
+  // path is in the loop too.
+  PhaseResult Snap;
+  Snap.Ops = MixedOps;
+  AllocMark = GlobalAllocCount.load(std::memory_order_relaxed);
+  Snap.Seconds = runThreads(Threads, [&](unsigned T) {
+    int64_t Sum = 0;
+    for (size_t I = T; I < MixedOps; I += Threads) {
+      ConcurrentRelation::Snapshot S = Rel.snapshot();
+      Sum += int64_t(S.size());
+    }
+    benchSink(Sum);
+  });
+  Snap.Allocs = GlobalAllocCount.load(std::memory_order_relaxed) - AllocMark;
+
+  // Commit throughput under an active checkpoint: a dedicated
+  // checkpointer thread continuously snapshots and extracts every row
+  // (what the server's checkpoint thread does off the committer) while
+  // the measured threads run the upsert loop. Compare ops/s with the
+  // plain upsert phase above: the COW design's claim is that a running
+  // checkpoint costs writers almost nothing — the extractor holds no
+  // lock while scanning, and writers only pay the copy-on-first-write
+  // of shards the pinned snapshot still shares (which shows up in
+  // allocs/op, not in stalls).
+  PhaseResult CkptMix;
+  CkptMix.Ops = MixedOps;
+  std::atomic<bool> CkptStop{false};
+  AllocMark = GlobalAllocCount.load(std::memory_order_relaxed);
+  std::thread Checkpointer([&] {
+    int64_t Rows = 0;
+    while (!CkptStop.load(std::memory_order_relaxed)) {
+      ConcurrentRelation::Snapshot S = Rel.snapshot();
+      S.scanFrames(Tuple(), ScanCols, [&](const BindingFrame &F) {
+        Rows += F.get(W.KeyCols.first()).asInt();
+        return true;
+      });
+    }
+    benchSink(Rows);
+  });
+  CkptMix.Seconds = runThreads(Threads, [&](unsigned T) {
+    Rng R(0xc4b7 + T);
+    for (size_t I = T; I < MixedOps; I += Threads) {
+      int64_t Delta = int64_t(R.below(997)) + 1;
+      Rel.upsert(KeyPats[R.below(N)], [&](const BindingFrame *Cur,
+                                          Tuple &Values) {
+        for (ColumnId C : W.ValueCols) {
+          int64_t V = Cur ? Cur->get(C).asInt() : 0;
+          Values.set(C, Value::ofInt(C == W.UpdateCol ? (V + Delta) % 100000
+                                                      : V));
+        }
+      });
+    }
+  });
+  CkptStop.store(true, std::memory_order_relaxed);
+  Checkpointer.join();
+  CkptMix.Allocs = GlobalAllocCount.load(std::memory_order_relaxed) - AllocMark;
+
+  return {Ins, Reins, Probe, Mixed, Upsert, Transact, Scan, Snap, CkptMix};
 }
 
 } // namespace
@@ -445,8 +510,9 @@ int main(int argc, char **argv) {
       .meta("max_threads", double(MaxThreads))
       .meta("git_rev", Rev ? Rev : "unknown");
   Workload Workloads[] = {makeScheduler(), makeGraph(), makeIpcap()};
-  const char *Phases[] = {"insert", "reinsert", "query",    "mixed",
-                          "upsert", "transact", "scan"};
+  const char *Phases[] = {"insert",   "reinsert", "query",
+                          "mixed",    "upsert",   "transact",
+                          "scan",     "snapshot", "ckptmix"};
 
   // Warm fresh inserts must come out of the shard arenas, not the
   // global heap. The 0.25 allows the amortized residue (hash-bucket
@@ -466,7 +532,7 @@ int main(int argc, char **argv) {
     for (const Tuple &T : Tuples)
       KeyPats.push_back(T.project(W.KeyCols));
 
-    std::vector<double> Baselines(7, 0.0);
+    std::vector<double> Baselines(9, 0.0);
     for (unsigned Threads = 1; Threads <= MaxThreads; Threads *= 2) {
       std::vector<PhaseResult> Results = runSystem(
           W, Shards, Threads, N, Probes, MixedOps, Tuples, KeyPats);

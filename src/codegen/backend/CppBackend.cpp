@@ -82,6 +82,8 @@ public:
     for (const MethodOp &Op : M.Ops)
       if (Op.Where == Layer::Sequential)
         emitSequentialOp(Op);
+    if (M.RowScanPlan)
+      emitScanRows();
     closeClass();
     if (M.hasFacade())
       emitConcurrentFacade();
@@ -287,6 +289,8 @@ private:
     W.line("#include <cassert>");
     W.line("#include <cstddef>");
     W.line("#include <cstdint>");
+    if (M.hasFacade())
+      W.line("#include <memory>");
     if (M.hasTransactions())
       W.line("#include <type_traits>");
     W.line("#include <vector>");
@@ -666,6 +670,31 @@ private:
     assert(false && "unknown PlanKind");
   }
 
+  /// The full-row scan behind the facade's snapshot machinery: emitted
+  /// from the Module-level RowScanPlan (never a MethodOp, so it exists
+  /// identically under --no-opt), used by the COW clone in writable()
+  /// and by Snapshot::scanRows.
+  void emitScanRows() {
+    assert(M.RowScanPlan && "scanRows without a lowered row-scan plan");
+    const QueryPlan &Plan = *M.RowScanPlan;
+    ColumnSet All = D.spec()->columns();
+    W.line();
+    W.line("  /// Visits every row once, all columns in ascending order; the");
+    W.line("  /// concurrent facade's snapshot machinery clones shards");
+    W.line("  /// through this scan. Plan " + Plan.str());
+    W.open("  template <typename FnT> void scanRows(FnT &&Emit) const {");
+    emitStep(Plan, Plan.Root, "Root", Env(), [&](const Env &Final) {
+      std::string Args;
+      for (ColumnId C : All) {
+        if (!Args.empty())
+          Args += ", ";
+        Args += Final.at(C);
+      }
+      W.line("Emit(" + Args + ");");
+    });
+    W.close("}");
+  }
+
   //===------------------------------------------------------------------===
   // remove_by_<key> / update_by_<key> (Section 4.5, specialized).
   //===------------------------------------------------------------------===
@@ -929,11 +958,23 @@ private:
     W.line("/// visibility guarantees, and the no-reentrant-callback rule "
            "mirror the");
     W.line("/// interpreted relc::ConcurrentRelation (docs/CONCURRENCY.md).");
+    W.line("/// Shard state is copy-on-write: snapshot() freezes the "
+           "current shard");
+    W.line("/// set behind a refcounted handle in O(NumShards), writers "
+           "clone a");
+    W.line("/// pinned shard before touching it, and frozen shards are "
+           "reclaimed");
+    W.line("/// through the process epoch manager once unpinned.");
     W.open("class " + Fac + " {");
     W.line("public:");
     W.line("  static constexpr unsigned NumShards = " +
            std::to_string(M.Shards) + ";");
-    W.line("  " + Fac + "() = default;");
+    W.open("  " + Fac + "() {");
+    W.line("for (auto &S : Shards)");
+    W.line("  S = std::make_shared<" + Seq + ">();");
+    W.line("for (auto &P : Pins)");
+    W.line("  P = std::make_shared<std::atomic<size_t>>(0);");
+    W.close("}");
     W.line("  " + Fac + "(const " + Fac + " &) = delete;");
     W.line("  " + Fac + " &operator=(const " + Fac + " &) = delete;");
     W.line("  /// Lock-free; exact whenever it does not race a mutation.");
@@ -943,7 +984,7 @@ private:
     W.line("  /// Direct shard access for tests and benches; the caller is");
     W.line("  /// responsible for exclusion.");
     W.line("  const " + Seq + " &shard(unsigned I) const "
-           "{ return Shards[I]; }");
+           "{ return *Shards[I]; }");
 
     for (const MethodOp &Op : M.Ops) {
       if (Op.Where != Layer::Facade)
@@ -960,7 +1001,7 @@ private:
         W.line("unsigned S = shardOf(v_" + SCName + ");");
         W.line("auto Lock = Locks.exclusive(S);");
         W.line("relc::EpochWriterFence Fence(Gates[S]);");
-        W.line("bool Changed = Shards[S].insert(" + colList(All, "v_") +
+        W.line("bool Changed = writable(S).insert(" + colList(All, "v_") +
                ");");
         W.line("if (Changed)");
         W.line("  Size.fetch_add(1, std::memory_order_relaxed);");
@@ -987,12 +1028,23 @@ private:
         break;
       case OpKind::Clear:
         W.line();
-        W.line("  /// Empties every shard (all writer locks).");
+        W.line("  /// Empties every shard (all writer locks). Shards pinned "
+               "by a");
+        W.line("  /// snapshot handle are replaced fresh and retired, not "
+               "reset");
+        W.line("  /// in place.");
         W.open("  void clear() {");
         W.line("relc::AllShardsGuard Guard(Locks);");
         W.line("relc::EpochWriterFence Fence = fenceAll();");
-        W.line("for (" + Seq + " &S : Shards)");
-        W.line("  S.clear();");
+        W.open("for (unsigned S = 0; S != NumShards; ++S) {");
+        W.open("if (Pins[S]->load(std::memory_order_acquire) == 0) {");
+        W.line("Shards[S]->clear();");
+        W.line("continue;");
+        W.close("}");
+        W.line("retireShard(std::move(Shards[S]));");
+        W.line("Shards[S] = std::make_shared<" + Seq + ">();");
+        W.line("Pins[S] = std::make_shared<std::atomic<size_t>>(0);");
+        W.close("}");
         W.line("Size.store(0, std::memory_order_relaxed);");
         W.close("}");
         break;
@@ -1002,6 +1054,99 @@ private:
       }
     }
 
+    W.line();
+    W.line("  /// A consistent point-in-time view of the whole relation: "
+           "the");
+    W.line("  /// shard set frozen by snapshot(). Holding a handle pins "
+           "the");
+    W.line("  /// frozen shards — writers copy-on-write around them — and");
+    W.line("  /// reads against it need no locks at all.");
+    W.open("  class Snapshot {");
+    W.line("public:");
+    W.line("  Snapshot() = default;");
+    W.line("  /// Copies share the pinned generation: the source already "
+           "holds");
+    W.line("  /// every count >= 1, so relaxed increments suffice.");
+    W.open("  Snapshot(const Snapshot &O) : Count(O.Count) {");
+    W.open("for (unsigned S = 0; S != NumShards; ++S) {");
+    W.line("Shards[S] = O.Shards[S];");
+    W.line("Pins[S] = O.Pins[S];");
+    W.line("if (Pins[S])");
+    W.line("  Pins[S]->fetch_add(1, std::memory_order_relaxed);");
+    W.close("}");
+    W.close("}");
+    W.open("  Snapshot &operator=(const Snapshot &O) {");
+    W.open("if (this != &O) {");
+    W.line("Snapshot Tmp(O);");
+    W.line("*this = std::move(Tmp);");
+    W.close("}");
+    W.line("return *this;");
+    W.close("}");
+    W.line("  Snapshot(Snapshot &&O) noexcept = default;");
+    W.open("  Snapshot &operator=(Snapshot &&O) noexcept {");
+    W.open("if (this != &O) {");
+    W.line("unpinAll();");
+    W.open("for (unsigned S = 0; S != NumShards; ++S) {");
+    W.line("Shards[S] = std::move(O.Shards[S]);");
+    W.line("Pins[S] = std::move(O.Pins[S]);");
+    W.close("}");
+    W.line("Count = O.Count;");
+    W.close("}");
+    W.line("return *this;");
+    W.close("}");
+    W.line("  ~Snapshot() { unpinAll(); }");
+    W.line("  bool valid() const { return Shards[0] != nullptr; }");
+    W.line("  size_t size() const { return Count; }");
+    W.line("  bool empty() const { return Count == 0; }");
+    W.line("  const " + Seq + " &shard(unsigned I) const "
+           "{ return *Shards[I]; }");
+    W.line("  /// Visits every row (ascending column order), shard by "
+           "shard.");
+    W.open("  template <typename FnT> void scanRows(FnT &&Emit) const {");
+    W.line("for (const auto &S : Shards)");
+    W.line("  S->scanRows(Emit);");
+    W.close("}");
+    W.line();
+    W.line("private:");
+    W.line("  friend class " + Fac + ";");
+    W.line("  /// Release-decrements pair with writable()'s acquire probe: "
+           "a");
+    W.line("  /// writer that reads zero happens-after every read this "
+           "handle");
+    W.line("  /// made of the pinned state.");
+    W.open("  void unpinAll() {");
+    W.line("for (const auto &P : Pins)");
+    W.line("  if (P)");
+    W.line("    P->fetch_sub(1, std::memory_order_release);");
+    W.close("}");
+    W.line("  std::shared_ptr<const " + Seq + "> Shards[NumShards];");
+    W.line("  std::shared_ptr<std::atomic<size_t>> Pins[NumShards];");
+    W.line("  size_t Count = 0;");
+    W.close("};");
+    W.line();
+    W.line("  /// O(NumShards), no per-tuple work: under a brief all-stripe");
+    W.line("  /// SHARED acquisition the shard pointers are copied into the");
+    W.line("  /// handle. Writers landing afterwards clone pinned shards");
+    W.line("  /// before mutating, so the view never moves; the frozen "
+           "state");
+    W.line("  /// is handed to the process epoch manager when the last "
+           "handle");
+    W.line("  /// drops.");
+    W.open("  Snapshot snapshot() const {");
+    W.line("relc::AllShardsGuard Guard(Locks, "
+           "relc::AllShardsGuard::Shared);");
+    W.line("Snapshot Snap;");
+    W.open("for (unsigned S = 0; S != NumShards; ++S) {");
+    W.line("Snap.Shards[S] = Shards[S];");
+    W.line("Snap.Pins[S] = Pins[S];");
+    W.line("// The only 0 -> 1 transition: writers are excluded by the");
+    W.line("// shared stripe hold, so relaxed suffices here — the edge");
+    W.line("// writers need comes from the handle's release decrement.");
+    W.line("Snap.Pins[S]->fetch_add(1, std::memory_order_relaxed);");
+    W.close("}");
+    W.line("Snap.Count = Size.load(std::memory_order_relaxed);");
+    W.line("return Snap;");
+    W.close("}");
     W.line();
     W.line("private:");
     W.line("  /// Rows per chunk of *_parallel queries: result rows cross "
@@ -1042,9 +1187,49 @@ private:
     W.line("return relc::EpochWriterFence(Gates, AllShardIdx, NumShards);");
     W.close("}");
     emitAllShardIdx();
+    W.line("  /// The COW write-side hook: every mutation reaches its "
+           "shard");
+    W.line("  /// through this. An unpinned shard (pin count 0) passes");
+    W.line("  /// through untouched — the steady-state fast path. A pinned");
+    W.line("  /// one is cloned row by row and the frozen original retired.");
+    W.line("  /// Sound because the caller holds the shard's writer stripe:");
+    W.line("  /// 0 -> 1 happens only under snapshot()'s all-stripe SHARED");
+    W.line("  /// hold (excluded here), handle copies increment counts "
+           "their");
+    W.line("  /// source keeps >= 1, and drops release-decrement — so an");
+    W.line("  /// acquire load of zero happens-after every read a dropped");
+    W.line("  /// handle made, making in-place mutation race-free.");
+    W.open("  " + Seq + " &writable(unsigned S) {");
+    W.line("std::shared_ptr<" + Seq + "> &Cur = Shards[S];");
+    W.line("if (Pins[S]->load(std::memory_order_acquire) == 0)");
+    W.line("  return *Cur;");
+    W.line("auto Fresh = std::make_shared<" + Seq + ">();");
+    W.open("Cur->scanRows([&](" +
+           params(D.spec()->columns(), "v_") + ") {");
+    W.line("Fresh->insert(" + colList(D.spec()->columns(), "v_") + ");");
+    W.close("});");
+    W.line("retireShard(std::move(Cur));");
+    W.line("Cur = std::move(Fresh);");
+    W.line("// A new pin generation: handles keep their detached counter;");
+    W.line("// the live slot starts unpinned again.");
+    W.line("Pins[S] = std::make_shared<std::atomic<size_t>>(0);");
+    W.line("return *Cur;");
+    W.close("}");
+    W.line("  /// Hands a frozen shard to the process epoch manager: it is");
+    W.line("  /// freed once every in-flight epoch reader has moved on AND");
+    W.line("  /// the last snapshot handle pinning it drops.");
+    W.open("  static void retireShard(std::shared_ptr<" + Seq +
+           "> Old) {");
+    W.line("relc::EpochManager::global().retireObject(");
+    W.line("    new std::shared_ptr<" + Seq + ">(std::move(Old)));");
+    W.close("}");
     W.line("  relc::StripedLockSet Locks{NumShards};");
     W.line("  relc::EpochGate Gates[NumShards];");
-    W.line("  " + Seq + " Shards[NumShards];");
+    W.line("  std::shared_ptr<" + Seq + "> Shards[NumShards];");
+    W.line("  /// One pin counter per shard-state generation, swapped fresh");
+    W.line("  /// on every copy-on-write clone. Nonzero means a snapshot");
+    W.line("  /// handle still reads that generation.");
+    W.line("  std::shared_ptr<std::atomic<size_t>> Pins[NumShards];");
     W.line("  std::atomic<size_t> Size{0};");
     W.close("};");
   }
@@ -1172,7 +1357,7 @@ private:
       W.open("  template <typename FnT> void " + Q.Name + "(" + Params +
              "FnT &&Emit) const {");
       W.line("unsigned S = shardOf(q_" + SCName + ");");
-      W.line("readShard(S, [&] { Shards[S]." + Q.Name + "(" + FwdArgs +
+      W.line("readShard(S, [&] { Shards[S]->" + Q.Name + "(" + FwdArgs +
              "Emit); });");
       W.close("}");
       return;
@@ -1184,7 +1369,7 @@ private:
     W.open("  template <typename FnT> void " + Q.Name + "(" + Params +
            "FnT &&Emit) const {");
     W.line("for (unsigned S = 0; S != NumShards; ++S)");
-    W.line("  readShard(S, [&] { Shards[S]." + Q.Name + "(" + FwdArgs +
+    W.line("  readShard(S, [&] { Shards[S]->" + Q.Name + "(" + FwdArgs +
            "Emit); });");
     W.close("}");
   }
@@ -1243,7 +1428,7 @@ private:
     W.line("auto Lock = Locks.shared(S);");
     W.line("ChunkT C;");
     W.line("C.reserve(ScanChunkRows);");
-    W.open("Shards[S]." + Op.Callee + "(" + FwdArgs + "[&](" + LambdaParams +
+    W.open("Shards[S]->" + Op.Callee + "(" + FwdArgs + "[&](" + LambdaParams +
            ") {");
     W.line("C.push_back(" + RowT + "{" + RowInit + "});");
     W.open("if (C.size() == ScanChunkRows) {");
@@ -1277,7 +1462,7 @@ private:
       W.line("unsigned S = shardOf(q_" + SCName + ");");
       W.line("auto Lock = Locks.exclusive(S);");
       W.line("relc::EpochWriterFence Fence(Gates[S]);");
-      W.line("bool Removed = Shards[S]." + Name + "(" + colList(Key, "q_") +
+      W.line("bool Removed = writable(S)." + Name + "(" + colList(Key, "q_") +
              ");");
       W.line("if (Removed)");
       W.line("  Size.fetch_sub(1, std::memory_order_relaxed);");
@@ -1293,7 +1478,7 @@ private:
     W.line("relc::AllShardsGuard Guard(Locks);");
     W.line("relc::EpochWriterFence Fence = fenceAll();");
     W.open("for (unsigned S = 0; S != NumShards; ++S) {");
-    W.open("if (Shards[S]." + Name + "(" + colList(Key, "q_") + ")) {");
+    W.open("if (writable(S)." + Name + "(" + colList(Key, "q_") + ")) {");
     W.line("Size.fetch_sub(1, std::memory_order_relaxed);");
     W.line("return true;");
     W.close("}");
@@ -1324,10 +1509,13 @@ private:
       // The shard-local reinsert can no-op on an FD-violating
       // collision with another key (release builds); track the
       // shard's size delta so the facade counter never drifts.
-      W.line("size_t Before = Shards[S].size();");
-      W.line("bool Updated = Shards[S]." + Name + "(" +
+      // Bind the writable shard once: the COW clone (if any) must
+      // happen before Before is sampled.
+      W.line(M.ClassName + " &Sh = writable(S);");
+      W.line("size_t Before = Sh.size();");
+      W.line("bool Updated = Sh." + Name + "(" +
              mixedArgs(Key, "q_", "v_") + ");");
-      W.line("if (Shards[S].size() < Before)");
+      W.line("if (Sh.size() < Before)");
       W.line("  Size.fetch_sub(1, std::memory_order_relaxed);");
       W.line("return Updated;");
       W.close("}");
@@ -1343,11 +1531,11 @@ private:
     W.line("relc::AllShardsGuard Guard(Locks);");
     W.line("relc::EpochWriterFence Fence = fenceAll();");
     W.open("for (unsigned S = 0; S != NumShards; ++S) {");
-    W.open("if (Shards[S].remove_by_" + colsSuffix(Key) + "(" +
+    W.open("if (writable(S).remove_by_" + colsSuffix(Key) + "(" +
            colList(Key, "q_") + ")) {");
     // A false insert() is an FD-violating collision in the target
     // shard; keep Size consistent with the shards regardless.
-    W.line("if (!Shards[shardOf(v_" + SCName + ")].insert(" +
+    W.line("if (!writable(shardOf(v_" + SCName + ")).insert(" +
            mixedArgs(Key, "q_", "v_") + "))");
     W.line("  Size.fetch_sub(1, std::memory_order_relaxed);");
     W.line("return true;");
@@ -1382,13 +1570,16 @@ private:
       // Track the shard's size delta rather than trusting the return
       // value: an FD-violating collision with another key can make
       // the shard-local reinsert no-op (release builds), and the
-      // facade counter must follow the shards regardless.
-      W.line("size_t Before = Shards[S].size();");
-      W.line("bool Inserted = Shards[S]." + Name + "(" +
+      // facade counter must follow the shards regardless. Bind the
+      // writable shard once: the COW clone (if any) must happen
+      // before Before is sampled.
+      W.line(M.ClassName + " &Sh = writable(S);");
+      W.line("size_t Before = Sh.size();");
+      W.line("bool Inserted = Sh." + Name + "(" +
              colList(Key, "q_") + ", Fn);");
-      W.line("if (Shards[S].size() > Before)");
+      W.line("if (Sh.size() > Before)");
       W.line("  Size.fetch_add(1, std::memory_order_relaxed);");
-      W.line("else if (Shards[S].size() < Before)");
+      W.line("else if (Sh.size() < Before)");
       W.line("  Size.fetch_sub(1, std::memory_order_relaxed);");
       W.line("return Inserted;");
       W.close("}");
@@ -1411,20 +1602,20 @@ private:
       LookupArgs += ", " + colList(Rest, "c_");
     W.line("for (unsigned S = 0; S != NumShards && Owner == NumShards; "
            "++S)");
-    W.line("  if (Shards[S].lookup_by_" + colsSuffix(Key) + "(" +
+    W.line("  if (Shards[S]->lookup_by_" + colsSuffix(Key) + "(" +
            LookupArgs + "))");
     W.line("    Owner = S;");
     W.line("bool Found = Owner != NumShards;");
     W.line("Fn(" + FnArgs + ");");
     W.line("if (Found)");
-    W.line("  Shards[Owner].remove_by_" + colsSuffix(Key) + "(" +
+    W.line("  writable(Owner).remove_by_" + colsSuffix(Key) + "(" +
            colList(Key, "q_") + ");");
     // SC is a non-key column here, so the new owner comes from c_<SC>.
     // A false insert() means the new tuple collided with an existing
     // one on another key FD — an FD-violating input, but keep Size
     // consistent with the shards regardless (as the interpreted
     // ConcurrentRelation::upsert does).
-    W.line("bool Inserted = Shards[shardOf(c_" + SCName + ")].insert(" +
+    W.line("bool Inserted = writable(shardOf(c_" + SCName + ")).insert(" +
            mixedArgs(Key, "q_", "c_") + ");");
     W.line("if (!Found && Inserted)");
     W.line("  Size.fetch_add(1, std::memory_order_relaxed);");
@@ -1580,12 +1771,12 @@ private:
       std::string LookupArgs = join({colList(Key, P), colList(Rest, P)});
       if (Routed) {
         W.line("bool Found" + Side + " = Shards[S" + Side +
-               "].lookup_by_" + Suffix + "(" + LookupArgs + ");");
+               "]->lookup_by_" + Suffix + "(" + LookupArgs + ");");
       } else {
         W.line("bool Found" + Side + " = false;");
         W.line("for (unsigned S = 0; S != NumShards && !Found" + Side +
                "; ++S)");
-        W.line("  Found" + Side + " = Shards[S].lookup_by_" + Suffix +
+        W.line("  Found" + Side + " = Shards[S]->lookup_by_" + Suffix +
                "(" + LookupArgs + ");");
       }
     }
@@ -1617,16 +1808,17 @@ private:
       W.line("  /// values on shard S, whose writer lock the caller "
              "holds.");
       W.open("  void " + Apply + "(" + ApplyParams + ") {");
-      W.line("size_t Before = Shards[S].size();");
-      W.open("Shards[S].upsert_by_" + Suffix + "(" +
+      W.line(M.ClassName + " &Sh = writable(S);");
+      W.line("size_t Before = Sh.size();");
+      W.open("Sh.upsert_by_" + Suffix + "(" +
              join({colList(Key, "q_"),
                    "[&](" + join({"bool", refParams(Rest, "r_")}) + ") {"}));
       for (ColumnId C : Rest)
         W.line("r_" + Cat.name(C) + " = c_" + Cat.name(C) + ";");
       W.close("});");
-      W.line("if (Shards[S].size() > Before)");
+      W.line("if (Sh.size() > Before)");
       W.line("  Size.fetch_add(1, std::memory_order_relaxed);");
-      W.line("else if (Shards[S].size() < Before)");
+      W.line("else if (Sh.size() < Before)");
       W.line("  Size.fetch_sub(1, std::memory_order_relaxed);");
       W.close("}");
     } else {
@@ -1644,13 +1836,13 @@ private:
                                      colList(Rest, "o_")});
       W.line("for (unsigned S = 0; S != NumShards && Owner == NumShards; "
              "++S)");
-      W.line("  if (Shards[S].lookup_by_" + Suffix + "(" + LookupArgs +
+      W.line("  if (Shards[S]->lookup_by_" + Suffix + "(" + LookupArgs +
              "))");
       W.line("    Owner = S;");
       W.line("if (Owner != NumShards)");
-      W.line("  Shards[Owner].remove_by_" + Suffix + "(" +
+      W.line("  writable(Owner).remove_by_" + Suffix + "(" +
              colList(Key, "q_") + ");");
-      W.line("bool Inserted = Shards[shardOf(c_" + SCName + ")].insert(" +
+      W.line("bool Inserted = writable(shardOf(c_" + SCName + ")).insert(" +
              mixedArgs(Key, "q_", "c_") + ");");
       W.line("if (Owner == NumShards && Inserted)");
       W.line("  Size.fetch_add(1, std::memory_order_relaxed);");

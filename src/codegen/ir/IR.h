@@ -142,6 +142,13 @@ struct Module {
   /// Emit the `<class>_wire` opcode dispatch table alongside the
   /// facade (the spec's `wire` directive; requires Shards > 0).
   bool WireDispatch = false;
+  /// Facade modules only: the planner's full-row scan (no inputs, all
+  /// columns out), stamped by lowering. Backends emit the sequential
+  /// class's `scanRows` and the facade's COW snapshot machinery from
+  /// it. A Module field rather than a Support MethodOp on purpose:
+  /// it exists independently of the requested method set, is never a
+  /// dedup/liveness subject, and so emits identically under --no-opt.
+  std::shared_ptr<const QueryPlan> RowScanPlan;
   /// All methods, in emission order: sequential ops first, then facade
   /// ops. Backends iterate this vector; they never invent methods.
   std::vector<MethodOp> Ops;

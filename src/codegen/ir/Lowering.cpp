@@ -66,8 +66,15 @@ public:
                           : ShardRouter::defaultShardColumn(D);
 
     lowerSequential();
-    if (M.hasFacade())
+    if (M.hasFacade()) {
+      // The full-row scan behind the facade's snapshot machinery
+      // (scanRows + COW shard cloning). Always plannable: adequacy
+      // means the unconstrained scan reaches every column.
+      auto Plan = planQuery(D, ColumnSet(), All, Opts.Params);
+      assert(Plan && "adequate decomposition has no full-row scan");
+      M.RowScanPlan = std::make_shared<QueryPlan>(std::move(*Plan));
       lowerFacade();
+    }
     return std::move(M);
   }
 

@@ -20,7 +20,7 @@ ConcurrentRelation::ConcurrentRelation(const Decomposition &D,
     : Router(Opts.ShardColumn ? *Opts.ShardColumn
                               : ShardRouter::defaultShardColumn(D),
              Opts.NumShards),
-      Locks(Opts.NumShards),
+      Locks(Opts.NumShards), Proto(D),
       // Clamp: capacity 0 would be modulo-by-zero UB inside the
       // queue's ring in release builds (its own check is assert-only).
       ScanQueueCap(Opts.ScanQueueCapacity > 0 ? Opts.ScanQueueCapacity
@@ -35,45 +35,96 @@ ConcurrentRelation::ConcurrentRelation(const Decomposition &D,
   for (unsigned I = 0; I != Opts.NumShards; ++I)
     AllShardIdx[I] = I;
   Shards.reserve(Opts.NumShards);
+  Pins.reserve(Opts.NumShards);
   for (unsigned I = 0; I != Opts.NumShards; ++I) {
-    Shards.push_back(std::make_unique<SynthesizedRelation>(Decomposition(D)));
-    Shards.back()->enableConcurrentReads();
-    // Freed node memory outlives the epoch grace period, so a reader
-    // racing ahead of its gate check can never touch unmapped memory.
-    Shards.back()->enableDeferredReclamation();
+    Shards.push_back(freshShard());
+    Pins.push_back(std::make_shared<std::atomic<size_t>>(0));
   }
+}
+
+std::shared_ptr<SynthesizedRelation> ConcurrentRelation::freshShard() const {
+  auto S = std::make_shared<SynthesizedRelation>(Decomposition(Proto));
+  S->enableConcurrentReads();
+  // Freed node memory outlives the epoch grace period, so a reader
+  // racing ahead of its gate check can never touch unmapped memory.
+  S->enableDeferredReclamation();
+  return S;
+}
+
+void ConcurrentRelation::retireShardRef(
+    std::shared_ptr<SynthesizedRelation> Old) {
+  EpochManager::global().retireObject(
+      new std::shared_ptr<SynthesizedRelation>(std::move(Old)));
+}
+
+SynthesizedRelation &ConcurrentRelation::writable(unsigned S) {
+  std::shared_ptr<SynthesizedRelation> &Cur = Shards[S];
+  // The acquire pairs with Snapshot handles' release-decrements: a
+  // zero read here happens-after every read any dropped handle made
+  // of this state, so mutating in place cannot race them. (A relaxed
+  // use_count probe would establish no such edge — see the header.)
+  if (Pins[S]->load(std::memory_order_acquire) == 0)
+    return *Cur; // unpinned: the steady-state fast path
+  // A snapshot pins this instance: clone it (the one-time COW cost of
+  // the first write after the snapshot), freeze the original, swap.
+  std::shared_ptr<SynthesizedRelation> Fresh = freshShard();
+  ColumnSet All = catalog().allColumns();
+  Cur->scanFrames(Tuple(), All, [&](const BindingFrame &F) {
+    [[maybe_unused]] bool Ins = Fresh->insert(F.toTuple(All));
+    assert(Ins && "shard clone re-inserted a duplicate");
+    return true;
+  });
+  // In-flight epoch hand-backs from pre-snapshot mutations must not
+  // land in the frozen arena's pending stack (no writer will drain it
+  // again); detaching bumps the generation so they drop instead.
+  Cur->freezeArena();
+  retireShardRef(std::move(Cur));
+  Cur = std::move(Fresh);
+  // The clone starts a new pin generation: handles pinning the frozen
+  // state keep their (now-detached) counter; the live slot gets a
+  // fresh zero so the next mutation is in-place again.
+  Pins[S] = std::make_shared<std::atomic<size_t>>(0);
+  return *Cur;
 }
 
 bool ConcurrentRelation::insert(const Tuple &T) {
   unsigned S = Router.shardOf(T);
   auto Lock = Locks.exclusive(S);
   EpochWriterFence Fence(Gates[S]);
-  bool Changed = Shards[S]->insert(T);
+  bool Changed = writable(S).insert(T);
   if (Changed)
     Count.fetch_add(1, std::memory_order_relaxed);
   return Changed;
 }
 
 size_t ConcurrentRelation::remove(const Tuple &Pattern) {
-  size_t Removed;
+  // The counter update must stay inside the stripe hold: snapshot()
+  // cuts {shard pointers, ticket, Count} under an all-stripe shared
+  // acquisition, so a decrement after the exclusive scope closes
+  // could land on the far side of a snapshot that already saw the
+  // shrunken shard.
   if (Router.routes(Pattern.columns())) {
     unsigned S = Router.shardOf(Pattern);
     auto Lock = Locks.exclusive(S);
     EpochWriterFence Fence(Gates[S]);
-    Removed = Shards[S]->remove(Pattern);
-  } else {
-    Removed = removeAllShards(Pattern);
+    // Probe before the COW gate: a miss must not clone a pinned shard.
+    size_t Removed = Shards[S]->contains(Pattern)
+                         ? writable(S).remove(Pattern)
+                         : 0;
+    Count.fetch_sub(Removed, std::memory_order_relaxed);
+    return Removed;
   }
-  Count.fetch_sub(Removed, std::memory_order_relaxed);
-  return Removed;
+  return removeAllShards(Pattern);
 }
 
 size_t ConcurrentRelation::removeAllShards(const Tuple &Pattern) {
   AllShardsGuard Guard(Locks);
   EpochWriterFence Fence = fenceAll();
   size_t Removed = 0;
-  for (std::unique_ptr<SynthesizedRelation> &S : Shards)
-    Removed += S->remove(Pattern);
+  for (unsigned S = 0; S != Shards.size(); ++S)
+    if (Shards[S]->contains(Pattern))
+      Removed += writable(S).remove(Pattern);
+  Count.fetch_sub(Removed, std::memory_order_relaxed);
   return Removed;
 }
 
@@ -86,16 +137,20 @@ size_t ConcurrentRelation::update(const Tuple &Pattern, const Tuple &Changes) {
     unsigned S = Router.shardOf(Pattern);
     auto Lock = Locks.exclusive(S);
     EpochWriterFence Fence(Gates[S]);
-    return Shards[S]->update(Pattern, Changes);
+    return Shards[S]->contains(Pattern) ? writable(S).update(Pattern, Changes)
+                                        : 0;
   }
   // The pattern is a key, so at most one shard holds a match — but
   // without the shard column which one is unknown: take every writer
   // lock (ascending, per the lock order) and try each shard in turn.
   AllShardsGuard Guard(Locks);
   EpochWriterFence Fence = fenceAll();
-  for (std::unique_ptr<SynthesizedRelation> &S : Shards)
-    if (size_t Updated = S->update(Pattern, Changes))
+  for (unsigned S = 0; S != Shards.size(); ++S) {
+    if (!Shards[S]->contains(Pattern))
+      continue;
+    if (size_t Updated = writable(S).update(Pattern, Changes))
       return Updated;
+  }
   return 0;
 }
 
@@ -121,10 +176,10 @@ size_t ConcurrentRelation::updateRehoming(const Tuple &Pattern,
     Tuple Merged = Old.merge(Changes);
     unsigned Target = Router.shardOf(Merged);
     if (Target == I)
-      return Shards[I]->update(Pattern, Changes);
-    [[maybe_unused]] size_t Removed = Shards[I]->remove(Old);
+      return writable(I).update(Pattern, Changes);
+    [[maybe_unused]] size_t Removed = writable(I).remove(Old);
     assert(Removed == 1 && "matched tuple vanished during migration");
-    if (!Shards[Target]->insert(Merged))
+    if (!writable(Target).insert(Merged))
       // The merged tuple already existed in the target shard — an
       // FD-violating input the sequential engine would also mishandle;
       // keep the size counter consistent with the shards regardless.
@@ -152,9 +207,10 @@ bool ConcurrentRelation::upsert(
     // FD-violating collision with another key can make the reinsert
     // no-op in release builds, and the counter must track the shards
     // regardless (as the fan-out path and the emitted facade do).
-    size_t Before = Shards[S]->size();
-    bool Inserted = Shards[S]->upsert(Key, Fn);
-    size_t After = Shards[S]->size();
+    SynthesizedRelation &W = writable(S);
+    size_t Before = W.size();
+    bool Inserted = W.upsert(Key, Fn);
+    size_t After = W.size();
     if (After > Before)
       Count.fetch_add(1, std::memory_order_relaxed);
     else if (After < Before)
@@ -186,12 +242,12 @@ bool ConcurrentRelation::upsert(
     Tuple Merged = Old.merge(Values);
     unsigned Target = Router.shardOf(Merged);
     if (Target == I) {
-      Shards[I]->update(Key, Values);
+      writable(I).update(Key, Values);
       return false;
     }
-    [[maybe_unused]] size_t Removed = Shards[I]->remove(Old);
+    [[maybe_unused]] size_t Removed = writable(I).remove(Old);
     assert(Removed == 1 && "matched tuple vanished during upsert");
-    if (!Shards[Target]->insert(Merged))
+    if (!writable(Target).insert(Merged))
       // FD-violating collision in the target shard; keep the counter
       // consistent with the shards (see updateRehoming).
       Count.fetch_sub(1, std::memory_order_relaxed);
@@ -202,7 +258,7 @@ bool ConcurrentRelation::upsert(
   assert(Values.columns() == Rest &&
          "upsert must bind every non-key column when inserting");
   Tuple Full = Key.merge(Values);
-  if (Shards[Router.shardOf(Full)]->insert(Full))
+  if (writable(Router.shardOf(Full)).insert(Full))
     Count.fetch_add(1, std::memory_order_relaxed);
   return true;
 }
@@ -436,7 +492,7 @@ TxResult ConcurrentRelation::transactLocked(const std::vector<TxOp> &Ops,
   };
   auto ApplyOn = [&](unsigned S, const TxOp &Op) {
     Tmp.clear();
-    bool Ok = Shards[S]->applyTxOp(Op, Tmp);
+    bool Ok = writable(S).applyTxOp(Op, Tmp);
     for (TxOp &U : Tmp)
       Undo.emplace_back(S, std::move(U));
     return Ok;
@@ -447,7 +503,7 @@ TxResult ConcurrentRelation::transactLocked(const std::vector<TxOp> &Ops,
   auto Conflicts = [&](const Tuple &T, const Tuple *Exclude) {
     if (FdProbesRoute)
       return Shards[Router.shardOf(T)]->insertConflictsFds(T, Exclude);
-    for (const std::unique_ptr<SynthesizedRelation> &S : Shards)
+    for (const std::shared_ptr<SynthesizedRelation> &S : Shards)
       if (S->insertConflictsFds(T, Exclude))
         return true;
     return false;
@@ -480,7 +536,7 @@ TxResult ConcurrentRelation::transactLocked(const std::vector<TxOp> &Ops,
       // rather than through applyTxOp, whose local re-check would
       // repeat every probe while all writer stripes are held.
       unsigned S = Router.shardOf(Op.A);
-      if (Shards[S]->insert(Op.A))
+      if (writable(S).insert(Op.A))
         Undo.emplace_back(S, TxOp::remove(Op.A));
       break;
     }
@@ -490,7 +546,8 @@ TxResult ConcurrentRelation::transactLocked(const std::vector<TxOp> &Ops,
         break;
       }
       for (unsigned S = 0; S != Shards.size(); ++S)
-        ApplyOn(S, Op);
+        if (Shards[S]->contains(Op.A)) // don't COW-clone a missed shard
+          ApplyOn(S, Op);
       break;
     }
     case TxOp::Update: {
@@ -518,7 +575,7 @@ TxResult ConcurrentRelation::transactLocked(const std::vector<TxOp> &Ops,
       if (Target == Owner) {
         // Validated above; update in place without applyTxOp's
         // redundant re-scan and re-probe.
-        [[maybe_unused]] size_t N = Shards[Owner]->update(Op.A, Op.B);
+        [[maybe_unused]] size_t N = writable(Owner).update(Op.A, Op.B);
         assert(N == 1 && "matched tuple vanished during update");
         Undo.emplace_back(Owner,
                           TxOp::update(Op.A, Old.project(Op.B.columns())));
@@ -526,10 +583,10 @@ TxResult ConcurrentRelation::transactLocked(const std::vector<TxOp> &Ops,
       }
       // Migration inside the batch: remove + reinsert, two inverse
       // ops (reverse application restores the old home first... last).
-      [[maybe_unused]] size_t Removed = Shards[Owner]->remove(Old);
+      [[maybe_unused]] size_t Removed = writable(Owner).remove(Old);
       assert(Removed == 1 && "matched tuple vanished during migration");
       Undo.emplace_back(Owner, TxOp::insert(Old));
-      [[maybe_unused]] bool Ins = Shards[Target]->insert(Merged);
+      [[maybe_unused]] bool Ins = writable(Target).insert(Merged);
       assert(Ins && "conflict-free migration insert must change");
       Undo.emplace_back(Target, TxOp::remove(std::move(Merged)));
       break;
@@ -568,7 +625,7 @@ TxResult ConcurrentRelation::transactLocked(const std::vector<TxOp> &Ops,
           break;
         }
         unsigned Target = Router.shardOf(Full);
-        [[maybe_unused]] bool Ins = Shards[Target]->insert(Full);
+        [[maybe_unused]] bool Ins = writable(Target).insert(Full);
         assert(Ins && "conflict-free upsert insert must change");
         Undo.emplace_back(Target, TxOp::remove(std::move(Full)));
         break;
@@ -586,17 +643,17 @@ TxResult ConcurrentRelation::transactLocked(const std::vector<TxOp> &Ops,
       }
       unsigned Target = Router.shardOf(Merged);
       if (Target == Owner) {
-        [[maybe_unused]] size_t N = Shards[Owner]->update(Op.A, Values);
+        [[maybe_unused]] size_t N = writable(Owner).update(Op.A, Values);
         assert(N == 1 && "matched tuple vanished during upsert");
         Undo.emplace_back(Owner,
                           TxOp::update(Op.A,
                                        Old.project(Values.columns())));
         break;
       }
-      [[maybe_unused]] size_t Removed = Shards[Owner]->remove(Old);
+      [[maybe_unused]] size_t Removed = writable(Owner).remove(Old);
       assert(Removed == 1 && "matched tuple vanished during migration");
       Undo.emplace_back(Owner, TxOp::insert(Old));
-      [[maybe_unused]] bool Ins = Shards[Target]->insert(Merged);
+      [[maybe_unused]] bool Ins = writable(Target).insert(Merged);
       assert(Ins && "conflict-free migration insert must change");
       Undo.emplace_back(Target, TxOp::remove(std::move(Merged)));
       break;
@@ -607,8 +664,10 @@ TxResult ConcurrentRelation::transactLocked(const std::vector<TxOp> &Ops,
   }
 
   if (Failed != Ops.size()) {
+    // Every undo entry names a shard the forward pass just mutated, so
+    // writable() is a no-op pin check here — no clone can occur.
     for (size_t J = Undo.size(); J != 0; --J)
-      Shards[Undo[J - 1].first]->applyTxUndo(Undo[J - 1].second);
+      writable(Undo[J - 1].first).applyTxUndo(Undo[J - 1].second);
     assert(ScopeSize() == Before && "rollback did not restore the sizes");
     return TxResult{false, Failed, 0};
   }
@@ -783,64 +842,92 @@ bool ConcurrentRelation::contains(const Tuple &Pattern) const {
 void ConcurrentRelation::clear() {
   AllShardsGuard Guard(Locks);
   EpochWriterFence Fence = fenceAll();
-  for (std::unique_ptr<SynthesizedRelation> &S : Shards)
-    S->clear();
+  for (unsigned S = 0; S != Shards.size(); ++S) {
+    if (Pins[S]->load(std::memory_order_acquire) == 0) {
+      Shards[S]->clear();
+      continue;
+    }
+    // Pinned by a snapshot: no need for writable()'s O(shard) clone —
+    // the post-clear state is empty, so freeze the original and swap
+    // in a fresh instance directly (with a fresh pin generation).
+    std::shared_ptr<SynthesizedRelation> Fresh = freshShard();
+    Shards[S]->freezeArena();
+    retireShardRef(std::move(Shards[S]));
+    Shards[S] = std::move(Fresh);
+    Pins[S] = std::make_shared<std::atomic<size_t>>(0);
+  }
   Count.store(0, std::memory_order_relaxed);
 }
 
-Relation ConcurrentRelation::toRelation() const {
-  // Wait-free attempt: one wildcard epoch section covers the whole
-  // extraction. Every writer fence waits for wildcard sections, so a
-  // writer that starts mid-snapshot blocks until we finish — the
-  // snapshot stays globally consistent without taking a single lock.
-  // If some shard already has a writer (gate raised), fall back to
-  // reader locks on every shard at once: the same consistent snapshot,
-  // with writers excluded by the locks instead.
-  {
-    EpochGuard Guard; // wildcard
-    bool Quiescent = true;
-    for (unsigned I = 0; I != Shards.size() && Quiescent; ++I)
-      Quiescent = !Gates[I].writerActive();
-    if (Quiescent) {
-      Relation Result(catalog().allColumns());
-      for (const std::unique_ptr<SynthesizedRelation> &S : Shards)
-        Result = Relation::unionWith(Result, S->toRelation());
-      return Result;
-    }
-  }
+ConcurrentRelation::Snapshot ConcurrentRelation::snapshot() const {
+  // One brief all-stripe SHARED acquisition: writers (who hold their
+  // stripe exclusively across mutation + counter update + ticket draw)
+  // are excluded, so the N shard pointers, the ticket, and the size
+  // are one consistent cut; concurrent readers are unaffected. Only
+  // O(shards) pointer copies happen under the locks.
   AllShardsGuard Guard(Locks, AllShardsGuard::Shared);
-  Relation Result(catalog().allColumns());
-  for (const std::unique_ptr<SynthesizedRelation> &S : Shards)
+  Snapshot Snap;
+  Snap.Shards.assign(Shards.begin(), Shards.end());
+  Snap.Pins.assign(Pins.begin(), Pins.end());
+  // The only place a pin count goes 0 -> 1: writers are excluded by
+  // the shared stripe hold, so a relaxed increment suffices — the
+  // publication edge writers need comes from the handle's release
+  // decrement at drop time (see writable()).
+  for (const std::shared_ptr<std::atomic<size_t>> &P : Snap.Pins)
+    P->fetch_add(1, std::memory_order_relaxed);
+  Snap.Ticket = TxTickets.load(std::memory_order_relaxed) - 1;
+  Snap.Count = Count.load(std::memory_order_relaxed);
+  return Snap;
+}
+
+void ConcurrentRelation::Snapshot::scanFrames(
+    const Tuple &Pattern, ColumnSet OutputCols,
+    function_ref<bool(const BindingFrame &)> Fn) const {
+  bool Stopped = false;
+  for (const std::shared_ptr<const SynthesizedRelation> &S : Shards) {
+    if (Stopped)
+      break;
+    S->scanFrames(Pattern, OutputCols, [&](const BindingFrame &F) {
+      if (!Fn(F)) {
+        Stopped = true;
+        return false;
+      }
+      return true;
+    });
+  }
+}
+
+Relation ConcurrentRelation::Snapshot::toRelation() const {
+  assert(valid() && "toRelation on an empty snapshot handle");
+  Relation Result(Shards.front()->catalog().allColumns());
+  for (const std::shared_ptr<const SynthesizedRelation> &S : Shards)
     Result = Relation::unionWith(Result, S->toRelation());
   return Result;
 }
 
-size_t ConcurrentRelation::liveInstances() const {
-  // Same wait-free-with-lock-fallback shape as toRelation.
-  {
-    EpochGuard Guard; // wildcard
-    bool Quiescent = true;
-    for (unsigned I = 0; I != Shards.size() && Quiescent; ++I)
-      Quiescent = !Gates[I].writerActive();
-    if (Quiescent) {
-      size_t Live = 0;
-      for (const std::unique_ptr<SynthesizedRelation> &S : Shards)
-        Live += S->liveInstances();
-      return Live;
-    }
-  }
-  AllShardsGuard Guard(Locks, AllShardsGuard::Shared);
+size_t ConcurrentRelation::Snapshot::liveInstances() const {
   size_t Live = 0;
-  for (const std::unique_ptr<SynthesizedRelation> &S : Shards)
+  for (const std::shared_ptr<const SynthesizedRelation> &S : Shards)
     Live += S->liveInstances();
   return Live;
+}
+
+Relation ConcurrentRelation::toRelation() const {
+  // The stripes are held only for snapshot()'s O(shards) pointer grab;
+  // the O(n) extraction runs against the pinned handle, lock-free.
+  return snapshot().toRelation();
+}
+
+size_t ConcurrentRelation::liveInstances() const {
+  return snapshot().liveInstances();
 }
 
 void ConcurrentRelation::reoptimize() {
   AllShardsGuard Guard(Locks);
   // The fence also drains wait-free readers, who may hold pointers
-  // into the plan caches this replaces.
+  // into the plan caches this replaces; snapshot-pinned shards are
+  // COW-cloned first (their plan caches are shared with the handles).
   EpochWriterFence Fence = fenceAll();
-  for (std::unique_ptr<SynthesizedRelation> &S : Shards)
-    S->reoptimize();
+  for (unsigned S = 0; S != Shards.size(); ++S)
+    writable(S).reoptimize();
 }

@@ -77,9 +77,12 @@ public:
   explicit ConcurrentRelation(const Decomposition &D,
                               ConcurrentOptions Opts = ConcurrentOptions());
 
-  const RelSpecRef &spec() const { return Shards.front()->spec(); }
-  const Catalog &catalog() const { return Shards.front()->catalog(); }
-  const Decomposition &decomp() const { return Shards.front()->decomp(); }
+  // Read the facade's own immutable copy of the decomposition, not
+  // Shards.front(): shard pointers are COW-swapped by writers holding
+  // only their own stripe, so an unlocked read of a shard slot races.
+  const RelSpecRef &spec() const { return Proto.spec(); }
+  const Catalog &catalog() const { return Proto.catalog(); }
+  const Decomposition &decomp() const { return Proto; }
 
   unsigned numShards() const { return Router.numShards(); }
   ColumnId shardColumn() const { return Router.shardColumn(); }
@@ -265,25 +268,136 @@ public:
   void clear();
 
   //===--------------------------------------------------------------------===
+  // Consistent snapshots (COW shard state + RCU reclamation).
+  //===--------------------------------------------------------------------===
+
+  /// A refcounted, immutable, globally consistent view of the whole
+  /// relation, acquired by snapshot() in O(shards) with no data copy.
+  /// The handle pins the shard instances (and their slab arenas) that
+  /// were live at acquisition: writers that later touch a pinned shard
+  /// clone it copy-on-write and swap in the clone, so the handle keeps
+  /// reading frozen state, lock-free, for as long as it lives. Dropping
+  /// the last reference releases the frozen instances — the write side
+  /// retired its own references through EpochManager at clone time, so
+  /// the state is reclaimed once both the grace period and the last
+  /// handle are gone. Copyable and movable; a default-constructed
+  /// handle is empty (valid() == false).
+  class Snapshot {
+  public:
+    Snapshot() = default;
+    /// The handle participates in the pin-count protocol writable()
+    /// relies on: construction/copy increment each pinned shard's pin
+    /// counter (the 0->1 transition only ever happens inside
+    /// snapshot(), under the all-stripe SHARED guard; copies start
+    /// from a count the source handle already holds above zero), and
+    /// destruction decrements with RELEASE order — the edge that
+    /// makes a writer's later acquire-load-of-zero happen-after every
+    /// read this handle performed.
+    Snapshot(const Snapshot &O)
+        : Shards(O.Shards), Pins(O.Pins), Ticket(O.Ticket), Count(O.Count) {
+      for (const std::shared_ptr<std::atomic<size_t>> &P : Pins)
+        P->fetch_add(1, std::memory_order_relaxed);
+    }
+    Snapshot &operator=(const Snapshot &O) {
+      if (this != &O) {
+        Snapshot Tmp(O);
+        *this = std::move(Tmp);
+      }
+      return *this;
+    }
+    /// Vector moves leave the source empty, so a moved-from handle
+    /// holds no pins and its destructor is a no-op.
+    Snapshot(Snapshot &&O) noexcept = default;
+    Snapshot &operator=(Snapshot &&O) noexcept {
+      if (this != &O) {
+        unpinAll();
+        Shards = std::move(O.Shards);
+        Pins = std::move(O.Pins);
+        Ticket = O.Ticket;
+        Count = O.Count;
+        O.Shards.clear();
+        O.Pins.clear();
+      }
+      return *this;
+    }
+    ~Snapshot() { unpinAll(); }
+
+    bool valid() const { return !Shards.empty(); }
+    unsigned numShards() const {
+      return static_cast<unsigned>(Shards.size());
+    }
+    /// Newest commit ticket included in this snapshot: every commit
+    /// with ticket <= ticket() is visible, none above it.
+    uint64_t ticket() const { return Ticket; }
+    /// Tuples across all pinned shards (exact: counted under the same
+    /// acquisition that pinned them).
+    size_t size() const { return Count; }
+    bool empty() const { return Count == 0; }
+
+    /// Direct access to pinned shard \p I (immutable; reads are
+    /// reentrant and thread-safe, no locks involved).
+    const SynthesizedRelation &shard(unsigned I) const {
+      assert(I < Shards.size() && "shard index out of range");
+      return *Shards[I];
+    }
+
+    /// Streaming scan over the snapshot — the sequential fan-out shape
+    /// of ConcurrentRelation::scanFrames, but lock-free and immune to
+    /// concurrent writers.
+    void scanFrames(const Tuple &Pattern, ColumnSet OutputCols,
+                    function_ref<bool(const BindingFrame &)> Fn) const;
+
+    /// α of the snapshot: the union of the pinned shard relations.
+    Relation toRelation() const;
+
+    /// Live NodeInstances across the pinned shards.
+    size_t liveInstances() const;
+
+  private:
+    friend class ConcurrentRelation;
+    void unpinAll() {
+      for (const std::shared_ptr<std::atomic<size_t>> &P : Pins)
+        P->fetch_sub(1, std::memory_order_release);
+    }
+    std::vector<std::shared_ptr<const SynthesizedRelation>> Shards;
+    /// Per-shard pin counters, paired with Shards entry for entry (the
+    /// counter travels with the state generation it pins — a COW swap
+    /// installs a fresh counter with the fresh state).
+    std::vector<std::shared_ptr<std::atomic<size_t>>> Pins;
+    uint64_t Ticket = 0;
+    size_t Count = 0;
+  };
+
+  /// Acquires a consistent snapshot: one brief all-stripe SHARED
+  /// acquisition (writers excluded, readers admitted) covers reading
+  /// the N shard pointers, the commit ticket, and the size — O(shards)
+  /// work, no per-tuple work under any lock. The returned handle is
+  /// self-contained; serialization/extraction happens against it with
+  /// no facade locks held, while commits keep flowing (the first write
+  /// to each pinned shard pays a one-time COW clone of that shard).
+  Snapshot snapshot() const;
+
+  //===--------------------------------------------------------------------===
   // Introspection (tests, benches).
   //===--------------------------------------------------------------------===
 
   /// α(d): the union of the shard relations — a globally consistent
-  /// snapshot even while writers run. Wait-free when no writer is
-  /// active: the extraction runs inside one wildcard epoch section
-  /// (any writer fence starting mid-snapshot waits for it), touching
-  /// no lock; if any shard's gate is already raised it falls back to
-  /// reader locks on every shard at once (AllShardsGuard shared).
+  /// snapshot even while writers run. Implemented as snapshot()
+  /// followed by lock-free extraction from the pinned handle, so the
+  /// stripes are held only for the O(shards) pointer grab, not the
+  /// O(n) extraction.
   Relation toRelation() const;
 
   /// Live NodeInstances across shards (leak checks).
   size_t liveInstances() const;
 
-  /// Allocator counters of shard \p I's private slab arena. ArenaStats
-  /// fields are relaxed atomics underneath, so reading concurrently
-  /// with writers is safe but a moving target; quiesce for exactness.
+  /// Allocator counters of shard \p I's private slab arena, read under
+  /// the shard's reader lock (the shard pointer itself is COW-swapped
+  /// by writers). ArenaStats fields are relaxed atomics underneath, so
+  /// the numbers are a moving target; quiesce for exactness.
   ArenaStats shardArenaStats(unsigned I) const {
     assert(I < Shards.size() && "shard index out of range");
+    auto Lock = Locks.shared(I);
     return Shards[I]->arenaStats();
   }
 
@@ -291,8 +405,8 @@ public:
   /// accounting). Same consistency caveat as shardArenaStats.
   ArenaStats arenaStats() const {
     ArenaStats Total;
-    for (const std::unique_ptr<SynthesizedRelation> &S : Shards) {
-      ArenaStats A = S->arenaStats();
+    for (unsigned I = 0; I != Shards.size(); ++I) {
+      ArenaStats A = shardArenaStats(I);
       Total.Slabs += A.Slabs;
       Total.Bytes += A.Bytes;
       Total.Live += A.Live;
@@ -313,6 +427,35 @@ public:
 private:
   size_t removeAllShards(const Tuple &Pattern);
   size_t updateRehoming(const Tuple &Pattern, const Tuple &Changes);
+
+  /// Copy-on-write gate every mutation runs through: with shard \p S's
+  /// stripe held exclusively (and its fence raised), returns the shard
+  /// instance to mutate. When no snapshot pins the instance
+  /// (Pins[S] == 0) that is the live instance itself; otherwise the
+  /// instance is cloned (O(shard) — the one-time cost of the first
+  /// write after a snapshot), the frozen original's arena is detached
+  /// from the epoch hand-back protocol, the facade's reference to it
+  /// is retired through EpochManager, and the clone (with a fresh pin
+  /// counter) is swapped in.
+  /// The pin probe is sound AND racefree: the 0->1 transition only
+  /// happens under the all-stripes SHARED acquisition of snapshot()
+  /// (excluded by our exclusive stripe) — handle copies increment a
+  /// count their source handle already holds above zero — and handle
+  /// drops decrement with RELEASE order, so the acquire-load reading
+  /// zero happens-after every read the dropped handles made (an edge
+  /// a relaxed shared_ptr::use_count probe would not provide). A drop
+  /// racing the load at worst leaves the count inflated and costs a
+  /// spurious clone.
+  SynthesizedRelation &writable(unsigned S);
+
+  /// A fresh, empty shard instance (concurrent reads + deferred
+  /// reclamation enabled, like the constructor's).
+  std::shared_ptr<SynthesizedRelation> freshShard() const;
+
+  /// Hands the facade's reference to a frozen shard instance to the
+  /// epoch retire list; the instance is destroyed after the grace
+  /// period AND the last snapshot handle drop.
+  static void retireShardRef(std::shared_ptr<SynthesizedRelation> Old);
 
   /// Runs \p Body with read access to shard \p S: wait-free inside an
   /// epoch section tagged with the shard's gate when no writer is
@@ -358,8 +501,20 @@ private:
   std::unique_ptr<EpochGate[]> Gates;
   /// 0..NumShards-1, for all-gate fences.
   std::vector<unsigned> AllShardIdx;
-  /// unique_ptr: SynthesizedRelation owns a non-movable InstanceGraph.
-  std::vector<std::unique_ptr<SynthesizedRelation>> Shards;
+  /// The facade's own immutable copy of the decomposition: the source
+  /// for spec()/catalog()/decomp() and for COW shard clones, readable
+  /// without any lock.
+  Decomposition Proto;
+  /// The live shard instances. shared_ptr: snapshot() pins the current
+  /// instances by reference and writers COW-swap pinned ones (see
+  /// writable()); each slot is only ever read or written under its
+  /// stripe / gate discipline, never concurrently with the swap.
+  std::vector<std::shared_ptr<SynthesizedRelation>> Shards;
+  /// Pin counter per shard slot, paired with Shards[S]: how many live
+  /// Snapshot handles pin that state generation. Lifetime rides a
+  /// shared_ptr because handles may outlive the relation; see
+  /// writable() for the acquire/release protocol.
+  std::vector<std::shared_ptr<std::atomic<size_t>>> Pins;
   std::atomic<size_t> Count{0};
   /// Monotone commit tickets for transact (see TxResult::Ticket).
   std::atomic<uint64_t> TxTickets{1};

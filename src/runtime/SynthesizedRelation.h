@@ -196,6 +196,15 @@ public:
   /// The live instance graph (concurrent facade + tests; read-only).
   const InstanceGraph &instanceGraph() const { return Graph; }
 
+  /// Detaches this relation's arena from the epoch hand-back protocol
+  /// (SlabArena::freeze). Called by ConcurrentRelation when the
+  /// instance is frozen into a COW snapshot: reads continue against
+  /// the frozen state, but in-flight deferred hand-backs from earlier
+  /// mutations must drop at the generation check instead of landing in
+  /// a pending stack no writer will ever drain. Caller holds the shard
+  /// stripe exclusively.
+  void freezeArena() { Arena->freeze(); }
+
 private:
   Relation abstractionOf() const;
 

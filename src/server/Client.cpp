@@ -192,7 +192,8 @@ bool RelClient::stats(ServerStats &S) {
   ByteReader Rd(R.Extra);
   return Rd.u64(S.Groups) && Rd.u64(S.Committed) &&
          Rd.u64(S.MultiTxGroups) && Rd.u64(S.MaxGroupSize) &&
-         Rd.u64(S.Syncs) && Rd.u64(S.ArenaBytes) && Rd.u64(S.ArenaLive);
+         Rd.u64(S.Syncs) && Rd.u64(S.ArenaBytes) && Rd.u64(S.ArenaLive) &&
+         Rd.u64(S.CheckpointFailures);
 }
 
 uint64_t RelClient::sendInsert(const Tuple &T) {

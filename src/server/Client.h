@@ -81,6 +81,8 @@ public:
     /// bytes reserved and blocks (nodes + container cells) live.
     uint64_t ArenaBytes = 0;
     uint64_t ArenaLive = 0;
+    /// Checkpoints that failed on the server (logged + backed off).
+    uint64_t CheckpointFailures = 0;
   };
   bool stats(ServerStats &S);
 

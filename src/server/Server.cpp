@@ -7,6 +7,8 @@
 #include "server/Server.h"
 
 #include <cerrno>
+#include <cinttypes>
+#include <cstdio>
 #include <future>
 #include <sys/socket.h>
 #include <unistd.h>
@@ -147,6 +149,8 @@ bool RelServer::start(std::string *Err) {
     });
   }
   Committer.start();
+  if (HasWal)
+    CkptThread = std::thread([this] { ckptLoop(); });
   ListenFd = wire::listenTcp(Opts.Port, Err);
   if (ListenFd < 0)
     return false;
@@ -175,12 +179,92 @@ void RelServer::stop() {
   }
   for (ConnEntry &E : Entries)
     E.T.join();
-  // Committer last: in-flight mutations complete (their replies fail
-  // harmlessly against the shut-down sockets) before the WAL closes.
+  // Committer before the checkpoint thread: its drain may still run
+  // snapshot-grab barriers that enqueue checkpoint jobs. The
+  // checkpoint thread then drains its own queue — every pending job's
+  // completion fires — before the WAL closes.
   Committer.stop();
+  {
+    std::lock_guard<std::mutex> Lock(CkptMu);
+    CkptStopping = true;
+  }
+  CkptCv.notify_all();
+  if (CkptThread.joinable())
+    CkptThread.join();
   Entries.clear();
   if (HasWal)
     Log.close();
+}
+
+//===----------------------------------------------------------------------===//
+// The checkpoint pipeline
+//===----------------------------------------------------------------------===//
+
+void RelServer::scheduleCheckpoint(
+    std::function<void(bool, const std::string &)> Done) {
+  // The barrier runs on the committer with no commit group in flight,
+  // so the snapshot handle, the newest logged ticket, and the log's
+  // byte offset are one consistent cut: a log record sits at byte
+  // offset < SnapEnd exactly when its ticket is <= Ticket, which is
+  // what lets Wal::checkpoint compact the covered prefix away while
+  // new appends land behind SnapEnd. Everything here is O(shards);
+  // serialization and fsyncs happen on the checkpoint thread.
+  Committer.barrier([this, Done = std::move(Done)]() mutable {
+    CkptJob Job;
+    Job.Snap = Rel.snapshot();
+    Job.Ticket = LastTicket.load(std::memory_order_relaxed);
+    Job.SnapEnd = Log.writtenBytes();
+    Job.Done = std::move(Done);
+    {
+      std::lock_guard<std::mutex> Lock(CkptMu);
+      CkptQueue.push_back(std::move(Job));
+    }
+    CkptCv.notify_all();
+  });
+}
+
+bool RelServer::runCheckpoint(CkptJob &Job, std::string *Err) {
+  std::string E;
+  bool Ok =
+      Log.checkpoint(Job.Ticket, encodeSnapshot(Job.Snap.toRelation()),
+                     Job.SnapEnd, &E);
+  // Reset the pacing counter on BOTH outcomes: success starts the next
+  // interval; failure backs off for another CheckpointEvery commits
+  // instead of letting every subsequent commit re-queue a checkpoint
+  // that will fail the same way (a hot-retry storm against e.g. a full
+  // disk).
+  SinceCkpt.store(0, std::memory_order_relaxed);
+  if (!Ok) {
+    CheckpointFailures.fetch_add(1, std::memory_order_relaxed);
+    std::fprintf(stderr,
+                 "relserved: checkpoint at ticket %" PRIu64 " failed: %s\n",
+                 Job.Ticket, E.c_str());
+  }
+  if (Err)
+    *Err = E;
+  return Ok;
+}
+
+void RelServer::ckptLoop() {
+  for (;;) {
+    CkptJob Job;
+    {
+      std::unique_lock<std::mutex> Lock(CkptMu);
+      CkptCv.wait(Lock,
+                  [this] { return CkptStopping || !CkptQueue.empty(); });
+      if (CkptQueue.empty()) {
+        if (CkptStopping)
+          return; // drained: every enqueued job has completed
+        continue;
+      }
+      Job = std::move(CkptQueue.front());
+      CkptQueue.pop_front();
+    }
+    std::string E;
+    bool Ok = runCheckpoint(Job, &E);
+    if (Job.Done)
+      Job.Done(Ok, E);
+  }
 }
 
 void RelServer::acceptLoop() {
@@ -442,6 +526,13 @@ bool RelServer::handleFrame(const ConnPtr &C,
       replyError(C, ReqId, "malformed query payload");
       return true;
     }
+    // Wire masks are 64-bit, so arities above 64 have unaddressable
+    // columns; at exactly 64 every mask bit is a real column (and
+    // `OutMask >> 64` would be UB, hence the explicit split).
+    if (Arity > 64) {
+      replyError(C, ReqId, "arity exceeds the 64-column wire mask");
+      return true;
+    }
     if (Arity < 64 && (OutMask >> Arity) != 0) {
       replyError(C, ReqId, "output columns outside the relation");
       return true;
@@ -472,16 +563,16 @@ bool RelServer::handleFrame(const ConnPtr &C,
       replyError(C, ReqId, "server runs without a wal");
       return true;
     }
-    Committer.barrier([this, C, ReqId] {
-      std::string E;
-      Relation Snap = Rel.toRelation();
-      if (Log.checkpoint(LastTicket.load(std::memory_order_relaxed),
-                         encodeSnapshot(Snap), &E)) {
-        SinceCkpt.store(0, std::memory_order_relaxed);
+    // The reply fires from the checkpoint thread once the outcome —
+    // success OR failure — is known, so a client always hears back.
+    // The captured ConnPtr keeps the Conn alive even if the peer
+    // disconnects before the checkpoint finishes; reply() then fails
+    // harmlessly against the shut-down fd.
+    scheduleCheckpoint([this, C, ReqId](bool Ok, const std::string &E) {
+      if (Ok)
         reply(C, Status::Ok, ReqId, {});
-      } else {
+      else
         replyError(C, ReqId, "checkpoint failed: " + E);
-      }
     });
     return true;
   }
@@ -497,6 +588,7 @@ bool RelServer::handleFrame(const ConnPtr &C,
     W.u64(S.Syncs);
     W.u64(A.Bytes);
     W.u64(A.Live);
+    W.u64(CheckpointFailures.load(std::memory_order_relaxed));
     reply(C, Status::Ok, ReqId, W.data());
     return true;
   }
@@ -511,17 +603,13 @@ bool RelServer::checkpointNow(std::string *Err) {
       *Err = "server runs without a wal";
     return false;
   }
-  // Runs on the committer so no commit group is in flight (and every
-  // earlier submission is applied and synced). Do not call from a
-  // completion callback — that thread IS the committer.
+  // Blocks on the checkpoint thread's completion. Do not call from a
+  // commit completion callback (that thread IS the committer, which
+  // must run the snapshot barrier) or from the checkpoint thread.
   std::promise<bool> Done;
   std::string E;
-  Committer.barrier([this, &Done, &E] {
-    Relation Snap = Rel.toRelation();
-    bool Ok = Log.checkpoint(LastTicket.load(std::memory_order_relaxed),
-                             encodeSnapshot(Snap), &E);
-    if (Ok)
-      SinceCkpt.store(0, std::memory_order_relaxed);
+  scheduleCheckpoint([&Done, &E](bool Ok, const std::string &Msg) {
+    E = Msg;
     Done.set_value(Ok);
   });
   bool Ok = Done.get_future().get();
@@ -538,13 +626,11 @@ void RelServer::maybeAutoCheckpoint() {
   if (CkptQueued.exchange(true))
     return;
   // Called from a completion callback — i.e. ON the committer thread —
-  // so the barrier must be asynchronous (it is).
-  Committer.barrier([this] {
-    std::string E;
-    Relation Snap = Rel.toRelation();
-    if (Log.checkpoint(LastTicket.load(std::memory_order_relaxed),
-                       encodeSnapshot(Snap), &E))
-      SinceCkpt.store(0, std::memory_order_relaxed);
-    CkptQueued.store(false);
-  });
+  // so the barrier must be asynchronous (it is). Failures are not
+  // dropped: runCheckpoint logs them, bumps CheckpointFailures, and
+  // resets the pacing counter so the server backs off for another
+  // CheckpointEvery commits instead of hot-retrying a checkpoint that
+  // keeps failing.
+  scheduleCheckpoint(
+      [this](bool, const std::string &) { CkptQueued.store(false); });
 }

@@ -42,7 +42,10 @@
 #include "server/Wire.h"
 
 #include <atomic>
+#include <condition_variable>
 #include <cstdint>
+#include <deque>
+#include <functional>
 #include <memory>
 #include <mutex>
 #include <string>
@@ -90,13 +93,26 @@ public:
   GroupCommitStats commitStats() const { return Committer.stats(); }
   /// Direct committer access (tests pause/resume it to force groups).
   GroupCommit &committer() { return Committer; }
+  /// Direct WAL access (tests arm fault injection, e.g.
+  /// failNextCheckpoints before driving the checkpoint path).
+  Wal &wal() { return Log; }
   /// Transactions replayed from the log during start().
   uint64_t recoveredTxns() const { return Recovered; }
 
-  /// Synchronous snapshot checkpoint through a committer barrier (so
-  /// it runs with no group in flight). False if the server has no WAL
-  /// or the checkpoint failed.
+  /// Synchronous snapshot checkpoint: a committer barrier grabs the
+  /// snapshot handle + tickets (microseconds), then serialization and
+  /// the Wal's fsync/rename dance run on the dedicated checkpoint
+  /// thread while commits keep flowing; this blocks until that
+  /// finishes. False if the server has no WAL or the checkpoint
+  /// failed. Must not be called from a committer or checkpoint-thread
+  /// callback.
   bool checkpointNow(std::string *Err);
+
+  /// Checkpoints that failed (logged, counted, and backed off — see
+  /// maybeAutoCheckpoint). Also reported in the Stats wire reply.
+  uint64_t checkpointFailures() const {
+    return CheckpointFailures.load(std::memory_order_relaxed);
+  }
 
   /// Snapshot codec (shared with tests): `u32 count | count tuples`.
   static std::vector<uint8_t> encodeSnapshot(const Relation &R);
@@ -136,6 +152,29 @@ private:
   bool toTxOp(const wire::WireTxOp &W, TxOp &Out, std::string &Msg) const;
   void maybeAutoCheckpoint();
 
+  /// One queued checkpoint: the O(shards) snapshot handle plus the
+  /// tickets pinning its place in the log, grabbed inside a committer
+  /// barrier; everything O(n) happens on the checkpoint thread.
+  struct CkptJob {
+    ConcurrentRelation::Snapshot Snap;
+    /// Newest logged ticket the snapshot includes (stamps the .ckpt).
+    uint64_t Ticket = 0;
+    /// Log byte offset covering exactly tickets <= Ticket — the
+    /// compaction point handed to Wal::checkpoint.
+    size_t SnapEnd = 0;
+    /// Optional completion, run on the checkpoint thread after the
+    /// outcome is known (ok, error message).
+    std::function<void(bool, const std::string &)> Done;
+  };
+  /// Enqueues a snapshot-grab barrier on the committer; the resulting
+  /// job is executed by the checkpoint thread. \p Done always fires —
+  /// success, checkpoint failure, and shutdown-drain alike.
+  void scheduleCheckpoint(std::function<void(bool, const std::string &)> Done);
+  /// Serializes + persists one job; updates SinceCkpt and the failure
+  /// counter/backoff. Returns success and fills \p Err on failure.
+  bool runCheckpoint(CkptJob &Job, std::string *Err);
+  void ckptLoop();
+
   ServerOptions Opts;
   ConcurrentRelation Rel;
   Wal Log;
@@ -152,9 +191,19 @@ private:
   /// Newest commit ticket this server knows of (recovered or logged);
   /// stamps checkpoints.
   std::atomic<uint64_t> LastTicket{0};
-  /// Committed txns since the last checkpoint (auto-checkpoint pacing).
+  /// Committed txns since the last checkpoint ATTEMPT (auto-checkpoint
+  /// pacing). Reset on failure too: a failing checkpoint backs off for
+  /// another CheckpointEvery commits instead of hot-retrying.
   std::atomic<uint64_t> SinceCkpt{0};
   std::atomic<bool> CkptQueued{false};
+  std::atomic<uint64_t> CheckpointFailures{0};
+
+  /// Dedicated checkpoint pipeline (see scheduleCheckpoint).
+  std::thread CkptThread;
+  std::mutex CkptMu;
+  std::condition_variable CkptCv;
+  std::deque<CkptJob> CkptQueue;
+  bool CkptStopping = false;
 };
 
 } // namespace relc

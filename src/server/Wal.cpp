@@ -242,15 +242,32 @@ void Wal::failAfterBytes(size_t N) {
   FailAfter = N;
 }
 
-bool Wal::checkpoint(uint64_t LastTicket, const std::vector<uint8_t> &Snapshot,
-                     std::string *Err) {
+void Wal::failNextCheckpoints(unsigned N) {
   std::lock_guard<std::mutex> Lock(Mu);
-  if (Fd < 0 || Tripped) {
-    if (Err)
-      *Err = "wal not open or fault-tripped";
-    return false;
+  CkptFailures = N;
+}
+
+bool Wal::checkpoint(uint64_t LastTicket, const std::vector<uint8_t> &Snapshot,
+                     size_t SnapEnd, std::string *Err) {
+  // One checkpoint at a time; appends are NOT excluded — only the
+  // compaction below takes the log lock.
+  std::lock_guard<std::mutex> CkptLock(CkptMu);
+  {
+    std::lock_guard<std::mutex> Lock(Mu);
+    if (Fd < 0 || Tripped) {
+      if (Err)
+        *Err = "wal not open or fault-tripped";
+      return false;
+    }
+    if (CkptFailures != 0) {
+      --CkptFailures;
+      if (Err)
+        *Err = "checkpoint fault injected";
+      return false;
+    }
   }
-  // 1. Durable snapshot under a temp name.
+  // 1. Durable snapshot under a temp name. No log lock held: this is
+  //    the O(snapshot) part, and commits keep appending throughout.
   std::string Tmp = Path + ".ckpt.tmp";
   int TFd = ::open(Tmp.c_str(), O_WRONLY | O_CREAT | O_TRUNC, 0644);
   if (TFd < 0) {
@@ -269,9 +286,9 @@ bool Wal::checkpoint(uint64_t LastTicket, const std::vector<uint8_t> &Snapshot,
     return false;
   }
   ::close(TFd);
-  // 2. Atomic publish. The rename's dirent must be durable BEFORE the
-  //    log shrinks: nothing orders the rename against the ftruncate
-  //    below except this directory fsync.
+  // 2. Atomic publish. The rename's dirent must be durable BEFORE any
+  //    log byte is dropped: nothing orders the rename against the
+  //    compaction below except this directory fsync.
   std::string Ckpt = Path + ".ckpt";
   if (::rename(Tmp.c_str(), Ckpt.c_str()) != 0) {
     setErr(Err, "rename " + Tmp);
@@ -281,16 +298,70 @@ bool Wal::checkpoint(uint64_t LastTicket, const std::vector<uint8_t> &Snapshot,
     setErr(Err, "fsync parent dir of " + Ckpt);
     return false;
   }
-  // 3. Only now drop the log (a crash before this point keeps both:
-  //    snapshot + full log is safe, snapshot + empty log is the goal,
-  //    old-snapshot + full log — the pre-call state — is safe too).
-  if (::ftruncate(Fd, static_cast<off_t>(MagicLen)) != 0 ||
-      ::fsync(Fd) != 0) {
-    setErr(Err, "truncate " + Path);
+  // 3. Compact: replace the log with magic + the records the snapshot
+  //    does not cover — the suffix at byte offsets >= SnapEnd. Records
+  //    below SnapEnd carry tickets <= LastTicket (the caller captured
+  //    SnapEnd with no append in flight), and are now redundant with
+  //    the published snapshot; records above it must survive. Brief:
+  //    O(post-snapshot suffix), not O(log). A crash before the log
+  //    rename keeps snapshot + full log, which recovery handles by
+  //    skipping tickets <= LastTicket.
+  std::lock_guard<std::mutex> Lock(Mu);
+  if (Fd < 0 || Tripped) {
+    if (Err)
+      *Err = "wal tripped during checkpoint";
+    return false;
+  }
+  if (SnapEnd < MagicLen)
+    SnapEnd = MagicLen;
+  if (SnapEnd > Written)
+    SnapEnd = Written;
+  size_t TailLen = Written - SnapEnd;
+  std::vector<uint8_t> Tail(TailLen);
+  size_t Got = 0;
+  while (Got != TailLen) {
+    ssize_t R = ::pread(Fd, Tail.data() + Got, TailLen - Got,
+                        static_cast<off_t>(SnapEnd + Got));
+    if (R < 0 && errno == EINTR)
+      continue;
+    if (R <= 0) {
+      setErr(Err, "read tail of " + Path);
+      return false;
+    }
+    Got += static_cast<size_t>(R);
+  }
+  std::string LogTmp = Path + ".log.tmp";
+  int LFd = ::open(LogTmp.c_str(), O_WRONLY | O_CREAT | O_TRUNC, 0644);
+  if (LFd < 0) {
+    setErr(Err, "open " + LogTmp);
+    return false;
+  }
+  if (!writeAll(LFd, reinterpret_cast<const uint8_t *>(Magic), MagicLen) ||
+      !writeAll(LFd, Tail.data(), TailLen) || ::fsync(LFd) != 0) {
+    setErr(Err, "write " + LogTmp);
+    ::close(LFd);
+    return false;
+  }
+  ::close(LFd);
+  if (::rename(LogTmp.c_str(), Path.c_str()) != 0) {
+    setErr(Err, "rename " + LogTmp);
+    return false;
+  }
+  if (!syncParentDir(Path)) {
+    setErr(Err, "fsync parent dir of " + Path);
+    return false;
+  }
+  int NewFd = ::open(Path.c_str(), O_RDWR | O_APPEND, 0644);
+  if (NewFd < 0) {
+    // The old fd now points at the unlinked inode: further appends
+    // would be silently lost. Latch the fault so syncs fail loudly.
+    setErr(Err, "reopen " + Path);
     Tripped = true;
     return false;
   }
-  Written = Durable = MagicLen;
+  ::close(Fd);
+  Fd = NewFd;
+  Written = Durable = MagicLen + TailLen;
   return true;
 }
 

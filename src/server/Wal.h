@@ -29,14 +29,19 @@
 ///
 /// Checkpointing writes the full snapshot to `<path>.ckpt` via
 /// write-to-temp + fsync + atomic rename + parent-directory fsync,
-/// then truncates the log back to its magic. The directory fsync
-/// pins the order: the new snapshot dirent is durable before any log
-/// byte is dropped, so a crash anywhere in the sequence leaves either
-/// the old pair intact or the new snapshot with a full (or already
-/// truncated) log. Snapshot + full log means the log still holds
-/// records the snapshot already includes — recovery (see
-/// RelServer::recover) must skip every record whose ticket is at or
-/// below the checkpoint's LastTicket, or it double-applies history.
+/// then COMPACTS the log: a fresh log holding only the suffix of
+/// records the snapshot does not cover (byte offset >= the caller's
+/// SnapEnd) replaces the old one by the same temp + fsync + rename +
+/// dir-fsync dance. Appends may run concurrently with the snapshot
+/// write — only the brief compaction holds the log lock. The
+/// directory fsyncs pin the order: the new snapshot dirent is durable
+/// before any log byte is dropped, so a crash anywhere in the
+/// sequence leaves either the old pair intact or the new snapshot
+/// with a full (or already compacted) log. Snapshot + full log means
+/// the log still holds records the snapshot already includes —
+/// recovery (see RelServer::recover) must skip every record whose
+/// ticket is at or below the checkpoint's LastTicket, or it
+/// double-applies history.
 ///
 /// Fault injection for tests: failAfterBytes() makes appends beyond a
 /// byte budget write only a prefix (a torn record) and every later
@@ -89,12 +94,25 @@ public:
   /// Largest ticket appended by this instance (0 before any append).
   uint64_t lastTicket() const;
 
-  /// Snapshot checkpoint: durably writes `<path>.ckpt` (temp + fsync +
-  /// rename), then truncates the log to its magic. \p LastTicket is
-  /// the newest commit the snapshot includes. The caller must ensure
-  /// no append runs concurrently.
+  /// Snapshot checkpoint, safe to run WHILE appends continue: durably
+  /// writes `<path>.ckpt` (temp + fsync + rename + dir fsync) with no
+  /// log lock held, then — briefly under the log lock — compacts the
+  /// log to the records the snapshot does not cover: the suffix
+  /// starting at byte \p SnapEnd, captured via writtenBytes() at the
+  /// point the snapshot was taken (no append in flight there, so byte
+  /// offset <= SnapEnd iff ticket <= LastTicket). \p LastTicket is the
+  /// newest commit the snapshot includes. Concurrent checkpoints are
+  /// serialized internally; only one should be in flight by design
+  /// (the server's dedicated checkpoint thread).
   bool checkpoint(uint64_t LastTicket, const std::vector<uint8_t> &Snapshot,
-                  std::string *Err);
+                  size_t SnapEnd, std::string *Err);
+
+  /// Back-compat form: compacts away the whole log (SnapEnd = end).
+  /// Only correct when no append runs concurrently.
+  bool checkpoint(uint64_t LastTicket, const std::vector<uint8_t> &Snapshot,
+                  std::string *Err) {
+    return checkpoint(LastTicket, Snapshot, static_cast<size_t>(-1), Err);
+  }
 
   //===--------------------------------------------------------------------===
   // Recovery (static: operates on closed files)
@@ -131,6 +149,13 @@ public:
   /// and sync() returns false forever.
   void failAfterBytes(size_t N);
 
+  /// Makes the next \p N checkpoint() calls fail (after writing a
+  /// partial temp file, like a full disk mid-snapshot) WITHOUT
+  /// touching the append path: the log keeps accepting and syncing
+  /// records, so tests can drive commits through a failing-checkpoint
+  /// window and assert the server's failure handling + backoff.
+  void failNextCheckpoints(unsigned N);
+
   /// Truncates the file at \p Path to \p Size bytes.
   static bool truncateTo(const std::string &Path, size_t Size);
   /// Flips bit \p Bit of byte \p Offset in the file at \p Path.
@@ -148,12 +173,18 @@ private:
   std::string Path;
   int Fd = -1;
   mutable std::mutex Mu;
+  /// Serializes whole checkpoint() calls against each other (Mu only
+  /// covers the log fd and counters; the snapshot write runs outside
+  /// it so appends keep flowing).
+  std::mutex CkptMu;
   size_t Written = 0;
   size_t Durable = 0;
   uint64_t LastTicketSeen = 0;
   /// SIZE_MAX = no fault armed; once tripped, Tripped latches.
   size_t FailAfter = static_cast<size_t>(-1);
   bool Tripped = false;
+  /// Checkpoint fault budget (failNextCheckpoints).
+  unsigned CkptFailures = 0;
 };
 
 } // namespace relc

@@ -295,10 +295,12 @@ public:
     uint64_t Mask;
     if (!u64(Mask))
       return false;
+    // Any u64 mask addresses at most 64 columns (one bit each), so an
+    // arity-less decode accepts every mask; with an arity, bits past
+    // it are rejected — for every arity up to the 64-column cap, where
+    // all 64 bits are real columns (and `Mask >> 64` would be UB).
     if (Arity != 0 && Arity < 64 && (Mask >> Arity) != 0)
       return fail();
-    if (Arity == 0 && Mask > std::numeric_limits<uint32_t>::max())
-      return fail(); // sanity: reject absurd masks from fuzzed input
     Tuple Out;
     for (ColumnId Id : ColumnSet::fromMask(Mask)) {
       Value V;

@@ -160,6 +160,22 @@ public:
   /// reset generation so in-flight deferred hand-backs are dropped.
   void reset();
 
+  /// Detaches the arena from the epoch hand-back protocol: drains the
+  /// pending stack into the free lists and bumps the reset generation,
+  /// so any recycleDeferred still in flight (a reader retired before
+  /// the freeze whose reclamation fires after it) is dropped by the
+  /// generation check instead of landing in a stack nobody will drain.
+  /// Called when a shard instance is frozen into a snapshot: the arena
+  /// keeps serving reads, but no new blocks are carved and no deferred
+  /// memory may be handed back. Owner-side (caller holds the stripe).
+  void freeze() noexcept {
+    drainPending();
+    Generation.fetch_add(1, std::memory_order_release);
+    // Late pushes that raced the drain are slab memory still owned by
+    // the (now read-only) arena; dropping the cells leaks nothing.
+    Pending.exchange(nullptr, std::memory_order_acquire);
+  }
+
   uint64_t resetGeneration() const {
     return Generation.load(std::memory_order_acquire);
   }

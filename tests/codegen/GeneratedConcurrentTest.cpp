@@ -220,6 +220,124 @@ TEST(GeneratedConcurrentTest, ParallelQueryMatchesSequentialFanOut) {
   EXPECT_EQ(SeqState, ParState);
 }
 
+/// Harvests a generated facade snapshot through its scanRows into the
+/// oracle representation.
+template <typename SnapT>
+Relation harvestSnapshot(const SnapT &Snap, const Catalog &Cat) {
+  Relation R(Cat.allColumns());
+  Snap.scanRows([&](int64_t Ns, int64_t Pid, int64_t State, int64_t Cpu) {
+    R.insert(TupleBuilder(Cat)
+                 .set("ns", Ns)
+                 .set("pid", Pid)
+                 .set("state", State)
+                 .set("cpu", Cpu)
+                 .build());
+  });
+  return R;
+}
+
+/// The generated facade's snapshot(): frozen under every mutation
+/// class (writers COW around the pinned shards), scanRows α-equivalent
+/// to the fan-out `all` query, and clear() replaces pinned shards
+/// rather than resetting them in place.
+TEST(GeneratedConcurrentTest, SnapshotIsImmutableUnderMutation) {
+  RelSpecRef Spec = schedulerSpec();
+  const Catalog &Cat = Spec->catalog();
+  genconc::sched_ns_concurrent Gen;
+  for (int64_t Ns = 0; Ns != 8; ++Ns)
+    for (int64_t Pid = 0; Pid != 8; ++Pid)
+      ASSERT_TRUE(Gen.insert(Ns, Pid, Pid % 3, Pid));
+  Relation Before = harvest(Gen, Cat);
+
+  auto Snap = Gen.snapshot();
+  ASSERT_TRUE(Snap.valid());
+  EXPECT_EQ(Snap.size(), 64u);
+  EXPECT_EQ(harvestSnapshot(Snap, Cat), Before);
+
+  // Every mutation class, while the handle is held.
+  EXPECT_TRUE(Gen.insert(9, 9, 0, 0));
+  EXPECT_TRUE(Gen.remove_by_ns_pid(0, 0));
+  EXPECT_TRUE(Gen.update_by_ns_pid(1, 1, 2, 77));
+  Gen.upsert_by_ns_pid(2, 2, [](bool, int64_t &St, int64_t &Cpu) {
+    St = 1;
+    Cpu = 55;
+  });
+  EXPECT_EQ(harvestSnapshot(Snap, Cat), Before);
+  EXPECT_EQ(Snap.size(), 64u);
+  EXPECT_NE(harvest(Gen, Cat), Before);
+
+  // clear() must swap fresh shards in under the pinned handle.
+  Gen.clear();
+  EXPECT_EQ(Gen.size(), 0u);
+  EXPECT_EQ(harvestSnapshot(Snap, Cat), Before);
+
+  // A fresh handle sees the live (now empty) state.
+  auto After = Gen.snapshot();
+  EXPECT_TRUE(After.valid());
+  EXPECT_TRUE(After.empty());
+  EXPECT_EQ(harvestSnapshot(After, Cat), Relation(Cat.allColumns()));
+}
+
+/// Snapshots racing generated-facade writers (the CI TSan job runs
+/// this): each pinned handle must yield the same rows however many
+/// commits land after it, and writers must keep progressing while
+/// handles stay alive.
+TEST(GeneratedConcurrentTest, SnapshotsFrozenUnderWriterChurn) {
+  RelSpecRef Spec = schedulerSpec();
+  const Catalog &Cat = Spec->catalog();
+  genconc::sched_ns_concurrent Gen;
+
+  auto Epoch0 = Gen.snapshot(); // held across the whole run
+  std::atomic<bool> Done{false};
+  std::atomic<size_t> SnapsTaken{0};
+
+  std::thread Snapshotter([&] {
+    std::vector<decltype(Gen.snapshot())> Window;
+    while (!Done.load(std::memory_order_acquire)) {
+      auto Snap = Gen.snapshot();
+      Relation First = harvestSnapshot(Snap, Cat);
+      EXPECT_EQ(First.size(), Snap.size());
+      std::this_thread::yield();
+      EXPECT_EQ(harvestSnapshot(Snap, Cat), First)
+          << "generated snapshot moved under churn";
+      Window.push_back(std::move(Snap));
+      if (Window.size() > 4)
+        Window.erase(Window.begin());
+      SnapsTaken.fetch_add(1, std::memory_order_relaxed);
+    }
+  });
+
+  const unsigned NumWriters = 4;
+  std::vector<std::thread> Writers;
+  for (unsigned T = 0; T != NumWriters; ++T)
+    Writers.emplace_back([&, T] {
+      Rng R(0x5a9 + T);
+      for (int Step = 0; Step != 400; ++Step) {
+        int64_t Ns = R.range(0, 7);
+        int64_t Pid = static_cast<int64_t>(T) +
+                      static_cast<int64_t>(NumWriters) * R.range(0, 15);
+        int64_t Delta = R.range(1, 49);
+        Gen.upsert_by_ns_pid(Ns, Pid,
+                             [&](bool Found, int64_t &St, int64_t &Cpu) {
+                               Cpu = ((Found ? Cpu : 0) + Delta) % 100;
+                               St = Delta % 3;
+                             });
+        if (R.chance(0.2))
+          Gen.remove_by_ns_pid(Ns, Pid);
+      }
+    });
+  for (std::thread &T : Writers)
+    T.join();
+  Done.store(true, std::memory_order_release);
+  Snapshotter.join();
+
+  EXPECT_GT(SnapsTaken.load(), 0u);
+  EXPECT_TRUE(Epoch0.empty());
+  EXPECT_EQ(harvestSnapshot(Epoch0, Cat), Relation(Cat.allColumns()));
+  // The final snapshot agrees with the live fan-out harvest.
+  EXPECT_EQ(harvestSnapshot(Gen.snapshot(), Cat), harvest(Gen, Cat));
+}
+
 /// One logged mutation, replayable against the sequential engine.
 struct LoggedOp {
   enum Kind { Insert, Remove, Update, Upsert } Op;

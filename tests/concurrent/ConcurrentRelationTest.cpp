@@ -380,6 +380,141 @@ TEST_F(ConcurrentRelationTest, ClearRetainsSlabsAndReplaysAlphaEquivalent) {
   EXPECT_EQ(Rel.toRelation(), Before);
 }
 
+//===----------------------------------------------------------------------===//
+// Consistent snapshots (COW shard state + RCU reclamation)
+//===----------------------------------------------------------------------===//
+
+TEST_F(ConcurrentRelationTest, SnapshotIsImmutableUnderMutation) {
+  ConcurrentRelation Rel(Decomp, {4, std::nullopt});
+  for (int64_t Ns = 0; Ns != 8; ++Ns)
+    for (int64_t Pid = 0; Pid != 8; ++Pid)
+      ASSERT_TRUE(Rel.insert(proc(Ns, Pid, Pid % 3, Pid)));
+  Relation Before = Rel.toRelation();
+
+  ConcurrentRelation::Snapshot Snap = Rel.snapshot();
+  ASSERT_TRUE(Snap.valid());
+  EXPECT_EQ(Snap.numShards(), Rel.numShards());
+  EXPECT_EQ(Snap.size(), 64u);
+  EXPECT_EQ(Snap.toRelation(), Before);
+
+  // Every mutation class lands while the handle is held; the pinned
+  // view must not move (writers copy-on-write around it).
+  EXPECT_TRUE(Rel.insert(proc(9, 9, 0, 0)));
+  EXPECT_EQ(Rel.remove(key(0, 0)), 1u);
+  EXPECT_EQ(Rel.update(key(1, 1), TupleBuilder(Cat).set("cpu", 77).build()),
+            1u);
+  Rel.upsert(key(2, 2), [&](const BindingFrame *, Tuple &V) {
+    V.set(Cat.get("cpu"), Value::ofInt(55));
+  });
+  TxResult R = Rel.transact([&](TxBatch &Tx) {
+    Tx.update(key(3, 3), TupleBuilder(Cat).set("cpu", 12).build());
+  });
+  EXPECT_TRUE(R.Committed);
+
+  EXPECT_EQ(Snap.toRelation(), Before);
+  EXPECT_EQ(Snap.size(), 64u);
+  EXPECT_NE(Rel.toRelation(), Before);
+  EXPECT_EQ(Rel.size(), 64u); // one insert, one remove
+
+  // clear() must replace the pinned shards, not reset them in place.
+  Rel.clear();
+  EXPECT_TRUE(Rel.empty());
+  EXPECT_EQ(Snap.toRelation(), Before);
+  EXPECT_EQ(Snap.size(), 64u);
+}
+
+TEST_F(ConcurrentRelationTest, SnapshotTicketCountsCommittedTransactions) {
+  ConcurrentRelation Rel(Decomp, {4, std::nullopt});
+  EXPECT_EQ(Rel.snapshot().ticket(), 0u);
+  ASSERT_TRUE(Rel.insert(proc(1, 1, 0, 10)));
+  // Plain mutations draw no commit tickets; committed transacts do.
+  EXPECT_EQ(Rel.snapshot().ticket(), 0u);
+  TxResult R1 = Rel.transact([&](TxBatch &Tx) {
+    Tx.update(key(1, 1), TupleBuilder(Cat).set("cpu", 11).build());
+  });
+  ASSERT_TRUE(R1.Committed);
+  ConcurrentRelation::Snapshot Snap = Rel.snapshot();
+  EXPECT_EQ(Snap.ticket(), R1.Ticket);
+  // An aborted transaction publishes no commit the snapshot could see.
+  std::vector<TxOp> Bad;
+  Bad.push_back(TxOp::insert(proc(1, 1, 2, 0))); // FD conflict
+  EXPECT_FALSE(Rel.transact(Bad).Committed);
+  EXPECT_EQ(Rel.snapshot().ticket(), R1.Ticket);
+}
+
+TEST_F(ConcurrentRelationTest, SnapshotAlphaEquivalentToPrefix) {
+  // A randomized op mix with snapshots pinned mid-stream: each handle
+  // must stay α-equivalent to the oracle's state at its acquisition
+  // point no matter what runs afterwards — the single-threaded
+  // skeleton of the checkpoint-consistency argument (the threaded
+  // interleavings are StressTest.cpp).
+  ConcurrentRelation Rel(Decomp, {4, std::nullopt});
+  Relation Oracle(Cat.allColumns());
+  Rng R(0xa11ce);
+  std::vector<std::pair<ConcurrentRelation::Snapshot, Relation>> Pinned;
+
+  for (int Step = 0; Step != 300; ++Step) {
+    int64_t Ns = R.range(0, 7);
+    int64_t Pid = R.range(0, 15);
+    Tuple Key = key(Ns, Pid);
+    switch (R.below(4)) {
+    case 0:
+    case 1: {
+      Tuple T = proc(Ns, Pid, static_cast<int64_t>(R.below(3)),
+                     static_cast<int64_t>(R.below(100)));
+      if (!Oracle.insertPreservesFds(T, Spec->fds()))
+        break;
+      Oracle.insert(T);
+      EXPECT_TRUE(Rel.insert(T));
+      break;
+    }
+    case 2:
+      EXPECT_EQ(Rel.remove(Key), Oracle.remove(Key));
+      break;
+    case 3: {
+      Tuple Changes = TupleBuilder(Cat).set("cpu", R.range(0, 99)).build();
+      EXPECT_EQ(Rel.update(Key, Changes), Oracle.update(Key, Changes));
+      break;
+    }
+    }
+    if (Step % 50 == 49)
+      Pinned.emplace_back(Rel.snapshot(), Oracle);
+  }
+
+  for (size_t I = 0; I != Pinned.size(); ++I) {
+    EXPECT_EQ(Pinned[I].first.toRelation(), Pinned[I].second)
+        << "snapshot " << I;
+    EXPECT_EQ(Pinned[I].first.size(), Pinned[I].second.size());
+  }
+  // Dropping every handle lets the epoch manager reclaim the frozen
+  // generations (ASan/LSan verifies on teardown).
+}
+
+TEST_F(ConcurrentRelationTest, SnapshotOutlivesRelation) {
+  ConcurrentRelation::Snapshot Snap;
+  EXPECT_FALSE(Snap.valid());
+  Relation Before(Cat.allColumns());
+  {
+    ConcurrentRelation Rel(Decomp, {4, std::nullopt});
+    for (int64_t Ns = 0; Ns != 8; ++Ns)
+      for (int64_t Pid = 0; Pid != 4; ++Pid)
+        ASSERT_TRUE(Rel.insert(proc(Ns, Pid, 0, Pid)));
+    Before = Rel.toRelation();
+    Snap = Rel.snapshot();
+  }
+  // The handle pins the frozen shard state (and its arenas) past the
+  // facade's death.
+  ASSERT_TRUE(Snap.valid());
+  EXPECT_EQ(Snap.size(), 32u);
+  EXPECT_EQ(Snap.toRelation(), Before);
+  size_t Rows = 0;
+  Snap.scanFrames(Tuple(), Cat.allColumns(), [&](const BindingFrame &) {
+    ++Rows;
+    return true;
+  });
+  EXPECT_EQ(Rows, 32u);
+}
+
 /// Randomized α-equivalence: a mixed operation sequence applied to the
 /// sharded facade, the sequential engine, and the Relation oracle must
 /// leave all three representing the same relation.

@@ -27,9 +27,11 @@
 #include <gtest/gtest.h>
 
 #include <algorithm>
+#include <chrono>
 #include <condition_variable>
 #include <cstdio>
 #include <fstream>
+#include <functional>
 #include <mutex>
 #include <set>
 #include <thread>
@@ -824,6 +826,230 @@ TEST(CrashRecovery, LiveCheckpointTruncatesAndRestartStillRecovers) {
     EXPECT_EQ(Total, 4 * 10 + 5);
     Server.stop();
   }
+  removeWal(Path);
+}
+
+/// Spins (bounded) until \p Cond holds — checkpoint completions are
+/// asynchronous (committer barrier, then the checkpoint thread).
+bool waitUntil(const std::function<bool()> &Cond, int Millis = 5000) {
+  for (int I = 0; I != Millis * 10; ++I) {
+    if (Cond())
+      return true;
+    std::this_thread::sleep_for(std::chrono::microseconds(100));
+  }
+  return Cond();
+}
+
+/// Explicit checkpoint against an injected failure: the wire reply must
+/// come back as an error (not silence, not Ok), the failure must be
+/// counted, commits must keep flowing, and once the fault clears a
+/// retry compacts the log and a restart recovers the exact state.
+TEST(CrashRecovery, FailedCheckpointRepliesErrorAndServerKeepsCommitting) {
+  RelSpecRef Spec = accountSpec();
+  const Catalog &Cat = Spec->catalog();
+  std::string Path = walPath("ckptfail");
+  removeWal(Path);
+
+  ServerOptions Opts;
+  Opts.WalPath = Path;
+  Opts.Concurrent.NumShards = 4;
+  {
+    RelServer Server(accountDecomp(Spec), Opts);
+    std::string Err;
+    ASSERT_TRUE(Server.start(&Err)) << Err;
+    RelClient Cli;
+    ASSERT_TRUE(Cli.connect(Server.port()));
+    for (int64_t A = 0; A != 4; ++A) {
+      RelClient::Reply R;
+      ASSERT_TRUE(Cli.insert(TupleBuilder(Cat)
+                                 .set("owner", A)
+                                 .set("acct", 0)
+                                 .set("balance", 10)
+                                 .build(),
+                             &R));
+      ASSERT_TRUE(R.ok());
+    }
+    size_t Before = Wal::fileSize(Path);
+    ASSERT_GT(Before, Wal::MagicLen);
+
+    Server.wal().failNextCheckpoints(1);
+    RelClient::Reply R;
+    EXPECT_FALSE(Cli.checkpoint(&R));
+    EXPECT_EQ(R.St, wire::Status::Error);
+    EXPECT_NE(R.Error.find("checkpoint failed"), std::string::npos)
+        << R.Error;
+    // The reply is sent after runCheckpoint finished, so the counter
+    // is already final; the log must be untouched (no partial
+    // compaction against a failed snapshot).
+    EXPECT_EQ(Server.checkpointFailures(), 1u);
+    EXPECT_EQ(Wal::fileSize(Path), Before);
+
+    // The append path never stopped: fresh commits still ack durably.
+    ASSERT_TRUE(Cli.insert(TupleBuilder(Cat)
+                               .set("owner", 9)
+                               .set("acct", 0)
+                               .set("balance", 50)
+                               .build(),
+                           &R));
+    ASSERT_TRUE(R.ok());
+
+    // Fault exhausted: the retry compacts, with no new failures.
+    ASSERT_TRUE(Cli.checkpoint(&R));
+    ASSERT_TRUE(R.ok());
+    EXPECT_EQ(Wal::fileSize(Path), Wal::MagicLen);
+    EXPECT_EQ(Server.checkpointFailures(), 1u);
+
+    ColumnId Bal = Cat.get("balance");
+    ASSERT_TRUE(Cli.transact({wire::WireTxOp::add(TupleBuilder(Cat)
+                                                      .set("owner", 9)
+                                                      .set("acct", 0)
+                                                      .build(),
+                                                  Bal, 5)},
+                             &R));
+    ASSERT_TRUE(R.ok());
+    Server.stop();
+  }
+  {
+    RelServer Server(accountDecomp(Spec), Opts);
+    std::string Err;
+    ASSERT_TRUE(Server.start(&Err)) << Err;
+    EXPECT_EQ(Server.recoveredTxns(), 1u)
+        << "only the post-checkpoint transfer replays";
+    RelClient Cli;
+    ASSERT_TRUE(Cli.connect(Server.port()));
+    std::vector<Tuple> Rows;
+    ASSERT_TRUE(Cli.query(Tuple(), Cat.allColumns(), Rows));
+    ASSERT_EQ(Rows.size(), 5u);
+    int64_t Total = 0;
+    for (const Tuple &T : Rows)
+      Total += T.get(Cat.get("balance")).asInt();
+    EXPECT_EQ(Total, 4 * 10 + 50 + 5);
+    Server.stop();
+  }
+  removeWal(Path);
+}
+
+/// Auto-checkpoint pacing under failure: a failing attempt is counted
+/// once and then BACKED OFF — the next CheckpointEvery-1 commits must
+/// not re-queue the failing checkpoint (no hot-retry storm); the
+/// attempt after the interval refills succeeds and compacts.
+TEST(CrashRecovery, AutoCheckpointFailureBacksOffForAFullInterval) {
+  RelSpecRef Spec = accountSpec();
+  const Catalog &Cat = Spec->catalog();
+  std::string Path = walPath("ckptbackoff");
+  removeWal(Path);
+
+  ServerOptions Opts;
+  Opts.WalPath = Path;
+  Opts.Concurrent.NumShards = 4;
+  Opts.CheckpointEvery = 4;
+  RelServer Server(accountDecomp(Spec), Opts);
+  std::string Err;
+  ASSERT_TRUE(Server.start(&Err)) << Err;
+  Server.wal().failNextCheckpoints(1);
+
+  RelClient Cli;
+  ASSERT_TRUE(Cli.connect(Server.port()));
+  auto insertRow = [&](int64_t A) {
+    RelClient::Reply R;
+    ASSERT_TRUE(Cli.insert(TupleBuilder(Cat)
+                               .set("owner", A)
+                               .set("acct", 0)
+                               .set("balance", 7)
+                               .build(),
+                           &R));
+    ASSERT_TRUE(R.ok());
+  };
+
+  // The 4th commit crosses the interval and queues the failing
+  // attempt.
+  for (int64_t A = 0; A != 4; ++A)
+    insertRow(A);
+  ASSERT_TRUE(waitUntil([&] { return Server.checkpointFailures() == 1; }));
+  EXPECT_GT(Wal::fileSize(Path), Wal::MagicLen);
+
+  // Backoff: three more commits stay inside the refilled interval — no
+  // new attempt, so the failure count cannot move and the log keeps
+  // growing. (Each insert's durable ack orders it after the commit
+  // path's maybeAutoCheckpoint call for that commit.)
+  size_t Grown = Wal::fileSize(Path);
+  for (int64_t A = 4; A != 7; ++A)
+    insertRow(A);
+  EXPECT_EQ(Server.checkpointFailures(), 1u);
+  EXPECT_GT(Wal::fileSize(Path), Grown);
+
+  // The commit that refills the interval triggers the (now healthy)
+  // attempt: the log compacts and no further failures are counted.
+  insertRow(7);
+  ASSERT_TRUE(
+      waitUntil([&] { return Wal::fileSize(Path) == Wal::MagicLen; }));
+  EXPECT_EQ(Server.checkpointFailures(), 1u);
+
+  Server.stop();
+  removeWal(Path);
+}
+
+/// A client that requests a checkpoint and vanishes before the
+/// committer barrier even runs: the captured ConnPtr keeps the
+/// connection object alive, the checkpoint completes against the
+/// pinned snapshot, and the completion's reply fails harmlessly
+/// against the dead fd — the server neither crashes nor leaks the job.
+TEST(CrashRecovery, CheckpointSurvivesClientDisconnectBeforeCompletion) {
+  RelSpecRef Spec = accountSpec();
+  const Catalog &Cat = Spec->catalog();
+  std::string Path = walPath("ckptdeadconn");
+  removeWal(Path);
+
+  ServerOptions Opts;
+  Opts.WalPath = Path;
+  Opts.Concurrent.NumShards = 4;
+  RelServer Server(accountDecomp(Spec), Opts);
+  std::string Err;
+  ASSERT_TRUE(Server.start(&Err)) << Err;
+
+  RelClient Cli;
+  ASSERT_TRUE(Cli.connect(Server.port()));
+  for (int64_t A = 0; A != 4; ++A) {
+    RelClient::Reply R;
+    ASSERT_TRUE(Cli.insert(TupleBuilder(Cat)
+                               .set("owner", A)
+                               .set("acct", 0)
+                               .set("balance", 3)
+                               .build(),
+                           &R));
+    ASSERT_TRUE(R.ok());
+  }
+  ASSERT_GT(Wal::fileSize(Path), Wal::MagicLen);
+
+  {
+    RelClient Doomed;
+    ASSERT_TRUE(Doomed.connect(Server.port()));
+    wire::ByteWriter W;
+    W.u8(static_cast<uint8_t>(wire::Op::Checkpoint));
+    W.u64(77);
+    ASSERT_TRUE(Doomed.sendRaw(W.data()));
+    // Gone before the reply — likely before the barrier even ran.
+    Doomed.close();
+  }
+
+  // The checkpoint still completes (the log compacts)...
+  ASSERT_TRUE(
+      waitUntil([&] { return Wal::fileSize(Path) == Wal::MagicLen; }));
+  EXPECT_EQ(Server.checkpointFailures(), 0u);
+  // ...and the server is unharmed: the surviving connection still
+  // commits durably and a fresh one connects.
+  RelClient::Reply R;
+  ASSERT_TRUE(Cli.insert(TupleBuilder(Cat)
+                             .set("owner", 8)
+                             .set("acct", 0)
+                             .set("balance", 3)
+                             .build(),
+                         &R));
+  ASSERT_TRUE(R.ok());
+  RelClient Fresh;
+  ASSERT_TRUE(Fresh.connect(Server.port()));
+  EXPECT_TRUE(Fresh.ping());
+  Server.stop();
   removeWal(Path);
 }
 

@@ -469,6 +469,60 @@ TEST_F(WireServerTest, MalformedPayloadsGetErrorReplies) {
   EXPECT_TRUE(Cli.size(N));
 }
 
+/// The wire mask boundary: a relation at the full 64-column cap (the
+/// widest a ColumnSet can address) must answer queries for any output
+/// mask — validation runs at EVERY arity now, and the arity-64 path
+/// must not shift a u64 by 64 on the way to deciding the mask is
+/// fine. Narrower relations keep rejecting mask bits past their arity.
+TEST(WireWideRelation, SixtyFourColumnQueriesValidateWithoutOverflow) {
+  std::vector<std::string> Names;
+  std::string Rest;
+  for (int I = 0; I != 64; ++I) {
+    Names.push_back("c" + std::to_string(I));
+    if (I > 0)
+      Rest += (I > 1 ? ", c" : "c") + std::to_string(I);
+  }
+  RelSpecRef Spec = RelSpec::make("wide", Names, {{"c0", Rest}});
+  const Catalog &Cat = Spec->catalog();
+  ASSERT_EQ(Cat.size(), 64u);
+  DecompBuilder B(Spec);
+  NodeId U = B.addNode("u", "c0", B.unit(Rest));
+  B.addNode("x", "", B.map("c0", DsKind::HashTable, U));
+
+  ServerOptions Opts;
+  Opts.Concurrent.NumShards = 2;
+  RelServer Server(B.build(), Opts);
+  std::string Err;
+  ASSERT_TRUE(Server.start(&Err)) << Err;
+  RelClient Cli;
+  ASSERT_TRUE(Cli.connect(Server.port()));
+
+  TupleBuilder Row(Cat);
+  for (int I = 0; I != 64; ++I)
+    Row.set("c" + std::to_string(I), 100 + I);
+  RelClient::Reply R;
+  ASSERT_TRUE(Cli.insert(Row.build(), &R));
+  ASSERT_TRUE(R.ok());
+
+  // Full-width output mask: every bit addresses a real column.
+  std::vector<Tuple> Rows;
+  ASSERT_TRUE(Cli.query(TupleBuilder(Cat).set("c0", 100).build(),
+                        ColumnSet::fromMask(~0ull), Rows));
+  ASSERT_EQ(Rows.size(), 1u);
+  for (int I = 0; I != 64; ++I)
+    EXPECT_EQ(Rows[0].get(Cat.get("c" + std::to_string(I))).asInt(),
+              100 + I);
+
+  // The top bit alone — the one a 63-column relation must reject and
+  // this one must serve.
+  Rows.clear();
+  ASSERT_TRUE(Cli.query(TupleBuilder(Cat).set("c0", 100).build(),
+                        ColumnSet::single(63), Rows));
+  ASSERT_EQ(Rows.size(), 1u);
+  EXPECT_EQ(Rows[0].get(Cat.get("c63")).asInt(), 163);
+  Server.stop();
+}
+
 /// Random garbage frames (bounded length) must never crash or hang the
 /// server: every frame gets an error reply or a close, and a fresh
 /// connection always works afterwards.

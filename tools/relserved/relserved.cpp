@@ -17,11 +17,20 @@
 //     every acknowledged commit.
 //
 //   relserved --workload --port N [--accounts N] [--transfers N]
-//             [--threads N] [--seed-only]
+//             [--threads N] [--seed-only] [--seed-batch N]
+//             [--checkpoint-during]
 //     Client mode: seed the accounts (idempotent: an already-seeded
-//     account aborts the insert harmlessly), then run random
-//     floor-guarded transfers as two-`add` transact batches. Prints
-//     "acked <n>" — every counted transfer holds a durable ack.
+//     account aborts the insert harmlessly; --seed-batch groups
+//     seeding into N-insert transact batches so large account counts
+//     seed in few round trips), then run random floor-guarded
+//     transfers as two-`add` transact batches. Prints "acked <n>" —
+//     every counted transfer holds a durable ack. With
+//     --checkpoint-during, the main thread issues Checkpoint requests
+//     while the transfer threads run and fails unless every
+//     checkpoint succeeds AND transfer acks landed while checkpoints
+//     were in flight — the off-committer snapshot claim (commits
+//     don't stall behind checkpoint serialization) checked against
+//     the real daemon.
 //
 //   relserved --verify --port N --accounts N
 //     Client mode: asserts the conservation invariant — exactly
@@ -149,6 +158,10 @@ int workloadMain(int argc, char **argv) {
   int64_t Transfers = intArg(argc, argv, "--transfers", 5000);
   int64_t Threads = intArg(argc, argv, "--threads", 4);
   bool SeedOnly = boolArg(argc, argv, "--seed-only");
+  int64_t SeedBatch = intArg(argc, argv, "--seed-batch", 1);
+  bool CkptDuring = boolArg(argc, argv, "--checkpoint-during");
+  if (SeedBatch < 1)
+    SeedBatch = 1;
 
   RelSpecRef Spec = accountSpec();
   const Catalog &Cat = Spec->catalog();
@@ -161,16 +174,21 @@ int workloadMain(int argc, char **argv) {
       std::fprintf(stderr, "workload: %s\n", Err.c_str());
       return 1;
     }
-    for (int64_t A = 0; A != Accounts; ++A) {
-      Tuple T = TupleBuilder(Cat)
-                    .set("owner", A / 4)
-                    .set("acct", A % 4)
-                    .set("balance", InitialBalance)
-                    .build();
-      RelClient::Reply R;
-      // An abort means the account survived a previous run with some
+    for (int64_t A = 0; A != Accounts;) {
+      // An abort means an account survived a previous run with some
       // other balance — exactly what recovery is supposed to produce.
-      if (!Seeder.insert(T, &R) || R.St == wire::Status::Error) {
+      // (With --seed-batch the whole batch aborts; also harmless, the
+      // batch's accounts all exist already.)
+      std::vector<wire::WireTxOp> Batch;
+      for (int64_t E = std::min(Accounts, A + SeedBatch); A != E; ++A)
+        Batch.push_back(wire::WireTxOp::insert(TupleBuilder(Cat)
+                                                   .set("owner", A / 4)
+                                                   .set("acct", A % 4)
+                                                   .set("balance",
+                                                        InitialBalance)
+                                                   .build()));
+      RelClient::Reply R;
+      if (!Seeder.transact(Batch, &R) || R.St == wire::Status::Error) {
         std::fprintf(stderr, "workload: seeding failed\n");
         return 1;
       }
@@ -182,9 +200,14 @@ int workloadMain(int argc, char **argv) {
   }
 
   std::atomic<uint64_t> Acked{0}, Aborted{0};
+  std::atomic<int64_t> WorkersLive{Threads};
   std::vector<std::thread> Workers;
   for (int64_t W = 0; W != Threads; ++W)
     Workers.emplace_back([&, W] {
+      struct Live {
+        std::atomic<int64_t> &L;
+        ~Live() { L.fetch_sub(1); }
+      } Dec{WorkersLive};
       RelClient Cli;
       if (!Cli.connect(Port, nullptr))
         return;
@@ -212,11 +235,54 @@ int workloadMain(int argc, char **argv) {
           Aborted.fetch_add(1);
       }
     });
+  // Checkpoint while the transfer threads hammer the server: bracket
+  // each Checkpoint round trip with reads of the ack counter. The
+  // snapshot barrier is O(shards) and serialization runs on the
+  // dedicated checkpoint thread, so acks must keep landing while the
+  // checkpoint is in flight — zero acks across every checkpoint means
+  // commits stalled behind it, the exact regression this guards.
+  uint64_t CkptRuns = 0, AckedDuring = 0;
+  bool CkptFailed = false;
+  if (CkptDuring) {
+    RelClient Ck;
+    std::string Err;
+    if (!Ck.connect(Port, &Err)) {
+      std::fprintf(stderr, "workload: checkpoint client: %s\n", Err.c_str());
+      CkptFailed = true;
+    } else {
+      while (Acked.load() == 0 && WorkersLive.load() > 0)
+        std::this_thread::sleep_for(std::chrono::milliseconds(1));
+      while (WorkersLive.load() > 0) {
+        uint64_t Before = Acked.load();
+        RelClient::Reply R;
+        if (!Ck.checkpoint(&R) || !R.ok()) {
+          std::fprintf(stderr, "workload: checkpoint failed: %s\n",
+                       R.Error.c_str());
+          CkptFailed = true;
+          break;
+        }
+        AckedDuring += Acked.load() - Before;
+        ++CkptRuns;
+        std::this_thread::sleep_for(std::chrono::milliseconds(50));
+      }
+    }
+  }
   for (std::thread &T : Workers)
     T.join();
   std::printf("acked %llu\naborted %llu\n",
               static_cast<unsigned long long>(Acked.load()),
               static_cast<unsigned long long>(Aborted.load()));
+  if (CkptDuring) {
+    std::printf("checkpoints %llu acked-during %llu\n",
+                static_cast<unsigned long long>(CkptRuns),
+                static_cast<unsigned long long>(AckedDuring));
+    if (CkptFailed || CkptRuns == 0 || AckedDuring == 0) {
+      std::fprintf(stderr,
+                   "workload: checkpoint-under-load FAILED (commits "
+                   "stalled or checkpoint errored)\n");
+      return 1;
+    }
+  }
   return 0;
 }
 
